@@ -1,0 +1,37 @@
+# Convenience targets for the SDX reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test property integration bench experiments quick examples clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+property:
+	$(PYTHON) -m pytest tests/property/
+
+integration:
+	$(PYTHON) -m pytest tests/integration/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments all
+
+quick:
+	$(PYTHON) -m repro.experiments all --quick
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+		echo; \
+	done
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis build *.egg-info src/*.egg-info

@@ -1,0 +1,38 @@
+"""Reporting helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+it runs the experiment through pytest-benchmark (timing the interesting
+kernel once — these are macro-benchmarks, not microseconds) and prints
+the same rows/series the paper reports.  pytest captures stdout at the
+file-descriptor level, so :func:`emit` suspends the capture manager for
+the duration of the print — the tables land on the real stdout (and in
+``bench_output.txt`` when the run is tee'd).
+"""
+
+from __future__ import annotations
+
+import sys
+
+#: Set by ``conftest.pytest_configure``; None outside a pytest run.
+_capture_manager = None
+
+
+def _set_capture_manager(manager) -> None:
+    global _capture_manager
+    _capture_manager = manager
+
+
+def report(text: str = "") -> None:
+    """Print one line to the real stdout, bypassing pytest capture."""
+    emit(lambda: print(text))
+
+
+def emit(printer) -> None:
+    """Run a result object's ``print()`` against the real stdout."""
+    if _capture_manager is not None:
+        with _capture_manager.global_and_fixture_disabled():
+            printer()
+            print(flush=True)
+    else:
+        printer()
+        print(flush=True)

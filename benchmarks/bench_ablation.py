@@ -1,0 +1,44 @@
+"""Ablation benchmarks: what the Section 4.3.1 optimizations buy.
+
+Compiles one workload under each optimization configuration and times
+the signature MDS against the naive pairwise-refinement MDS.  All
+configurations must produce the same rule table; only the cost may
+differ.
+"""
+
+from _report import emit, report
+
+from repro.experiments import ablation
+
+
+def test_compiler_optimization_ablation(benchmark):
+    result = benchmark.pedantic(
+        ablation.run_compiler_ablation,
+        kwargs={"participants": 80, "policy_prefixes": 400},
+        rounds=1,
+        iterations=1,
+    )
+    emit(lambda: result.print("Compiler optimization ablation (Section 4.3.1)"))
+    rule_counts = {rules for _, _, rules in result.rows}
+    assert len(rule_counts) == 1, "ablations must not change the emitted rules"
+    timings = {name: seconds for name, seconds, _ in result.rows}
+    report(
+        f"  slowdowns vs all-optimizations: "
+        + ", ".join(
+            f"{name}={timings[name] / timings['all optimizations']:.2f}x"
+            for name in timings
+            if name != "all optimizations"
+        )
+    )
+
+
+def test_mds_algorithm_ablation(benchmark):
+    result = benchmark.pedantic(
+        ablation.run_mds_ablation,
+        kwargs={"set_counts": (5, 10, 15, 20), "universe": 400},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.print)
+    for _, fast, slow, _ in result.rows[2:]:
+        assert fast < slow, "the signature algorithm must beat naive refinement"

@@ -1,0 +1,25 @@
+"""Baseline benchmark: naive per-prefix compilation vs the VMAC scheme.
+
+Quantifies the Section 4.2 motivation — without forwarding equivalence
+classes the rule table scales with the routing table, not the policy
+structure.  Prints the side-by-side rule counts and asserts the gap
+widens with the prefix count.
+"""
+
+from _report import emit
+
+from repro.experiments import baseline
+
+SWEEP = ((25, 500), (35, 1000), (45, 1500))
+
+
+def test_naive_vs_vmac_compilation(benchmark):
+    result = benchmark.pedantic(
+        baseline.run, kwargs={"sweep": SWEEP}, rounds=1, iterations=1
+    )
+    emit(result.print)
+    ratios = [naive / max(vmac, 1) for _, _, naive, vmac, _, _ in result.rows]
+    assert all(ratio > 2.0 for ratio in ratios), "VMAC must reduce state"
+    # the naive table keeps growing with the routing table
+    naive_counts = [naive for _, _, naive, _, _, _ in result.rows]
+    assert naive_counts == sorted(naive_counts)

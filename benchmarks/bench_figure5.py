@@ -1,0 +1,47 @@
+"""Figure 5 benchmarks: the two deployment timelines, emulated.
+
+Times a full (scaled) timeline replay — controller compilation, BGP
+events, per-second UDP traffic, fast-path reactions — and prints the
+traffic-rate checkpoints corresponding to the paper's Figure 5a/5b
+series, asserting the paper's qualitative shape.
+"""
+
+import pytest
+from _report import emit
+
+from repro.experiments import figure5
+
+
+def test_figure5a_application_specific_peering(benchmark):
+    result = benchmark.pedantic(
+        figure5.run_5a,
+        kwargs={"duration": 600.0, "policy_time": 200.0, "withdrawal_time": 400.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.print)
+    before = result.rates_at(150.0)
+    during = result.rates_at(350.0)
+    after = result.rates_at(550.0)
+    # paper shape: all 3 Mbps via A, then 1 Mbps (port 80) moves to B,
+    # then the withdrawal pulls everything back to A.
+    assert before["via-A"] == pytest.approx(3.0, abs=0.3) and before["via-B"] == 0.0
+    assert during["via-A"] == pytest.approx(2.0, abs=0.3)
+    assert during["via-B"] == pytest.approx(1.0, abs=0.3)
+    assert after["via-A"] == pytest.approx(3.0, abs=0.3) and after["via-B"] == 0.0
+
+
+def test_figure5b_wide_area_load_balancer(benchmark):
+    result = benchmark.pedantic(
+        figure5.run_5b,
+        kwargs={"duration": 400.0, "policy_time": 200.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.print)
+    before = result.rates_at(150.0)
+    after = result.rates_at(350.0)
+    assert before["instance-1"] == pytest.approx(2.0, abs=0.3)
+    assert before["instance-2"] == 0.0
+    assert after["instance-1"] == pytest.approx(1.0, abs=0.3)
+    assert after["instance-2"] == pytest.approx(1.0, abs=0.3)

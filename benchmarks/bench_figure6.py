@@ -1,0 +1,39 @@
+"""Figure 6 benchmark: prefix groups vs prefixes with SDX policies.
+
+Times the MDS sweep over the synthetic AMS-IX-like census and prints
+the (prefixes, prefix groups) series for each participant count.  The
+paper's qualitative claims — sub-linear growth, group counts far below
+prefix counts, more groups with more participants — are asserted.
+"""
+
+from _report import emit
+
+from repro.experiments import figure6
+
+PARTICIPANTS = (100, 200, 300)
+PREFIX_SWEEP = (1000, 2500, 5000, 10000, 15000)
+
+
+def test_figure6_prefix_groups(benchmark):
+    result = benchmark.pedantic(
+        figure6.run,
+        kwargs={
+            "participants_sweep": PARTICIPANTS,
+            "prefix_sweep": PREFIX_SWEEP,
+            "total_prefixes": 20000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.print)
+    for participants in PARTICIPANTS:
+        points = result.series[participants]
+        # groups stay far below the prefix count...
+        for prefixes, groups in points:
+            assert groups < prefixes / 2
+        # ...and the groups-per-prefix ratio falls as prefixes grow.
+        first_ratio = points[0][1] / points[0][0]
+        last_ratio = points[-1][1] / points[-1][0]
+        assert last_ratio < first_ratio
+    # more participants -> at least as many groups
+    assert result.groups_at(300, 15000) >= result.groups_at(100, 15000)

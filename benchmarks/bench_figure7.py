@@ -1,0 +1,37 @@
+"""Figure 7 benchmark: forwarding rules vs prefix groups.
+
+Runs the full compilation sweep and prints (participants, prefix
+groups, flow rules); asserts the paper's linear-growth shape and the
+participant-count dependence of the slope.
+"""
+
+from _report import emit
+
+from repro.experiments import figure7
+
+PARTICIPANTS = (100, 200)
+POLICY_PREFIXES = (200, 400, 800)
+
+
+def test_figure7_flow_rules(benchmark):
+    result = benchmark.pedantic(
+        figure7.run,
+        kwargs={
+            "participants_sweep": PARTICIPANTS,
+            "policy_prefix_sweep": POLICY_PREFIXES,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.print_figure7)
+    for participants in PARTICIPANTS:
+        points = result.series(participants)
+        rules = [p.flow_rules for p in points]
+        groups = [p.prefix_groups for p in points]
+        assert rules == sorted(rules)
+        assert groups == sorted(groups)
+        # linear shape: rules/group stays within a narrow band
+        per_group = [r / max(g, 1) for r, g in zip(rules, groups)]
+        assert max(per_group) < 3 * min(per_group)
+    # more participants -> more rules at comparable group counts
+    assert result.series(200)[-1].flow_rules > result.series(100)[-1].flow_rules

@@ -1,0 +1,40 @@
+"""Figure 8 benchmark: initial compilation time vs prefix groups.
+
+Runs the compilation sweep and prints (participants, prefix groups,
+compile time, VNH time); asserts that compile time grows with the
+group count — the paper's "roughly quadratic" trend reads as
+super-linear growth at our scaled-down sizes.
+"""
+
+from _report import emit
+
+from repro.experiments import figure8
+
+PARTICIPANTS = (100, 200)
+POLICY_PREFIXES = (200, 400, 800)
+
+
+def test_figure8_compilation_time(benchmark):
+    result = benchmark.pedantic(
+        figure8.run,
+        kwargs={
+            "participants_sweep": PARTICIPANTS,
+            "policy_prefix_sweep": POLICY_PREFIXES,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.print_figure8)
+    for participants in PARTICIPANTS:
+        points = result.series(participants)
+        times = [p.compile_seconds for p in points]
+        groups = [p.prefix_groups for p in points]
+        assert groups == sorted(groups)
+        # compile time grows with groups (allowing small-timer noise at
+        # the first point)
+        assert times[-1] > times[0]
+    # more participants -> slower at comparable group counts
+    assert (
+        result.series(200)[-1].compile_seconds
+        > result.series(100)[0].compile_seconds
+    )

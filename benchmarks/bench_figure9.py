@@ -1,0 +1,39 @@
+"""Figure 9 benchmark: additional forwarding rules after update bursts.
+
+Replays worst-case BGP bursts (every update flips a best path) against
+a compiled SDX and prints the (burst size, additional rules) series;
+asserts the linear growth and participant-dependent slope the paper
+shows.
+"""
+
+from _report import emit
+
+from repro.experiments import figure9
+
+PARTICIPANTS = (50, 100)
+BURSTS = (5, 10, 20, 40)
+
+
+def test_figure9_additional_rules(benchmark):
+    result = benchmark.pedantic(
+        figure9.run,
+        kwargs={
+            "participants_sweep": PARTICIPANTS,
+            "burst_sizes": BURSTS,
+            "prefixes_per_participant": 10,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.print)
+    for participants in PARTICIPANTS:
+        points = result.series[participants]
+        extras = [extra for _, extra in points]
+        assert extras == sorted(extras), "rule inflation must grow with burst size"
+        per_update = [extra / burst for burst, extra in points]
+        assert max(per_update) < 3 * min(per_update), "growth should be linear"
+    # slope grows with participant count
+    small = dict(result.series[PARTICIPANTS[0]])
+    large = dict(result.series[PARTICIPANTS[1]])
+    shared = set(small) & set(large)
+    assert all(large[burst] > small[burst] for burst in shared)

@@ -1,0 +1,106 @@
+"""Micro-benchmarks for the hot kernels under the macro experiments.
+
+Not a paper artifact — these locate where compile time goes (classifier
+composition, MDS, trie lookups, route-server updates) and guard against
+performance regressions in the substrate.
+"""
+
+import random
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate
+from repro.bgp.route_server import RouteServer
+from repro.core.fec import minimum_disjoint_subsets
+from repro.netutils.ip import IPv4Address, IPv4Prefix, PrefixTrie
+from repro.policy import Packet, fwd, match
+
+
+def test_policy_compilation_speed(benchmark):
+    policy = None
+    for port in (80, 443, 8080, 1935, 8443):
+        clause = match(dstport=port) >> fwd(f"P{port}")
+        policy = clause if policy is None else policy + clause
+    result = benchmark(policy.compile)
+    assert len(result) == 5
+
+
+def test_classifier_sequential_composition(benchmark):
+    stage1 = None
+    for port in range(20):
+        clause = match(dstport=port) >> fwd(f"mid{port % 4}")
+        stage1 = clause if stage1 is None else stage1 + clause
+    stage2 = None
+    for index in range(4):
+        clause = match(port=f"mid{index}") >> fwd(f"out{index}")
+        stage2 = clause if stage2 is None else stage2 + clause
+    c1, c2 = stage1.compile(), stage2.compile()
+    result = benchmark(lambda: c1 >> c2)
+    assert len(result) >= 20
+
+
+def test_prefix_trie_longest_match(benchmark):
+    rng = random.Random(3)
+    trie = PrefixTrie()
+    for index in range(10_000):
+        trie[IPv4Prefix((10 << 24) + index * 256, 24)] = index
+    probes = [IPv4Address((10 << 24) + rng.randrange(10_000 * 256)) for _ in range(100)]
+
+    def lookup_all():
+        return [trie.longest_match(address) for address in probes]
+
+    results = benchmark(lookup_all)
+    assert all(result is not None for result in results)
+
+
+def test_route_server_update_throughput(benchmark):
+    server = RouteServer()
+    for index in range(50):
+        server.add_peer(f"AS{index}")
+    updates = []
+    rng = random.Random(5)
+    for index in range(500):
+        peer = f"AS{rng.randrange(50)}"
+        prefix = IPv4Prefix((10 << 24) + index * 256, 24)
+        updates.append(
+            BGPUpdate(
+                peer,
+                announced=[
+                    Announcement(
+                        prefix,
+                        RouteAttributes(as_path=[64512 + index % 100], next_hop="172.0.0.1"),
+                    )
+                ],
+            )
+        )
+
+    def load():
+        fresh = RouteServer()
+        for index in range(50):
+            fresh.add_peer(f"AS{index}")
+        return fresh.load(updates)
+
+    assert benchmark(load) == 500
+
+
+def test_mds_signature_throughput(benchmark):
+    rng = random.Random(7)
+    universe = [IPv4Prefix((10 << 24) + i * 256, 24) for i in range(5000)]
+    sets = [
+        frozenset(rng.sample(universe, rng.randint(100, 1000))) for _ in range(40)
+    ]
+    groups = benchmark(lambda: minimum_disjoint_subsets(sets))
+    assert groups
+
+
+def test_flow_table_matching(benchmark):
+    from repro.dataplane.flowtable import FlowRule, FlowTable
+    from repro.policy.classifier import Action, HeaderMatch
+
+    table = FlowTable()
+    for index in range(500):
+        table.install(
+            FlowRule(index, HeaderMatch(dstport=index), (Action(port="out"),))
+        )
+    packet = Packet(dstport=250)
+    rule = benchmark(lambda: table.lookup(packet))
+    assert rule is not None

@@ -1,0 +1,21 @@
+"""Table 1 benchmark: generate + analyze the three IXP update traces.
+
+Times the trace generation and burst analysis, then prints the Table 1
+rows (peers / prefixes / updates / % prefixes updated) next to the
+paper's published percentages.
+"""
+
+from _report import emit
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(table1.run, kwargs={"scale": 0.5}, rounds=1, iterations=1)
+    emit(result.print)
+    measured = {row[0]: row[4] for row in result.rows}
+    paper = {name: values[3] for name, values in table1.PAPER_ROWS.items()}
+    for name, percent in measured.items():
+        assert abs(percent - paper[name]) < 3.0, (
+            f"{name}: measured {percent:.2f}% vs paper {paper[name]:.2f}%"
+        )

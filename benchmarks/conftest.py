@@ -1,0 +1,12 @@
+"""Benchmark-suite conftest: reporting that survives pytest capture."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import _report
+
+
+def pytest_configure(config):
+    _report._set_capture_manager(config.pluginmanager.getplugin("capturemanager"))

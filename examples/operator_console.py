@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Operator tooling: tracing forwarding decisions and accounting traffic.
+
+Running an exchange means answering two questions all day: *why did
+this packet go there?* and *whose policy is carrying how much traffic?*
+This example drives both tools the controller exposes:
+
+* ``trace_packet`` — the `ovs-appctl ofproto/trace` of the SDX:
+  explains which rule matched, from whose policy, at what priority;
+* ``policy_traffic`` / ``default_traffic`` — per-policy byte/packet
+  accounting from the provenance-segmented flow table.
+
+Run with::
+
+    python examples/operator_console.py
+"""
+
+from repro import IXPConfig, RouteAttributes
+from repro.ixp.deployment import EmulatedIXP
+from repro.netutils.ip import IPv4Prefix
+from repro.policy import Packet, fwd, match
+
+
+def build() -> EmulatedIXP:
+    config = IXPConfig(vnh_pool="172.16.0.0/16")
+    config.add_participant("A", 65001, [("A1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant("B", 65002, [("B1", "172.0.0.11", "08:00:27:00:00:11")])
+    config.add_participant("C", 65003, [("C1", "172.0.0.21", "08:00:27:00:00:21")])
+    ixp = EmulatedIXP(config)
+    controller = ixp.controller
+    controller.announce(
+        "B", "10.1.0.0/16", RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
+    )
+    controller.announce(
+        "C", "10.1.0.0/16", RouteAttributes(as_path=[65100], next_hop="172.0.0.21")
+    )
+    ixp.add_host("client", "A", "50.0.0.1")
+    controller.register_participant("A").set_policies(
+        outbound=match(dstport=80) >> fwd("B")
+    )
+    return ixp
+
+
+def tagged_probe(controller, dstport: int) -> Packet:
+    (announcement,) = [
+        a
+        for a in controller.advertisements("A")
+        if a.prefix == IPv4Prefix("10.1.0.0/16")
+    ]
+    vmac = controller.arp.resolve(announcement.attributes.next_hop)
+    return Packet(dstip="10.1.2.3", dstport=dstport, srcip="50.0.0.1", srcport=7, dstmac=vmac)
+
+
+def main() -> None:
+    ixp = build()
+    controller = ixp.controller
+
+    print("== why did this packet go there? ==")
+    for dstport in (80, 22):
+        trace = controller.trace_packet(tagged_probe(controller, dstport), "A1")
+        print(f"  dstport={dstport:3d}: {trace!r}")
+
+    print("\n== who is carrying how much? ==")
+    for _ in range(5):
+        ixp.send("client", dstip="10.1.2.3", dstport=80, srcport=7)
+    for _ in range(2):
+        ixp.send("client", dstip="10.1.2.3", dstport=22, srcport=7)
+    packets, _ = controller.policy_traffic("A")
+    default_packets, _ = controller.default_traffic()
+    print(f"  A's policy steered : {packets} packet(s)")
+    print(f"  default BGP carried: {default_packets} packet(s)")
+
+    print("\n== and after a route change? ==")
+    controller.withdraw("B", "10.1.0.0/16")
+    trace = controller.trace_packet(tagged_probe(controller, 80), "A1")
+    print(f"  dstport= 80: {trace!r}   (fast-path override, B withdrew)")
+
+
+if __name__ == "__main__":
+    main()

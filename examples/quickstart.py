@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Quickstart: application-specific peering at an SDX in ~60 lines.
+
+Recreates the paper's Figure 1 scenario: AS A sends its HTTP traffic
+via AS B and its HTTPS traffic via AS C while everything else follows
+the BGP best route, and AS B splits its inbound traffic across two
+ports by source address.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import IXPConfig, RouteAttributes, SDXController
+from repro.netutils.ip import IPv4Prefix
+from repro.policy import Packet, fwd, match
+
+
+def build_exchange() -> SDXController:
+    config = IXPConfig(vnh_pool="172.16.0.0/16")
+    config.add_participant("A", 65001, [("A1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant(
+        "B",
+        65002,
+        [("B1", "172.0.0.11", "08:00:27:00:00:11"), ("B2", "172.0.0.12", "08:00:27:00:00:12")],
+    )
+    config.add_participant("C", 65003, [("C1", "172.0.0.21", "08:00:27:00:00:21")])
+    return SDXController(config)
+
+
+def announce_routes(controller: SDXController) -> None:
+    """B and C both announce 10.1.0.0/16; C's path is shorter (BGP best)."""
+
+    def attrs(asns, next_hop):
+        return RouteAttributes(as_path=asns, next_hop=next_hop)
+
+    controller.announce("B", "10.1.0.0/16", attrs([65002, 65100], "172.0.0.11"))
+    controller.announce("C", "10.1.0.0/16", attrs([65100], "172.0.0.21"))
+
+
+def install_policies(controller: SDXController) -> None:
+    a = controller.register_participant("A")
+    b = controller.register_participant("B")
+    # outbound: deflect by application (Section 3.1's first example)
+    a.set_policies(
+        outbound=(match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C")),
+        recompile=False,
+    )
+    # inbound: traffic engineering across B's two ports
+    b.set_policies(
+        inbound=(match(srcip="0.0.0.0/1") >> fwd("B1"))
+        + (match(srcip="128.0.0.0/1") >> fwd("B2")),
+        recompile=False,
+    )
+    controller.compile()
+
+
+def send_as_router_would(controller: SDXController, dstport: int, srcip: str):
+    """Tag a packet the way A's unmodified border router would: look up the
+    advertised route, ARP the next hop, stamp the resolved MAC."""
+    (announcement,) = [
+        ann
+        for ann in controller.advertisements("A")
+        if ann.prefix == IPv4Prefix("10.1.0.0/16")
+    ]
+    vmac = controller.arp.resolve(announcement.attributes.next_hop)
+    packet = Packet(
+        dstip="10.1.2.3", dstport=dstport, srcip=srcip, srcport=4321, dstmac=vmac, port="A1"
+    )
+    return controller.switch.receive(packet, "A1")
+
+
+def main() -> None:
+    controller = build_exchange()
+    announce_routes(controller)
+    install_policies(controller)
+
+    stats = controller.last_compilation.stats
+    print(f"compiled {stats.rules} flow rules, {stats.fec_groups} prefix group(s)\n")
+
+    for label, dstport, srcip in (
+        ("HTTP  from 50.0.0.1 ", 80, "50.0.0.1"),
+        ("HTTP  from 200.0.0.1", 80, "200.0.0.1"),
+        ("HTTPS from 50.0.0.1 ", 443, "50.0.0.1"),
+        ("SSH   from 50.0.0.1 ", 22, "50.0.0.1"),
+    ):
+        outputs = send_as_router_would(controller, dstport, srcip)
+        ports = ", ".join(port for port, _ in outputs) or "dropped"
+        print(f"{label} -> egress {ports}")
+
+    print(
+        "\nHTTP rides B (inbound TE picks B1/B2 by source), HTTPS rides C,\n"
+        "and everything else follows the BGP best route (C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Service chaining through middleboxes (the paper's Section 8 vision).
+
+An ISP routes suspicious traffic through a firewall *and then* a DPI
+appliance before it continues to its destination — a sequence BGP
+hijack tricks cannot express, and that the SDX compiles into plain flow
+rules: the frames keep their forwarding tag across every middlebox hop,
+so after the last hop they resume their normal BGP path automatically.
+
+Run with::
+
+    python examples/service_chaining.py
+"""
+
+from repro import IXPConfig, RouteAttributes
+from repro.core.chaining import ServiceChain
+from repro.ixp.deployment import EmulatedIXP
+from repro.policy import fwd, match
+
+
+def build_deployment() -> EmulatedIXP:
+    config = IXPConfig(vnh_pool="172.16.0.0/16")
+    config.add_participant("ISP", 65001, [("ISP1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant("T", 65002, [("T1", "172.0.0.11", "08:00:27:00:00:11")])
+    config.add_participant(
+        "SEC",
+        65005,
+        [
+            ("FW1", "172.0.0.51", "08:00:27:00:00:51"),
+            ("DPI1", "172.0.0.52", "08:00:27:00:00:52"),
+        ],
+    )
+    ixp = EmulatedIXP(config, appliance_ports=["FW1", "DPI1"])
+    ixp.controller.announce(
+        "T", "198.51.0.0/16", RouteAttributes(as_path=[65002, 64999], next_hop="172.0.0.11")
+    )
+    ixp.add_host("subscriber", "ISP", "100.64.0.50")
+    ixp.add_chain_middlebox("firewall", "FW1")
+    ixp.add_chain_middlebox("dpi", "DPI1")
+    return ixp
+
+
+def main() -> None:
+    ixp = build_deployment()
+    controller = ixp.controller
+
+    chain = ServiceChain("scrub", hops=["FW1", "DPI1"])
+    controller.define_chain(chain)
+    isp = controller.register_participant("ISP")
+    isp.set_policies(outbound=match(dstport=80) >> fwd(chain))
+
+    # Make the firewall drop one specific source port, pass the rest.
+    ixp.middleboxes["firewall"].transform = (
+        lambda packet: None if packet.get("srcport") == 6667 else packet
+    )
+
+    print("sending three flows from the subscriber:\n")
+    for label, dstport, srcport in (
+        ("web flow        (chained)", 80, 40001),
+        ("blocked web flow (chained, firewalled)", 80, 6667),
+        ("dns flow        (not chained)", 53, 40002),
+    ):
+        ixp.send("subscriber", dstip="198.51.7.7", dstport=dstport, srcport=srcport)
+        print(f"  sent {label}")
+
+    print("\nobservations:")
+    print(f"  firewall saw : {len(ixp.middleboxes['firewall'].seen)} packet(s)")
+    print(f"  firewall drop: {ixp.middleboxes['firewall'].dropped} packet(s)")
+    print(f"  dpi saw      : {len(ixp.middleboxes['dpi'].seen)} packet(s)")
+    print(f"  delivered via T upstream: {ixp.carried_upstream_by('T')} packet(s)")
+    print(
+        "\nOnly web traffic took the firewall->dpi detour; the blocked flow\n"
+        "died at the firewall; everything that survived resumed its normal\n"
+        "BGP path without any policy saying so explicitly — the preserved\n"
+        "MAC tag carries the routing decision through the chain."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs in offline environments.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so PEP 660 editable installs are unavailable;
+``pip install -e . --no-build-isolation`` falls back to this file.
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — a full reproduction of "SDX: A Software Defined Internet Exchange"
+(Gupta et al., SIGCOMM 2014) as a self-contained Python library.
+
+The package is layered exactly like the paper's system:
+
+* :mod:`repro.policy` — the Pyretic-style policy language participants
+  write (predicates, actions, ``>>``/``+`` composition, classifier
+  compilation);
+* :mod:`repro.bgp` — the route-server substrate (attributes, RIBs,
+  decision process, update-stream analysis);
+* :mod:`repro.dataplane` — flow tables, SDN/learning switches, border
+  routers, ARP, and an emulated exchange fabric;
+* :mod:`repro.core` — the SDX itself: virtual-switch abstraction,
+  the four-stage policy compiler with VNH/VMAC state reduction, and
+  the two-stage incremental update path;
+* :mod:`repro.workloads` — synthetic IXP topologies, policy mixes, and
+  BGP update traces with the paper's measured characteristics;
+* :mod:`repro.experiments` — one runner per table/figure of the
+  paper's evaluation (see EXPERIMENTS.md).
+
+Thirty-second tour::
+
+    from repro import IXPConfig, SDXController, match, fwd
+
+    config = IXPConfig()
+    config.add_participant("A", 65001, [("A1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant("B", 65002, [("B1", "172.0.0.11", "08:00:27:00:00:11")])
+
+    controller = SDXController(config)
+    a = controller.register_participant("A")
+    a.set_policies(outbound=match(dstport=80) >> fwd("B"))
+"""
+
+from repro.bgp import (
+    ASPath,
+    Announcement,
+    BGPUpdate,
+    Route,
+    RouteAttributes,
+    RouteServer,
+    Withdrawal,
+)
+from repro.core import (
+    CompilationOptions,
+    SDXController,
+    SDXPolicySet,
+)
+from repro.ixp import IXPConfig
+from repro.netutils import IPv4Address, IPv4Prefix, MACAddress, ip, mac, prefix
+from repro.policy import (
+    Packet,
+    drop,
+    fwd,
+    identity,
+    if_,
+    match,
+    modify,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASPath",
+    "Announcement",
+    "BGPUpdate",
+    "CompilationOptions",
+    "IPv4Address",
+    "IPv4Prefix",
+    "IXPConfig",
+    "MACAddress",
+    "Packet",
+    "Route",
+    "RouteAttributes",
+    "RouteServer",
+    "SDXController",
+    "SDXPolicySet",
+    "Withdrawal",
+    "__version__",
+    "drop",
+    "fwd",
+    "identity",
+    "if_",
+    "ip",
+    "mac",
+    "match",
+    "modify",
+    "prefix",
+]

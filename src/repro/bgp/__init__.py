@@ -1,0 +1,61 @@
+"""BGP substrate: attributes, messages, RIBs, decision process, route server.
+
+This package is the reproduction's stand-in for the ExaBGP-based route
+server of the paper's implementation (Section 5.1): participants open
+sessions, exchange announcements/withdrawals, and the server computes a
+best path per (participant, prefix), notifying subscribers — the SDX
+controller — whenever a best path changes.
+"""
+
+from repro.bgp.attributes import ASPath, Community, Origin, RouteAttributes, community
+from repro.bgp.decision import best_path, rank_routes
+from repro.bgp.export_policy import NO_EXPORT, export_scope_from_communities
+from repro.bgp.messages import Announcement, BGPUpdate, Route, Withdrawal
+from repro.bgp.rib import AdjRIBIn, LocRIB, RIBTable
+from repro.bgp.route_server import BestPathChange, ParticipantView, RouteServer
+from repro.bgp.session import BGPSession, SessionState
+from repro.bgp.updates import Burst, TraceStats, detect_bursts, trace_stats
+from repro.bgp.wire import (
+    MessageType,
+    WireError,
+    decode_message,
+    encode_keepalive,
+    encode_notification,
+    encode_open,
+    encode_update,
+)
+
+__all__ = [
+    "ASPath",
+    "AdjRIBIn",
+    "Announcement",
+    "BGPSession",
+    "BGPUpdate",
+    "BestPathChange",
+    "Burst",
+    "Community",
+    "LocRIB",
+    "MessageType",
+    "NO_EXPORT",
+    "Origin",
+    "ParticipantView",
+    "RIBTable",
+    "Route",
+    "RouteAttributes",
+    "RouteServer",
+    "SessionState",
+    "TraceStats",
+    "WireError",
+    "Withdrawal",
+    "best_path",
+    "community",
+    "decode_message",
+    "detect_bursts",
+    "encode_keepalive",
+    "encode_notification",
+    "encode_open",
+    "encode_update",
+    "export_scope_from_communities",
+    "rank_routes",
+    "trace_stats",
+]

@@ -1,0 +1,83 @@
+"""The BGP decision process.
+
+The route server runs this per participant to pick one best route per
+prefix (Section 3.2).  The ranking is the standard one:
+
+1. highest LOCAL_PREF;
+2. shortest AS_PATH;
+3. lowest ORIGIN (IGP < EGP < INCOMPLETE);
+4. lowest MED, compared only between routes from the same neighbor AS
+   (unless ``always_compare_med``);
+5. lowest next-hop IP (deterministic router-id-style tie-break);
+6. lexicographically smallest peer name (final tie-break, keeps the
+   process a total order so recompilation is reproducible).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.bgp.messages import Route
+
+__all__ = ["best_path", "rank_routes"]
+
+
+def _comparison_key(route: Route) -> Tuple:
+    attrs = route.attributes
+    return (
+        -attrs.local_pref,
+        len(attrs.as_path),
+        int(attrs.origin),
+        int(attrs.next_hop),
+        route.learned_from,
+        # Final tiebreaks making the order total even for inputs a real
+        # Adj-RIB-In cannot produce (two routes from one peer): the
+        # ranking must be a pure function of the route set.
+        attrs.med,
+        attrs.as_path.asns,
+    )
+
+
+def _med_beats(candidate: Route, incumbent: Route, always_compare_med: bool) -> Optional[bool]:
+    """MED comparison; ``None`` when MED does not apply to this pair."""
+    cand_as = candidate.attributes.as_path.first_as
+    incu_as = incumbent.attributes.as_path.first_as
+    if not always_compare_med and (cand_as is None or cand_as != incu_as):
+        return None
+    if candidate.attributes.med == incumbent.attributes.med:
+        return None
+    return candidate.attributes.med < incumbent.attributes.med
+
+
+def rank_routes(
+    routes: Iterable[Route], always_compare_med: bool = False
+) -> List[Route]:
+    """All candidate routes ordered best-first.
+
+    MED is folded in as a refinement pass: after the primary sort, any
+    adjacent pair that ties through origin and shares a neighbor AS is
+    reordered by MED.  (With ``always_compare_med`` the MED applies to
+    every such tie.)
+    """
+    ordered = sorted(routes, key=_comparison_key)
+    # Refine adjacent ties by MED (stable bubble pass; candidate lists are short).
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(ordered) - 1):
+            left, right = ordered[i], ordered[i + 1]
+            if _comparison_key(left)[:3] != _comparison_key(right)[:3]:
+                continue
+            beats = _med_beats(right, left, always_compare_med)
+            if beats:
+                ordered[i], ordered[i + 1] = right, left
+                changed = True
+    return ordered
+
+
+def best_path(
+    routes: Sequence[Route], always_compare_med: bool = False
+) -> Optional[Route]:
+    """The single best route among ``routes``, or ``None`` when empty."""
+    ranked = rank_routes(routes, always_compare_med=always_compare_med)
+    return ranked[0] if ranked else None

@@ -1,0 +1,75 @@
+"""Community-driven export control, the way production route servers do it.
+
+The paper's examples rely on selective export ("AS B does not export a
+BGP route for destination prefix p4 to AS A").  Our
+:class:`~repro.bgp.messages.Announcement` carries an explicit
+``export_to`` scope; at real IXPs the same intent is expressed with
+well-known BGP communities attached to the announcement:
+
+* ``(0, peer-asn)``        — do **not** export to that peer;
+* ``(rs-asn, peer-asn)``   — export **only** to peers tagged this way;
+* ``(0, 0)``               — export to nobody;
+* ``(65535, 65281)``       — NO_EXPORT, treated like ``(0, 0)`` here.
+
+:func:`export_scope_from_communities` translates a community set into
+an ``export_to`` scope given the peer directory, and the route server
+applies it automatically when configured with its own AS number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.bgp.attributes import Community
+
+__all__ = ["NO_EXPORT", "export_scope_from_communities"]
+
+#: The RFC 1997 NO_EXPORT well-known community.
+NO_EXPORT = Community(65535, 65281)
+
+
+def export_scope_from_communities(
+    communities: Iterable[Community],
+    peers: Iterable[str],
+    peer_asns: Dict[str, int],
+    route_server_asn: int,
+) -> Optional[FrozenSet[str]]:
+    """Translate announcement communities into an export scope.
+
+    Returns ``None`` for "export to everyone" (no control communities
+    present), otherwise the frozen set of peer names the announcement
+    may reach.  Precedence follows common route-server practice:
+    block-all first, then the allow-list, then per-peer blocks.
+    """
+    communities = set(communities)
+    peers = list(peers)
+    asn_to_peer: Dict[int, str] = {}
+    for peer in peers:
+        asn = peer_asns.get(peer)
+        if asn is not None:
+            asn_to_peer[asn] = peer
+
+    if NO_EXPORT in communities or Community(0, 0) in communities:
+        return frozenset()
+
+    allowed: Optional[set] = None
+    for community in communities:
+        if community.asn == route_server_asn:
+            peer = asn_to_peer.get(community.value)
+            if allowed is None:
+                allowed = set()
+            if peer is not None:
+                allowed.add(peer)
+    scope = set(peers) if allowed is None else allowed
+
+    blocked_any = False
+    for community in communities:
+        if community.asn == 0 and community.value != 0:
+            peer = asn_to_peer.get(community.value)
+            if peer is not None:
+                scope.discard(peer)
+                blocked_any = True
+
+    if allowed is None and not blocked_any:
+        return None
+    return frozenset(scope)

@@ -1,0 +1,197 @@
+"""Routing information bases.
+
+Three RIB flavors mirror a route-server deployment:
+
+* :class:`AdjRIBIn` — routes received from one peer, pre-policy;
+* :class:`LocRIB` — the per-participant view after best-path selection
+  (one best route per prefix, plus the full candidate set, which SDX
+  needs because participants may forward along *any* feasible route,
+  not just the best one — Section 3.2);
+* :class:`RIBTable` — a queryable façade supporting the attribute
+  filters SDX policies use (``rib.filter("as_path", ".*43515$")``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Route
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+
+__all__ = ["AdjRIBIn", "LocRIB", "RIBTable"]
+
+
+class AdjRIBIn:
+    """Routes learned from a single peer, keyed by prefix."""
+
+    def __init__(self, peer: str) -> None:
+        self.peer = peer
+        self._routes: Dict[IPv4Prefix, Route] = {}
+
+    def insert(self, route: Route) -> Optional[Route]:
+        """Store a route; returns the route it replaced, if any."""
+        previous = self._routes.get(route.prefix)
+        self._routes[route.prefix] = route
+        return previous
+
+    def remove(self, prefix: IPv4Prefix) -> Optional[Route]:
+        """Drop the route for ``prefix``; returns it if present."""
+        return self._routes.pop(prefix, None)
+
+    def lookup(self, prefix: IPv4Prefix) -> Optional[Route]:
+        return self._routes.get(prefix)
+
+    def clear(self) -> List[Route]:
+        """Remove everything (session teardown); returns the old routes."""
+        routes = list(self._routes.values())
+        self._routes.clear()
+        return routes
+
+    def prefixes(self) -> FrozenSet[IPv4Prefix]:
+        return frozenset(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(self._routes.values())
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return prefix in self._routes
+
+    def __repr__(self) -> str:
+        return f"AdjRIBIn(peer={self.peer!r}, routes={len(self._routes)})"
+
+
+class LocRIB:
+    """One participant's post-decision view: best route per prefix.
+
+    Also remembers every *candidate* route exported to the participant,
+    because the SDX lets a participant deflect traffic to any neighbor
+    that advertised the prefix to it, not only the BGP-best one.
+    """
+
+    def __init__(self, participant: str) -> None:
+        self.participant = participant
+        self._best: Dict[IPv4Prefix, Route] = {}
+        self._candidates: Dict[IPv4Prefix, Tuple[Route, ...]] = {}
+
+    def set_prefix(
+        self, prefix: IPv4Prefix, best: Optional[Route], candidates: Tuple[Route, ...]
+    ) -> bool:
+        """Install the decision outcome for one prefix.
+
+        Returns True when the *best route* changed (the event that
+        triggers SDX recompilation and outbound re-advertisement).
+        """
+        changed = self._best.get(prefix) != best
+        if best is None:
+            self._best.pop(prefix, None)
+            self._candidates.pop(prefix, None)
+        else:
+            self._best[prefix] = best
+            self._candidates[prefix] = candidates
+        return changed
+
+    def best(self, prefix: IPv4Prefix) -> Optional[Route]:
+        """The BGP-best route for ``prefix``, if any."""
+        return self._best.get(prefix)
+
+    def candidates(self, prefix: IPv4Prefix) -> Tuple[Route, ...]:
+        """Every route exported to this participant for ``prefix``."""
+        return self._candidates.get(prefix, ())
+
+    def feasible_next_hops(self, prefix: IPv4Prefix) -> FrozenSet[str]:
+        """Peers this participant may legitimately send ``prefix`` traffic to."""
+        return frozenset(route.learned_from for route in self.candidates(prefix))
+
+    def prefixes(self) -> FrozenSet[IPv4Prefix]:
+        return frozenset(self._best)
+
+    def prefixes_via(self, peer: str) -> FrozenSet[IPv4Prefix]:
+        """Prefixes for which ``peer`` exported a route to this participant."""
+        return frozenset(
+            prefix
+            for prefix, candidates in self._candidates.items()
+            if any(route.learned_from == peer for route in candidates)
+        )
+
+    def items(self) -> Iterator[Tuple[IPv4Prefix, Route]]:
+        return iter(self._best.items())
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return prefix in self._best
+
+    def __repr__(self) -> str:
+        return f"LocRIB(participant={self.participant!r}, prefixes={len(self._best)})"
+
+
+class RIBTable:
+    """Queryable route collection backing policy-level RIB filters.
+
+    SDX policies can group traffic by BGP attributes instead of raw
+    prefixes (Section 3.2)::
+
+        youtube = rib.filter("as_path", r".*43515$")
+        policy = match(srcip=set(youtube)) >> fwd("E1")
+    """
+
+    def __init__(self, routes: Optional[Iterator[Route]] = None) -> None:
+        self._routes: List[Route] = list(routes) if routes else []
+
+    def add(self, route: Route) -> None:
+        self._routes.append(route)
+
+    def filter(self, attribute: str, pattern: "str | re.Pattern[str]") -> List[IPv4Prefix]:
+        """Prefixes whose route attribute matches a regex.
+
+        ``attribute`` is one of ``as_path``, ``communities``,
+        ``next_hop``, or ``origin``; matching is a regex search over the
+        attribute's canonical string form.
+        """
+        if isinstance(pattern, str):
+            pattern = re.compile(pattern)
+        selector = self._attribute_text(attribute)
+        seen: Dict[IPv4Prefix, None] = {}
+        for route in self._routes:
+            if pattern.search(selector(route.attributes)) is not None:
+                seen.setdefault(route.prefix)
+        return list(seen)
+
+    def filter_by(self, predicate: Callable[[Route], bool]) -> List[IPv4Prefix]:
+        """Prefixes whose route satisfies an arbitrary predicate."""
+        seen: Dict[IPv4Prefix, None] = {}
+        for route in self._routes:
+            if predicate(route):
+                seen.setdefault(route.prefix)
+        return list(seen)
+
+    def originated_by(self, asn: int) -> List[IPv4Prefix]:
+        """Prefixes originated by AS ``asn`` (last AS-path element)."""
+        return self.filter_by(lambda route: route.attributes.as_path.origin_as == asn)
+
+    @staticmethod
+    def _attribute_text(attribute: str) -> Callable[[RouteAttributes], str]:
+        if attribute == "as_path":
+            return lambda attrs: str(attrs.as_path)
+        if attribute == "communities":
+            return lambda attrs: " ".join(sorted(str(c) for c in attrs.communities))
+        if attribute == "next_hop":
+            return lambda attrs: str(attrs.next_hop)
+        if attribute == "origin":
+            return lambda attrs: attrs.origin.name
+        raise ValueError(f"unsupported RIB filter attribute: {attribute!r}")
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(self._routes)
+
+    def __repr__(self) -> str:
+        return f"RIBTable(routes={len(self._routes)})"

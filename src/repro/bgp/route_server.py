@@ -1,0 +1,370 @@
+"""The SDX route server (the ExaBGP-based pipeline of Figure 3).
+
+Like a conventional IXP route server, it keeps an Adj-RIB-In per peer,
+runs the BGP decision process *on behalf of each participant*, and
+re-advertises each participant's best route.  Two SDX-specific twists:
+
+* it tracks the full candidate set per (participant, prefix), because
+  the SDX lets participants forward to any neighbor that exported the
+  prefix to them, not only the best-path neighbor (Section 3.2);
+* it reports best-path changes to subscribers (the SDX controller),
+  which recompiles policies and rewrites outbound next-hops to virtual
+  next-hops before the announcements leave the exchange.
+
+Scaling design.  With hundreds of participants and tens of thousands of
+prefixes, materializing a per-participant Loc-RIB (participants ×
+prefixes entries) is prohibitive.  Instead the server keeps one
+globally *ranked* candidate list per prefix; any participant's best
+route is then "the first ranked route not learned from me and exported
+to me".  :class:`ParticipantView` exposes the per-participant Loc-RIB
+interface on top of that shared index.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.bgp.decision import rank_routes
+from repro.bgp.messages import Announcement, BGPUpdate, Route, Withdrawal
+from repro.bgp.rib import AdjRIBIn, RIBTable
+from repro.bgp.session import BGPSession, SessionState
+from repro.netutils.ip import IPv4Prefix
+
+__all__ = ["BestPathChange", "ParticipantView", "RouteServer"]
+
+
+class BestPathChange(NamedTuple):
+    """One participant's best route for one prefix changed."""
+
+    participant: str
+    prefix: IPv4Prefix
+    old: Optional[Route]
+    new: Optional[Route]
+
+
+def _best_from_ranked(ranked: Tuple[Route, ...], participant: str) -> Optional[Route]:
+    """First ranked route the participant may use (the decision outcome)."""
+    for route in ranked:
+        if route.learned_from != participant and route.exported_to(participant):
+            return route
+    return None
+
+
+class ParticipantView:
+    """One participant's Loc-RIB, derived lazily from the global ranking."""
+
+    def __init__(self, server: "RouteServer", participant: str) -> None:
+        self._server = server
+        self.participant = participant
+
+    def best(self, prefix: IPv4Prefix) -> Optional[Route]:
+        """The BGP-best route for ``prefix``, if any."""
+        return _best_from_ranked(self._server.ranked_routes(prefix), self.participant)
+
+    def candidates(self, prefix: IPv4Prefix) -> Tuple[Route, ...]:
+        """Every route exported to this participant for ``prefix``, ranked."""
+        return tuple(
+            route
+            for route in self._server.ranked_routes(prefix)
+            if route.learned_from != self.participant
+            and route.exported_to(self.participant)
+        )
+
+    def feasible_next_hops(self, prefix: IPv4Prefix) -> FrozenSet[str]:
+        """Peers this participant may legitimately send ``prefix`` traffic to."""
+        return frozenset(route.learned_from for route in self.candidates(prefix))
+
+    def prefixes(self) -> FrozenSet[IPv4Prefix]:
+        """Prefixes for which this participant has at least one usable route."""
+        return frozenset(prefix for prefix, _ in self.items())
+
+    def prefixes_via(self, peer: str) -> FrozenSet[IPv4Prefix]:
+        """Prefixes for which ``peer`` exported a route to this participant.
+
+        This backs the Section 4.1 BGP-consistency transformation: it is
+        the reachability filter inserted before every ``fwd(peer)``.
+        """
+        if peer == self.participant:
+            return frozenset()
+        out: Set[IPv4Prefix] = set()
+        for prefix in self._server.prefixes_from(peer):
+            route = self._server.route_from(peer, prefix)
+            if route is not None and route.exported_to(self.participant):
+                out.add(prefix)
+        return frozenset(out)
+
+    def items(self) -> Iterator[Tuple[IPv4Prefix, Route]]:
+        """Iterate (prefix, best route) pairs for this participant."""
+        for prefix in self._server.all_prefixes():
+            best = self.best(prefix)
+            if best is not None:
+                yield prefix, best
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return self.best(prefix) is not None
+
+    def __repr__(self) -> str:
+        return f"ParticipantView(participant={self.participant!r})"
+
+
+class RouteServer:
+    """Multilateral route server with a shared, ranked candidate index.
+
+    When constructed with its own ``asn``, the server additionally
+    honours the community-based export-control conventions of
+    :mod:`repro.bgp.export_policy` for announcements that do not carry
+    an explicit ``export_to`` scope.
+    """
+
+    def __init__(
+        self, always_compare_med: bool = False, asn: Optional[int] = None
+    ) -> None:
+        self._adj_rib_in: Dict[str, AdjRIBIn] = {}
+        self._sessions: Dict[str, BGPSession] = {}
+        self._views: Dict[str, ParticipantView] = {}
+        self._routes_by_prefix: Dict[IPv4Prefix, Dict[str, Route]] = {}
+        self._ranked_cache: Dict[IPv4Prefix, Tuple[Route, ...]] = {}
+        self._subscribers: List[Callable[[List[BestPathChange]], None]] = []
+        self._always_compare_med = always_compare_med
+        self.asn = asn
+        self._peer_asns: Dict[str, int] = {}
+
+    # -- peers ----------------------------------------------------------
+
+    def add_peer(
+        self, peer: str, establish: bool = True, asn: Optional[int] = None
+    ) -> BGPSession:
+        """Register a peer; returns its session object.
+
+        ``asn`` enables community-based export control addressed to
+        this peer (``(0, asn)`` / ``(rs-asn, asn)``).
+        """
+        if peer in self._sessions:
+            raise ValueError(f"peer {peer!r} already registered")
+        session = BGPSession(peer)
+        session.on_state_change(self._session_changed)
+        self._sessions[peer] = session
+        self._adj_rib_in[peer] = AdjRIBIn(peer)
+        self._views[peer] = ParticipantView(self, peer)
+        if asn is not None:
+            self._peer_asns[peer] = asn
+        if establish:
+            session.establish()
+        return session
+
+    def session(self, peer: str) -> BGPSession:
+        return self._sessions[peer]
+
+    def peers(self) -> FrozenSet[str]:
+        return frozenset(self._sessions)
+
+    def _session_changed(self, session: BGPSession, state: SessionState) -> None:
+        if state is SessionState.IDLE:
+            # Session down: every route learned from this peer is invalid.
+            dropped = self._adj_rib_in[session.peer].clear()
+            if dropped:
+                touched = set()
+                for route in dropped:
+                    self._unindex(session.peer, route.prefix)
+                    touched.add(route.prefix)
+                self._notify(touched)
+
+    # -- the shared candidate index -----------------------------------------
+
+    def _index(self, route: Route) -> None:
+        self._routes_by_prefix.setdefault(route.prefix, {})[route.learned_from] = route
+        self._ranked_cache.pop(route.prefix, None)
+
+    def _unindex(self, peer: str, prefix: IPv4Prefix) -> None:
+        per_prefix = self._routes_by_prefix.get(prefix)
+        if per_prefix is not None:
+            per_prefix.pop(peer, None)
+            if not per_prefix:
+                del self._routes_by_prefix[prefix]
+        self._ranked_cache.pop(prefix, None)
+
+    def ranked_routes(self, prefix: "IPv4Prefix | str") -> Tuple[Route, ...]:
+        """Every peer's route for ``prefix``, globally ranked best-first.
+
+        This is also the SDX compiler's BGP *fingerprint* source: two
+        prefixes with identical ranked (peer, next-hop, export-scope)
+        lists are forwarded identically by every participant.
+        """
+        prefix = IPv4Prefix(prefix)
+        cached = self._ranked_cache.get(prefix)
+        if cached is None:
+            routes = self._routes_by_prefix.get(prefix, {})
+            cached = tuple(rank_routes(routes.values(), self._always_compare_med))
+            self._ranked_cache[prefix] = cached
+        return cached
+
+    def route_from(self, peer: str, prefix: IPv4Prefix) -> Optional[Route]:
+        """The route ``peer`` announced for ``prefix``, if any."""
+        return self._routes_by_prefix.get(prefix, {}).get(peer)
+
+    def prefixes_from(self, peer: str) -> FrozenSet[IPv4Prefix]:
+        """Every prefix ``peer`` currently announces."""
+        rib_in = self._adj_rib_in.get(peer)
+        return rib_in.prefixes() if rib_in is not None else frozenset()
+
+    # -- update processing -----------------------------------------------
+
+    def process_update(self, update: BGPUpdate) -> List[BestPathChange]:
+        """Apply one UPDATE and report resulting best-path changes."""
+        touched = self._apply(update)
+        return self._notify(touched)
+
+    def load(self, updates: Iterable[BGPUpdate]) -> int:
+        """Bulk-load updates without change tracking (initial table fill).
+
+        Returns the number of updates applied.  Intended for workload
+        setup: loading a full routing table through
+        :meth:`process_update` would compute per-participant diffs for
+        every prefix, which no consumer needs before the first
+        compilation.
+        """
+        count = 0
+        for update in updates:
+            self._apply(update)
+            count += 1
+        return count
+
+    def _apply(self, update: BGPUpdate) -> Set[IPv4Prefix]:
+        peer = update.peer
+        if peer not in self._sessions:
+            raise KeyError(f"unknown peer {peer!r}")
+        if not self._sessions[peer].is_established:
+            raise RuntimeError(f"peer {peer!r} session is not established")
+        rib_in = self._adj_rib_in[peer]
+        touched: Set[IPv4Prefix] = set()
+        for withdrawal in update.withdrawn:
+            if rib_in.remove(withdrawal.prefix) is not None:
+                self._unindex(peer, withdrawal.prefix)
+                touched.add(withdrawal.prefix)
+        for announcement in update.announced:
+            export_to = announcement.export_to
+            if export_to is None and self.asn is not None:
+                from repro.bgp.export_policy import export_scope_from_communities
+
+                export_to = export_scope_from_communities(
+                    announcement.attributes.communities,
+                    self._sessions,
+                    self._peer_asns,
+                    self.asn,
+                )
+            route = Route(
+                announcement.prefix,
+                announcement.attributes,
+                learned_from=peer,
+                export_to=export_to,
+            )
+            previous = rib_in.insert(route)
+            if previous != route:
+                self._index(route)
+                touched.add(announcement.prefix)
+        return touched
+
+    def announce(
+        self,
+        peer: str,
+        prefix: "IPv4Prefix | str",
+        attributes,
+        export_to: Optional[Iterable[str]] = None,
+        time: float = 0.0,
+    ) -> List[BestPathChange]:
+        """Convenience wrapper: announce one prefix from ``peer``."""
+        update = BGPUpdate(
+            peer,
+            announced=[Announcement(prefix, attributes, export_to=export_to)],
+            time=time,
+        )
+        return self.process_update(update)
+
+    def withdraw(
+        self, peer: str, prefix: "IPv4Prefix | str", time: float = 0.0
+    ) -> List[BestPathChange]:
+        """Convenience wrapper: withdraw one prefix from ``peer``."""
+        update = BGPUpdate(peer, withdrawn=[Withdrawal(prefix)], time=time)
+        return self.process_update(update)
+
+    def _notify(self, touched: Set[IPv4Prefix]) -> List[BestPathChange]:
+        """Report per-participant best paths for every touched prefix.
+
+        Conservative: an event is emitted for each (participant, touched
+        prefix) pair without diffing against the pre-change state — the
+        SDX fast path treats every update as requiring a fresh VNH
+        anyway (Section 4.3.2), so finer change tracking would buy
+        nothing.  ``old`` is therefore always ``None``.
+        """
+        changes: List[BestPathChange] = []
+        for prefix in sorted(touched):
+            ranked = self.ranked_routes(prefix)
+            for participant in self._sessions:
+                new = _best_from_ranked(ranked, participant)
+                changes.append(BestPathChange(participant, prefix, None, new))
+        if changes:
+            for subscriber in list(self._subscribers):
+                subscriber(changes)
+        return changes
+
+    # -- queries the SDX controller makes ---------------------------------
+
+    def subscribe(self, callback: Callable[[List[BestPathChange]], None]) -> None:
+        """Register for best-path change notifications."""
+        self._subscribers.append(callback)
+
+    def loc_rib(self, participant: str) -> ParticipantView:
+        """The participant's post-decision view."""
+        return self._views[participant]
+
+    def best_route(self, participant: str, prefix: "IPv4Prefix | str") -> Optional[Route]:
+        return self._views[participant].best(IPv4Prefix(prefix))
+
+    def candidate_routes(
+        self, participant: str, prefix: "IPv4Prefix | str"
+    ) -> Tuple[Route, ...]:
+        """Every route exported to ``participant`` for ``prefix``, ranked."""
+        return self._views[participant].candidates(IPv4Prefix(prefix))
+
+    def reachable_prefixes(self, participant: str, via: str) -> FrozenSet[IPv4Prefix]:
+        """Prefixes ``participant`` may forward to next-hop AS ``via``."""
+        return self._views[participant].prefixes_via(via)
+
+    def all_prefixes(self) -> FrozenSet[IPv4Prefix]:
+        """Every prefix currently known from any peer."""
+        return frozenset(self._routes_by_prefix)
+
+    def rib_table(self, participant: str) -> RIBTable:
+        """A queryable RIB snapshot for the participant's policy code."""
+        table = RIBTable()
+        view = self._views[participant]
+        for prefix in self._routes_by_prefix:
+            for route in view.candidates(prefix):
+                table.add(route)
+        return table
+
+    def advertisements(self, participant: str) -> List[Announcement]:
+        """The best routes the server re-advertises to ``participant``.
+
+        Next-hop rewriting to virtual next-hops happens above this layer
+        (the SDX controller post-processes these announcements).
+        """
+        out: List[Announcement] = []
+        view = self._views[participant]
+        for prefix, route in sorted(view.items(), key=lambda item: item[0]):
+            out.append(Announcement(prefix, route.attributes))
+        return out
+
+    def __repr__(self) -> str:
+        return f"RouteServer(peers={len(self._sessions)})"

@@ -1,0 +1,77 @@
+"""Simplified BGP peering sessions.
+
+The wire-level FSM (RFC 4271 §8) is reduced to the three states the
+SDX evaluation exercises: a session is configured (IDLE), comes up
+(ESTABLISHED), and may fail or be shut down — at which point every
+route learned over it must be withdrawn, which is exactly the event the
+paper's Figure 5a induces ("AS B withdraws its route to AWS").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+__all__ = ["BGPSession", "SessionState"]
+
+
+class SessionState(enum.Enum):
+    """The reduced session FSM: configured, connecting, or up."""
+
+    IDLE = "idle"
+    CONNECT = "connect"
+    ESTABLISHED = "established"
+
+
+class BGPSession:
+    """The route server's side of one peering session."""
+
+    def __init__(self, peer: str) -> None:
+        self.peer = peer
+        self.state = SessionState.IDLE
+        self._listeners: List[Callable[["BGPSession", SessionState], None]] = []
+
+    @property
+    def is_established(self) -> bool:
+        return self.state is SessionState.ESTABLISHED
+
+    def on_state_change(
+        self, listener: Callable[["BGPSession", SessionState], None]
+    ) -> None:
+        """Register a callback fired after every state transition."""
+        self._listeners.append(listener)
+
+    def start(self) -> None:
+        """IDLE -> CONNECT (the TCP handshake begins)."""
+        self._transition(SessionState.CONNECT, allowed=(SessionState.IDLE,))
+
+    def establish(self) -> None:
+        """CONNECT (or IDLE, for convenience) -> ESTABLISHED."""
+        if self.state is SessionState.IDLE:
+            self.start()
+        self._transition(SessionState.ESTABLISHED, allowed=(SessionState.CONNECT,))
+
+    def shutdown(self) -> None:
+        """Any state -> IDLE; routes over this session become invalid."""
+        self._transition(SessionState.IDLE, allowed=None)
+
+    def fail(self) -> None:
+        """Session failure: same route-invalidation effect as shutdown."""
+        self.shutdown()
+
+    def _transition(
+        self, target: SessionState, allowed: Optional[tuple]
+    ) -> None:
+        if allowed is not None and self.state not in allowed:
+            raise RuntimeError(
+                f"invalid session transition {self.state.value} -> {target.value} "
+                f"for peer {self.peer!r}"
+            )
+        if self.state is target:
+            return
+        self.state = target
+        for listener in list(self._listeners):
+            listener(self, target)
+
+    def __repr__(self) -> str:
+        return f"BGPSession(peer={self.peer!r}, state={self.state.value})"

@@ -1,0 +1,389 @@
+"""RFC 4271 wire encoding for BGP messages.
+
+The in-memory message types of :mod:`repro.bgp.messages` model what the
+route server *means*; this module maps them to and from the actual BGP
+wire format, the way ExaBGP does for the paper's deployment.  Supported:
+
+* the 19-byte common header with marker/length/type;
+* OPEN (version, ASN, hold time, BGP identifier; no optional params);
+* UPDATE with withdrawn routes, NLRI, and the path attributes the SDX
+  uses — ORIGIN, AS_PATH (4-octet ASNs, AS_SEQUENCE), NEXT_HOP, MED,
+  LOCAL_PREF, and COMMUNITIES;
+* KEEPALIVE and NOTIFICATION.
+
+Round-tripping is exact for the attribute set above and property-tested
+in ``tests/property/test_wire_props.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from repro.bgp.attributes import ASPath, Community, Origin, RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate, Withdrawal
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+
+__all__ = [
+    "BGPHeader",
+    "KeepaliveMessage",
+    "MessageType",
+    "NotificationMessage",
+    "OpenMessage",
+    "WireError",
+    "decode_message",
+    "encode_keepalive",
+    "encode_notification",
+    "encode_open",
+    "encode_update",
+]
+
+MARKER = b"\xff" * 16
+HEADER_LENGTH = 19
+MAX_MESSAGE_LENGTH = 4096
+
+#: Path-attribute type codes (RFC 4271 / RFC 1997 / RFC 6793).
+ATTR_ORIGIN = 1
+ATTR_AS_PATH = 2
+ATTR_NEXT_HOP = 3
+ATTR_MED = 4
+ATTR_LOCAL_PREF = 5
+ATTR_COMMUNITIES = 8
+
+_FLAG_OPTIONAL = 0x80
+_FLAG_TRANSITIVE = 0x40
+_FLAG_EXTENDED = 0x10
+
+_AS_SEQUENCE = 2
+
+
+class MessageType(enum.IntEnum):
+    """BGP message type codes (RFC 4271 §4.1)."""
+
+    OPEN = 1
+    UPDATE = 2
+    NOTIFICATION = 3
+    KEEPALIVE = 4
+
+
+class WireError(ValueError):
+    """Malformed or unsupported bytes on the wire."""
+
+
+class BGPHeader(NamedTuple):
+    length: int
+    type: MessageType
+
+
+class OpenMessage(NamedTuple):
+    """A decoded OPEN: session parameters a peer proposes."""
+
+    version: int
+    asn: int
+    hold_time: int
+    bgp_identifier: IPv4Address
+
+
+class NotificationMessage(NamedTuple):
+    """A decoded NOTIFICATION: error code, subcode, diagnostic bytes."""
+
+    code: int
+    subcode: int
+    data: bytes
+
+
+class KeepaliveMessage(NamedTuple):
+    pass
+
+
+# -- primitives -----------------------------------------------------------
+
+
+def _encode_prefix(prefix: IPv4Prefix) -> bytes:
+    """NLRI encoding: length byte + minimal network octets."""
+    octets = (prefix.length + 7) // 8
+    network = int(prefix.network).to_bytes(4, "big")[:octets]
+    return bytes([prefix.length]) + network
+
+
+def _decode_prefixes(payload: bytes) -> List[IPv4Prefix]:
+    prefixes: List[IPv4Prefix] = []
+    index = 0
+    while index < len(payload):
+        length = payload[index]
+        if length > 32:
+            raise WireError(f"prefix length {length} out of range")
+        octets = (length + 7) // 8
+        index += 1
+        if index + octets > len(payload):
+            raise WireError("truncated prefix in NLRI")
+        network = int.from_bytes(payload[index : index + octets].ljust(4, b"\x00"), "big")
+        prefixes.append(IPv4Prefix(network, length))
+        index += octets
+    return prefixes
+
+
+def _header(message_type: MessageType, body: bytes) -> bytes:
+    length = HEADER_LENGTH + len(body)
+    if length > MAX_MESSAGE_LENGTH:
+        raise WireError(f"message too large: {length} bytes")
+    return MARKER + struct.pack("!HB", length, message_type) + body
+
+
+def _attribute(flags: int, type_code: int, payload: bytes) -> bytes:
+    if len(payload) > 255:
+        flags |= _FLAG_EXTENDED
+        return struct.pack("!BBH", flags, type_code, len(payload)) + payload
+    return struct.pack("!BBB", flags, type_code, len(payload)) + payload
+
+
+# -- encoding ---------------------------------------------------------------
+
+
+def encode_open(
+    asn: int, bgp_identifier: "IPv4Address | str", hold_time: int = 90, version: int = 4
+) -> bytes:
+    """Encode an OPEN message (2-octet ASN field; AS_TRANS for larger)."""
+    wire_asn = asn if asn < (1 << 16) else 23456  # AS_TRANS, RFC 6793
+    body = struct.pack(
+        "!BHH4sB",
+        version,
+        wire_asn,
+        hold_time,
+        int(IPv4Address(bgp_identifier)).to_bytes(4, "big"),
+        0,  # no optional parameters
+    )
+    return _header(MessageType.OPEN, body)
+
+
+def encode_keepalive() -> bytes:
+    return _header(MessageType.KEEPALIVE, b"")
+
+
+def encode_notification(code: int, subcode: int = 0, data: bytes = b"") -> bytes:
+    return _header(MessageType.NOTIFICATION, struct.pack("!BB", code, subcode) + data)
+
+
+def _encode_path_attributes(attributes: RouteAttributes) -> bytes:
+    out = b""
+    out += _attribute(_FLAG_TRANSITIVE, ATTR_ORIGIN, bytes([int(attributes.origin)]))
+    asns = attributes.as_path.asns
+    path_payload = b""
+    remaining = list(asns)
+    while remaining:
+        segment = remaining[:255]
+        remaining = remaining[255:]
+        path_payload += bytes([_AS_SEQUENCE, len(segment)])
+        path_payload += b"".join(struct.pack("!I", asn) for asn in segment)
+    out += _attribute(_FLAG_TRANSITIVE, ATTR_AS_PATH, path_payload)
+    out += _attribute(
+        _FLAG_TRANSITIVE, ATTR_NEXT_HOP, int(attributes.next_hop).to_bytes(4, "big")
+    )
+    out += _attribute(_FLAG_OPTIONAL, ATTR_MED, struct.pack("!I", attributes.med))
+    out += _attribute(
+        _FLAG_TRANSITIVE, ATTR_LOCAL_PREF, struct.pack("!I", attributes.local_pref)
+    )
+    if attributes.communities:
+        payload = b"".join(
+            struct.pack("!HH", community.asn, community.value)
+            for community in sorted(attributes.communities)
+        )
+        out += _attribute(
+            _FLAG_OPTIONAL | _FLAG_TRANSITIVE, ATTR_COMMUNITIES, payload
+        )
+    return out
+
+
+def encode_update(update: BGPUpdate) -> List[bytes]:
+    """Encode one :class:`BGPUpdate` as wire UPDATE message(s).
+
+    BGP carries one attribute set per UPDATE, so announcements with
+    differing attributes are emitted as separate messages; withdrawals
+    ride with the first.  The export scope is a route-server-internal
+    concept with no wire representation — use communities
+    (:mod:`repro.bgp.export_policy`) to express it on the wire.
+    """
+    messages: List[bytes] = []
+    withdrawn = b"".join(_encode_prefix(w.prefix) for w in update.withdrawn)
+    groups: List[Tuple[RouteAttributes, List[IPv4Prefix]]] = []
+    for announcement in update.announced:
+        for attributes, prefixes in groups:
+            if attributes == announcement.attributes:
+                prefixes.append(announcement.prefix)
+                break
+        else:
+            groups.append((announcement.attributes, [announcement.prefix]))
+    if not groups:
+        body = struct.pack("!H", len(withdrawn)) + withdrawn + struct.pack("!H", 0)
+        return [_header(MessageType.UPDATE, body)]
+    for index, (attributes, prefixes) in enumerate(groups):
+        this_withdrawn = withdrawn if index == 0 else b""
+        path_attributes = _encode_path_attributes(attributes)
+        nlri = b"".join(_encode_prefix(prefix) for prefix in prefixes)
+        body = (
+            struct.pack("!H", len(this_withdrawn))
+            + this_withdrawn
+            + struct.pack("!H", len(path_attributes))
+            + path_attributes
+            + nlri
+        )
+        messages.append(_header(MessageType.UPDATE, body))
+    return messages
+
+
+# -- decoding ---------------------------------------------------------------
+
+
+def _decode_header(data: bytes) -> BGPHeader:
+    if len(data) < HEADER_LENGTH:
+        raise WireError("short read: no BGP header")
+    if data[:16] != MARKER:
+        raise WireError("bad marker")
+    length, message_type = struct.unpack("!HB", data[16:19])
+    if not HEADER_LENGTH <= length <= MAX_MESSAGE_LENGTH:
+        raise WireError(f"bad length {length}")
+    try:
+        return BGPHeader(length, MessageType(message_type))
+    except ValueError:
+        raise WireError(f"unknown message type {message_type}") from None
+
+
+def _decode_as_path(payload: bytes) -> ASPath:
+    asns: List[int] = []
+    index = 0
+    while index < len(payload):
+        if index + 2 > len(payload):
+            raise WireError("truncated AS_PATH segment header")
+        segment_type, count = payload[index], payload[index + 1]
+        index += 2
+        if segment_type != _AS_SEQUENCE:
+            raise WireError(f"unsupported AS_PATH segment type {segment_type}")
+        need = count * 4
+        if index + need > len(payload):
+            raise WireError("truncated AS_PATH segment")
+        for position in range(count):
+            (asn,) = struct.unpack_from("!I", payload, index + position * 4)
+            asns.append(asn)
+        index += need
+    return ASPath(asns)
+
+
+def _decode_path_attributes(payload: bytes) -> RouteAttributes:
+    origin = Origin.IGP
+    as_path = ASPath()
+    next_hop: Optional[IPv4Address] = None
+    med = 0
+    local_pref = 100
+    communities: List[Community] = []
+    index = 0
+    while index < len(payload):
+        if index + 2 > len(payload):
+            raise WireError("truncated attribute header")
+        flags, type_code = payload[index], payload[index + 1]
+        index += 2
+        if flags & _FLAG_EXTENDED:
+            if index + 2 > len(payload):
+                raise WireError("truncated extended length")
+            (length,) = struct.unpack_from("!H", payload, index)
+            index += 2
+        else:
+            if index + 1 > len(payload):
+                raise WireError("truncated length")
+            length = payload[index]
+            index += 1
+        if index + length > len(payload):
+            raise WireError("truncated attribute value")
+        value = payload[index : index + length]
+        index += length
+        if type_code == ATTR_ORIGIN:
+            origin = Origin(value[0])
+        elif type_code == ATTR_AS_PATH:
+            as_path = _decode_as_path(value)
+        elif type_code == ATTR_NEXT_HOP:
+            next_hop = IPv4Address(int.from_bytes(value, "big"))
+        elif type_code == ATTR_MED:
+            (med,) = struct.unpack("!I", value)
+        elif type_code == ATTR_LOCAL_PREF:
+            (local_pref,) = struct.unpack("!I", value)
+        elif type_code == ATTR_COMMUNITIES:
+            if length % 4:
+                raise WireError("communities length not a multiple of 4")
+            for offset in range(0, length, 4):
+                asn, community_value = struct.unpack_from("!HH", value, offset)
+                communities.append(Community(asn, community_value))
+        # unknown attributes are skipped (optional-transitive pass-through)
+    if next_hop is None:
+        raise WireError("UPDATE with NLRI lacks NEXT_HOP")
+    return RouteAttributes(
+        as_path=as_path,
+        next_hop=next_hop,
+        origin=origin,
+        med=med,
+        local_pref=local_pref,
+        communities=communities,
+    )
+
+
+def decode_message(
+    data: bytes, peer: str = "", time: float = 0.0
+) -> Tuple[Union[BGPUpdate, OpenMessage, KeepaliveMessage, NotificationMessage], bytes]:
+    """Decode one message from the front of ``data``.
+
+    Returns (message, remaining bytes).  UPDATE messages come back as
+    :class:`~repro.bgp.messages.BGPUpdate` ready for the route server.
+    """
+    header = _decode_header(data)
+    if len(data) < header.length:
+        raise WireError("short read: truncated message body")
+    body = data[HEADER_LENGTH : header.length]
+    rest = data[header.length :]
+
+    if header.type is MessageType.KEEPALIVE:
+        if body:
+            raise WireError("KEEPALIVE with a body")
+        return KeepaliveMessage(), rest
+    if header.type is MessageType.OPEN:
+        if len(body) < 10:
+            raise WireError("short OPEN")
+        version, asn, hold_time, identifier, opt_len = struct.unpack("!BHH4sB", body[:10])
+        if opt_len:
+            raise WireError("OPEN optional parameters unsupported")
+        return (
+            OpenMessage(version, asn, hold_time, IPv4Address(int.from_bytes(identifier, "big"))),
+            rest,
+        )
+    if header.type is MessageType.NOTIFICATION:
+        if len(body) < 2:
+            raise WireError("short NOTIFICATION")
+        return NotificationMessage(body[0], body[1], body[2:]), rest
+
+    # UPDATE
+    if len(body) < 2:
+        raise WireError("short UPDATE")
+    (withdrawn_length,) = struct.unpack_from("!H", body, 0)
+    cursor = 2
+    if cursor + withdrawn_length > len(body):
+        raise WireError("truncated withdrawn routes")
+    withdrawn = _decode_prefixes(body[cursor : cursor + withdrawn_length])
+    cursor += withdrawn_length
+    if cursor + 2 > len(body):
+        raise WireError("missing path-attribute length")
+    (attributes_length,) = struct.unpack_from("!H", body, cursor)
+    cursor += 2
+    if cursor + attributes_length > len(body):
+        raise WireError("truncated path attributes")
+    attribute_bytes = body[cursor : cursor + attributes_length]
+    cursor += attributes_length
+    nlri = _decode_prefixes(body[cursor:])
+    announced: List[Announcement] = []
+    if nlri:
+        attributes = _decode_path_attributes(attribute_bytes)
+        announced = [Announcement(prefix, attributes) for prefix in nlri]
+    update = BGPUpdate(
+        peer,
+        announced=announced,
+        withdrawn=[Withdrawal(prefix) for prefix in withdrawn],
+        time=time,
+    )
+    return update, rest

@@ -1,0 +1,52 @@
+"""The SDX core: virtual-switch abstraction, compiler, controller, fast path.
+
+This package implements the paper's contribution proper.  Entry point:
+:class:`~repro.core.controller.SDXController`.
+"""
+
+from repro.core.authorization import AuthorizationError, OwnershipRegistry, validate_rewrites
+from repro.core.chaining import ServiceChain
+from repro.core.compiler import (
+    CompilationOptions,
+    CompilationResult,
+    CompilationStats,
+    SDXCompiler,
+)
+from repro.core.controller import PacketTrace, SDXController
+from repro.core.multiswitch import SwitchTopology, distribute
+from repro.core.fec import (
+    FECTable,
+    PrefixGroup,
+    compute_fec_table,
+    minimum_disjoint_subsets,
+    minimum_disjoint_subsets_naive,
+)
+from repro.core.incremental import FastPathEngine, FastPathUpdate
+from repro.core.participant import ParticipantHandle, SDXPolicySet
+from repro.core.vmac import VirtualNextHop, VirtualNextHopAllocator
+
+__all__ = [
+    "AuthorizationError",
+    "CompilationOptions",
+    "CompilationResult",
+    "CompilationStats",
+    "FECTable",
+    "FastPathEngine",
+    "FastPathUpdate",
+    "ParticipantHandle",
+    "PrefixGroup",
+    "SDXCompiler",
+    "SDXController",
+    "OwnershipRegistry",
+    "PacketTrace",
+    "SDXPolicySet",
+    "ServiceChain",
+    "SwitchTopology",
+    "VirtualNextHop",
+    "VirtualNextHopAllocator",
+    "compute_fec_table",
+    "distribute",
+    "minimum_disjoint_subsets",
+    "minimum_disjoint_subsets_naive",
+    "validate_rewrites",
+]

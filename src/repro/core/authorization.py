@@ -1,0 +1,119 @@
+"""Prefix-ownership validation (the paper's RPKI integration point).
+
+Two places in the paper require proof of address ownership:
+
+* "Before originating the route announcement in BGP, the SDX would
+  verify that AS D indeed owns the IP prefix (e.g., using the RPKI)"
+  — Section 3.2;
+* "The content provider issuing this policy would first need to
+  demonstrate to the SDX that it owns the corresponding IP address
+  blocks" — the load-balancer's destination rewrites, Section 3.1.
+
+:class:`OwnershipRegistry` is the RPKI stand-in: a set of
+(ASN, prefix, max-length) authorizations, queried like ROAs.  The
+controller consults it on route origination when configured with one,
+and :func:`validate_rewrites` vets a policy's destination rewrites.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.netutils.ip import IPv4Address, IPv4Prefix, PrefixTrie
+from repro.policy.language import Policy
+
+__all__ = ["AuthorizationError", "OwnershipRegistry", "validate_rewrites"]
+
+
+class AuthorizationError(Exception):
+    """An action touched address space its requester does not own."""
+
+
+class OwnershipRegistry:
+    """ROA-style (ASN, prefix, max_length) authorizations."""
+
+    def __init__(self) -> None:
+        self._roas = PrefixTrie()
+
+    def register(
+        self, asn: int, prefix: "IPv4Prefix | str", max_length: Optional[int] = None
+    ) -> None:
+        """Record that ``asn`` may originate ``prefix`` (up to ``max_length``)."""
+        prefix = IPv4Prefix(prefix)
+        if max_length is None:
+            max_length = prefix.length
+        if not prefix.length <= max_length <= 32:
+            raise ValueError(
+                f"max_length {max_length} invalid for {prefix}"
+            )
+        entries: Set[Tuple[int, int]] = self._roas.get(prefix, set())  # type: ignore[assignment]
+        entries = set(entries)
+        entries.add((asn, max_length))
+        self._roas[prefix] = entries
+
+    def authorizes(self, asn: int, prefix: "IPv4Prefix | str") -> bool:
+        """ROA semantics: some registered covering prefix authorizes ``asn``
+        at this prefix length."""
+        prefix = IPv4Prefix(prefix)
+        current: Optional[IPv4Prefix] = prefix
+        # Walk every covering ROA (the trie stores by exact prefix, so
+        # check each ancestor length, including the prefix itself).
+        for length in range(prefix.length, -1, -1):
+            ancestor = IPv4Prefix(int(prefix.network), length)
+            entries = self._roas.get(ancestor)
+            if not entries:
+                continue
+            for roa_asn, max_length in entries:  # type: ignore[union-attr]
+                if roa_asn == asn and prefix.length <= max_length:
+                    return True
+        return False
+
+    def owners_of(self, prefix: "IPv4Prefix | str") -> List[int]:
+        """Every ASN holding a ROA covering ``prefix``."""
+        prefix = IPv4Prefix(prefix)
+        owners: Set[int] = set()
+        for length in range(prefix.length, -1, -1):
+            ancestor = IPv4Prefix(int(prefix.network), length)
+            entries = self._roas.get(ancestor)
+            if entries:
+                for roa_asn, max_length in entries:  # type: ignore[union-attr]
+                    if prefix.length <= max_length:
+                        owners.add(roa_asn)
+        return sorted(owners)
+
+    def require(self, asn: int, prefix: "IPv4Prefix | str") -> None:
+        """Raise :class:`AuthorizationError` unless authorized."""
+        if not self.authorizes(asn, prefix):
+            raise AuthorizationError(
+                f"AS{asn} is not authorized to originate {IPv4Prefix(prefix)}"
+            )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._roas.items())
+
+
+def _rewrite_targets(policy: Policy) -> Iterator[IPv4Address]:
+    """Every destination address some action of ``policy`` rewrites to."""
+    from repro.policy.language import Modify
+
+    for node in policy.walk():
+        if isinstance(node, Modify):
+            target = node.action.get("dstip")
+            if target is not None:
+                yield target
+
+
+def validate_rewrites(
+    policy: Policy, asn: int, registry: OwnershipRegistry
+) -> None:
+    """Check a policy's ``modify(dstip=...)`` targets against ownership.
+
+    The wide-area load balancer may only redirect traffic to addresses
+    it controls; anything else would let a tenant hijack third-party
+    services through the exchange.
+    """
+    for target in _rewrite_targets(policy):
+        if not registry.authorizes(asn, target.to_prefix()):
+            raise AuthorizationError(
+                f"AS{asn} rewrites destinations to {target}, which it does not own"
+            )

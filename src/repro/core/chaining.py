@@ -1,0 +1,124 @@
+"""Service chaining through middleboxes (the paper's Section 8 extension).
+
+The paper closes by envisioning policies that steer traffic "through
+middleboxes (and other cloud-hosted services) along the path between
+source and destination, thereby enabling service chaining".  This
+module implements that extension on top of the SDX compiler:
+
+* a :class:`ServiceChain` names an ordered list of middlebox ports;
+* participants forward into it like any target: ``match(...) >> fwd(chain)``;
+* the compiler emits *continuation rules* — traffic re-entering the
+  fabric from hop ``i``'s port flows to hop ``i+1`` — and, because the
+  frames keep their VMAC tag through the chain, traffic returning from
+  the final hop simply resumes default BGP forwarding (or an explicit
+  ``exit`` target).
+
+The data-plane counterpart is
+:class:`repro.dataplane.appliance.MiddleboxAppliance`, a bump-in-the-
+wire node that re-emits (possibly transformed) frames on its port.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.ixp.topology import IXPConfig
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+
+__all__ = ["ServiceChain", "chain_continuation_rules", "chain_entry_block", "validate_chains"]
+
+
+class ServiceChain:
+    """An ordered middlebox traversal, usable as a forwarding target.
+
+    ``hops`` are physical SDX port ids hosting the middleboxes, in
+    traversal order.  ``exit`` optionally names where traffic goes after
+    the last hop — a participant (virtual switch) or a physical port;
+    when omitted, traffic resumes its default BGP path, which works
+    because the chain preserves the packet's VMAC tag end to end.
+    """
+
+    __slots__ = ("name", "hops", "exit")
+
+    def __init__(self, name: str, hops: Iterable[str], exit: Optional[Any] = None) -> None:
+        self.name = name
+        self.hops: Tuple[str, ...] = tuple(hops)
+        self.exit = exit
+        if not self.hops:
+            raise ValueError(f"service chain {name!r} needs at least one hop")
+        if len(set(self.hops)) != len(self.hops):
+            raise ValueError(f"service chain {name!r} repeats a hop")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServiceChain):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.hops == other.hops
+            and self.exit == other.exit
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ServiceChain", self.name, self.hops, self.exit))
+
+    def __repr__(self) -> str:
+        tail = f", exit={self.exit!r}" if self.exit is not None else ""
+        return f"ServiceChain({self.name!r}, hops={list(self.hops)}{tail})"
+
+
+def validate_chains(chains: Iterable[ServiceChain], config: IXPConfig) -> None:
+    """Check hop ports exist and no port serves two chain positions.
+
+    A middlebox port identifies its chain position on re-entry (the
+    fabric cannot otherwise tell which chain a returning frame belongs
+    to), so each port may appear in at most one chain, once.
+    """
+    seen: Dict[str, str] = {}
+    port_ids = {port.port_id for port in config.physical_ports()}
+    for chain in chains:
+        for hop in chain.hops:
+            if hop not in port_ids:
+                raise ValueError(
+                    f"service chain {chain.name!r}: unknown port {hop!r}"
+                )
+            owner = seen.get(hop)
+            if owner is not None:
+                raise ValueError(
+                    f"port {hop!r} serves both chain {owner!r} and {chain.name!r}"
+                )
+            seen[hop] = chain.name
+
+
+def chain_continuation_rules(chains: Iterable[ServiceChain]) -> List[Rule]:
+    """First-stage rules moving returned traffic to the next chain hop.
+
+    Frames re-entering from hop ``i``'s port are exactly the chain's
+    in-flight traffic (the port hosts nothing else), so a bare port
+    match suffices; the VMAC tag rides along untouched.  The final hop
+    gets a rule only when the chain declares an explicit exit —
+    otherwise returned traffic falls through to the shared default-
+    forwarding block and resumes its BGP path.
+    """
+    rules: List[Rule] = []
+    for chain in chains:
+        for current, nxt in zip(chain.hops, chain.hops[1:]):
+            rules.append(
+                Rule(HeaderMatch(port=current), (Action(port=nxt),))
+            )
+        if chain.exit is not None:
+            rules.append(
+                Rule(HeaderMatch(port=chain.hops[-1]), (Action(port=chain.exit),))
+            )
+    return rules
+
+
+def chain_entry_block(chain: ServiceChain) -> Classifier:
+    """The second-stage block for ``fwd(chain)`` actions: enter hop one.
+
+    No destination-MAC rewrite happens on the way into (or through) a
+    chain — middleboxes tap promiscuously, and the preserved VMAC is
+    what lets post-chain traffic resume default forwarding.
+    """
+    return Classifier(
+        [Rule(HeaderMatch.ANY, (Action(port=chain.hops[0]),))]
+    )

@@ -1,0 +1,473 @@
+"""The SDX controller (Figure 3): route server + policy compiler + runtime.
+
+:class:`SDXController` is the system's public face.  It owns
+
+* the :class:`~repro.bgp.route_server.RouteServer` participants peer with,
+* the :class:`~repro.core.compiler.SDXCompiler` pipeline,
+* the physical :class:`~repro.dataplane.switch.SDNSwitch` and its flow table,
+* the ARP responder that maps virtual next-hops to virtual MACs,
+* the :class:`~repro.core.incremental.FastPathEngine` reacting to BGP updates,
+
+and the bookkeeping that ties them together: participant registration,
+policy storage, prefix origination, re-advertisement with VNH rewriting,
+and pushing routes into attached border routers.
+
+Typical use::
+
+    controller = SDXController(config)
+    a = controller.register_participant("A")
+    ...
+    a.set_policies(outbound=match(dstport=80) >> fwd("B"))
+    controller.process_update(update)          # BGP updates stream in
+    controller.run_background_recompilation()  # periodic re-optimization
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate
+from repro.bgp.route_server import BestPathChange, RouteServer
+from repro.core.compiler import (
+    CompilationOptions,
+    CompilationResult,
+    SDXCompiler,
+)
+from repro.core.incremental import FastPathEngine, FastPathUpdate
+from repro.core.participant import ParticipantHandle, SDXPolicySet
+from repro.core.transforms import rewrite_inbound_delivery
+from repro.core.vmac import VirtualNextHopAllocator
+from repro.dataplane.arp import ARPService
+from repro.dataplane.flowtable import FlowRule
+from repro.dataplane.router import BorderRouter
+from repro.dataplane.switch import SDNSwitch
+from repro.ixp.topology import IXPConfig
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+from repro.policy.packet import Packet
+
+__all__ = ["PacketTrace", "SDXController"]
+
+
+class PacketTrace(NamedTuple):
+    """One forwarding decision, explained (see ``trace_packet``)."""
+
+    packet: "Packet"
+    in_port: str
+    rule: Optional["FlowRule"]
+    provenance: str
+    outputs: FrozenSet["Packet"]
+
+    @property
+    def dropped(self) -> bool:
+        return not self.outputs
+
+    def egress_ports(self) -> FrozenSet[str]:
+        """The fabric ports the traced packet would leave through."""
+        return frozenset(
+            out.get("port") for out in self.outputs if out.get("port") is not None
+        )
+
+    def __repr__(self) -> str:
+        if self.rule is None:
+            return f"PacketTrace(in={self.in_port}, no matching rule -> drop)"
+        ports = ", ".join(sorted(map(str, self.egress_ports()))) or "drop"
+        return (
+            f"PacketTrace(in={self.in_port}, via={self.provenance}, "
+            f"priority={self.rule.priority} -> {ports})"
+        )
+
+#: Cookie tagging the base (fully optimized) rule block in the switch.
+BASE_COOKIE = "sdx-base"
+#: Priority floor of the base block.
+BASE_PRIORITY = 1000
+
+
+class SDXController:
+    """Coordinates the route server, compiler, switch, and fast path."""
+
+    def __init__(
+        self,
+        config: IXPConfig,
+        options: CompilationOptions = CompilationOptions(),
+        fast_path_enabled: bool = True,
+        arp: Optional[ARPService] = None,
+        ownership: Optional["OwnershipRegistry"] = None,
+        route_server_asn: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.ownership = ownership
+        self.options = options
+        # With a route-server ASN, announcements may steer their export
+        # scope via the standard (0, peer) / (rs, peer) communities.
+        self.route_server = RouteServer(asn=route_server_asn)
+        self.compiler = SDXCompiler(config, self.route_server, options)
+        self.arp = arp if arp is not None else ARPService()
+        self.allocator = VirtualNextHopAllocator(config.vnh_pool)
+        self.arp.register(self.allocator.resolve)
+        self.switch = SDNSwitch(
+            "sdx-fabric", ports=[port.port_id for port in config.physical_ports()]
+        )
+        self.fast_path = FastPathEngine(self)
+        self.fast_path_enabled = fast_path_enabled
+
+        self._policies: Dict[str, SDXPolicySet] = {}
+        self._chains: Dict[str, "ServiceChain"] = {}
+        self._originated: Dict[str, Set[IPv4Prefix]] = {}
+        self._handles: Dict[str, ParticipantHandle] = {}
+        self._routers: Dict[str, BorderRouter] = {}
+        self._last_result: Optional[CompilationResult] = None
+        self._base_cookies: List[Tuple] = []
+        self._advertised: Dict[Tuple[str, IPv4Prefix], IPv4Address] = {}
+        self._fast_path_log: List[FastPathUpdate] = []
+
+        for participant in config.participants():
+            self.route_server.add_peer(participant.name, asn=participant.asn)
+        self.route_server.subscribe(self._on_best_path_changes)
+
+    # -- participant lifecycle ----------------------------------------------
+
+    def register_participant(self, name: str) -> ParticipantHandle:
+        """Hand out the control channel for a configured participant."""
+        spec = self.config.participant(name)
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = ParticipantHandle(spec, self)
+            self._handles[name] = handle
+        return handle
+
+    def attach_router(self, name: str, router: BorderRouter) -> None:
+        """Wire a border router to receive this participant's advertisements."""
+        self.config.participant(name)  # validates the name
+        self._routers[name] = router
+        self._push_routes_to(name)
+
+    def set_policies(
+        self, name: str, policy_set: SDXPolicySet, recompile: bool = True
+    ) -> None:
+        """Install a participant's policy set, optionally recompiling now."""
+        self.config.participant(name)
+        if policy_set.is_empty:
+            self._policies.pop(name, None)
+        else:
+            self._policies[name] = policy_set
+        if recompile:
+            self.compile()
+
+    def policies(self) -> Mapping[str, SDXPolicySet]:
+        return dict(self._policies)
+
+    # -- service chains (Section 8 extension) -----------------------------------
+
+    def define_chain(self, chain: "ServiceChain", recompile: bool = False) -> None:
+        """Register a middlebox service chain participants may ``fwd()`` into."""
+        from repro.core.chaining import validate_chains
+
+        validate_chains([chain], self.config)
+        self._chains[chain.name] = chain
+        if recompile:
+            self.compile()
+
+    def remove_chain(self, name: str, recompile: bool = False) -> None:
+        """Deregister a service chain (idempotent)."""
+        self._chains.pop(name, None)
+        if recompile:
+            self.compile()
+
+    def chains(self) -> Mapping[str, "ServiceChain"]:
+        return dict(self._chains)
+
+    def chain_hop_ports(self) -> FrozenSet[str]:
+        """Every physical port currently serving as a chain hop."""
+        return frozenset(
+            hop for chain in self._chains.values() for hop in chain.hops
+        )
+
+    # -- BGP input ---------------------------------------------------------------
+
+    def process_update(self, update: BGPUpdate) -> List[BestPathChange]:
+        """Feed one BGP UPDATE from a participant into the route server.
+
+        Best-path changes trigger the fast path automatically (when a
+        base compilation exists and the fast path is enabled).
+        """
+        return self.route_server.process_update(update)
+
+    def announce(
+        self,
+        name: str,
+        prefix: "IPv4Prefix | str",
+        attributes: RouteAttributes,
+        export_to=None,
+    ) -> List[BestPathChange]:
+        """Convenience wrapper for a participant announcing a route."""
+        update = BGPUpdate(
+            name, announced=[Announcement(prefix, attributes, export_to=export_to)]
+        )
+        return self.process_update(update)
+
+    def withdraw(self, name: str, prefix: "IPv4Prefix | str") -> List[BestPathChange]:
+        """Convenience wrapper for a participant withdrawing a route."""
+        from repro.bgp.messages import Withdrawal
+
+        update = BGPUpdate(name, withdrawn=[Withdrawal(prefix)])
+        return self.process_update(update)
+
+    # -- SDX route origination (Section 3.2) ----------------------------------------
+
+    def originate(self, name: str, prefix: "IPv4Prefix | str") -> None:
+        """Originate ``prefix`` from the SDX on behalf of ``name``.
+
+        The route enters the route server like any announcement, with
+        the participant's own ASN as the path and a placeholder next-hop
+        from the VNH pool (the compiler always assigns such prefixes a
+        real VNH, because senders can only reach them through a tag).
+
+        When the controller was built with an ownership registry (the
+        RPKI stand-in), the participant must hold a covering ROA.
+        """
+        prefix = IPv4Prefix(prefix)
+        spec = self.config.participant(name)
+        if self.ownership is not None:
+            self.ownership.require(spec.asn, prefix)
+        self._originated.setdefault(name, set()).add(prefix)
+        attributes = RouteAttributes(
+            as_path=[spec.asn],
+            next_hop=self.config.vnh_pool.network,
+        )
+        self.announce(name, prefix, attributes)
+
+    def withdraw_origination(self, name: str, prefix: "IPv4Prefix | str") -> None:
+        """Withdraw a previously originated prefix."""
+        prefix = IPv4Prefix(prefix)
+        originated = self._originated.get(name)
+        if originated is not None:
+            originated.discard(prefix)
+        self.withdraw(name, prefix)
+
+    def originated(self) -> Mapping[str, FrozenSet[IPv4Prefix]]:
+        return {name: frozenset(prefixes) for name, prefixes in self._originated.items()}
+
+    # -- compilation ----------------------------------------------------------------
+
+    def compile(self) -> CompilationResult:
+        """Full (optimal) compilation: rebuild and install the base table.
+
+        Also flushes any fast-path blocks — this is the "background
+        re-optimization" endpoint of Section 4.3.2.
+        """
+        result = self.compiler.compile(
+            self._policies,
+            originated=self.originated(),
+            allocator=self.allocator,
+            chains=self._chains.values(),
+        )
+        self._last_result = result
+        for cookie in self._base_cookies:
+            self.switch.table.remove_by_cookie(cookie)
+        self._base_cookies.clear()
+        self.fast_path.flush()
+        # Install per-provenance segments so the flow table can account
+        # traffic per participant policy.  Segment order fixes relative
+        # priority: earlier segments sit above later ones.
+        segments = result.segments or ((("all",), result.classifier),)
+        remaining = sum(len(block) for _, block in segments)
+        for label, block in segments:
+            cookie = (BASE_COOKIE, *label)
+            base = BASE_PRIORITY + remaining - len(block)
+            self.switch.table.install_classifier(
+                block, base_priority=base, cookie=cookie
+            )
+            self._base_cookies.append(cookie)
+            remaining -= len(block)
+        self._advertised = dict(result.advertised_next_hops)
+        self._push_routes_to_all()
+        return result
+
+    def run_background_recompilation(self) -> CompilationResult:
+        """Alias for :meth:`compile`, named for its Section 4.3.2 role."""
+        return self.compile()
+
+    @property
+    def last_compilation(self) -> Optional[CompilationResult]:
+        return self._last_result
+
+    @property
+    def fast_path_log(self) -> List[FastPathUpdate]:
+        """Every fast-path invocation since the last full compilation."""
+        return list(self._fast_path_log)
+
+    # -- fast path plumbing ------------------------------------------------------------
+
+    def _on_best_path_changes(self, changes: List[BestPathChange]) -> None:
+        if not self.fast_path_enabled or self._last_result is None:
+            return
+        results = self.fast_path.handle_changes(changes)
+        self._fast_path_log.extend(results)
+
+    def raw_outbound_classifier(self, name: str) -> Optional[Classifier]:
+        """The participant's compiled (untransformed) outbound policy."""
+        policy_set = self._policies.get(name)
+        if policy_set is None or policy_set.outbound is None:
+            return None
+        return self.compiler._compile_ast(policy_set.outbound)
+
+    def raw_inbound_classifier(self, name: str) -> Optional[Classifier]:
+        """The participant's compiled (untransformed) inbound policy."""
+        policy_set = self._policies.get(name)
+        if policy_set is None or policy_set.inbound is None:
+            return None
+        return self.compiler._compile_ast(policy_set.inbound)
+
+    def rewrite_delivery(self, classifier: Classifier) -> Classifier:
+        """Apply the physical-port MAC rewrite to an inbound classifier."""
+        return rewrite_inbound_delivery(classifier, self.config)
+
+    def passthrough_block(self, port_id: str) -> Classifier:
+        """The stage-2 egress rule for one physical port.
+
+        Chain-hop ports keep the frame's VMAC (no MAC rewrite) so that
+        mid-chain and post-chain forwarding can still read the tag.
+        """
+        port = next(
+            port for port in self.config.physical_ports() if port.port_id == port_id
+        )
+        if port_id in self.chain_hop_ports():
+            egress = Action(port=port.port_id)
+        else:
+            egress = Action(port=port.port_id, dstmac=port.hardware)
+        return Classifier([Rule(HeaderMatch(port=port.port_id), (egress,))])
+
+    # -- advertisements and router feeds -----------------------------------------------
+
+    def advertisements(self, name: str) -> List[Announcement]:
+        """Best routes re-advertised to ``name``, next-hops VNH-rewritten."""
+        out: List[Announcement] = []
+        for announcement in self.route_server.advertisements(name):
+            rewritten = self._advertised.get((name, announcement.prefix))
+            if rewritten is not None:
+                out.append(
+                    Announcement(
+                        announcement.prefix,
+                        announcement.attributes.replace(next_hop=rewritten),
+                    )
+                )
+            else:
+                out.append(announcement)
+        return out
+
+    def readvertise_prefix(
+        self, prefix: IPv4Prefix, vnh_address: Optional[IPv4Address]
+    ) -> None:
+        """Update one prefix's advertised next-hop everywhere (fast path).
+
+        ``vnh_address`` of ``None`` falls back to the best route's real
+        next-hop (or withdraws the prefix from routers when no route
+        remains).
+        """
+        for name in self.config.participant_names():
+            best = self.route_server.best_route(name, prefix)
+            if best is None:
+                self._advertised.pop((name, prefix), None)
+            else:
+                self._advertised[(name, prefix)] = (
+                    vnh_address if vnh_address is not None else best.attributes.next_hop
+                )
+            router = self._routers.get(name)
+            if router is not None:
+                if best is None:
+                    router.withdraw_route(prefix)
+                else:
+                    router.install_route(prefix, self._advertised[(name, prefix)])
+
+    def _push_routes_to(self, name: str) -> None:
+        router = self._routers.get(name)
+        if router is None:
+            return
+        desired: Dict[IPv4Prefix, IPv4Address] = {}
+        loc_rib = self.route_server.loc_rib(name)
+        for prefix, route in loc_rib.items():
+            desired[prefix] = self._advertised.get(
+                (name, prefix), route.attributes.next_hop
+            )
+        current = router.rib_snapshot()
+        for prefix in current:
+            if prefix not in desired:
+                router.withdraw_route(prefix)
+        for prefix, next_hop in desired.items():
+            if current.get(prefix) != next_hop:
+                router.install_route(prefix, next_hop)
+
+    def _push_routes_to_all(self) -> None:
+        for name in self._routers:
+            self._push_routes_to(name)
+
+    # -- diagnostics and accounting ------------------------------------------------------
+
+    def table_size(self) -> int:
+        """Total installed flow rules (base + fast path)."""
+        return len(self.switch.table)
+
+    def traffic_by_segment(self) -> Dict[Tuple, Tuple[int, int]]:
+        """(packets, bytes) matched per base-table provenance segment.
+
+        Keys mirror the compiler's segment labels:
+        ``(BASE_COOKIE, "policy", name)``, ``(BASE_COOKIE, "default")``,
+        ``(BASE_COOKIE, "chains")``.  IXPs bill and debug by exactly this
+        breakdown: which participant's policy handled how much traffic.
+        """
+        totals = self.switch.table.counters_by_cookie()
+        return {
+            cookie: counts
+            for cookie, counts in totals.items()
+            if isinstance(cookie, tuple) and cookie and cookie[0] == BASE_COOKIE
+        }
+
+    def policy_traffic(self, name: str) -> Tuple[int, int]:
+        """(packets, bytes) handled by ``name``'s policy rules since install."""
+        return self.traffic_by_segment().get((BASE_COOKIE, "policy", name), (0, 0))
+
+    def default_traffic(self) -> Tuple[int, int]:
+        """(packets, bytes) that followed plain BGP default forwarding."""
+        return self.traffic_by_segment().get((BASE_COOKIE, "default"), (0, 0))
+
+    def trace_packet(self, packet: Packet, in_port: str) -> "PacketTrace":
+        """Explain how the fabric would forward one packet (no counters).
+
+        The ``ovs-appctl ofproto/trace`` of this SDX: reports the
+        matched rule, its provenance (which participant's policy,
+        default forwarding, a chain continuation, or a fast-path
+        override), and the resulting output packets.
+        """
+        located = packet.modify(port=in_port, switch=self.switch.name)
+        rule = self.switch.table.lookup(located)
+        if rule is None:
+            return PacketTrace(packet, in_port, None, "no-match", frozenset())
+        cookie = rule.cookie
+        if isinstance(cookie, tuple) and cookie and cookie[0] == BASE_COOKIE:
+            verdict = ":".join(str(part) for part in cookie[1:]) or "base"
+        elif isinstance(cookie, tuple) and cookie and cookie[0] == "fastpath":
+            verdict = f"fastpath:{cookie[1]}"
+        else:
+            verdict = str(cookie)
+        outputs = frozenset(
+            action.apply(located).modify(switch=None) for action in rule.actions
+        )
+        return PacketTrace(packet, in_port, rule, verdict, outputs)
+
+    def __repr__(self) -> str:
+        return (
+            f"SDXController(participants={len(self.config)}, "
+            f"rules={len(self.switch.table)})"
+        )

@@ -1,0 +1,257 @@
+"""Two-stage incremental compilation (Section 4.3.2).
+
+When BGP best paths change, the SDX must react quickly but cannot
+afford a full recompilation per update.  The paper's fast path:
+
+* *assumes* a fresh VNH is needed for each changed prefix (skipping the
+  FEC computation entirely);
+* recompiles only the policy fragments that can touch that prefix;
+* installs the result as higher-priority rules, leaving the (now
+  partially stale) base table in place;
+
+while the *background* stage periodically reruns the full compilation,
+swapping in a minimal table and flushing the fast-path rules.  The
+price of the fast path is extra rules in the switch — exactly what the
+paper's Figure 9 counts — and its speed is what Figure 10 measures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+from repro.bgp.messages import Route
+from repro.bgp.route_server import BestPathChange
+from repro.core.chaining import (
+    ServiceChain,
+    chain_continuation_rules,
+    chain_entry_block,
+)
+from repro.core.fec import PrefixGroup
+from repro.core.transforms import (
+    default_rules_for_group,
+    delivery_rules_for_group,
+    isolate,
+)
+from repro.core.vmac import VirtualNextHop
+from repro.netutils.ip import IPv4Prefix
+from repro.policy.analysis import with_fallback
+from repro.policy.classifier import Classifier, Rule, sequence_rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import SDXController
+
+__all__ = ["FastPathEngine", "FastPathUpdate"]
+
+#: Priority floor for fast-path rule blocks: far above any base table.
+FASTPATH_BASE_PRIORITY = 10_000_000
+
+
+class FastPathUpdate(NamedTuple):
+    """Outcome of fast-path handling for one prefix."""
+
+    prefix: IPv4Prefix
+    vnh: Optional[VirtualNextHop]
+    rules_installed: int
+    seconds: float
+
+
+class FastPathEngine:
+    """Per-prefix quick recompilation with deferred re-optimization."""
+
+    def __init__(self, controller: "SDXController") -> None:
+        self._controller = controller
+        self._active: Dict[IPv4Prefix, Any] = {}  # prefix -> cookie
+        self._sequence = 0
+
+    @property
+    def active_prefixes(self) -> FrozenSet[IPv4Prefix]:
+        """Prefixes currently served by fast-path rules."""
+        return frozenset(self._active)
+
+    def additional_rules(self) -> int:
+        """Extra (fast-path) rules in the switch right now — Figure 9's metric."""
+        table = self._controller.switch.table
+        return sum(1 for rule in table if rule.cookie in set(self._active.values()))
+
+    # -- update handling ----------------------------------------------------
+
+    def handle_changes(self, changes: List[BestPathChange]) -> List[FastPathUpdate]:
+        """Fast-path one burst of best-path changes (deduplicated by prefix)."""
+        results: List[FastPathUpdate] = []
+        seen: Dict[IPv4Prefix, None] = {}
+        for change in changes:
+            seen.setdefault(change.prefix)
+        for prefix in seen:
+            results.append(self.handle_prefix(prefix))
+        return results
+
+    def handle_prefix(self, prefix: IPv4Prefix) -> FastPathUpdate:
+        """Recompile a single prefix's slice of the SDX policy.
+
+        Allocates a fresh VNH unconditionally (the paper's shortcut),
+        builds the prefix-restricted two-stage policy, installs it above
+        the base table, and pushes the re-advertisement so that border
+        routers start tagging traffic with the new VMAC.
+        """
+        controller = self._controller
+        started = time.perf_counter()
+        self._remove_block(prefix)
+        ranked = controller.route_server.ranked_routes(prefix)
+        if not ranked:
+            # Prefix fully withdrawn: routers lose the route; nothing to install.
+            controller.readvertise_prefix(prefix, None)
+            return FastPathUpdate(prefix, None, 0, time.perf_counter() - started)
+        vnh = controller.allocator.allocate()
+        group = PrefixGroup(-1, frozenset((prefix,)), vnh)
+        classifier = self._compile_prefix(prefix, group, ranked)
+        self._sequence += 1
+        cookie = ("fastpath", str(prefix), self._sequence)
+        controller.switch.table.install_classifier(
+            classifier,
+            base_priority=FASTPATH_BASE_PRIORITY + 4096 * self._sequence,
+            cookie=cookie,
+        )
+        self._active[prefix] = cookie
+        controller.readvertise_prefix(prefix, vnh.address)
+        elapsed = time.perf_counter() - started
+        return FastPathUpdate(prefix, vnh, len(classifier), elapsed)
+
+    def flush(self) -> int:
+        """Drop every fast-path block (after a background recompilation)."""
+        removed = 0
+        table = self._controller.switch.table
+        for cookie in self._active.values():
+            removed += table.remove_by_cookie(cookie)
+        self._active.clear()
+        return removed
+
+    # -- prefix-restricted compilation ------------------------------------------
+
+    def _compile_prefix(
+        self, prefix: IPv4Prefix, group: PrefixGroup, ranked: Tuple[Route, ...]
+    ) -> Classifier:
+        """The mini SDX classifier handling exactly this prefix's VMAC."""
+        controller = self._controller
+        config = controller.config
+        vmac = group.vnh.hardware
+
+        # Stage 1: participant policy fragments mentioning this prefix,
+        # then the per-group default rules.
+        stage1_rules: List[Rule] = []
+        for participant in config.participants():
+            if participant.is_remote:
+                continue
+            raw = controller.raw_outbound_classifier(participant.name)
+            if raw is None:
+                continue
+            loc_rib = controller.route_server.loc_rib(participant.name)
+            feasible = loc_rib.feasible_next_hops(prefix)
+            participant_names = frozenset(config.participant_names())
+            fragment: List[Rule] = []
+            for rule in raw.rules:
+                if rule.is_drop:
+                    continue
+                constraint = rule.match.constraints.get("dstip")
+                if constraint is not None and not constraint.overlaps(prefix):
+                    continue
+                # Participant targets require BGP feasibility; chain and
+                # physical-port targets pass through, mirroring
+                # vmacify_outbound's treatment.
+                targets = [
+                    action
+                    for action in rule.actions
+                    if (
+                        action.output_port in feasible
+                        if action.output_port in participant_names
+                        else action.output_port is not None
+                    )
+                ]
+                if not targets:
+                    continue
+                scoped = rule.match.without("dstip").restrict("dstmac", vmac)
+                if scoped is None:
+                    continue
+                if constraint is not None and not constraint.contains(prefix):
+                    narrowed = scoped.restrict("dstip", constraint)
+                    if narrowed is None:
+                        continue
+                    scoped = narrowed
+                fragment.append(Rule(scoped, targets))
+            if fragment:
+                stage1_rules.extend(
+                    isolate(Classifier(fragment), participant.port_ids).rules
+                )
+        # Mid-chain continuation for this VMAC must outrank the default
+        # rule (which has no port constraint and would otherwise swallow
+        # traffic returning from a middlebox hop).
+        chains = list(controller.chains().values())
+        for continuation in chain_continuation_rules(chains):
+            scoped = continuation.match.restrict("dstmac", vmac)
+            if scoped is not None:
+                stage1_rules.append(Rule(scoped, continuation.actions))
+        stage1_rules.extend(default_rules_for_group(config, group, ranked))
+        stage1 = Classifier(stage1_rules)
+
+        # Stage 2: blocks are only needed for locations stage 1 can reach
+        # — the participants some rule forwards to, plus chains and
+        # physical ports targeted directly.  Building all ~N blocks per
+        # update would make the fast path linear in the exchange size
+        # for no benefit.
+        targets = set()
+        for rule in stage1.rules:
+            for action in rule.actions:
+                if action.output_port is not None:
+                    targets.add(action.output_port)
+        blocks: Dict[Any, Classifier] = {}
+        port_ids = {port.port_id for port in config.physical_ports()}
+        for target in targets:
+            if isinstance(target, ServiceChain):
+                blocks[target] = chain_entry_block(target)
+                continue
+            if target in port_ids:
+                blocks[target] = controller.passthrough_block(target)
+                continue
+            if target not in config:
+                continue
+            participant = config.participant(target)
+            inbound = controller.raw_inbound_classifier(participant.name)
+            narrowed_rules: List[Rule] = []
+            if inbound is not None:
+                for rule in inbound.rules:
+                    scoped = rule.match.restrict("dstmac", vmac)
+                    if scoped is not None:
+                        narrowed_rules.append(Rule(scoped, rule.actions))
+            combined = with_fallback(
+                controller.rewrite_delivery(Classifier(narrowed_rules)),
+                Classifier(delivery_rules_for_group(participant, group, ranked)),
+            )
+            block = isolate(combined, [participant.name])
+            if len(block):
+                blocks[participant.name] = block
+
+        rules: List[Rule] = []
+        for rule in stage1.rules:
+            rules.extend(
+                sequence_rule(rule, lambda action: blocks.get(action.output_port))
+            )
+        return Classifier(rules).optimized()
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _remove_block(self, prefix: IPv4Prefix) -> None:
+        cookie = self._active.pop(prefix, None)
+        if cookie is not None:
+            self._controller.switch.table.remove_by_cookie(cookie)
+
+    def __repr__(self) -> str:
+        return f"FastPathEngine(active_prefixes={len(self._active)})"

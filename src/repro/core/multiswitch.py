@@ -1,0 +1,186 @@
+"""Distributing the SDX policy over multiple physical switches.
+
+Section 4.1 notes that a real SDX "may consist of multiple physical
+switches, each connected to a subset of the participants", relying on
+Pyretic's topology abstraction to combine the single-switch policy with
+inter-switch routing.  This module implements that combination for our
+classifier representation:
+
+* the full single-switch classifier runs **only at the ingress switch**
+  (the one owning the packet's arrival port); egress actions whose port
+  lives on another switch are rewritten to the ingress switch's uplink
+  toward the owner;
+* frames in transit between switches are already *final* — the SDX
+  compiler rewrites every delivered frame's destination MAC to the
+  egress interface's physical address — so the other switches forward
+  them with plain (in-port-scoped) MAC rules, exactly like today's
+  multi-switch IXP fabrics.
+
+Service-chain hop ports are the one exception to "transit frames are
+final" (their frames keep the VMAC tag), so chains and their hop ports
+must be colocated with their users' ingress switch; :func:`distribute`
+rejects topologies that violate this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.ixp.topology import IXPConfig
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+
+__all__ = ["SwitchTopology", "distribute"]
+
+
+class SwitchTopology:
+    """Physical switches, their edge ports, and inter-switch links.
+
+    ``switches`` maps a switch name to the SDX port ids attached to it;
+    ``links`` are ((switch_a, uplink_port_a), (switch_b, uplink_port_b))
+    pairs.  Uplink port names must not collide with edge port names.
+    """
+
+    def __init__(
+        self,
+        switches: Mapping[str, Iterable[str]],
+        links: Iterable[Tuple[Tuple[str, str], Tuple[str, str]]] = (),
+    ) -> None:
+        self.switches: Dict[str, FrozenSet[str]] = {
+            name: frozenset(ports) for name, ports in switches.items()
+        }
+        if not self.switches:
+            raise ValueError("a topology needs at least one switch")
+        seen_ports: Set[str] = set()
+        for name, ports in self.switches.items():
+            overlap = seen_ports & ports
+            if overlap:
+                raise ValueError(f"ports {sorted(overlap)} appear on two switches")
+            seen_ports |= ports
+        self.links: List[Tuple[Tuple[str, str], Tuple[str, str]]] = []
+        self._neighbors: Dict[str, Dict[str, str]] = {name: {} for name in self.switches}
+        for (switch_a, port_a), (switch_b, port_b) in links:
+            for switch, port in ((switch_a, port_a), (switch_b, port_b)):
+                if switch not in self.switches:
+                    raise ValueError(f"unknown switch {switch!r} in link")
+                if port in self.switches[switch]:
+                    raise ValueError(
+                        f"uplink {port!r} collides with an edge port on {switch!r}"
+                    )
+            self.links.append(((switch_a, port_a), (switch_b, port_b)))
+            self._neighbors[switch_a][switch_b] = port_a
+            self._neighbors[switch_b][switch_a] = port_b
+
+    def owner_of(self, port_id: str) -> Optional[str]:
+        """The switch owning an edge port."""
+        for name, ports in self.switches.items():
+            if port_id in ports:
+                return name
+        return None
+
+    def uplink_ports(self, switch: str) -> FrozenSet[str]:
+        """The inter-switch ports of ``switch``."""
+        return frozenset(self._neighbors[switch].values())
+
+    def next_hop_port(self, source: str, destination: str) -> Optional[str]:
+        """The uplink ``source`` uses toward ``destination`` (BFS shortest path)."""
+        if source == destination:
+            return None
+        visited = {source}
+        queue = deque([(source, None)])
+        first_hop: Dict[str, Optional[str]] = {source: None}
+        while queue:
+            current, origin = queue.popleft()
+            for neighbor in self._neighbors[current]:
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                hop = origin if origin is not None else self._neighbors[source][neighbor]
+                first_hop[neighbor] = hop
+                if neighbor == destination:
+                    return hop
+                queue.append((neighbor, hop))
+        return None
+
+    def __repr__(self) -> str:
+        return f"SwitchTopology(switches={sorted(self.switches)}, links={len(self.links)})"
+
+
+def _validate(topology: SwitchTopology, config: IXPConfig, chain_hop_ports: FrozenSet[str]) -> None:
+    configured = {port.port_id for port in config.physical_ports()}
+    placed = set()
+    for ports in topology.switches.values():
+        placed |= ports
+    missing = configured - placed
+    if missing:
+        raise ValueError(f"ports {sorted(missing)} not placed on any switch")
+    extra = placed - configured
+    if extra:
+        raise ValueError(f"topology places unknown ports {sorted(extra)}")
+    # Reachability of every switch pair.
+    names = list(topology.switches)
+    for destination in names[1:]:
+        if topology.next_hop_port(names[0], destination) is None:
+            raise ValueError(f"switch {destination!r} unreachable from {names[0]!r}")
+    if chain_hop_ports:
+        # Chain frames are not final (VMAC preserved); supporting them
+        # across switches would need tag-aware transit rules.
+        raise ValueError(
+            "service chains are not supported on multi-switch topologies"
+        )
+
+
+def distribute(
+    classifier: Classifier,
+    topology: SwitchTopology,
+    config: IXPConfig,
+    chain_hop_ports: FrozenSet[str] = frozenset(),
+) -> Dict[str, Classifier]:
+    """Split a compiled single-switch SDX policy across physical switches.
+
+    Returns one classifier per switch: in-port-scoped transit MAC rules
+    first (frames arriving on uplinks), then the ingress policy with
+    remote egress actions re-pointed at uplinks.
+    """
+    _validate(topology, config, chain_hop_ports)
+    port_macs = {port.port_id: port.hardware for port in config.physical_ports()}
+
+    out: Dict[str, Classifier] = {}
+    for switch, edge_ports in topology.switches.items():
+        rules: List[Rule] = []
+
+        # Transit: frames from uplinks are final; forward by MAC.
+        for uplink in sorted(topology.uplink_ports(switch)):
+            for port_id, hardware in port_macs.items():
+                owner = topology.owner_of(port_id)
+                if owner == switch:
+                    egress = port_id
+                else:
+                    egress = topology.next_hop_port(switch, owner)
+                if egress is None or egress == uplink:
+                    continue  # never bounce a frame back where it came from
+                rules.append(
+                    Rule(
+                        HeaderMatch(port=uplink, dstmac=hardware),
+                        (Action(port=egress),),
+                    )
+                )
+
+        # Ingress: the full policy for packets arriving on local edge
+        # ports, with remote egress ports rewritten to uplinks.
+        for rule in classifier.rules:
+            constraint = rule.match.constraints.get("port")
+            if constraint is not None and constraint not in edge_ports:
+                continue
+            actions: List[Action] = []
+            for action in rule.actions:
+                target = action.output_port
+                owner = topology.owner_of(target) if target is not None else None
+                if owner is None or owner == switch:
+                    actions.append(action)
+                else:
+                    uplink = topology.next_hop_port(switch, owner)
+                    actions.append(action.then(Action(port=uplink)))
+            rules.append(Rule(rule.match, actions) if not rule.is_drop else rule)
+        out[switch] = Classifier(rules)
+    return out

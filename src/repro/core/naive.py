@@ -1,0 +1,189 @@
+"""The naive (per-prefix) compilation strategy — the §4.2 strawman.
+
+Section 4.2 motivates the VNH/VMAC design by what happens without it:
+"augmenting each participant's policy with the BGP-learned prefixes
+could cause an explosion in the size of the final policy ... a naive
+compilation algorithm could easily lead to millions of forwarding
+rules, while even the most high-end SDN switch hardware can barely
+hold half a million".
+
+This module implements that naive algorithm faithfully so the claim
+can be measured: BGP reachability filters become one ``dstip`` match
+per prefix, default forwarding becomes one rule per (prefix,
+best-next-hop), and delivery one rule per (announcer, prefix).  The
+:func:`compile_naive` pipeline mirrors
+:class:`~repro.core.compiler.SDXCompiler` stage for stage, differing
+only in the encoding, so rule-count comparisons isolate exactly the
+paper's optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Mapping, NamedTuple, Optional
+
+from repro.bgp.route_server import RouteServer
+from repro.core.participant import SDXPolicySet
+from repro.core.transforms import (
+    concat_disjoint,
+    isolate,
+    rewrite_inbound_delivery,
+)
+from repro.ixp.topology import IXPConfig
+from repro.netutils.ip import IPv4Prefix
+from repro.policy.analysis import with_fallback
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule, sequence_rule
+
+__all__ = ["NaiveCompilationResult", "compile_naive"]
+
+
+class NaiveCompilationResult(NamedTuple):
+    """Outcome of a naive compilation (rule counts are the point)."""
+
+    classifier: Classifier
+    rules: int
+
+
+def _prefix_filtered_outbound(
+    classifier: Classifier,
+    participants: FrozenSet[str],
+    reachable,
+) -> Classifier:
+    """BGP-consistency filters as per-prefix dstip matches (no VMACs)."""
+    rewritten: List[Rule] = []
+    for rule in classifier.rules:
+        if rule.is_drop:
+            rewritten.append(rule)
+            continue
+        virtual = [a for a in rule.actions if a.output_port in participants]
+        other = [a for a in rule.actions if a.output_port not in participants]
+        if not virtual:
+            rewritten.append(rule)
+            continue
+        constraint = rule.match.constraints.get("dstip")
+        for action in virtual:
+            for prefix in sorted(reachable(action.output_port)):
+                if constraint is not None and not prefix.overlaps(constraint):
+                    continue
+                narrowed = prefix if constraint is None or constraint.contains(prefix) else constraint
+                scoped = rule.match.without("dstip").restrict("dstip", narrowed)
+                if scoped is not None:
+                    rewritten.append(Rule(scoped, (action, *other)))
+        if other:
+            rewritten.append(Rule(rule.match, other))
+    return Classifier(rewritten).optimized()
+
+
+def compile_naive(
+    config: IXPConfig,
+    route_server: RouteServer,
+    policies: Mapping[str, SDXPolicySet],
+) -> NaiveCompilationResult:
+    """Compile without prefix grouping: every filter names raw prefixes.
+
+    Functionally equivalent to the optimized pipeline for unicast
+    policies, but with data-plane state proportional to the number of
+    *prefixes* rather than prefix *groups* — the scaling the paper's
+    VMAC scheme exists to avoid.
+    """
+    participant_names = frozenset(config.participant_names())
+
+    # Stage 1: per-participant policies with per-prefix BGP filters.
+    stage1_blocks: List[Classifier] = []
+    for participant in config.participants():
+        policy_set = policies.get(participant.name)
+        if policy_set is None or policy_set.outbound is None or participant.is_remote:
+            continue
+        raw = policy_set.outbound.compile()
+        loc_rib = route_server.loc_rib(participant.name)
+        cache: Dict[str, FrozenSet[IPv4Prefix]] = {}
+
+        def reachable(target: str, _loc_rib=loc_rib, _cache=cache):
+            found = _cache.get(target)
+            if found is None:
+                found = _loc_rib.prefixes_via(target)
+                _cache[target] = found
+            return found
+
+        filtered = _prefix_filtered_outbound(raw, participant_names, reachable)
+        sealed = with_fallback(filtered, Classifier())
+        stage1_blocks.append(isolate(sealed, participant.port_ids))
+
+    # Default forwarding: one rule per (prefix, top route), plus export
+    # exceptions per excluded participant port; physical-MAC rules for
+    # nothing — naive compilation routes *everything* by dstip.
+    default_rules: List[Rule] = []
+    for prefix in sorted(route_server.all_prefixes()):
+        ranked = route_server.ranked_routes(prefix)
+        if not ranked:
+            continue
+        top = ranked[0]
+        if top.export_to is not None:
+            for participant in config.participants():
+                if participant.name == top.learned_from or participant.is_remote:
+                    continue
+                best = next(
+                    (
+                        r
+                        for r in ranked
+                        if r.learned_from != participant.name
+                        and r.exported_to(participant.name)
+                    ),
+                    None,
+                )
+                if best is None or best is top:
+                    continue
+                for port in participant.ports:
+                    default_rules.append(
+                        Rule(
+                            HeaderMatch(port=port.port_id, dstip=prefix),
+                            (Action(port=best.learned_from),),
+                        )
+                    )
+        default_rules.append(
+            Rule(HeaderMatch(dstip=prefix), (Action(port=top.learned_from),))
+        )
+    stage1 = concat_disjoint(stage1_blocks + [Classifier(default_rules)])
+
+    # Stage 2: inbound policies + per-prefix delivery.
+    blocks: Dict[Any, Classifier] = {}
+    for participant in config.participants():
+        policy_set = policies.get(participant.name)
+        inbound = (
+            policy_set.inbound.compile()
+            if policy_set is not None and policy_set.inbound is not None
+            else Classifier()
+        )
+        delivery_rules: List[Rule] = []
+        if not participant.is_remote:
+            for prefix in sorted(route_server.prefixes_from(participant.name)):
+                route = route_server.route_from(participant.name, prefix)
+                port = participant.port_for_address(route.attributes.next_hop)
+                if port is None:
+                    continue
+                delivery_rules.append(
+                    Rule(
+                        HeaderMatch(dstip=prefix),
+                        (Action(port=port.port_id, dstmac=port.hardware),),
+                    )
+                )
+        combined = with_fallback(
+            rewrite_inbound_delivery(inbound, config), Classifier(delivery_rules)
+        )
+        block = isolate(combined, [participant.name])
+        if len(block):
+            blocks[participant.name] = block
+    for port in config.physical_ports():
+        blocks[port.port_id] = Classifier(
+            [
+                Rule(
+                    HeaderMatch(port=port.port_id),
+                    (Action(port=port.port_id, dstmac=port.hardware),),
+                )
+            ]
+        )
+
+    rules: List[Rule] = []
+    for rule in stage1.rules:
+        rules.extend(sequence_rule(rule, lambda action: blocks.get(action.output_port)))
+    classifier = Classifier(rules).optimized()
+    return NaiveCompilationResult(classifier=classifier, rules=len(classifier))

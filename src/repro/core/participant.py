@@ -1,0 +1,127 @@
+"""Participant-facing API objects.
+
+A participating AS interacts with the SDX through two artifacts:
+
+* an :class:`SDXPolicySet` — its inbound and outbound Pyretic policies
+  (Section 3.1 requires participants to label which is which);
+* a :class:`ParticipantHandle` — the object the controller hands back
+  on registration, through which the AS submits policies, announces or
+  withdraws prefixes (Section 3.2's ``announce()``/``withdraw()``), and
+  inspects the routes the route server re-advertised to it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.bgp.rib import RIBTable
+from repro.ixp.topology import ParticipantSpec
+from repro.netutils.ip import IPv4Prefix
+from repro.policy.language import Policy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import SDXController
+
+__all__ = ["ParticipantHandle", "SDXPolicySet"]
+
+
+class SDXPolicySet:
+    """A participant's policies, split by direction.
+
+    Outbound policies apply to traffic the participant's border router
+    sends into the fabric; inbound policies to traffic other
+    participants (or the default forwarding) hand to its virtual switch.
+    Either may be ``None`` — the paper's "simplest application specifies
+    nothing", leaving all traffic on BGP-selected routes.
+    """
+
+    __slots__ = ("outbound", "inbound")
+
+    def __init__(
+        self, outbound: Optional[Policy] = None, inbound: Optional[Policy] = None
+    ) -> None:
+        self.outbound = outbound
+        self.inbound = inbound
+
+    @property
+    def is_empty(self) -> bool:
+        return self.outbound is None and self.inbound is None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SDXPolicySet):
+            return NotImplemented
+        return self.outbound == other.outbound and self.inbound == other.inbound
+
+    def __hash__(self) -> int:
+        return hash((self.outbound, self.inbound))
+
+    def __repr__(self) -> str:
+        return (
+            f"SDXPolicySet(outbound={self.outbound!r}, inbound={self.inbound!r})"
+        )
+
+
+class ParticipantHandle:
+    """One AS's control channel to the SDX controller."""
+
+    def __init__(self, spec: ParticipantSpec, controller: "SDXController") -> None:
+        self.spec = spec
+        self._controller = controller
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def asn(self) -> int:
+        return self.spec.asn
+
+    # -- policies -----------------------------------------------------------
+
+    def set_policies(
+        self,
+        outbound: Optional[Policy] = None,
+        inbound: Optional[Policy] = None,
+        recompile: bool = True,
+    ) -> None:
+        """Install (replace) this participant's SDX policies."""
+        self._controller.set_policies(
+            self.name, SDXPolicySet(outbound, inbound), recompile=recompile
+        )
+
+    def clear_policies(self, recompile: bool = True) -> None:
+        """Remove this participant's policies (back to pure BGP)."""
+        self._controller.set_policies(self.name, SDXPolicySet(), recompile=recompile)
+
+    # -- route origination (Section 3.2) --------------------------------------
+
+    def announce(self, prefix: "IPv4Prefix | str") -> None:
+        """Originate a BGP route for ``prefix`` from the SDX itself.
+
+        Used by remote participants (e.g. the wide-area load balancer's
+        anycast prefix).  The controller stands in for RPKI validation —
+        ownership is assumed in this reproduction.
+        """
+        self._controller.originate(self.name, prefix)
+
+    def withdraw(self, prefix: "IPv4Prefix | str") -> None:
+        """Withdraw a previously originated prefix."""
+        self._controller.withdraw_origination(self.name, prefix)
+
+    # -- route inspection ----------------------------------------------------
+
+    def rib(self) -> RIBTable:
+        """A queryable snapshot of the routes available to this participant.
+
+        Policies can be written against it::
+
+            youtube = handle.rib().filter("as_path", r".*43515$")
+        """
+        return self._controller.route_server.rib_table(self.name)
+
+    def learned_routes(self) -> List:
+        """The best-route advertisements this participant currently receives."""
+        return self._controller.advertisements(self.name)
+
+    def __repr__(self) -> str:
+        return f"ParticipantHandle({self.name!r})"

@@ -1,0 +1,85 @@
+"""Virtual next-hop (VNH) and virtual MAC (VMAC) allocation.
+
+Section 4.2's tagging scheme needs two paired identifier spaces:
+
+* VNH — an IP address, drawn from a pool reserved in the SDX config,
+  placed in the next-hop field of the BGP routes the route server
+  re-advertises;
+* VMAC — a locally-administered MAC address that the SDX ARP responder
+  returns for the VNH, and that therefore ends up in the destination
+  MAC field of every packet a participant router sends toward the
+  corresponding forwarding-equivalence class.
+
+:class:`VirtualNextHopAllocator` hands out (VNH, VMAC) pairs and backs
+the controller's ARP responder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, NamedTuple, Optional
+
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+from repro.netutils.mac import MACAddress, MACAllocator
+
+__all__ = ["VirtualNextHop", "VirtualNextHopAllocator"]
+
+
+class VirtualNextHop(NamedTuple):
+    """One allocated (VNH IP, VMAC) pair."""
+
+    address: IPv4Address
+    hardware: MACAddress
+
+
+class VirtualNextHopAllocator:
+    """Sequential allocator over the configured VNH pool.
+
+    The pool's network and broadcast addresses are skipped so VNHs are
+    always valid host addresses on the peering LAN.
+    """
+
+    def __init__(
+        self,
+        pool: "IPv4Prefix | str" = "172.16.0.0/12",
+        mac_allocator: Optional[MACAllocator] = None,
+    ) -> None:
+        self.pool = IPv4Prefix(pool)
+        if self.pool.num_addresses < 4:
+            raise ValueError(f"VNH pool too small: {self.pool}")
+        self._macs = mac_allocator if mac_allocator is not None else MACAllocator()
+        self._next_index = 1  # skip the network address
+        self._by_address: Dict[IPv4Address, VirtualNextHop] = {}
+
+    @property
+    def allocated(self) -> int:
+        return len(self._by_address)
+
+    def allocate(self) -> VirtualNextHop:
+        """Allocate a fresh (VNH, VMAC) pair."""
+        if self._next_index >= self.pool.num_addresses - 1:
+            raise RuntimeError(f"VNH pool {self.pool} exhausted")
+        address = self.pool.host(self._next_index)
+        self._next_index += 1
+        vnh = VirtualNextHop(address, self._macs.allocate())
+        self._by_address[address] = vnh
+        return vnh
+
+    def resolve(self, address: "IPv4Address | str") -> Optional[MACAddress]:
+        """ARP-responder hook: the VMAC for an allocated VNH address."""
+        vnh = self._by_address.get(IPv4Address(address))
+        return vnh.hardware if vnh is not None else None
+
+    def release_all(self) -> None:
+        """Forget every allocation (used by full background recompilation)."""
+        self._by_address.clear()
+        self._next_index = 1
+        self._macs.reset()
+
+    def __contains__(self, address: "IPv4Address | str") -> bool:
+        return IPv4Address(address) in self._by_address
+
+    def __iter__(self) -> Iterator[VirtualNextHop]:
+        return iter(self._by_address.values())
+
+    def __repr__(self) -> str:
+        return f"VirtualNextHopAllocator(pool={self.pool}, allocated={self.allocated})"

@@ -1,0 +1,34 @@
+"""Data-plane substrate: flow tables, switches, routers, ARP, fabric.
+
+This package replaces the Open vSwitch + Mininet layer of the paper's
+prototype with a deterministic in-process emulation that exposes the
+same observable behaviour: priority flow-table matching, MAC learning,
+ARP resolution, and the BGP border-router forwarding pipeline the SDX
+VMAC scheme piggybacks on.
+"""
+
+from repro.dataplane.appliance import MiddleboxAppliance
+from repro.dataplane.arp import ARPService, ARPTable
+from repro.dataplane.fabric import Endpoint, Fabric, Host
+from repro.dataplane.flowtable import FlowRule, FlowTable
+from repro.dataplane.router import BorderRouter, RouterInterface
+from repro.dataplane.stp import SpanningTree, compute_spanning_tree
+from repro.dataplane.switch import LearningSwitch, Node, SDNSwitch
+
+__all__ = [
+    "ARPService",
+    "ARPTable",
+    "BorderRouter",
+    "Endpoint",
+    "Fabric",
+    "FlowRule",
+    "FlowTable",
+    "Host",
+    "LearningSwitch",
+    "MiddleboxAppliance",
+    "Node",
+    "RouterInterface",
+    "SDNSwitch",
+    "SpanningTree",
+    "compute_spanning_tree",
+]

@@ -1,0 +1,59 @@
+"""In-fabric middlebox appliances.
+
+For the service-chaining extension (the paper's Section 8: "policies
+... to control how traffic flows through middleboxes ... thereby
+enabling service chaining"), a middlebox is not a passive sink: it
+receives a frame on its SDX port, applies its function, and re-emits
+the (possibly transformed) frame on the same port so the fabric can
+carry it to the next hop of the chain.
+
+:class:`MiddleboxAppliance` models exactly that — a bump in the wire
+with an optional packet transform and a capture log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, List, Optional, Tuple
+
+from repro.dataplane.switch import Node
+from repro.policy.packet import Packet
+
+__all__ = ["MiddleboxAppliance"]
+
+Transform = Callable[[Packet], Optional[Packet]]
+
+
+class MiddleboxAppliance(Node):
+    """A middlebox plugged directly into an SDX port.
+
+    ``transform`` maps each received packet to the packet to re-emit
+    (default: unchanged); returning ``None`` drops it (firewall
+    semantics).  Every received packet is recorded in :attr:`seen`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        port: Any = "wire",
+        transform: Optional[Transform] = None,
+    ) -> None:
+        super().__init__(name)
+        self.port = port
+        self.transform = transform
+        self.seen: List[Packet] = []
+        self.dropped = 0
+
+    def ports(self) -> FrozenSet[Any]:
+        return frozenset((self.port,))
+
+    def receive(self, packet: Packet, in_port: Any) -> List[Tuple[Any, Packet]]:
+        """Record, transform, and re-emit (or drop) one frame."""
+        self.seen.append(packet)
+        out = packet if self.transform is None else self.transform(packet)
+        if out is None:
+            self.dropped += 1
+            return []
+        return [(self.port, out)]
+
+    def __repr__(self) -> str:
+        return f"MiddleboxAppliance({self.name!r}, seen={len(self.seen)})"

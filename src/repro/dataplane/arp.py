@@ -1,0 +1,92 @@
+"""ARP resolution.
+
+At the SDX the controller runs an ARP responder that answers queries
+for *virtual next-hop* (VNH) addresses with the corresponding virtual
+MAC (Section 4.2): that is how the FEC tag reaches the participants'
+unmodified border routers.  This module models ARP at the resolution
+level — an :class:`ARPService` chains resolvers (static host tables,
+the SDX responder) and is queried by border routers when they install
+FIB entries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.netutils.ip import IPv4Address
+from repro.netutils.mac import MACAddress
+
+__all__ = ["ARPService", "ARPTable", "Resolver"]
+
+Resolver = Callable[[IPv4Address], Optional[MACAddress]]
+
+
+class ARPTable:
+    """A static IP-to-MAC mapping (one LAN segment's ARP cache)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[IPv4Address, MACAddress] = {}
+
+    def learn(self, address: "IPv4Address | str", hardware: "MACAddress | str") -> None:
+        """Add or update a binding."""
+        self._entries[IPv4Address(address)] = MACAddress(hardware)
+
+    def forget(self, address: "IPv4Address | str") -> None:
+        self._entries.pop(IPv4Address(address), None)
+
+    def resolve(self, address: IPv4Address) -> Optional[MACAddress]:
+        return self._entries.get(IPv4Address(address))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, address: "IPv4Address | str") -> bool:
+        return IPv4Address(address) in self._entries
+
+    def __repr__(self) -> str:
+        return f"ARPTable(entries={len(self._entries)})"
+
+
+class ARPService:
+    """Chained ARP resolution over a shared layer-2 segment.
+
+    Resolvers are tried in registration order; the SDX controller
+    registers its VNH responder here, ahead of nothing in particular —
+    VNH space is disjoint from physical interface addresses by
+    construction, so ordering never matters in practice.
+    """
+
+    def __init__(self) -> None:
+        self._static = ARPTable()
+        self._resolvers: List[Resolver] = []
+        self.queries = 0
+        self.failures = 0
+
+    @property
+    def static_table(self) -> ARPTable:
+        """The segment's static bindings (physical router interfaces)."""
+        return self._static
+
+    def register(self, resolver: Resolver) -> None:
+        """Add a dynamic resolver (e.g. the SDX VNH responder)."""
+        self._resolvers.append(resolver)
+
+    def resolve(self, address: "IPv4Address | str") -> Optional[MACAddress]:
+        """Resolve an IP to a MAC; ``None`` models an unanswered ARP request."""
+        self.queries += 1
+        address = IPv4Address(address)
+        found = self._static.resolve(address)
+        if found is None:
+            for resolver in self._resolvers:
+                found = resolver(address)
+                if found is not None:
+                    break
+        if found is None:
+            self.failures += 1
+        return found
+
+    def __repr__(self) -> str:
+        return (
+            f"ARPService(static={len(self._static)}, resolvers={len(self._resolvers)}, "
+            f"queries={self.queries})"
+        )

@@ -1,0 +1,161 @@
+"""The emulated exchange fabric: nodes, links, hosts, delivery loop.
+
+:class:`Fabric` wires :class:`~repro.dataplane.switch.Node` objects
+together and moves packets until they are consumed, mirroring what
+Mininet provides the paper's prototype.  Per-link packet counters feed
+the traffic time series of the deployment experiments (Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, List, NamedTuple, Optional, Tuple
+
+from repro.dataplane.switch import Node
+from repro.netutils.ip import IPv4Address
+from repro.netutils.mac import MACAddress
+from repro.policy.packet import Packet
+
+__all__ = ["Endpoint", "Fabric", "Host"]
+
+
+class Endpoint(NamedTuple):
+    """One side of a link: a node name and a port on that node."""
+
+    node: str
+    port: Any
+
+
+class Host(Node):
+    """An end host: sources and sinks traffic, records what it receives.
+
+    By default a host keeps only packets addressed to its own IP
+    (shared-LAN floods are ignored); set ``promiscuous`` to capture
+    everything, e.g. for a middlebox tap.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        address: "IPv4Address | str",
+        hardware: "MACAddress | str",
+        port: Any = "eth0",
+        promiscuous: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.address = IPv4Address(address)
+        self.hardware = MACAddress(hardware)
+        self.port = port
+        self.promiscuous = promiscuous
+        self.received: List[Packet] = []
+
+    def ports(self) -> FrozenSet[Any]:
+        return frozenset((self.port,))
+
+    def receive(self, packet: Packet, in_port: Any) -> List[Tuple[Any, Packet]]:
+        """Sink the frame if addressed to us (or promiscuous)."""
+        if self.promiscuous or packet.get("dstip") == self.address:
+            self.received.append(packet)
+        return []
+
+    def build_packet(self, **headers: Any) -> Packet:
+        """A packet sourced by this host (src fields prefilled)."""
+        defaults = {"srcip": self.address, "srcmac": self.hardware}
+        defaults.update(headers)
+        return Packet(**defaults)
+
+
+class Fabric:
+    """A static topology of nodes and point-to-point links."""
+
+    MAX_HOPS = 64
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[Endpoint, Endpoint] = {}
+        self.link_packets: Dict[Tuple[Endpoint, Endpoint], int] = {}
+        self.dropped_unlinked = 0
+        self.hop_limit_drops = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Register a node; names are the fabric's addressing scheme."""
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def nodes(self) -> Tuple[Node, ...]:
+        return tuple(self._nodes.values())
+
+    def link(self, a: "Endpoint | Tuple[str, Any]", b: "Endpoint | Tuple[str, Any]") -> None:
+        """Create a bidirectional link between two (node, port) endpoints."""
+        a = Endpoint(*a)
+        b = Endpoint(*b)
+        for endpoint in (a, b):
+            if endpoint.node not in self._nodes:
+                raise ValueError(f"unknown node {endpoint.node!r}")
+            if endpoint.port not in self._nodes[endpoint.node].ports():
+                raise ValueError(
+                    f"node {endpoint.node!r} has no port {endpoint.port!r}"
+                )
+            if endpoint in self._links:
+                raise ValueError(f"endpoint {endpoint} already linked")
+        self._links[a] = b
+        self._links[b] = a
+
+    def peer(self, endpoint: "Endpoint | Tuple[str, Any]") -> Optional[Endpoint]:
+        """The far end of the link at ``endpoint``, if any."""
+        return self._links.get(Endpoint(*endpoint))
+
+    # -- packet movement -------------------------------------------------------
+
+    def send_from(self, node_name: str, out_port: Any, packet: Packet) -> int:
+        """Transmit a packet out of a node's port and run it to completion.
+
+        Returns the number of fabric hops traversed (0 when the port is
+        unlinked).  Multicast outputs are followed breadth-first; the
+        per-fabric hop limit guards against accidental loops.
+        """
+        pending: List[Tuple[Endpoint, Packet]] = [(Endpoint(node_name, out_port), packet)]
+        hops = 0
+        while pending:
+            origin, current = pending.pop(0)
+            destination = self._links.get(origin)
+            if destination is None:
+                self.dropped_unlinked += 1
+                continue
+            hops += 1
+            if hops > self.MAX_HOPS:
+                self.hop_limit_drops += 1
+                break
+            key = (origin, destination)
+            self.link_packets[key] = self.link_packets.get(key, 0) + 1
+            receiver = self._nodes[destination.node]
+            for next_port, next_packet in receiver.receive(current, destination.port):
+                pending.append((Endpoint(destination.node, next_port), next_packet))
+        return hops
+
+    def inject(self, node_name: str, in_port: Any, packet: Packet) -> int:
+        """Deliver a packet *into* a node as if it arrived on ``in_port``."""
+        hops = 0
+        node = self._nodes[node_name]
+        for out_port, out_packet in node.receive(packet, in_port):
+            hops += self.send_from(node_name, out_port, out_packet)
+        return hops
+
+    def traffic_on(self, a: "Endpoint | Tuple[str, Any]", b: "Endpoint | Tuple[str, Any]") -> int:
+        """Packets observed traversing the directed link a -> b."""
+        return self.link_packets.get((Endpoint(*a), Endpoint(*b)), 0)
+
+    def reset_counters(self) -> None:
+        """Zero the per-link and drop counters (measurement epochs)."""
+        self.link_packets.clear()
+        self.dropped_unlinked = 0
+        self.hop_limit_drops = 0
+
+    def __repr__(self) -> str:
+        return f"Fabric(nodes={len(self._nodes)}, links={len(self._links) // 2})"

@@ -1,0 +1,154 @@
+"""OpenFlow-style flow tables.
+
+The SDX controller's output — a prioritized :class:`~repro.policy.classifier.Classifier`
+— is installed into a :class:`FlowTable` as :class:`FlowRule` entries.
+The table implements the matching semantics of an OpenFlow switch
+(highest priority wins, ties broken by installation order) and keeps
+per-rule packet counters, which the deployment experiments (Figure 5)
+read to produce their traffic time series.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+from repro.policy.packet import Packet
+
+__all__ = ["FlowRule", "FlowTable"]
+
+_rule_ids = itertools.count(1)
+
+
+class FlowRule:
+    """One installed flow entry: priority + match + actions + counters."""
+
+    __slots__ = ("priority", "match", "actions", "cookie", "rule_id", "packets", "bytes")
+
+    def __init__(
+        self,
+        priority: int,
+        match: HeaderMatch,
+        actions: Iterable[Action] = (),
+        cookie: Any = None,
+    ) -> None:
+        self.priority = int(priority)
+        self.match = match
+        self.actions: FrozenSet[Action] = frozenset(actions)
+        self.cookie = cookie
+        self.rule_id = next(_rule_ids)
+        self.packets = 0
+        self.bytes = 0
+
+    @property
+    def is_drop(self) -> bool:
+        return not self.actions
+
+    def count(self, packet_bytes: int = 0) -> None:
+        """Record one packet hit against this rule."""
+        self.packets += 1
+        self.bytes += packet_bytes
+
+    def __repr__(self) -> str:
+        verdict = "drop" if self.is_drop else ", ".join(sorted(repr(a) for a in self.actions))
+        return f"FlowRule(prio={self.priority}, {self.match!r} -> {verdict})"
+
+
+class FlowTable:
+    """A priority-ordered flow table with OpenFlow matching semantics."""
+
+    def __init__(self) -> None:
+        self._rules: List[FlowRule] = []
+        self.misses = 0
+
+    # -- rule management --------------------------------------------------
+
+    def install(self, rule: FlowRule) -> FlowRule:
+        """Insert a rule, keeping the table sorted by descending priority.
+
+        Among equal priorities, earlier-installed rules match first,
+        mirroring hardware behaviour.
+        """
+        index = len(self._rules)
+        for position, existing in enumerate(self._rules):
+            if existing.priority < rule.priority:
+                index = position
+                break
+        self._rules.insert(index, rule)
+        return rule
+
+    def install_classifier(
+        self,
+        classifier: Classifier,
+        base_priority: int = 0,
+        cookie: Any = None,
+    ) -> List[FlowRule]:
+        """Install a compiled classifier as a block of flow rules.
+
+        The classifier's rule order becomes strictly descending
+        priorities starting at ``base_priority + len(classifier)``, so
+        the block preserves first-match semantics and sits above any
+        rules with priority <= ``base_priority``.
+        """
+        installed: List[FlowRule] = []
+        top = base_priority + len(classifier.rules)
+        for offset, rule in enumerate(classifier.rules):
+            installed.append(
+                self.install(
+                    FlowRule(top - offset, rule.match, rule.actions, cookie=cookie)
+                )
+            )
+        return installed
+
+    def remove(self, rule: FlowRule) -> None:
+        self._rules.remove(rule)
+
+    def remove_by_cookie(self, cookie: Any) -> int:
+        """Remove every rule tagged with ``cookie``; returns the count."""
+        before = len(self._rules)
+        self._rules = [rule for rule in self._rules if rule.cookie != cookie]
+        return before - len(self._rules)
+
+    def clear(self) -> None:
+        self._rules.clear()
+
+    # -- matching ----------------------------------------------------------
+
+    def lookup(self, packet: Packet) -> Optional[FlowRule]:
+        """The matching rule a switch would select, without counting."""
+        for rule in self._rules:
+            if rule.match.matches(packet):
+                return rule
+        return None
+
+    def process(self, packet: Packet, packet_bytes: int = 0) -> FrozenSet[Packet]:
+        """Match, count, and apply actions; no match or drop returns ∅."""
+        rule = self.lookup(packet)
+        if rule is None:
+            self.misses += 1
+            return frozenset()
+        rule.count(packet_bytes)
+        return frozenset(action.apply(packet) for action in rule.actions)
+
+    # -- introspection ------------------------------------------------------
+
+    def rules(self) -> Tuple[FlowRule, ...]:
+        return tuple(self._rules)
+
+    def counters_by_cookie(self) -> Dict[Any, Tuple[int, int]]:
+        """Aggregate (packets, bytes) per cookie."""
+        totals: Dict[Any, Tuple[int, int]] = {}
+        for rule in self._rules:
+            packets, size = totals.get(rule.cookie, (0, 0))
+            totals[rule.cookie] = (packets + rule.packets, size + rule.bytes)
+        return totals
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[FlowRule]:
+        return iter(self._rules)
+
+    def __repr__(self) -> str:
+        return f"FlowTable(rules={len(self._rules)}, misses={self.misses})"

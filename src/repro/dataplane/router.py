@@ -1,0 +1,175 @@
+"""Participant border routers.
+
+SDX works with *unmodified* BGP routers because it piggybacks on the
+standard data path a router applies to every packet (Section 4.2):
+
+1. longest-prefix match on the destination IP selects a route;
+2. the route's BGP **next-hop IP** is resolved through ARP;
+3. the packet's destination MAC is rewritten to the resolved MAC and
+   the packet is emitted toward the IXP fabric.
+
+:class:`BorderRouter` implements exactly that pipeline, so when the SDX
+route server hands it a *virtual* next-hop and the SDX ARP responder
+answers with a *virtual* MAC, the router tags packets with their
+forwarding-equivalence class without knowing it — the first stage of
+the paper's multi-stage FIB (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, List, NamedTuple, Optional, Set, Tuple
+
+from repro.dataplane.arp import ARPService
+from repro.dataplane.switch import Node
+from repro.netutils.ip import IPv4Address, IPv4Prefix, PrefixTrie
+from repro.netutils.mac import MACAddress
+from repro.policy.packet import Packet
+
+__all__ = ["BorderRouter", "RouterInterface"]
+
+
+class RouterInterface(NamedTuple):
+    """One IXP-facing interface: local port name, addressing, fabric port."""
+
+    port: Any  # the router's own port identifier
+    address: IPv4Address  # interface IP on the peering LAN
+    hardware: MACAddress  # physical MAC (what default BGP traffic targets)
+
+
+class _FibEntry(NamedTuple):
+    next_hop: IPv4Address
+    out_port: Any
+
+
+class BorderRouter(Node):
+    """An edge router of one SDX participant.
+
+    Ports fall into two classes:
+
+    * *IXP interfaces* (``RouterInterface``) — face the exchange fabric;
+    * *internal ports* — face the participant's own network (hosts).
+
+    Routes arrive from the SDX route server as (prefix, next-hop IP)
+    pairs; packets from internal ports are forwarded by LPM with
+    next-hop MAC rewriting, and packets from the fabric are delivered
+    internally or counted as carried upstream.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        asn: int,
+        interfaces: List[RouterInterface],
+        arp: ARPService,
+        internal_port: Any = "lan0",
+    ) -> None:
+        super().__init__(name)
+        if not interfaces:
+            raise ValueError("a border router needs at least one IXP interface")
+        self.asn = asn
+        self.arp = arp
+        self.internal_port = internal_port
+        self._interfaces: Dict[Any, RouterInterface] = {
+            interface.port: interface for interface in interfaces
+        }
+        for interface in interfaces:
+            arp.static_table.learn(interface.address, interface.hardware)
+        self._rib: Dict[IPv4Prefix, IPv4Address] = {}
+        self._fib = PrefixTrie()
+        self._local_prefixes: Set[IPv4Prefix] = set()
+        self.delivered: List[Tuple[Any, Packet]] = []
+        self.carried_upstream: List[Packet] = []
+        self.unroutable = 0
+        self.arp_unresolved = 0
+
+    # -- addressing --------------------------------------------------------
+
+    @property
+    def interfaces(self) -> Tuple[RouterInterface, ...]:
+        return tuple(self._interfaces.values())
+
+    @property
+    def primary_interface(self) -> RouterInterface:
+        """The interface used to emit traffic toward the fabric."""
+        return next(iter(self._interfaces.values()))
+
+    def interface(self, port: Any) -> RouterInterface:
+        return self._interfaces[port]
+
+    def ports(self) -> FrozenSet[Any]:
+        return frozenset(self._interfaces) | {self.internal_port}
+
+    # -- control plane -------------------------------------------------------
+
+    def originate(self, prefix: "IPv4Prefix | str") -> None:
+        """Mark a prefix as locally originated (delivered internally)."""
+        self._local_prefixes.add(IPv4Prefix(prefix))
+
+    def local_prefixes(self) -> FrozenSet[IPv4Prefix]:
+        return frozenset(self._local_prefixes)
+
+    def install_route(self, prefix: "IPv4Prefix | str", next_hop: "IPv4Address | str") -> None:
+        """Install/replace the route for ``prefix`` (BGP RIB -> FIB)."""
+        prefix = IPv4Prefix(prefix)
+        next_hop = IPv4Address(next_hop)
+        self._rib[prefix] = next_hop
+        self._fib[prefix] = _FibEntry(next_hop, self.primary_interface.port)
+
+    def withdraw_route(self, prefix: "IPv4Prefix | str") -> None:
+        """Remove the route for ``prefix`` if present."""
+        prefix = IPv4Prefix(prefix)
+        if self._rib.pop(prefix, None) is not None:
+            del self._fib[prefix]
+
+    def route_for(self, destination: "IPv4Address | str") -> Optional[Tuple[IPv4Prefix, IPv4Address]]:
+        """LPM lookup: (matched prefix, next-hop IP), or ``None``."""
+        found = self._fib.longest_match(destination)
+        if found is None:
+            return None
+        matched, entry = found
+        return matched, entry.next_hop  # type: ignore[union-attr]
+
+    def rib_snapshot(self) -> Dict[IPv4Prefix, IPv4Address]:
+        return dict(self._rib)
+
+    # -- data plane ------------------------------------------------------------
+
+    def receive(self, packet: Packet, in_port: Any) -> List[Tuple[Any, Packet]]:
+        """Dispatch by direction: fabric-facing vs internal ports."""
+        if in_port in self._interfaces:
+            return self._from_fabric(packet, in_port)
+        return self._from_internal(packet)
+
+    def _from_fabric(self, packet: Packet, in_port: Any) -> List[Tuple[Any, Packet]]:
+        destination = packet.get("dstip")
+        if destination is not None and any(
+            destination in local for local in self._local_prefixes
+        ):
+            self.delivered.append((in_port, packet))
+            return [(self.internal_port, packet)]
+        # Transit traffic: carried into the participant's backbone.  The
+        # SDX invariant (Section 4.1) guarantees such traffic matches a
+        # route this router announced, so it never hairpins to the fabric.
+        self.carried_upstream.append(packet)
+        return []
+
+    def _from_internal(self, packet: Packet) -> List[Tuple[Any, Packet]]:
+        destination = packet.get("dstip")
+        if destination is None:
+            self.unroutable += 1
+            return []
+        if any(destination in local for local in self._local_prefixes):
+            self.delivered.append((self.internal_port, packet))
+            return []
+        found = self._fib.longest_match(destination)
+        if found is None:
+            self.unroutable += 1
+            return []
+        _, entry = found
+        next_hop_mac = self.arp.resolve(entry.next_hop)  # type: ignore[union-attr]
+        if next_hop_mac is None:
+            self.arp_unresolved += 1
+            return []
+        interface = self._interfaces[entry.out_port]  # type: ignore[union-attr]
+        tagged = packet.modify(srcmac=interface.hardware, dstmac=next_hop_mac)
+        return [(entry.out_port, tagged)]  # type: ignore[union-attr]

@@ -1,0 +1,121 @@
+"""Spanning-tree computation for mixed conventional/SDN fabrics.
+
+Section 3.2: "Participants who are physically present at the IXP but do
+not want to implement SDX policies see the same layer-2 abstractions
+that they would at any other IXP.  The SDX controller can run a
+conventional spanning tree protocol to ensure seamless operation
+between SDN-enabled participants and conventional participants."
+
+This module computes an 802.1D-style spanning tree over a graph of
+layer-2 switches (lowest-id root, shortest distance, lowest-id
+tiebreak) and applies it to :class:`~repro.dataplane.switch.LearningSwitch`
+instances by blocking the flooding ports that would close loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.dataplane.switch import LearningSwitch
+
+__all__ = ["SpanningTree", "compute_spanning_tree"]
+
+Link = Tuple[Tuple[str, str], Tuple[str, str]]
+
+
+class SpanningTree:
+    """The result: which (switch, port) endpoints forward vs block."""
+
+    def __init__(
+        self,
+        root: str,
+        forwarding: FrozenSet[Tuple[str, str]],
+        blocked: FrozenSet[Tuple[str, str]],
+    ) -> None:
+        self.root = root
+        self.forwarding = forwarding
+        self.blocked = blocked
+
+    def is_blocked(self, switch: str, port: str) -> bool:
+        return (switch, port) in self.blocked
+
+    def apply(self, switches: Mapping[str, LearningSwitch]) -> None:
+        """Install the tree into learning switches (block loop ports)."""
+        for name, switch in switches.items():
+            for port in list(switch.ports()):
+                switch.set_port_blocked(port, self.is_blocked(name, port))
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanningTree(root={self.root!r}, forwarding={len(self.forwarding)}, "
+            f"blocked={len(self.blocked)})"
+        )
+
+
+def compute_spanning_tree(
+    switches: Iterable[str], links: Iterable[Link]
+) -> SpanningTree:
+    """802.1D-flavoured spanning tree over named switches.
+
+    The lexicographically smallest switch id is the root (standing in
+    for the lowest bridge id); each other switch keeps the port on its
+    shortest path to the root (ties broken by neighbor id, then port
+    id); the *designated* end of every tree link forwards too.  All
+    remaining inter-switch ports block.  Edge (non-inter-switch) ports
+    are unknown to this computation and therefore never blocked.
+    """
+    names = sorted(set(switches))
+    if not names:
+        raise ValueError("no switches")
+    link_list: List[Link] = []
+    adjacency: Dict[str, List[Tuple[str, str, str]]] = {name: [] for name in names}
+    for (switch_a, port_a), (switch_b, port_b) in links:
+        for switch in (switch_a, switch_b):
+            if switch not in adjacency:
+                raise ValueError(f"link references unknown switch {switch!r}")
+        link_list.append(((switch_a, port_a), (switch_b, port_b)))
+        adjacency[switch_a].append((switch_b, port_a, port_b))
+        adjacency[switch_b].append((switch_a, port_b, port_a))
+
+    root = names[0]
+    # BFS distances from the root with deterministic neighbor order.
+    distance: Dict[str, int] = {root: 0}
+    frontier = [root]
+    while frontier:
+        next_frontier: List[str] = []
+        for current in sorted(frontier):
+            for neighbor, _, _ in sorted(adjacency[current]):
+                if neighbor not in distance:
+                    distance[neighbor] = distance[current] + 1
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+
+    unreachable = [name for name in names if name not in distance]
+    if unreachable:
+        raise ValueError(f"switches unreachable from root: {unreachable}")
+
+    # Each non-root switch picks one root port (shortest path, lowest
+    # neighbor, lowest local port id).
+    root_port: Dict[str, Tuple[str, str, str]] = {}
+    for name in names:
+        if name == root:
+            continue
+        candidates = [
+            (distance[neighbor], neighbor, local_port, remote_port)
+            for neighbor, local_port, remote_port in adjacency[name]
+            if distance[neighbor] == distance[name] - 1
+        ]
+        _, neighbor, local_port, remote_port = min(candidates)
+        root_port[name] = (neighbor, local_port, remote_port)
+
+    forwarding: Set[Tuple[str, str]] = set()
+    for name, (neighbor, local_port, remote_port) in root_port.items():
+        forwarding.add((name, local_port))
+        forwarding.add((neighbor, remote_port))  # the designated end
+
+    blocked: Set[Tuple[str, str]] = set()
+    for (switch_a, port_a), (switch_b, port_b) in link_list:
+        for endpoint in ((switch_a, port_a), (switch_b, port_b)):
+            if endpoint not in forwarding:
+                blocked.add(endpoint)
+    return SpanningTree(root, frozenset(forwarding), frozenset(blocked))

@@ -1,0 +1,33 @@
+"""One runner per table/figure of the paper's evaluation (Section 6).
+
+Modules: :mod:`table1`, :mod:`figure5`, :mod:`figure6`, :mod:`figure7`,
+:mod:`figure8`, :mod:`figure9`, :mod:`figure10`, :mod:`ablation` —
+each exposes ``run()`` (or ``run_5a``/``run_5b``) returning a result
+object with a ``print()`` reporter.  ``python -m repro.experiments``
+runs them from the command line; the ``benchmarks/`` tree wraps the
+same runners in pytest-benchmark fixtures.
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported runner modules)
+    ablation,
+    baseline,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+)
+
+__all__ = [
+    "ablation",
+    "baseline",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "table1",
+]

@@ -1,0 +1,147 @@
+"""CLI for the evaluation experiments.
+
+Usage::
+
+    python -m repro.experiments all            # everything (several minutes)
+    python -m repro.experiments table1
+    python -m repro.experiments fig5a fig5b
+    python -m repro.experiments fig6 fig7 fig8 fig9 fig10 ablation
+    python -m repro.experiments fig7 --quick   # scaled-down sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablation,
+    baseline,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+)
+
+
+def _run_table1(quick: bool) -> None:
+    table1.run(scale=0.2 if quick else 1.0).print()
+
+
+def _run_fig5a(quick: bool) -> None:
+    if quick:
+        figure5.run_5a(duration=300, policy_time=100, withdrawal_time=200).print()
+    else:
+        figure5.run_5a().print()
+
+
+def _run_fig5b(quick: bool) -> None:
+    if quick:
+        figure5.run_5b(duration=200, policy_time=100).print()
+    else:
+        figure5.run_5b().print()
+
+
+def _run_fig6(quick: bool) -> None:
+    if quick:
+        figure6.run(
+            participants_sweep=(50, 100),
+            prefix_sweep=(500, 1000, 2000),
+            total_prefixes=4000,
+        ).print()
+    else:
+        figure6.run().print()
+
+
+def _run_fig7(quick: bool) -> None:
+    result = (
+        figure7.run(participants_sweep=(50, 100), policy_prefix_sweep=(100, 250, 500))
+        if quick
+        else figure7.run()
+    )
+    result.print_figure7()
+
+
+def _run_fig8(quick: bool) -> None:
+    result = (
+        figure8.run(participants_sweep=(50, 100), policy_prefix_sweep=(100, 250, 500))
+        if quick
+        else figure8.run()
+    )
+    result.print_figure8()
+
+
+def _run_fig9(quick: bool) -> None:
+    if quick:
+        figure9.run(participants_sweep=(50, 100), burst_sizes=(5, 10, 20)).print()
+    else:
+        figure9.run().print()
+
+
+def _run_fig10(quick: bool) -> None:
+    if quick:
+        figure10.run(participants_sweep=(50, 100), updates_per_setting=20).print()
+    else:
+        figure10.run().print()
+
+
+def _run_baseline(quick: bool) -> None:
+    if quick:
+        baseline.run(sweep=((20, 400), (30, 800))).print()
+    else:
+        baseline.run().print()
+
+
+def _run_ablation(quick: bool) -> None:
+    if quick:
+        ablation.run_compiler_ablation(participants=30, policy_prefixes=150).print(
+            "Compiler optimization ablation"
+        )
+        ablation.run_mds_ablation(set_counts=(10, 20)).print()
+    else:
+        ablation.run_compiler_ablation().print("Compiler optimization ablation")
+        ablation.run_mds_ablation().print()
+
+
+RUNNERS: Dict[str, Callable[[bool], None]] = {
+    "baseline": _run_baseline,
+    "table1": _run_table1,
+    "fig5a": _run_fig5a,
+    "fig5b": _run_fig5b,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "ablation": _run_ablation,
+}
+
+
+def main(argv=None) -> int:
+    """Parse experiment names and run each selected artifact."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(RUNNERS) + ["all"],
+        help="which experiments to run",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="scaled-down sweeps (CI-friendly)"
+    )
+    args = parser.parse_args(argv)
+    names = sorted(RUNNERS) if "all" in args.experiments else args.experiments
+    for name in names:
+        RUNNERS[name](args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

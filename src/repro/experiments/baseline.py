@@ -1,0 +1,72 @@
+"""Naive-compilation baseline: the §4.2 rule-explosion comparison.
+
+The paper justifies the VNH/VMAC design by the state a naive compiler
+would need ("millions of forwarding rules" at 500k prefixes).  This
+experiment compiles the same §6.1 workload both ways and reports the
+rule counts side by side; the ratio grows with the routing-table size,
+extrapolating to the paper's claim.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, NamedTuple, Sequence, Tuple
+
+from repro.core.naive import compile_naive
+from repro.experiments.common import build_scenario, print_table
+
+__all__ = ["BaselineResult", "run"]
+
+DEFAULT_SWEEP: Tuple[Tuple[int, int], ...] = ((30, 1000), (40, 2000), (50, 3000))
+
+
+class BaselineResult(NamedTuple):
+    """Side-by-side naive/VMAC compilation outcomes per sweep point."""
+
+    #: (participants, prefixes, naive rules, vmac rules, naive s, vmac s)
+    rows: List[Tuple[int, int, int, int, float, float]]
+
+    def print(self) -> None:
+        """Render the comparison as an aligned table."""
+        print_table(
+            "Naive vs VMAC compilation (the §4.2 state-reduction argument)",
+            ["participants", "prefixes", "naive rules", "VMAC rules", "ratio", "naive (s)", "VMAC (s)"],
+            [
+                (
+                    participants,
+                    prefixes,
+                    naive,
+                    vmac,
+                    f"{naive / max(vmac, 1):.1f}x",
+                    f"{naive_s:.1f}",
+                    f"{vmac_s:.1f}",
+                )
+                for participants, prefixes, naive, vmac, naive_s, vmac_s in self.rows
+            ],
+        )
+
+
+def run(sweep: Sequence[Tuple[int, int]] = DEFAULT_SWEEP, seed: int = 4) -> BaselineResult:
+    """Compile each sweep point with both strategies."""
+    rows: List[Tuple[int, int, int, int, float, float]] = []
+    for participants, prefixes in sweep:
+        scenario = build_scenario(participants=participants, prefixes=prefixes, seed=seed)
+        started = time.perf_counter()
+        naive = compile_naive(
+            scenario.ixp.config, scenario.route_server, scenario.workload.policies
+        )
+        naive_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        vmac = scenario.compiler().compile(scenario.workload.policies)
+        vmac_seconds = time.perf_counter() - started
+        rows.append(
+            (
+                participants,
+                prefixes,
+                naive.rules,
+                vmac.stats.rules,
+                naive_seconds,
+                vmac_seconds,
+            )
+        )
+    return BaselineResult(rows)

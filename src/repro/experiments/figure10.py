@@ -1,0 +1,84 @@
+"""Figure 10: CDF of the time to process a single BGP update.
+
+The fast path's per-update cost is what keeps the SDX responsive under
+real update churn.  The paper reports sub-100 ms handling for most
+updates; our measurements are the same code path (new VNH, restricted
+recompilation, rule install, re-advertisement) on commodity hardware,
+and the CDF's *shape* — tight, with a modest tail — is the comparison
+target.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Sequence, Tuple
+
+from repro.experiments.common import build_scenario, print_table
+from repro.experiments.figure9 import _worst_case_burst
+
+__all__ = ["Figure10Result", "run"]
+
+DEFAULT_PARTICIPANTS = (100, 200, 300)
+PERCENTILES = (10, 25, 50, 75, 90, 99)
+
+
+class Figure10Result(NamedTuple):
+    """Per-update fast-path latency samples per participant count."""
+
+    #: {participants: sorted per-update processing times in seconds}
+    samples: Dict[int, List[float]]
+
+    def percentile(self, participants: int, percent: float) -> float:
+        """The ``percent``-th percentile of the sorted samples, seconds."""
+        data = self.samples[participants]
+        if not data:
+            return 0.0
+        index = min(len(data) - 1, int(len(data) * percent / 100))
+        return data[index]
+
+    def print(self) -> None:
+        """Render the CDF percentiles (milliseconds) as a table."""
+        rows = []
+        for participants in sorted(self.samples):
+            row = [participants] + [
+                f"{1000 * self.percentile(participants, percent):.1f}"
+                for percent in PERCENTILES
+            ]
+            rows.append(tuple(row))
+        print_table(
+            "Figure 10 — single-update processing time CDF (milliseconds)",
+            ["participants"] + [f"p{percent}" for percent in PERCENTILES],
+            rows,
+        )
+
+
+def run(
+    participants_sweep: Sequence[int] = DEFAULT_PARTICIPANTS,
+    updates_per_setting: int = 50,
+    prefixes_per_participant: int = 10,
+    seed: int = 8,
+) -> Figure10Result:
+    """Measure per-update fast-path processing times."""
+    samples: Dict[int, List[float]] = {}
+    for participants in participants_sweep:
+        scenario = build_scenario(
+            participants=participants,
+            prefixes=max(participants * prefixes_per_participant, 1000),
+            seed=seed,
+        )
+        controller = scenario.controller()
+        result = controller.compile()
+        affected = frozenset(
+            prefix
+            for group in result.fec_table.affected_groups
+            for prefix in group.prefixes
+        )
+        rng = random.Random(seed + participants)
+        burst = _worst_case_burst(
+            scenario, updates_per_setting, rng, prefix_pool=affected or None
+        )
+        for update in burst:
+            controller.process_update(update)
+        times = sorted(entry.seconds for entry in controller.fast_path_log)
+        samples[participants] = times
+    return Figure10Result(samples)

@@ -1,0 +1,247 @@
+"""Figure 5: the two "live" deployment experiments, emulated.
+
+(a) **Application-specific peering**: a client ISP (AS C) reaches an
+AWS-hosted prefix via transit ASes A and B.  At t≈565 s AS C installs a
+policy steering port-80 traffic via AS B; at t≈1253 s AS B withdraws
+its route, and the SDX pulls all traffic back to AS A (data plane in
+sync with BGP).
+
+(b) **Wide-area load balancing**: a remote AWS tenant anycasts a
+service prefix through the SDX and, at t≈246 s, installs a policy
+rewriting the destination of requests from one client prefix to a
+second instance.
+
+Both timelines run on the discrete-event clock with 1 Mbps UDP flows,
+reproducing the paper's traffic-rate series (Figure 5a/5b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.bgp.attributes import RouteAttributes
+from repro.experiments.common import print_table
+from repro.ixp.deployment import EmulatedIXP
+from repro.ixp.topology import IXPConfig
+from repro.ixp.traffic import RateMeter, UDPFlow
+from repro.policy.language import fwd, match, modify
+from repro.sim.clock import Simulator
+
+__all__ = ["Figure5aResult", "Figure5bResult", "run_5a", "run_5b"]
+
+
+class Figure5aResult(NamedTuple):
+    """Figure 5a traffic series plus the two event timestamps."""
+
+    series: Dict[str, List[Tuple[float, float]]]
+    policy_time: float
+    withdrawal_time: float
+
+    def rates_at(self, time: float) -> Dict[str, float]:
+        """Measured Mbps of each series at (or just before) ``time``."""
+        out = {}
+        for name, points in self.series.items():
+            rate = 0.0
+            for at, mbps in points:
+                if at > time:
+                    break
+                rate = mbps
+            out[name] = rate
+        return out
+
+    def print(self) -> None:
+        """Render the phase checkpoints as a table."""
+        samples = [
+            self.policy_time - 60,
+            self.policy_time + 60,
+            self.withdrawal_time + 60,
+        ]
+        print_table(
+            "Figure 5a — application-specific peering (Mbps by upstream)",
+            ["t (s)", "via AS-A", "via AS-B", "phase"],
+            [
+                (
+                    int(at),
+                    f"{self.rates_at(at)['via-A']:.1f}",
+                    f"{self.rates_at(at)['via-B']:.1f}",
+                    phase,
+                )
+                for at, phase in zip(
+                    samples, ["before policy", "policy active", "after withdrawal"]
+                )
+            ],
+        )
+
+
+def _fig5a_config() -> IXPConfig:
+    config = IXPConfig(vnh_pool="172.16.0.0/16")
+    config.add_participant("A", 65001, [("A1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant("B", 65002, [("B1", "172.0.0.11", "08:00:27:00:00:11")])
+    config.add_participant("C", 65003, [("C1", "172.0.0.21", "08:00:27:00:00:21")])
+    return config
+
+
+def run_5a(
+    duration: float = 1800.0,
+    policy_time: float = 565.0,
+    withdrawal_time: float = 1253.0,
+    flow_mbps: float = 1.0,
+) -> Figure5aResult:
+    """Replay the application-specific peering timeline."""
+    ixp = EmulatedIXP(_fig5a_config())
+    controller = ixp.controller
+    aws_prefix = "54.198.0.0/16"
+    # Both transit ASes learn the AWS prefix upstream; A's path is shorter.
+    controller.announce(
+        "A", aws_prefix, RouteAttributes(as_path=[65001, 14618], next_hop="172.0.0.1")
+    )
+    controller.announce(
+        "B",
+        aws_prefix,
+        RouteAttributes(as_path=[65002, 7224, 14618], next_hop="172.0.0.11"),
+    )
+    ixp.add_host("client", "C", "204.57.0.67")
+    controller.compile()
+
+    simulator = Simulator()
+    meter = RateMeter(simulator)
+    meter.watch_upstream("via-A", ixp, "A")
+    meter.watch_upstream("via-B", ixp, "B")
+    flows = [
+        UDPFlow(ixp, "client", flow_mbps, dstip="54.198.1.1", dstport=80, srcport=5001, proto=17),
+        UDPFlow(ixp, "client", flow_mbps, dstip="54.198.1.1", dstport=4321, srcport=5002, proto=17),
+        UDPFlow(ixp, "client", flow_mbps, dstip="54.198.1.2", dstport=8080, srcport=5003, proto=17),
+    ]
+    for flow in flows:
+        flow.start(simulator, until=duration)
+    meter.start(until=duration)
+
+    handle = controller.register_participant("C")
+    simulator.schedule(
+        policy_time,
+        lambda: handle.set_policies(outbound=match(dstport=80) >> fwd("B")),
+    )
+    simulator.schedule(withdrawal_time, lambda: controller.withdraw("B", aws_prefix))
+    simulator.run_until(duration)
+    return Figure5aResult(dict(meter.series), policy_time, withdrawal_time)
+
+
+class Figure5bResult(NamedTuple):
+    """Figure 5b traffic series plus the policy timestamp."""
+
+    series: Dict[str, List[Tuple[float, float]]]
+    policy_time: float
+
+    def rates_at(self, time: float) -> Dict[str, float]:
+        """Measured Mbps of each series at (or just before) ``time``."""
+        out = {}
+        for name, points in self.series.items():
+            rate = 0.0
+            for at, mbps in points:
+                if at > time:
+                    break
+                rate = mbps
+            out[name] = rate
+        return out
+
+    def print(self) -> None:
+        """Render the before/after checkpoints as a table."""
+        before = self.policy_time - 60
+        after = self.policy_time + 60
+        print_table(
+            "Figure 5b — wide-area load balancing (Mbps by AWS instance)",
+            ["t (s)", "instance #1", "instance #2", "phase"],
+            [
+                (
+                    int(before),
+                    f"{self.rates_at(before)['instance-1']:.1f}",
+                    f"{self.rates_at(before)['instance-2']:.1f}",
+                    "before policy",
+                ),
+                (
+                    int(after),
+                    f"{self.rates_at(after)['instance-1']:.1f}",
+                    f"{self.rates_at(after)['instance-2']:.1f}",
+                    "load balanced",
+                ),
+            ],
+        )
+
+
+def _fig5b_config() -> IXPConfig:
+    config = IXPConfig(vnh_pool="172.16.0.0/16")
+    config.add_participant("A", 65001, [("A1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant("B", 65002, [("B1", "172.0.0.11", "08:00:27:00:00:11")])
+    # The AWS tenant participates remotely: virtual switch, no port.
+    config.add_participant("AWS", 64496, [])
+    return config
+
+
+def run_5b(
+    duration: float = 600.0,
+    policy_time: float = 246.0,
+    flow_mbps: float = 1.0,
+) -> Figure5bResult:
+    """Replay the wide-area load-balancing timeline.
+
+    AS A hosts the clients; AS B provides transit toward both AWS
+    instances (emulated as hosts in B's network).  The tenant announces
+    the anycast service prefix from the SDX and later installs the
+    rewrite policy for one client prefix.
+    """
+    ixp = EmulatedIXP(_fig5b_config())
+    controller = ixp.controller
+    anycast = "74.125.1.0/24"
+    instance1_ip = "54.198.0.10"
+    instance2_ip = "54.198.128.20"
+
+    # B carries traffic to the real instance addresses.
+    controller.announce(
+        "B",
+        "54.198.0.0/16",
+        RouteAttributes(as_path=[65002, 14618], next_hop="172.0.0.11"),
+    )
+    ixp.add_host("client-1", "A", "204.57.0.67")
+    ixp.add_host("client-2", "A", "198.51.100.9")
+    ixp.add_host("instance-1", "B", instance1_ip, originate="54.198.0.0/17")
+    ixp.add_host("instance-2", "B", instance2_ip, originate="54.198.128.0/17")
+
+    tenant = controller.register_participant("AWS")
+    tenant.announce(anycast)
+    # Until the LB policy exists, the tenant forwards all anycast
+    # traffic to instance #1 through AS B.
+    tenant.set_policies(
+        inbound=match(dstip=anycast) >> modify(dstip=instance1_ip) >> fwd("B1"),
+        recompile=False,
+    )
+    controller.compile()
+
+    simulator = Simulator()
+    meter = RateMeter(simulator)
+    meter.watch_host("instance-1", ixp, "instance-1")
+    meter.watch_host("instance-2", ixp, "instance-2")
+    flows = [
+        UDPFlow(ixp, "client-1", flow_mbps, dstip="74.125.1.1", dstport=80, srcport=6001, proto=17),
+        UDPFlow(ixp, "client-2", flow_mbps, dstip="74.125.1.1", dstport=80, srcport=6002, proto=17),
+    ]
+    for flow in flows:
+        flow.start(simulator, until=duration)
+    meter.start(until=duration)
+
+    def install_lb() -> None:
+        tenant.set_policies(
+            inbound=(
+                match(dstip=anycast, srcip="204.57.0.0/16")
+                >> modify(dstip=instance2_ip)
+                >> fwd("B1")
+            )
+            + (
+                match(dstip=anycast, srcip="198.51.100.0/24")
+                >> modify(dstip=instance1_ip)
+                >> fwd("B1")
+            )
+        )
+
+    simulator.schedule(policy_time, install_lb)
+    simulator.run_until(duration)
+    return Figure5bResult(dict(meter.series), policy_time)

@@ -1,0 +1,97 @@
+"""Figure 6: number of prefix groups vs number of prefixes with policies.
+
+The paper's §6.2 experiment: take the top-N ASes by prefix count, pick
+``x`` prefixes at random from the routing table, intersect each AS's
+announced set with the sample, and run Minimum Disjoint Subsets over
+the collection.  The group count should grow **sub-linearly** in ``x``
+and sit far below it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Sequence, Tuple
+
+from repro.core.fec import minimum_disjoint_subsets
+from repro.experiments.common import print_table
+from repro.netutils.ip import IPv4Prefix
+from repro.workloads.topology_gen import SyntheticIXP, generate_ixp
+
+__all__ = ["Figure6Result", "run"]
+
+DEFAULT_PARTICIPANTS = (100, 200, 300)
+DEFAULT_PREFIX_SWEEP = (1000, 5000, 10000, 15000, 20000, 25000)
+
+
+class Figure6Result(NamedTuple):
+    """(prefixes, prefix groups) series per participant count."""
+
+    #: {participants: [(prefixes_with_policies, prefix_groups), ...]}
+    series: Dict[int, List[Tuple[int, int]]]
+
+    def print(self) -> None:
+        """Render the group-count series as a table."""
+        rows = []
+        for participants in sorted(self.series):
+            for prefixes, groups in self.series[participants]:
+                rows.append((participants, prefixes, groups, f"{groups / max(prefixes, 1):.3f}"))
+        print_table(
+            "Figure 6 — prefix groups vs prefixes (sub-linear growth expected)",
+            ["participants", "prefixes w/ policies", "prefix groups", "groups/prefix"],
+            rows,
+        )
+
+    def groups_at(self, participants: int, prefixes: int) -> int:
+        """The measured group count at one sweep point."""
+        for sampled, groups in self.series[participants]:
+            if sampled == prefixes:
+                return groups
+        raise KeyError((participants, prefixes))
+
+
+def run(
+    participants_sweep: Sequence[int] = DEFAULT_PARTICIPANTS,
+    prefix_sweep: Sequence[int] = DEFAULT_PREFIX_SWEEP,
+    total_prefixes: int = 30000,
+    seed: int = 5,
+    repeats: int = 1,
+) -> Figure6Result:
+    """Run the MDS sweep.
+
+    One synthetic exchange (sized for the largest sweep point) is
+    shared by all the runs; ``repeats`` > 1 averages over resampled
+    policy-prefix sets, as the paper repeats each experiment ten times.
+    """
+    max_participants = max(participants_sweep)
+    ixp = generate_ixp(
+        participants=max_participants, total_prefixes=total_prefixes, seed=seed
+    )
+    # Per-AS announcement sets from the full BGP table (backups included),
+    # matching the paper's "let p_i be the set of prefixes announced by
+    # AS i" over the default-free routing table.
+    announcement_sets = ixp.announcement_sets()
+    by_count = sorted(
+        ixp.participant_names, key=lambda name: -len(announcement_sets[name])
+    )
+    table: List[IPv4Prefix] = ixp.all_prefixes()
+    rng = random.Random(seed + 1)
+
+    series: Dict[int, List[Tuple[int, int]]] = {}
+    for participants in participants_sweep:
+        top = by_count[:participants]
+        announced = {name: announcement_sets[name] for name in top}
+        points: List[Tuple[int, int]] = []
+        for sample_size in prefix_sweep:
+            sample_size = min(sample_size, len(table))
+            totals = 0
+            for _ in range(repeats):
+                sampled = frozenset(rng.sample(table, sample_size))
+                collection = [
+                    announced[name] & sampled
+                    for name in top
+                    if announced[name] & sampled
+                ]
+                totals += len(minimum_disjoint_subsets(collection))
+            points.append((sample_size, totals // repeats))
+        series[participants] = points
+    return Figure6Result(series)

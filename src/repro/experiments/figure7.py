@@ -1,0 +1,33 @@
+"""Figure 7: number of forwarding rules vs number of prefix groups.
+
+Thin wrapper over :mod:`repro.experiments.scaling`; the rule count
+should grow **linearly** with the number of prefix groups, with a slope
+that increases with the number of participants (each group costs a
+default rule plus one rule per policy clause that touches it).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.scaling import (
+    DEFAULT_PARTICIPANTS,
+    DEFAULT_POLICY_PREFIXES,
+    ScalingResult,
+    run_sweep,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    participants_sweep: Sequence[int] = DEFAULT_PARTICIPANTS,
+    policy_prefix_sweep: Sequence[int] = DEFAULT_POLICY_PREFIXES,
+    seed: int = 5,
+) -> ScalingResult:
+    """Run the sweep and return the (groups, rules) points."""
+    return run_sweep(
+        participants_sweep=participants_sweep,
+        policy_prefix_sweep=policy_prefix_sweep,
+        seed=seed,
+    )

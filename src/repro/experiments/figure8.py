@@ -1,0 +1,32 @@
+"""Figure 8: initial compilation time vs number of prefix groups.
+
+Thin wrapper over :mod:`repro.experiments.scaling`; compile time should
+grow **faster than linearly** with the number of prefix groups (policy
+interactions multiply), and increase with the participant count.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.scaling import (
+    DEFAULT_PARTICIPANTS,
+    DEFAULT_POLICY_PREFIXES,
+    ScalingResult,
+    run_sweep,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    participants_sweep: Sequence[int] = DEFAULT_PARTICIPANTS,
+    policy_prefix_sweep: Sequence[int] = DEFAULT_POLICY_PREFIXES,
+    seed: int = 5,
+) -> ScalingResult:
+    """Run the sweep and return the (groups, compile-time) points."""
+    return run_sweep(
+        participants_sweep=participants_sweep,
+        policy_prefix_sweep=policy_prefix_sweep,
+        seed=seed,
+    )

@@ -1,0 +1,122 @@
+"""Figure 9: additional forwarding rules after a BGP update burst.
+
+The fast path (Section 4.3.2) reacts to each best-path change by
+allocating a fresh VNH and installing per-prefix rules at higher
+priority, deferring re-optimization.  This experiment replays the
+paper's **worst case**: every update in a burst changes the best path,
+so every update costs one VNH and a block of extra rules.  The extra
+rule count should grow **linearly** with burst size, with a slope that
+grows with the number of participants carrying policies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Sequence, Tuple
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate
+from repro.experiments.common import build_scenario, print_table
+
+__all__ = ["Figure9Result", "run"]
+
+DEFAULT_PARTICIPANTS = (100, 200, 300)
+DEFAULT_BURST_SIZES = (5, 10, 20, 40, 60, 80, 100)
+
+
+class Figure9Result(NamedTuple):
+    """(burst size, additional rules) series per participant count."""
+
+    #: {participants: [(burst_size, additional_rules), ...]}
+    series: Dict[int, List[Tuple[int, int]]]
+
+    def print(self) -> None:
+        """Render the rule-inflation series as a table."""
+        rows = []
+        for participants in sorted(self.series):
+            for burst, extra in self.series[participants]:
+                rows.append((participants, burst, extra, f"{extra / max(burst, 1):.1f}"))
+        print_table(
+            "Figure 9 — additional rules vs burst size (linear growth expected)",
+            ["participants", "burst size", "additional rules", "rules/update"],
+            rows,
+        )
+
+
+def _worst_case_burst(
+    scenario, size: int, rng: random.Random, prefix_pool=None
+) -> List[BGPUpdate]:
+    """A burst where every update flips the touched prefix's best path.
+
+    Each update re-announces an existing prefix from its owner with a
+    *shorter* AS path, guaranteeing a best-path change.  ``prefix_pool``
+    optionally restricts the sample (the worst case touches prefixes
+    that participant policies actually cover, so each update drags
+    policy fragments into the fast-path rules).
+    """
+    ixp = scenario.ixp
+    pool = None if prefix_pool is None else set(prefix_pool)
+    owners = [
+        (name, prefix)
+        for name, prefixes in sorted(ixp.announced.items())
+        for prefix in prefixes
+        if pool is None or prefix in pool
+    ]
+    if not owners:
+        return []
+    if size >= len(owners):
+        picked = list(owners)
+    else:
+        picked = rng.sample(owners, size)
+    updates = []
+    for name, prefix in picked:
+        spec = ixp.config.participant(name)
+        port = spec.ports[rng.randrange(len(spec.ports))]
+        updates.append(
+            BGPUpdate(
+                name,
+                announced=[
+                    Announcement(
+                        prefix,
+                        RouteAttributes(as_path=[spec.asn], next_hop=port.address),
+                    )
+                ],
+            )
+        )
+    return updates
+
+
+def run(
+    participants_sweep: Sequence[int] = DEFAULT_PARTICIPANTS,
+    burst_sizes: Sequence[int] = DEFAULT_BURST_SIZES,
+    prefixes_per_participant: int = 10,
+    seed: int = 6,
+) -> Figure9Result:
+    """Measure fast-path rule inflation per burst size."""
+    series: Dict[int, List[Tuple[int, int]]] = {}
+    for participants in participants_sweep:
+        scenario = build_scenario(
+            participants=participants,
+            prefixes=max(participants * prefixes_per_participant, 1000),
+            seed=seed,
+        )
+        points: List[Tuple[int, int]] = []
+        for burst_size in burst_sizes:
+            controller = scenario.controller()
+            result = controller.compile()
+            affected = frozenset(
+                prefix
+                for group in result.fec_table.affected_groups
+                for prefix in group.prefixes
+            )
+            baseline = controller.table_size()
+            rng = random.Random(seed + burst_size)
+            burst = _worst_case_burst(
+                scenario, burst_size, rng, prefix_pool=affected or None
+            )
+            for update in burst:
+                controller.process_update(update)
+            additional = controller.table_size() - baseline
+            points.append((burst_size, additional))
+        series[participants] = points
+    return Figure9Result(series)

@@ -1,0 +1,22 @@
+"""IXP modelling: static exchange configuration and deployment helpers."""
+
+from repro.ixp.topology import IXPConfig, ParticipantSpec, PortSpec
+
+__all__ = ["EmulatedIXP", "IXPConfig", "ParticipantSpec", "PortSpec", "RateMeter", "UDPFlow"]
+
+_LAZY = {
+    # Deployment helpers depend on repro.core, which itself imports the
+    # topology types above; loading them lazily breaks the cycle.
+    "EmulatedIXP": "repro.ixp.deployment",
+    "RateMeter": "repro.ixp.traffic",
+    "UDPFlow": "repro.ixp.traffic",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,207 @@
+"""Emulated SDX deployments (the Mininet role in the paper's prototype).
+
+:class:`EmulatedIXP` builds a complete, packet-level exchange from an
+:class:`~repro.ixp.topology.IXPConfig`:
+
+* one SDN switch holding the controller's compiled rules,
+* one border router per (non-remote) participant, wired port-for-port,
+* a small LAN (learning switch + hosts) behind each router,
+* a shared ARP service carrying the controller's VNH responder.
+
+It is the substrate for the deployment experiments (Figure 5), the
+examples, and the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.controller import SDXController
+from repro.dataplane.fabric import Fabric, Host
+from repro.dataplane.router import BorderRouter, RouterInterface
+from repro.dataplane.switch import LearningSwitch
+from repro.ixp.topology import IXPConfig
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+from repro.netutils.mac import MACAddress, MACAllocator
+from repro.policy.packet import Packet
+
+__all__ = ["EmulatedIXP"]
+
+#: Host MACs come from a separate locally-administered block so they can
+#: never collide with router interfaces or VMACs.
+_HOST_MAC_BASE = 0x02_DE_00_00_00_00
+
+
+class EmulatedIXP:
+    """A running exchange: controller + fabric + routers + hosts."""
+
+    def __init__(
+        self,
+        config: IXPConfig,
+        controller: Optional[SDXController] = None,
+        appliance_ports: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Build the exchange.
+
+        ``appliance_ports`` names physical ports occupied by directly
+        attached devices (middleboxes) instead of a participant border
+        router; attach the device itself with :meth:`add_middlebox`.
+        """
+        self.config = config
+        self.controller = (
+            controller if controller is not None else SDXController(config)
+        )
+        self.fabric = Fabric()
+        self.fabric.add_node(self.controller.switch)
+        self.routers: Dict[str, BorderRouter] = {}
+        self.hosts: Dict[str, Host] = {}
+        self.middleboxes: Dict[str, "MiddleboxAppliance"] = {}
+        self._lans: Dict[str, LearningSwitch] = {}
+        self._host_macs = MACAllocator(base=_HOST_MAC_BASE)
+        self._host_owner: Dict[str, str] = {}
+        self._appliance_ports = frozenset(appliance_ports or ())
+
+        for participant in config.participants():
+            router_ports = [
+                port
+                for port in participant.ports
+                if port.port_id not in self._appliance_ports
+            ]
+            if not router_ports:
+                continue  # remote, or every port hosts an appliance
+            router = BorderRouter(
+                name=f"router-{participant.name}",
+                asn=participant.asn,
+                interfaces=[
+                    RouterInterface(port.port_id, port.address, port.hardware)
+                    for port in router_ports
+                ],
+                arp=self.controller.arp,
+            )
+            self.fabric.add_node(router)
+            for port in router_ports:
+                self.fabric.link(
+                    (router.name, port.port_id),
+                    (self.controller.switch.name, port.port_id),
+                )
+            lan = LearningSwitch(f"lan-{participant.name}", ports=["uplink"])
+            self.fabric.add_node(lan)
+            self.fabric.link((router.name, router.internal_port), (lan.name, "uplink"))
+            self.routers[participant.name] = router
+            self._lans[participant.name] = lan
+            self.controller.attach_router(participant.name, router)
+
+    # -- topology building ------------------------------------------------------
+
+    def add_host(
+        self,
+        name: str,
+        participant: str,
+        address: "IPv4Address | str",
+        originate: "IPv4Prefix | str | None" = None,
+    ) -> Host:
+        """Attach a host to a participant's internal LAN.
+
+        ``originate`` additionally marks a prefix as locally delivered
+        by the participant's router (traffic from the fabric for that
+        prefix flows down to the LAN).
+        """
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name {name!r}")
+        router = self.routers[participant]
+        host = Host(name, address, self._host_macs.allocate())
+        self.fabric.add_node(host)
+        lan = self._lans[participant]
+        lan_port = f"to-{name}"
+        lan.add_port(lan_port)
+        self.fabric.link((host.name, host.port), (lan.name, lan_port))
+        if originate is not None:
+            router.originate(originate)
+        self.hosts[name] = host
+        self._host_owner[name] = participant
+        return host
+
+    def add_chain_middlebox(self, name: str, port_id: str, transform=None):
+        """Attach an in-line (bump-in-the-wire) middlebox to an appliance port.
+
+        Unlike :meth:`add_middlebox` (a passive sink), this device
+        re-emits received frames — transformed by ``transform`` when
+        given — so the fabric's service-chain continuation rules can
+        carry them onward.
+        """
+        from repro.dataplane.appliance import MiddleboxAppliance
+
+        if port_id not in self._appliance_ports:
+            raise ValueError(f"port {port_id!r} was not declared an appliance port")
+        if name in self.hosts or name in self.middleboxes:
+            raise ValueError(f"duplicate host name {name!r}")
+        appliance = MiddleboxAppliance(name, transform=transform)
+        self.fabric.add_node(appliance)
+        self.fabric.link(
+            (appliance.name, appliance.port), (self.controller.switch.name, port_id)
+        )
+        self.middleboxes[name] = appliance
+        return appliance
+
+    def add_middlebox(self, name: str, port_id: str) -> Host:
+        """Attach a middlebox directly to an appliance port.
+
+        The device assumes the port's configured interface address and
+        MAC (it *is* the thing plugged into that port) and captures all
+        frames it receives, like the paper's video transcoder on E1.
+        """
+        if port_id not in self._appliance_ports:
+            raise ValueError(
+                f"port {port_id!r} was not declared an appliance port"
+            )
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name {name!r}")
+        port = self.config.owner_of_port(port_id).port(port_id)
+        host = Host(name, port.address, port.hardware, promiscuous=True)
+        self.fabric.add_node(host)
+        self.fabric.link(
+            (host.name, host.port), (self.controller.switch.name, port_id)
+        )
+        self.hosts[name] = host
+        return host
+
+    # -- traffic -----------------------------------------------------------------
+
+    def send(self, host_name: str, **headers) -> int:
+        """Source one packet from a host and run it through the fabric.
+
+        Returns the number of fabric hops the packet (and any copies)
+        traversed; 0 means it died at the first hop (no route, ARP
+        failure, or a drop rule).
+        """
+        host = self.hosts[host_name]
+        packet = host.build_packet(**headers)
+        return self.fabric.send_from(host.name, host.port, packet)
+
+    def inject_at_port(self, port_id: str, packet: Packet) -> int:
+        """Deliver a raw packet into the SDX switch at a physical port."""
+        return self.fabric.inject(self.controller.switch.name, port_id, packet)
+
+    # -- measurement ----------------------------------------------------------------
+
+    def delivered_to(self, host_name: str) -> int:
+        """Packets a host has received so far."""
+        return len(self.hosts[host_name].received)
+
+    def carried_upstream_by(self, participant: str) -> int:
+        """Packets a participant's router carried toward its backbone."""
+        return len(self.routers[participant].carried_upstream)
+
+    def reset_traffic_counters(self) -> None:
+        """Clear host/router/fabric packet logs (not the flow-table counters)."""
+        for host in self.hosts.values():
+            host.received.clear()
+        for router in self.routers.values():
+            router.carried_upstream.clear()
+            router.delivered.clear()
+        self.fabric.reset_counters()
+
+    def __repr__(self) -> str:
+        return (
+            f"EmulatedIXP(participants={len(self.config)}, hosts={len(self.hosts)})"
+        )

@@ -1,0 +1,165 @@
+"""Static SDX configuration: participants, ports, addressing.
+
+This is the "SDX configuration" input of Figure 3 — the static record
+of which ASes connect to the fabric, on which ports, with which
+interface addresses.  Everything else (policies, routes) is dynamic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+from repro.netutils.mac import MACAddress
+
+__all__ = ["IXPConfig", "ParticipantSpec", "PortSpec"]
+
+
+class PortSpec(NamedTuple):
+    """One physical port on the SDX fabric.
+
+    ``port_id`` is the fabric-facing name (``"A1"``); ``address`` and
+    ``hardware`` describe the participant router interface plugged into
+    it (the peering-LAN IP and physical MAC).
+    """
+
+    port_id: str
+    address: IPv4Address
+    hardware: MACAddress
+
+
+class ParticipantSpec:
+    """One participating AS: name, ASN, and its physical ports.
+
+    Remote participants (wide-area load balancing, Section 3.1) have an
+    empty port list — they hold a virtual switch and may announce
+    prefixes and install policies without any physical presence.
+    """
+
+    def __init__(self, name: str, asn: int, ports: Iterable[PortSpec] = ()) -> None:
+        self.name = name
+        self.asn = asn
+        self.ports: Tuple[PortSpec, ...] = tuple(ports)
+        seen = set()
+        for port in self.ports:
+            if port.port_id in seen:
+                raise ValueError(f"duplicate port id {port.port_id!r} on {name!r}")
+            seen.add(port.port_id)
+
+    @property
+    def is_remote(self) -> bool:
+        """True for participants with no physical port at the exchange."""
+        return not self.ports
+
+    @property
+    def port_ids(self) -> Tuple[str, ...]:
+        return tuple(port.port_id for port in self.ports)
+
+    def port(self, port_id: str) -> PortSpec:
+        """The port spec for ``port_id`` (KeyError if absent)."""
+        for port in self.ports:
+            if port.port_id == port_id:
+                return port
+        raise KeyError(f"participant {self.name!r} has no port {port_id!r}")
+
+    def port_for_address(self, address: "IPv4Address | str") -> Optional[PortSpec]:
+        """The port whose interface IP is ``address`` (next-hop resolution)."""
+        address = IPv4Address(address)
+        for port in self.ports:
+            if port.address == address:
+                return port
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"ParticipantSpec({self.name!r}, asn={self.asn}, "
+            f"ports={[p.port_id for p in self.ports]})"
+        )
+
+
+class IXPConfig:
+    """The exchange's static configuration.
+
+    Besides the participant table, it fixes the two virtual resource
+    pools of Section 4.2: the IP block virtual next-hops are allocated
+    from and (implicitly, via the controller's MAC allocator) the VMAC
+    block.
+
+    Builder-style usage::
+
+        config = IXPConfig()
+        config.add_participant("A", asn=65001, ports=[("A1", "172.0.0.1", "08:00:27:00:00:01")])
+    """
+
+    def __init__(self, vnh_pool: "IPv4Prefix | str" = "172.16.0.0/12") -> None:
+        self._participants: Dict[str, ParticipantSpec] = {}
+        self.vnh_pool = IPv4Prefix(vnh_pool)
+
+    def add_participant(
+        self,
+        name: str,
+        asn: int,
+        ports: Iterable[Tuple[str, str, str]] = (),
+    ) -> ParticipantSpec:
+        """Register a participant from (port_id, ip, mac) triples."""
+        if name in self._participants:
+            raise ValueError(f"duplicate participant {name!r}")
+        specs = [
+            PortSpec(port_id, IPv4Address(address), MACAddress(hardware))
+            for port_id, address, hardware in ports
+        ]
+        participant = ParticipantSpec(name, asn, specs)
+        self._check_port_collisions(participant)
+        self._participants[name] = participant
+        return participant
+
+    def _check_port_collisions(self, new: ParticipantSpec) -> None:
+        for existing in self._participants.values():
+            for port in existing.ports:
+                for candidate in new.ports:
+                    if candidate.port_id == port.port_id:
+                        raise ValueError(f"port id {port.port_id!r} already in use")
+                    if candidate.address == port.address:
+                        raise ValueError(f"address {port.address} already in use")
+                    if candidate.hardware == port.hardware:
+                        raise ValueError(f"MAC {port.hardware} already in use")
+
+    def participant(self, name: str) -> ParticipantSpec:
+        return self._participants[name]
+
+    def participants(self) -> Tuple[ParticipantSpec, ...]:
+        return tuple(self._participants.values())
+
+    def participant_names(self) -> Tuple[str, ...]:
+        return tuple(self._participants)
+
+    def physical_ports(self) -> Tuple[PortSpec, ...]:
+        """All physical ports across participants."""
+        return tuple(
+            port
+            for participant in self._participants.values()
+            for port in participant.ports
+        )
+
+    def owner_of_port(self, port_id: str) -> ParticipantSpec:
+        """The participant owning a given physical port."""
+        for participant in self._participants.values():
+            if port_id in participant.port_ids:
+                return participant
+        raise KeyError(f"no participant owns port {port_id!r}")
+
+    def owner_of_address(self, address: "IPv4Address | str") -> Optional[ParticipantSpec]:
+        """The participant whose interface has ``address``, if any."""
+        for participant in self._participants.values():
+            if participant.port_for_address(address) is not None:
+                return participant
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._participants
+
+    def __len__(self) -> int:
+        return len(self._participants)
+
+    def __repr__(self) -> str:
+        return f"IXPConfig(participants={len(self._participants)})"

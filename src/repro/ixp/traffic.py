@@ -1,0 +1,121 @@
+"""Traffic generation and rate measurement for the deployment timelines.
+
+The paper's Figure 5 plots per-path traffic rates (Mbps) over time
+while policies are installed and routes withdrawn.  :class:`UDPFlow`
+replays the paper's constant-rate 1 Mbps UDP flows on the virtual
+clock; :class:`RateMeter` samples arbitrary packet counters per tick
+and converts them to Mbps series.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.ixp.deployment import EmulatedIXP
+from repro.sim.clock import Simulator
+
+__all__ = ["RateMeter", "UDPFlow"]
+
+#: Bytes per emulated UDP datagram (a typical MTU-sized video packet).
+PACKET_BYTES = 1250
+
+
+class UDPFlow:
+    """A constant-rate UDP flow sourced from an emulated host.
+
+    ``rate_mbps`` is honoured by sending the right number of
+    ``PACKET_BYTES``-sized packets per one-second tick (1 Mbps = 100
+    packets of 1250 bytes).  The flow can be retargeted mid-run (the
+    wide-area load-balancing experiment rewrites nothing at the source —
+    retargeting here models *new clients*, not policy effects).
+    """
+
+    def __init__(
+        self,
+        ixp: EmulatedIXP,
+        source_host: str,
+        rate_mbps: float = 1.0,
+        **headers: Any,
+    ) -> None:
+        self.ixp = ixp
+        self.source_host = source_host
+        self.rate_mbps = rate_mbps
+        self.headers = dict(headers)
+        self.active = False
+        self.packets_sent = 0
+
+    @property
+    def packets_per_second(self) -> int:
+        return max(1, int(self.rate_mbps * 1_000_000 / 8 / PACKET_BYTES))
+
+    def start(self, simulator: Simulator, until: float, interval: float = 1.0) -> None:
+        """Schedule the flow on the simulator until virtual time ``until``."""
+        self.active = True
+        per_tick = max(1, int(self.packets_per_second * interval))
+
+        def send_burst() -> None:
+            if not self.active:
+                return
+            for _ in range(per_tick):
+                self.ixp.send(self.source_host, **self.headers)
+                self.packets_sent += 1
+
+        # The tick at t covers the traffic of (t - interval, t]; starting
+        # one interval in keeps "N seconds of flow" equal to N bursts.
+        simulator.schedule_every(
+            interval, send_burst, start=simulator.now + interval, until=until
+        )
+
+    def stop(self) -> None:
+        self.active = False
+
+
+class RateMeter:
+    """Samples named packet counters each tick into Mbps time series."""
+
+    def __init__(self, simulator: Simulator, interval: float = 1.0) -> None:
+        self.simulator = simulator
+        self.interval = interval
+        self._counters: Dict[str, Callable[[], int]] = {}
+        self._previous: Dict[str, int] = {}
+        self.series: Dict[str, List[Tuple[float, float]]] = {}
+
+    def watch(self, name: str, counter: Callable[[], int]) -> None:
+        """Track a monotonically increasing packet counter under ``name``."""
+        self._counters[name] = counter
+        self._previous[name] = counter()
+        self.series[name] = []
+
+    def watch_host(self, name: str, ixp: EmulatedIXP, host: str) -> None:
+        """Track deliveries to an emulated host."""
+        self.watch(name, lambda: ixp.delivered_to(host))
+
+    def watch_upstream(self, name: str, ixp: EmulatedIXP, participant: str) -> None:
+        """Track packets a participant's router carries upstream."""
+        self.watch(name, lambda: ixp.carried_upstream_by(participant))
+
+    def start(self, until: float) -> None:
+        """Schedule periodic sampling until virtual time ``until``."""
+
+        def sample() -> None:
+            now = self.simulator.now
+            for name, counter in self._counters.items():
+                current = counter()
+                delta = current - self._previous[name]
+                self._previous[name] = current
+                mbps = delta * PACKET_BYTES * 8 / 1_000_000 / self.interval
+                self.series[name].append((now, mbps))
+
+        self.simulator.schedule_every(self.interval, sample, until=until)
+
+    def rates_at(self, time: float) -> Dict[str, float]:
+        """The measured Mbps of every series at (or just before) ``time``."""
+        out: Dict[str, float] = {}
+        for name, points in self.series.items():
+            rate = 0.0
+            for at, mbps in points:
+                if at > time:
+                    break
+                rate = mbps
+            out[name] = rate
+        return out

@@ -1,0 +1,28 @@
+"""Low-level networking primitives shared by every SDX subsystem.
+
+This package deliberately avoids any third-party dependency: IPv4
+addresses and prefixes are modelled as lightweight, hashable value
+objects tuned for the operations the SDX control plane performs millions
+of times per compilation (prefix containment, intersection, and
+longest-prefix match).
+"""
+
+from repro.netutils.ip import (
+    IPv4Address,
+    IPv4Prefix,
+    PrefixTrie,
+    ip,
+    prefix,
+)
+from repro.netutils.mac import MACAddress, MACAllocator, mac
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Prefix",
+    "PrefixTrie",
+    "MACAddress",
+    "MACAllocator",
+    "ip",
+    "mac",
+    "prefix",
+]

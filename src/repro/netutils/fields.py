@@ -1,0 +1,125 @@
+"""Header-field registry shared by packets, predicates, and actions.
+
+Every packet header the SDX data plane can match on or rewrite is
+declared here once, together with how raw user input (strings, ints,
+``IPv4Prefix`` …) is normalized for three different uses:
+
+* as a **packet value** (a concrete header, e.g. an ``IPv4Address``);
+* as a **match value** (possibly a set-like value, e.g. an ``IPv4Prefix``);
+* as a **test** of a packet value against a match value.
+
+Keeping this in one table means the policy compiler, the flow-table
+matcher, and the interpreter can never disagree about what
+``match(dstip="10.0.0.0/8")`` means.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, NamedTuple
+
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+from repro.netutils.mac import MACAddress
+
+__all__ = [
+    "FIELDS",
+    "FieldSpec",
+    "normalize_match_value",
+    "normalize_packet_value",
+    "match_value_covers",
+    "match_values_intersect",
+    "value_satisfies_match",
+]
+
+
+class FieldSpec(NamedTuple):
+    """How one header field is normalized and compared."""
+
+    name: str
+    packet_type: str  # 'ip' | 'mac' | 'int' | 'any'
+    description: str
+
+
+FIELDS: Dict[str, FieldSpec] = {
+    "switch": FieldSpec("switch", "any", "datapath the packet currently resides on"),
+    "port": FieldSpec("port", "any", "ingress/egress port (the packet's location)"),
+    "srcmac": FieldSpec("srcmac", "mac", "Ethernet source address"),
+    "dstmac": FieldSpec("dstmac", "mac", "Ethernet destination address (VMAC tag at the SDX)"),
+    "ethtype": FieldSpec("ethtype", "int", "Ethernet payload type"),
+    "vlan": FieldSpec("vlan", "int", "802.1Q VLAN id"),
+    "srcip": FieldSpec("srcip", "ip", "IPv4 source address"),
+    "dstip": FieldSpec("dstip", "ip", "IPv4 destination address"),
+    "tos": FieldSpec("tos", "int", "IP type-of-service byte"),
+    "proto": FieldSpec("proto", "int", "IP protocol number"),
+    "srcport": FieldSpec("srcport", "int", "TCP/UDP source port"),
+    "dstport": FieldSpec("dstport", "int", "TCP/UDP destination port"),
+}
+
+
+def _field_spec(field: str) -> FieldSpec:
+    try:
+        return FIELDS[field]
+    except KeyError:
+        raise ValueError(f"unknown header field {field!r}; known: {sorted(FIELDS)}") from None
+
+
+def normalize_packet_value(field: str, value: Any) -> Any:
+    """Normalize a concrete header value carried by a packet."""
+    spec = _field_spec(field)
+    if value is None:
+        return None
+    if spec.packet_type == "ip":
+        return IPv4Address(value)
+    if spec.packet_type == "mac":
+        return MACAddress(value)
+    if spec.packet_type == "int":
+        return int(value)
+    return value
+
+
+def normalize_match_value(field: str, value: Any) -> Any:
+    """Normalize a value used inside a match predicate.
+
+    IP fields become :class:`IPv4Prefix` (a bare address becomes a /32),
+    MAC fields become :class:`MACAddress`, integer fields become ``int``.
+    """
+    spec = _field_spec(field)
+    if spec.packet_type == "ip":
+        if isinstance(value, IPv4Prefix):
+            return value
+        if isinstance(value, IPv4Address):
+            return value.to_prefix()
+        if isinstance(value, str) and "/" in value:
+            return IPv4Prefix(value)
+        return IPv4Address(value).to_prefix()
+    if spec.packet_type == "mac":
+        return MACAddress(value)
+    if spec.packet_type == "int":
+        return int(value)
+    return value
+
+
+def match_values_intersect(field: str, left: Any, right: Any) -> Any:
+    """Intersection of two match values; ``None`` when disjoint.
+
+    For IP fields this is CIDR intersection (the longer prefix when
+    nested); all other fields intersect only on equality.
+    """
+    if isinstance(left, IPv4Prefix) and isinstance(right, IPv4Prefix):
+        return left.intersection(right)
+    return left if left == right else None
+
+
+def match_value_covers(field: str, general: Any, specific: Any) -> bool:
+    """True if every packet satisfying ``specific`` also satisfies ``general``."""
+    if isinstance(general, IPv4Prefix) and isinstance(specific, IPv4Prefix):
+        return general.contains(specific)
+    return general == specific
+
+
+def value_satisfies_match(field: str, packet_value: Any, match_value: Any) -> bool:
+    """Test a packet's concrete header value against a match value."""
+    if packet_value is None:
+        return False
+    if isinstance(match_value, IPv4Prefix):
+        return match_value.contains(packet_value)
+    return packet_value == match_value

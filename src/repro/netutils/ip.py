@@ -1,0 +1,393 @@
+"""IPv4 addresses, prefixes, and a longest-prefix-match trie.
+
+The SDX compiler manipulates prefixes constantly: BGP reachability
+filters intersect participant policies with advertised prefixes, the FEC
+computation buckets prefixes by forwarding behaviour, and border-router
+FIBs resolve destinations by longest-prefix match.  The classes here are
+immutable and hashable so they can live in sets, dict keys, and
+``hypothesis`` strategies without surprises.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = ["IPv4Address", "IPv4Prefix", "PrefixTrie", "ip", "prefix"]
+
+_MAX_IPV4 = (1 << 32) - 1
+_DOTTED_QUAD_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+T = TypeVar("T")
+
+
+def _parse_dotted_quad(text: str) -> int:
+    """Return the 32-bit integer encoded by ``text`` (e.g. ``"10.0.0.1"``)."""
+    match = _DOTTED_QUAD_RE.match(text.strip())
+    if match is None:
+        raise ValueError(f"not a dotted-quad IPv4 address: {text!r}")
+    value = 0
+    for octet_text in match.groups():
+        octet = int(octet_text)
+        if octet > 255:
+            raise ValueError(f"octet out of range in IPv4 address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _format_dotted_quad(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class IPv4Address:
+    """An immutable IPv4 address.
+
+    Instances compare and sort by numeric value and interoperate with
+    :class:`IPv4Prefix` for containment tests::
+
+        >>> ip("10.0.0.1") in prefix("10.0.0.0/8")
+        True
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, address: "int | str | IPv4Address") -> None:
+        if isinstance(address, IPv4Address):
+            value = address._value
+        elif isinstance(address, int):
+            value = address
+        elif isinstance(address, str):
+            value = _parse_dotted_quad(address)
+        else:
+            raise TypeError(f"cannot build IPv4Address from {type(address).__name__}")
+        if not 0 <= value <= _MAX_IPV4:
+            raise ValueError(f"IPv4 address out of range: {value}")
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        """The address as a 32-bit unsigned integer."""
+        return self._value
+
+    def to_prefix(self) -> "IPv4Prefix":
+        """Return this address as a host (/32) prefix."""
+        return IPv4Prefix(self._value, 32)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self._value + offset)
+
+    def __eq__(self, other: object) -> bool:
+        # Strings deliberately do not compare equal: a == b must imply
+        # hash(a) == hash(b), and these objects live in dict keys.
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self._value < other._value
+
+    def __le__(self, other: "IPv4Address") -> bool:
+        return self._value <= other._value
+
+    def __gt__(self, other: "IPv4Address") -> bool:
+        return self._value > other._value
+
+    def __ge__(self, other: "IPv4Address") -> bool:
+        return self._value >= other._value
+
+    def __hash__(self) -> int:
+        return hash(("IPv4Address", self._value))
+
+    def __str__(self) -> str:
+        return _format_dotted_quad(self._value)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+
+class IPv4Prefix:
+    """An immutable IPv4 prefix (CIDR block), e.g. ``10.0.0.0/8``.
+
+    The network address is canonicalized: host bits beyond the mask are
+    cleared on construction, so ``IPv4Prefix("10.1.2.3/8")`` equals
+    ``IPv4Prefix("10.0.0.0/8")``.
+    """
+
+    __slots__ = ("_network", "_length")
+
+    def __init__(self, network: "int | str | IPv4Address | IPv4Prefix", length: Optional[int] = None) -> None:
+        if isinstance(network, IPv4Prefix):
+            value, plen = network._network, network._length
+            if length is not None and length != plen:
+                raise ValueError("conflicting prefix lengths")
+        elif isinstance(network, str) and "/" in network:
+            if length is not None:
+                raise ValueError("prefix length given twice")
+            addr_text, _, len_text = network.partition("/")
+            value = _parse_dotted_quad(addr_text)
+            plen = int(len_text)
+        else:
+            if length is None:
+                raise ValueError("prefix length required")
+            value = int(IPv4Address(network)) if not isinstance(network, int) else network
+            plen = length
+        if not 0 <= plen <= 32:
+            raise ValueError(f"prefix length out of range: {plen}")
+        if not 0 <= value <= _MAX_IPV4:
+            raise ValueError(f"IPv4 network out of range: {value}")
+        self._length = plen
+        self._network = value & self._mask(plen)
+
+    @staticmethod
+    def _mask(length: int) -> int:
+        return ((1 << length) - 1) << (32 - length) if length else 0
+
+    @property
+    def network(self) -> IPv4Address:
+        """The (canonicalized) network address."""
+        return IPv4Address(self._network)
+
+    @property
+    def length(self) -> int:
+        """The prefix length in bits (0-32)."""
+        return self._length
+
+    @property
+    def netmask(self) -> IPv4Address:
+        """The prefix netmask, e.g. ``255.0.0.0`` for a /8."""
+        return IPv4Address(self._mask(self._length))
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self._length)
+
+    @property
+    def broadcast(self) -> IPv4Address:
+        """The highest address in the prefix."""
+        return IPv4Address(self._network | (self.num_addresses - 1))
+
+    def host(self, index: int) -> IPv4Address:
+        """Return the ``index``-th address inside the prefix.
+
+        Raises :class:`ValueError` when ``index`` falls outside the block.
+        """
+        if not 0 <= index < self.num_addresses:
+            raise ValueError(f"host index {index} outside {self}")
+        return IPv4Address(self._network + index)
+
+    def contains(self, other: "IPv4Address | IPv4Prefix | str | int") -> bool:
+        """True if ``other`` (address or prefix) lies entirely within self."""
+        if isinstance(other, IPv4Prefix):
+            return other._length >= self._length and (
+                other._network & self._mask(self._length)
+            ) == self._network
+        addr = other if isinstance(other, IPv4Address) else IPv4Address(other)
+        return (int(addr) & self._mask(self._length)) == self._network
+
+    def __contains__(self, other: "IPv4Address | IPv4Prefix | str | int") -> bool:
+        return self.contains(other)
+
+    def overlaps(self, other: "IPv4Prefix") -> bool:
+        """True if the two prefixes share any address."""
+        return self.contains(other) or other.contains(self)
+
+    def intersection(self, other: "IPv4Prefix") -> Optional["IPv4Prefix"]:
+        """The more-specific of two overlapping prefixes, else ``None``.
+
+        Because CIDR blocks nest, two prefixes either are disjoint or one
+        contains the other; the intersection is therefore the longer one.
+        """
+        if self.contains(other):
+            return other
+        if other.contains(self):
+            return self
+        return None
+
+    def subnets(self, new_length: int) -> Iterator["IPv4Prefix"]:
+        """Iterate the subnets of this prefix at ``new_length``."""
+        if new_length < self._length or new_length > 32:
+            raise ValueError(f"cannot split /{self._length} into /{new_length}")
+        step = 1 << (32 - new_length)
+        for network in range(self._network, self._network + self.num_addresses, step):
+            yield IPv4Prefix(network, new_length)
+
+    def supernet(self, new_length: Optional[int] = None) -> "IPv4Prefix":
+        """The containing prefix at ``new_length`` (default: one bit shorter)."""
+        if new_length is None:
+            new_length = self._length - 1
+        if not 0 <= new_length <= self._length:
+            raise ValueError(f"invalid supernet length {new_length} for /{self._length}")
+        return IPv4Prefix(self._network, new_length)
+
+    def __eq__(self, other: object) -> bool:
+        # No implicit string comparison — see IPv4Address.__eq__.
+        if isinstance(other, IPv4Prefix):
+            return self._network == other._network and self._length == other._length
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Prefix") -> bool:
+        return (self._network, self._length) < (other._network, other._length)
+
+    def __hash__(self) -> int:
+        return hash(("IPv4Prefix", self._network, self._length))
+
+    def __str__(self) -> str:
+        return f"{_format_dotted_quad(self._network)}/{self._length}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Prefix({str(self)!r})"
+
+
+def ip(address: "int | str | IPv4Address") -> IPv4Address:
+    """Shorthand constructor: ``ip("10.0.0.1")``."""
+    return IPv4Address(address)
+
+
+def prefix(text: "str | IPv4Prefix", length: Optional[int] = None) -> IPv4Prefix:
+    """Shorthand constructor: ``prefix("10.0.0.0/8")`` or ``prefix("10.0.0.0", 8)``."""
+    return IPv4Prefix(text, length)
+
+
+class _TrieNode:
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_TrieNode"]] = [None, None]
+        self.value: object = None
+        self.has_value = False
+
+
+class PrefixTrie:
+    """A binary trie mapping :class:`IPv4Prefix` keys to values.
+
+    Supports exact-match insert/lookup/delete plus the two queries border
+    routers and the SDX runtime need:
+
+    * :meth:`longest_match` — FIB-style longest-prefix match for an address;
+    * :meth:`covered_by` — all stored prefixes inside a given block.
+    """
+
+    def __init__(self, items: Optional[Iterable[Tuple[IPv4Prefix, object]]] = None) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+        if items:
+            for key, value in items:
+                self[key] = value
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @staticmethod
+    def _bits(pfx: IPv4Prefix) -> Iterator[int]:
+        network = int(pfx.network)
+        for depth in range(pfx.length):
+            yield (network >> (31 - depth)) & 1
+
+    def __setitem__(self, pfx: IPv4Prefix, value: object) -> None:
+        node = self._root
+        for bit in self._bits(pfx):
+            child = node.children[bit]
+            if child is None:
+                child = _TrieNode()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def __getitem__(self, pfx: IPv4Prefix) -> object:
+        node = self._find(pfx)
+        if node is None or not node.has_value:
+            raise KeyError(pfx)
+        return node.value
+
+    def __contains__(self, pfx: IPv4Prefix) -> bool:
+        node = self._find(pfx)
+        return node is not None and node.has_value
+
+    def __delitem__(self, pfx: IPv4Prefix) -> None:
+        node = self._find(pfx)
+        if node is None or not node.has_value:
+            raise KeyError(pfx)
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+
+    def get(self, pfx: IPv4Prefix, default: object = None) -> object:
+        """Exact-match lookup with a default (dict.get semantics)."""
+        node = self._find(pfx)
+        if node is None or not node.has_value:
+            return default
+        return node.value
+
+    def _find(self, pfx: IPv4Prefix) -> Optional[_TrieNode]:
+        node: Optional[_TrieNode] = self._root
+        for bit in self._bits(pfx):
+            if node is None:
+                return None
+            node = node.children[bit]
+        return node
+
+    def longest_match(self, address: "IPv4Address | str | int") -> Optional[Tuple[IPv4Prefix, object]]:
+        """Longest-prefix match for ``address``; ``None`` when nothing covers it."""
+        value = int(IPv4Address(address))
+        node = self._root
+        best: Optional[Tuple[int, object]] = None
+        if node.has_value:
+            best = (0, node.value)
+        for depth in range(32):
+            bit = (value >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (depth + 1, node.value)
+        if best is None:
+            return None
+        length, found = best
+        return IPv4Prefix(value, length), found
+
+    def covered_by(self, block: IPv4Prefix) -> Iterator[Tuple[IPv4Prefix, object]]:
+        """Iterate all stored (prefix, value) pairs contained in ``block``."""
+        node: Optional[_TrieNode] = self._root
+        network = int(block.network)
+        for depth in range(block.length):
+            if node is None:
+                return
+            node = node.children[(network >> (31 - depth)) & 1]
+        if node is None:
+            return
+        yield from self._walk(node, network, block.length)
+
+    def items(self) -> Iterator[Tuple[IPv4Prefix, object]]:
+        """Iterate all stored (prefix, value) pairs in trie order."""
+        yield from self._walk(self._root, 0, 0)
+
+    def keys(self) -> Iterator[IPv4Prefix]:
+        for key, _ in self.items():
+            yield key
+
+    def _walk(self, node: _TrieNode, network: int, depth: int) -> Iterator[Tuple[IPv4Prefix, object]]:
+        stack: List[Tuple[_TrieNode, int, int]] = [(node, network, depth)]
+        while stack:
+            current, net, d = stack.pop()
+            if current.has_value:
+                yield IPv4Prefix(net, d), current.value
+            one = current.children[1]
+            zero = current.children[0]
+            if one is not None:
+                stack.append((one, net | (1 << (31 - d)), d + 1))
+            if zero is not None:
+                stack.append((zero, net, d + 1))
+
+    def __repr__(self) -> str:
+        return f"PrefixTrie(size={self._size})"

@@ -1,0 +1,116 @@
+"""MAC addresses and sequential allocators.
+
+SDX turns the destination MAC field into a tag: the *virtual MAC* (VMAC)
+identifies the forwarding equivalence class a packet belongs to.  The
+:class:`MACAllocator` hands out addresses from a reserved
+locally-administered block so VMACs can never collide with the physical
+addresses of participant router interfaces.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+__all__ = ["MACAddress", "MACAllocator", "mac"]
+
+_MAX_MAC = (1 << 48) - 1
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2})(?::([0-9a-fA-F]{2})){5}$")
+
+
+class MACAddress:
+    """An immutable 48-bit MAC address, printed in colon-hex form."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, address: "int | str | MACAddress") -> None:
+        if isinstance(address, MACAddress):
+            value = address._value
+        elif isinstance(address, int):
+            value = address
+        elif isinstance(address, str):
+            text = address.strip().lower()
+            if _MAC_RE.match(text) is None:
+                raise ValueError(f"not a MAC address: {address!r}")
+            value = int(text.replace(":", ""), 16)
+        else:
+            raise TypeError(f"cannot build MACAddress from {type(address).__name__}")
+        if not 0 <= value <= _MAX_MAC:
+            raise ValueError(f"MAC address out of range: {value}")
+        self._value = value
+
+    @property
+    def value(self) -> int:
+        """The address as a 48-bit unsigned integer."""
+        return self._value
+
+    @property
+    def is_locally_administered(self) -> bool:
+        """True when the locally-administered bit (bit 1 of octet 0) is set."""
+        return bool((self._value >> 40) & 0x02)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        # No implicit string comparison: a == b must imply equal hashes,
+        # and MACs are dict keys throughout the data plane.
+        if isinstance(other, MACAddress):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "MACAddress") -> bool:
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash(("MACAddress", self._value))
+
+    def __str__(self) -> str:
+        raw = f"{self._value:012x}"
+        return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return f"MACAddress({str(self)!r})"
+
+
+def mac(address: "int | str | MACAddress") -> MACAddress:
+    """Shorthand constructor: ``mac("02:00:00:00:00:01")``."""
+    return MACAddress(address)
+
+
+class MACAllocator:
+    """Sequential MAC allocator inside a fixed locally-administered block.
+
+    ``base`` defaults to ``02:a5:00:00:00:00``, leaving room for 2**32
+    allocations — far beyond the number of VMACs any IXP needs.
+    """
+
+    def __init__(self, base: "int | str | MACAddress" = 0x02A5_0000_0000, capacity: int = 1 << 32) -> None:
+        self._base = int(MACAddress(base))
+        self._capacity = capacity
+        self._next = 0
+
+    @property
+    def allocated(self) -> int:
+        """How many addresses have been handed out so far."""
+        return self._next
+
+    def allocate(self) -> MACAddress:
+        """Return the next unused address in the block."""
+        if self._next >= self._capacity:
+            raise RuntimeError("MAC allocator exhausted")
+        address = MACAddress(self._base + self._next)
+        self._next += 1
+        return address
+
+    def allocate_many(self, count: int) -> Iterator[MACAddress]:
+        """Yield ``count`` fresh addresses."""
+        for _ in range(count):
+            yield self.allocate()
+
+    def reset(self) -> None:
+        """Forget all allocations; subsequent calls reuse the block from 0."""
+        self._next = 0
+
+    def __repr__(self) -> str:
+        return f"MACAllocator(base={MACAddress(self._base)}, allocated={self._next})"

@@ -1,0 +1,93 @@
+"""Pyretic-style policy language and classifier compilation.
+
+This package is a from-scratch implementation of the policy substrate
+the SDX paper builds on (Monsanto et al., NSDI 2013): predicates,
+actions, sequential (``>>``) and parallel (``+``) composition, and a
+compiler from policy ASTs to prioritized rule tables.
+
+Quick tour::
+
+    from repro.policy import match, fwd, modify, if_, drop, identity
+
+    app_peering = (
+        (match(dstport=80) >> fwd("B")) +
+        (match(dstport=443) >> fwd("C"))
+    )
+    rules = app_peering.compile()        # a Classifier
+    outputs = app_peering.eval(packet)   # a frozenset of located packets
+"""
+
+from repro.policy.analysis import (
+    claimed_matches,
+    classifiers_disjoint,
+    forwarding_ports,
+    with_fallback,
+)
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+from repro.policy.language import (
+    Drop,
+    FalsePredicate,
+    Filter,
+    Forward,
+    Identity,
+    If,
+    Intersection,
+    Match,
+    Modify,
+    Negation,
+    Parallel,
+    Policy,
+    Sequential,
+    TruePredicate,
+    Union,
+    drop,
+    false_,
+    fwd,
+    identity,
+    if_,
+    match,
+    modify,
+    parallel,
+    sequential,
+    true_,
+    union_match,
+)
+from repro.policy.packet import Packet
+
+__all__ = [
+    "Action",
+    "Classifier",
+    "Drop",
+    "FalsePredicate",
+    "Filter",
+    "Forward",
+    "HeaderMatch",
+    "Identity",
+    "If",
+    "Intersection",
+    "Match",
+    "Modify",
+    "Negation",
+    "Packet",
+    "Parallel",
+    "Policy",
+    "Rule",
+    "Sequential",
+    "TruePredicate",
+    "Union",
+    "claimed_matches",
+    "classifiers_disjoint",
+    "drop",
+    "false_",
+    "forwarding_ports",
+    "fwd",
+    "identity",
+    "if_",
+    "match",
+    "modify",
+    "parallel",
+    "sequential",
+    "true_",
+    "union_match",
+    "with_fallback",
+]

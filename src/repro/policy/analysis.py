@@ -1,0 +1,85 @@
+"""Flow-space analysis over compiled classifiers.
+
+The SDX runtime needs three analyses beyond plain composition:
+
+* :func:`claimed_matches` — the flow space a participant's policy
+  *claims* (the union of its match predicates, Section 4.1), used to
+  decide which packets fall back to default BGP forwarding;
+* :func:`with_fallback` — the classifier-level equivalent of
+  ``if_(claimed, policy, default)`` that avoids recompiling the policy
+  inside both branches of the desugared conditional;
+* :func:`classifiers_disjoint` — the check backing the Section 4.3.1
+  optimization that skips parallel composition of policies that can
+  never apply to the same packet.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, List, Set
+
+from repro.policy.classifier import Classifier, HeaderMatch, Rule
+
+__all__ = [
+    "claimed_matches",
+    "classifiers_disjoint",
+    "forwarding_ports",
+    "with_fallback",
+]
+
+
+def claimed_matches(classifier: Classifier) -> List[HeaderMatch]:
+    """Matches of every non-drop rule: the flow space the policy handles."""
+    return [rule.match for rule in classifier.rules if not rule.is_drop]
+
+
+def forwarding_ports(classifier: Classifier) -> FrozenSet[Any]:
+    """Every output port some rule of the classifier can send to."""
+    ports: Set[Any] = set()
+    for rule in classifier.rules:
+        for action in rule.actions:
+            port = action.output_port
+            if port is not None:
+                ports.add(port)
+    return frozenset(ports)
+
+
+def classifiers_disjoint(left: Classifier, right: Classifier) -> bool:
+    """True when no packet is claimed by both classifiers.
+
+    Conservative: only non-drop rules count as claiming traffic, and any
+    possible per-field overlap is reported as non-disjoint.
+    """
+    left_claimed = claimed_matches(left)
+    right_claimed = claimed_matches(right)
+    for match_l in left_claimed:
+        for match_r in right_claimed:
+            if match_l.intersect(match_r) is not None:
+                return False
+    return True
+
+
+def with_fallback(primary: Classifier, fallback: Classifier) -> Classifier:
+    """Combine a policy with a default: ``if_(claimed(primary), primary, fallback)``.
+
+    Packets inside the primary classifier's claimed flow space receive
+    the primary's verdict (including its interior drops, which encode
+    BGP-reachability restrictions); everything else is handled by the
+    fallback.  Interior drop rules of the primary are rewritten so that
+    *unclaimed* packets fall through them into the fallback: each drop
+    rule is replaced by its intersections with the non-drop rules below
+    it, which are exactly the claimed packets the drop rule shadows.
+    """
+    rules: List[Rule] = []
+    primary_rules = primary.rules
+    for index, rule in enumerate(primary_rules):
+        if not rule.is_drop:
+            rules.append(rule)
+            continue
+        for later in primary_rules[index + 1 :]:
+            if later.is_drop:
+                continue
+            overlap = rule.match.intersect(later.match)
+            if overlap is not None:
+                rules.append(Rule(overlap, ()))
+    rules.extend(fallback.rules)
+    return Classifier(rules).optimized()

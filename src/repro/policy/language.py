@@ -1,0 +1,639 @@
+"""The SDX policy language: Pyretic-style predicates and policies.
+
+Participants express forwarding intent as compositions of a small
+algebra, exactly as in Section 3 of the paper::
+
+    (match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C"))
+
+Semantics.  A policy is a function from a located packet to a *set* of
+located packets: the empty set drops, a singleton forwards, several
+packets multicast.  Predicates are policies too (filters): they return
+``{packet}`` or ``{}``.
+
+Every policy supports two evaluation routes, which the property tests
+check against each other:
+
+* :meth:`Policy.eval` — direct interpretation of the AST;
+* :meth:`Policy.compile` — lowering to a :class:`~repro.policy.classifier.Classifier`
+  (the rule table installed in switches).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+from repro.netutils.fields import normalize_match_value
+from repro.policy.packet import Packet
+
+__all__ = [
+    "Policy",
+    "Filter",
+    "Match",
+    "Union",
+    "Intersection",
+    "Negation",
+    "TruePredicate",
+    "FalsePredicate",
+    "Modify",
+    "Forward",
+    "Drop",
+    "Identity",
+    "Sequential",
+    "Parallel",
+    "If",
+    "drop",
+    "identity",
+    "false_",
+    "fwd",
+    "if_",
+    "match",
+    "modify",
+    "parallel",
+    "sequential",
+    "true_",
+    "union_match",
+]
+
+
+class Policy:
+    """Base class of every policy AST node."""
+
+    def eval(self, packet: Packet) -> FrozenSet[Packet]:
+        """Interpret this policy on one located packet."""
+        raise NotImplementedError
+
+    def compile(self) -> Classifier:
+        """Lower this policy to a prioritized rule table."""
+        raise NotImplementedError
+
+    def children(self) -> Sequence["Policy"]:
+        """Immediate sub-policies (empty for leaves)."""
+        return ()
+
+    def reconstruct(self, children: Sequence["Policy"]) -> "Policy":
+        """Rebuild this node with replacement children (for AST rewriting)."""
+        if children:
+            raise ValueError(f"{type(self).__name__} takes no children")
+        return self
+
+    def transform(self, visit: Callable[["Policy"], Optional["Policy"]]) -> "Policy":
+        """Bottom-up AST rewrite.
+
+        ``visit`` is called on each node after its children have been
+        rewritten; returning ``None`` keeps the node, returning a policy
+        replaces it.  The SDX compiler uses this to rewrite virtual
+        ports into physical ports and VMAC matches.
+        """
+        new_children = [child.transform(visit) for child in self.children()]
+        node = self.reconstruct(new_children) if new_children else self
+        replacement = visit(node)
+        return node if replacement is None else replacement
+
+    def walk(self) -> Iterable["Policy"]:
+        """Iterate this node and all descendants, depth-first."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    # -- composition sugar ------------------------------------------------
+
+    def __rshift__(self, other: "Policy") -> "Policy":
+        return Sequential(self, other)
+
+    def __add__(self, other: "Policy") -> "Policy":
+        return Parallel(self, other)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+
+class Filter(Policy):
+    """A predicate used as a policy: passes matching packets unchanged."""
+
+    def test(self, packet: Packet) -> bool:
+        """True when the packet satisfies the predicate."""
+        raise NotImplementedError
+
+    def eval(self, packet: Packet) -> FrozenSet[Packet]:
+        return frozenset((packet,)) if self.test(packet) else frozenset()
+
+    # -- boolean algebra ---------------------------------------------------
+
+    def __and__(self, other: "Filter") -> "Filter":
+        return Intersection(self, other)
+
+    def __or__(self, other: "Filter") -> "Filter":
+        return Union(self, other)
+
+    def __invert__(self) -> "Filter":
+        return Negation(self)
+
+
+class TruePredicate(Filter):
+    """Matches every packet (the identity filter)."""
+
+    def test(self, packet: Packet) -> bool:
+        return True
+
+    def compile(self) -> Classifier:
+        return Classifier([Rule(HeaderMatch.ANY, (Action.IDENTITY,))])
+
+    def _key(self) -> Tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return "true_"
+
+
+class FalsePredicate(Filter):
+    """Matches no packet (the drop filter)."""
+
+    def test(self, packet: Packet) -> bool:
+        return False
+
+    def compile(self) -> Classifier:
+        return Classifier([Rule(HeaderMatch.ANY, ())])
+
+    def _key(self) -> Tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return "false_"
+
+
+class Match(Filter):
+    """``match(field=value, ...)`` — conjunction of header constraints.
+
+    A value may also be a set/list/tuple of alternatives, which expands
+    to a disjunction, mirroring the paper's ``match(srcip={...})``.
+    """
+
+    def __init__(self, **constraints: Any) -> None:
+        plain: dict = {}
+        alternatives: List[Tuple[str, List[Any]]] = []
+        for field, value in constraints.items():
+            if isinstance(value, (set, frozenset, list, tuple)):
+                options = sorted(
+                    {normalize_match_value(field, v) for v in value},
+                    key=repr,
+                )
+                if not options:
+                    raise ValueError(f"empty alternative set for field {field!r}")
+                alternatives.append((field, options))
+            else:
+                plain[field] = value
+        base = HeaderMatch(plain)
+        expanded: List[HeaderMatch] = []
+        if alternatives:
+            fields = [field for field, _ in alternatives]
+            for combo in itertools.product(*(opts for _, opts in alternatives)):
+                refined = base.intersect(HeaderMatch(dict(zip(fields, combo))))
+                if refined is not None:
+                    expanded.append(refined)
+        else:
+            expanded.append(base)
+        self._matches: Tuple[HeaderMatch, ...] = tuple(expanded)
+
+    @property
+    def header_matches(self) -> Tuple[HeaderMatch, ...]:
+        """The disjunction of header matches this predicate denotes."""
+        return self._matches
+
+    def test(self, packet: Packet) -> bool:
+        return any(m.matches(packet) for m in self._matches)
+
+    def compile(self) -> Classifier:
+        """One pass rule per alternative match, drop otherwise."""
+        rules = [Rule(m, (Action.IDENTITY,)) for m in self._matches]
+        rules.append(Rule(HeaderMatch.ANY, ()))
+        return Classifier(rules).optimized()
+
+    def _key(self) -> Tuple:
+        return (self._matches,)
+
+    def __repr__(self) -> str:
+        if len(self._matches) == 1:
+            m = self._matches[0]
+            inner = ", ".join(f"{k}={v}" for k, v in sorted(m.constraints.items()))
+            return f"match({inner})"
+        return f"match(<{len(self._matches)} alternatives>)"
+
+
+class _BooleanCombinator(Filter):
+    """Shared plumbing for AND/OR over predicate children."""
+
+    _empty_is: bool
+
+    def __init__(self, *predicates: Filter) -> None:
+        flattened: List[Filter] = []
+        for predicate in predicates:
+            if not isinstance(predicate, Filter):
+                raise TypeError(
+                    f"{type(self).__name__} requires predicates, got {type(predicate).__name__}"
+                )
+            if type(predicate) is type(self):
+                flattened.extend(predicate._predicates)  # type: ignore[attr-defined]
+            else:
+                flattened.append(predicate)
+        self._predicates: Tuple[Filter, ...] = tuple(flattened)
+
+    @property
+    def predicates(self) -> Tuple[Filter, ...]:
+        return self._predicates
+
+    def children(self) -> Sequence[Policy]:
+        return self._predicates
+
+    def reconstruct(self, children: Sequence[Policy]) -> Policy:
+        return type(self)(*children)  # type: ignore[arg-type]
+
+    def _key(self) -> Tuple:
+        return (self._predicates,)
+
+
+class Union(_BooleanCombinator):
+    """Disjunction of predicates (``p | q``)."""
+
+    def test(self, packet: Packet) -> bool:
+        return any(p.test(packet) for p in self._predicates)
+
+    def compile(self) -> Classifier:
+        """Union of the children's filter classifiers."""
+        if not self._predicates:
+            return FalsePredicate().compile()
+        result = self._predicates[0].compile()
+        for predicate in self._predicates[1:]:
+            result = _filter_union(result, predicate.compile())
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(p) for p in self._predicates) + ")"
+
+
+class Intersection(_BooleanCombinator):
+    """Conjunction of predicates (``p & q``)."""
+
+    def test(self, packet: Packet) -> bool:
+        return all(p.test(packet) for p in self._predicates)
+
+    def compile(self) -> Classifier:
+        """Intersection of the children's filter classifiers."""
+        if not self._predicates:
+            return TruePredicate().compile()
+        result = self._predicates[0].compile()
+        for predicate in self._predicates[1:]:
+            result = _filter_intersection(result, predicate.compile())
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(p) for p in self._predicates) + ")"
+
+
+class Negation(Filter):
+    """Complement of a predicate (``~p``)."""
+
+    def __init__(self, predicate: Filter) -> None:
+        if not isinstance(predicate, Filter):
+            raise TypeError("~ requires a predicate")
+        self._predicate = predicate
+
+    @property
+    def predicate(self) -> Filter:
+        return self._predicate
+
+    def children(self) -> Sequence[Policy]:
+        return (self._predicate,)
+
+    def reconstruct(self, children: Sequence[Policy]) -> Policy:
+        (child,) = children
+        return Negation(child)  # type: ignore[arg-type]
+
+    def test(self, packet: Packet) -> bool:
+        return not self._predicate.test(packet)
+
+    def compile(self) -> Classifier:
+        """Flip the inner classifier's pass/drop verdicts."""
+        inner = self._predicate.compile()
+        flipped = [
+            Rule(rule.match, () if rule.actions else (Action.IDENTITY,))
+            for rule in inner.rules
+        ]
+        flipped.append(Rule(HeaderMatch.ANY, (Action.IDENTITY,)))
+        return Classifier(flipped).optimized()
+
+    def _key(self) -> Tuple:
+        return (self._predicate,)
+
+    def __repr__(self) -> str:
+        return f"~{self._predicate!r}"
+
+
+class Modify(Policy):
+    """``modify(field=value, ...)`` — rewrite headers, keep the location."""
+
+    def __init__(self, **updates: Any) -> None:
+        self._action = Action(updates)
+
+    @property
+    def action(self) -> Action:
+        return self._action
+
+    def eval(self, packet: Packet) -> FrozenSet[Packet]:
+        return frozenset((self._action.apply(packet),))
+
+    def compile(self) -> Classifier:
+        return Classifier([Rule(HeaderMatch.ANY, (self._action,))])
+
+    def _key(self) -> Tuple:
+        return (self._action,)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._action.updates.items()))
+        return f"modify({inner})"
+
+
+class Forward(Policy):
+    """``fwd(port)`` — move the packet to an output port."""
+
+    def __init__(self, port: Any) -> None:
+        self._port = port
+
+    @property
+    def port(self) -> Any:
+        return self._port
+
+    def eval(self, packet: Packet) -> FrozenSet[Packet]:
+        return frozenset((packet.modify(port=self._port),))
+
+    def compile(self) -> Classifier:
+        return Classifier([Rule(HeaderMatch.ANY, (Action(port=self._port),))])
+
+    def _key(self) -> Tuple:
+        return (self._port,)
+
+    def __repr__(self) -> str:
+        return f"fwd({self._port!r})"
+
+
+class Drop(Policy):
+    """Discard every packet."""
+
+    def eval(self, packet: Packet) -> FrozenSet[Packet]:
+        return frozenset()
+
+    def compile(self) -> Classifier:
+        return Classifier([Rule(HeaderMatch.ANY, ())])
+
+    def _key(self) -> Tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return "drop"
+
+
+class Identity(Policy):
+    """Pass every packet through unchanged."""
+
+    def eval(self, packet: Packet) -> FrozenSet[Packet]:
+        return frozenset((packet,))
+
+    def compile(self) -> Classifier:
+        return Classifier([Rule(HeaderMatch.ANY, (Action.IDENTITY,))])
+
+    def _key(self) -> Tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return "identity"
+
+
+class _Combinator(Policy):
+    """Shared plumbing for sequential/parallel composition."""
+
+    def __init__(self, *policies: Policy) -> None:
+        flattened: List[Policy] = []
+        for policy in policies:
+            if type(policy) is type(self):
+                flattened.extend(policy._policies)  # type: ignore[attr-defined]
+            else:
+                flattened.append(policy)
+        self._policies: Tuple[Policy, ...] = tuple(flattened)
+
+    @property
+    def policies(self) -> Tuple[Policy, ...]:
+        return self._policies
+
+    def children(self) -> Sequence[Policy]:
+        return self._policies
+
+    def reconstruct(self, children: Sequence[Policy]) -> Policy:
+        return type(self)(*children)
+
+    def _key(self) -> Tuple:
+        return (self._policies,)
+
+
+class Sequential(_Combinator):
+    """``p >> q`` — feed every output packet of ``p`` into ``q``."""
+
+    def eval(self, packet: Packet) -> FrozenSet[Packet]:
+        """Thread the packet set through each stage in order."""
+        packets: FrozenSet[Packet] = frozenset((packet,))
+        for policy in self._policies:
+            next_packets: Set[Packet] = set()
+            for current in packets:
+                next_packets |= policy.eval(current)
+            packets = frozenset(next_packets)
+            if not packets:
+                break
+        return packets
+
+    def compile(self) -> Classifier:
+        """Fold the children with classifier sequential composition."""
+        if not self._policies:
+            return Identity().compile()
+        result = self._policies[0].compile()
+        for policy in self._policies[1:]:
+            result = result >> policy.compile()
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " >> ".join(repr(p) for p in self._policies) + ")"
+
+
+class Parallel(_Combinator):
+    """``p + q`` — apply both policies to the packet and union the outputs."""
+
+    def eval(self, packet: Packet) -> FrozenSet[Packet]:
+        """Union of every child's outputs on the same packet."""
+        out: Set[Packet] = set()
+        for policy in self._policies:
+            out |= policy.eval(packet)
+        return frozenset(out)
+
+    def compile(self) -> Classifier:
+        """Fold the children with classifier parallel composition."""
+        if not self._policies:
+            return Drop().compile()
+        result = self._policies[0].compile()
+        for policy in self._policies[1:]:
+            result = result + policy.compile()
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " + ".join(repr(p) for p in self._policies) + ")"
+
+
+class If(Policy):
+    """``if_(pred, then, else_)`` — branch on a predicate.
+
+    Desugars to ``(pred >> then) + (~pred >> else_)``; the SDX runtime
+    uses it to fall back to default BGP forwarding for traffic a
+    participant's policy does not claim (Section 4.1).
+    """
+
+    def __init__(self, predicate: Filter, then: Policy, otherwise: Policy) -> None:
+        if not isinstance(predicate, Filter):
+            raise TypeError("if_ requires a predicate")
+        self._predicate = predicate
+        self._then = then
+        self._otherwise = otherwise
+
+    @property
+    def predicate(self) -> Filter:
+        return self._predicate
+
+    @property
+    def then(self) -> Policy:
+        return self._then
+
+    @property
+    def otherwise(self) -> Policy:
+        return self._otherwise
+
+    def _desugared(self) -> Policy:
+        return Parallel(
+            Sequential(self._predicate, self._then),
+            Sequential(Negation(self._predicate), self._otherwise),
+        )
+
+    def children(self) -> Sequence[Policy]:
+        return (self._predicate, self._then, self._otherwise)
+
+    def reconstruct(self, children: Sequence[Policy]) -> Policy:
+        predicate, then, otherwise = children
+        return If(predicate, then, otherwise)  # type: ignore[arg-type]
+
+    def eval(self, packet: Packet) -> FrozenSet[Packet]:
+        """Evaluate the branch the predicate selects."""
+        if self._predicate.test(packet):
+            return self._then.eval(packet)
+        return self._otherwise.eval(packet)
+
+    def compile(self) -> Classifier:
+        """Compile via the ``(p >> t) + (~p >> e)`` desugaring."""
+        return self._desugared().compile()
+
+    def _key(self) -> Tuple:
+        return (self._predicate, self._then, self._otherwise)
+
+    def __repr__(self) -> str:
+        return f"if_({self._predicate!r}, {self._then!r}, {self._otherwise!r})"
+
+
+# -- classifier-level boolean helpers -------------------------------------
+
+
+def _filter_union(left: Classifier, right: Classifier) -> Classifier:
+    """Union of two *filter* classifiers (actions are identity or drop)."""
+    crossed: List[Rule] = []
+    for r1 in left.rules:
+        for r2 in right.rules:
+            overlap = r1.match.intersect(r2.match)
+            if overlap is not None:
+                crossed.append(Rule(overlap, r1.actions | r2.actions))
+    return Classifier(crossed + left.rules + right.rules).optimized()
+
+
+def _filter_intersection(left: Classifier, right: Classifier) -> Classifier:
+    """Intersection of two *filter* classifiers."""
+    crossed: List[Rule] = []
+    for r1 in left.rules:
+        for r2 in right.rules:
+            overlap = r1.match.intersect(r2.match)
+            if overlap is not None:
+                actions = (Action.IDENTITY,) if (r1.actions and r2.actions) else ()
+                crossed.append(Rule(overlap, actions))
+    return Classifier(crossed).optimized()
+
+
+# -- public constructors ----------------------------------------------------
+
+
+def match(**constraints: Any) -> Match:
+    """Build a match predicate: ``match(dstport=80, dstip="10.0.0.0/8")``."""
+    return Match(**constraints)
+
+
+def fwd(port: Any) -> Forward:
+    """Forward to an output port: ``fwd("B1")``."""
+    return Forward(port)
+
+
+def modify(**updates: Any) -> Modify:
+    """Rewrite header fields: ``modify(dstip="74.125.224.161")``."""
+    return Modify(**updates)
+
+
+def if_(predicate: Filter, then: Policy, otherwise: Policy) -> If:
+    """Branch on a predicate with an else-clause."""
+    return If(predicate, then, otherwise)
+
+
+def sequential(*policies: Policy) -> Policy:
+    """N-ary ``>>``; returns ``identity`` for no arguments."""
+    if not policies:
+        return identity
+    if len(policies) == 1:
+        return policies[0]
+    return Sequential(*policies)
+
+
+def parallel(*policies: Policy) -> Policy:
+    """N-ary ``+``; returns ``drop`` for no arguments."""
+    if not policies:
+        return drop
+    if len(policies) == 1:
+        return policies[0]
+    return Parallel(*policies)
+
+
+def union_match(matches: Iterable[HeaderMatch]) -> Filter:
+    """A predicate matching the union of pre-built header matches."""
+    matches = list(matches)
+    if not matches:
+        return false_
+    predicate: Filter = _from_header_match(matches[0])
+    for header_match in matches[1:]:
+        predicate = predicate | _from_header_match(header_match)
+    return predicate
+
+
+def _from_header_match(header_match: HeaderMatch) -> Filter:
+    if header_match.is_universal:
+        return true_
+    return Match(**dict(header_match.constraints))
+
+
+drop = Drop()
+identity = Identity()
+true_ = TruePredicate()
+false_ = FalsePredicate()

@@ -1,0 +1,105 @@
+"""Located packets — the values SDX policies transform.
+
+Following Pyretic, a *located packet* is a packet plus its location (the
+``switch`` and ``port`` header fields).  A policy maps one located
+packet to a set of located packets: the empty set drops, a singleton
+forwards, a larger set multicasts.
+
+Packets are immutable; :meth:`Packet.modify` returns a new packet.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from repro.netutils.fields import FIELDS, normalize_packet_value
+
+__all__ = ["Packet"]
+
+
+class Packet(Mapping[str, Any]):
+    """An immutable located packet: a mapping of header-field names to values.
+
+    Only fields registered in :data:`repro.netutils.fields.FIELDS` are
+    accepted; values are normalized on construction (e.g. ``"10.0.0.1"``
+    becomes an :class:`~repro.netutils.ip.IPv4Address`).
+
+    Example::
+
+        >>> pkt = Packet(srcip="10.0.0.1", dstip="8.8.8.8", dstport=80, port="A1")
+        >>> pkt["dstport"]
+        80
+        >>> pkt.modify(port="B")["port"]
+        'B'
+    """
+
+    __slots__ = ("_headers", "_hash")
+
+    def __init__(self, headers: Optional[Mapping[str, Any]] = None, **kwargs: Any) -> None:
+        merged: Dict[str, Any] = {}
+        if headers:
+            merged.update(headers)
+        merged.update(kwargs)
+        normalized: Dict[str, Any] = {}
+        for field, value in merged.items():
+            if field not in FIELDS:
+                raise ValueError(f"unknown header field {field!r}")
+            value = normalize_packet_value(field, value)
+            if value is not None:
+                normalized[field] = value
+        object.__setattr__(self, "_headers", normalized)
+        object.__setattr__(self, "_hash", None)
+
+    def modify(self, **updates: Any) -> "Packet":
+        """Return a copy with the given header fields rewritten.
+
+        Passing ``field=None`` removes the field.
+        """
+        headers = dict(self._headers)
+        for field, value in updates.items():
+            if field not in FIELDS:
+                raise ValueError(f"unknown header field {field!r}")
+            if value is None:
+                headers.pop(field, None)
+            else:
+                headers[field] = normalize_packet_value(field, value)
+        return Packet(headers)
+
+    @property
+    def location(self) -> Any:
+        """The packet's current port (its location in the fabric)."""
+        return self._headers.get("port")
+
+    def __getitem__(self, field: str) -> Any:
+        return self._headers[field]
+
+    def get(self, field: str, default: Any = None) -> Any:
+        return self._headers.get(field, default)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._headers)
+
+    def __len__(self) -> int:
+        return len(self._headers)
+
+    def __contains__(self, field: object) -> bool:
+        return field in self._headers
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return self._headers == other._headers
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash(frozenset(self._headers.items()))
+            )
+        return self._hash
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Packet is immutable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._headers.items()))
+        return f"Packet({inner})"

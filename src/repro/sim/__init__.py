@@ -1,0 +1,5 @@
+"""Discrete-event simulation support for the deployment experiments."""
+
+from repro.sim.clock import Simulator
+
+__all__ = ["Simulator"]

@@ -1,0 +1,83 @@
+"""A minimal discrete-event simulator.
+
+The deployment experiments (Figure 5) replay multi-minute timelines —
+policy activations, route withdrawals, continuous UDP flows — far
+faster than real time.  :class:`Simulator` provides the event loop;
+everything else (traffic generators, controller actions) schedules
+callbacks on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A priority-queue event loop with a virtual clock in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, at: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute virtual time ``at``.
+
+        Events scheduled for the past run at the current time; ties run
+        in scheduling order.
+        """
+        heapq.heappush(self._queue, (max(at, self._now), next(self._counter), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds of virtual time."""
+        self.schedule(self._now + delay, callback)
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> None:
+        """Run ``callback`` periodically until ``until`` (inclusive start)."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        first = self._now if start is None else start
+
+        def tick(at: float) -> None:
+            if until is not None and at > until:
+                return
+            callback()
+            self.schedule(at + interval, lambda: tick(at + interval))
+
+        self.schedule(first, lambda: tick(first))
+
+    def run_until(self, end: float) -> None:
+        """Execute all events with time <= ``end``; clock lands on ``end``."""
+        while self._queue and self._queue[0][0] <= end:
+            at, _, callback = heapq.heappop(self._queue)
+            self._now = at
+            callback()
+            self.events_run += 1
+        self._now = max(self._now, end)
+
+    def run(self) -> None:
+        """Drain the queue completely."""
+        while self._queue:
+            at, _, callback = heapq.heappop(self._queue)
+            self._now = at
+            callback()
+            self.events_run += 1
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self._now}, pending={len(self._queue)})"

@@ -1,0 +1,33 @@
+"""Synthetic workloads calibrated to the paper's §6.1 methodology."""
+
+from repro.workloads.policy_gen import PolicyWorkload, generate_policies
+from repro.workloads.serialization import (
+    dump_updates,
+    dumps_updates,
+    load_updates,
+    loads_updates,
+)
+from repro.workloads.prefixes import (
+    allocate_prefix_pool,
+    announcement_counts,
+    skew_summary,
+)
+from repro.workloads.topology_gen import ASCategory, SyntheticIXP, generate_ixp
+from repro.workloads.update_gen import UpdateTrace, generate_update_trace
+
+__all__ = [
+    "ASCategory",
+    "PolicyWorkload",
+    "SyntheticIXP",
+    "UpdateTrace",
+    "allocate_prefix_pool",
+    "announcement_counts",
+    "dump_updates",
+    "dumps_updates",
+    "generate_ixp",
+    "generate_policies",
+    "generate_update_trace",
+    "load_updates",
+    "loads_updates",
+    "skew_summary",
+]

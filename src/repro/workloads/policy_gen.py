@@ -1,0 +1,175 @@
+"""The §6.1 policy mix: "emulating realistic AS policies at the IXP".
+
+Quoting the assignment rules the paper uses for its scaling
+experiments:
+
+* the top 15% of *eyeball* ASes, the top 5% of *transit* ASes, and a
+  random 5% of *content* ASes install custom policies;
+* each **content provider** installs outbound policies for three
+  randomly chosen top eyeball networks, plus one inbound policy
+  matching on one header field;
+* each **eyeball network** installs inbound policies for half of the
+  content providers, matching on one randomly selected header field,
+  and no outbound policies;
+* each **transit provider** installs outbound policies for one prefix
+  group for half of the top eyeball networks (destination prefix plus
+  one extra header field) and inbound policies proportional to the
+  number of top content providers.
+
+:func:`generate_policies` reproduces those rules deterministically from
+a seed, returning ready-to-install :class:`~repro.core.participant.SDXPolicySet`
+objects.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.participant import SDXPolicySet
+from repro.netutils.ip import IPv4Prefix
+from repro.policy.language import Filter, Policy, fwd, match, parallel
+from repro.workloads.topology_gen import ASCategory, SyntheticIXP
+
+__all__ = ["PolicyWorkload", "generate_policies"]
+
+#: Application ports used by application-specific peering policies.
+_APP_PORTS = (80, 443, 8080, 1935, 8443)
+
+#: Source-prefix split points used by inbound traffic engineering.
+_SRC_SPLITS = ("0.0.0.0/1", "128.0.0.0/1", "0.0.0.0/2", "192.0.0.0/2")
+
+
+class PolicyWorkload:
+    """The generated policy assignment plus its bookkeeping."""
+
+    def __init__(
+        self,
+        policies: Dict[str, SDXPolicySet],
+        policy_participants: Dict[str, List[str]],
+        policy_count: int,
+    ) -> None:
+        self.policies = policies
+        self.policy_participants = policy_participants
+        self.policy_count = policy_count
+
+    def __repr__(self) -> str:
+        return (
+            f"PolicyWorkload(participants={len(self.policies)}, "
+            f"policies={self.policy_count})"
+        )
+
+
+def _one_field_match(rng: random.Random) -> Filter:
+    """A single-header-field predicate (the paper's inbound policy shape)."""
+    choice = rng.randrange(3)
+    if choice == 0:
+        return match(srcip=_SRC_SPLITS[rng.randrange(len(_SRC_SPLITS))])
+    if choice == 1:
+        return match(dstport=_APP_PORTS[rng.randrange(len(_APP_PORTS))])
+    return match(srcport=1024 + rng.randrange(64000))
+
+
+def _inbound_policy(ports: Sequence[str], rng: random.Random, clauses: int) -> Optional[Policy]:
+    """Spread ``clauses`` single-field matches over the participant's ports."""
+    if not ports or clauses <= 0:
+        return None
+    parts: List[Policy] = []
+    for index in range(clauses):
+        port = ports[index % len(ports)]
+        parts.append(_one_field_match(rng) >> fwd(port))
+    return parallel(*parts)
+
+
+def generate_policies(
+    ixp: SyntheticIXP,
+    seed: int = 1,
+    prefix_limit: Optional[int] = None,
+) -> PolicyWorkload:
+    """Instantiate the §6.1 policy mix over a synthetic exchange.
+
+    ``prefix_limit`` optionally caps how many of a target's prefixes a
+    transit provider's destination-specific policy names (the Figure 6
+    experiments sweep the number of prefixes with SDX policies).
+    """
+    rng = random.Random(seed)
+    eyeballs = ixp.participants_in(ASCategory.EYEBALL)
+    transits = ixp.participants_in(ASCategory.TRANSIT)
+    contents = ixp.participants_in(ASCategory.CONTENT)
+
+    top_eyeballs = eyeballs[: max(1, int(len(eyeballs) * 0.15))] if eyeballs else []
+    top_transits = transits[: max(1, int(len(transits) * 0.05))] if transits else []
+    content_pool = list(contents)
+    rng.shuffle(content_pool)
+    chosen_contents = content_pool[: max(1, int(len(contents) * 0.05))] if contents else []
+
+    policies: Dict[str, SDXPolicySet] = {}
+    assignment: Dict[str, List[str]] = {"eyeball": [], "transit": [], "content": []}
+    policy_count = 0
+
+    # Content providers: application-specific peering toward top eyeballs.
+    for name in chosen_contents:
+        outbound_parts: List[Policy] = []
+        for _ in range(3):
+            if not top_eyeballs:
+                break
+            target = top_eyeballs[rng.randrange(len(top_eyeballs))]
+            if target == name:
+                continue
+            port = _APP_PORTS[rng.randrange(len(_APP_PORTS))]
+            outbound_parts.append(match(dstport=port) >> fwd(target))
+            policy_count += 1
+        inbound = _inbound_policy(ixp.config.participant(name).port_ids, rng, 1)
+        if inbound is not None:
+            policy_count += 1
+        if outbound_parts or inbound is not None:
+            policies[name] = SDXPolicySet(
+                outbound=parallel(*outbound_parts) if outbound_parts else None,
+                inbound=inbound,
+            )
+            assignment["content"].append(name)
+
+    # Eyeballs: inbound policies for half of the content providers.
+    for name in top_eyeballs:
+        clauses = max(1, len(contents) // 2)
+        inbound = _inbound_policy(ixp.config.participant(name).port_ids, rng, clauses)
+        if inbound is not None:
+            policies[name] = SDXPolicySet(inbound=inbound)
+            assignment["eyeball"].append(name)
+            policy_count += clauses
+
+    # Transit providers: destination-specific outbound TE toward half the
+    # top eyeballs, plus inbound policies sized by the content head count.
+    for name in top_transits:
+        outbound_parts = []
+        targets = top_eyeballs[: max(1, len(top_eyeballs) // 2)]
+        for target in targets:
+            target_prefixes = list(ixp.announced.get(target, ()))
+            if target == name or not target_prefixes:
+                continue
+            count = len(target_prefixes) if prefix_limit is None else min(
+                prefix_limit, len(target_prefixes)
+            )
+            chosen: Tuple[IPv4Prefix, ...] = tuple(
+                {
+                    target_prefixes[rng.randrange(len(target_prefixes))]
+                    for _ in range(min(4, count))
+                }
+            )
+            port = _APP_PORTS[rng.randrange(len(_APP_PORTS))]
+            outbound_parts.append(
+                match(dstip=set(chosen), dstport=port) >> fwd(target)
+            )
+            policy_count += 1
+        clauses = max(1, len(chosen_contents))
+        inbound = _inbound_policy(ixp.config.participant(name).port_ids, rng, clauses)
+        if inbound is not None:
+            policy_count += clauses
+        if outbound_parts or inbound is not None:
+            policies[name] = SDXPolicySet(
+                outbound=parallel(*outbound_parts) if outbound_parts else None,
+                inbound=inbound,
+            )
+            assignment["transit"].append(name)
+
+    return PolicyWorkload(policies, assignment, policy_count)

@@ -1,0 +1,122 @@
+"""JSON persistence for workloads and update traces.
+
+Reproducibility tooling: experiments can snapshot the exact synthetic
+exchange and update trace they ran against (an MRT-dump stand-in), and
+reload them later — or on another machine — without re-deriving them
+from generator seeds.  The format is plain JSON, versioned, and
+deliberately close to the in-memory model.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Union
+
+from repro.bgp.attributes import Community, Origin, RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate, Withdrawal
+from repro.netutils.ip import IPv4Prefix
+
+__all__ = [
+    "dump_updates",
+    "dumps_updates",
+    "load_updates",
+    "loads_updates",
+]
+
+FORMAT_VERSION = 1
+
+
+def _attributes_to_json(attributes: RouteAttributes) -> Dict[str, Any]:
+    return {
+        "as_path": list(attributes.as_path),
+        "next_hop": str(attributes.next_hop),
+        "origin": attributes.origin.name,
+        "med": attributes.med,
+        "local_pref": attributes.local_pref,
+        "communities": sorted(str(c) for c in attributes.communities),
+    }
+
+
+def _attributes_from_json(data: Dict[str, Any]) -> RouteAttributes:
+    return RouteAttributes(
+        as_path=data["as_path"],
+        next_hop=data["next_hop"],
+        origin=Origin[data["origin"]],
+        med=data["med"],
+        local_pref=data["local_pref"],
+        communities=[Community.parse(text) for text in data["communities"]],
+    )
+
+
+def _update_to_json(update: BGPUpdate) -> Dict[str, Any]:
+    return {
+        "peer": update.peer,
+        "time": update.time,
+        "announced": [
+            {
+                "prefix": str(announcement.prefix),
+                "attributes": _attributes_to_json(announcement.attributes),
+                "export_to": (
+                    sorted(announcement.export_to)
+                    if announcement.export_to is not None
+                    else None
+                ),
+            }
+            for announcement in update.announced
+        ],
+        "withdrawn": [str(withdrawal.prefix) for withdrawal in update.withdrawn],
+    }
+
+
+def _update_from_json(data: Dict[str, Any]) -> BGPUpdate:
+    return BGPUpdate(
+        peer=data["peer"],
+        time=data["time"],
+        announced=[
+            Announcement(
+                entry["prefix"],
+                _attributes_from_json(entry["attributes"]),
+                export_to=entry["export_to"],
+            )
+            for entry in data["announced"]
+        ],
+        withdrawn=[Withdrawal(prefix) for prefix in data["withdrawn"]],
+    )
+
+
+def dumps_updates(updates: List[BGPUpdate]) -> str:
+    """Serialize an update trace to a JSON string."""
+    payload = {
+        "format": "repro-sdx-updates",
+        "version": FORMAT_VERSION,
+        "updates": [_update_to_json(update) for update in updates],
+    }
+    return json.dumps(payload, indent=1)
+
+
+def loads_updates(text: str) -> List[BGPUpdate]:
+    """Deserialize an update trace from a JSON string."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro-sdx-updates":
+        raise ValueError("not a repro-sdx update trace")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace version {payload.get('version')!r}")
+    return [_update_from_json(entry) for entry in payload["updates"]]
+
+
+def dump_updates(updates: List[BGPUpdate], stream: Union[str, IO[str]]) -> None:
+    """Write a trace to a path or text stream."""
+    text = dumps_updates(updates)
+    if isinstance(stream, str):
+        with open(stream, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        stream.write(text)
+
+
+def load_updates(stream: Union[str, IO[str]]) -> List[BGPUpdate]:
+    """Read a trace from a path or text stream."""
+    if isinstance(stream, str):
+        with open(stream, "r", encoding="utf-8") as handle:
+            return loads_updates(handle.read())
+    return loads_updates(stream.read())

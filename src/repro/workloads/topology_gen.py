@@ -1,0 +1,228 @@
+"""Synthetic IXP topologies "emulating real-world IXP topologies" (§6.1).
+
+:func:`generate_ixp` builds, deterministically from a seed:
+
+* an :class:`~repro.ixp.topology.IXPConfig` with the requested number
+  of participants (a configurable fraction with two ports, matching
+  the paper's "fraction of participants with multiple ports");
+* a participant classification into *eyeball*, *transit*, and
+  *content* ASes (the §6.1 policy-assignment categories);
+* a BGP table: each participant announces a power-law-skewed share of
+  a disjoint /24 pool, with realistic AS-path lengths.
+
+The result object also carries the loaded
+:class:`~repro.bgp.route_server.RouteServer` inputs so experiments can
+instantiate controllers directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate
+from repro.ixp.topology import IXPConfig
+from repro.netutils.ip import IPv4Prefix
+from repro.workloads.prefixes import allocate_prefix_pool, announcement_counts
+
+__all__ = ["ASCategory", "SyntheticIXP", "generate_ixp"]
+
+
+class ASCategory:
+    """Participant classes used by the §6.1 policy mix."""
+
+    EYEBALL = "eyeball"
+    TRANSIT = "transit"
+    CONTENT = "content"
+
+    ALL = (EYEBALL, TRANSIT, CONTENT)
+
+
+class SyntheticIXP(NamedTuple):
+    """A generated exchange: config, classification, and routing table."""
+
+    config: IXPConfig
+    categories: Dict[str, str]
+    announced: Dict[str, Tuple[IPv4Prefix, ...]]
+    updates: List[BGPUpdate]
+    seed: int
+
+    @property
+    def participant_names(self) -> Tuple[str, ...]:
+        return self.config.participant_names()
+
+    def participants_in(self, category: str) -> List[str]:
+        """Participants of one category, sorted by prefix count (desc).
+
+        §6.1 sorts each category "by the number of prefixes that they
+        advertise" to pick the policy-installing heads.
+        """
+        members = [
+            name for name, cat in self.categories.items() if cat == category
+        ]
+        members.sort(key=lambda name: (-len(self.announced[name]), name))
+        return members
+
+    def all_prefixes(self) -> List[IPv4Prefix]:
+        """Every primarily-announced prefix, in participant order."""
+        out: List[IPv4Prefix] = []
+        for prefixes in self.announced.values():
+            out.extend(prefixes)
+        return out
+
+    def announcement_sets(self) -> Dict[str, FrozenSet[IPv4Prefix]]:
+        """Every participant's full announced set, backups included.
+
+        ``announced`` records only primary ownership; this derives the
+        per-AS sets the way the paper's §6.2 experiment does — from the
+        actual BGP table — so multihomed prefixes appear in several sets.
+        """
+        sets: Dict[str, set] = {name: set() for name in self.participant_names}
+        for update in self.updates:
+            for announcement in update.announced:
+                sets[update.peer].add(announcement.prefix)
+        return {name: frozenset(prefixes) for name, prefixes in sets.items()}
+
+
+def _participant_name(index: int) -> str:
+    return f"AS{index + 1:03d}"
+
+
+def _port_specs(index: int, ports: int) -> List[Tuple[str, str, str]]:
+    """(port_id, interface IP, MAC) triples on the 172.0.0.0/12 peering LAN."""
+    specs = []
+    for port_number in range(ports):
+        host = index * 4 + port_number + 1
+        address = f"172.{(host >> 16) & 0x0F}.{(host >> 8) & 0xFF}.{host & 0xFF}"
+        hardware = f"08:00:27:{(index >> 8) & 0xFF:02x}:{index & 0xFF:02x}:{port_number + 1:02x}"
+        specs.append((f"{_participant_name(index)}-p{port_number + 1}", address, hardware))
+    return specs
+
+
+def generate_ixp(
+    participants: int,
+    total_prefixes: int,
+    seed: int = 0,
+    multi_port_fraction: float = 0.2,
+    category_mix: Tuple[float, float, float] = (0.5, 0.3, 0.2),
+    multihoming_fraction: float = 0.3,
+    max_backup_announcers: int = 2,
+    vnh_pool: str = "172.16.0.0/12",
+) -> SyntheticIXP:
+    """Generate a synthetic exchange.
+
+    ``category_mix`` gives the (eyeball, transit, content) shares.
+    Announcements carry AS paths of 1-4 hops ending at a synthetic
+    origin AS, so AS-path-based RIB queries have something to match.
+    ``multihoming_fraction`` of the prefixes are additionally announced
+    (with a longer path) by a second, transit participant — without
+    alternate routes, outbound deflection policies would have nothing
+    legitimate to deflect to.
+    """
+    if participants <= 0:
+        raise ValueError("need at least one participant")
+    rng = random.Random(seed)
+    config = IXPConfig(vnh_pool=vnh_pool)
+    categories: Dict[str, str] = {}
+    eyeball_share, transit_share, _ = category_mix
+
+    for index in range(participants):
+        name = _participant_name(index)
+        ports = 2 if rng.random() < multi_port_fraction else 1
+        config.add_participant(name, asn=65001 + index, ports=_port_specs(index, ports))
+        roll = rng.random()
+        if roll < eyeball_share:
+            categories[name] = ASCategory.EYEBALL
+        elif roll < eyeball_share + transit_share:
+            categories[name] = ASCategory.TRANSIT
+        else:
+            categories[name] = ASCategory.CONTENT
+
+    pool = allocate_prefix_pool(total_prefixes)
+    counts = announcement_counts(participants, total_prefixes, rng)
+    # Heaviest announcers tend to be transit networks at real IXPs; bias
+    # the big counts toward transit/content without making it absolute.
+    order = sorted(
+        range(participants),
+        key=lambda i: (
+            0 if categories[_participant_name(i)] == ASCategory.TRANSIT else 1,
+            rng.random(),
+        ),
+    )
+
+    announced: Dict[str, Tuple[IPv4Prefix, ...]] = {}
+    updates: List[BGPUpdate] = []
+    cursor = 0
+    for rank, participant_index in enumerate(order):
+        name = _participant_name(participant_index)
+        spec = config.participant(name)
+        count = counts[rank]
+        mine = pool[cursor : cursor + count]
+        cursor += count
+        announced[name] = tuple(mine)
+        announcements: List[Announcement] = []
+        for prefix in mine:
+            origin_as = 64512 + (int(prefix.network) >> 8) % 1000
+            path_middle = [64000 + rng.randrange(400) for _ in range(rng.randrange(3))]
+            port = spec.ports[rng.randrange(len(spec.ports))]
+            announcements.append(
+                Announcement(
+                    prefix,
+                    RouteAttributes(
+                        as_path=[spec.asn] + path_middle + [origin_as],
+                        next_hop=port.address,
+                    ),
+                )
+            )
+        updates.append(BGPUpdate(name, announced=announcements))
+
+    # Backup announcers: transit networks re-announce a sample of other
+    # participants' prefixes with longer paths.  Real IXP tables show
+    # rich announcement overlap; the number of distinct announcer
+    # combinations bounds how many prefix groups Figure 6 can find, so
+    # each multihomed prefix draws 1..max_backup_announcers backups.
+    transit_names = [
+        name for name in config.participant_names()
+        if categories[name] == ASCategory.TRANSIT
+    ] or list(config.participant_names())
+    secondary: Dict[str, List[Announcement]] = {}
+    for name, prefixes in announced.items():
+        # An AS's prefixes share its (few) upstream providers, so backup
+        # announcer combinations repeat across its prefixes — that
+        # correlation is what keeps the number of distinct forwarding
+        # signatures (Figure 6's prefix groups) sub-linear in reality.
+        provider_pool = rng.sample(
+            transit_names, min(max(1, max_backup_announcers), len(transit_names))
+        )
+        for prefix in prefixes:
+            if rng.random() >= multihoming_fraction:
+                continue
+            backup_count = rng.randint(1, len(provider_pool))
+            backups = provider_pool[:backup_count]
+            for extra_hops, backup in enumerate(backups):
+                if backup == name:
+                    continue
+                spec = config.participant(backup)
+                port = spec.ports[rng.randrange(len(spec.ports))]
+                origin_as = 64512 + (int(prefix.network) >> 8) % 1000
+                middle = [63000 + rng.randrange(400) for _ in range(1 + extra_hops)]
+                secondary.setdefault(backup, []).append(
+                    Announcement(
+                        prefix,
+                        RouteAttributes(
+                            as_path=[spec.asn] + middle + [origin_as],
+                            next_hop=port.address,
+                        ),
+                    )
+                )
+    for name, announcements in sorted(secondary.items()):
+        updates.append(BGPUpdate(name, announced=announcements))
+
+    return SyntheticIXP(
+        config=config,
+        categories=categories,
+        announced=announced,
+        updates=updates,
+        seed=seed,
+    )

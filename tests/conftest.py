@@ -1,0 +1,101 @@
+"""Shared fixtures: the paper's Figure 1 exchange, ready to compile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IXPConfig, RouteAttributes, SDXController
+from repro.policy import fwd, match
+
+
+P1, P2, P3, P4, P5 = (
+    "10.1.0.0/16",
+    "10.2.0.0/16",
+    "10.3.0.0/16",
+    "10.4.0.0/16",
+    "10.5.0.0/16",
+)
+
+
+def make_figure1_config() -> IXPConfig:
+    """Three participants: A (1 port), B (2 ports), C (2 ports)."""
+    config = IXPConfig(vnh_pool="172.16.0.0/16")
+    config.add_participant("A", 65001, [("A1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant(
+        "B",
+        65002,
+        [
+            ("B1", "172.0.0.11", "08:00:27:00:00:11"),
+            ("B2", "172.0.0.12", "08:00:27:00:00:12"),
+        ],
+    )
+    config.add_participant(
+        "C",
+        65003,
+        [
+            ("C1", "172.0.0.21", "08:00:27:00:00:21"),
+            ("C2", "172.0.0.22", "08:00:27:00:00:22"),
+        ],
+    )
+    return config
+
+
+def load_figure1_routes(controller: SDXController) -> None:
+    """The Figure 1b routing table.
+
+    B announces p1-p4 (p4 only exported to C); C announces p1-p4;
+    A announces p5 (which therefore keeps pure-BGP default behaviour —
+    no policy of A can apply to a prefix A itself originates, matching
+    the paper's "p5 retains its default behavior").
+    C has the shorter path for p1, p2; B wins p3.
+    """
+
+    def attrs(asns, next_hop):
+        return RouteAttributes(as_path=asns, next_hop=next_hop)
+
+    controller.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+    controller.announce("B", P2, attrs([65002, 65101], "172.0.0.11"))
+    controller.announce("B", P3, attrs([65002, 65102], "172.0.0.11"))
+    controller.announce("B", P4, attrs([65002, 65103], "172.0.0.12"), export_to=["C"])
+    controller.announce("C", P1, attrs([65100], "172.0.0.21"))
+    controller.announce("C", P2, attrs([65101], "172.0.0.21"))
+    controller.announce("C", P3, attrs([65003, 65110, 65102], "172.0.0.21"))
+    controller.announce("C", P4, attrs([65003, 65103], "172.0.0.22"))
+    controller.announce("A", P5, attrs([65001, 65120], "172.0.0.1"))
+
+
+def install_figure1_policies(controller: SDXController, recompile: bool = True) -> None:
+    """A's application-specific peering + B's inbound traffic engineering."""
+    a = controller.register_participant("A")
+    b = controller.register_participant("B")
+    a.set_policies(
+        outbound=(match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C")),
+        recompile=False,
+    )
+    b.set_policies(
+        inbound=(match(srcip="0.0.0.0/1") >> fwd("B1"))
+        + (match(srcip="128.0.0.0/1") >> fwd("B2")),
+        recompile=False,
+    )
+    if recompile:
+        controller.compile()
+
+
+@pytest.fixture
+def figure1_config() -> IXPConfig:
+    return make_figure1_config()
+
+
+@pytest.fixture
+def figure1_controller(figure1_config) -> SDXController:
+    """Controller with Figure 1 routes loaded (no policies yet)."""
+    controller = SDXController(figure1_config)
+    load_figure1_routes(controller)
+    return controller
+
+
+@pytest.fixture
+def figure1_compiled(figure1_controller) -> SDXController:
+    """Controller with Figure 1 routes + policies, compiled."""
+    install_figure1_policies(figure1_controller)
+    return figure1_controller

@@ -1,0 +1,83 @@
+"""Churn soak: a synthetic exchange under a realistic update trace.
+
+Replays a burst-structured BGP trace through the two-stage pipeline
+with periodic background re-optimizations, checking at every checkpoint
+that (a) the data plane still agrees with the independent reference
+model, and (b) fast-path rule inflation stays bounded and is fully
+reclaimed by re-optimization.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.common import build_scenario
+from repro.netutils.ip import IPv4Prefix
+from repro.policy import Packet
+from repro.workloads.update_gen import generate_update_trace
+
+from tests.integration.test_reference_model import _expected_outputs, _tag
+
+
+def probe_agreement(controller, rng, probes=15):
+    """Compare ``probes`` random forwarding decisions with the oracle."""
+    config = controller.config
+    server = controller.route_server
+    ports = [port.port_id for port in config.physical_ports()]
+    prefixes = sorted(server.all_prefixes())
+    checked = 0
+    attempts = 0
+    while checked < probes and attempts < probes * 6:
+        attempts += 1
+        in_port = rng.choice(ports)
+        sender = config.owner_of_port(in_port).name
+        prefix = rng.choice(prefixes)
+        if server.route_from(sender, prefix) is not None:
+            continue
+        vmac = _tag(controller, sender, prefix)
+        if vmac is None:
+            continue
+        packet = Packet(
+            dstip=prefix.host(rng.randrange(1, 255)),
+            dstmac=vmac,
+            dstport=rng.choice((80, 443, 22)),
+            srcport=7,
+            srcip=rng.choice(("50.0.0.1", "200.1.1.1")),
+        )
+        expected = _expected_outputs(controller, packet, sender, prefix)
+        actual = {
+            (port, out.get("dstip"))
+            for port, out in controller.switch.receive(
+                packet.modify(port=in_port), in_port
+            )
+        }
+        assert actual == expected, (sender, prefix, packet)
+        checked += 1
+    return checked
+
+
+@pytest.mark.parametrize("seed", [71, 72])
+def test_churn_soak(seed):
+    scenario = build_scenario(participants=20, prefixes=300, seed=seed)
+    controller = scenario.controller()
+    controller.compile()
+    base_size = controller.table_size()
+
+    trace = generate_update_trace(scenario.ixp, bursts=40, seed=seed + 1)
+    rng = random.Random(seed + 2)
+    applied = 0
+    for update in trace.updates:
+        controller.process_update(update)
+        applied += 1
+        if applied % 20 == 0:
+            # mid-churn: fast-path rules present but data plane correct
+            assert probe_agreement(controller, rng) >= 8
+            inflated = controller.table_size()
+            controller.run_background_recompilation()
+            optimized = controller.table_size()
+            assert optimized <= inflated
+            assert controller.fast_path.additional_rules() == 0
+            assert probe_agreement(controller, rng) >= 8
+    # final state sane: table within 2x of the initial optimal size
+    controller.run_background_recompilation()
+    assert controller.table_size() < 2 * base_size + 200

@@ -1,0 +1,56 @@
+"""Integration tests for the Figure 5 deployment timelines (scaled down)."""
+
+import pytest
+
+from repro.experiments.figure5 import run_5a, run_5b
+
+
+@pytest.fixture(scope="module")
+def fig5a():
+    return run_5a(duration=240.0, policy_time=80.0, withdrawal_time=160.0)
+
+
+@pytest.fixture(scope="module")
+def fig5b():
+    return run_5b(duration=160.0, policy_time=80.0)
+
+
+class TestApplicationSpecificPeeringTimeline:
+    def test_before_policy_all_traffic_via_a(self, fig5a):
+        rates = fig5a.rates_at(60.0)
+        assert rates["via-A"] == pytest.approx(3.0, abs=0.3)
+        assert rates["via-B"] == 0.0
+
+    def test_policy_moves_port80_flow_to_b(self, fig5a):
+        rates = fig5a.rates_at(140.0)
+        assert rates["via-A"] == pytest.approx(2.0, abs=0.3)
+        assert rates["via-B"] == pytest.approx(1.0, abs=0.3)
+
+    def test_withdrawal_restores_path_via_a(self, fig5a):
+        """Figure 5a's headline: the data plane stays in sync with BGP."""
+        rates = fig5a.rates_at(230.0)
+        assert rates["via-A"] == pytest.approx(3.0, abs=0.3)
+        assert rates["via-B"] == 0.0
+
+    def test_no_traffic_lost_in_steady_state(self, fig5a):
+        for at in (60.0, 140.0, 230.0):
+            rates = fig5a.rates_at(at)
+            assert rates["via-A"] + rates["via-B"] == pytest.approx(3.0, abs=0.5)
+
+
+class TestWideAreaLoadBalancerTimeline:
+    def test_before_policy_all_requests_hit_instance_1(self, fig5b):
+        rates = fig5b.rates_at(60.0)
+        assert rates["instance-1"] == pytest.approx(2.0, abs=0.3)
+        assert rates["instance-2"] == 0.0
+
+    def test_policy_splits_clients_between_instances(self, fig5b):
+        rates = fig5b.rates_at(140.0)
+        assert rates["instance-1"] == pytest.approx(1.0, abs=0.3)
+        assert rates["instance-2"] == pytest.approx(1.0, abs=0.3)
+
+    def test_total_request_rate_preserved(self, fig5b):
+        for at in (60.0, 140.0):
+            rates = fig5b.rates_at(at)
+            total = rates["instance-1"] + rates["instance-2"]
+            assert total == pytest.approx(2.0, abs=0.4)

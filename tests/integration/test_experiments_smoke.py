@@ -1,0 +1,118 @@
+"""Smoke tests: every experiment runner executes at toy scale and its
+result objects expose the paper-comparable shapes."""
+
+import pytest
+
+from repro.experiments import (
+    ablation,
+    figure6,
+    figure7,
+    figure9,
+    figure10,
+    table1,
+)
+from repro.experiments.common import build_scenario, format_table, scaling_policies
+
+
+class TestTable1:
+    def test_rows_cover_the_three_ixps(self):
+        result = table1.run(scale=0.05)
+        names = [row[0] for row in result.rows]
+        assert names == ["AMS-IX", "DE-CIX", "LINX"]
+        for row in result.rows:
+            assert row[3] > 0  # updates happened
+            assert 0 < row[4] < 100  # percent updated in range
+
+
+class TestFigure6:
+    def test_group_growth_is_sublinear(self):
+        result = figure6.run(
+            participants_sweep=(40, 80),
+            prefix_sweep=(400, 800, 1600),
+            total_prefixes=2500,
+        )
+        for participants in (40, 80):
+            points = result.series[participants]
+            assert len(points) == 3
+            # groups grow, but slower than prefixes
+            ratios = [groups / prefixes for prefixes, groups in points]
+            assert ratios[0] > ratios[-1]
+        # more participants -> more groups at the same prefix count
+        assert result.groups_at(80, 1600) >= result.groups_at(40, 1600)
+
+
+class TestFigure7And8:
+    def test_rules_scale_linearly_and_time_grows(self):
+        result = figure7.run(
+            participants_sweep=(30, 60),
+            policy_prefix_sweep=(60, 120, 240),
+        )
+        for participants in (30, 60):
+            points = result.series(participants)
+            groups = [p.prefix_groups for p in points]
+            rules = [p.flow_rules for p in points]
+            assert groups == sorted(groups)
+            assert rules == sorted(rules)
+            # roughly linear: rules per group stays within a 3x band
+            per_group = [r / max(g, 1) for r, g in zip(rules, groups)]
+            assert max(per_group) < 3 * min(per_group)
+        small = result.series(30)[-1]
+        large = result.series(60)[-1]
+        assert large.flow_rules > small.flow_rules
+
+
+class TestFigure9:
+    def test_additional_rules_linear_in_burst(self):
+        result = figure9.run(
+            participants_sweep=(40,),
+            burst_sizes=(4, 8, 16),
+            prefixes_per_participant=8,
+        )
+        points = result.series[40]
+        extras = [extra for _, extra in points]
+        assert extras == sorted(extras)
+        per_update = [extra / burst for burst, extra in points]
+        assert max(per_update) < 3 * min(per_update)
+
+
+class TestFigure10:
+    def test_cdf_percentiles_monotone(self):
+        result = figure10.run(
+            participants_sweep=(30,),
+            updates_per_setting=10,
+            prefixes_per_participant=8,
+        )
+        samples = result.samples[30]
+        assert len(samples) == 10
+        assert samples == sorted(samples)
+        assert result.percentile(30, 50) <= result.percentile(30, 90)
+        # sub-second at toy scale, as the paper claims at full scale
+        assert result.percentile(30, 99) < 1.0
+
+
+class TestAblation:
+    def test_configurations_produce_same_rule_count(self):
+        result = ablation.run_compiler_ablation(participants=20, policy_prefixes=60)
+        rule_counts = {rules for _, _, rules in result.rows}
+        assert len(rule_counts) == 1
+
+    def test_mds_ablation_agrees(self):
+        result = ablation.run_mds_ablation(set_counts=(5, 8), universe=200)
+        for _, fast, slow, groups in result.rows:
+            assert groups > 0
+            assert fast >= 0 and slow >= 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len({len(line.rstrip()) for line in lines[:2]}) >= 1
+
+    def test_scaling_policies_compile(self):
+        scenario = build_scenario(participants=20, prefixes=300, with_policies=False)
+        policies = scaling_policies(scenario.ixp, policy_prefixes=50)
+        assert policies
+        result = scenario.compiler().compile(policies)
+        assert result.stats.fec_groups > 0

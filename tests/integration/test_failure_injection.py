@@ -1,0 +1,208 @@
+"""Failure-injection tests: the SDX under faults.
+
+The paper's correctness story ("the data plane stays in sync with BGP")
+is only meaningful if the system degrades sanely when things break.
+These tests inject session failures, withdrawal storms, resource
+exhaustion, and stale-state races, asserting the invariants hold:
+no traffic to withdrawn destinations, no leaks across participants,
+graceful errors rather than corrupted tables.
+"""
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.core.vmac import VirtualNextHopAllocator
+from repro.ixp.deployment import EmulatedIXP
+from repro.netutils.ip import IPv4Prefix
+from repro.policy import Packet
+
+from tests.conftest import (
+    P1,
+    P2,
+    P3,
+    P4,
+    P5,
+    install_figure1_policies,
+    load_figure1_routes,
+    make_figure1_config,
+)
+
+
+def tag_for(controller, sender, dst_prefix):
+    advertised = {
+        a.prefix: a.attributes.next_hop for a in controller.advertisements(sender)
+    }
+    next_hop = advertised.get(IPv4Prefix(dst_prefix))
+    if next_hop is None:
+        return None
+    vmac = controller.arp.resolve(next_hop)
+    if vmac is None:
+        owner = controller.config.owner_of_address(next_hop)
+        vmac = owner.port_for_address(next_hop).hardware
+    return vmac
+
+
+class TestSessionFailures:
+    def test_session_crash_withdraws_all_routes(self, figure1_compiled):
+        controller = figure1_compiled
+        controller.route_server.session("B").fail()
+        for prefix in (P1, P2, P3):
+            best = controller.route_server.best_route("A", prefix)
+            assert best is None or best.learned_from != "B"
+        # p4 was only announced by B and C; C remains
+        assert controller.route_server.best_route("C", P4) is None
+
+    def test_traffic_reroutes_after_session_crash(self, figure1_compiled):
+        controller = figure1_compiled
+        controller.route_server.session("B").fail()
+        vmac = tag_for(controller, "A", P1)
+        packet = Packet(
+            dstip="10.1.2.3", dstmac=vmac, port="A1", dstport=80, srcip="50.0.0.1", srcport=7
+        )
+        out = controller.switch.receive(packet, "A1")
+        # HTTP can no longer divert via B: only C remains
+        assert [port for port, _ in out] == ["C1"]
+
+    def test_session_reestablishment_restores_service(self, figure1_compiled):
+        controller = figure1_compiled
+        controller.route_server.session("B").fail()
+        controller.route_server.session("B").establish()
+        controller.announce(
+            "B", P1, RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
+        )
+        vmac = tag_for(controller, "A", P1)
+        packet = Packet(
+            dstip="10.1.2.3", dstmac=vmac, port="A1", dstport=80, srcip="50.0.0.1", srcport=7
+        )
+        out = controller.switch.receive(packet, "A1")
+        assert [port for port, _ in out] == ["B1"]
+
+
+class TestWithdrawalStorm:
+    def test_total_withdrawal_leaves_clean_state(self, figure1_compiled):
+        controller = figure1_compiled
+        for peer, prefixes in (("B", (P1, P2, P3, P4)), ("C", (P1, P2, P3, P4)), ("A", (P5,))):
+            for prefix in prefixes:
+                controller.withdraw(peer, prefix)
+        assert controller.route_server.all_prefixes() == frozenset()
+        controller.run_background_recompilation()
+        assert controller.last_compilation.stats.fec_groups == 0
+        # nothing forwards: any tagged probe is dropped
+        packet = Packet(
+            dstip="10.1.2.3",
+            dstmac="08:00:27:00:00:11",
+            port="A1",
+            dstport=80,
+            srcip="50.0.0.1",
+        )
+        out = controller.switch.receive(packet, "A1")
+        # physical-MAC default rules are static, but B's router would
+        # itself drop the unrouted traffic; the fabric at most hands it
+        # to B (never to an unrelated participant).
+        assert all(port in ("B1", "B2") for port, _ in out)
+
+    def test_flap_storm_converges(self, figure1_compiled):
+        controller = figure1_compiled
+        for _ in range(10):
+            controller.withdraw("B", P1)
+            controller.announce(
+                "B", P1, RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
+            )
+        assert len(controller.fast_path.active_prefixes) == 1  # one block, replaced in place
+        vmac = tag_for(controller, "A", P1)
+        packet = Packet(
+            dstip="10.1.2.3", dstmac=vmac, port="A1", dstport=80, srcip="50.0.0.1", srcport=7
+        )
+        out = controller.switch.receive(packet, "A1")
+        assert [port for port, _ in out] == ["B1"]
+        controller.run_background_recompilation()
+        out = controller.switch.receive(
+            Packet(
+                dstip="10.1.2.3",
+                dstmac=tag_for(controller, "A", P1),
+                port="A1",
+                dstport=80,
+                srcip="50.0.0.1",
+                srcport=7,
+            ),
+            "A1",
+        )
+        assert [port for port, _ in out] == ["B1"]
+
+
+class TestResourceExhaustion:
+    def test_vnh_pool_exhaustion_raises_cleanly(self, figure1_config):
+        from repro.core.controller import SDXController
+
+        config = make_figure1_config()
+        tiny = SDXController(config)
+        tiny.allocator = VirtualNextHopAllocator("172.16.0.0/29")  # 6 usable
+        tiny.arp.register(tiny.allocator.resolve)
+        load_figure1_routes(tiny)
+        install_figure1_policies(tiny, recompile=False)
+        tiny.compile()  # a handful of groups fit
+        with pytest.raises(RuntimeError):
+            for _ in range(10):  # churn until the pool runs dry
+                tiny.withdraw("C", P1)
+                tiny.announce(
+                    "C", P1, RouteAttributes(as_path=[65100], next_hop="172.0.0.21")
+                )
+
+    def test_mac_allocator_capacity_respected(self):
+        from repro.netutils.mac import MACAllocator
+
+        allocator = MACAllocator(capacity=3)
+        for _ in range(3):
+            allocator.allocate()
+        with pytest.raises(RuntimeError):
+            allocator.allocate()
+
+
+class TestStaleState:
+    def test_stale_vmac_traffic_follows_old_path_not_a_wrong_one(self, figure1_compiled):
+        """Eventual consistency: a router that has not re-tagged yet uses
+        the previous VMAC; the old rules must still forward it along the
+        previously valid path (or drop), never somewhere new."""
+        controller = figure1_compiled
+        old_vmac = tag_for(controller, "A", P1)
+        controller.withdraw("C", P1)  # best flips to B, new VMAC issued
+        packet = Packet(
+            dstip="10.1.2.3", dstmac=old_vmac, port="A1", dstport=22, srcip="50.0.0.1", srcport=7
+        )
+        out = controller.switch.receive(packet, "A1")
+        assert all(port in ("C1", "C2") for port, _ in out) or out == []
+
+    def test_unknown_vmac_dropped_after_recompile(self, figure1_compiled):
+        controller = figure1_compiled
+        old_vmac = tag_for(controller, "A", P1)
+        controller.withdraw("C", P1)
+        controller.run_background_recompilation()
+        # The old base table is gone; stale tags from before the flap
+        # must not match anything (the VNH pool never reuses addresses).
+        packet = Packet(
+            dstip="10.1.2.3", dstmac=old_vmac, port="A1", dstport=22, srcip="50.0.0.1", srcport=7
+        )
+        assert controller.switch.receive(packet, "A1") == []
+
+
+class TestDataPlaneFaults:
+    def test_arp_failure_drops_at_source(self):
+        ixp = EmulatedIXP(make_figure1_config())
+        controller = ixp.controller
+        load_figure1_routes(controller)
+        ixp.add_host("client", "A", "50.0.0.1")
+        controller.compile()
+        router = ixp.routers["A"]
+        # sabotage: point a route at an unresolvable next hop
+        router.install_route(P1, "172.0.0.250")
+        before = router.arp_unresolved
+        ixp.send("client", dstip="10.1.2.3", dstport=80, srcport=5)
+        assert router.arp_unresolved == before + 1
+        assert ixp.carried_upstream_by("B") == 0
+        assert ixp.carried_upstream_by("C") == 0
+
+    def test_unlinked_port_traffic_counted_not_crashing(self, figure1_compiled):
+        controller = figure1_compiled
+        # receive on a port id the switch owns but inject garbage location
+        packet = Packet(dstip="10.1.2.3", dstmac="02:aa:bb:cc:dd:ee", port="A1")
+        assert controller.switch.receive(packet, "A1") == []

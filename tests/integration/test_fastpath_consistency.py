@@ -1,0 +1,122 @@
+"""Integration tests: fast-path vs background-recompiled data planes.
+
+Section 4.3.2's two-stage design is only sound if the quick, suboptimal
+fast-path rules forward *identically* to the fully re-optimized table
+that eventually replaces them.  These tests drive the same probe
+packets through the switch right after a fast-path update and again
+after background re-optimization, asserting identical egress behaviour
+— and that the re-optimized table is no larger.
+"""
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.netutils.ip import IPv4Prefix
+from repro.policy import Packet
+
+from tests.conftest import P1, P2, P3, P4
+
+
+def probe_packets(controller, sender_port):
+    """Probes across ports/flows, tagged per the sender's current routes."""
+    sender = controller.config.owner_of_port(sender_port).name
+    advertised = {
+        a.prefix: a.attributes.next_hop for a in controller.advertisements(sender)
+    }
+    packets = []
+    for prefix_text, dstip in ((P1, "10.1.2.3"), (P2, "10.2.9.9"), (P3, "10.3.4.5"), (P4, "10.4.7.7")):
+        prefix = IPv4Prefix(prefix_text)
+        next_hop = advertised.get(prefix)
+        if next_hop is None:
+            continue
+        vmac = controller.arp.resolve(next_hop)
+        if vmac is None:
+            owner = controller.config.owner_of_address(next_hop)
+            if owner is None:
+                continue
+            vmac = owner.port_for_address(next_hop).hardware
+        for dstport in (80, 443, 22):
+            for srcip in ("50.0.0.1", "200.0.0.1"):
+                packets.append(
+                    Packet(
+                        dstip=dstip,
+                        dstmac=vmac,
+                        port=sender_port,
+                        dstport=dstport,
+                        srcport=7,
+                        srcip=srcip,
+                    )
+                )
+    return packets
+
+
+def egress_behaviour(controller, packets):
+    observed = []
+    for packet in packets:
+        outputs = controller.switch.receive(packet, packet["port"])
+        observed.append(
+            {
+                (port, out.get("dstmac"), out.get("dstip"))
+                for port, out in outputs
+            }
+        )
+    return observed
+
+
+SCENARIOS = [
+    ("withdraw-diverted", lambda c: c.withdraw("B", P1)),
+    ("withdraw-best", lambda c: c.withdraw("C", P1)),
+    (
+        "better-path",
+        lambda c: c.announce(
+            "C", P3, RouteAttributes(as_path=[65102], next_hop="172.0.0.21")
+        ),
+    ),
+    (
+        "new-port",
+        lambda c: c.announce(
+            "B", P2, RouteAttributes(as_path=[65002, 65101], next_hop="172.0.0.12")
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("name,mutate", SCENARIOS)
+def test_fast_path_agrees_with_background_recompilation(figure1_compiled, name, mutate):
+    controller = figure1_compiled
+    mutate(controller)
+    assert controller.fast_path_log, "expected the fast path to fire"
+    packets = probe_packets(controller, "A1")
+    assert packets
+    fast = egress_behaviour(controller, packets)
+    fast_table_size = controller.table_size()
+    controller.run_background_recompilation()
+    packets_after = probe_packets(controller, "A1")
+    optimized = egress_behaviour(controller, packets_after)
+    assert optimized == fast, f"fast path diverged from optimal table in {name}"
+    assert controller.table_size() <= fast_table_size
+
+
+def test_burst_then_background_recompilation(figure1_compiled):
+    controller = figure1_compiled
+    controller.withdraw("B", P1)
+    controller.announce(
+        "C", P3, RouteAttributes(as_path=[65102], next_hop="172.0.0.21")
+    )
+    controller.announce(
+        "B", P1, RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
+    )
+    packets = probe_packets(controller, "A1") + probe_packets(controller, "C1")
+    fast = egress_behaviour(controller, packets)
+    controller.run_background_recompilation()
+    packets_after = probe_packets(controller, "A1") + probe_packets(controller, "C1")
+    assert egress_behaviour(controller, packets_after) == fast
+
+
+def test_fast_path_is_fast(figure1_compiled):
+    """Sub-second convergence is the paper's headline claim; at this toy
+    scale the fast path should be comfortably sub-100ms per update."""
+    controller = figure1_compiled
+    controller.withdraw("C", P1)
+    (entry,) = controller.fast_path_log
+    assert entry.seconds < 0.1

@@ -1,0 +1,150 @@
+"""Integration test: the paper's Figure 1 worked example, end to end.
+
+AS A peers application-specifically (HTTP via B, HTTPS via C), AS B
+does inbound traffic engineering across its two ports, the route
+server's export scoping hides p4 from A, and p5 keeps pure-BGP default
+behaviour.  Every claim the paper makes about this example is asserted
+against the real compiled data plane.
+"""
+
+import pytest
+
+from repro.netutils.ip import IPv4Prefix
+from repro.netutils.mac import MACAddress
+from repro.policy import Packet
+
+from tests.conftest import P1, P2, P3, P4, P5
+
+
+@pytest.fixture
+def sdx(figure1_compiled):
+    return figure1_compiled
+
+
+def send_from(sdx, sender_port, dst_prefix, dstip, **headers):
+    """Send one packet through the SDX switch, tagged the way the
+    sender's border router would tag it (best-route next-hop -> ARP)."""
+    sender = sdx.config.owner_of_port(sender_port).name
+    advertised = {
+        a.prefix: a.attributes.next_hop for a in sdx.advertisements(sender)
+    }
+    next_hop = advertised[IPv4Prefix(dst_prefix)]
+    vmac = sdx.arp.resolve(next_hop)
+    if vmac is None:
+        owner = sdx.config.owner_of_address(next_hop)
+        vmac = owner.port_for_address(next_hop).hardware
+    packet = Packet(dstip=dstip, dstmac=vmac, port=sender_port, **headers)
+    return sdx.switch.receive(packet, sender_port)
+
+
+class TestPrefixGroups:
+    def test_p1_p2_share_a_group(self, sdx):
+        table = sdx.last_compilation.fec_table
+        assert table.group_for(P1) is table.group_for(P2)
+
+    def test_p3_separate_group(self, sdx):
+        table = sdx.last_compilation.fec_table
+        assert table.group_for(P3) is not table.group_for(P1)
+
+    def test_affected_groups_have_vnh_and_vmac(self, sdx):
+        for group in sdx.last_compilation.fec_table.affected_groups:
+            assert group.vnh is not None
+            assert group.vnh.hardware.is_locally_administered
+            assert sdx.arp.resolve(group.vnh.address) == group.vnh.hardware
+
+
+class TestApplicationSpecificPeering:
+    def test_http_to_p1_diverts_via_b(self, sdx):
+        out = send_from(sdx, "A1", P1, "10.1.2.3", dstport=80, srcip="50.0.0.1", srcport=7)
+        assert [port for port, _ in out] == ["B1"]
+
+    def test_https_to_p1_diverts_via_c(self, sdx):
+        out = send_from(sdx, "A1", P1, "10.1.2.3", dstport=443, srcip="50.0.0.1", srcport=7)
+        assert [port for port, _ in out] == ["C1"]
+
+    def test_http_to_p3_stays_on_b_its_default(self, sdx):
+        out = send_from(sdx, "A1", P3, "10.3.1.1", dstport=80, srcip="50.0.0.1", srcport=7)
+        assert [port for port, _ in out] == ["B1"]
+
+    def test_other_traffic_follows_bgp_best(self, sdx):
+        out = send_from(sdx, "A1", P1, "10.1.9.9", dstport=9999, srcip="50.0.0.1", srcport=7)
+        assert [port for port, _ in out] == ["C1"]
+
+
+class TestBGPConsistency:
+    def test_p4_not_exported_to_a_cannot_divert_via_b(self, sdx):
+        """The SDX must not send A's p4 traffic to B: B hid p4 from A."""
+        out = send_from(sdx, "A1", P4, "10.4.1.1", dstport=80, srcip="50.0.0.1", srcport=7)
+        assert [port for port, _ in out] == ["C2"]  # C's announcing port for p4
+
+    def test_c_can_reach_p4_via_b(self, sdx):
+        """C received B's p4 route, so C may deflect p4 traffic to B.
+
+        B's own inbound traffic engineering then picks the delivery
+        port: sources under 128.0.0.0/1 land on B1, the rest on B2 —
+        regardless of which interface announced the prefix.
+        """
+        c = sdx.register_participant("C")
+        from repro.policy import fwd, match
+
+        c.set_policies(outbound=match(dstport=80) >> fwd("B"))
+        out = send_from(sdx, "C1", P4, "10.4.1.1", dstport=80, srcip="99.0.0.1", srcport=7)
+        assert [port for port, _ in out] == ["B1"]
+        out = send_from(sdx, "C1", P4, "10.4.1.1", dstport=80, srcip="200.0.0.1", srcport=7)
+        assert [port for port, _ in out] == ["B2"]
+
+    def test_p5_keeps_original_next_hop_in_advertisements(self, sdx):
+        """p5 (announced by A, untouched by any policy) stays pure BGP."""
+        group = sdx.last_compilation.fec_table.group_for(P5)
+        assert group is None  # no FEC, no VNH spent on it
+        advertised = {
+            a.prefix: a.attributes.next_hop for a in sdx.advertisements("C")
+        }
+        assert advertised[IPv4Prefix(P5)] not in sdx.config.vnh_pool
+
+    def test_p5_default_traffic_delivered_to_announcer(self, sdx):
+        """C's traffic to p5 rides physical-MAC default forwarding to A."""
+        out = send_from(sdx, "C1", P5, "10.5.1.1", dstport=80, srcip="99.0.0.1", srcport=7)
+        assert [port for port, _ in out] == ["A1"]
+
+
+class TestInboundTrafficEngineering:
+    def test_low_sources_to_b1(self, sdx):
+        out = send_from(sdx, "A1", P3, "10.3.1.1", dstport=80, srcip="50.0.0.1", srcport=7)
+        assert [port for port, _ in out] == ["B1"]
+
+    def test_high_sources_to_b2(self, sdx):
+        out = send_from(sdx, "A1", P3, "10.3.1.1", dstport=80, srcip="200.0.0.1", srcport=7)
+        assert [port for port, _ in out] == ["B2"]
+
+    def test_delivered_frames_carry_interface_mac(self, sdx):
+        ((port, packet),) = send_from(
+            sdx, "A1", P3, "10.3.1.1", dstport=80, srcip="200.0.0.1", srcport=7
+        )
+        assert port == "B2"
+        assert packet["dstmac"] == MACAddress("08:00:27:00:00:12")
+
+
+class TestIsolation:
+    def test_a_policy_does_not_apply_to_c_traffic(self, sdx):
+        """C has no outbound policy: its HTTP traffic follows BGP."""
+        out = send_from(sdx, "C1", P3, "10.3.1.1", dstport=80, srcip="99.0.0.1", srcport=7)
+        assert [port for port, _ in out] == ["B1"]  # default: B announced p3 via B1
+
+    def test_unknown_tag_is_dropped(self, sdx):
+        packet = Packet(
+            dstip="10.1.2.3",
+            dstmac="02:aa:aa:aa:aa:aa",
+            port="A1",
+            dstport=80,
+            srcip="50.0.0.1",
+        )
+        assert sdx.switch.receive(packet, "A1") == []
+
+
+class TestPolicyChangeConvergence:
+    def test_removing_policy_restores_defaults(self, sdx):
+        a = sdx.register_participant("A")
+        a.clear_policies()
+        out = send_from(sdx, "A1", P1, "10.1.2.3", dstport=80, srcip="50.0.0.1", srcport=7)
+        assert [port for port, _ in out] == ["C1"]

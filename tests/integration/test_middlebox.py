@@ -1,0 +1,80 @@
+"""Integration tests: middlebox redirection (Section 2's fourth application).
+
+A participant steers a targeted subset of traffic — identified by a
+BGP attribute query (``RIB.filter('as_path', '.*43515$')``) — through a
+middlebox attached to a dedicated SDX port, exactly as the paper's
+video-transcoder example describes.
+"""
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.ixp.deployment import EmulatedIXP
+from repro.ixp.topology import IXPConfig
+from repro.policy import fwd, match
+
+YOUTUBE_AS = 43515
+YOUTUBE_PREFIX = "10.9.0.0/16"
+OTHER_PREFIX = "10.8.0.0/16"
+
+
+@pytest.fixture
+def deployment():
+    config = IXPConfig(vnh_pool="172.16.0.0/16")
+    config.add_participant("A", 65001, [("A1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant("B", 65002, [("B1", "172.0.0.11", "08:00:27:00:00:11")])
+    # E hosts the middlebox on port E1.
+    config.add_participant("E", 65005, [("E1", "172.0.0.51", "08:00:27:00:00:51")])
+    # E1 is occupied by the middlebox itself, not a border router.
+    ixp = EmulatedIXP(config, appliance_ports=["E1"])
+    controller = ixp.controller
+    controller.announce(
+        "B",
+        YOUTUBE_PREFIX,
+        RouteAttributes(as_path=[65002, YOUTUBE_AS], next_hop="172.0.0.11"),
+    )
+    controller.announce(
+        "B",
+        OTHER_PREFIX,
+        RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11"),
+    )
+    ixp.add_host("client", "A", "50.0.0.1")
+    ixp.add_middlebox("transcoder", "E1")
+    return ixp
+
+
+def install_redirect(ixp):
+    controller = ixp.controller
+    handle = controller.register_participant("A")
+    youtube_prefixes = handle.rib().filter("as_path", rf".*{YOUTUBE_AS}$")
+    assert youtube_prefixes, "RIB query must find the YouTube-originated prefix"
+    handle.set_policies(
+        outbound=match(dstip=set(youtube_prefixes)) >> fwd("E1"),
+    )
+    return youtube_prefixes
+
+
+class TestMiddleboxRedirection:
+    def test_rib_query_selects_by_origin_as(self, deployment):
+        prefixes = install_redirect(deployment)
+        assert [str(p) for p in prefixes] == [YOUTUBE_PREFIX]
+
+    def test_targeted_traffic_reaches_middlebox(self, deployment):
+        install_redirect(deployment)
+        deployment.send("client", dstip="10.9.1.1", dstport=80, srcport=5)
+        assert len(deployment.hosts["transcoder"].received) == 1
+        # it never reached B's network
+        assert deployment.carried_upstream_by("B") == 0
+
+    def test_redirected_frames_carry_middlebox_port_mac(self, deployment):
+        install_redirect(deployment)
+        deployment.send("client", dstip="10.9.1.1", dstport=80, srcport=5)
+        (packet,) = deployment.hosts["transcoder"].received
+        e1 = deployment.controller.config.participant("E").port("E1")
+        assert packet["dstmac"] == e1.hardware
+
+    def test_untargeted_traffic_unaffected(self, deployment):
+        install_redirect(deployment)
+        deployment.send("client", dstip="10.8.1.1", dstport=80, srcport=5)
+        assert deployment.hosts["transcoder"].received == []
+        assert deployment.carried_upstream_by("B") == 1

@@ -1,0 +1,231 @@
+"""Integration tests: the SDX policy distributed over two physical switches.
+
+Participant A connects to switch ``sw1``; B and C connect to ``sw2``.
+The single-switch compilation result is split with
+:func:`repro.core.multiswitch.distribute` and installed into two
+emulated switches joined by one link; the Figure 1 behaviours must be
+indistinguishable from the single-switch deployment.
+"""
+
+import pytest
+
+from repro.core.multiswitch import SwitchTopology, distribute
+from repro.dataplane.fabric import Fabric
+from repro.dataplane.switch import SDNSwitch
+from repro.netutils.ip import IPv4Prefix
+from repro.policy import Packet
+
+from tests.conftest import (
+    P1,
+    P3,
+    P4,
+    install_figure1_policies,
+)
+
+TOPOLOGY = SwitchTopology(
+    switches={"sw1": ["A1"], "sw2": ["B1", "B2", "C1", "C2"]},
+    links=[(("sw1", "up-2"), ("sw2", "up-1"))],
+)
+
+
+@pytest.fixture
+def multiswitch(figure1_controller):
+    controller = figure1_controller
+    install_figure1_policies(controller)
+    per_switch = distribute(
+        controller.last_compilation.classifier, TOPOLOGY, controller.config
+    )
+
+    fabric = Fabric()
+    switches = {}
+    for name, ports in TOPOLOGY.switches.items():
+        node = SDNSwitch(name, ports=list(ports) + sorted(TOPOLOGY.uplink_ports(name)))
+        node.table.install_classifier(per_switch[name])
+        switches[name] = fabric.add_node(node)
+    fabric.link(("sw1", "up-2"), ("sw2", "up-1"))
+
+    # Sinks: record what egresses each participant-facing port.
+    from repro.dataplane.switch import Node
+
+    class Sink(Node):
+        def __init__(self, name):
+            super().__init__(name)
+            self.frames = []
+
+        def ports(self):
+            return frozenset({"wire"})
+
+        def receive(self, packet, in_port):
+            self.frames.append(packet)
+            return []
+
+    sinks = {}
+    for port, switch in (("B1", "sw2"), ("B2", "sw2"), ("C1", "sw2"), ("C2", "sw2"), ("A1", "sw1")):
+        sink = fabric.add_node(Sink(f"sink-{port}"))
+        fabric.link((sink.name, "wire"), (switch, port))
+        sinks[port] = sink
+    return controller, fabric, sinks
+
+
+def send(controller, fabric, dst_prefix, dstip, **headers):
+    """Inject at A1 on sw1, tagged per A's advertised routes."""
+    advertised = {
+        a.prefix: a.attributes.next_hop for a in controller.advertisements("A")
+    }
+    next_hop = advertised[IPv4Prefix(dst_prefix)]
+    vmac = controller.arp.resolve(next_hop)
+    if vmac is None:
+        owner = controller.config.owner_of_address(next_hop)
+        vmac = owner.port_for_address(next_hop).hardware
+    packet = Packet(dstip=dstip, dstmac=vmac, **headers)
+    fabric.inject("sw1", "A1", packet)
+
+
+class TestDistribution:
+    def test_every_switch_gets_a_classifier(self, figure1_controller):
+        install_figure1_policies(figure1_controller)
+        per_switch = distribute(
+            figure1_controller.last_compilation.classifier,
+            TOPOLOGY,
+            figure1_controller.config,
+        )
+        assert set(per_switch) == {"sw1", "sw2"}
+        assert len(per_switch["sw1"]) > 0 and len(per_switch["sw2"]) > 0
+
+    def test_validation_rejects_missing_ports(self, figure1_controller):
+        install_figure1_policies(figure1_controller)
+        bad = SwitchTopology(switches={"sw1": ["A1"]})
+        with pytest.raises(ValueError):
+            distribute(
+                figure1_controller.last_compilation.classifier,
+                bad,
+                figure1_controller.config,
+            )
+
+    def test_validation_rejects_partitioned_topology(self, figure1_controller):
+        install_figure1_policies(figure1_controller)
+        disconnected = SwitchTopology(
+            switches={"sw1": ["A1"], "sw2": ["B1", "B2", "C1", "C2"]}, links=[]
+        )
+        with pytest.raises(ValueError):
+            distribute(
+                figure1_controller.last_compilation.classifier,
+                disconnected,
+                figure1_controller.config,
+            )
+
+    def test_validation_rejects_chains(self, figure1_controller):
+        install_figure1_policies(figure1_controller)
+        with pytest.raises(ValueError):
+            distribute(
+                figure1_controller.last_compilation.classifier,
+                TOPOLOGY,
+                figure1_controller.config,
+                chain_hop_ports=frozenset({"C1"}),
+            )
+
+
+class TestCrossSwitchForwarding:
+    def test_http_diverts_via_b_across_the_link(self, multiswitch):
+        controller, fabric, sinks = multiswitch
+        send(controller, fabric, P1, "10.1.2.3", dstport=80, srcip="50.0.0.1", srcport=7)
+        assert len(sinks["B1"].frames) == 1
+        (frame,) = sinks["B1"].frames
+        b1 = controller.config.participant("B").port("B1")
+        assert frame["dstmac"] == b1.hardware  # delivered final
+        assert fabric.traffic_on(("sw1", "up-2"), ("sw2", "up-1")) == 1
+
+    def test_inbound_te_still_selects_by_source(self, multiswitch):
+        controller, fabric, sinks = multiswitch
+        send(controller, fabric, P3, "10.3.1.1", dstport=80, srcip="200.0.0.1", srcport=7)
+        assert len(sinks["B2"].frames) == 1 and sinks["B1"].frames == []
+
+    def test_default_traffic_reaches_best_route(self, multiswitch):
+        controller, fabric, sinks = multiswitch
+        send(controller, fabric, P1, "10.1.9.9", dstport=22, srcip="50.0.0.1", srcport=7)
+        assert len(sinks["C1"].frames) == 1
+
+    def test_export_scoped_prefix_still_respected(self, multiswitch):
+        controller, fabric, sinks = multiswitch
+        send(controller, fabric, P4, "10.4.1.1", dstport=80, srcip="50.0.0.1", srcport=7)
+        assert len(sinks["C2"].frames) == 1
+        assert sinks["B1"].frames == [] and sinks["B2"].frames == []
+
+    def test_same_switch_traffic_stays_local(self, multiswitch):
+        controller, fabric, sinks = multiswitch
+        # C has no policy; C1 -> p3 default is via B (both on sw2).
+        packet = Packet(
+            dstip="10.3.1.1",
+            dstport=9999,
+            srcip="99.0.0.1",
+            srcport=7,
+            dstmac=_tag_for(controller, "C", P3),
+        )
+        fabric.inject("sw2", "C1", packet)
+        assert len(sinks["B1"].frames) == 1
+        assert fabric.traffic_on(("sw2", "up-1"), ("sw1", "up-2")) == 0
+
+
+class TestThreeSwitchLine:
+    """A on sw1, B on sw2, C on sw3, wired in a line: frames to C must
+    transit sw2 using the in-port-scoped MAC rules."""
+
+    TOPOLOGY = SwitchTopology(
+        switches={"sw1": ["A1"], "sw2": ["B1", "B2"], "sw3": ["C1", "C2"]},
+        links=[
+            (("sw1", "u12"), ("sw2", "u21")),
+            (("sw2", "u23"), ("sw3", "u32")),
+        ],
+    )
+
+    def test_two_hop_transit(self, figure1_controller):
+        controller = figure1_controller
+        install_figure1_policies(controller)
+        per_switch = distribute(
+            controller.last_compilation.classifier, self.TOPOLOGY, controller.config
+        )
+        fabric = Fabric()
+        for name, ports in self.TOPOLOGY.switches.items():
+            node = SDNSwitch(
+                name, ports=list(ports) + sorted(self.TOPOLOGY.uplink_ports(name))
+            )
+            node.table.install_classifier(per_switch[name])
+            fabric.add_node(node)
+        fabric.link(("sw1", "u12"), ("sw2", "u21"))
+        fabric.link(("sw2", "u23"), ("sw3", "u32"))
+
+        from repro.dataplane.switch import Node
+
+        class Sink(Node):
+            def __init__(self, name):
+                super().__init__(name)
+                self.frames = []
+
+            def ports(self):
+                return frozenset({"wire"})
+
+            def receive(self, packet, in_port):
+                self.frames.append(packet)
+                return []
+
+        sink = fabric.add_node(Sink("sink-C1"))
+        fabric.link(("sink-C1", "wire"), ("sw3", "C1"))
+
+        # HTTPS to p1 diverts via C (A's policy); C1 sits two hops away.
+        send(figure1_controller, fabric, P1, "10.1.2.3", dstport=443,
+             srcip="50.0.0.1", srcport=7)
+        assert len(sink.frames) == 1
+        assert fabric.traffic_on(("sw1", "u12"), ("sw2", "u21")) == 1
+        assert fabric.traffic_on(("sw2", "u23"), ("sw3", "u32")) == 1
+
+
+def _tag_for(controller, sender, dst_prefix):
+    advertised = {
+        a.prefix: a.attributes.next_hop for a in controller.advertisements(sender)
+    }
+    next_hop = advertised[IPv4Prefix(dst_prefix)]
+    vmac = controller.arp.resolve(next_hop)
+    if vmac is None:
+        owner = controller.config.owner_of_address(next_hop)
+        vmac = owner.port_for_address(next_hop).hardware
+    return vmac

@@ -1,0 +1,131 @@
+"""Randomized cross-validation of the compiler against a reference model.
+
+The compiled single-table data plane is compared, probe by probe,
+against an *independent* model of what the SDX should do, built from
+the policy ASTs and route-server queries directly (no classifiers):
+
+1. evaluate the sender's outbound policy AST on the packet;
+2. keep only outputs whose target legitimately advertised the
+   destination to the sender (the BGP-consistency rule);
+3. if nothing remains, fall back to the sender's best BGP route;
+4. at the receiving virtual switch, evaluate the inbound policy AST;
+   failing that, deliver out the port that announced the prefix;
+5. frames leave with the egress interface's MAC.
+
+Workloads come from the §6.1 generator (unicast, disjoint policies —
+the regime the oracle models exactly); probes sample advertised
+prefixes with router-faithful MAC tags.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.common import build_scenario
+from repro.netutils.ip import IPv4Prefix
+from repro.policy import Packet
+
+
+def _tag(controller, sender, prefix):
+    advertised = {
+        a.prefix: a.attributes.next_hop for a in controller.advertisements(sender)
+    }
+    next_hop = advertised.get(prefix)
+    if next_hop is None:
+        return None
+    vmac = controller.arp.resolve(next_hop)
+    if vmac is None:
+        owner = controller.config.owner_of_address(next_hop)
+        if owner is None:
+            return None
+        vmac = owner.port_for_address(next_hop).hardware
+    return vmac
+
+
+def _expected_outputs(controller, packet, sender, prefix):
+    """The reference model: (egress port, dstip) pairs for one probe."""
+    config = controller.config
+    server = controller.route_server
+    policy_sets = controller.policies()
+
+    def deliver(target, carried):
+        """Delivery at participant ``target``'s virtual switch."""
+        spec = config.participant(target)
+        inbound = policy_sets.get(target).inbound if target in policy_sets else None
+        if inbound is not None:
+            outs = inbound.eval(carried)
+            if outs:
+                return {
+                    (out["port"], out.get("dstip")) for out in outs
+                }
+        route = server.route_from(target, prefix)
+        if route is None:
+            return set()
+        port = spec.port_for_address(route.attributes.next_hop)
+        if port is None:
+            return set()
+        return {(port.port_id, carried.get("dstip"))}
+
+    outbound = (
+        policy_sets.get(sender).outbound if sender in policy_sets else None
+    )
+    loc_rib = server.loc_rib(sender)
+    deliveries = set()
+    if outbound is not None:
+        for out in outbound.eval(packet):
+            target = out.get("port")
+            if target in config and prefix in loc_rib.prefixes_via(target):
+                deliveries |= deliver(target, out)
+    if not deliveries:
+        best = loc_rib.best(prefix)
+        if best is None:
+            return set()
+        deliveries = deliver(best.learned_from, packet)
+    return deliveries
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_compiled_data_plane_matches_reference_model(seed):
+    scenario = build_scenario(
+        participants=25, prefixes=400, seed=seed, policy_seed=seed + 50
+    )
+    controller = scenario.controller()
+    controller.compile()
+    config = controller.config
+    server = controller.route_server
+
+    rng = random.Random(seed + 99)
+    ports = [port.port_id for port in config.physical_ports()]
+    prefixes = sorted(server.all_prefixes())
+    probes = checked = 0
+    while probes < 60:
+        probes += 1
+        in_port = rng.choice(ports)
+        sender = config.owner_of_port(in_port).name
+        prefix = rng.choice(prefixes)
+        if server.route_from(sender, prefix) is not None:
+            # Paper invariant: announcers never forward traffic for
+            # their own prefixes back into the fabric.
+            continue
+        vmac = _tag(controller, sender, prefix)
+        if vmac is None:
+            continue  # sender has no route: its router would not send
+        packet = Packet(
+            dstip=prefix.host(rng.randrange(1, 255)),
+            dstmac=vmac,
+            dstport=rng.choice((80, 443, 8080, 1935, 8443, 22)),
+            srcport=rng.choice((1024, 30000, 55000)),
+            srcip=rng.choice(("50.0.0.1", "130.5.5.5", "200.9.9.9")),
+        )
+        expected = _expected_outputs(controller, packet, sender, prefix)
+        actual = {
+            (port, out.get("dstip"))
+            for port, out in controller.switch.receive(
+                packet.modify(port=in_port), in_port
+            )
+        }
+        assert actual == expected, (
+            f"seed={seed} sender={sender} prefix={prefix} packet={packet}"
+        )
+        checked += 1
+    assert checked >= 30, "too few checkable probes"

@@ -1,0 +1,129 @@
+"""Integration tests: service chaining through middleboxes (Section 8).
+
+A participant steers selected traffic through an ordered sequence of
+middleboxes; the frames keep their VMAC tag across every hop, so after
+the last middlebox the traffic resumes its normal BGP path (or an
+explicit exit target) — the extension the paper sketches as future
+work, built on the same compilation machinery.
+"""
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.core.chaining import ServiceChain, validate_chains
+from repro.ixp.deployment import EmulatedIXP
+from repro.ixp.topology import IXPConfig
+from repro.policy import fwd, match
+
+
+@pytest.fixture
+def deployment():
+    config = IXPConfig(vnh_pool="172.16.0.0/16")
+    config.add_participant("ISP", 65001, [("ISP1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant("T", 65002, [("T1", "172.0.0.11", "08:00:27:00:00:11")])
+    config.add_participant(
+        "MB",
+        65005,
+        [
+            ("FW1", "172.0.0.51", "08:00:27:00:00:51"),
+            ("DPI1", "172.0.0.52", "08:00:27:00:00:52"),
+        ],
+    )
+    ixp = EmulatedIXP(config, appliance_ports=["FW1", "DPI1"])
+    ixp.controller.announce(
+        "T", "198.51.0.0/16", RouteAttributes(as_path=[65002, 64999], next_hop="172.0.0.11")
+    )
+    ixp.add_host("subscriber", "ISP", "100.64.0.50")
+    ixp.add_chain_middlebox("firewall", "FW1")
+    ixp.add_chain_middlebox("dpi", "DPI1")
+    return ixp
+
+
+def install_chain(ixp, exit=None):
+    controller = ixp.controller
+    chain = ServiceChain("scrub", hops=["FW1", "DPI1"], exit=exit)
+    controller.define_chain(chain)
+    isp = controller.register_participant("ISP")
+    isp.set_policies(outbound=match(dstport=80) >> fwd(chain))
+    return chain
+
+
+class TestValidation:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceChain("x", hops=[])
+
+    def test_repeated_hop_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceChain("x", hops=["FW1", "FW1"])
+
+    def test_unknown_port_rejected(self, deployment):
+        with pytest.raises(ValueError):
+            deployment.controller.define_chain(ServiceChain("x", hops=["NOPE"]))
+
+    def test_port_cannot_serve_two_chains(self, deployment):
+        config = deployment.controller.config
+        with pytest.raises(ValueError):
+            validate_chains(
+                [ServiceChain("a", ["FW1"]), ServiceChain("b", ["FW1"])], config
+            )
+
+
+class TestChainedForwarding:
+    def test_traffic_traverses_every_hop_in_order(self, deployment):
+        install_chain(deployment)
+        deployment.send("subscriber", dstip="198.51.7.7", dstport=80, srcport=5)
+        assert len(deployment.middleboxes["firewall"].seen) == 1
+        assert len(deployment.middleboxes["dpi"].seen) == 1
+        # and, after the chain, the packet resumed its BGP path via T
+        assert deployment.carried_upstream_by("T") == 1
+
+    def test_forwarding_tag_preserved_through_chain(self, deployment):
+        """The destination-MAC tag (here the announcing interface's MAC,
+        since no policy gives this prefix a VMAC) must survive every hop
+        — it is what lets post-chain traffic resume default forwarding."""
+        install_chain(deployment)
+        deployment.send("subscriber", dstip="198.51.7.7", dstport=80, srcport=5)
+        (at_firewall,) = deployment.middleboxes["firewall"].seen
+        (at_dpi,) = deployment.middleboxes["dpi"].seen
+        t1 = deployment.controller.config.participant("T").port("T1")
+        assert at_firewall["dstmac"] == at_dpi["dstmac"] == t1.hardware
+
+    def test_unselected_traffic_bypasses_chain(self, deployment):
+        install_chain(deployment)
+        deployment.send("subscriber", dstip="198.51.7.7", dstport=443, srcport=5)
+        assert deployment.middleboxes["firewall"].seen == []
+        assert deployment.carried_upstream_by("T") == 1
+
+    def test_firewall_can_drop(self, deployment):
+        install_chain(deployment)
+        deployment.middleboxes["firewall"].transform = lambda packet: None
+        deployment.send("subscriber", dstip="198.51.7.7", dstport=80, srcport=5)
+        assert deployment.middleboxes["dpi"].seen == []
+        assert deployment.carried_upstream_by("T") == 0
+
+    def test_middlebox_transform_applies(self, deployment):
+        install_chain(deployment)
+        deployment.middleboxes["firewall"].transform = lambda packet: packet.modify(tos=46)
+        deployment.send("subscriber", dstip="198.51.7.7", dstport=80, srcport=5)
+        (at_dpi,) = deployment.middleboxes["dpi"].seen
+        assert at_dpi["tos"] == 46
+
+    def test_explicit_exit_target(self, deployment):
+        install_chain(deployment, exit="T1")
+        deployment.send("subscriber", dstip="198.51.7.7", dstport=80, srcport=5)
+        assert deployment.carried_upstream_by("T") == 1
+
+    def test_chain_survives_fast_path_update(self, deployment):
+        """A best-path change to the chained prefix must not break the
+        chain: the fast-path block carries its own continuation rules."""
+        install_chain(deployment)
+        controller = deployment.controller
+        controller.announce(
+            "T", "198.51.0.0/16", RouteAttributes(as_path=[64999], next_hop="172.0.0.11")
+        )
+        assert controller.fast_path_log  # fast path fired
+        deployment.send("subscriber", dstip="198.51.7.7", dstport=80, srcport=5)
+        assert len(deployment.middleboxes["firewall"].seen) == 1
+        assert len(deployment.middleboxes["dpi"].seen) == 1
+        assert deployment.carried_upstream_by("T") == 1

@@ -1,0 +1,60 @@
+"""Statistical calibration of the synthetic update traces (Table 1 / §4.3.2).
+
+The incremental-compilation design rests on three measured properties
+of real IXP update streams; the generator must land all three within
+sampling tolerance, or every downstream experiment inherits the error.
+"""
+
+import numpy
+
+from repro.bgp.updates import trace_stats
+from repro.workloads.topology_gen import generate_ixp
+from repro.workloads.update_gen import generate_update_trace
+
+
+def build_trace(seed=21, bursts=600):
+    ixp = generate_ixp(participants=40, total_prefixes=4000, seed=seed)
+    trace = generate_update_trace(ixp, bursts=bursts, seed=seed + 1)
+    return ixp, trace
+
+
+class TestBurstCalibration:
+    def test_inter_burst_gap_quantiles(self):
+        """Paper: gaps >= 10 s in 75% of cases; >= 60 s half the time."""
+        ixp, trace = build_trace()
+        stats = trace_stats(trace.updates, ixp.all_prefixes())
+        gaps = numpy.array(stats.inter_burst_gaps)
+        assert gaps.size > 100
+        p25 = numpy.percentile(gaps, 25)
+        p50 = numpy.percentile(gaps, 50)
+        assert 5.0 <= p25 <= 25.0, f"p25 gap {p25:.1f}s (paper: ~10s)"
+        assert 40.0 <= p50 <= 120.0, f"p50 gap {p50:.1f}s (paper: >=60s)"
+
+    def test_burst_size_distribution(self):
+        """Paper: 75% of bursts affect no more than three prefixes."""
+        ixp, trace = build_trace()
+        stats = trace_stats(trace.updates, ixp.all_prefixes())
+        sizes = numpy.array(stats.burst_sizes)
+        small_fraction = float(numpy.mean(sizes <= 3))
+        assert 0.6 <= small_fraction <= 0.9, small_fraction
+
+    def test_heavy_tail_exists(self):
+        """The paper observed rare large bursts; the generator keeps a tail."""
+        ixp, trace = build_trace(bursts=1000)
+        stats = trace_stats(trace.updates, ixp.all_prefixes())
+        assert max(stats.burst_sizes) > 10
+
+    def test_active_prefix_fraction(self):
+        """Paper: only 10-14% of prefixes see any update over the window."""
+        ixp, trace = build_trace(bursts=1500)
+        stats = trace_stats(trace.updates, ixp.all_prefixes())
+        assert 0.08 <= stats.fraction_prefixes_updated <= 0.14
+
+    def test_calibration_stable_across_seeds(self):
+        fractions = []
+        for seed in (31, 41, 51):
+            ixp, trace = build_trace(seed=seed, bursts=800)
+            stats = trace_stats(trace.updates, ixp.all_prefixes())
+            fractions.append(stats.fraction_prefixes_updated)
+        spread = max(fractions) - min(fractions)
+        assert spread < 0.05, fractions

@@ -1,0 +1,94 @@
+"""Algebraic laws of the policy language (Pyretic's equational theory).
+
+The NSDI'13 paper the SDX builds on gives the language an equational
+semantics; these properties pin the laws the SDX compiler implicitly
+relies on when it reorders, prunes, and memoizes compositions.
+All equalities are *semantic* (same output packets), not syntactic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.policy import Packet, drop, false_, fwd, identity, match, modify, true_
+from tests.property.test_policy_semantics import packets, policies
+
+
+def equivalent(left, right, packet):
+    assert left.eval(packet) == right.eval(packet)
+
+
+@settings(max_examples=150, deadline=None)
+@given(policies, packets)
+def test_identity_is_sequential_unit(policy, packet):
+    equivalent(identity >> policy, policy, packet)
+    equivalent(policy >> identity, policy, packet)
+
+
+@settings(max_examples=150, deadline=None)
+@given(policies, packets)
+def test_drop_is_sequential_zero(policy, packet):
+    equivalent(drop >> policy, drop, packet)
+    equivalent(policy >> drop, drop, packet)
+
+
+@settings(max_examples=150, deadline=None)
+@given(policies, packets)
+def test_drop_is_parallel_unit(policy, packet):
+    equivalent(drop + policy, policy, packet)
+    equivalent(policy + drop, policy, packet)
+
+
+@settings(max_examples=100, deadline=None)
+@given(policies, policies, packets)
+def test_parallel_is_commutative(left, right, packet):
+    equivalent(left + right, right + left, packet)
+
+
+@settings(max_examples=100, deadline=None)
+@given(policies, packets)
+def test_parallel_is_idempotent(policy, packet):
+    equivalent(policy + policy, policy, packet)
+
+
+@settings(max_examples=100, deadline=None)
+@given(policies, policies, policies, packets)
+def test_sequential_is_associative(a, b, c, packet):
+    equivalent((a >> b) >> c, a >> (b >> c), packet)
+
+
+@settings(max_examples=100, deadline=None)
+@given(policies, policies, policies, packets)
+def test_parallel_is_associative(a, b, c, packet):
+    equivalent((a + b) + c, a + (b + c), packet)
+
+
+@settings(max_examples=100, deadline=None)
+@given(policies, policies, policies, packets)
+def test_sequential_right_distributes_over_parallel(a, b, c, packet):
+    """(a + b) >> c == (a >> c) + (b >> c) — the law behind the paper's
+    §4.3.1 decomposition of the composed SDX policy."""
+    equivalent((a + b) >> c, (a >> c) + (b >> c), packet)
+
+
+@settings(max_examples=150, deadline=None)
+@given(packets)
+def test_true_false_filters(packet):
+    equivalent(true_, identity, packet)
+    equivalent(false_, drop, packet)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.sampled_from((80, 443, 22)), packets)
+def test_filter_sequential_is_conjunction(port, packet):
+    left = match(dstport=port) >> match(srcport=1000)
+    right = match(dstport=port) & match(srcport=1000)
+    equivalent(left, right, packet)
+
+
+@settings(max_examples=100, deadline=None)
+@given(packets)
+def test_modify_then_matching_filter_passes(packet):
+    policy = modify(dstport=80) >> match(dstport=80)
+    expected = modify(dstport=80)
+    equivalent(policy, expected, packet)
+    blocked = modify(dstport=80) >> match(dstport=443)
+    equivalent(blocked, drop, packet)

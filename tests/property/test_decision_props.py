@@ -1,0 +1,74 @@
+"""Property tests for the BGP decision process."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.attributes import Origin, RouteAttributes
+from repro.bgp.decision import best_path, rank_routes
+from repro.bgp.messages import Route
+
+
+def route_strategy():
+    return st.builds(
+        lambda peer, path, nh, lp, med, origin: Route(
+            "10.0.0.0/8",
+            RouteAttributes(
+                as_path=path, next_hop=nh, local_pref=lp, med=med, origin=origin
+            ),
+            learned_from=peer,
+        ),
+        peer=st.sampled_from(["A", "B", "C", "D", "E"]),
+        path=st.lists(
+            st.integers(min_value=64000, max_value=64100), min_size=1, max_size=5
+        ),
+        nh=st.integers(min_value=1, max_value=1 << 24),
+        lp=st.sampled_from([50, 100, 200]),
+        med=st.sampled_from([0, 10, 50]),
+        origin=st.sampled_from(list(Origin)),
+    )
+
+
+routes_lists = st.lists(route_strategy(), max_size=8)
+
+
+@given(routes_lists)
+def test_best_is_member(routes):
+    best = best_path(routes)
+    if routes:
+        assert best in routes
+    else:
+        assert best is None
+
+
+@given(routes_lists)
+def test_rank_is_permutation(routes):
+    ranked = rank_routes(routes)
+    assert sorted(map(id, ranked)) == sorted(map(id, routes))
+
+
+@settings(max_examples=200)
+@given(routes_lists)
+def test_rank_deterministic_under_input_order(routes):
+    forward = rank_routes(routes)
+    backward = rank_routes(list(reversed(routes)))
+    assert [
+        (r.learned_from, r.attributes) for r in forward
+    ] == [(r.learned_from, r.attributes) for r in backward]
+
+
+@given(routes_lists)
+def test_highest_local_pref_always_wins(routes):
+    best = best_path(routes)
+    if best is not None:
+        top = max(route.attributes.local_pref for route in routes)
+        assert best.attributes.local_pref == top
+
+
+@given(routes_lists)
+def test_among_top_local_pref_shortest_path_wins(routes):
+    best = best_path(routes)
+    if best is None:
+        return
+    top = max(route.attributes.local_pref for route in routes)
+    contenders = [r for r in routes if r.attributes.local_pref == top]
+    shortest = min(len(r.attributes.as_path) for r in contenders)
+    assert len(best.attributes.as_path) == shortest

@@ -1,0 +1,58 @@
+"""Property test: ``with_fallback`` implements the if-claimed semantics.
+
+For arbitrary primary/fallback classifiers and packets:
+
+* if the packet matches any non-drop rule of the primary ("claimed"),
+  the combined classifier returns exactly the primary's verdict;
+* otherwise it returns the fallback's verdict.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.policy import Packet, with_fallback
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+
+DSTPORTS = (80, 443, 22)
+SRCPORTS = (1, 2)
+MACS = ("02:00:00:00:00:01", "02:00:00:00:00:02")
+
+matches = st.fixed_dictionaries(
+    {},
+    optional={
+        "dstport": st.sampled_from(DSTPORTS),
+        "srcport": st.sampled_from(SRCPORTS),
+        "dstmac": st.sampled_from(MACS),
+    },
+).map(lambda kw: HeaderMatch(**kw))
+
+actions = st.one_of(
+    st.just(frozenset()),  # drop rule
+    st.sampled_from(["B", "C", "B1"]).map(lambda p: frozenset({Action(port=p)})),
+)
+
+classifiers = st.lists(
+    st.tuples(matches, actions).map(lambda t: Rule(t[0], t[1])), max_size=6
+).map(Classifier)
+
+packets = st.builds(
+    Packet,
+    dstport=st.sampled_from(DSTPORTS),
+    srcport=st.sampled_from(SRCPORTS),
+    dstmac=st.sampled_from(MACS),
+)
+
+
+def claimed(classifier, packet):
+    return any(
+        not rule.is_drop and rule.match.matches(packet) for rule in classifier.rules
+    )
+
+
+@settings(max_examples=400, deadline=None)
+@given(classifiers, classifiers, packets)
+def test_fallback_semantics(primary, fallback, packet):
+    combined = with_fallback(primary, fallback)
+    if claimed(primary, packet):
+        assert combined.eval(packet) == primary.eval(packet)
+    else:
+        assert combined.eval(packet) == fallback.eval(packet)

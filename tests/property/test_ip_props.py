@@ -1,0 +1,72 @@
+"""Property tests for IPv4 prefix algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1).map(IPv4Address)
+prefixes = st.tuples(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+).map(lambda t: IPv4Prefix(t[0], t[1]))
+
+
+@given(addresses)
+def test_string_round_trip(address):
+    assert IPv4Address(str(address)) == address
+
+
+@given(prefixes)
+def test_prefix_string_round_trip(pfx):
+    assert IPv4Prefix(str(pfx)) == pfx
+
+
+@given(prefixes)
+def test_prefix_contains_itself_and_its_bounds(pfx):
+    assert pfx.contains(pfx)
+    assert pfx.network in pfx
+    assert pfx.broadcast in pfx
+
+
+@given(prefixes, prefixes)
+def test_containment_matches_membership(a, b):
+    """a ⊇ b iff every address of b is in a (checked on b's endpoints)."""
+    if a.contains(b):
+        assert b.network in a and b.broadcast in a
+    else:
+        assert b.network not in a or b.broadcast not in a or b.length < a.length
+
+
+@given(prefixes, prefixes)
+def test_overlap_is_symmetric_and_matches_intersection(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+    assert (a.intersection(b) is not None) == a.overlaps(b)
+
+
+@given(prefixes, prefixes)
+def test_intersection_is_the_finer_prefix(a, b):
+    overlap = a.intersection(b)
+    if overlap is not None:
+        assert overlap in (a, b)
+        assert a.contains(overlap) and b.contains(overlap)
+
+
+@given(prefixes, addresses)
+def test_membership_equivalent_to_host_prefix_containment(pfx, address):
+    assert (address in pfx) == pfx.contains(address.to_prefix())
+
+
+@given(prefixes)
+def test_subnet_split_partitions(pfx):
+    if pfx.length <= 30:
+        children = list(pfx.subnets(min(pfx.length + 2, 32)))
+        total = sum(child.num_addresses for child in children)
+        assert total == pfx.num_addresses
+        for child in children:
+            assert pfx.contains(child)
+
+
+@given(prefixes)
+def test_supernet_contains(pfx):
+    if pfx.length > 0:
+        assert pfx.supernet().contains(pfx)

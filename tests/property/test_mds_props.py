@@ -1,0 +1,65 @@
+"""Property tests for the Minimum Disjoint Subsets computation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fec import minimum_disjoint_subsets, minimum_disjoint_subsets_naive
+
+set_families = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=30), max_size=12),
+    max_size=8,
+)
+
+
+@given(set_families)
+def test_output_partitions_the_union(family):
+    groups = minimum_disjoint_subsets(family)
+    union = set().union(*family) if family else set()
+    covered = set()
+    for group in groups:
+        assert group, "no empty groups"
+        assert not (covered & group), "groups must be pairwise disjoint"
+        covered |= group
+    assert covered == union
+
+
+@given(set_families)
+def test_groups_never_straddle_input_sets(family):
+    """Every group is entirely inside or entirely outside each input set."""
+    for group in minimum_disjoint_subsets(family):
+        for input_set in family:
+            overlap = group & input_set
+            assert not overlap or overlap == group
+
+
+@given(set_families)
+def test_groups_are_maximal(family):
+    """Elements with identical membership signatures share a group."""
+    groups = minimum_disjoint_subsets(family)
+    signature = {}
+    for element in set().union(*family) if family else set():
+        signature[element] = frozenset(
+            index for index, s in enumerate(family) if element in s
+        )
+    group_of = {}
+    for index, group in enumerate(groups):
+        for element in group:
+            group_of[element] = index
+    for a in signature:
+        for b in signature:
+            if signature[a] == signature[b]:
+                assert group_of[a] == group_of[b]
+
+
+@settings(max_examples=60, deadline=None)
+@given(set_families)
+def test_naive_implementation_agrees(family):
+    fast = {frozenset(g) for g in minimum_disjoint_subsets(family)}
+    slow = {frozenset(g) for g in minimum_disjoint_subsets_naive(family)}
+    assert fast == slow
+
+
+@given(set_families)
+def test_idempotent(family):
+    groups = minimum_disjoint_subsets(family)
+    again = minimum_disjoint_subsets(groups)
+    assert {frozenset(g) for g in groups} == {frozenset(g) for g in again}

@@ -1,0 +1,140 @@
+"""The central policy-language property: compiling preserves semantics.
+
+For random policy ASTs and random packets, interpreting the AST
+directly (``policy.eval``) and running the compiled rule table
+(``policy.compile().eval``) must produce identical packet sets.  This
+is the invariant the whole SDX compilation pipeline rests on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.policy import (
+    Packet,
+    drop,
+    false_,
+    fwd,
+    identity,
+    if_,
+    match,
+    modify,
+    true_,
+)
+from repro.policy.language import Filter
+
+PORTS = ("A1", "B1", "C1", "B", "C")
+DSTPORTS = (80, 443, 22)
+SRCPORTS = (1000, 2000)
+PREFIXES = ("10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8")
+ADDRESSES = ("10.0.0.1", "10.1.2.3", "11.5.5.5", "192.168.1.1")
+
+match_kwargs = st.fixed_dictionaries(
+    {},
+    optional={
+        "dstport": st.sampled_from(DSTPORTS),
+        "srcport": st.sampled_from(SRCPORTS),
+        "dstip": st.sampled_from(PREFIXES),
+        "srcip": st.sampled_from(PREFIXES),
+        "port": st.sampled_from(PORTS),
+    },
+)
+
+atomic_filters = st.one_of(
+    st.just(true_),
+    st.just(false_),
+    match_kwargs.map(lambda kw: match(**kw)),
+)
+
+
+def _combine_filters(children):
+    left, right = children
+    return left & right
+
+
+filters = st.recursive(
+    atomic_filters,
+    lambda inner: st.one_of(
+        st.tuples(inner, inner).map(lambda p: p[0] & p[1]),
+        st.tuples(inner, inner).map(lambda p: p[0] | p[1]),
+        inner.map(lambda p: ~p),
+    ),
+    max_leaves=6,
+)
+
+atomic_policies = st.one_of(
+    st.just(identity),
+    st.just(drop),
+    st.sampled_from(PORTS).map(fwd),
+    st.sampled_from(ADDRESSES).map(lambda a: modify(dstip=a)),
+    st.sampled_from(DSTPORTS).map(lambda p: modify(dstport=p)),
+    atomic_filters,
+)
+
+policies = st.recursive(
+    atomic_policies,
+    lambda inner: st.one_of(
+        st.tuples(inner, inner).map(lambda p: p[0] >> p[1]),
+        st.tuples(inner, inner).map(lambda p: p[0] + p[1]),
+        st.tuples(filters, inner, inner).map(lambda t: if_(t[0], t[1], t[2])),
+    ),
+    max_leaves=8,
+)
+
+packets = st.builds(
+    Packet,
+    dstport=st.sampled_from(DSTPORTS + (8080,)),
+    srcport=st.sampled_from(SRCPORTS + (3000,)),
+    dstip=st.sampled_from(ADDRESSES),
+    srcip=st.sampled_from(ADDRESSES),
+    port=st.sampled_from(PORTS),
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(policies, packets)
+def test_compiled_classifier_matches_interpreter(policy, packet):
+    assert policy.compile().eval(packet) == policy.eval(packet)
+
+
+@settings(max_examples=150, deadline=None)
+@given(filters, packets)
+def test_filter_semantics(predicate, packet):
+    expected = frozenset((packet,)) if predicate.test(packet) else frozenset()
+    assert predicate.eval(packet) == expected
+    assert predicate.compile().eval(packet) == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(policies, policies, packets)
+def test_parallel_composition_is_union(left, right, packet):
+    combined = (left + right).eval(packet)
+    assert combined == left.eval(packet) | right.eval(packet)
+
+
+@settings(max_examples=150, deadline=None)
+@given(policies, policies, packets)
+def test_sequential_composition_is_pipeline(left, right, packet):
+    expected = frozenset(
+        out for intermediate in left.eval(packet) for out in right.eval(intermediate)
+    )
+    assert (left >> right).eval(packet) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(filters, policies, policies, packets)
+def test_if_equals_desugared_form(predicate, then, otherwise, packet):
+    sugar = if_(predicate, then, otherwise).eval(packet)
+    desugared = ((predicate >> then) + (~predicate >> otherwise)).eval(packet)
+    assert sugar == desugared
+
+
+@settings(max_examples=100, deadline=None)
+@given(policies, packets)
+def test_optimization_preserves_semantics(policy, packet):
+    compiled = policy.compile()
+    assert compiled.optimized().eval(packet) == compiled.eval(packet)
+
+
+@settings(max_examples=100, deadline=None)
+@given(filters, packets)
+def test_negation_is_complement(predicate, packet):
+    assert predicate.test(packet) != (~predicate).test(packet)

@@ -1,0 +1,80 @@
+"""Property tests: PrefixTrie versus a naive dict + linear-scan model."""
+
+from hypothesis import given, strategies as st
+
+from repro.netutils.ip import IPv4Address, IPv4Prefix, PrefixTrie
+
+prefix_entries = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=32),
+        st.integers(),
+    ),
+    max_size=40,
+)
+probe_addresses = st.lists(
+    st.integers(min_value=0, max_value=(1 << 32) - 1).map(IPv4Address), max_size=20
+)
+
+
+def model_longest_match(entries, address):
+    best = None
+    for pfx, value in entries.items():
+        if address in pfx and (best is None or pfx.length > best[0].length):
+            best = (pfx, value)
+    return best
+
+
+@given(prefix_entries, probe_addresses)
+def test_longest_match_agrees_with_linear_scan(raw_entries, probes):
+    entries = {}
+    trie = PrefixTrie()
+    for network, length, value in raw_entries:
+        pfx = IPv4Prefix(network, length)
+        entries[pfx] = value
+        trie[pfx] = value
+    assert len(trie) == len(entries)
+    for address in probes:
+        assert trie.longest_match(address) == model_longest_match(entries, address)
+
+
+@given(prefix_entries)
+def test_items_round_trip(raw_entries):
+    entries = {}
+    trie = PrefixTrie()
+    for network, length, value in raw_entries:
+        pfx = IPv4Prefix(network, length)
+        entries[pfx] = value
+        trie[pfx] = value
+    assert dict(trie.items()) == entries
+
+
+@given(prefix_entries)
+def test_deletion_restores_model(raw_entries):
+    entries = {}
+    trie = PrefixTrie()
+    for network, length, value in raw_entries:
+        pfx = IPv4Prefix(network, length)
+        entries[pfx] = value
+        trie[pfx] = value
+    # delete every other key
+    for index, pfx in enumerate(list(entries)):
+        if index % 2 == 0:
+            del trie[pfx]
+            del entries[pfx]
+    assert dict(trie.items()) == entries
+    for pfx in entries:
+        assert pfx in trie
+
+
+@given(prefix_entries, st.tuples(st.integers(min_value=0, max_value=(1 << 32) - 1), st.integers(min_value=0, max_value=16)))
+def test_covered_by_agrees_with_containment_scan(raw_entries, block_raw):
+    block = IPv4Prefix(block_raw[0], block_raw[1])
+    entries = {}
+    trie = PrefixTrie()
+    for network, length, value in raw_entries:
+        pfx = IPv4Prefix(network, length)
+        entries[pfx] = value
+        trie[pfx] = value
+    expected = {pfx: v for pfx, v in entries.items() if block.contains(pfx)}
+    assert dict(trie.covered_by(block)) == expected

@@ -1,0 +1,84 @@
+"""Property tests: BGP wire encoding round-trips exactly."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.attributes import Community, Origin, RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate, Withdrawal
+from repro.bgp.wire import decode_message, encode_update
+from repro.netutils.ip import IPv4Prefix
+
+prefixes = st.tuples(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+).map(lambda t: IPv4Prefix(t[0], t[1]))
+
+attributes = st.builds(
+    RouteAttributes,
+    as_path=st.lists(st.integers(min_value=1, max_value=(1 << 32) - 1), min_size=1, max_size=6),
+    next_hop=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    origin=st.sampled_from(list(Origin)),
+    med=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    local_pref=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    communities=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=65535),
+            st.integers(min_value=0, max_value=65535),
+        ).map(lambda t: Community(*t)),
+        max_size=4,
+    ),
+)
+
+updates = st.builds(
+    BGPUpdate,
+    peer=st.just("B"),
+    announced=st.lists(
+        st.builds(Announcement, prefix=prefixes, attributes=attributes), max_size=4
+    ),
+    withdrawn=st.lists(st.builds(Withdrawal, prefix=prefixes), max_size=4, unique_by=str),
+)
+
+
+def _decode_all(messages, peer="B"):
+    announced, withdrawn = [], []
+    for wire in messages:
+        decoded, rest = decode_message(wire, peer=peer)
+        assert rest == b""
+        announced.extend(decoded.announced)
+        withdrawn.extend(decoded.withdrawn)
+    return announced, withdrawn
+
+
+@settings(max_examples=300, deadline=None)
+@given(updates)
+def test_update_round_trip(update):
+    from collections import Counter
+
+    announced, withdrawn = _decode_all(encode_update(update))
+    # announcements round-trip up to message-packing order (multiset
+    # equality); the wire has no export_to, which is None on both sides
+    assert Counter(announced) == Counter(update.announced)
+    assert Counter(withdrawn) == Counter(update.withdrawn)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(updates, max_size=3))
+def test_concatenated_stream_decodes(stream):
+    wire = b"".join(b"".join(encode_update(u)) for u in stream)
+    count = 0
+    while wire:
+        _, wire = decode_message(wire, peer="B")
+        count += 1
+    expected = sum(max(1, len(_grouped(u))) for u in stream)
+    assert count == expected
+
+
+def _grouped(update):
+    groups = []
+    for announcement in update.announced:
+        for attributes, members in groups:
+            if attributes == announcement.attributes:
+                members.append(announcement.prefix)
+                break
+        else:
+            groups.append((announcement.attributes, [announcement.prefix]))
+    return groups

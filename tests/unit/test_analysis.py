@@ -1,0 +1,104 @@
+"""Unit tests for flow-space analysis (claimed space, fallback, disjointness)."""
+
+from repro.policy import (
+    Packet,
+    claimed_matches,
+    classifiers_disjoint,
+    forwarding_ports,
+    fwd,
+    match,
+    with_fallback,
+)
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+
+
+def test_claimed_matches_excludes_drops():
+    classifier = Classifier(
+        [
+            Rule(HeaderMatch(dstport=80), (Action(port="B"),)),
+            Rule(HeaderMatch(dstport=443), ()),
+        ]
+    )
+    assert claimed_matches(classifier) == [HeaderMatch(dstport=80)]
+
+
+def test_forwarding_ports():
+    classifier = Classifier(
+        [
+            Rule(HeaderMatch(dstport=80), (Action(port="B"),)),
+            Rule(HeaderMatch(dstport=443), (Action(port="C"), Action(dstip="1.1.1.1"))),
+        ]
+    )
+    assert forwarding_ports(classifier) == frozenset({"B", "C"})
+
+
+def test_classifiers_disjoint_by_port_isolation():
+    left = (match(port="A1") >> fwd("B")).compile()
+    right = (match(port="B1") >> fwd("C")).compile()
+    assert classifiers_disjoint(left, right)
+
+
+def test_classifiers_not_disjoint_on_overlap():
+    left = (match(dstport=80) >> fwd("B")).compile()
+    right = (match(srcport=9) >> fwd("C")).compile()
+    assert not classifiers_disjoint(left, right)
+
+
+def test_with_fallback_unclaimed_goes_to_fallback():
+    primary = (match(dstport=80) >> fwd("B")).compile()
+    fallback = (match(dstmac="02:00:00:00:00:01") >> fwd("C")).compile()
+    combined = with_fallback(primary, fallback)
+    web = Packet(dstport=80, dstmac="02:00:00:00:00:01")
+    other = Packet(dstport=22, dstmac="02:00:00:00:00:01")
+    assert {p["port"] for p in combined.eval(web)} == {"B"}
+    assert {p["port"] for p in combined.eval(other)} == {"C"}
+
+
+def test_with_fallback_preserves_claimed_drops():
+    """Traffic the policy claims but drops (BGP filter) must NOT fall back."""
+    # policy: dstip 10/8 AND dstport 80 forwarded; other 10/8 traffic is
+    # sealed by an interior drop from the nested sequential composition.
+    policy = match(dstip="10.0.0.0/8") >> (match(dstport=80) >> fwd("B"))
+    primary = policy.compile()
+    # sanity: the compiled classifier really contains an interior drop
+    assert any(rule.is_drop for rule in primary.rules)
+    fallback = (match(dstmac="02:00:00:00:00:01") >> fwd("C")).compile()
+    combined = with_fallback(primary, fallback)
+    claimed_and_dropped = Packet(dstip="10.1.1.1", dstport=22, dstmac="02:00:00:00:00:01")
+    # 10/8 non-web traffic is NOT claimed (no non-drop rule matches it), so
+    # it goes to the fallback rather than being dropped.
+    assert {p["port"] for p in combined.eval(claimed_and_dropped)} == {"C"}
+    web = Packet(dstip="10.1.1.1", dstport=80, dstmac="02:00:00:00:00:01")
+    assert {p["port"] for p in combined.eval(web)} == {"B"}
+
+
+def test_with_fallback_interior_drop_shadowing_later_rule():
+    """A drop rule shadowing a later non-drop rule keeps dropping the overlap."""
+    primary = Classifier(
+        [
+            Rule(HeaderMatch(dstport=80, srcport=9), ()),  # drop web from srcport 9
+            Rule(HeaderMatch(dstport=80), (Action(port="B"),)),
+        ]
+    )
+    fallback = Classifier([Rule(HeaderMatch.ANY, (Action(port="D"),))])
+    combined = with_fallback(primary, fallback)
+    shadowed = Packet(dstport=80, srcport=9)
+    normal = Packet(dstport=80, srcport=1)
+    unclaimed = Packet(dstport=22, srcport=9)
+    assert combined.eval(shadowed) == frozenset()  # claimed and dropped
+    assert {p["port"] for p in combined.eval(normal)} == {"B"}
+    assert {p["port"] for p in combined.eval(unclaimed)} == {"D"}
+
+
+def test_with_fallback_empty_primary_is_fallback():
+    fallback = (match(dstport=80) >> fwd("C")).compile()
+    combined = with_fallback(Classifier(), fallback)
+    web = Packet(dstport=80)
+    assert {p["port"] for p in combined.eval(web)} == {"C"}
+
+
+def test_with_fallback_empty_fallback_keeps_policy():
+    primary = (match(dstport=80) >> fwd("B")).compile()
+    combined = with_fallback(primary, Classifier())
+    assert {p["port"] for p in combined.eval(Packet(dstport=80))} == {"B"}
+    assert combined.eval(Packet(dstport=22)) == frozenset()

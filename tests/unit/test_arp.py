@@ -1,0 +1,56 @@
+"""Unit tests for ARP resolution."""
+
+from repro.dataplane.arp import ARPService, ARPTable
+from repro.netutils.ip import IPv4Address
+from repro.netutils.mac import MACAddress
+
+
+class TestARPTable:
+    def test_learn_resolve_forget(self):
+        table = ARPTable()
+        table.learn("172.0.0.1", "08:00:27:00:00:01")
+        assert table.resolve(IPv4Address("172.0.0.1")) == MACAddress("08:00:27:00:00:01")
+        assert "172.0.0.1" in table and len(table) == 1
+        table.forget("172.0.0.1")
+        assert table.resolve(IPv4Address("172.0.0.1")) is None
+
+    def test_learn_overwrites(self):
+        table = ARPTable()
+        table.learn("172.0.0.1", "08:00:27:00:00:01")
+        table.learn("172.0.0.1", "08:00:27:00:00:02")
+        assert table.resolve(IPv4Address("172.0.0.1")) == MACAddress("08:00:27:00:00:02")
+
+
+class TestARPService:
+    def test_static_resolution(self):
+        service = ARPService()
+        service.static_table.learn("172.0.0.1", "08:00:27:00:00:01")
+        assert service.resolve("172.0.0.1") == MACAddress("08:00:27:00:00:01")
+        assert service.queries == 1 and service.failures == 0
+
+    def test_dynamic_resolver_chain(self):
+        service = ARPService()
+        vmac = MACAddress("02:a5:00:00:00:00")
+        service.register(
+            lambda address: vmac if address == IPv4Address("172.16.0.1") else None
+        )
+        assert service.resolve("172.16.0.1") == vmac
+
+    def test_static_wins_over_dynamic(self):
+        service = ARPService()
+        service.static_table.learn("172.0.0.1", "08:00:27:00:00:01")
+        service.register(lambda address: MACAddress("02:a5:00:00:00:00"))
+        assert service.resolve("172.0.0.1") == MACAddress("08:00:27:00:00:01")
+
+    def test_failure_counted(self):
+        service = ARPService()
+        assert service.resolve("9.9.9.9") is None
+        assert service.failures == 1
+
+    def test_resolver_order(self):
+        service = ARPService()
+        first = MACAddress("02:a5:00:00:00:01")
+        second = MACAddress("02:a5:00:00:00:02")
+        service.register(lambda a: first)
+        service.register(lambda a: second)
+        assert service.resolve("1.2.3.4") == first

@@ -1,0 +1,87 @@
+"""Unit tests for the RPKI-style ownership registry."""
+
+import pytest
+
+from repro.core.authorization import (
+    AuthorizationError,
+    OwnershipRegistry,
+    validate_rewrites,
+)
+from repro.core.controller import SDXController
+from repro.policy import fwd, match, modify
+
+from tests.conftest import make_figure1_config
+
+
+class TestOwnershipRegistry:
+    def test_exact_authorization(self):
+        registry = OwnershipRegistry()
+        registry.register(64496, "74.125.0.0/16")
+        assert registry.authorizes(64496, "74.125.0.0/16")
+        assert not registry.authorizes(64497, "74.125.0.0/16")
+
+    def test_max_length_allows_more_specifics(self):
+        registry = OwnershipRegistry()
+        registry.register(64496, "74.125.0.0/16", max_length=24)
+        assert registry.authorizes(64496, "74.125.1.0/24")
+        assert not registry.authorizes(64496, "74.125.1.0/25")
+
+    def test_default_max_length_is_exact(self):
+        registry = OwnershipRegistry()
+        registry.register(64496, "74.125.0.0/16")
+        assert not registry.authorizes(64496, "74.125.1.0/24")
+
+    def test_unrelated_prefix_not_authorized(self):
+        registry = OwnershipRegistry()
+        registry.register(64496, "74.125.0.0/16", max_length=32)
+        assert not registry.authorizes(64496, "8.8.8.0/24")
+
+    def test_multiple_owners(self):
+        registry = OwnershipRegistry()
+        registry.register(64496, "74.125.0.0/16", max_length=24)
+        registry.register(64497, "74.125.0.0/16", max_length=24)
+        assert registry.owners_of("74.125.1.0/24") == [64496, 64497]
+
+    def test_invalid_max_length_rejected(self):
+        registry = OwnershipRegistry()
+        with pytest.raises(ValueError):
+            registry.register(64496, "74.125.0.0/16", max_length=8)
+
+    def test_require_raises(self):
+        registry = OwnershipRegistry()
+        with pytest.raises(AuthorizationError):
+            registry.require(64496, "74.125.0.0/16")
+
+
+class TestPolicyRewriteValidation:
+    def test_owned_rewrite_passes(self):
+        registry = OwnershipRegistry()
+        registry.register(64496, "54.198.0.0/16", max_length=32)
+        policy = match(dstip="74.125.1.0/24") >> modify(dstip="54.198.0.10") >> fwd("B1")
+        validate_rewrites(policy, 64496, registry)  # no exception
+
+    def test_unowned_rewrite_rejected(self):
+        registry = OwnershipRegistry()
+        policy = match(dstip="74.125.1.0/24") >> modify(dstip="8.8.8.8") >> fwd("B1")
+        with pytest.raises(AuthorizationError):
+            validate_rewrites(policy, 64496, registry)
+
+    def test_policy_without_rewrites_passes(self):
+        registry = OwnershipRegistry()
+        validate_rewrites(match(dstport=80) >> fwd("B"), 64496, registry)
+
+
+class TestControllerIntegration:
+    def test_origination_requires_roa(self):
+        registry = OwnershipRegistry()
+        controller = SDXController(make_figure1_config(), ownership=registry)
+        handle = controller.register_participant("C")
+        with pytest.raises(AuthorizationError):
+            handle.announce("74.125.1.0/24")
+        registry.register(65003, "74.125.1.0/24")
+        handle.announce("74.125.1.0/24")  # now authorized
+        assert controller.route_server.best_route("A", "74.125.1.0/24") is not None
+
+    def test_no_registry_means_no_checks(self):
+        controller = SDXController(make_figure1_config())
+        controller.register_participant("C").announce("74.125.1.0/24")

@@ -1,0 +1,96 @@
+"""Unit tests for the service-chaining building blocks."""
+
+import pytest
+
+from repro.core.chaining import (
+    ServiceChain,
+    chain_continuation_rules,
+    chain_entry_block,
+    validate_chains,
+)
+from repro.dataplane.appliance import MiddleboxAppliance
+from repro.policy import Packet
+from repro.policy.classifier import Action
+
+from tests.conftest import make_figure1_config
+
+
+class TestServiceChain:
+    def test_equality_and_hash(self):
+        a = ServiceChain("x", ["A1", "B1"])
+        b = ServiceChain("x", ["A1", "B1"])
+        c = ServiceChain("x", ["A1", "B1"], exit="C1")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_usable_as_forwarding_target(self):
+        chain = ServiceChain("x", ["A1"])
+        action = Action(port=chain)
+        assert action.output_port is chain
+
+    def test_repr(self):
+        assert "exit='C1'" in repr(ServiceChain("x", ["A1"], exit="C1"))
+
+
+class TestValidation:
+    def test_hops_must_exist(self):
+        config = make_figure1_config()
+        with pytest.raises(ValueError):
+            validate_chains([ServiceChain("x", ["NOPE"])], config)
+
+    def test_valid_chain_passes(self):
+        config = make_figure1_config()
+        validate_chains([ServiceChain("x", ["C1", "C2"])], config)
+
+    def test_cross_chain_port_reuse_rejected(self):
+        config = make_figure1_config()
+        with pytest.raises(ValueError):
+            validate_chains(
+                [ServiceChain("x", ["C1"]), ServiceChain("y", ["C1"])], config
+            )
+
+
+class TestRuleGeneration:
+    def test_continuation_rules_link_hops(self):
+        rules = chain_continuation_rules([ServiceChain("x", ["A1", "B1", "C1"])])
+        assert len(rules) == 2
+        assert rules[0].match.constraints["port"] == "A1"
+        assert {a.output_port for a in rules[0].actions} == {"B1"}
+        assert rules[1].match.constraints["port"] == "B1"
+        assert {a.output_port for a in rules[1].actions} == {"C1"}
+
+    def test_exit_rule_appended(self):
+        rules = chain_continuation_rules([ServiceChain("x", ["A1"], exit="B")])
+        assert len(rules) == 1
+        assert rules[0].match.constraints["port"] == "A1"
+        assert {a.output_port for a in rules[0].actions} == {"B"}
+
+    def test_single_hop_no_exit_needs_no_rules(self):
+        assert chain_continuation_rules([ServiceChain("x", ["A1"])]) == []
+
+    def test_entry_block_moves_to_first_hop(self):
+        block = chain_entry_block(ServiceChain("x", ["B1", "C1"]))
+        out = block.eval(Packet(dstport=80))
+        assert {p["port"] for p in out} == {"B1"}
+        # no MAC rewrite on the way in
+        (packet,) = out
+        assert "dstmac" not in packet
+
+
+class TestMiddleboxAppliance:
+    def test_passes_through_by_default(self):
+        box = MiddleboxAppliance("fw")
+        packet = Packet(dstport=80)
+        assert box.receive(packet, "wire") == [("wire", packet)]
+        assert box.seen == [packet]
+
+    def test_transform_applies(self):
+        box = MiddleboxAppliance("fw", transform=lambda p: p.modify(tos=10))
+        ((_, out),) = box.receive(Packet(dstport=80), "wire")
+        assert out["tos"] == 10
+
+    def test_transform_can_drop(self):
+        box = MiddleboxAppliance("fw", transform=lambda p: None)
+        assert box.receive(Packet(dstport=80), "wire") == []
+        assert box.dropped == 1
+        assert len(box.seen) == 1

@@ -1,0 +1,239 @@
+"""Unit tests for HeaderMatch, Action, Rule, and Classifier composition."""
+
+import pytest
+
+from repro.netutils.ip import IPv4Prefix
+from repro.policy.classifier import (
+    Action,
+    Classifier,
+    HeaderMatch,
+    Rule,
+    sequence_rule,
+)
+from repro.policy.packet import Packet
+
+
+class TestHeaderMatch:
+    def test_universal_matches_everything(self):
+        assert HeaderMatch.ANY.matches(Packet())
+        assert HeaderMatch.ANY.matches(Packet(dstport=80))
+        assert HeaderMatch.ANY.is_universal
+
+    def test_field_constraint(self):
+        m = HeaderMatch(dstport=80)
+        assert m.matches(Packet(dstport=80))
+        assert not m.matches(Packet(dstport=443))
+        assert not m.matches(Packet())  # missing field fails
+
+    def test_prefix_constraint(self):
+        m = HeaderMatch(dstip="10.0.0.0/8")
+        assert m.matches(Packet(dstip="10.1.2.3"))
+        assert not m.matches(Packet(dstip="11.0.0.1"))
+
+    def test_intersect_disjoint_ports(self):
+        assert HeaderMatch(dstport=80).intersect(HeaderMatch(dstport=443)) is None
+
+    def test_intersect_merges_fields(self):
+        merged = HeaderMatch(dstport=80).intersect(HeaderMatch(srcport=1))
+        assert merged == HeaderMatch(dstport=80, srcport=1)
+
+    def test_intersect_prefixes_takes_longer(self):
+        merged = HeaderMatch(dstip="10.0.0.0/8").intersect(HeaderMatch(dstip="10.1.0.0/16"))
+        assert merged.constraints["dstip"] == IPv4Prefix("10.1.0.0/16")
+
+    def test_covers(self):
+        general = HeaderMatch(dstip="10.0.0.0/8")
+        specific = HeaderMatch(dstip="10.1.0.0/16", dstport=80)
+        assert general.covers(specific)
+        assert not specific.covers(general)
+        assert HeaderMatch.ANY.covers(general)
+
+    def test_covers_requires_field_presence(self):
+        assert not HeaderMatch(dstport=80).covers(HeaderMatch(srcport=80))
+
+    def test_disjoint_from(self):
+        assert HeaderMatch(dstport=80).disjoint_from(HeaderMatch(dstport=443))
+        assert not HeaderMatch(dstport=80).disjoint_from(HeaderMatch(srcport=1))
+
+    def test_restrict_and_without(self):
+        m = HeaderMatch(dstport=80)
+        assert m.restrict("port", "A1") == HeaderMatch(dstport=80, port="A1")
+        assert m.restrict("dstport", 443) is None
+        assert HeaderMatch(dstport=80, port="A1").without("port") == m
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderMatch(bogus=1)
+
+    def test_hash_equality(self):
+        assert len({HeaderMatch(dstport=80), HeaderMatch(dstport=80)}) == 1
+
+
+class TestAction:
+    def test_identity(self):
+        pkt = Packet(dstport=80)
+        assert Action.IDENTITY.apply(pkt) is pkt
+        assert Action.IDENTITY.is_identity
+
+    def test_apply_rewrites(self):
+        out = Action(port="B", dstip="1.2.3.4").apply(Packet(dstport=80, port="A1"))
+        assert out["port"] == "B" and str(out["dstip"]) == "1.2.3.4"
+
+    def test_output_port(self):
+        assert Action(port="B").output_port == "B"
+        assert Action(dstip="1.2.3.4").output_port is None
+
+    def test_then_later_wins(self):
+        combined = Action(port="B", tos=1).then(Action(port="C"))
+        assert combined.output_port == "C"
+        assert combined.get("tos") == 1
+
+    def test_commute_match_constraint_satisfied(self):
+        # action sets dstip to a value inside the match's prefix
+        action = Action(dstip="10.1.1.1")
+        pre = action.commute_match(HeaderMatch(dstip="10.0.0.0/8", dstport=80))
+        assert pre == HeaderMatch(dstport=80)
+
+    def test_commute_match_constraint_violated(self):
+        action = Action(dstip="11.0.0.1")
+        assert action.commute_match(HeaderMatch(dstip="10.0.0.0/8")) is None
+
+    def test_commute_match_untouched_fields_survive(self):
+        pre = Action(port="B").commute_match(HeaderMatch(dstport=80))
+        assert pre == HeaderMatch(dstport=80)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            Action(bogus=1)
+
+
+class TestRule:
+    def test_drop_rule(self):
+        rule = Rule(HeaderMatch.ANY, ())
+        assert rule.is_drop
+        assert rule.eval(Packet(dstport=80)) == frozenset()
+
+    def test_multicast_rule(self):
+        rule = Rule(HeaderMatch.ANY, (Action(port="B"), Action(port="C")))
+        outputs = rule.eval(Packet(dstport=80))
+        assert {p["port"] for p in outputs} == {"B", "C"}
+
+    def test_equality(self):
+        a = Rule(HeaderMatch(dstport=80), (Action(port="B"),))
+        b = Rule(HeaderMatch(dstport=80), (Action(port="B"),))
+        assert a == b and hash(a) == hash(b)
+
+
+def classify(*rules):
+    return Classifier(rules)
+
+
+FWD_B = Action(port="B")
+FWD_C = Action(port="C")
+
+
+class TestClassifier:
+    def test_first_match_wins(self):
+        c = classify(
+            Rule(HeaderMatch(dstport=80), (FWD_B,)),
+            Rule(HeaderMatch.ANY, (FWD_C,)),
+        )
+        assert c.eval(Packet(dstport=80)) == frozenset({Packet(dstport=80, port="B")})
+        assert c.eval(Packet(dstport=22)) == frozenset({Packet(dstport=22, port="C")})
+
+    def test_no_match_drops(self):
+        c = classify(Rule(HeaderMatch(dstport=80), (FWD_B,)))
+        assert c.eval(Packet(dstport=22)) == frozenset()
+
+    def test_parallel_union_of_outputs(self):
+        c1 = classify(Rule(HeaderMatch(dstport=80), (FWD_B,)))
+        c2 = classify(Rule(HeaderMatch(srcport=9), (FWD_C,)))
+        combined = c1 + c2
+        both = Packet(dstport=80, srcport=9)
+        assert {p["port"] for p in combined.eval(both)} == {"B", "C"}
+        only_b = Packet(dstport=80, srcport=1)
+        assert {p["port"] for p in combined.eval(only_b)} == {"B"}
+        only_c = Packet(dstport=22, srcport=9)
+        assert {p["port"] for p in combined.eval(only_c)} == {"C"}
+        neither = Packet(dstport=22, srcport=1)
+        assert combined.eval(neither) == frozenset()
+
+    def test_sequential_feeds_outputs(self):
+        c1 = classify(Rule(HeaderMatch(dstport=80), (Action(port="mid"),)))
+        c2 = classify(Rule(HeaderMatch(port="mid"), (Action(port="out"),)))
+        composed = c1 >> c2
+        assert composed.eval(Packet(dstport=80, port="in")) == frozenset(
+            {Packet(dstport=80, port="out")}
+        )
+        # a packet c1 drops must not reach c2
+        assert composed.eval(Packet(dstport=22, port="mid")) == frozenset()
+
+    def test_sequential_seals_upstream_region(self):
+        # c1's first rule matches dstport=80; if c2 drops those packets they
+        # must NOT fall through to c1's second rule.
+        c1 = classify(
+            Rule(HeaderMatch(dstport=80), (Action(port="x"),)),
+            Rule(HeaderMatch.ANY, (Action(port="y"),)),
+        )
+        c2 = classify(Rule(HeaderMatch(port="y"), (Action.IDENTITY,)))
+        composed = c1 >> c2
+        assert composed.eval(Packet(dstport=80)) == frozenset()
+        assert composed.eval(Packet(dstport=22)) == frozenset({Packet(dstport=22, port="y")})
+
+    def test_sequential_action_rewrite_enables_downstream_match(self):
+        c1 = classify(Rule(HeaderMatch.ANY, (Action(dstip="10.1.1.1"),)))
+        c2 = classify(Rule(HeaderMatch(dstip="10.0.0.0/8"), (FWD_B,)))
+        composed = c1 >> c2
+        out = composed.eval(Packet(dstip="99.0.0.1"))
+        assert out == frozenset({Packet(dstip="10.1.1.1", port="B")})
+
+    def test_sequential_multicast(self):
+        c1 = classify(Rule(HeaderMatch.ANY, (FWD_B, FWD_C)))
+        c2 = classify(
+            Rule(HeaderMatch(port="B"), (Action(port="B1"),)),
+            Rule(HeaderMatch(port="C"), (Action(port="C1"),)),
+        )
+        out = (c1 >> c2).eval(Packet(dstport=80))
+        assert {p["port"] for p in out} == {"B1", "C1"}
+
+    def test_optimized_removes_shadowed(self):
+        c = classify(
+            Rule(HeaderMatch(dstport=80), (FWD_B,)),
+            Rule(HeaderMatch(dstport=80), (FWD_C,)),  # exact shadow
+            Rule(HeaderMatch(dstport=80, srcport=1), (FWD_C,)),  # covered
+            Rule(HeaderMatch(srcport=2), (FWD_C,)),  # live
+        ).optimized()
+        assert len(c) == 2
+
+    def test_optimized_drops_trailing_universal_drop(self):
+        c = classify(
+            Rule(HeaderMatch(dstport=80), (FWD_B,)),
+            Rule(HeaderMatch.ANY, ()),
+        ).optimized()
+        assert len(c) == 1
+
+    def test_optimized_large_classifier_dedupes_only(self):
+        rules = [Rule(HeaderMatch(dstport=port % 100), (FWD_B,)) for port in range(5000)]
+        c = Classifier(rules)
+        assert len(c.optimized()) == 100
+
+    def test_first_match_and_counters_free(self):
+        c = classify(Rule(HeaderMatch(dstport=80), (FWD_B,)))
+        assert c.first_match(Packet(dstport=80)) is c.rules[0]
+        assert c.first_match(Packet(dstport=22)) is None
+
+    def test_sequence_rule_with_resolver(self):
+        rule = Rule(HeaderMatch(dstport=80), (Action(port="B"), Action(port="C")))
+        b_block = classify(Rule(HeaderMatch(port="B"), (Action(port="B1"),)))
+        resolved = sequence_rule(
+            rule, lambda action: b_block if action.output_port == "B" else None
+        )
+        composed = Classifier(resolved)
+        out = composed.eval(Packet(dstport=80))
+        # B's branch resolves; C's branch has no downstream -> dropped.
+        assert {p["port"] for p in out} == {"B1"}
+
+    def test_len_iter_getitem(self):
+        rules = [Rule(HeaderMatch(dstport=80), (FWD_B,)), Rule(HeaderMatch.ANY, ())]
+        c = Classifier(rules)
+        assert len(c) == 2 and list(c) == rules and c[0] == rules[0]

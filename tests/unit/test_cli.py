@@ -1,0 +1,40 @@
+"""Unit tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import RUNNERS, main
+
+
+class TestArgumentHandling:
+    def test_runner_registry_covers_every_artifact(self):
+        assert set(RUNNERS) == {
+            "table1",
+            "baseline",
+            "fig5a",
+            "fig5b",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "ablation",
+        }
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_no_arguments_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_quick_table1_runs(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "AMS-IX" in out
+
+    def test_multiple_experiments_run_in_order(self, capsys):
+        assert main(["table1", "baseline", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("Table 1") < out.index("Naive vs VMAC")

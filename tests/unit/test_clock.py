@@ -1,0 +1,85 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.sim.clock import Simulator
+
+
+class TestSimulator:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_runs_events_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append("b"))
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(9.0, lambda: seen.append("c"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 9.0
+        assert sim.events_run == 3
+
+    def test_ties_run_in_scheduling_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(1.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(5))
+        sim.run_until(3.0)
+        assert seen == [1]
+        assert sim.now == 3.0
+        sim.run_until(10.0)
+        assert seen == [1, 5]
+
+    def test_schedule_in_relative(self):
+        sim = Simulator(start=100.0)
+        seen = []
+        sim.schedule_in(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [105.0]
+
+    def test_past_events_run_now(self):
+        sim = Simulator(start=10.0)
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [10.0]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule_in(1.0, lambda: seen.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_schedule_every(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(2.0, lambda: ticks.append(sim.now), until=7.0)
+        sim.run()
+        assert ticks == [0.0, 2.0, 4.0, 6.0]
+
+    def test_schedule_every_with_start(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(1.0, lambda: ticks.append(sim.now), start=3.0, until=5.0)
+        sim.run()
+        assert ticks == [3.0, 4.0, 5.0]
+
+    def test_schedule_every_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_every(0, lambda: None)

@@ -1,0 +1,136 @@
+"""Unit tests for the SDX controller."""
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.core.controller import BASE_COOKIE, SDXController
+from repro.core.participant import SDXPolicySet
+from repro.netutils.ip import IPv4Prefix
+from repro.policy import Packet, fwd, match
+
+from tests.conftest import P1, P4, P5, install_figure1_policies
+
+
+class TestRegistration:
+    def test_register_returns_stable_handle(self, figure1_controller):
+        first = figure1_controller.register_participant("A")
+        second = figure1_controller.register_participant("A")
+        assert first is second
+        assert first.asn == 65001
+
+    def test_unknown_participant_rejected(self, figure1_controller):
+        with pytest.raises(KeyError):
+            figure1_controller.register_participant("Z")
+
+    def test_all_participants_are_route_server_peers(self, figure1_controller):
+        assert figure1_controller.route_server.peers() == {"A", "B", "C"}
+
+
+class TestPolicies:
+    def test_set_policies_compiles(self, figure1_controller):
+        a = figure1_controller.register_participant("A")
+        a.set_policies(outbound=match(dstport=80) >> fwd("B"))
+        assert figure1_controller.last_compilation is not None
+        assert figure1_controller.table_size() > 0
+
+    def test_clear_policies(self, figure1_controller):
+        a = figure1_controller.register_participant("A")
+        a.set_policies(outbound=match(dstport=80) >> fwd("B"))
+        with_policy = figure1_controller.last_compilation.stats.fec_groups
+        a.clear_policies()
+        assert figure1_controller.last_compilation.stats.fec_groups < with_policy
+        assert "A" not in figure1_controller.policies()
+
+    def test_empty_policy_set_removed(self, figure1_controller):
+        figure1_controller.set_policies("A", SDXPolicySet(), recompile=False)
+        assert "A" not in figure1_controller.policies()
+
+
+class TestCompilation:
+    def test_base_rules_tagged_with_provenance_cookies(self, figure1_compiled):
+        cookies = {rule.cookie for rule in figure1_compiled.switch.table}
+        assert all(cookie[0] == BASE_COOKIE for cookie in cookies)
+        labels = {cookie[1:] for cookie in cookies}
+        assert ("policy", "A") in labels and ("default",) in labels
+
+    def test_recompile_replaces_base_block(self, figure1_compiled):
+        before = figure1_compiled.table_size()
+        figure1_compiled.compile()
+        assert figure1_compiled.table_size() == before
+
+    def test_advertisements_carry_vnh_for_affected(self, figure1_compiled):
+        advertised = {
+            ann.prefix: ann.attributes.next_hop
+            for ann in figure1_compiled.advertisements("A")
+        }
+        assert advertised[IPv4Prefix(P1)] in figure1_compiled.config.vnh_pool
+
+    def test_arp_resolves_advertised_vnh(self, figure1_compiled):
+        (announcement,) = [
+            a for a in figure1_compiled.advertisements("A") if a.prefix == IPv4Prefix(P1)
+        ]
+        vmac = figure1_compiled.arp.resolve(announcement.attributes.next_hop)
+        assert vmac is not None and vmac.is_locally_administered
+
+
+class TestOrigination:
+    def test_originate_and_withdraw(self, figure1_controller):
+        install_figure1_policies(figure1_controller, recompile=False)
+        handle = figure1_controller.register_participant("C")
+        handle.announce("74.125.1.0/24")
+        figure1_controller.compile()
+        group = figure1_controller.last_compilation.fec_table.group_for("74.125.1.0/24")
+        assert group is not None and group.is_affected
+        handle.withdraw("74.125.1.0/24")
+        figure1_controller.compile()
+        assert (
+            figure1_controller.last_compilation.fec_table.group_for("74.125.1.0/24")
+            is None
+        )
+
+    def test_origination_visible_to_other_participants(self, figure1_controller):
+        handle = figure1_controller.register_participant("C")
+        handle.announce("74.125.1.0/24")
+        best = figure1_controller.route_server.best_route("A", "74.125.1.0/24")
+        assert best is not None and best.learned_from == "C"
+
+
+class TestFastPathWiring:
+    def test_update_before_compile_skips_fast_path(self, figure1_controller):
+        figure1_controller.withdraw("C", P5)
+        assert figure1_controller.fast_path_log == []
+
+    def test_update_after_compile_triggers_fast_path(self, figure1_compiled):
+        figure1_compiled.withdraw("A", P5)
+        log = figure1_compiled.fast_path_log
+        assert len(log) == 1 and str(log[0].prefix) == P5
+
+    def test_fast_path_disabled(self, figure1_controller):
+        figure1_controller.fast_path_enabled = False
+        install_figure1_policies(figure1_controller)
+        figure1_controller.withdraw("C", P5)
+        assert figure1_controller.fast_path_log == []
+
+    def test_background_recompile_flushes_fast_path(self, figure1_compiled):
+        # P1 keeps a route via B after C withdraws, so the fast path
+        # installs an override block for it.
+        figure1_compiled.withdraw("C", P1)
+        assert figure1_compiled.fast_path.active_prefixes
+        figure1_compiled.run_background_recompilation()
+        assert not figure1_compiled.fast_path.active_prefixes
+        cookies = {rule.cookie for rule in figure1_compiled.switch.table}
+        assert all(cookie[0] == BASE_COOKIE for cookie in cookies)
+
+
+class TestRIBQueries:
+    def test_participant_rib_filter(self, figure1_controller):
+        handle = figure1_controller.register_participant("A")
+        prefixes = handle.rib().filter("as_path", r"65100$")
+        assert IPv4Prefix(P1) in prefixes
+
+    def test_learned_routes(self, figure1_compiled):
+        handle = figure1_compiled.register_participant("A")
+        routes = handle.learned_routes()
+        # p4 is hidden from A by B's export scope and announced only by
+        # B and C; p5 is A's own prefix, never re-advertised back.
+        assert {str(a.prefix) for a in routes} == {P1, "10.2.0.0/16", "10.3.0.0/16", P4}

@@ -1,0 +1,99 @@
+"""Unit tests for the BGP decision process."""
+
+from repro.bgp.attributes import Origin, RouteAttributes
+from repro.bgp.decision import best_path, rank_routes
+from repro.bgp.messages import Route
+
+
+def route(
+    peer,
+    as_path=(65001, 65100),
+    next_hop="172.0.0.1",
+    local_pref=100,
+    med=0,
+    origin=Origin.IGP,
+):
+    return Route(
+        "10.0.0.0/8",
+        RouteAttributes(
+            as_path=list(as_path),
+            next_hop=next_hop,
+            local_pref=local_pref,
+            med=med,
+            origin=origin,
+        ),
+        learned_from=peer,
+    )
+
+
+class TestBestPath:
+    def test_empty(self):
+        assert best_path([]) is None
+
+    def test_single(self):
+        only = route("B")
+        assert best_path([only]) is only
+
+    def test_local_pref_dominates_path_length(self):
+        long_but_preferred = route("B", as_path=(1, 2, 3, 4), local_pref=200)
+        short = route("C", as_path=(1,), local_pref=100)
+        assert best_path([short, long_but_preferred]) is long_but_preferred
+
+    def test_shorter_as_path_wins(self):
+        short = route("B", as_path=(65002, 65100))
+        long = route("C", as_path=(65003, 65007, 65100))
+        assert best_path([long, short]) is short
+
+    def test_origin_breaks_path_tie(self):
+        igp = route("B", origin=Origin.IGP)
+        egp = route("C", origin=Origin.EGP)
+        assert best_path([egp, igp]) is igp
+
+    def test_med_compared_same_neighbor_as(self):
+        low = route("B", as_path=(65002, 65100), med=5, next_hop="172.0.0.9")
+        high = route("C", as_path=(65002, 65100), med=50, next_hop="172.0.0.1")
+        # same first AS -> MED applies, lower wins despite higher next-hop
+        assert best_path([high, low]) is low
+
+    def test_med_ignored_across_neighbor_ases(self):
+        b = route("B", as_path=(65002, 65100), med=50, next_hop="172.0.0.1")
+        c = route("C", as_path=(65003, 65100), med=5, next_hop="172.0.0.2")
+        # different neighbor AS -> MED skipped, lower next-hop wins
+        assert best_path([c, b]) is b
+
+    def test_always_compare_med(self):
+        b = route("B", as_path=(65002, 65100), med=50, next_hop="172.0.0.1")
+        c = route("C", as_path=(65003, 65100), med=5, next_hop="172.0.0.2")
+        assert best_path([b, c], always_compare_med=True) is c
+
+    def test_next_hop_tiebreak(self):
+        low_nh = route("B", next_hop="172.0.0.1")
+        high_nh = route("C", next_hop="172.0.0.2")
+        assert best_path([high_nh, low_nh]) is low_nh
+
+    def test_peer_name_final_tiebreak(self):
+        a = route("A")
+        b = route("B")
+        assert best_path([b, a]) is a
+
+
+class TestRankRoutes:
+    def test_total_order_is_deterministic(self):
+        routes = [
+            route("C", as_path=(1, 2, 3)),
+            route("A", local_pref=200),
+            route("B", as_path=(1, 2)),
+        ]
+        ranked = rank_routes(routes)
+        assert [r.learned_from for r in ranked] == ["A", "B", "C"]
+        # permutation invariance
+        ranked2 = rank_routes(list(reversed(routes)))
+        assert [r.learned_from for r in ranked2] == ["A", "B", "C"]
+
+    def test_rank_includes_all(self):
+        routes = [route(chr(ord("A") + i)) for i in range(5)]
+        assert len(rank_routes(routes)) == 5
+
+    def test_best_is_rank_zero(self):
+        routes = [route("B", as_path=(1, 2)), route("C", as_path=(1,))]
+        assert rank_routes(routes)[0] is best_path(routes)

@@ -1,0 +1,113 @@
+"""Unit tests for community-based export control."""
+
+import pytest
+
+from repro.bgp.attributes import Community, RouteAttributes
+from repro.bgp.export_policy import NO_EXPORT, export_scope_from_communities
+from repro.bgp.route_server import RouteServer
+
+PEERS = ["A", "B", "C"]
+ASNS = {"A": 65001, "B": 65002, "C": 65003}
+RS_ASN = 64512
+
+
+def scope(communities):
+    return export_scope_from_communities(
+        [Community(*c) for c in communities], PEERS, ASNS, RS_ASN
+    )
+
+
+class TestTranslation:
+    def test_no_communities_means_everyone(self):
+        assert scope([]) is None
+
+    def test_block_one_peer(self):
+        assert scope([(0, 65001)]) == frozenset({"B", "C"})
+
+    def test_block_several(self):
+        assert scope([(0, 65001), (0, 65002)]) == frozenset({"C"})
+
+    def test_allow_list(self):
+        assert scope([(RS_ASN, 65003)]) == frozenset({"C"})
+
+    def test_allow_list_with_block(self):
+        assert scope([(RS_ASN, 65002), (RS_ASN, 65003), (0, 65002)]) == frozenset({"C"})
+
+    def test_block_everyone(self):
+        assert scope([(0, 0)]) == frozenset()
+
+    def test_no_export_well_known(self):
+        assert export_scope_from_communities([NO_EXPORT], PEERS, ASNS, RS_ASN) == frozenset()
+
+    def test_unknown_asn_in_community_ignored(self):
+        # blocking a non-peer ASN is a no-op: unrestricted export
+        assert scope([(0, 60000)]) is None
+
+    def test_irrelevant_communities_ignored(self):
+        assert scope([(65001, 120)]) is None
+
+
+class TestRouteServerIntegration:
+    def make_server(self):
+        server = RouteServer(asn=RS_ASN)
+        for peer in PEERS:
+            server.add_peer(peer, asn=ASNS[peer])
+        return server
+
+    def test_community_hides_route_from_peer(self):
+        server = self.make_server()
+        server.announce(
+            "B",
+            "10.0.0.0/8",
+            RouteAttributes(
+                as_path=[65002, 65100],
+                next_hop="172.0.0.11",
+                communities=[f"0:{ASNS['A']}"],
+            ),
+        )
+        assert server.best_route("A", "10.0.0.0/8") is None
+        assert server.best_route("C", "10.0.0.0/8") is not None
+
+    def test_allow_list_community(self):
+        server = self.make_server()
+        server.announce(
+            "B",
+            "10.0.0.0/8",
+            RouteAttributes(
+                as_path=[65002, 65100],
+                next_hop="172.0.0.11",
+                communities=[f"{RS_ASN}:{ASNS['C']}"],
+            ),
+        )
+        assert server.best_route("A", "10.0.0.0/8") is None
+        assert server.best_route("C", "10.0.0.0/8") is not None
+
+    def test_explicit_export_to_takes_precedence(self):
+        server = self.make_server()
+        server.announce(
+            "B",
+            "10.0.0.0/8",
+            RouteAttributes(
+                as_path=[65002, 65100],
+                next_hop="172.0.0.11",
+                communities=[f"0:{ASNS['A']}"],
+            ),
+            export_to=["A"],
+        )
+        # the explicit scope wins over the community
+        assert server.best_route("A", "10.0.0.0/8") is not None
+
+    def test_without_rs_asn_communities_inert(self):
+        server = RouteServer()
+        for peer in PEERS:
+            server.add_peer(peer, asn=ASNS[peer])
+        server.announce(
+            "B",
+            "10.0.0.0/8",
+            RouteAttributes(
+                as_path=[65002, 65100],
+                next_hop="172.0.0.11",
+                communities=[f"0:{ASNS['A']}"],
+            ),
+        )
+        assert server.best_route("A", "10.0.0.0/8") is not None

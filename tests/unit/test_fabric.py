@@ -1,0 +1,125 @@
+"""Unit tests for the fabric and hosts."""
+
+import pytest
+
+from repro.dataplane.fabric import Endpoint, Fabric, Host
+from repro.dataplane.switch import Node, SDNSwitch
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+from repro.policy.packet import Packet
+
+
+class _Repeater(Node):
+    """Forwards everything from port 'in' to port 'out'."""
+
+    def ports(self):
+        return frozenset({"in", "out"})
+
+    def receive(self, packet, in_port):
+        if in_port == "in":
+            return [("out", packet)]
+        return []
+
+
+class _Loop(Node):
+    """Bounces packets back and forth forever."""
+
+    def ports(self):
+        return frozenset({"p"})
+
+    def receive(self, packet, in_port):
+        return [("p", packet)]
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        fabric = Fabric()
+        fabric.add_node(Host("h", "10.0.0.1", "02:de:00:00:00:01"))
+        with pytest.raises(ValueError):
+            fabric.add_node(Host("h", "10.0.0.2", "02:de:00:00:00:02"))
+
+    def test_link_validates_nodes_and_ports(self):
+        fabric = Fabric()
+        fabric.add_node(Host("h1", "10.0.0.1", "02:de:00:00:00:01"))
+        fabric.add_node(Host("h2", "10.0.0.2", "02:de:00:00:00:02"))
+        with pytest.raises(ValueError):
+            fabric.link(("h1", "eth0"), ("nowhere", "eth0"))
+        with pytest.raises(ValueError):
+            fabric.link(("h1", "eth9"), ("h2", "eth0"))
+        fabric.link(("h1", "eth0"), ("h2", "eth0"))
+        with pytest.raises(ValueError):
+            fabric.link(("h1", "eth0"), ("h2", "eth0"))
+
+    def test_peer_lookup(self):
+        fabric = Fabric()
+        fabric.add_node(Host("h1", "10.0.0.1", "02:de:00:00:00:01"))
+        fabric.add_node(Host("h2", "10.0.0.2", "02:de:00:00:00:02"))
+        fabric.link(("h1", "eth0"), ("h2", "eth0"))
+        assert fabric.peer(("h1", "eth0")) == Endpoint("h2", "eth0")
+        assert fabric.peer(("h2", "eth0")) == Endpoint("h1", "eth0")
+
+
+class TestDelivery:
+    def build_chain(self):
+        fabric = Fabric()
+        sender = fabric.add_node(Host("sender", "10.0.0.1", "02:de:00:00:00:01"))
+        repeater = fabric.add_node(_Repeater("mid"))
+        receiver = fabric.add_node(Host("receiver", "10.0.0.2", "02:de:00:00:00:02"))
+        fabric.link(("sender", "eth0"), ("mid", "in"))
+        fabric.link(("mid", "out"), ("receiver", "eth0"))
+        return fabric, sender, receiver
+
+    def test_end_to_end_delivery(self):
+        fabric, sender, receiver = self.build_chain()
+        packet = sender.build_packet(dstip="10.0.0.2")
+        hops = fabric.send_from("sender", "eth0", packet)
+        assert hops == 2
+        assert receiver.received == [packet]
+
+    def test_link_counters(self):
+        fabric, sender, receiver = self.build_chain()
+        fabric.send_from("sender", "eth0", sender.build_packet(dstip="10.0.0.2"))
+        assert fabric.traffic_on(("sender", "eth0"), ("mid", "in")) == 1
+        assert fabric.traffic_on(("mid", "out"), ("receiver", "eth0")) == 1
+        fabric.reset_counters()
+        assert fabric.traffic_on(("sender", "eth0"), ("mid", "in")) == 0
+
+    def test_unlinked_port_drops(self):
+        fabric = Fabric()
+        fabric.add_node(Host("h", "10.0.0.1", "02:de:00:00:00:01"))
+        assert fabric.send_from("h", "eth0", Packet(dstip="10.0.0.2")) == 0
+        assert fabric.dropped_unlinked == 1
+
+    def test_hop_limit_stops_loops(self):
+        fabric = Fabric()
+        fabric.add_node(_Loop("l1"))
+        fabric.add_node(_Loop("l2"))
+        fabric.link(("l1", "p"), ("l2", "p"))
+        fabric.send_from("l1", "p", Packet(dstip="10.0.0.1"))
+        assert fabric.hop_limit_drops == 1
+
+    def test_inject_runs_node_logic(self):
+        fabric, sender, receiver = self.build_chain()
+        packet = Packet(srcip="10.0.0.1", dstip="10.0.0.2")
+        hops = fabric.inject("mid", "in", packet)
+        assert hops == 1
+        assert receiver.received == [packet]
+
+
+class TestHost:
+    def test_records_only_own_traffic(self):
+        host = Host("h", "10.0.0.1", "02:de:00:00:00:01")
+        host.receive(Packet(dstip="10.0.0.1"), "eth0")
+        host.receive(Packet(dstip="10.0.0.9"), "eth0")
+        assert len(host.received) == 1
+
+    def test_promiscuous_records_everything(self):
+        host = Host("h", "10.0.0.1", "02:de:00:00:00:01", promiscuous=True)
+        host.receive(Packet(dstip="10.0.0.9"), "eth0")
+        assert len(host.received) == 1
+
+    def test_build_packet_prefills_source(self):
+        host = Host("h", "10.0.0.1", "02:de:00:00:00:01")
+        packet = host.build_packet(dstip="10.0.0.2", dstport=80)
+        assert str(packet["srcip"]) == "10.0.0.1"
+        assert packet["srcmac"] == host.hardware
+        assert packet["dstport"] == 80

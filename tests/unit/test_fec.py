@@ -1,0 +1,155 @@
+"""Unit tests for FEC computation and the MDS algorithms."""
+
+import pytest
+
+from repro.core.fec import (
+    FECTable,
+    PrefixGroup,
+    compute_fec_table,
+    minimum_disjoint_subsets,
+    minimum_disjoint_subsets_naive,
+)
+from repro.core.vmac import VirtualNextHopAllocator
+from repro.netutils.ip import IPv4Prefix
+
+P1, P2, P3, P4, P5 = (IPv4Prefix(f"10.{i}.0.0/16") for i in range(1, 6))
+
+
+class TestMDS:
+    def test_paper_worked_example(self):
+        """Section 4.2: C = {{p1,p2,p3},{p1,p2,p3,p4},{p1,p2,p4},{p3}}
+        yields C' = {{p1,p2},{p3},{p4}}."""
+        collection = [
+            frozenset({P1, P2, P3}),
+            frozenset({P1, P2, P3, P4}),
+            frozenset({P1, P2, P4}),
+            frozenset({P3}),
+        ]
+        groups = {frozenset(g) for g in minimum_disjoint_subsets(collection)}
+        assert groups == {
+            frozenset({P1, P2}),
+            frozenset({P3}),
+            frozenset({P4}),
+        }
+
+    def test_empty_collection(self):
+        assert minimum_disjoint_subsets([]) == []
+        assert minimum_disjoint_subsets_naive([]) == []
+
+    def test_disjoint_inputs_pass_through(self):
+        collection = [frozenset({P1}), frozenset({P2, P3})]
+        groups = {frozenset(g) for g in minimum_disjoint_subsets(collection)}
+        assert groups == {frozenset({P1}), frozenset({P2, P3})}
+
+    def test_identical_sets_collapse(self):
+        collection = [frozenset({P1, P2}), frozenset({P1, P2})]
+        groups = minimum_disjoint_subsets(collection)
+        assert len(groups) == 1
+
+    def test_output_is_partition_of_union(self):
+        collection = [frozenset({P1, P2, P3}), frozenset({P2, P4}), frozenset({P5})]
+        groups = minimum_disjoint_subsets(collection)
+        union = set().union(*groups)
+        assert union == {P1, P2, P3, P4, P5}
+        total = sum(len(g) for g in groups)
+        assert total == len(union)  # pairwise disjoint
+
+    def test_naive_agrees_with_signature(self):
+        collection = [
+            frozenset({P1, P2, P3}),
+            frozenset({P1, P2, P3, P4}),
+            frozenset({P1, P2, P4}),
+            frozenset({P3}),
+            frozenset({P5, P1}),
+        ]
+        fast = {frozenset(g) for g in minimum_disjoint_subsets(collection)}
+        slow = {frozenset(g) for g in minimum_disjoint_subsets_naive(collection)}
+        assert fast == slow
+
+
+class TestComputeFECTable:
+    def fingerprint_all_same(self, prefix):
+        return "same"
+
+    def test_groups_by_policy_signature(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        table = compute_fec_table(
+            [frozenset({P1, P2, P3}), frozenset({P1, P2, P4})],
+            self.fingerprint_all_same,
+            allocator,
+        )
+        groups = {frozenset(g.prefixes) for g in table.groups}
+        assert groups == {frozenset({P1, P2}), frozenset({P3}), frozenset({P4})}
+
+    def test_fingerprint_splits_groups(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        table = compute_fec_table(
+            [frozenset({P1, P2})],
+            lambda prefix: str(prefix),  # every prefix distinct
+            allocator,
+        )
+        assert len(table.groups) == 2
+
+    def test_unaffected_prefixes_absent(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        table = compute_fec_table([frozenset({P1})], self.fingerprint_all_same, allocator)
+        assert table.group_for(P5) is None
+        assert table.vnh_for(P5) is None
+
+    def test_every_group_gets_unique_vnh(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        table = compute_fec_table(
+            [frozenset({P1}), frozenset({P2}), frozenset({P3})],
+            self.fingerprint_all_same,
+            allocator,
+        )
+        vnhs = {g.vnh.address for g in table.groups}
+        assert len(vnhs) == 3
+        assert all(g.is_affected for g in table.groups)
+
+    def test_deterministic_group_ids(self):
+        def build():
+            allocator = VirtualNextHopAllocator("172.16.0.0/24")
+            table = compute_fec_table(
+                [frozenset({P1, P2}), frozenset({P3})],
+                self.fingerprint_all_same,
+                allocator,
+            )
+            return [(g.group_id, frozenset(g.prefixes)) for g in table.groups]
+
+        assert build() == build()
+
+
+class TestFECTable:
+    def build(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        return compute_fec_table(
+            [frozenset({P1, P2}), frozenset({P3})],
+            lambda prefix: "x",
+            allocator,
+        )
+
+    def test_group_for_lookup(self):
+        table = self.build()
+        assert table.group_for(P1) is table.group_for(P2)
+        assert table.group_for(P3) is not table.group_for(P1)
+        assert table.group_for("10.1.0.0/16") is table.group_for(P1)
+
+    def test_vnh_for(self):
+        table = self.build()
+        assert table.vnh_for(P1) == table.group_for(P1).vnh
+
+    def test_groups_covering_dedupes(self):
+        table = self.build()
+        covering = table.groups_covering([P1, P2, P3])
+        assert len(covering) == 2
+
+    def test_len_iter_repr(self):
+        table = self.build()
+        assert len(table) == 2
+        assert len(list(table)) == 2
+        assert "groups=2" in repr(table)
+
+    def test_affected_groups(self):
+        table = self.build()
+        assert len(table.affected_groups) == 2

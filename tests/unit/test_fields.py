@@ -1,0 +1,88 @@
+"""Unit tests for the header-field registry."""
+
+import pytest
+
+from repro.netutils.fields import (
+    FIELDS,
+    match_value_covers,
+    match_values_intersect,
+    normalize_match_value,
+    normalize_packet_value,
+    value_satisfies_match,
+)
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+from repro.netutils.mac import MACAddress
+
+
+class TestNormalization:
+    def test_packet_ip_field(self):
+        assert normalize_packet_value("srcip", "10.0.0.1") == IPv4Address("10.0.0.1")
+
+    def test_packet_mac_field(self):
+        value = normalize_packet_value("dstmac", "02:00:00:00:00:01")
+        assert isinstance(value, MACAddress)
+
+    def test_packet_int_field(self):
+        assert normalize_packet_value("dstport", "80") == 80
+
+    def test_packet_any_field_passthrough(self):
+        assert normalize_packet_value("port", "A1") == "A1"
+
+    def test_packet_none_passthrough(self):
+        assert normalize_packet_value("dstport", None) is None
+
+    def test_match_ip_bare_address_becomes_host_prefix(self):
+        value = normalize_match_value("dstip", "10.0.0.1")
+        assert value == IPv4Prefix("10.0.0.1/32")
+
+    def test_match_ip_cidr(self):
+        assert normalize_match_value("dstip", "10.0.0.0/8") == IPv4Prefix("10.0.0.0/8")
+
+    def test_match_ip_address_object(self):
+        value = normalize_match_value("srcip", IPv4Address("1.2.3.4"))
+        assert value == IPv4Prefix("1.2.3.4/32")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_match_value("nosuch", 1)
+        with pytest.raises(ValueError):
+            normalize_packet_value("nosuch", 1)
+
+    def test_registry_is_complete(self):
+        for expected in ("switch", "port", "srcmac", "dstmac", "srcip", "dstip",
+                         "proto", "srcport", "dstport", "ethtype", "vlan", "tos"):
+            assert expected in FIELDS
+
+
+class TestComparison:
+    def test_ip_intersection_nested(self):
+        left = normalize_match_value("dstip", "10.0.0.0/8")
+        right = normalize_match_value("dstip", "10.1.0.0/16")
+        assert match_values_intersect("dstip", left, right) == right
+
+    def test_ip_intersection_disjoint(self):
+        left = normalize_match_value("dstip", "10.0.0.0/8")
+        right = normalize_match_value("dstip", "11.0.0.0/8")
+        assert match_values_intersect("dstip", left, right) is None
+
+    def test_exact_intersection(self):
+        assert match_values_intersect("dstport", 80, 80) == 80
+        assert match_values_intersect("dstport", 80, 443) is None
+
+    def test_covers_ip(self):
+        general = normalize_match_value("dstip", "10.0.0.0/8")
+        specific = normalize_match_value("dstip", "10.1.0.0/16")
+        assert match_value_covers("dstip", general, specific)
+        assert not match_value_covers("dstip", specific, general)
+
+    def test_covers_exact(self):
+        assert match_value_covers("dstport", 80, 80)
+        assert not match_value_covers("dstport", 80, 443)
+
+    def test_satisfies_ip(self):
+        constraint = normalize_match_value("dstip", "10.0.0.0/8")
+        assert value_satisfies_match("dstip", IPv4Address("10.9.9.9"), constraint)
+        assert not value_satisfies_match("dstip", IPv4Address("11.0.0.1"), constraint)
+
+    def test_satisfies_missing_value(self):
+        assert not value_satisfies_match("dstport", None, 80)

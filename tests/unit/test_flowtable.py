@@ -1,0 +1,108 @@
+"""Unit tests for flow tables and rules."""
+
+from repro.dataplane.flowtable import FlowRule, FlowTable
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+from repro.policy.packet import Packet
+
+
+def rule(priority, actions=(Action(port="out"),), cookie=None, **constraints):
+    return FlowRule(priority, HeaderMatch(**constraints), actions, cookie=cookie)
+
+
+class TestFlowRule:
+    def test_counters(self):
+        entry = rule(1)
+        entry.count(100)
+        entry.count(50)
+        assert entry.packets == 2 and entry.bytes == 150
+
+    def test_drop_detection(self):
+        assert FlowRule(1, HeaderMatch.ANY, ()).is_drop
+        assert not rule(1).is_drop
+
+    def test_rule_ids_unique(self):
+        assert rule(1).rule_id != rule(1).rule_id
+
+
+class TestFlowTable:
+    def test_priority_order(self):
+        table = FlowTable()
+        low = table.install(rule(1, dstport=80))
+        high = table.install(rule(10, dstport=80))
+        assert table.lookup(Packet(dstport=80)) is high
+        table.remove(high)
+        assert table.lookup(Packet(dstport=80)) is low
+
+    def test_equal_priority_insertion_order(self):
+        table = FlowTable()
+        first = table.install(rule(5, dstport=80))
+        table.install(rule(5, dstport=80))
+        assert table.lookup(Packet(dstport=80)) is first
+
+    def test_miss_counted(self):
+        table = FlowTable()
+        table.install(rule(1, dstport=80))
+        assert table.process(Packet(dstport=22)) == frozenset()
+        assert table.misses == 1
+
+    def test_process_applies_actions_and_counts(self):
+        table = FlowTable()
+        entry = table.install(rule(1, dstport=80))
+        out = table.process(Packet(dstport=80), packet_bytes=64)
+        assert {p["port"] for p in out} == {"out"}
+        assert entry.packets == 1 and entry.bytes == 64
+
+    def test_drop_rule_matches_and_counts(self):
+        table = FlowTable()
+        drop_rule = table.install(FlowRule(10, HeaderMatch(dstport=80), ()))
+        table.install(rule(1, dstport=80))
+        assert table.process(Packet(dstport=80)) == frozenset()
+        assert drop_rule.packets == 1
+        assert table.misses == 0
+
+    def test_install_classifier_preserves_order(self):
+        classifier = Classifier(
+            [
+                Rule(HeaderMatch(dstport=80), (Action(port="B"),)),
+                Rule(HeaderMatch.ANY, (Action(port="C"),)),
+            ]
+        )
+        table = FlowTable()
+        table.install_classifier(classifier, base_priority=100)
+        assert {p["port"] for p in table.process(Packet(dstport=80))} == {"B"}
+        assert {p["port"] for p in table.process(Packet(dstport=22))} == {"C"}
+        priorities = [entry.priority for entry in table]
+        assert priorities == sorted(priorities, reverse=True)
+        assert min(priorities) > 100
+
+    def test_classifier_blocks_stack_by_priority(self):
+        base = Classifier([Rule(HeaderMatch.ANY, (Action(port="old"),))])
+        override = Classifier([Rule(HeaderMatch(dstport=80), (Action(port="new"),))])
+        table = FlowTable()
+        table.install_classifier(base, base_priority=100, cookie="base")
+        table.install_classifier(override, base_priority=1000, cookie="fast")
+        assert {p["port"] for p in table.process(Packet(dstport=80))} == {"new"}
+        assert {p["port"] for p in table.process(Packet(dstport=22))} == {"old"}
+
+    def test_remove_by_cookie(self):
+        table = FlowTable()
+        table.install(rule(1, cookie="a", dstport=80))
+        table.install(rule(2, cookie="a", dstport=443))
+        table.install(rule(3, cookie="b", dstport=22))
+        assert table.remove_by_cookie("a") == 2
+        assert len(table) == 1
+
+    def test_counters_by_cookie(self):
+        table = FlowTable()
+        table.install(rule(2, cookie="x", dstport=80))
+        table.install(rule(1, cookie="y", dstport=443))
+        table.process(Packet(dstport=80), packet_bytes=10)
+        table.process(Packet(dstport=443), packet_bytes=20)
+        totals = table.counters_by_cookie()
+        assert totals["x"] == (1, 10) and totals["y"] == (1, 20)
+
+    def test_clear(self):
+        table = FlowTable()
+        table.install(rule(1))
+        table.clear()
+        assert len(table) == 0

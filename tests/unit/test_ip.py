@@ -1,0 +1,230 @@
+"""Unit tests for IPv4 addresses, prefixes, and the prefix trie."""
+
+import pytest
+
+from repro.netutils.ip import IPv4Address, IPv4Prefix, PrefixTrie, ip, prefix
+
+
+class TestIPv4Address:
+    def test_parse_dotted_quad(self):
+        assert int(ip("10.0.0.1")) == (10 << 24) + 1
+
+    def test_parse_int(self):
+        assert str(IPv4Address(0x0A000001)) == "10.0.0.1"
+
+    def test_parse_copy_constructor(self):
+        original = ip("1.2.3.4")
+        assert IPv4Address(original) == original
+
+    def test_round_trip(self):
+        for text in ("0.0.0.0", "255.255.255.255", "192.168.1.77"):
+            assert str(ip(text)) == text
+
+    def test_rejects_bad_strings(self):
+        for bad in ("10.0.0", "10.0.0.256", "a.b.c.d", "10..0.1", "10.0.0.1.2"):
+            with pytest.raises(ValueError):
+                ip(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            IPv4Address(1 << 32)
+        with pytest.raises(ValueError):
+            IPv4Address(-1)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            IPv4Address(1.5)
+
+    def test_ordering(self):
+        assert ip("10.0.0.1") < ip("10.0.0.2") <= ip("10.0.0.2")
+        assert ip("10.0.1.0") > ip("10.0.0.255")
+
+    def test_no_implicit_string_equality(self):
+        # a == b must imply hash(a) == hash(b); strings never compare equal
+        assert ip("10.0.0.1") != "10.0.0.1"
+
+    def test_hashable(self):
+        assert len({ip("1.1.1.1"), ip("1.1.1.1"), ip("2.2.2.2")}) == 2
+
+    def test_add_offset(self):
+        assert ip("10.0.0.1") + 255 == ip("10.0.1.0")
+
+    def test_to_prefix(self):
+        host = ip("10.0.0.1").to_prefix()
+        assert host.length == 32 and host.network == ip("10.0.0.1")
+
+    def test_repr(self):
+        assert "10.0.0.1" in repr(ip("10.0.0.1"))
+
+
+class TestIPv4Prefix:
+    def test_parse_cidr(self):
+        pfx = prefix("10.0.0.0/8")
+        assert pfx.length == 8 and str(pfx.network) == "10.0.0.0"
+
+    def test_two_argument_form(self):
+        assert prefix("10.0.0.0", 8) == prefix("10.0.0.0/8")
+
+    def test_canonicalizes_host_bits(self):
+        assert prefix("10.1.2.3/8") == prefix("10.0.0.0/8")
+
+    def test_rejects_double_length(self):
+        with pytest.raises(ValueError):
+            IPv4Prefix("10.0.0.0/8", 8)
+
+    def test_rejects_bad_length(self):
+        for bad in (-1, 33):
+            with pytest.raises(ValueError):
+                IPv4Prefix("10.0.0.0", bad)
+
+    def test_requires_length(self):
+        with pytest.raises(ValueError):
+            IPv4Prefix("10.0.0.0")
+
+    def test_netmask(self):
+        assert str(prefix("10.0.0.0/8").netmask) == "255.0.0.0"
+        assert str(prefix("0.0.0.0/0").netmask) == "0.0.0.0"
+
+    def test_num_addresses(self):
+        assert prefix("10.0.0.0/24").num_addresses == 256
+        assert prefix("1.2.3.4/32").num_addresses == 1
+
+    def test_broadcast(self):
+        assert prefix("10.0.0.0/24").broadcast == ip("10.0.0.255")
+
+    def test_host_indexing(self):
+        pfx = prefix("10.0.0.0/24")
+        assert pfx.host(0) == ip("10.0.0.0")
+        assert pfx.host(255) == ip("10.0.0.255")
+        with pytest.raises(ValueError):
+            pfx.host(256)
+
+    def test_contains_address(self):
+        pfx = prefix("10.0.0.0/8")
+        assert ip("10.255.0.1") in pfx
+        assert "10.0.0.1" in pfx
+        assert ip("11.0.0.0") not in pfx
+
+    def test_contains_prefix(self):
+        assert prefix("10.1.0.0/16") in prefix("10.0.0.0/8")
+        assert prefix("10.0.0.0/8") not in prefix("10.1.0.0/16")
+        assert prefix("10.0.0.0/8") in prefix("10.0.0.0/8")
+
+    def test_overlaps(self):
+        assert prefix("10.0.0.0/8").overlaps(prefix("10.1.0.0/16"))
+        assert prefix("10.1.0.0/16").overlaps(prefix("10.0.0.0/8"))
+        assert not prefix("10.0.0.0/8").overlaps(prefix("11.0.0.0/8"))
+
+    def test_intersection_nested(self):
+        outer, inner = prefix("10.0.0.0/8"), prefix("10.1.0.0/16")
+        assert outer.intersection(inner) == inner
+        assert inner.intersection(outer) == inner
+
+    def test_intersection_disjoint(self):
+        assert prefix("10.0.0.0/8").intersection(prefix("11.0.0.0/8")) is None
+
+    def test_subnets(self):
+        subnets = list(prefix("10.0.0.0/30").subnets(32))
+        assert [str(s) for s in subnets] == [
+            "10.0.0.0/32",
+            "10.0.0.1/32",
+            "10.0.0.2/32",
+            "10.0.0.3/32",
+        ]
+        with pytest.raises(ValueError):
+            list(prefix("10.0.0.0/24").subnets(8))
+
+    def test_supernet(self):
+        assert prefix("10.1.0.0/16").supernet(8) == prefix("10.0.0.0/8")
+        assert prefix("10.1.0.0/16").supernet() == prefix("10.0.0.0/15")
+        with pytest.raises(ValueError):
+            prefix("10.0.0.0/8").supernet(16)
+
+    def test_sorting(self):
+        assert prefix("9.0.0.0/8") < prefix("10.0.0.0/8") < prefix("10.0.0.0/9")
+
+    def test_no_implicit_string_equality(self):
+        assert prefix("10.0.0.0/8") != "10.0.0.0/8"
+
+    def test_hashable(self):
+        assert len({prefix("10.0.0.0/8"), prefix("10.1.2.3/8")}) == 1
+
+
+class TestPrefixTrie:
+    def test_empty(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0 and not trie
+        assert trie.longest_match("10.0.0.1") is None
+
+    def test_insert_lookup(self):
+        trie = PrefixTrie()
+        trie[prefix("10.0.0.0/8")] = "a"
+        assert trie[prefix("10.0.0.0/8")] == "a"
+        assert prefix("10.0.0.0/8") in trie
+        assert len(trie) == 1
+
+    def test_exact_match_only_for_getitem(self):
+        trie = PrefixTrie()
+        trie[prefix("10.0.0.0/8")] = "a"
+        with pytest.raises(KeyError):
+            trie[prefix("10.0.0.0/16")]
+
+    def test_overwrite_keeps_size(self):
+        trie = PrefixTrie()
+        trie[prefix("10.0.0.0/8")] = "a"
+        trie[prefix("10.0.0.0/8")] = "b"
+        assert len(trie) == 1 and trie[prefix("10.0.0.0/8")] == "b"
+
+    def test_delete(self):
+        trie = PrefixTrie()
+        trie[prefix("10.0.0.0/8")] = "a"
+        del trie[prefix("10.0.0.0/8")]
+        assert len(trie) == 0
+        with pytest.raises(KeyError):
+            del trie[prefix("10.0.0.0/8")]
+
+    def test_get_default(self):
+        trie = PrefixTrie()
+        assert trie.get(prefix("10.0.0.0/8"), "missing") == "missing"
+
+    def test_longest_match_prefers_specific(self):
+        trie = PrefixTrie()
+        trie[prefix("10.0.0.0/8")] = "general"
+        trie[prefix("10.1.0.0/16")] = "specific"
+        matched, value = trie.longest_match("10.1.2.3")
+        assert value == "specific" and matched == prefix("10.1.0.0/16")
+        matched, value = trie.longest_match("10.2.0.1")
+        assert value == "general" and matched == prefix("10.0.0.0/8")
+
+    def test_longest_match_default_route(self):
+        trie = PrefixTrie()
+        trie[prefix("0.0.0.0/0")] = "default"
+        assert trie.longest_match("203.0.113.7")[1] == "default"
+
+    def test_longest_match_host_route(self):
+        trie = PrefixTrie()
+        trie[prefix("10.0.0.1/32")] = "host"
+        assert trie.longest_match("10.0.0.1")[1] == "host"
+        assert trie.longest_match("10.0.0.2") is None
+
+    def test_covered_by(self):
+        trie = PrefixTrie()
+        trie[prefix("10.1.0.0/16")] = 1
+        trie[prefix("10.2.0.0/16")] = 2
+        trie[prefix("11.0.0.0/8")] = 3
+        covered = dict(trie.covered_by(prefix("10.0.0.0/8")))
+        assert covered == {prefix("10.1.0.0/16"): 1, prefix("10.2.0.0/16"): 2}
+
+    def test_items_iterates_everything(self):
+        entries = {prefix(f"10.{i}.0.0/16"): i for i in range(20)}
+        trie = PrefixTrie(entries.items())
+        assert dict(trie.items()) == entries
+        assert set(trie.keys()) == set(entries)
+
+    def test_zero_length_prefix_storable(self):
+        trie = PrefixTrie()
+        trie[prefix("0.0.0.0/0")] = "root"
+        assert trie[prefix("0.0.0.0/0")] == "root"
+        trie[prefix("128.0.0.0/1")] = "top-half"
+        assert trie.longest_match("200.0.0.0")[1] == "top-half"
+        assert trie.longest_match("1.0.0.0")[1] == "root"

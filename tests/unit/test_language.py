@@ -1,0 +1,204 @@
+"""Unit tests for the policy language: predicates, policies, composition."""
+
+import pytest
+
+from repro.policy import (
+    Packet,
+    drop,
+    false_,
+    fwd,
+    identity,
+    if_,
+    match,
+    modify,
+    parallel,
+    sequential,
+    true_,
+    union_match,
+)
+from repro.policy.classifier import HeaderMatch
+from repro.policy.language import (
+    Forward,
+    Intersection,
+    Match,
+    Negation,
+    Parallel,
+    Sequential,
+    Union,
+)
+
+WEB = Packet(dstport=80, srcip="10.0.0.1", dstip="8.8.8.8", port="A1")
+SSH = Packet(dstport=22, srcip="10.0.0.1", dstip="8.8.8.8", port="A1")
+
+
+def both_eval(policy, packet):
+    """Evaluate through the interpreter and the compiled classifier."""
+    ast_out = policy.eval(packet)
+    cls_out = policy.compile().eval(packet)
+    assert ast_out == cls_out, f"AST/classifier divergence for {policy!r} on {packet!r}"
+    return ast_out
+
+
+class TestPredicates:
+    def test_true_false(self):
+        assert both_eval(true_, WEB) == {WEB}
+        assert both_eval(false_, WEB) == frozenset()
+
+    def test_match_single_field(self):
+        assert both_eval(match(dstport=80), WEB) == {WEB}
+        assert both_eval(match(dstport=80), SSH) == frozenset()
+
+    def test_match_conjunction_in_kwargs(self):
+        predicate = match(dstport=80, srcip="10.0.0.0/8")
+        assert predicate.test(WEB)
+        assert not predicate.test(WEB.modify(srcip="11.0.0.1"))
+
+    def test_match_set_expands_to_alternatives(self):
+        predicate = match(dstport={80, 443})
+        assert predicate.test(WEB)
+        assert predicate.test(WEB.modify(dstport=443))
+        assert not predicate.test(SSH)
+        assert len(predicate.header_matches) == 2
+
+    def test_match_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            match(dstport=set())
+
+    def test_and_or_invert(self):
+        p = match(dstport=80) & match(srcip="10.0.0.0/8")
+        assert both_eval(p, WEB) == {WEB}
+        q = match(dstport=22) | match(dstport=80)
+        assert both_eval(q, WEB) == {WEB}
+        assert both_eval(q, WEB.modify(dstport=23)) == frozenset()
+        n = ~match(dstport=80)
+        assert both_eval(n, SSH) == {SSH}
+        assert both_eval(n, WEB) == frozenset()
+
+    def test_de_morgan(self):
+        for pkt in (WEB, SSH, WEB.modify(srcip="11.1.1.1")):
+            lhs = ~(match(dstport=80) | match(srcip="10.0.0.0/8"))
+            rhs = ~match(dstport=80) & ~match(srcip="10.0.0.0/8")
+            assert both_eval(lhs, pkt) == both_eval(rhs, pkt)
+
+    def test_double_negation(self):
+        p = ~~match(dstport=80)
+        assert both_eval(p, WEB) == {WEB}
+        assert both_eval(p, SSH) == frozenset()
+
+    def test_boolean_combinators_flatten(self):
+        u = Union(match(dstport=80), Union(match(dstport=443), match(dstport=22)))
+        assert len(u.predicates) == 3
+        i = Intersection(match(dstport=80), Intersection(true_, true_))
+        assert len(i.predicates) == 3
+
+    def test_negation_requires_filter(self):
+        with pytest.raises(TypeError):
+            Negation(fwd("B"))
+        with pytest.raises(TypeError):
+            Union(fwd("B"), true_)
+
+    def test_union_match_builder(self):
+        predicate = union_match([HeaderMatch(dstport=80), HeaderMatch(dstport=22)])
+        assert predicate.test(WEB) and predicate.test(SSH)
+        assert union_match([]) is false_
+        assert union_match([HeaderMatch.ANY]) is true_
+
+
+class TestPolicies:
+    def test_identity_and_drop(self):
+        assert both_eval(identity, WEB) == {WEB}
+        assert both_eval(drop, WEB) == frozenset()
+
+    def test_fwd_sets_location(self):
+        out = both_eval(fwd("B"), WEB)
+        assert out == {WEB.modify(port="B")}
+
+    def test_modify_rewrites(self):
+        out = both_eval(modify(dstip="74.125.1.1"), WEB)
+        (pkt,) = out
+        assert str(pkt["dstip"]) == "74.125.1.1"
+
+    def test_sequential_filter_then_forward(self):
+        policy = match(dstport=80) >> fwd("B")
+        assert both_eval(policy, WEB) == {WEB.modify(port="B")}
+        assert both_eval(policy, SSH) == frozenset()
+
+    def test_parallel_application_specific_peering(self):
+        policy = (match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C"))
+        assert both_eval(policy, WEB) == {WEB.modify(port="B")}
+        https = WEB.modify(dstport=443)
+        assert both_eval(policy, https) == {https.modify(port="C")}
+        assert both_eval(policy, SSH) == frozenset()
+
+    def test_parallel_multicast_on_overlap(self):
+        policy = (match(dstport=80) >> fwd("B")) + (match(srcip="10.0.0.0/8") >> fwd("C"))
+        out = both_eval(policy, WEB)
+        assert {p["port"] for p in out} == {"B", "C"}
+
+    def test_sequence_of_modifications_compose(self):
+        policy = modify(dstip="1.1.1.1") >> modify(dstport=8080) >> fwd("B")
+        (pkt,) = both_eval(policy, WEB)
+        assert str(pkt["dstip"]) == "1.1.1.1" and pkt["dstport"] == 8080 and pkt["port"] == "B"
+
+    def test_drop_absorbs_sequence(self):
+        policy = match(dstport=80) >> drop >> fwd("B")
+        assert both_eval(policy, WEB) == frozenset()
+
+    def test_if_branches(self):
+        policy = if_(match(srcip="96.25.160.0/24"), modify(dstip="74.125.224.161"), identity)
+        inside = Packet(srcip="96.25.160.9", dstip="74.125.1.1")
+        outside = Packet(srcip="1.2.3.4", dstip="74.125.1.1")
+        (rewritten,) = both_eval(policy, inside)
+        assert str(rewritten["dstip"]) == "74.125.224.161"
+        assert both_eval(policy, outside) == {outside}
+
+    def test_if_requires_filter(self):
+        with pytest.raises(TypeError):
+            if_(fwd("B"), identity, drop)
+
+    def test_nary_helpers(self):
+        assert sequential() is identity
+        assert parallel() is drop
+        assert sequential(fwd("B")) == fwd("B")
+        assert parallel(fwd("B")) == fwd("B")
+        assert isinstance(sequential(true_, fwd("B")), Sequential)
+        assert isinstance(parallel(fwd("B"), fwd("C")), Parallel)
+
+    def test_combinators_flatten(self):
+        nested = (fwd("A") + fwd("B")) + fwd("C")
+        assert len(nested.policies) == 3
+        chained = (true_ >> fwd("A")) >> fwd("B")
+        assert len(chained.policies) == 3
+
+
+class TestASTTools:
+    def test_equality_and_hash(self):
+        a = (match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C"))
+        b = (match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C"))
+        assert a == b and hash(a) == hash(b)
+        assert a != (match(dstport=80) >> fwd("C"))
+
+    def test_walk_visits_descendants(self):
+        policy = (match(dstport=80) >> fwd("B")) + drop
+        kinds = {type(node).__name__ for node in policy.walk()}
+        assert {"Parallel", "Sequential", "Match", "Forward", "Drop"} <= kinds
+
+    def test_transform_rewrites_targets(self):
+        policy = (match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C"))
+
+        def retarget(node):
+            if isinstance(node, Forward) and node.port == "B":
+                return fwd("B-new")
+            return None
+
+        rewritten = policy.transform(retarget)
+        ports = {node.port for node in rewritten.walk() if isinstance(node, Forward)}
+        assert ports == {"B-new", "C"}
+        # original is untouched
+        ports = {node.port for node in policy.walk() if isinstance(node, Forward)}
+        assert ports == {"B", "C"}
+
+    def test_repr_round_trips_visually(self):
+        policy = (match(dstport=80) >> fwd("B")) + drop
+        text = repr(policy)
+        assert "match" in text and "fwd" in text and "drop" in text

@@ -1,0 +1,80 @@
+"""Unit tests for MAC addresses and the VMAC allocator block."""
+
+import pytest
+
+from repro.netutils.mac import MACAddress, MACAllocator, mac
+
+
+class TestMACAddress:
+    def test_parse_colon_hex(self):
+        assert int(mac("00:00:00:00:00:ff")) == 255
+
+    def test_round_trip(self):
+        for text in ("00:00:00:00:00:00", "ff:ff:ff:ff:ff:ff", "08:00:27:a1:b2:c3"):
+            assert str(mac(text)) == text
+
+    def test_case_insensitive(self):
+        assert mac("AA:BB:CC:DD:EE:FF") == mac("aa:bb:cc:dd:ee:ff")
+
+    def test_from_int(self):
+        assert str(MACAddress(0x080027000001)) == "08:00:27:00:00:01"
+
+    def test_copy_constructor(self):
+        original = mac("02:00:00:00:00:01")
+        assert MACAddress(original) == original
+
+    def test_rejects_bad_strings(self):
+        for bad in ("0:0:0:0:0:0", "00-00-00-00-00-00", "00:00:00:00:00", "zz:00:00:00:00:00"):
+            with pytest.raises(ValueError):
+                mac(bad)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            MACAddress(1 << 48)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            MACAddress(3.14)
+
+    def test_locally_administered_bit(self):
+        assert mac("02:00:00:00:00:00").is_locally_administered
+        assert not mac("08:00:27:00:00:01").is_locally_administered
+
+    def test_ordering_and_hash(self):
+        a, b = mac("02:00:00:00:00:01"), mac("02:00:00:00:00:02")
+        assert a < b
+        assert len({a, MACAddress(a), b}) == 2
+
+    def test_no_implicit_string_equality(self):
+        assert mac("02:00:00:00:00:01") != "02:00:00:00:00:01"
+
+
+class TestMACAllocator:
+    def test_sequential_allocation(self):
+        allocator = MACAllocator(base="02:a5:00:00:00:00")
+        first, second = allocator.allocate(), allocator.allocate()
+        assert str(first) == "02:a5:00:00:00:00"
+        assert str(second) == "02:a5:00:00:00:01"
+        assert allocator.allocated == 2
+
+    def test_allocations_are_locally_administered(self):
+        allocator = MACAllocator()
+        assert allocator.allocate().is_locally_administered
+
+    def test_allocate_many(self):
+        allocator = MACAllocator()
+        addresses = list(allocator.allocate_many(10))
+        assert len(set(addresses)) == 10
+
+    def test_exhaustion(self):
+        allocator = MACAllocator(capacity=2)
+        allocator.allocate()
+        allocator.allocate()
+        with pytest.raises(RuntimeError):
+            allocator.allocate()
+
+    def test_reset(self):
+        allocator = MACAllocator()
+        first = allocator.allocate()
+        allocator.reset()
+        assert allocator.allocate() == first

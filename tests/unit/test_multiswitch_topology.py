@@ -1,0 +1,74 @@
+"""Unit tests for the multi-switch topology model."""
+
+import pytest
+
+from repro.core.multiswitch import SwitchTopology
+
+
+def triangle():
+    return SwitchTopology(
+        switches={"s1": ["A1"], "s2": ["B1"], "s3": ["C1"]},
+        links=[
+            (("s1", "u12"), ("s2", "u21")),
+            (("s2", "u23"), ("s3", "u32")),
+            (("s3", "u31"), ("s1", "u13")),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_requires_a_switch(self):
+        with pytest.raises(ValueError):
+            SwitchTopology(switches={})
+
+    def test_duplicate_edge_ports_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchTopology(switches={"s1": ["A1"], "s2": ["A1"]})
+
+    def test_uplink_colliding_with_edge_port_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchTopology(
+                switches={"s1": ["A1"], "s2": ["B1"]},
+                links=[(("s1", "A1"), ("s2", "u"))],
+            )
+
+    def test_unknown_switch_in_link_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchTopology(
+                switches={"s1": ["A1"]},
+                links=[(("s1", "u"), ("sX", "u"))],
+            )
+
+
+class TestQueries:
+    def test_owner_of(self):
+        topology = triangle()
+        assert topology.owner_of("B1") == "s2"
+        assert topology.owner_of("Z9") is None
+
+    def test_uplink_ports(self):
+        topology = triangle()
+        assert topology.uplink_ports("s1") == {"u12", "u13"}
+
+    def test_next_hop_direct(self):
+        topology = triangle()
+        assert topology.next_hop_port("s1", "s2") == "u12"
+        assert topology.next_hop_port("s2", "s1") == "u21"
+
+    def test_next_hop_to_self_is_none(self):
+        assert triangle().next_hop_port("s1", "s1") is None
+
+    def test_next_hop_multi_hop_chain(self):
+        line = SwitchTopology(
+            switches={"s1": ["A1"], "s2": ["B1"], "s3": ["C1"]},
+            links=[
+                (("s1", "u12"), ("s2", "u21")),
+                (("s2", "u23"), ("s3", "u32")),
+            ],
+        )
+        assert line.next_hop_port("s1", "s3") == "u12"
+        assert line.next_hop_port("s3", "s1") == "u32"
+
+    def test_unreachable_returns_none(self):
+        disconnected = SwitchTopology(switches={"s1": ["A1"], "s2": ["B1"]})
+        assert disconnected.next_hop_port("s1", "s2") is None

@@ -1,0 +1,74 @@
+"""Unit tests for located packets."""
+
+import pytest
+
+from repro.netutils.ip import IPv4Address
+from repro.policy.packet import Packet
+
+
+class TestPacket:
+    def test_construction_normalizes(self):
+        pkt = Packet(srcip="10.0.0.1", dstport="80")
+        assert pkt["srcip"] == IPv4Address("10.0.0.1")
+        assert pkt["dstport"] == 80
+
+    def test_construction_from_mapping_and_kwargs(self):
+        pkt = Packet({"srcip": "10.0.0.1"}, dstport=80)
+        assert pkt["dstport"] == 80 and "srcip" in pkt
+
+    def test_kwargs_override_mapping(self):
+        pkt = Packet({"dstport": 80}, dstport=443)
+        assert pkt["dstport"] == 443
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(nosuchfield=1)
+
+    def test_none_fields_omitted(self):
+        pkt = Packet(srcip="10.0.0.1", dstport=None)
+        assert "dstport" not in pkt
+
+    def test_modify_returns_new_packet(self):
+        original = Packet(dstport=80, port="A1")
+        moved = original.modify(port="B")
+        assert moved["port"] == "B" and original["port"] == "A1"
+        assert moved["dstport"] == 80
+
+    def test_modify_with_none_removes_field(self):
+        pkt = Packet(dstport=80, port="A1").modify(port=None)
+        assert "port" not in pkt
+
+    def test_modify_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            Packet().modify(bogus=1)
+
+    def test_location_property(self):
+        assert Packet(port="A1").location == "A1"
+        assert Packet().location is None
+
+    def test_immutability(self):
+        pkt = Packet(dstport=80)
+        with pytest.raises(AttributeError):
+            pkt.anything = 1
+
+    def test_mapping_interface(self):
+        pkt = Packet(dstport=80, srcport=1234)
+        assert len(pkt) == 2
+        assert set(pkt) == {"dstport", "srcport"}
+        assert pkt.get("dstport") == 80
+        assert pkt.get("proto", 6) == 6
+
+    def test_equality_and_hash(self):
+        a = Packet(dstport=80, srcip="10.0.0.1")
+        b = Packet(srcip="10.0.0.1", dstport=80)
+        c = Packet(dstport=443, srcip="10.0.0.1")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_not_equal_to_dict(self):
+        assert Packet(dstport=80) != {"dstport": 80}
+
+    def test_repr_is_sorted_and_readable(self):
+        text = repr(Packet(dstport=80, srcip="10.0.0.1"))
+        assert "dstport=80" in text and "srcip=10.0.0.1" in text

@@ -1,0 +1,36 @@
+"""Unit tests for participant-facing API objects."""
+
+from repro.core.participant import SDXPolicySet
+from repro.policy import drop, fwd, match
+
+
+class TestSDXPolicySet:
+    def test_empty_detection(self):
+        assert SDXPolicySet().is_empty
+        assert not SDXPolicySet(outbound=fwd("B")).is_empty
+        assert not SDXPolicySet(inbound=fwd("B1")).is_empty
+
+    def test_equality_and_hash(self):
+        a = SDXPolicySet(outbound=match(dstport=80) >> fwd("B"))
+        b = SDXPolicySet(outbound=match(dstport=80) >> fwd("B"))
+        c = SDXPolicySet(outbound=match(dstport=443) >> fwd("B"))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr(self):
+        text = repr(SDXPolicySet(outbound=drop))
+        assert "outbound=drop" in text
+
+
+class TestParticipantHandle:
+    def test_properties(self, figure1_controller):
+        handle = figure1_controller.register_participant("B")
+        assert handle.name == "B" and handle.asn == 65002
+        assert handle.spec.port_ids == ("B1", "B2")
+        assert "B" in repr(handle)
+
+    def test_set_policies_without_recompile(self, figure1_controller):
+        handle = figure1_controller.register_participant("A")
+        handle.set_policies(outbound=match(dstport=80) >> fwd("B"), recompile=False)
+        assert figure1_controller.last_compilation is None
+        assert "A" in figure1_controller.policies()

@@ -1,0 +1,134 @@
+"""Unit tests for the RIB structures."""
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Route
+from repro.bgp.rib import AdjRIBIn, LocRIB, RIBTable
+from repro.netutils.ip import IPv4Prefix
+
+
+def make_route(prefix, peer="B", as_path=(65002, 65100), next_hop="172.0.0.11"):
+    return Route(
+        prefix,
+        RouteAttributes(as_path=list(as_path), next_hop=next_hop),
+        learned_from=peer,
+    )
+
+
+class TestAdjRIBIn:
+    def test_insert_and_lookup(self):
+        rib = AdjRIBIn("B")
+        route = make_route("10.0.0.0/8")
+        assert rib.insert(route) is None
+        assert rib.lookup(IPv4Prefix("10.0.0.0/8")) is route
+        assert len(rib) == 1
+        assert IPv4Prefix("10.0.0.0/8") in rib
+
+    def test_insert_replaces(self):
+        rib = AdjRIBIn("B")
+        old = make_route("10.0.0.0/8")
+        new = make_route("10.0.0.0/8", as_path=(65002, 65101))
+        rib.insert(old)
+        assert rib.insert(new) is old
+        assert rib.lookup(IPv4Prefix("10.0.0.0/8")) is new
+
+    def test_remove(self):
+        rib = AdjRIBIn("B")
+        route = make_route("10.0.0.0/8")
+        rib.insert(route)
+        assert rib.remove(IPv4Prefix("10.0.0.0/8")) is route
+        assert rib.remove(IPv4Prefix("10.0.0.0/8")) is None
+        assert len(rib) == 0
+
+    def test_clear_returns_routes(self):
+        rib = AdjRIBIn("B")
+        rib.insert(make_route("10.0.0.0/8"))
+        rib.insert(make_route("11.0.0.0/8"))
+        cleared = rib.clear()
+        assert len(cleared) == 2 and len(rib) == 0
+
+    def test_prefixes_and_iter(self):
+        rib = AdjRIBIn("B")
+        rib.insert(make_route("10.0.0.0/8"))
+        assert rib.prefixes() == {IPv4Prefix("10.0.0.0/8")}
+        assert [r.prefix for r in rib] == [IPv4Prefix("10.0.0.0/8")]
+
+
+class TestLocRIB:
+    def test_set_prefix_reports_change(self):
+        loc = LocRIB("A")
+        route = make_route("10.0.0.0/8")
+        assert loc.set_prefix(route.prefix, route, (route,))
+        assert not loc.set_prefix(route.prefix, route, (route,))  # unchanged
+
+    def test_best_and_candidates(self):
+        loc = LocRIB("A")
+        best = make_route("10.0.0.0/8", peer="B")
+        alt = make_route("10.0.0.0/8", peer="C", next_hop="172.0.0.21")
+        loc.set_prefix(best.prefix, best, (best, alt))
+        assert loc.best(best.prefix) is best
+        assert loc.candidates(best.prefix) == (best, alt)
+        assert loc.feasible_next_hops(best.prefix) == {"B", "C"}
+
+    def test_removal_via_none(self):
+        loc = LocRIB("A")
+        route = make_route("10.0.0.0/8")
+        loc.set_prefix(route.prefix, route, (route,))
+        assert loc.set_prefix(route.prefix, None, ())
+        assert loc.best(route.prefix) is None
+        assert route.prefix not in loc
+
+    def test_prefixes_via(self):
+        loc = LocRIB("A")
+        b_route = make_route("10.0.0.0/8", peer="B")
+        c_route = make_route("10.0.0.0/8", peer="C")
+        loc.set_prefix(b_route.prefix, b_route, (b_route, c_route))
+        other = make_route("11.0.0.0/8", peer="C")
+        loc.set_prefix(other.prefix, other, (other,))
+        assert loc.prefixes_via("B") == {IPv4Prefix("10.0.0.0/8")}
+        assert loc.prefixes_via("C") == {IPv4Prefix("10.0.0.0/8"), IPv4Prefix("11.0.0.0/8")}
+
+
+class TestRIBTable:
+    def build(self):
+        table = RIBTable()
+        table.add(make_route("10.0.0.0/8", as_path=(65001, 43515)))
+        table.add(make_route("11.0.0.0/8", as_path=(65001, 65002)))
+        table.add(make_route("12.0.0.0/8", as_path=(65002, 43515)))
+        return table
+
+    def test_as_path_regex_filter(self):
+        table = self.build()
+        matched = table.filter("as_path", r".*43515$")
+        assert set(matched) == {IPv4Prefix("10.0.0.0/8"), IPv4Prefix("12.0.0.0/8")}
+
+    def test_originated_by(self):
+        table = self.build()
+        assert set(table.originated_by(43515)) == {
+            IPv4Prefix("10.0.0.0/8"),
+            IPv4Prefix("12.0.0.0/8"),
+        }
+
+    def test_filter_by_predicate(self):
+        table = self.build()
+        matched = table.filter_by(lambda route: route.attributes.as_path.first_as == 65002)
+        assert matched == [IPv4Prefix("12.0.0.0/8")]
+
+    def test_next_hop_filter(self):
+        table = self.build()
+        assert len(table.filter("next_hop", "^172\\.")) == 3
+
+    def test_origin_filter(self):
+        table = self.build()
+        assert len(table.filter("origin", "IGP")) == 3
+
+    def test_unknown_attribute_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            self.build().filter("nosuch", ".*")
+
+    def test_dedupes_prefixes(self):
+        table = RIBTable()
+        table.add(make_route("10.0.0.0/8", peer="B", as_path=(65001, 43515)))
+        table.add(make_route("10.0.0.0/8", peer="C", as_path=(65002, 43515)))
+        assert table.filter("as_path", r"43515$") == [IPv4Prefix("10.0.0.0/8")]

@@ -1,0 +1,179 @@
+"""Unit tests for the route server and per-participant views."""
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate, Withdrawal
+from repro.bgp.route_server import RouteServer
+from repro.netutils.ip import IPv4Prefix
+
+P1 = IPv4Prefix("10.1.0.0/16")
+P2 = IPv4Prefix("10.2.0.0/16")
+
+
+def attrs(asns, next_hop):
+    return RouteAttributes(as_path=asns, next_hop=next_hop)
+
+
+@pytest.fixture
+def server():
+    rs = RouteServer()
+    for peer in ("A", "B", "C"):
+        rs.add_peer(peer)
+    return rs
+
+
+class TestPeering:
+    def test_duplicate_peer_rejected(self, server):
+        with pytest.raises(ValueError):
+            server.add_peer("A")
+
+    def test_unknown_peer_update_rejected(self, server):
+        with pytest.raises(KeyError):
+            server.process_update(BGPUpdate("Z"))
+
+    def test_update_requires_established_session(self, server):
+        server.session("B").shutdown()
+        with pytest.raises(RuntimeError):
+            server.announce("B", P1, attrs([65002], "172.0.0.11"))
+
+    def test_peers_listing(self, server):
+        assert server.peers() == {"A", "B", "C"}
+
+
+class TestDecisionViews:
+    def test_best_excludes_own_route(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        assert server.best_route("B", P1) is None
+        assert server.best_route("A", P1) is not None
+
+    def test_best_respects_export_scope(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"), export_to=["C"])
+        assert server.best_route("A", P1) is None
+        assert server.best_route("C", P1) is not None
+
+    def test_best_prefers_shorter_path(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        server.announce("C", P1, attrs([65100], "172.0.0.21"))
+        assert server.best_route("A", P1).learned_from == "C"
+
+    def test_candidates_ranked(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        server.announce("C", P1, attrs([65100], "172.0.0.21"))
+        candidates = server.candidate_routes("A", P1)
+        assert [r.learned_from for r in candidates] == ["C", "B"]
+
+    def test_feasible_next_hops(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        server.announce("C", P1, attrs([65100], "172.0.0.21"))
+        view = server.loc_rib("A")
+        assert view.feasible_next_hops(P1) == {"B", "C"}
+        assert view.feasible_next_hops(P2) == frozenset()
+
+    def test_prefixes_via(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        server.announce("B", P2, attrs([65002, 65101], "172.0.0.11"), export_to=["C"])
+        view_a = server.loc_rib("A")
+        view_c = server.loc_rib("C")
+        assert view_a.prefixes_via("B") == {P1}
+        assert view_c.prefixes_via("B") == {P1, P2}
+        assert view_a.prefixes_via("A") == frozenset()
+
+    def test_view_items_and_contains(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        view = server.loc_rib("A")
+        assert P1 in view
+        assert dict(view.items())[P1].learned_from == "B"
+
+
+class TestUpdateProcessing:
+    def test_withdrawal_removes_route(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        server.withdraw("B", P1)
+        assert server.best_route("A", P1) is None
+        assert server.all_prefixes() == frozenset()
+
+    def test_withdrawal_falls_back_to_next_candidate(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        server.announce("C", P1, attrs([65003, 65007, 65100], "172.0.0.21"))
+        assert server.best_route("A", P1).learned_from == "B"
+        server.withdraw("B", P1)
+        assert server.best_route("A", P1).learned_from == "C"
+
+    def test_reannouncement_replaces(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        server.announce("B", P1, attrs([65002, 65999, 65100], "172.0.0.11"))
+        best = server.best_route("A", P1)
+        assert list(best.attributes.as_path) == [65002, 65999, 65100]
+
+    def test_idempotent_reannouncement_reports_no_change(self, server):
+        announcement = Announcement(P1, attrs([65002, 65100], "172.0.0.11"))
+        server.process_update(BGPUpdate("B", announced=[announcement]))
+        changes = server.process_update(BGPUpdate("B", announced=[announcement]))
+        assert changes == []
+
+    def test_noop_withdrawal_reports_no_change(self, server):
+        changes = server.process_update(BGPUpdate("B", withdrawn=[Withdrawal(P1)]))
+        assert changes == []
+
+    def test_changes_cover_all_participants(self, server):
+        changes = server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        participants = {change.participant for change in changes}
+        assert participants == {"A", "B", "C"}
+        by_participant = {change.participant: change for change in changes}
+        assert by_participant["A"].new.learned_from == "B"
+        assert by_participant["B"].new is None  # own route excluded
+
+    def test_subscribers_notified(self, server):
+        seen = []
+        server.subscribe(lambda changes: seen.append(len(changes)))
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        assert seen == [3]
+
+    def test_session_down_withdraws_everything(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        server.announce("B", P2, attrs([65002, 65101], "172.0.0.11"))
+        server.session("B").fail()
+        assert server.best_route("A", P1) is None
+        assert server.best_route("A", P2) is None
+
+    def test_bulk_load_skips_notifications(self, server):
+        seen = []
+        server.subscribe(lambda changes: seen.append(changes))
+        count = server.load(
+            [
+                BGPUpdate(
+                    "B", announced=[Announcement(P1, attrs([65002, 65100], "172.0.0.11"))]
+                ),
+                BGPUpdate(
+                    "C", announced=[Announcement(P2, attrs([65003, 65100], "172.0.0.21"))]
+                ),
+            ]
+        )
+        assert count == 2 and seen == []
+        assert server.best_route("A", P1) is not None
+
+
+class TestQueries:
+    def test_ranked_routes_fingerprint_source(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        server.announce("C", P1, attrs([65100], "172.0.0.21"))
+        ranked = server.ranked_routes(P1)
+        assert [r.learned_from for r in ranked] == ["C", "B"]
+
+    def test_rib_table_for_policy_queries(self, server):
+        server.announce("B", P1, attrs([65002, 43515], "172.0.0.11"))
+        table = server.rib_table("A")
+        assert table.filter("as_path", r"43515$") == [P1]
+
+    def test_advertisements_sorted_by_prefix(self, server):
+        server.announce("B", P2, attrs([65002, 65101], "172.0.0.11"))
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        advertised = server.advertisements("A")
+        assert [a.prefix for a in advertised] == [P1, P2]
+
+    def test_route_from_and_prefixes_from(self, server):
+        server.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+        assert server.route_from("B", P1).learned_from == "B"
+        assert server.route_from("C", P1) is None
+        assert server.prefixes_from("B") == {P1}

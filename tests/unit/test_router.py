@@ -1,0 +1,113 @@
+"""Unit tests for the border-router forwarding pipeline."""
+
+import pytest
+
+from repro.dataplane.arp import ARPService
+from repro.dataplane.router import BorderRouter, RouterInterface
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+from repro.netutils.mac import MACAddress
+from repro.policy.packet import Packet
+
+
+@pytest.fixture
+def arp():
+    service = ARPService()
+    # the next-hop router's interface on the peering LAN
+    service.static_table.learn("172.0.0.11", "08:00:27:00:00:11")
+    return service
+
+
+@pytest.fixture
+def router(arp):
+    return BorderRouter(
+        "router-A",
+        asn=65001,
+        interfaces=[
+            RouterInterface("A1", IPv4Address("172.0.0.1"), MACAddress("08:00:27:00:00:01"))
+        ],
+        arp=arp,
+    )
+
+
+class TestControlPlane:
+    def test_requires_an_interface(self, arp):
+        with pytest.raises(ValueError):
+            BorderRouter("r", asn=1, interfaces=[], arp=arp)
+
+    def test_interface_registered_in_arp(self, router, arp):
+        assert arp.resolve("172.0.0.1") == MACAddress("08:00:27:00:00:01")
+
+    def test_install_and_lookup_route(self, router):
+        router.install_route("10.0.0.0/8", "172.0.0.11")
+        matched, next_hop = router.route_for("10.1.2.3")
+        assert matched == IPv4Prefix("10.0.0.0/8")
+        assert next_hop == IPv4Address("172.0.0.11")
+
+    def test_longest_prefix_wins(self, router):
+        router.install_route("10.0.0.0/8", "172.0.0.11")
+        router.install_route("10.1.0.0/16", "172.0.0.99")
+        _, next_hop = router.route_for("10.1.2.3")
+        assert next_hop == IPv4Address("172.0.0.99")
+
+    def test_withdraw_route(self, router):
+        router.install_route("10.0.0.0/8", "172.0.0.11")
+        router.withdraw_route("10.0.0.0/8")
+        assert router.route_for("10.1.2.3") is None
+        router.withdraw_route("10.0.0.0/8")  # idempotent
+
+    def test_rib_snapshot(self, router):
+        router.install_route("10.0.0.0/8", "172.0.0.11")
+        snapshot = router.rib_snapshot()
+        assert snapshot == {IPv4Prefix("10.0.0.0/8"): IPv4Address("172.0.0.11")}
+
+
+class TestDataPlane:
+    def test_internal_to_fabric_rewrites_macs(self, router):
+        router.install_route("10.0.0.0/8", "172.0.0.11")
+        packet = Packet(srcip="192.168.1.5", dstip="10.1.2.3")
+        ((port, tagged),) = router.receive(packet, "lan0")
+        assert port == "A1"
+        assert tagged["dstmac"] == MACAddress("08:00:27:00:00:11")
+        assert tagged["srcmac"] == MACAddress("08:00:27:00:00:01")
+
+    def test_vnh_tagging_via_arp_responder(self, router, arp):
+        """The SDX trick: VNH route + ARP responder => VMAC-tagged frames."""
+        vmac = MACAddress("02:a5:00:00:00:07")
+        arp.register(lambda a: vmac if a == IPv4Address("172.16.0.7") else None)
+        router.install_route("10.0.0.0/8", "172.16.0.7")
+        ((_, tagged),) = router.receive(Packet(srcip="1.1.1.1", dstip="10.0.0.1"), "lan0")
+        assert tagged["dstmac"] == vmac
+
+    def test_no_route_drops(self, router):
+        assert router.receive(Packet(srcip="1.1.1.1", dstip="99.0.0.1"), "lan0") == []
+        assert router.unroutable == 1
+
+    def test_unresolvable_next_hop_drops(self, router):
+        router.install_route("10.0.0.0/8", "172.0.0.250")  # nobody answers
+        assert router.receive(Packet(srcip="1.1.1.1", dstip="10.0.0.1"), "lan0") == []
+        assert router.arp_unresolved == 1
+
+    def test_missing_dstip_drops(self, router):
+        assert router.receive(Packet(srcport=9), "lan0") == []
+        assert router.unroutable == 1
+
+    def test_local_prefix_delivered_internally(self, router):
+        router.originate("192.168.0.0/16")
+        packet = Packet(srcip="10.0.0.1", dstip="192.168.1.5")
+        ((port, delivered),) = router.receive(packet, "A1")
+        assert port == "lan0"
+        assert router.delivered and router.delivered[0][0] == "A1"
+
+    def test_local_destination_from_lan_stays_internal(self, router):
+        router.originate("192.168.0.0/16")
+        out = router.receive(Packet(srcip="192.168.1.1", dstip="192.168.2.2"), "lan0")
+        assert out == []
+        assert router.delivered
+
+    def test_transit_traffic_carried_upstream(self, router):
+        packet = Packet(srcip="10.0.0.1", dstip="55.0.0.1")
+        assert router.receive(packet, "A1") == []
+        assert router.carried_upstream == [packet]
+
+    def test_ports_listing(self, router):
+        assert router.ports() == {"A1", "lan0"}

@@ -1,0 +1,90 @@
+"""Unit tests for update-trace JSON persistence."""
+
+import io
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate, Withdrawal
+from repro.workloads.serialization import (
+    dump_updates,
+    dumps_updates,
+    load_updates,
+    loads_updates,
+)
+from repro.workloads.topology_gen import generate_ixp
+from repro.workloads.update_gen import generate_update_trace
+
+
+def sample_updates():
+    attrs = RouteAttributes(
+        as_path=[65002, 65100],
+        next_hop="172.0.0.11",
+        med=5,
+        local_pref=120,
+        communities=["0:65001", "64512:7"],
+    )
+    return [
+        BGPUpdate(
+            "B",
+            announced=[Announcement("10.1.0.0/16", attrs, export_to=["C", "A"])],
+            time=1.5,
+        ),
+        BGPUpdate("C", withdrawn=[Withdrawal("10.2.0.0/16")], time=3.25),
+    ]
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self):
+        original = sample_updates()
+        restored = loads_updates(dumps_updates(original))
+        assert len(restored) == 2
+        assert restored[0].peer == "B" and restored[0].time == 1.5
+        (announcement,) = restored[0].announced
+        assert announcement == original[0].announced[0]
+        assert restored[1].withdrawn == original[1].withdrawn
+
+    def test_stream_round_trip(self):
+        buffer = io.StringIO()
+        dump_updates(sample_updates(), buffer)
+        buffer.seek(0)
+        assert len(load_updates(buffer)) == 2
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        dump_updates(sample_updates(), path)
+        restored = load_updates(path)
+        assert restored[0].announced[0].export_to == frozenset({"A", "C"})
+
+    def test_generated_trace_round_trips(self):
+        ixp = generate_ixp(10, 100, seed=3)
+        trace = generate_update_trace(ixp, bursts=10, seed=4)
+        restored = loads_updates(dumps_updates(trace.updates))
+        assert len(restored) == len(trace.updates)
+        for left, right in zip(restored, trace.updates):
+            assert left.peer == right.peer
+            assert left.time == right.time
+            assert left.announced == right.announced
+            assert left.withdrawn == right.withdrawn
+
+    def test_trace_replays_into_route_server(self):
+        from repro.bgp.route_server import RouteServer
+
+        ixp = generate_ixp(10, 100, seed=3)
+        trace = generate_update_trace(ixp, bursts=10, seed=4)
+        restored = loads_updates(dumps_updates(trace.updates))
+        server = RouteServer()
+        for name in ixp.participant_names:
+            server.add_peer(name)
+        server.load(ixp.updates)
+        server.load(restored)  # must apply cleanly
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            loads_updates('{"format": "something-else", "version": 1, "updates": []}')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError):
+            loads_updates('{"format": "repro-sdx-updates", "version": 99, "updates": []}')

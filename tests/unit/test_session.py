@@ -1,0 +1,63 @@
+"""Unit tests for the simplified BGP session FSM."""
+
+import pytest
+
+from repro.bgp.session import BGPSession, SessionState
+
+
+def test_initial_state_is_idle():
+    assert BGPSession("B").state is SessionState.IDLE
+
+
+def test_happy_path_transitions():
+    session = BGPSession("B")
+    session.start()
+    assert session.state is SessionState.CONNECT
+    session.establish()
+    assert session.is_established
+
+
+def test_establish_from_idle_shortcut():
+    session = BGPSession("B")
+    session.establish()
+    assert session.is_established
+
+
+def test_shutdown_from_any_state():
+    session = BGPSession("B")
+    session.establish()
+    session.shutdown()
+    assert session.state is SessionState.IDLE
+    session.shutdown()  # idempotent
+    assert session.state is SessionState.IDLE
+
+
+def test_fail_behaves_like_shutdown():
+    session = BGPSession("B")
+    session.establish()
+    session.fail()
+    assert session.state is SessionState.IDLE
+
+
+def test_invalid_transition_rejected():
+    session = BGPSession("B")
+    session.establish()
+    with pytest.raises(RuntimeError):
+        session.start()
+
+
+def test_listeners_fire_on_transition():
+    session = BGPSession("B")
+    seen = []
+    session.on_state_change(lambda s, state: seen.append(state))
+    session.establish()
+    session.shutdown()
+    assert seen == [SessionState.CONNECT, SessionState.ESTABLISHED, SessionState.IDLE]
+
+
+def test_no_event_for_noop_transition():
+    session = BGPSession("B")
+    seen = []
+    session.on_state_change(lambda s, state: seen.append(state))
+    session.shutdown()  # already idle
+    assert seen == []

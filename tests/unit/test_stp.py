@@ -1,0 +1,138 @@
+"""Unit tests for spanning-tree computation on learning-switch fabrics."""
+
+import pytest
+
+from repro.dataplane.fabric import Fabric, Host
+from repro.dataplane.stp import compute_spanning_tree
+from repro.dataplane.switch import LearningSwitch
+
+
+def triangle_links():
+    return [
+        (("s1", "u12"), ("s2", "u21")),
+        (("s2", "u23"), ("s3", "u32")),
+        (("s3", "u31"), ("s1", "u13")),
+    ]
+
+
+class TestComputation:
+    def test_requires_switches(self):
+        with pytest.raises(ValueError):
+            compute_spanning_tree([], [])
+
+    def test_unknown_switch_in_link_rejected(self):
+        with pytest.raises(ValueError):
+            compute_spanning_tree(["s1"], [(("s1", "a"), ("sX", "b"))])
+
+    def test_partitioned_graph_rejected(self):
+        with pytest.raises(ValueError):
+            compute_spanning_tree(["s1", "s2"], [])
+
+    def test_single_switch_trivial(self):
+        tree = compute_spanning_tree(["s1"], [])
+        assert tree.root == "s1"
+        assert tree.blocked == frozenset()
+
+    def test_line_has_no_blocked_ports(self):
+        tree = compute_spanning_tree(
+            ["s1", "s2", "s3"],
+            [(("s1", "u12"), ("s2", "u21")), (("s2", "u23"), ("s3", "u32"))],
+        )
+        assert tree.blocked == frozenset()
+        assert len(tree.forwarding) == 4
+
+    def test_triangle_blocks_exactly_one_link(self):
+        tree = compute_spanning_tree(["s1", "s2", "s3"], triangle_links())
+        assert tree.root == "s1"
+        # one link (two endpoints) must be blocked
+        assert len(tree.blocked) == 2
+        blocked_switches = {switch for switch, _ in tree.blocked}
+        assert blocked_switches == {"s2", "s3"}  # the link far from the root
+
+    def test_deterministic(self):
+        a = compute_spanning_tree(["s1", "s2", "s3"], triangle_links())
+        b = compute_spanning_tree(["s3", "s2", "s1"], list(reversed(triangle_links())))
+        assert a.blocked == b.blocked and a.forwarding == b.forwarding
+
+    def test_edge_ports_never_blocked(self):
+        tree = compute_spanning_tree(["s1", "s2", "s3"], triangle_links())
+        assert not tree.is_blocked("s1", "edge-port")
+
+
+class TestAppliedToFabric:
+    def build_loop_fabric(self):
+        """Three learning switches in a triangle + one host per switch."""
+        fabric = Fabric()
+        switches = {}
+        for index in (1, 2, 3):
+            name = f"s{index}"
+            switch = LearningSwitch(name, ports=[f"h{index}"])
+            switches[name] = fabric.add_node(switch)
+        for (a, pa), (b, pb) in triangle_links():
+            switches[a].add_port(pa)
+            switches[b].add_port(pb)
+            fabric.link((a, pa), (b, pb))
+        hosts = {}
+        for index in (1, 2, 3):
+            host = Host(f"host{index}", f"10.0.0.{index}", f"02:de:00:00:00:0{index}")
+            fabric.add_node(host)
+            fabric.link((host.name, "eth0"), (f"s{index}", f"h{index}"))
+            hosts[host.name] = host
+        return fabric, switches, hosts
+
+    def test_flood_loops_without_stp(self):
+        fabric, switches, hosts = self.build_loop_fabric()
+        fabric.send_from(
+            "host1",
+            "eth0",
+            hosts["host1"].build_packet(dstip="10.0.0.2", dstmac="02:de:00:00:00:02"),
+        )
+        assert fabric.hop_limit_drops > 0  # broadcast storm
+
+    def test_stp_breaks_the_loop_and_preserves_reachability(self):
+        fabric, switches, hosts = self.build_loop_fabric()
+        tree = compute_spanning_tree(switches.keys(), triangle_links())
+        tree.apply(switches)
+        packet = hosts["host1"].build_packet(
+            dstip="10.0.0.3", dstmac="02:de:00:00:00:03"
+        )
+        fabric.send_from("host1", "eth0", packet)
+        assert fabric.hop_limit_drops == 0
+        assert hosts["host3"].received == [packet]
+
+    def test_learning_still_works_over_the_tree(self):
+        fabric, switches, hosts = self.build_loop_fabric()
+        tree = compute_spanning_tree(switches.keys(), triangle_links())
+        tree.apply(switches)
+        fabric.send_from(
+            "host1",
+            "eth0",
+            hosts["host1"].build_packet(dstip="10.0.0.3", dstmac="02:de:00:00:00:03"),
+        )
+        floods_before = sum(s.floods for s in switches.values())
+        # reply: MACs are now learned along the tree, no new floods
+        fabric.send_from(
+            "host3",
+            "eth0",
+            hosts["host3"].build_packet(dstip="10.0.0.1", dstmac="02:de:00:00:00:01"),
+        )
+        assert hosts["host1"].received
+        assert sum(s.floods for s in switches.values()) == floods_before
+
+
+class TestBlockedPortBehaviour:
+    def test_blocked_port_neither_learns_nor_forwards(self):
+        switch = LearningSwitch("s", ports=["p1", "p2", "p3"])
+        switch.set_port_blocked("p3")
+        from repro.policy.packet import Packet
+
+        out = switch.receive(
+            Packet(srcmac="02:de:00:00:00:01", dstmac="02:de:00:00:00:02"), "p1"
+        )
+        assert {port for port, _ in out} == {"p2"}  # p3 excluded from flood
+        assert switch.receive(
+            Packet(srcmac="02:de:00:00:00:09", dstmac="02:de:00:00:00:01"), "p3"
+        ) == []
+        assert switch.blocked_ports() == {"p3"}
+        switch.set_port_blocked("p3", False)
+        assert switch.blocked_ports() == frozenset()

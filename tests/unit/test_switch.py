@@ -1,0 +1,85 @@
+"""Unit tests for the SDN switch and the learning switch baseline."""
+
+from repro.dataplane.switch import LearningSwitch, SDNSwitch
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+from repro.policy.packet import Packet
+
+
+class TestSDNSwitch:
+    def make(self):
+        switch = SDNSwitch("sw", ports=["A1", "B1"])
+        switch.table.install_classifier(
+            Classifier(
+                [
+                    Rule(HeaderMatch(port="A1", dstport=80), (Action(port="B1"),)),
+                ]
+            )
+        )
+        return switch
+
+    def test_forwarding(self):
+        switch = self.make()
+        out = switch.receive(Packet(dstport=80), "A1")
+        assert len(out) == 1
+        port, packet = out[0]
+        assert port == "B1" and packet["port"] == "B1"
+
+    def test_switch_field_not_leaked(self):
+        switch = self.make()
+        ((_, packet),) = switch.receive(Packet(dstport=80), "A1")
+        assert "switch" not in packet
+
+    def test_drop_counted(self):
+        switch = self.make()
+        assert switch.receive(Packet(dstport=22), "A1") == []
+        assert switch.dropped == 1 and switch.received == 1
+
+    def test_output_to_unknown_port_dropped(self):
+        switch = SDNSwitch("sw", ports=["A1"])
+        switch.table.install_classifier(
+            Classifier([Rule(HeaderMatch.ANY, (Action(port="nowhere"),))])
+        )
+        assert switch.receive(Packet(dstport=80), "A1") == []
+
+    def test_multicast_output(self):
+        switch = SDNSwitch("sw", ports=["A1", "B1", "C1"])
+        switch.table.install_classifier(
+            Classifier(
+                [Rule(HeaderMatch.ANY, (Action(port="B1"), Action(port="C1")))]
+            )
+        )
+        out = switch.receive(Packet(dstport=80), "A1")
+        assert {port for port, _ in out} == {"B1", "C1"}
+
+    def test_add_port(self):
+        switch = SDNSwitch("sw")
+        switch.add_port("X1")
+        assert "X1" in switch.ports()
+
+
+class TestLearningSwitch:
+    def test_floods_unknown_destination(self):
+        switch = LearningSwitch("lan", ports=["p1", "p2", "p3"])
+        out = switch.receive(
+            Packet(srcmac="02:00:00:00:00:01", dstmac="02:00:00:00:00:02"), "p1"
+        )
+        assert {port for port, _ in out} == {"p2", "p3"}
+        assert switch.floods == 1
+
+    def test_learns_source_port(self):
+        switch = LearningSwitch("lan", ports=["p1", "p2", "p3"])
+        switch.receive(Packet(srcmac="02:00:00:00:00:01", dstmac="02:00:00:00:00:02"), "p1")
+        out = switch.receive(
+            Packet(srcmac="02:00:00:00:00:02", dstmac="02:00:00:00:00:01"), "p2"
+        )
+        assert out == [("p1", out[0][1])]
+        from repro.netutils.mac import MACAddress
+        assert switch.mac_table[MACAddress("02:00:00:00:00:01")] == "p1"
+
+    def test_no_hairpin(self):
+        switch = LearningSwitch("lan", ports=["p1", "p2"])
+        switch.receive(Packet(srcmac="02:00:00:00:00:01", dstmac="02:00:00:00:00:09"), "p1")
+        out = switch.receive(
+            Packet(srcmac="02:00:00:00:00:03", dstmac="02:00:00:00:00:01"), "p1"
+        )
+        assert out == []

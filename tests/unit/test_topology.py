@@ -1,0 +1,100 @@
+"""Unit tests for the IXP static configuration."""
+
+import pytest
+
+from repro.ixp.topology import IXPConfig, ParticipantSpec, PortSpec
+from repro.netutils.ip import IPv4Address
+from repro.netutils.mac import MACAddress
+
+
+def build_config():
+    config = IXPConfig(vnh_pool="172.16.0.0/16")
+    config.add_participant("A", 65001, [("A1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant(
+        "B",
+        65002,
+        [
+            ("B1", "172.0.0.11", "08:00:27:00:00:11"),
+            ("B2", "172.0.0.12", "08:00:27:00:00:12"),
+        ],
+    )
+    config.add_participant("D", 64496, [])  # remote participant
+    return config
+
+
+class TestParticipantSpec:
+    def test_port_lookup(self):
+        config = build_config()
+        b = config.participant("B")
+        assert b.port("B1").address == IPv4Address("172.0.0.11")
+        with pytest.raises(KeyError):
+            b.port("B9")
+
+    def test_port_ids(self):
+        assert build_config().participant("B").port_ids == ("B1", "B2")
+
+    def test_port_for_address(self):
+        b = build_config().participant("B")
+        assert b.port_for_address("172.0.0.12").port_id == "B2"
+        assert b.port_for_address("9.9.9.9") is None
+
+    def test_remote_detection(self):
+        config = build_config()
+        assert config.participant("D").is_remote
+        assert not config.participant("A").is_remote
+
+    def test_duplicate_port_on_participant_rejected(self):
+        with pytest.raises(ValueError):
+            ParticipantSpec(
+                "X",
+                1,
+                [
+                    PortSpec("X1", IPv4Address("1.1.1.1"), MACAddress("02:00:00:00:00:01")),
+                    PortSpec("X1", IPv4Address("1.1.1.2"), MACAddress("02:00:00:00:00:02")),
+                ],
+            )
+
+
+class TestIXPConfig:
+    def test_duplicate_participant_rejected(self):
+        config = build_config()
+        with pytest.raises(ValueError):
+            config.add_participant("A", 65009)
+
+    def test_port_id_collision_rejected(self):
+        config = build_config()
+        with pytest.raises(ValueError):
+            config.add_participant("E", 65005, [("A1", "172.0.0.99", "08:00:27:00:00:99")])
+
+    def test_address_collision_rejected(self):
+        config = build_config()
+        with pytest.raises(ValueError):
+            config.add_participant("E", 65005, [("E1", "172.0.0.1", "08:00:27:00:00:99")])
+
+    def test_mac_collision_rejected(self):
+        config = build_config()
+        with pytest.raises(ValueError):
+            config.add_participant("E", 65005, [("E1", "172.0.0.99", "08:00:27:00:00:01")])
+
+    def test_physical_ports(self):
+        config = build_config()
+        assert [p.port_id for p in config.physical_ports()] == ["A1", "B1", "B2"]
+
+    def test_owner_of_port(self):
+        config = build_config()
+        assert config.owner_of_port("B2").name == "B"
+        with pytest.raises(KeyError):
+            config.owner_of_port("Z1")
+
+    def test_owner_of_address(self):
+        config = build_config()
+        assert config.owner_of_address("172.0.0.11").name == "B"
+        assert config.owner_of_address("9.9.9.9") is None
+
+    def test_contains_and_len(self):
+        config = build_config()
+        assert "A" in config and "Z" not in config
+        assert len(config) == 3
+
+    def test_participant_names_order(self):
+        assert build_config().participant_names() == ("A", "B", "D")

@@ -1,0 +1,63 @@
+"""Unit tests for the packet-trace diagnostic."""
+
+import pytest
+
+from repro.netutils.ip import IPv4Prefix
+from repro.policy import Packet
+
+from tests.conftest import P1, P5
+
+
+def tagged(controller, sender, dst_prefix, dstip, **headers):
+    advertised = {
+        a.prefix: a.attributes.next_hop for a in controller.advertisements(sender)
+    }
+    next_hop = advertised[IPv4Prefix(dst_prefix)]
+    vmac = controller.arp.resolve(next_hop)
+    if vmac is None:
+        owner = controller.config.owner_of_address(next_hop)
+        vmac = owner.port_for_address(next_hop).hardware
+    return Packet(dstip=dstip, dstmac=vmac, **headers)
+
+
+class TestTracePacket:
+    def test_policy_hit_reports_participant(self, figure1_compiled):
+        packet = tagged(
+            figure1_compiled, "A", P1, "10.1.2.3", dstport=80, srcip="50.0.0.1", srcport=7
+        )
+        trace = figure1_compiled.trace_packet(packet, "A1")
+        assert trace.provenance == "policy:A"
+        assert trace.egress_ports() == {"B1"}
+        assert not trace.dropped
+        assert "via=policy:A" in repr(trace)
+
+    def test_default_hit_reported(self, figure1_compiled):
+        packet = tagged(
+            figure1_compiled, "A", P1, "10.1.2.3", dstport=9999, srcip="50.0.0.1", srcport=7
+        )
+        trace = figure1_compiled.trace_packet(packet, "A1")
+        assert trace.provenance == "default"
+        assert trace.egress_ports() == {"C1"}
+
+    def test_no_match_reported_as_drop(self, figure1_compiled):
+        packet = Packet(dstip="10.1.2.3", dstmac="02:99:99:99:99:99", dstport=80)
+        trace = figure1_compiled.trace_packet(packet, "A1")
+        assert trace.rule is None and trace.dropped
+        assert trace.provenance == "no-match"
+        assert "no matching rule" in repr(trace)
+
+    def test_fast_path_hit_reported(self, figure1_compiled):
+        figure1_compiled.withdraw("C", P1)
+        packet = tagged(
+            figure1_compiled, "A", P1, "10.1.2.3", dstport=80, srcip="50.0.0.1", srcport=7
+        )
+        trace = figure1_compiled.trace_packet(packet, "A1")
+        assert trace.provenance.startswith("fastpath:")
+        assert trace.egress_ports() == {"B1"}
+
+    def test_trace_does_not_touch_counters(self, figure1_compiled):
+        packet = tagged(
+            figure1_compiled, "A", P1, "10.1.2.3", dstport=80, srcip="50.0.0.1", srcport=7
+        )
+        figure1_compiled.trace_packet(packet, "A1")
+        assert figure1_compiled.policy_traffic("A") == (0, 0)

@@ -1,0 +1,77 @@
+"""Unit tests for traffic generation and rate metering."""
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.ixp.deployment import EmulatedIXP
+from repro.ixp.traffic import PACKET_BYTES, RateMeter, UDPFlow
+from repro.sim.clock import Simulator
+
+from tests.conftest import load_figure1_routes, make_figure1_config
+
+
+@pytest.fixture
+def ixp():
+    deployment = EmulatedIXP(make_figure1_config())
+    load_figure1_routes(deployment.controller)
+    deployment.add_host("client", "A", "50.0.0.1")
+    deployment.controller.compile()
+    return deployment
+
+
+class TestUDPFlow:
+    def test_packets_per_second_matches_rate(self, ixp):
+        flow = UDPFlow(ixp, "client", rate_mbps=1.0, dstip="10.1.2.3", dstport=80)
+        assert flow.packets_per_second == int(1_000_000 / 8 / PACKET_BYTES)
+
+    def test_flow_sends_on_schedule(self, ixp):
+        sim = Simulator()
+        flow = UDPFlow(ixp, "client", rate_mbps=1.0, dstip="10.1.2.3", dstport=80, srcport=5)
+        flow.start(sim, until=3.0)
+        sim.run_until(3.0)
+        assert flow.packets_sent == 3 * flow.packets_per_second
+
+    def test_stop_halts_sending(self, ixp):
+        sim = Simulator()
+        flow = UDPFlow(ixp, "client", rate_mbps=1.0, dstip="10.1.2.3", dstport=80, srcport=5)
+        flow.start(sim, until=10.0)
+        sim.run_until(2.0)
+        sent = flow.packets_sent
+        flow.stop()
+        sim.run_until(10.0)
+        assert flow.packets_sent == sent
+
+
+class TestRateMeter:
+    def test_measures_mbps(self, ixp):
+        sim = Simulator()
+        flow = UDPFlow(ixp, "client", rate_mbps=2.0, dstip="10.1.2.3", dstport=22, srcport=5)
+        meter = RateMeter(sim)
+        meter.watch_upstream("via-C", ixp, "C")
+        flow.start(sim, until=10.0)
+        meter.start(until=10.0)
+        sim.run_until(10.0)
+        rate = meter.rates_at(8.0)["via-C"]
+        assert abs(rate - 2.0) < 0.2
+
+    def test_idle_counter_reads_zero(self, ixp):
+        sim = Simulator()
+        meter = RateMeter(sim)
+        meter.watch_upstream("via-B", ixp, "B")
+        meter.start(until=5.0)
+        sim.run_until(5.0)
+        assert meter.rates_at(4.0)["via-B"] == 0.0
+
+    def test_watch_host(self, ixp):
+        sim = Simulator()
+        meter = RateMeter(sim)
+        meter.watch_host("client-rx", ixp, "client")
+        meter.start(until=2.0)
+        sim.run_until(2.0)
+        assert "client-rx" in meter.series
+
+    def test_rates_at_before_any_sample(self, ixp):
+        sim = Simulator()
+        meter = RateMeter(sim)
+        meter.watch_upstream("x", ixp, "B")
+        assert meter.rates_at(0.0) == {"x": 0.0}

@@ -1,0 +1,298 @@
+"""Unit tests for the Section 4.1/4.2 classifier transformations."""
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Route
+from repro.core.fec import FECTable, PrefixGroup
+from repro.core.transforms import (
+    concat_disjoint,
+    default_delivery_classifier,
+    default_forwarding_classifier,
+    default_rules_for_group,
+    delivery_rules_for_group,
+    extract_policy_groups,
+    isolate,
+    passthrough_classifier,
+    rewrite_inbound_delivery,
+    vmacify_outbound,
+)
+from repro.core.vmac import VirtualNextHop, VirtualNextHopAllocator
+from repro.ixp.topology import IXPConfig
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+from repro.netutils.mac import MACAddress
+from repro.policy import Packet, fwd, match
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+
+P1 = IPv4Prefix("10.1.0.0/16")
+P2 = IPv4Prefix("10.2.0.0/16")
+P3 = IPv4Prefix("10.3.0.0/16")
+
+PARTICIPANTS = frozenset({"A", "B", "C"})
+
+
+def config3():
+    config = IXPConfig(vnh_pool="172.16.0.0/16")
+    config.add_participant("A", 65001, [("A1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant(
+        "B",
+        65002,
+        [
+            ("B1", "172.0.0.11", "08:00:27:00:00:11"),
+            ("B2", "172.0.0.12", "08:00:27:00:00:12"),
+        ],
+    )
+    config.add_participant("C", 65003, [("C1", "172.0.0.21", "08:00:27:00:00:21")])
+    return config
+
+
+def group_of(prefixes, index=0):
+    allocator = VirtualNextHopAllocator("172.16.0.0/24")
+    for _ in range(index):
+        allocator.allocate()
+    return PrefixGroup(index, frozenset(prefixes), allocator.allocate())
+
+
+def route(peer, prefix, next_hop, as_path=(65002, 65100), export_to=None):
+    return Route(
+        prefix,
+        RouteAttributes(as_path=list(as_path), next_hop=next_hop),
+        learned_from=peer,
+        export_to=export_to,
+    )
+
+
+class TestIsolate:
+    def test_pins_rules_to_locations(self):
+        classifier = (match(dstport=80) >> fwd("B")).compile()
+        isolated = isolate(classifier, ["A1", "A2"])
+        assert len(isolated) == 2
+        assert isolated.eval(Packet(dstport=80, port="A1"))
+        assert isolated.eval(Packet(dstport=80, port="B1")) == frozenset()
+
+    def test_conflicting_port_constraint_vanishes(self):
+        classifier = (match(port="B1", dstport=80) >> fwd("B")).compile()
+        assert len(isolate(classifier, ["A1"])) == 0
+
+
+class TestExtractPolicyGroups:
+    def reachable(self, target):
+        return {"B": frozenset({P1, P2}), "C": frozenset({P1, P3})}.get(
+            target, frozenset()
+        )
+
+    def test_groups_per_forwarding_action(self):
+        classifier = (
+            (match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C"))
+        ).compile()
+        groups = extract_policy_groups(classifier, PARTICIPANTS, self.reachable)
+        assert frozenset({P1, P2}) in groups
+        assert frozenset({P1, P3}) in groups
+
+    def test_dstip_constraint_narrows_group(self):
+        classifier = (match(dstip=P1, dstport=80) >> fwd("B")).compile()
+        groups = extract_policy_groups(classifier, PARTICIPANTS, self.reachable)
+        assert groups == [frozenset({P1})]
+
+    def test_physical_targets_ignored(self):
+        classifier = (match(dstport=80) >> fwd("E1")).compile()
+        assert extract_policy_groups(classifier, PARTICIPANTS, self.reachable) == []
+
+    def test_duplicate_groups_deduped(self):
+        classifier = (
+            (match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("B"))
+        ).compile()
+        groups = extract_policy_groups(classifier, PARTICIPANTS, self.reachable)
+        assert groups == [frozenset({P1, P2})]
+
+
+class TestVmacifyOutbound:
+    def reachable(self, target):
+        return {"B": frozenset({P1, P2})}.get(target, frozenset())
+
+    def test_rewrites_to_vmac_match(self):
+        group = group_of({P1, P2})
+        table = FECTable([group])
+        classifier = (match(dstport=80) >> fwd("B")).compile()
+        rewritten = vmacify_outbound(classifier, PARTICIPANTS, self.reachable, table)
+        assert len(rewritten) == 1
+        rule = rewritten[0]
+        assert rule.match.constraints["dstmac"] == group.vnh.hardware
+        assert "dstip" not in rule.match.constraints
+
+    def test_keeps_finer_dstip_constraint(self):
+        # policy names a /24 inside an announced /16: the VMAC alone is
+        # too coarse, the dstip constraint must survive.
+        group = group_of({P1, P2})
+        table = FECTable([group])
+        narrow = IPv4Prefix("10.1.7.0/24")
+        classifier = (match(dstip=narrow, dstport=80) >> fwd("B")).compile()
+        rewritten = vmacify_outbound(classifier, PARTICIPANTS, self.reachable, table)
+        (rule,) = rewritten.rules
+        assert rule.match.constraints["dstip"] == narrow
+        assert rule.match.constraints["dstmac"] == group.vnh.hardware
+
+    def test_drops_coarser_dstip_constraint(self):
+        group = group_of({P1})
+        table = FECTable([group])
+        classifier = (match(dstip="10.0.0.0/8", dstport=80) >> fwd("B")).compile()
+        rewritten = vmacify_outbound(
+            classifier, PARTICIPANTS, lambda t: frozenset({P1}), table
+        )
+        (rule,) = rewritten.rules
+        assert "dstip" not in rule.match.constraints
+
+    def test_unreachable_target_removes_rule(self):
+        table = FECTable([])
+        classifier = (match(dstport=80) >> fwd("B")).compile()
+        rewritten = vmacify_outbound(
+            classifier, PARTICIPANTS, lambda t: frozenset(), table
+        )
+        assert len(rewritten) == 0
+
+    def test_physical_action_passes_through(self):
+        table = FECTable([])
+        classifier = (match(dstport=80) >> fwd("E1")).compile()
+        rewritten = vmacify_outbound(
+            classifier, PARTICIPANTS, lambda t: frozenset(), table
+        )
+        assert len(rewritten) == 1
+        assert rewritten[0].actions == frozenset({Action(port="E1")})
+
+    def test_multicast_mixed_targets(self):
+        group = group_of({P1, P2})
+        table = FECTable([group])
+        classifier = Classifier(
+            [Rule(HeaderMatch(dstport=80), (Action(port="B"), Action(port="E1")))]
+        )
+        rewritten = vmacify_outbound(classifier, PARTICIPANTS, self.reachable, table)
+        # group rule carries both actions; trailing rule keeps only E1
+        assert rewritten[0].actions == frozenset(
+            {Action(port="B"), Action(port="E1")}
+        )
+        assert rewritten[-1].actions == frozenset({Action(port="E1")})
+
+
+class TestDefaultForwarding:
+    def test_group_rule_targets_top_route(self):
+        config = config3()
+        group = group_of({P1})
+        ranked = (route("B", P1, "172.0.0.11"), route("C", P1, "172.0.0.21", (65003, 65100, 65101)))
+        rules = default_rules_for_group(config, group, ranked)
+        assert len(rules) == 1
+        assert rules[0].actions == frozenset({Action(port="B")})
+        assert rules[0].match.constraints["dstmac"] == group.vnh.hardware
+
+    def test_export_scoped_top_route_adds_exceptions(self):
+        config = config3()
+        group = group_of({P1})
+        scoped = route("B", P1, "172.0.0.11", export_to=frozenset({"C"}))
+        fallback = route("C", P1, "172.0.0.21", (65003, 65100, 65101))
+        rules = default_rules_for_group(config, group, (scoped, fallback))
+        # A is outside B's export scope: its port gets an exception to C.
+        exception = rules[0]
+        assert exception.match.constraints["port"] == "A1"
+        assert exception.actions == frozenset({Action(port="C")})
+        shared = rules[-1]
+        assert "port" not in shared.match.constraints
+        assert shared.actions == frozenset({Action(port="B")})
+
+    def test_no_routes_no_rules(self):
+        config = config3()
+        assert default_rules_for_group(config, group_of({P1}), ()) == []
+
+    def test_full_classifier_includes_physical_macs(self):
+        config = config3()
+        table = FECTable([group_of({P1})])
+        classifier = default_forwarding_classifier(
+            config, table, lambda group: (route("B", P1, "172.0.0.11"),)
+        )
+        # 1 group rule + 4 physical port rules
+        assert len(classifier) == 5
+        phys = classifier.rules[-1]
+        assert phys.match.constraints["dstmac"] == MACAddress("08:00:27:00:00:21")
+        assert phys.actions == frozenset({Action(port="C")})
+
+
+class TestDelivery:
+    def test_delivery_out_announcing_port(self):
+        config = config3()
+        group = group_of({P1})
+        ranked = (route("B", P1, "172.0.0.12"),)  # announced via B2
+        rules = delivery_rules_for_group(config.participant("B"), group, ranked)
+        (rule,) = rules
+        (action,) = rule.actions
+        assert action.output_port == "B2"
+        assert action.get("dstmac") == MACAddress("08:00:27:00:00:12")
+
+    def test_non_announcer_gets_no_rules(self):
+        config = config3()
+        ranked = (route("B", P1, "172.0.0.11"),)
+        assert delivery_rules_for_group(config.participant("C"), group_of({P1}), ranked) == []
+
+    def test_full_delivery_classifier(self):
+        config = config3()
+        table = FECTable([group_of({P1})])
+        classifier = default_delivery_classifier(
+            config.participant("B"), table, lambda group: (route("B", P1, "172.0.0.11"),)
+        )
+        # 2 physical-MAC rules (B1, B2) + 1 VMAC delivery rule
+        assert len(classifier) == 3
+
+    def test_remote_participant_has_no_delivery(self):
+        config = IXPConfig()
+        config.add_participant("D", 64496, [])
+        table = FECTable([group_of({P1})])
+        classifier = default_delivery_classifier(
+            config.participant("D"), table, lambda group: ()
+        )
+        assert len(classifier) == 0
+
+
+class TestInboundDeliveryRewrite:
+    def test_adds_interface_mac(self):
+        config = config3()
+        classifier = (match(srcip="0.0.0.0/1") >> fwd("B1")).compile()
+        rewritten = rewrite_inbound_delivery(classifier, config)
+        (rule,) = rewritten.rules
+        (action,) = rule.actions
+        assert action.get("dstmac") == MACAddress("08:00:27:00:00:11")
+
+    def test_existing_dstmac_untouched(self):
+        config = config3()
+        classifier = Classifier(
+            [
+                Rule(
+                    HeaderMatch.ANY,
+                    (Action(port="B1", dstmac="02:aa:aa:aa:aa:aa"),),
+                )
+            ]
+        )
+        rewritten = rewrite_inbound_delivery(classifier, config)
+        (action,) = rewritten.rules[0].actions
+        assert action.get("dstmac") == MACAddress("02:aa:aa:aa:aa:aa")
+
+    def test_virtual_target_untouched(self):
+        config = config3()
+        classifier = (match(dstport=80) >> fwd("B")).compile()
+        rewritten = rewrite_inbound_delivery(classifier, config)
+        (action,) = rewritten.rules[0].actions
+        assert action.get("dstmac") is None
+
+
+class TestCompositionPlumbing:
+    def test_concat_disjoint_order_preserved(self):
+        a = (match(port="A1") >> fwd("B")).compile()
+        b = (match(port="B1") >> fwd("C")).compile()
+        combined = concat_disjoint([a, b])
+        assert len(combined) == len(a) + len(b)
+        assert combined.eval(Packet(port="A1"))
+        assert combined.eval(Packet(port="B1"))
+
+    def test_passthrough_emits_with_interface_mac(self):
+        config = config3()
+        classifier = passthrough_classifier(config)
+        out = classifier.eval(Packet(port="B2", dstport=80))
+        (packet,) = out
+        assert packet["port"] == "B2"
+        assert packet["dstmac"] == MACAddress("08:00:27:00:00:12")

@@ -1,0 +1,84 @@
+"""Unit tests for update-stream burst analysis."""
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate
+from repro.bgp.updates import detect_bursts, trace_stats
+from repro.netutils.ip import IPv4Prefix
+
+
+def update(peer, prefix, at):
+    return BGPUpdate(
+        peer,
+        announced=[
+            Announcement(prefix, RouteAttributes(as_path=[65001], next_hop="172.0.0.1"))
+        ],
+        time=at,
+    )
+
+
+P = [IPv4Prefix(f"10.{i}.0.0/16") for i in range(8)]
+
+
+class TestDetectBursts:
+    def test_empty(self):
+        assert detect_bursts([]) == []
+
+    def test_single_update_single_burst(self):
+        bursts = detect_bursts([update("B", P[0], 5.0)])
+        assert len(bursts) == 1
+        assert bursts[0].updates == 1 and bursts[0].prefixes == 1
+
+    def test_close_updates_merge(self):
+        bursts = detect_bursts(
+            [update("B", P[0], 0.0), update("B", P[1], 0.5), update("B", P[2], 1.4)],
+            gap_threshold=2.0,
+        )
+        assert len(bursts) == 1
+        assert bursts[0].prefixes == 3
+
+    def test_gap_splits_bursts(self):
+        bursts = detect_bursts(
+            [update("B", P[0], 0.0), update("B", P[1], 10.0)], gap_threshold=2.0
+        )
+        assert len(bursts) == 2
+
+    def test_unsorted_input_is_sorted(self):
+        bursts = detect_bursts([update("B", P[1], 10.0), update("B", P[0], 0.0)])
+        assert len(bursts) == 2
+        assert bursts[0].start == 0.0
+
+    def test_duplicate_prefix_counted_once(self):
+        bursts = detect_bursts([update("B", P[0], 0.0), update("B", P[0], 0.5)])
+        assert bursts[0].updates == 2 and bursts[0].prefixes == 1
+
+    def test_duration(self):
+        bursts = detect_bursts([update("B", P[0], 1.0), update("B", P[1], 1.9)])
+        assert abs(bursts[0].duration - 0.9) < 1e-9
+
+
+class TestTraceStats:
+    def test_table1_row_shape(self):
+        updates = [
+            update("B", P[0], 0.0),
+            update("B", P[1], 0.5),
+            update("C", P[0], 30.0),
+        ]
+        stats = trace_stats(updates, known_prefixes=P[:4])
+        assert stats.peers == 2
+        assert stats.prefixes == 4
+        assert stats.updates == 3
+        assert stats.prefixes_seeing_updates == 2
+        assert abs(stats.fraction_prefixes_updated - 0.5) < 1e-9
+        assert stats.bursts == 2
+        assert stats.burst_sizes == (2, 1)
+        assert len(stats.inter_burst_gaps) == 1
+
+    def test_unknown_prefixes_excluded_from_fraction(self):
+        updates = [update("B", P[7], 0.0)]
+        stats = trace_stats(updates, known_prefixes=P[:4])
+        assert stats.prefixes_seeing_updates == 0
+
+    def test_empty_trace(self):
+        stats = trace_stats([], known_prefixes=P[:4])
+        assert stats.updates == 0
+        assert stats.fraction_prefixes_updated == 0.0

@@ -1,0 +1,59 @@
+"""Unit tests for VNH/VMAC allocation."""
+
+import pytest
+
+from repro.core.vmac import VirtualNextHopAllocator
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+
+
+class TestVirtualNextHopAllocator:
+    def test_allocates_host_addresses_in_pool(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        vnh = allocator.allocate()
+        assert vnh.address in IPv4Prefix("172.16.0.0/24")
+        assert vnh.address != IPv4Prefix("172.16.0.0/24").network  # skips network addr
+        assert vnh.hardware.is_locally_administered
+
+    def test_pairs_are_unique(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        pairs = [allocator.allocate() for _ in range(50)]
+        assert len({p.address for p in pairs}) == 50
+        assert len({p.hardware for p in pairs}) == 50
+        assert allocator.allocated == 50
+
+    def test_resolve_acts_as_arp_responder(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        vnh = allocator.allocate()
+        assert allocator.resolve(vnh.address) == vnh.hardware
+        assert allocator.resolve(str(vnh.address)) == vnh.hardware
+        assert allocator.resolve("9.9.9.9") is None
+
+    def test_contains(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        vnh = allocator.allocate()
+        assert vnh.address in allocator
+        assert IPv4Address("9.9.9.9") not in allocator
+
+    def test_pool_exhaustion(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/30")  # 2 usable hosts
+        allocator.allocate()
+        allocator.allocate()
+        with pytest.raises(RuntimeError):
+            allocator.allocate()
+
+    def test_tiny_pool_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualNextHopAllocator("172.16.0.0/31")
+
+    def test_release_all(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        first = allocator.allocate()
+        allocator.release_all()
+        assert allocator.allocated == 0
+        assert allocator.resolve(first.address) is None
+        assert allocator.allocate().address == first.address
+
+    def test_iteration(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        vnhs = [allocator.allocate() for _ in range(3)]
+        assert list(allocator) == vnhs

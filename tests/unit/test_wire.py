@@ -1,0 +1,195 @@
+"""Unit tests for BGP wire encoding/decoding."""
+
+import pytest
+
+from repro.bgp.attributes import Community, Origin, RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate, Withdrawal
+from repro.bgp.wire import (
+    HEADER_LENGTH,
+    MARKER,
+    KeepaliveMessage,
+    MessageType,
+    NotificationMessage,
+    OpenMessage,
+    WireError,
+    decode_message,
+    encode_keepalive,
+    encode_notification,
+    encode_open,
+    encode_update,
+)
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+
+
+def attrs(**overrides):
+    values = dict(
+        as_path=[65002, 65100],
+        next_hop="172.0.0.11",
+        origin=Origin.IGP,
+        med=0,
+        local_pref=100,
+        communities=(),
+    )
+    values.update(overrides)
+    return RouteAttributes(**values)
+
+
+class TestFraming:
+    def test_keepalive_round_trip(self):
+        wire = encode_keepalive()
+        assert len(wire) == HEADER_LENGTH
+        assert wire[:16] == MARKER
+        message, rest = decode_message(wire)
+        assert isinstance(message, KeepaliveMessage)
+        assert rest == b""
+
+    def test_two_messages_back_to_back(self):
+        wire = encode_keepalive() + encode_keepalive()
+        _, rest = decode_message(wire)
+        assert len(rest) == HEADER_LENGTH
+        message, rest = decode_message(rest)
+        assert isinstance(message, KeepaliveMessage) and rest == b""
+
+    def test_bad_marker_rejected(self):
+        wire = bytearray(encode_keepalive())
+        wire[0] = 0
+        with pytest.raises(WireError):
+            decode_message(bytes(wire))
+
+    def test_short_read_rejected(self):
+        with pytest.raises(WireError):
+            decode_message(encode_keepalive()[:10])
+
+    def test_unknown_type_rejected(self):
+        wire = bytearray(encode_keepalive())
+        wire[18] = 99
+        with pytest.raises(WireError):
+            decode_message(bytes(wire))
+
+
+class TestOpen:
+    def test_round_trip(self):
+        wire = encode_open(65002, "10.0.0.2", hold_time=180)
+        message, _ = decode_message(wire)
+        assert isinstance(message, OpenMessage)
+        assert message.version == 4
+        assert message.asn == 65002
+        assert message.hold_time == 180
+        assert message.bgp_identifier == IPv4Address("10.0.0.2")
+
+    def test_four_octet_asn_uses_as_trans(self):
+        wire = encode_open(4200000001, "10.0.0.2")
+        message, _ = decode_message(wire)
+        assert message.asn == 23456  # AS_TRANS
+
+
+class TestNotification:
+    def test_round_trip(self):
+        wire = encode_notification(6, 2, b"shutdown")
+        message, _ = decode_message(wire)
+        assert isinstance(message, NotificationMessage)
+        assert (message.code, message.subcode, message.data) == (6, 2, b"shutdown")
+
+
+class TestUpdate:
+    def test_announcement_round_trip(self):
+        update = BGPUpdate(
+            "B", announced=[Announcement("10.1.0.0/16", attrs())]
+        )
+        (wire,) = encode_update(update)
+        decoded, rest = decode_message(wire, peer="B")
+        assert rest == b""
+        assert decoded.peer == "B"
+        (announcement,) = decoded.announced
+        assert announcement.prefix == IPv4Prefix("10.1.0.0/16")
+        assert announcement.attributes == attrs()
+
+    def test_withdrawal_round_trip(self):
+        update = BGPUpdate("B", withdrawn=[Withdrawal("10.1.0.0/16")])
+        (wire,) = encode_update(update)
+        decoded, _ = decode_message(wire, peer="B")
+        assert decoded.announced == ()
+        assert decoded.withdrawn == (Withdrawal("10.1.0.0/16"),)
+
+    def test_mixed_update(self):
+        update = BGPUpdate(
+            "B",
+            announced=[Announcement("10.1.0.0/16", attrs())],
+            withdrawn=[Withdrawal("10.2.0.0/16")],
+        )
+        (wire,) = encode_update(update)
+        decoded, _ = decode_message(wire, peer="B")
+        assert len(decoded.announced) == 1 and len(decoded.withdrawn) == 1
+
+    def test_shared_attributes_pack_into_one_message(self):
+        update = BGPUpdate(
+            "B",
+            announced=[
+                Announcement("10.1.0.0/16", attrs()),
+                Announcement("10.2.0.0/16", attrs()),
+            ],
+        )
+        messages = encode_update(update)
+        assert len(messages) == 1
+        decoded, _ = decode_message(messages[0], peer="B")
+        assert len(decoded.announced) == 2
+
+    def test_distinct_attributes_split_messages(self):
+        update = BGPUpdate(
+            "B",
+            announced=[
+                Announcement("10.1.0.0/16", attrs()),
+                Announcement("10.2.0.0/16", attrs(med=9)),
+            ],
+        )
+        messages = encode_update(update)
+        assert len(messages) == 2
+
+    def test_communities_round_trip(self):
+        update = BGPUpdate(
+            "B",
+            announced=[
+                Announcement(
+                    "10.1.0.0/16", attrs(communities=["0:65001", "64512:65003"])
+                )
+            ],
+        )
+        (wire,) = encode_update(update)
+        decoded, _ = decode_message(wire, peer="B")
+        (announcement,) = decoded.announced
+        assert announcement.attributes.communities == frozenset(
+            {Community(0, 65001), Community(64512, 65003)}
+        )
+
+    def test_odd_prefix_lengths(self):
+        for text in ("0.0.0.0/0", "128.0.0.0/1", "10.0.0.0/9", "10.1.2.3/32", "10.1.2.0/23"):
+            update = BGPUpdate("B", announced=[Announcement(text, attrs())])
+            (wire,) = encode_update(update)
+            decoded, _ = decode_message(wire, peer="B")
+            assert decoded.announced[0].prefix == IPv4Prefix(text)
+
+    def test_long_as_path_segments(self):
+        path = list(range(64512, 64512 + 300))  # forces two AS_SEQUENCE segments
+        update = BGPUpdate(
+            "B", announced=[Announcement("10.1.0.0/16", attrs(as_path=path))]
+        )
+        (wire,) = encode_update(update)
+        decoded, _ = decode_message(wire, peer="B")
+        assert list(decoded.announced[0].attributes.as_path) == path
+
+    def test_decoded_update_feeds_route_server(self):
+        from repro.bgp.route_server import RouteServer
+
+        server = RouteServer()
+        server.add_peer("B")
+        server.add_peer("A")
+        update = BGPUpdate("B", announced=[Announcement("10.1.0.0/16", attrs())])
+        (wire,) = encode_update(update)
+        decoded, _ = decode_message(wire, peer="B")
+        server.process_update(decoded)
+        assert server.best_route("A", "10.1.0.0/16") is not None
+
+    def test_empty_update(self):
+        (wire,) = encode_update(BGPUpdate("B"))
+        decoded, _ = decode_message(wire, peer="B")
+        assert decoded.announced == () and decoded.withdrawn == ()

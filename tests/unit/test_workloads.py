@@ -1,0 +1,186 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.bgp.route_server import RouteServer
+from repro.bgp.updates import trace_stats
+from repro.netutils.ip import IPv4Prefix
+from repro.workloads.policy_gen import generate_policies
+from repro.workloads.prefixes import (
+    allocate_prefix_pool,
+    announcement_counts,
+    skew_summary,
+)
+from repro.workloads.topology_gen import ASCategory, generate_ixp
+from repro.workloads.update_gen import generate_update_trace
+
+import random
+
+
+class TestPrefixPool:
+    def test_pool_is_disjoint(self):
+        pool = allocate_prefix_pool(100)
+        assert len(pool) == 100
+        assert len(set(pool)) == 100
+        for i in range(len(pool) - 1):
+            assert not pool[i].overlaps(pool[i + 1])
+
+    def test_pool_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            allocate_prefix_pool(1 << 20)
+        with pytest.raises(ValueError):
+            allocate_prefix_pool(-1)
+
+    def test_all_are_slash_24(self):
+        assert all(p.length == 24 for p in allocate_prefix_pool(10))
+
+
+class TestAnnouncementCounts:
+    def test_sums_to_total(self):
+        counts = announcement_counts(50, 1000, random.Random(1))
+        assert sum(counts) == 1000
+        assert len(counts) == 50
+
+    def test_everyone_announces_at_least_one(self):
+        counts = announcement_counts(100, 120, random.Random(1))
+        assert min(counts) >= 1
+
+    def test_requires_enough_prefixes(self):
+        with pytest.raises(ValueError):
+            announcement_counts(10, 5, random.Random(1))
+
+    def test_skew_matches_paper_shape(self):
+        counts = announcement_counts(300, 20000, random.Random(1))
+        summary = skew_summary(counts)
+        # ~1% of ASes announce a large share; bottom 90% a small share.
+        assert summary["top_1pct_share"] > 0.3
+        assert summary["bottom_90pct_share"] < 0.35
+
+    def test_empty(self):
+        assert announcement_counts(0, 0, random.Random(1)) == []
+        assert skew_summary([]) == {"top_1pct_share": 0.0, "bottom_90pct_share": 0.0}
+
+
+class TestTopologyGen:
+    def test_deterministic_for_seed(self):
+        a = generate_ixp(30, 500, seed=7)
+        b = generate_ixp(30, 500, seed=7)
+        assert a.participant_names == b.participant_names
+        assert a.announced == b.announced
+        assert a.categories == b.categories
+
+    def test_counts(self):
+        ixp = generate_ixp(40, 800, seed=1)
+        assert len(ixp.participant_names) == 40
+        assert sum(len(p) for p in ixp.announced.values()) == 800
+
+    def test_categories_cover_all(self):
+        ixp = generate_ixp(60, 600, seed=2)
+        assert set(ixp.categories.values()) <= set(ASCategory.ALL)
+        assert set(ixp.categories) == set(ixp.participant_names)
+
+    def test_participants_in_sorted_by_prefix_count(self):
+        ixp = generate_ixp(60, 600, seed=2)
+        eyeballs = ixp.participants_in(ASCategory.EYEBALL)
+        counts = [len(ixp.announced[name]) for name in eyeballs]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_routes_load_into_route_server(self):
+        ixp = generate_ixp(20, 200, seed=3)
+        server = RouteServer()
+        for name in ixp.participant_names:
+            server.add_peer(name)
+        server.load(ixp.updates)
+        assert len(server.all_prefixes()) == 200
+
+    def test_multihoming_creates_alternate_routes(self):
+        ixp = generate_ixp(20, 200, seed=3, multihoming_fraction=1.0)
+        server = RouteServer()
+        for name in ixp.participant_names:
+            server.add_peer(name)
+        server.load(ixp.updates)
+        multi = sum(
+            1 for p in server.all_prefixes() if len(server.ranked_routes(p)) > 1
+        )
+        assert multi > 100
+
+    def test_port_fraction(self):
+        ixp = generate_ixp(100, 1000, seed=4, multi_port_fraction=1.0)
+        assert all(len(ixp.config.participant(n).ports) == 2 for n in ixp.participant_names)
+
+
+class TestPolicyGen:
+    def test_deterministic(self):
+        ixp = generate_ixp(50, 800, seed=5)
+        a = generate_policies(ixp, seed=6)
+        b = generate_policies(ixp, seed=6)
+        assert a.policies == b.policies
+
+    def test_only_head_participants_install(self):
+        ixp = generate_ixp(60, 900, seed=5)
+        workload = generate_policies(ixp, seed=6)
+        assert 0 < len(workload.policies) < len(ixp.participant_names)
+        assert workload.policy_count > 0
+
+    def test_eyeballs_have_inbound_only(self):
+        ixp = generate_ixp(60, 900, seed=5)
+        workload = generate_policies(ixp, seed=6)
+        for name in workload.policy_participants["eyeball"]:
+            policy_set = workload.policies[name]
+            assert policy_set.inbound is not None
+            assert policy_set.outbound is None
+
+    def test_policies_compile(self):
+        ixp = generate_ixp(40, 600, seed=5)
+        workload = generate_policies(ixp, seed=6)
+        for policy_set in workload.policies.values():
+            if policy_set.outbound is not None:
+                assert len(policy_set.outbound.compile()) > 0
+            if policy_set.inbound is not None:
+                assert len(policy_set.inbound.compile()) > 0
+
+
+class TestUpdateGen:
+    def test_trace_is_time_ordered(self):
+        ixp = generate_ixp(20, 300, seed=7)
+        trace = generate_update_trace(ixp, bursts=30, seed=8)
+        times = [u.time for u in trace.updates]
+        assert times == sorted(times)
+
+    def test_updates_reference_known_prefixes_and_owners(self):
+        ixp = generate_ixp(20, 300, seed=7)
+        trace = generate_update_trace(ixp, bursts=30, seed=8)
+        owners = {
+            prefix: name for name, prefixes in ixp.announced.items() for prefix in prefixes
+        }
+        for update in trace.updates:
+            for prefix in update.prefixes:
+                assert owners[prefix] == update.peer
+
+    def test_active_fraction_bounds_touched_prefixes(self):
+        ixp = generate_ixp(20, 500, seed=7)
+        trace = generate_update_trace(ixp, bursts=200, seed=8, active_fraction=0.1)
+        stats = trace_stats(trace.updates, ixp.all_prefixes())
+        assert stats.fraction_prefixes_updated <= 0.1 + 1e-9
+
+    def test_burst_size_distribution(self):
+        ixp = generate_ixp(30, 3000, seed=7)
+        trace = generate_update_trace(ixp, bursts=300, seed=9)
+        stats = trace_stats(trace.updates, ixp.all_prefixes(), gap_threshold=2.0)
+        small = sum(1 for size in stats.burst_sizes if size <= 3)
+        assert small / stats.bursts > 0.6  # 75% target with sampling noise
+
+    def test_trace_applies_to_route_server(self):
+        ixp = generate_ixp(20, 300, seed=7)
+        server = RouteServer()
+        for name in ixp.participant_names:
+            server.add_peer(name)
+        server.load(ixp.updates)
+        trace = generate_update_trace(ixp, bursts=20, seed=8)
+        server.load(trace.updates)  # must not raise
+
+    def test_requires_prefixes(self):
+        ixp = generate_ixp(3, 3, seed=7)
+        ixp = ixp._replace(announced={name: () for name in ixp.participant_names})
+        with pytest.raises(ValueError):
+            generate_update_trace(ixp, bursts=5)
