@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test property integration bench experiments quick examples clean
+.PHONY: install test property integration chaos bench experiments quick examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,9 @@ property:
 
 integration:
 	$(PYTHON) -m pytest tests/integration/
+
+chaos:
+	$(PYTHON) -m pytest -m chaos tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Resilience drill: the SDX degrading sanely under injected faults.
+
+Walks the Figure 1 exchange through four failure drills using the
+seeded fault-injection harness (`repro.resilience.faults`):
+
+1. a participant ships a policy that explodes at compile time — the
+   controller quarantines exactly that participant;
+2. a route flaps — RFC 2439 damping suppresses the recompilation storm
+   and schedules one catch-up;
+3. a peer falls silent — the hold timer fails the session, graceful
+   restart (RFC 4724) retains its routes, backoff reconnection brings
+   it back without a single flow-table write;
+4. a fabric commit is sabotaged mid-transaction — the two-phase commit
+   rolls the flow table back bit-identically.
+
+Run with::
+
+    python examples/resilience_drill.py
+"""
+
+from repro import IXPConfig, RouteAttributes, SDXController
+from repro.resilience import CommitSabotage, FaultInjector, LivenessConfig
+from repro.sim.clock import Simulator
+from repro.policy import fwd, match
+
+PREFIX = "10.1.0.0/16"
+
+
+def build_exchange() -> SDXController:
+    config = IXPConfig(vnh_pool="172.16.0.0/16")
+    config.add_participant("A", 65001, [("A1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant("B", 65002, [("B1", "172.0.0.11", "08:00:27:00:00:11")])
+    config.add_participant("C", 65003, [("C1", "172.0.0.21", "08:00:27:00:00:21")])
+    controller = SDXController(config)
+    controller.announce(
+        "B", PREFIX, RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
+    )
+    controller.announce(
+        "C", PREFIX, RouteAttributes(as_path=[65100], next_hop="172.0.0.21")
+    )
+    controller.register_participant("A").set_policies(
+        outbound=(match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C")),
+        recompile=False,
+    )
+    controller.compile()
+    return controller
+
+
+def drill_poisoned_policy(controller: SDXController, injector: FaultInjector) -> None:
+    print("== Drill 1: poisoned participant policy ==")
+    injector.poison_policy(controller, "A")
+    controller.compile()  # does not raise: the culprit is quarantined
+    record = controller.quarantined()["A"]
+    print(f"quarantined: {record.participant} ({record.error_type}: {record.error})")
+    print(f"health: {controller.health().summary()}")
+    # The operator ships a fixed policy; quarantine lifts automatically.
+    controller.register_participant("A").set_policies(
+        outbound=(match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C")),
+        recompile=True,
+    )
+    print(f"after fix: degraded={controller.health().degraded}\n")
+
+
+def drill_flap_damping(controller: SDXController, sim: Simulator) -> None:
+    print("== Drill 2: route-flap damping ==")
+    waves_before = len(controller.fast_path_log)
+    attributes = RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
+    for _ in range(6):
+        controller.withdraw("B", PREFIX)
+        controller.announce("B", PREFIX, attributes)
+    waves = len(controller.fast_path_log) - waves_before
+    print(f"12 flap events -> {waves} recompilation wave(s)")
+    print(f"damped routes: {controller.resilience.damped_routes()}")
+    sim.run_until(sim.now + 6 * 3600)  # penalties decay; one catch-up runs
+    catch_up = len(controller.fast_path_log) - waves_before - waves
+    print(f"after decay: {catch_up} catch-up recompilation, "
+          f"damped={controller.health().damped}\n")
+
+
+def drill_graceful_restart(controller, sim: Simulator, reachable: dict) -> None:
+    print("== Drill 3: session failure with graceful restart ==")
+    resilience = controller.resilience
+    server = controller.route_server
+    sim.run_until(sim.now + 2)  # settle any in-flight reconnections
+    resilience.liveness.heard_from("B")  # B's last word: hold expires in 90s
+    table_hash = controller.switch.table.content_hash()
+    # B's router becomes unreachable: probes fail until the link heals.
+    reachable["B"] = False
+    # A and C stay chatty; B falls silent and its hold timer expires.
+    horizon = sim.now + 120
+    for peer in ("A", "C"):
+        sim.schedule_every(
+            10, lambda p=peer: resilience.liveness.heard_from(p), until=horizon
+        )
+    sim.run_until(sim.now + 95)
+    print(f"B session: {server.session('B').state.value}, "
+          f"stale routes retained: {len(server.stale_prefixes('B'))}")
+    reachable["B"] = True
+    sim.run_until(sim.now + 15)  # backoff reconnection brings B back
+    print(f"B session after reconnect: {server.session('B').state.value}")
+    controller.announce(  # B refreshes its table; End-of-RIB sweeps nothing
+        "B", PREFIX, RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
+    )
+    resilience.end_of_rib("B")
+    unchanged = controller.switch.table.content_hash() == table_hash
+    print(f"flow table untouched across failure + restart: {unchanged}\n")
+
+
+def drill_commit_sabotage(controller: SDXController, injector: FaultInjector) -> None:
+    print("== Drill 4: transactional fabric commit ==")
+    before = controller.switch.table.content_hash()
+    injector.sabotage_commit(controller)
+    try:
+        controller.run_background_recompilation()
+    except CommitSabotage as exc:
+        print(f"commit aborted: {exc}")
+    print(f"rolled back bit-identically: "
+          f"{controller.switch.table.content_hash() == before}")
+    controller.run_background_recompilation()  # recovery commit is clean
+    print(f"health: {controller.health().summary()}")
+
+
+def main() -> None:
+    controller = build_exchange()
+    sim = Simulator()
+    reachable: dict = {}  # peer -> probe verdict (absent = reachable)
+    controller.enable_resilience(
+        clock=sim,
+        liveness=LivenessConfig(hold_time=90),
+        reconnect_probe=lambda peer: reachable.get(peer, True),
+    )
+    injector = FaultInjector(seed=42)
+
+    drill_poisoned_policy(controller, injector)
+    drill_flap_damping(controller, sim)
+    drill_graceful_restart(controller, sim, reachable)
+    drill_commit_sabotage(controller, injector)
+
+    print(f"\nfault log (seed {injector.seed}): {injector.log}")
+
+
+if __name__ == "__main__":
+    main()

@@ -139,6 +139,11 @@ class RouteServer:
         self._always_compare_med = always_compare_med
         self.asn = asn
         self._peer_asns: Dict[str, int] = {}
+        # Graceful restart (RFC 4724): peers opted in keep their routes
+        # as *stale* across a session failure instead of triggering an
+        # immediate withdraw storm.
+        self._graceful: Set[str] = set()
+        self._stale: Dict[str, Set[IPv4Prefix]] = {}
 
     # -- peers ----------------------------------------------------------
 
@@ -169,16 +174,72 @@ class RouteServer:
     def peers(self) -> FrozenSet[str]:
         return frozenset(self._sessions)
 
+    def peer_asn(self, peer: str) -> Optional[int]:
+        """The ASN registered for ``peer``, if any."""
+        return self._peer_asns.get(peer)
+
+    # -- graceful restart (RFC 4724 semantics) ---------------------------------
+
+    def set_graceful_restart(self, peer: str, enabled: bool = True) -> None:
+        """Opt ``peer`` in (or out) of stale-route retention on failure."""
+        if peer not in self._sessions:
+            raise KeyError(f"unknown peer {peer!r}")
+        if enabled:
+            self._graceful.add(peer)
+        else:
+            self._graceful.discard(peer)
+
+    def stale_prefixes(self, peer: str) -> FrozenSet[IPv4Prefix]:
+        """Prefixes retained from ``peer``'s last session, not yet refreshed."""
+        return frozenset(self._stale.get(peer, ()))
+
+    def sweep_stale(self, peer: str) -> List[BestPathChange]:
+        """Withdraw every still-stale route from ``peer``.
+
+        Called when the restart timer expires before the peer returns,
+        or on End-of-RIB after it did (any route it no longer announced
+        must go).
+        """
+        stale = self._stale.pop(peer, None)
+        if not stale:
+            return []
+        rib_in = self._adj_rib_in[peer]
+        touched: Set[IPv4Prefix] = set()
+        for prefix in stale:
+            if rib_in.remove(prefix) is not None:
+                self._unindex(peer, prefix)
+                touched.add(prefix)
+        return self._notify(touched)
+
+    def end_of_rib(self, peer: str) -> List[BestPathChange]:
+        """The peer finished its initial re-advertisement (RFC 4724 §3)."""
+        return self.sweep_stale(peer)
+
     def _session_changed(self, session: BGPSession, state: SessionState) -> None:
         if state is SessionState.IDLE:
-            # Session down: every route learned from this peer is invalid.
-            dropped = self._adj_rib_in[session.peer].clear()
-            if dropped:
-                touched = set()
-                for route in dropped:
-                    self._unindex(session.peer, route.prefix)
-                    touched.add(route.prefix)
-                self._notify(touched)
+            # Administrative shutdown: every route from this peer is
+            # invalid immediately, stale retention included.
+            self._stale.pop(session.peer, None)
+            self._flush_peer(session.peer)
+        elif state is SessionState.FAILED:
+            if session.peer in self._graceful:
+                # Graceful restart: keep forwarding on the last-known
+                # routes, but mark them stale so a restart timer or
+                # End-of-RIB can reap whatever is not refreshed.
+                self._stale[session.peer] = set(
+                    self._adj_rib_in[session.peer].prefixes()
+                )
+            else:
+                self._flush_peer(session.peer)
+
+    def _flush_peer(self, peer: str) -> None:
+        dropped = self._adj_rib_in[peer].clear()
+        if dropped:
+            touched = set()
+            for route in dropped:
+                self._unindex(peer, route.prefix)
+                touched.add(route.prefix)
+            self._notify(touched)
 
     # -- the shared candidate index -----------------------------------------
 
@@ -247,8 +308,11 @@ class RouteServer:
         if not self._sessions[peer].is_established:
             raise RuntimeError(f"peer {peer!r} session is not established")
         rib_in = self._adj_rib_in[peer]
+        stale = self._stale.get(peer)
         touched: Set[IPv4Prefix] = set()
         for withdrawal in update.withdrawn:
+            if stale is not None:
+                stale.discard(withdrawal.prefix)
             if rib_in.remove(withdrawal.prefix) is not None:
                 self._unindex(peer, withdrawal.prefix)
                 touched.add(withdrawal.prefix)
@@ -269,6 +333,9 @@ class RouteServer:
                 learned_from=peer,
                 export_to=export_to,
             )
+            if stale is not None:
+                # A refreshed route is no longer stale, even if identical.
+                stale.discard(announcement.prefix)
             previous = rib_in.insert(route)
             if previous != route:
                 self._index(route)

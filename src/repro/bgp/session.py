@@ -1,26 +1,38 @@
 """Simplified BGP peering sessions.
 
-The wire-level FSM (RFC 4271 §8) is reduced to the three states the
-SDX evaluation exercises: a session is configured (IDLE), comes up
-(ESTABLISHED), and may fail or be shut down — at which point every
-route learned over it must be withdrawn, which is exactly the event the
-paper's Figure 5a induces ("AS B withdraws its route to AWS").
+The wire-level FSM (RFC 4271 §8) is reduced to the states the SDX
+evaluation exercises: a session is configured (IDLE), comes up
+(ESTABLISHED), and goes down — at which point routes learned over it
+are at stake, which is exactly the event the paper's Figure 5a induces
+("AS B withdraws its route to AWS").
+
+Going down happens two distinct ways, and the distinction is what the
+resilience layer (:mod:`repro.resilience`) is built on:
+
+* :meth:`BGPSession.shutdown` — administrative teardown.  Routes are
+  flushed immediately and nothing tries to bring the session back.
+* :meth:`BGPSession.fail` — the peer died (hold-timer expiry, crash,
+  too many malformed UPDATEs).  The session enters ``FAILED``, from
+  which reconnection may be attempted; with graceful restart enabled
+  (RFC 4724) the route server retains the peer's routes as *stale*
+  instead of triggering a withdraw storm.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 __all__ = ["BGPSession", "SessionState"]
 
 
 class SessionState(enum.Enum):
-    """The reduced session FSM: configured, connecting, or up."""
+    """The reduced session FSM: configured, connecting, up, or crashed."""
 
     IDLE = "idle"
     CONNECT = "connect"
     ESTABLISHED = "established"
+    FAILED = "failed"
 
 
 class BGPSession:
@@ -29,11 +41,17 @@ class BGPSession:
     def __init__(self, peer: str) -> None:
         self.peer = peer
         self.state = SessionState.IDLE
+        self.flaps = 0
         self._listeners: List[Callable[["BGPSession", SessionState], None]] = []
 
     @property
     def is_established(self) -> bool:
         return self.state is SessionState.ESTABLISHED
+
+    @property
+    def is_down(self) -> bool:
+        """True when no routes may be received (IDLE or FAILED)."""
+        return self.state in (SessionState.IDLE, SessionState.FAILED)
 
     def on_state_change(
         self, listener: Callable[["BGPSession", SessionState], None]
@@ -42,25 +60,34 @@ class BGPSession:
         self._listeners.append(listener)
 
     def start(self) -> None:
-        """IDLE -> CONNECT (the TCP handshake begins)."""
-        self._transition(SessionState.CONNECT, allowed=(SessionState.IDLE,))
+        """IDLE/FAILED -> CONNECT (the TCP handshake begins)."""
+        self._transition(
+            SessionState.CONNECT, allowed=(SessionState.IDLE, SessionState.FAILED)
+        )
 
     def establish(self) -> None:
-        """CONNECT (or IDLE, for convenience) -> ESTABLISHED."""
-        if self.state is SessionState.IDLE:
+        """CONNECT (or IDLE/FAILED, for convenience) -> ESTABLISHED."""
+        if self.state in (SessionState.IDLE, SessionState.FAILED):
             self.start()
         self._transition(SessionState.ESTABLISHED, allowed=(SessionState.CONNECT,))
 
     def shutdown(self) -> None:
-        """Any state -> IDLE; routes over this session become invalid."""
+        """Administrative teardown: any state -> IDLE, routes flushed."""
         self._transition(SessionState.IDLE, allowed=None)
 
     def fail(self) -> None:
-        """Session failure: same route-invalidation effect as shutdown."""
-        self.shutdown()
+        """Session failure: any state -> FAILED; reconnection may follow.
+
+        Unlike :meth:`shutdown`, a failure is an *event* the resilience
+        layer reacts to — stale-route retention, backoff reconnection —
+        rather than an operator's decision.
+        """
+        if self.state is not SessionState.FAILED:
+            self.flaps += 1
+        self._transition(SessionState.FAILED, allowed=None)
 
     def _transition(
-        self, target: SessionState, allowed: Optional[tuple]
+        self, target: SessionState, allowed: Optional[Tuple[SessionState, ...]]
     ) -> None:
         if allowed is not None and self.state not in allowed:
             raise RuntimeError(
@@ -70,8 +97,16 @@ class BGPSession:
         if self.state is target:
             return
         self.state = target
+        # One raising listener must not starve the rest — the route
+        # server's own flush listener shares this list with user code.
+        errors: List[BaseException] = []
         for listener in list(self._listeners):
-            listener(self, target)
+            try:
+                listener(self, target)
+            except Exception as exc:  # noqa: BLE001 - isolate listeners
+                errors.append(exc)
+        if errors:
+            raise errors[0]
 
     def __repr__(self) -> str:
         return f"BGPSession(peer={self.peer!r}, state={self.state.value})"

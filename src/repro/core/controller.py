@@ -25,7 +25,9 @@ Typical use::
 from __future__ import annotations
 
 from typing import (
+    TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     FrozenSet,
     List,
@@ -56,6 +58,12 @@ from repro.ixp.topology import IXPConfig
 from repro.netutils.ip import IPv4Address, IPv4Prefix
 from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
 from repro.policy.packet import Packet
+from repro.resilience.health import HealthReport, QuarantineRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.incremental import FastPathUpdate as _FastPathUpdate
+    from repro.resilience import ResilienceCoordinator
+    from repro.sim.clock import Simulator
 
 __all__ = ["PacketTrace", "SDXController"]
 
@@ -131,6 +139,10 @@ class SDXController:
         self._base_cookies: List[Tuple] = []
         self._advertised: Dict[Tuple[str, IPv4Prefix], IPv4Address] = {}
         self._fast_path_log: List[FastPathUpdate] = []
+        self._quarantined: Dict[str, QuarantineRecord] = {}
+        self._commit_hooks: List[Callable[[CompilationResult], None]] = []
+        #: set by :meth:`enable_resilience`
+        self.resilience: Optional["ResilienceCoordinator"] = None
 
         for participant in config.participants():
             self.route_server.add_peer(participant.name, asn=participant.asn)
@@ -156,8 +168,13 @@ class SDXController:
     def set_policies(
         self, name: str, policy_set: SDXPolicySet, recompile: bool = True
     ) -> None:
-        """Install a participant's policy set, optionally recompiling now."""
+        """Install a participant's policy set, optionally recompiling now.
+
+        Submitting a new policy set clears any quarantine on the
+        participant — it is their chance to ship a fix.
+        """
         self.config.participant(name)
+        self._quarantined.pop(name, None)
         if policy_set.is_empty:
             self._policies.pop(name, None)
         else:
@@ -167,6 +184,19 @@ class SDXController:
 
     def policies(self) -> Mapping[str, SDXPolicySet]:
         return dict(self._policies)
+
+    # -- quarantine (fault-isolated compilation) --------------------------------
+
+    def quarantined(self) -> Mapping[str, QuarantineRecord]:
+        """Participants degraded to BGP-default forwarding, with diagnoses."""
+        return dict(self._quarantined)
+
+    def release_quarantine(self, name: str, recompile: bool = True) -> bool:
+        """Re-admit a quarantined participant's policies (operator action)."""
+        released = self._quarantined.pop(name, None) is not None
+        if released and recompile:
+            self.compile()
+        return released
 
     # -- service chains (Section 8 extension) -----------------------------------
 
@@ -200,8 +230,12 @@ class SDXController:
         """Feed one BGP UPDATE from a participant into the route server.
 
         Best-path changes trigger the fast path automatically (when a
-        base compilation exists and the fast path is enabled).
+        base compilation exists and the fast path is enabled).  With
+        resilience enabled, the update first passes the RFC 7606 guard
+        and flap-damping bookkeeping.
         """
+        if self.resilience is not None:
+            return self.resilience.process_update(update)
         return self.route_server.process_update(update)
 
     def announce(
@@ -266,34 +300,113 @@ class SDXController:
 
         Also flushes any fast-path blocks — this is the "background
         re-optimization" endpoint of Section 4.3.2.
+
+        Compilation is *fault-isolated*: a participant whose policy
+        raises during compilation is quarantined (degraded to BGP
+        default forwarding, with a recorded diagnosis) and the global
+        compile proceeds without it.  The flow-table installation is
+        *transactional*: a failure mid-commit rolls the fabric back to
+        its pre-commit state rather than leaving it half-written.
         """
-        result = self.compiler.compile(
-            self._policies,
-            originated=self.originated(),
-            allocator=self.allocator,
-            chains=self._chains.values(),
-        )
-        self._last_result = result
-        for cookie in self._base_cookies:
-            self.switch.table.remove_by_cookie(cookie)
-        self._base_cookies.clear()
-        self.fast_path.flush()
-        # Install per-provenance segments so the flow table can account
-        # traffic per participant policy.  Segment order fixes relative
-        # priority: earlier segments sit above later ones.
-        segments = result.segments or ((("all",), result.classifier),)
-        remaining = sum(len(block) for _, block in segments)
-        for label, block in segments:
-            cookie = (BASE_COOKIE, *label)
-            base = BASE_PRIORITY + remaining - len(block)
-            self.switch.table.install_classifier(
-                block, base_priority=base, cookie=cookie
-            )
-            self._base_cookies.append(cookie)
-            remaining -= len(block)
-        self._advertised = dict(result.advertised_next_hops)
-        self._push_routes_to_all()
+        result = self._compile_isolated()
+        self._install(result)
         return result
+
+    def _compile_isolated(self) -> CompilationResult:
+        """Compile, quarantining any participant whose policy explodes."""
+        active = {
+            name: policy_set
+            for name, policy_set in self._policies.items()
+            if name not in self._quarantined
+        }
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return self.compiler.compile(
+                    active,
+                    originated=self.originated(),
+                    allocator=self.allocator,
+                    chains=self._chains.values(),
+                )
+            except Exception as exc:
+                culprit = self._diagnose_culprit(active)
+                if culprit is None:
+                    raise
+                self._quarantined[culprit] = QuarantineRecord(
+                    participant=culprit,
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                    compile_attempts=attempts,
+                )
+                active.pop(culprit)
+
+    def _diagnose_culprit(self, policies: Mapping[str, SDXPolicySet]) -> Optional[str]:
+        """Which single participant's policy set fails to compile alone?"""
+        probe_allocator = VirtualNextHopAllocator(self.config.vnh_pool)
+        for name in sorted(policies):
+            try:
+                self.compiler.compile(
+                    {name: policies[name]}, allocator=probe_allocator
+                )
+            except Exception:
+                return name
+        return None
+
+    def _install(self, result: CompilationResult) -> None:
+        """Two-phase commit of a compilation into the switch.
+
+        Any exception inside the transaction — including a registered
+        commit hook raising — restores the flow table, the fast-path
+        state, and the advertisement map to their pre-commit values,
+        then propagates.
+        """
+        table = self.switch.table
+        saved_fast_path = self.fast_path.snapshot()
+        saved_cookies = list(self._base_cookies)
+        saved_advertised = dict(self._advertised)
+        transaction = table.transaction()
+        try:
+            for cookie in self._base_cookies:
+                table.remove_by_cookie(cookie)
+            self._base_cookies.clear()
+            self.fast_path.flush()
+            # Install per-provenance segments so the flow table can account
+            # traffic per participant policy.  Segment order fixes relative
+            # priority: earlier segments sit above later ones.
+            segments = result.segments or ((("all",), result.classifier),)
+            remaining = sum(len(block) for _, block in segments)
+            for label, block in segments:
+                cookie = (BASE_COOKIE, *label)
+                base = BASE_PRIORITY + remaining - len(block)
+                table.install_classifier(block, base_priority=base, cookie=cookie)
+                self._base_cookies.append(cookie)
+                remaining -= len(block)
+            self._advertised = dict(result.advertised_next_hops)
+            for hook in list(self._commit_hooks):
+                hook(result)
+            transaction.commit()
+        except BaseException:
+            transaction.rollback()
+            self.fast_path.restore(saved_fast_path)
+            self._base_cookies = saved_cookies
+            self._advertised = saved_advertised
+            raise
+        self._last_result = result
+        self._push_routes_to_all()
+
+    def add_commit_hook(self, hook: Callable[[CompilationResult], None]) -> None:
+        """Run ``hook`` inside every fabric-commit transaction.
+
+        A raising hook aborts the commit and triggers rollback — the
+        fault-injection harness uses this to exercise mid-commit
+        failures; deployments could use it for external validation.
+        """
+        self._commit_hooks.append(hook)
+
+    def remove_commit_hook(self, hook: Callable[[CompilationResult], None]) -> None:
+        if hook in self._commit_hooks:
+            self._commit_hooks.remove(hook)
 
     def run_background_recompilation(self) -> CompilationResult:
         """Alias for :meth:`compile`, named for its Section 4.3.2 role."""
@@ -313,8 +426,18 @@ class SDXController:
     def _on_best_path_changes(self, changes: List[BestPathChange]) -> None:
         if not self.fast_path_enabled or self._last_result is None:
             return
+        if self.resilience is not None:
+            changes = self.resilience.filter_changes(changes)
+            if not changes:
+                return
         results = self.fast_path.handle_changes(changes)
         self._fast_path_log.extend(results)
+
+    def refresh_prefix(self, prefix: "IPv4Prefix | str") -> "_FastPathUpdate":
+        """Force one prefix through the fast path (damping catch-up)."""
+        result = self.fast_path.handle_prefix(IPv4Prefix(prefix))
+        self._fast_path_log.append(result)
+        return result
 
     def raw_outbound_classifier(self, name: str) -> Optional[Classifier]:
         """The participant's compiled (untransformed) outbound policy."""
@@ -412,6 +535,60 @@ class SDXController:
     def _push_routes_to_all(self) -> None:
         for name in self._routers:
             self._push_routes_to(name)
+
+    # -- resilience ---------------------------------------------------------------------
+
+    def enable_resilience(
+        self,
+        clock: Optional["Simulator"] = None,
+        **configs: Any,
+    ) -> "ResilienceCoordinator":
+        """Attach the resilience layer (liveness, damping, update guard).
+
+        ``configs`` forwards to
+        :class:`~repro.resilience.ResilienceCoordinator` (``liveness=``,
+        ``damping=``, ``protection=``, ``reconnect_probe=``).  Updates
+        then flow through the RFC 7606 guard, flap damping gates the
+        fast path, and session hold/restart timers run on ``clock``.
+        """
+        from repro.resilience import ResilienceCoordinator
+
+        self.resilience = ResilienceCoordinator(self, clock=clock, **configs)
+        return self.resilience
+
+    def health(self) -> HealthReport:
+        """One consistent snapshot of the exchange's operational state.
+
+        Works with or without the resilience layer attached; damping
+        and update-error fields are simply empty without it.
+        """
+        server = self.route_server
+        sessions = {peer: server.session(peer).state.value for peer in server.peers()}
+        stale = {
+            peer: len(server.stale_prefixes(peer))
+            for peer in server.peers()
+            if server.stale_prefixes(peer)
+        }
+        damped: Tuple[Tuple[str, str], ...] = ()
+        update_errors: Dict[str, Mapping[str, int]] = {}
+        if self.resilience is not None:
+            damped = tuple(
+                (peer, str(prefix))
+                for peer, prefix in self.resilience.damper.suppressed_routes()
+            )
+            update_errors = {
+                peer: counters.snapshot()
+                for peer, counters in self.resilience.guard.all_counters().items()
+            }
+        return HealthReport(
+            sessions=sessions,
+            quarantined=self.quarantined(),
+            damped=damped,
+            stale_routes=stale,
+            update_errors=update_errors,
+            fast_path_prefixes=len(self.fast_path.active_prefixes),
+            flow_rules=len(self.switch.table),
+        )
 
     # -- diagnostics and accounting ------------------------------------------------------
 

@@ -135,6 +135,20 @@ class FastPathEngine:
         self._active.clear()
         return removed
 
+    def snapshot(self) -> Tuple[Dict[IPv4Prefix, Any], int]:
+        """Capture the engine's bookkeeping for transactional rollback.
+
+        Only the cookie map and sequence counter are recorded — the flow
+        rules themselves are covered by the flow table's own checkpoint.
+        """
+        return dict(self._active), self._sequence
+
+    def restore(self, state: Tuple[Dict[IPv4Prefix, Any], int]) -> None:
+        """Reinstate bookkeeping captured by :meth:`snapshot`."""
+        active, sequence = state
+        self._active = dict(active)
+        self._sequence = sequence
+
     # -- prefix-restricted compilation ------------------------------------------
 
     def _compile_prefix(

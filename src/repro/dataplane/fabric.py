@@ -10,12 +10,13 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, FrozenSet, List, NamedTuple, Optional, Tuple
 
+from repro.dataplane.flowtable import FlowTable
 from repro.dataplane.switch import Node
 from repro.netutils.ip import IPv4Address
 from repro.netutils.mac import MACAddress
 from repro.policy.packet import Packet
 
-__all__ = ["Endpoint", "Fabric", "Host"]
+__all__ = ["Endpoint", "Fabric", "FabricTransaction", "Host"]
 
 
 class Endpoint(NamedTuple):
@@ -157,5 +158,63 @@ class Fabric:
         self.dropped_unlinked = 0
         self.hop_limit_drops = 0
 
+    # -- transactional table updates -------------------------------------------
+
+    def _flow_tables(self) -> Dict[str, FlowTable]:
+        """Every node exposing a :class:`FlowTable` (switches, not hosts)."""
+        return {
+            name: node.table
+            for name, node in self._nodes.items()
+            if isinstance(getattr(node, "table", None), FlowTable)
+        }
+
+    def transaction(self) -> "FabricTransaction":
+        """Atomically update every switch table in the fabric.
+
+        An exception inside the ``with`` block restores all tables to
+        their pre-transaction state — no node is left running a
+        half-written table while its neighbours run the new one.
+        """
+        return FabricTransaction(self)
+
+    def table_hashes(self) -> Dict[str, str]:
+        """Per-node content hash of each flow table (rollback verification)."""
+        return {
+            name: table.content_hash() for name, table in self._flow_tables().items()
+        }
+
     def __repr__(self) -> str:
         return f"Fabric(nodes={len(self._nodes)}, links={len(self._links) // 2})"
+
+
+class FabricTransaction:
+    """A fabric-wide two-phase commit over every node's flow table."""
+
+    def __init__(self, fabric: Fabric) -> None:
+        self._checkpoints = {
+            name: table.transaction() for name, table in fabric._flow_tables().items()
+        }
+        self._closed = False
+
+    def commit(self) -> None:
+        if self._closed:
+            return
+        for txn in self._checkpoints.values():
+            txn.commit()
+        self._closed = True
+
+    def rollback(self) -> None:
+        if self._closed:
+            return
+        for txn in self._checkpoints.values():
+            txn.rollback()
+        self._closed = True
+
+    def __enter__(self) -> "FabricTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.rollback()
+        else:
+            self.commit()

@@ -10,13 +10,14 @@ read to produce their traffic time series.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
 from repro.policy.packet import Packet
 
-__all__ = ["FlowRule", "FlowTable"]
+__all__ = ["FlowRule", "FlowTable", "FlowTableTransaction"]
 
 _rule_ids = itertools.count(1)
 
@@ -113,6 +114,44 @@ class FlowTable:
     def clear(self) -> None:
         self._rules.clear()
 
+    # -- transactions --------------------------------------------------------
+
+    def checkpoint(self) -> Tuple[FlowRule, ...]:
+        """An immutable snapshot of the current rule list.
+
+        Rule objects are shared, not copied, so counters keep ticking;
+        what :meth:`restore` brings back is the table's *membership and
+        order*, which is exactly what a half-applied update corrupts.
+        """
+        return tuple(self._rules)
+
+    def restore(self, checkpoint: Tuple[FlowRule, ...]) -> None:
+        """Reset the table to a previously taken :meth:`checkpoint`."""
+        self._rules = list(checkpoint)
+
+    def transaction(self) -> "FlowTableTransaction":
+        """Start a two-phase update; see :class:`FlowTableTransaction`."""
+        return FlowTableTransaction(self)
+
+    def content_hash(self) -> str:
+        """Deterministic digest of (priority, match, actions, cookie) rows.
+
+        Counters are deliberately excluded: two tables that forward
+        identically hash identically, which is what the transactional
+        rollback tests compare.
+        """
+        digest = hashlib.sha256()
+        for rule in self._rules:
+            row = (
+                rule.priority,
+                repr(rule.match),
+                tuple(sorted(repr(action) for action in rule.actions)),
+                repr(rule.cookie),
+            )
+            digest.update(repr(row).encode())
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
     # -- matching ----------------------------------------------------------
 
     def lookup(self, packet: Packet) -> Optional[FlowRule]:
@@ -152,3 +191,47 @@ class FlowTable:
 
     def __repr__(self) -> str:
         return f"FlowTable(rules={len(self._rules)}, misses={self.misses})"
+
+
+class FlowTableTransaction:
+    """Two-phase apply for a :class:`FlowTable`.
+
+    Mutations between construction and :meth:`commit` happen in place
+    (switches keep forwarding on the intermediate state, as hardware
+    does), but :meth:`rollback` — or an exception inside the ``with``
+    block — restores the entry snapshot, so an aborted update can never
+    leave the table half-written::
+
+        with table.transaction():
+            table.remove_by_cookie(old)
+            table.install_classifier(new_block, ...)
+            # raising here restores the pre-transaction table
+    """
+
+    def __init__(self, table: FlowTable) -> None:
+        self._table = table
+        self._checkpoint = table.checkpoint()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def commit(self) -> None:
+        """Keep the mutations; the checkpoint is discarded."""
+        self._closed = True
+
+    def rollback(self) -> None:
+        """Restore the table to its state at transaction start."""
+        if not self._closed:
+            self._table.restore(self._checkpoint)
+            self._closed = True
+
+    def __enter__(self) -> "FlowTableTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.rollback()
+        else:
+            self.commit()

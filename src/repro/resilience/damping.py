@@ -1,0 +1,174 @@
+"""RFC 2439-style route-flap damping.
+
+A pathologically flapping route can otherwise starve the two-stage
+compiler: every withdraw/re-announce pair triggers a fast-path
+recompilation (Section 4.3.2), and a tight flap loop turns the SDX into
+a recompilation treadmill.  :class:`FlapDamper` keeps an exponentially
+decaying penalty per (peer, prefix); once the penalty crosses the
+suppress threshold the prefix's best-path changes are withheld from the
+fast path until the penalty decays below the reuse threshold.
+
+The damper only gates *recompilation* — the RIB itself stays exact, so
+when a prefix is released one recompilation brings the data plane back
+in sync with BGP.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, NamedTuple, Optional, Tuple
+
+from repro.netutils.ip import IPv4Prefix
+
+__all__ = ["DampingConfig", "FlapDamper", "FlapRecord"]
+
+
+class DampingConfig(NamedTuple):
+    """RFC 2439 parameters (defaults mirror common router vendor values)."""
+
+    withdraw_penalty: float = 1000.0
+    readvertise_penalty: float = 500.0
+    attribute_penalty: float = 500.0
+    suppress_threshold: float = 2000.0
+    reuse_threshold: float = 750.0
+    #: seconds for the penalty to halve
+    half_life: float = 900.0
+    #: ceiling on the accumulated penalty (bounds suppression time)
+    max_penalty: float = 12000.0
+
+
+class FlapRecord:
+    """Mutable damping state for one (peer, prefix) route."""
+
+    __slots__ = ("penalty", "last_updated", "suppressed", "flaps")
+
+    def __init__(self, now: float) -> None:
+        self.penalty = 0.0
+        self.last_updated = now
+        self.suppressed = False
+        self.flaps = 0
+
+    def decay(self, now: float, half_life: float) -> None:
+        elapsed = now - self.last_updated
+        if elapsed > 0:
+            self.penalty *= 0.5 ** (elapsed / half_life)
+            self.last_updated = now
+
+
+class FlapDamper:
+    """Per-route penalty accounting in front of the fast-path engine."""
+
+    def __init__(self, clock, config: DampingConfig = DampingConfig()) -> None:
+        if config.reuse_threshold >= config.suppress_threshold:
+            raise ValueError("reuse threshold must sit below suppress threshold")
+        self._clock = clock
+        self.config = config
+        self._records: Dict[Tuple[str, IPv4Prefix], FlapRecord] = {}
+
+    # -- recording flap events ------------------------------------------------
+
+    def record_withdraw(self, peer: str, prefix: "IPv4Prefix | str") -> bool:
+        return self._penalize(peer, prefix, self.config.withdraw_penalty)
+
+    def record_readvertise(self, peer: str, prefix: "IPv4Prefix | str") -> bool:
+        return self._penalize(peer, prefix, self.config.readvertise_penalty)
+
+    def record_attribute_change(self, peer: str, prefix: "IPv4Prefix | str") -> bool:
+        return self._penalize(peer, prefix, self.config.attribute_penalty)
+
+    def _penalize(self, peer: str, prefix: "IPv4Prefix | str", amount: float) -> bool:
+        """Add penalty; returns True when the route is now suppressed."""
+        key = (peer, IPv4Prefix(prefix))
+        now = self._clock.now
+        record = self._records.get(key)
+        if record is None:
+            record = self._records[key] = FlapRecord(now)
+        record.decay(now, self.config.half_life)
+        record.penalty = min(record.penalty + amount, self.config.max_penalty)
+        record.flaps += 1
+        if record.penalty >= self.config.suppress_threshold:
+            record.suppressed = True
+        return record.suppressed
+
+    # -- queries ---------------------------------------------------------------
+
+    def penalty(self, peer: str, prefix: "IPv4Prefix | str") -> float:
+        record = self._records.get((peer, IPv4Prefix(prefix)))
+        if record is None:
+            return 0.0
+        record.decay(self._clock.now, self.config.half_life)
+        return record.penalty
+
+    def is_suppressed(self, peer: str, prefix: "IPv4Prefix | str") -> bool:
+        """Current suppression verdict for one route (decays lazily)."""
+        record = self._records.get((peer, IPv4Prefix(prefix)))
+        if record is None:
+            return False
+        record.decay(self._clock.now, self.config.half_life)
+        if record.suppressed and record.penalty <= self.config.reuse_threshold:
+            record.suppressed = False
+        return record.suppressed
+
+    def is_prefix_suppressed(self, prefix: "IPv4Prefix | str") -> bool:
+        """True when any peer's route for ``prefix`` is suppressed.
+
+        The fast path recompiles per *prefix*, so one badly flapping
+        announcer is enough to withhold that prefix's churn.
+        """
+        prefix = IPv4Prefix(prefix)
+        return any(
+            self.is_suppressed(peer, recorded)
+            for peer, recorded in list(self._records)
+            if recorded == prefix
+        )
+
+    def reuse_delay(self, peer: str, prefix: "IPv4Prefix | str") -> float:
+        """Seconds until this route's penalty decays to the reuse threshold."""
+        penalty = self.penalty(peer, prefix)
+        if penalty <= self.config.reuse_threshold:
+            return 0.0
+        # A hair of slack so a timer armed for exactly this delay lands
+        # at-or-below the threshold despite floating-point decay error.
+        return (
+            self.config.half_life * math.log2(penalty / self.config.reuse_threshold)
+            + 0.001
+        )
+
+    def prefix_reuse_delay(self, prefix: "IPv4Prefix | str") -> float:
+        """Seconds until no peer's route for ``prefix`` is suppressed."""
+        prefix = IPv4Prefix(prefix)
+        return max(
+            (
+                self.reuse_delay(peer, recorded)
+                for peer, recorded in list(self._records)
+                if recorded == prefix and self.is_suppressed(peer, recorded)
+            ),
+            default=0.0,
+        )
+
+    def suppressed_routes(self) -> Tuple[Tuple[str, IPv4Prefix], ...]:
+        """Every (peer, prefix) currently suppressed, sorted."""
+        return tuple(
+            sorted(
+                (key for key in list(self._records) if self.is_suppressed(*key)),
+                key=lambda key: (key[0], str(key[1])),
+            )
+        )
+
+    def flap_count(self, peer: str, prefix: "IPv4Prefix | str") -> int:
+        record = self._records.get((peer, IPv4Prefix(prefix)))
+        return record.flaps if record is not None else 0
+
+    def forget(self, peer: str, prefix: Optional["IPv4Prefix | str"] = None) -> None:
+        """Drop damping state for a route, or a peer's every route."""
+        if prefix is not None:
+            self._records.pop((peer, IPv4Prefix(prefix)), None)
+        else:
+            for key in [key for key in self._records if key[0] == peer]:
+                del self._records[key]
+
+    def __repr__(self) -> str:
+        return (
+            f"FlapDamper(tracked={len(self._records)}, "
+            f"suppressed={len(self.suppressed_routes())})"
+        )

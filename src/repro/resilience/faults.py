@@ -1,0 +1,212 @@
+"""Deterministic, seedable fault injection for the SDX.
+
+Every fault the resilience layer defends against can be induced on
+demand, reproducibly, from one seeded :class:`FaultInjector`:
+
+* **session crashes** — fail a (chosen or random) peer session;
+* **update corruption** — deterministic wire-level damage, either
+  unsalvageable (bad marker -> discard) or attribute-only (salvageable
+  -> RFC 7606 treat-as-withdraw);
+* **policy poison** — install a participant policy whose compilation
+  raises, exercising the controller's quarantine path;
+* **commit sabotage** — abort the controller's fabric commit
+  mid-transaction, exercising rollback;
+* **timer skew** — a clock view whose relative delays run fast or slow,
+  exercising hold-timer/backoff robustness.
+
+Chaos tests drive these from a single seed so every failure found in a
+soak replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+from repro.bgp.route_server import RouteServer
+from repro.bgp.wire import HEADER_LENGTH
+from repro.policy.classifier import Classifier
+from repro.policy.language import Policy
+from repro.sim.clock import Simulator, TimerHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import SDXController
+
+__all__ = [
+    "CommitSabotage",
+    "FaultInjector",
+    "PoisonPill",
+    "PolicyPoisonError",
+    "SkewedClock",
+]
+
+
+class PolicyPoisonError(RuntimeError):
+    """Raised by a poisoned policy's compile()."""
+
+
+class CommitSabotage(RuntimeError):
+    """Raised inside the controller's fabric-commit transaction."""
+
+
+class PoisonPill(Policy):
+    """A policy AST whose compilation always raises.
+
+    Stands in for every way a participant can ship broken policy code —
+    the controller must quarantine exactly that participant, not crash.
+    """
+
+    def __init__(self, label: str = "poison") -> None:
+        self.label = label
+
+    def compile(self) -> Classifier:
+        raise PolicyPoisonError(f"poisoned policy {self.label!r}")
+
+    def eval(self, packet):
+        raise PolicyPoisonError(f"poisoned policy {self.label!r}")
+
+    def _key(self) -> Tuple:
+        return (self.label,)
+
+    def __repr__(self) -> str:
+        return f"PoisonPill({self.label!r})"
+
+
+class SkewedClock:
+    """A clock view whose *relative* delays are scaled by ``factor``.
+
+    Components handed a ``SkewedClock(sim, 2.0)`` arm their timers twice
+    as late as intended; ``0.5`` twice as early.  The underlying
+    simulator (and everything else scheduled on it) is unaffected —
+    exactly the shape of real clock-rate skew between machines.
+    """
+
+    def __init__(self, clock: Simulator, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError("skew factor must be positive")
+        self._clock = clock
+        self.factor = factor
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        return self._clock.schedule_in(delay * self.factor, callback)
+
+    def schedule(self, at: float, callback: Callable[[], None]) -> TimerHandle:
+        delay = max(at - self._clock.now, 0.0)
+        return self.schedule_in(delay, callback)
+
+    def schedule_every(self, interval: float, callback, start=None, until=None):
+        return self._clock.schedule_every(
+            interval * self.factor, callback, start=start, until=until
+        )
+
+    def __repr__(self) -> str:
+        return f"SkewedClock(now={self.now}, factor={self.factor})"
+
+
+class FaultInjector:
+    """Seeded source of every injectable fault."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.log: List[Tuple[str, str]] = []
+
+    def _note(self, kind: str, detail: str) -> None:
+        self.log.append((kind, detail))
+
+    # -- session faults ---------------------------------------------------------
+
+    def crash_session(
+        self, server: RouteServer, peer: Optional[str] = None
+    ) -> str:
+        """Fail one peering session (random peer when unspecified)."""
+        if peer is None:
+            peer = self.rng.choice(sorted(server.peers()))
+        server.session(peer).fail()
+        self._note("session-crash", peer)
+        return peer
+
+    # -- wire corruption ----------------------------------------------------------
+
+    def corrupt_marker(self, data: bytes) -> bytes:
+        """Unsalvageable corruption: the 16-byte marker is damaged.
+
+        The decoder can only discard such a message (and count it).
+        """
+        self._note("corrupt-marker", f"{len(data)} bytes")
+        return bytes([data[0] ^ 0xFF]) + data[1:]
+
+    def corrupt_attributes(self, data: bytes) -> bytes:
+        """Salvageable corruption: path attributes made unparseable.
+
+        Inflates the first attribute's length octet past the attribute
+        payload, so attribute parsing fails while the framing, withdrawn
+        routes, and NLRI stay intact — the RFC 7606 treat-as-withdraw
+        case.  Returns the input unchanged if the message has no
+        attributes to corrupt.
+        """
+        body_start = HEADER_LENGTH
+        if len(data) < body_start + 4:
+            return data
+        withdrawn_length = int.from_bytes(data[body_start : body_start + 2], "big")
+        attrs_length_at = body_start + 2 + withdrawn_length
+        if len(data) < attrs_length_at + 2:
+            return data
+        attributes_length = int.from_bytes(
+            data[attrs_length_at : attrs_length_at + 2], "big"
+        )
+        if attributes_length < 3:
+            return data
+        # attribute layout: flags, type, length — inflate the length.
+        length_octet_at = attrs_length_at + 2 + 2
+        mutated = bytearray(data)
+        mutated[length_octet_at] = 0xFF
+        self._note("corrupt-attributes", f"{len(data)} bytes")
+        return bytes(mutated)
+
+    # -- policy poison --------------------------------------------------------------
+
+    def poison_policy(
+        self, controller: "SDXController", name: str, label: Optional[str] = None
+    ) -> PoisonPill:
+        """Install a compile-time-exploding outbound policy for ``name``."""
+        from repro.core.participant import SDXPolicySet
+
+        pill = PoisonPill(label or f"{name}-seed{self.seed}")
+        controller.set_policies(name, SDXPolicySet(outbound=pill), recompile=False)
+        self._note("policy-poison", name)
+        return pill
+
+    # -- commit sabotage ---------------------------------------------------------------
+
+    def sabotage_commit(self, controller: "SDXController", times: int = 1) -> None:
+        """Make the next ``times`` fabric commits abort mid-transaction."""
+        remaining = {"count": times}
+
+        def hook(result) -> None:
+            if remaining["count"] <= 0:
+                controller.remove_commit_hook(hook)
+                return
+            remaining["count"] -= 1
+            if remaining["count"] <= 0:
+                controller.remove_commit_hook(hook)
+            raise CommitSabotage(f"injected commit failure (seed {self.seed})")
+
+        controller.add_commit_hook(hook)
+        self._note("commit-sabotage", f"times={times}")
+
+    # -- timer skew ----------------------------------------------------------------------
+
+    def skew_clock(self, clock: Simulator, factor: Optional[float] = None) -> SkewedClock:
+        """A skewed view of ``clock``; random factor in [0.5, 2.0] by default."""
+        if factor is None:
+            factor = self.rng.uniform(0.5, 2.0)
+        self._note("timer-skew", f"factor={factor:.3f}")
+        return SkewedClock(clock, factor)
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(seed={self.seed}, injected={len(self.log)})"

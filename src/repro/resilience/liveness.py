@@ -1,0 +1,212 @@
+"""Session liveness: hold timers, backoff reconnection, graceful restart.
+
+RFC 4271 keeps a BGP session alive with a hold timer that every
+KEEPALIVE or UPDATE re-arms; silence past the hold time means the peer
+is dead.  :class:`SessionLivenessManager` drives that machinery off the
+discrete-event :class:`~repro.sim.clock.Simulator`, and layers on what a
+production route server needs when a peer *does* die:
+
+* **exponential-backoff reconnection** — a crashed peer is retried at
+  1s, 2s, 4s, ... up to a cap, so a flapping peer cannot hammer the
+  exchange with connection churn;
+* **graceful restart (RFC 4724)** — for opted-in peers the route server
+  retains their routes as *stale* while a restart timer runs; if the
+  peer returns and refreshes them, no withdraw/re-announce storm ever
+  happens, and only what it stops announcing is swept.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, NamedTuple, Optional
+
+from repro.bgp.route_server import RouteServer
+from repro.bgp.session import BGPSession, SessionState
+from repro.sim.clock import Simulator, TimerHandle
+
+__all__ = ["LivenessConfig", "PeerLiveness", "SessionLivenessManager"]
+
+
+class LivenessConfig(NamedTuple):
+    """Timer values, in (virtual) seconds."""
+
+    hold_time: float = 90.0
+    #: how long a failed peer's stale routes are retained (RFC 4724's
+    #: Restart Time) before being swept
+    restart_time: float = 120.0
+    backoff_initial: float = 1.0
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 60.0
+    #: retain routes across failures (graceful restart) for watched peers
+    graceful_restart: bool = True
+
+
+class PeerLiveness:
+    """Mutable liveness state for one watched peer."""
+
+    __slots__ = (
+        "peer",
+        "hold_timer",
+        "restart_timer",
+        "reconnect_timer",
+        "backoff",
+        "last_heard",
+        "messages_heard",
+        "hold_expirations",
+        "reconnect_attempts",
+    )
+
+    def __init__(self, peer: str, backoff: float) -> None:
+        self.peer = peer
+        self.hold_timer: Optional[TimerHandle] = None
+        self.restart_timer: Optional[TimerHandle] = None
+        self.reconnect_timer: Optional[TimerHandle] = None
+        self.backoff = backoff
+        self.last_heard = 0.0
+        self.messages_heard = 0
+        self.hold_expirations = 0
+        self.reconnect_attempts = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PeerLiveness(peer={self.peer!r}, last_heard={self.last_heard}, "
+            f"hold_expirations={self.hold_expirations})"
+        )
+
+
+class SessionLivenessManager:
+    """Hold/restart/reconnect timers for a route server's sessions."""
+
+    def __init__(
+        self,
+        server: RouteServer,
+        clock: Simulator,
+        config: LivenessConfig = LivenessConfig(),
+        reconnect_probe: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self._server = server
+        self._clock = clock
+        self.config = config
+        #: asked before each reconnection attempt whether the peer is
+        #: reachable again; the fault injector overrides this to keep a
+        #: crashed peer down for a scripted interval
+        self.reconnect_probe = reconnect_probe or (lambda peer: True)
+        self._peers: Dict[str, PeerLiveness] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def watch(self, peer: str) -> PeerLiveness:
+        """Start liveness supervision for one peer."""
+        record = self._peers.get(peer)
+        if record is not None:
+            return record
+        record = PeerLiveness(peer, self.config.backoff_initial)
+        record.last_heard = self._clock.now
+        self._peers[peer] = record
+        session = self._server.session(peer)
+        if self.config.graceful_restart:
+            self._server.set_graceful_restart(peer, True)
+        session.on_state_change(self._on_state_change)
+        if session.is_established:
+            self._arm_hold(record)
+        return record
+
+    def watch_all(self) -> None:
+        for peer in sorted(self._server.peers()):
+            self.watch(peer)
+
+    def peer_state(self, peer: str) -> PeerLiveness:
+        return self._peers[peer]
+
+    def watched(self) -> Dict[str, PeerLiveness]:
+        return dict(self._peers)
+
+    # -- liveness input -----------------------------------------------------------
+
+    def heard_from(self, peer: str) -> None:
+        """A KEEPALIVE or UPDATE arrived: the peer is alive, re-arm hold."""
+        record = self._peers.get(peer)
+        if record is None:
+            return
+        record.last_heard = self._clock.now
+        record.messages_heard += 1
+        if self._server.session(peer).is_established:
+            self._arm_hold(record)
+
+    # -- timer machinery -----------------------------------------------------------
+
+    def _arm_hold(self, record: PeerLiveness) -> None:
+        if record.hold_timer is not None:
+            record.hold_timer.cancel()
+        record.hold_timer = self._clock.schedule_in(
+            self.config.hold_time, lambda: self._hold_expired(record.peer)
+        )
+
+    def _hold_expired(self, record_peer: str) -> None:
+        record = self._peers[record_peer]
+        session = self._server.session(record_peer)
+        if not session.is_established:
+            return
+        record.hold_expirations += 1
+        session.fail()  # _on_state_change arms restart + reconnect timers
+
+    def _on_state_change(self, session: BGPSession, state: SessionState) -> None:
+        record = self._peers.get(session.peer)
+        if record is None:
+            return
+        if state is SessionState.ESTABLISHED:
+            record.backoff = self.config.backoff_initial
+            self._cancel(record, "restart_timer")
+            self._cancel(record, "reconnect_timer")
+            self._arm_hold(record)
+        elif state is SessionState.FAILED:
+            self._cancel(record, "hold_timer")
+            if record.restart_timer is None or not record.restart_timer.active:
+                record.restart_timer = self._clock.schedule_in(
+                    self.config.restart_time,
+                    lambda: self._restart_expired(session.peer),
+                )
+            if record.reconnect_timer is None or not record.reconnect_timer.active:
+                self._schedule_reconnect(record)
+        elif state is SessionState.IDLE:
+            # Administrative shutdown: stop all supervision until the
+            # operator brings the session back.
+            self._cancel(record, "hold_timer")
+            self._cancel(record, "restart_timer")
+            self._cancel(record, "reconnect_timer")
+
+    def _cancel(self, record: PeerLiveness, field: str) -> None:
+        handle: Optional[TimerHandle] = getattr(record, field)
+        if handle is not None:
+            handle.cancel()
+            setattr(record, field, None)
+
+    # -- reconnection ---------------------------------------------------------------
+
+    def _schedule_reconnect(self, record: PeerLiveness) -> None:
+        delay = record.backoff
+        record.backoff = min(
+            record.backoff * self.config.backoff_multiplier, self.config.backoff_max
+        )
+        record.reconnect_timer = self._clock.schedule_in(
+            delay, lambda: self._attempt_reconnect(record.peer)
+        )
+
+    def _attempt_reconnect(self, peer: str) -> None:
+        record = self._peers[peer]
+        session = self._server.session(peer)
+        if session.state is not SessionState.FAILED:
+            return
+        record.reconnect_attempts += 1
+        if self.reconnect_probe(peer):
+            session.establish()
+        else:
+            self._schedule_reconnect(record)
+
+    def _restart_expired(self, peer: str) -> None:
+        """RFC 4724 restart timer ran out: reap whatever is still stale."""
+        session = self._server.session(peer)
+        if not session.is_established:
+            self._server.sweep_stale(peer)
+
+    def __repr__(self) -> str:
+        return f"SessionLivenessManager(watched={len(self._peers)})"

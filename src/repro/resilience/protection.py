@@ -1,0 +1,226 @@
+"""RFC 7606-style revised error handling for the update plane.
+
+A single malformed UPDATE must not take down the exchange.  The
+pre-7606 BGP rule — tear the session down on any error — turns one
+corrupt announcement into a full withdraw/re-announce storm for every
+prefix the peer carries.  :class:`UpdateGuard` sits between the wire (or
+the in-memory update stream) and the :class:`~repro.bgp.route_server.RouteServer`
+and applies the revised hierarchy:
+
+* **treat-as-withdraw** — when the NLRI is recoverable but the
+  attributes are not (or fail semantic validation), the affected
+  prefixes are withdrawn instead of the session being reset;
+* **discard** — messages too mangled to salvage are counted and dropped;
+* **session reset** — only past a per-peer error threshold does the
+  guard declare the peer broken and fail the session (which, with
+  graceful restart, still avoids the storm).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from repro.bgp.messages import Announcement, BGPUpdate, Withdrawal
+from repro.bgp.route_server import BestPathChange, RouteServer
+from repro.bgp.wire import (
+    HEADER_LENGTH,
+    KeepaliveMessage,
+    MessageType,
+    WireError,
+    _decode_header,
+    _decode_prefixes,
+    decode_message,
+)
+from repro.resilience.health import PeerErrorCounters
+
+__all__ = ["ProtectionConfig", "UpdateGuard", "salvage_update"]
+
+
+class ProtectionConfig(NamedTuple):
+    """Error-handling thresholds and optional semantic checks."""
+
+    #: errors (wire + validation) per session before the peer is failed
+    error_threshold: int = 8
+    #: reject announcements of the default route (0.0.0.0/0)
+    reject_default_route: bool = True
+    #: reject announcements with an empty AS_PATH
+    reject_empty_as_path: bool = True
+    #: reject a zero next-hop
+    reject_zero_next_hop: bool = True
+    #: require the leftmost AS_PATH ASN to match the peer's registered
+    #: ASN (off by default: route servers legitimately see transparent
+    #: peers that do not prepend)
+    enforce_first_asn: bool = False
+
+
+def salvage_update(data: bytes, peer: str, time: float = 0.0) -> Optional[BGPUpdate]:
+    """Best-effort recovery of an UPDATE whose attributes are malformed.
+
+    RFC 7606's key observation: the withdrawn-routes and NLRI fields
+    frame independently of the path attributes, so a message whose
+    attributes fail to parse can still be handled by *treating every
+    announced prefix as withdrawn*.  Returns ``None`` when even the
+    framing or prefix fields are unusable (discard is then the only
+    option).
+    """
+    try:
+        header = _decode_header(data)
+        if header.type is not MessageType.UPDATE or len(data) < header.length:
+            return None
+        body = data[HEADER_LENGTH : header.length]
+        if len(body) < 2:
+            return None
+        (withdrawn_length,) = struct.unpack_from("!H", body, 0)
+        cursor = 2
+        if cursor + withdrawn_length > len(body):
+            return None
+        withdrawn = _decode_prefixes(body[cursor : cursor + withdrawn_length])
+        cursor += withdrawn_length
+        if cursor + 2 > len(body):
+            return None
+        (attributes_length,) = struct.unpack_from("!H", body, cursor)
+        cursor += 2
+        if cursor + attributes_length > len(body):
+            return None
+        nlri = _decode_prefixes(body[cursor + attributes_length :])
+    except WireError:
+        return None
+    prefixes = list(withdrawn) + list(nlri)
+    if not prefixes:
+        return None
+    return BGPUpdate(
+        peer, withdrawn=[Withdrawal(prefix) for prefix in prefixes], time=time
+    )
+
+
+class UpdateGuard:
+    """Validating front-end to a route server's update processing."""
+
+    def __init__(
+        self,
+        server: RouteServer,
+        config: ProtectionConfig = ProtectionConfig(),
+        on_message: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self._server = server
+        self.config = config
+        #: called with the peer name for every successfully decoded
+        #: message — the liveness manager's "the peer is alive" signal
+        self.on_message = on_message
+        self._counters: Dict[str, PeerErrorCounters] = {}
+        self._since_reset: Dict[str, int] = {}
+
+    def counters(self, peer: str) -> PeerErrorCounters:
+        counters = self._counters.get(peer)
+        if counters is None:
+            counters = self._counters[peer] = PeerErrorCounters()
+        return counters
+
+    def all_counters(self) -> Dict[str, PeerErrorCounters]:
+        return dict(self._counters)
+
+    # -- wire input ------------------------------------------------------------
+
+    def process_wire(
+        self, peer: str, data: bytes, time: float = 0.0
+    ) -> List[BestPathChange]:
+        """Decode and apply one wire message from ``peer``.
+
+        Malformed bytes never raise: they are counted, salvaged into
+        treat-as-withdraw when possible, and eventually — past the
+        threshold — reset the session.
+        """
+        try:
+            message, _ = decode_message(data, peer=peer, time=time)
+        except WireError as exc:
+            counters = self.counters(peer)
+            counters.wire_errors += 1
+            counters.last_error = str(exc)
+            salvaged = salvage_update(data, peer, time)
+            changes: List[BestPathChange] = []
+            if salvaged is not None and self._server.session(peer).is_established:
+                counters.treat_as_withdraw += len(salvaged.withdrawn)
+                changes = self._server.process_update(salvaged)
+            self._record_error(peer)
+            return changes
+        if self.on_message is not None:
+            self.on_message(peer)
+        if isinstance(message, BGPUpdate):
+            return self.process_update(message)
+        if isinstance(message, KeepaliveMessage):
+            return []
+        return []
+
+    # -- semantic validation ------------------------------------------------------
+
+    def process_update(self, update: BGPUpdate) -> List[BestPathChange]:
+        """Validate and apply one in-memory UPDATE.
+
+        Announcements failing validation are treated as withdrawals of
+        the same prefix; the rest of the update is applied normally.
+        """
+        peer = update.peer
+        session = self._server.session(peer)
+        counters = self.counters(peer)
+        if not session.is_established:
+            counters.validation_errors += 1
+            counters.last_error = f"update from peer in state {session.state.value}"
+            self._record_error(peer)
+            return []
+        announced: List[Announcement] = []
+        withdrawn: List[Withdrawal] = list(update.withdrawn)
+        for announcement in update.announced:
+            problem = self._validate(peer, announcement)
+            if problem is None:
+                announced.append(announcement)
+                continue
+            counters.validation_errors += 1
+            counters.treat_as_withdraw += 1
+            counters.last_error = f"{announcement.prefix}: {problem}"
+            withdrawn.append(Withdrawal(announcement.prefix))
+            self._record_error(peer)
+        if not session.is_established:
+            # The error threshold tripped mid-update: drop the rest.
+            return []
+        cleaned = BGPUpdate(
+            peer, announced=announced, withdrawn=withdrawn, time=update.time
+        )
+        if self.on_message is not None:
+            self.on_message(peer)
+        return self._server.process_update(cleaned)
+
+    def _validate(self, peer: str, announcement: Announcement) -> Optional[str]:
+        """None when the announcement is acceptable; else a diagnosis."""
+        config = self.config
+        if config.reject_default_route and announcement.prefix.length == 0:
+            return "default route announcement"
+        attributes = announcement.attributes
+        as_path = tuple(attributes.as_path.asns)
+        if config.reject_empty_as_path and not as_path:
+            return "empty AS_PATH"
+        if config.reject_zero_next_hop and int(attributes.next_hop) == 0:
+            return "zero NEXT_HOP"
+        if config.enforce_first_asn and as_path:
+            expected = self._server.peer_asn(peer)
+            if expected is not None and as_path[0] != expected:
+                return f"first AS {as_path[0]} is not peer AS {expected}"
+        return None
+
+    # -- threshold bookkeeping ------------------------------------------------------
+
+    def _record_error(self, peer: str) -> None:
+        count = self._since_reset.get(peer, 0) + 1
+        if count >= self.config.error_threshold:
+            session = self._server.session(peer)
+            counters = self.counters(peer)
+            counters.session_resets += 1
+            counters.last_error += " (error threshold reached: session reset)"
+            self._since_reset[peer] = 0
+            if not session.is_down:
+                session.fail()
+        else:
+            self._since_reset[peer] = count
+
+    def __repr__(self) -> str:
+        return f"UpdateGuard(peers={len(self._counters)})"

@@ -5,15 +5,55 @@ policy activations, route withdrawals, continuous UDP flows — far
 faster than real time.  :class:`Simulator` provides the event loop;
 everything else (traffic generators, controller actions) schedules
 callbacks on it.
+
+Every ``schedule*`` call returns a :class:`TimerHandle` that the caller
+may :meth:`~TimerHandle.cancel` — the protocol timers of
+:mod:`repro.resilience` (hold timers, reconnect backoff, graceful-restart
+timers) are re-armed and torn down constantly and rely on this.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "TimerHandle"]
+
+
+class TimerHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("at", "_cancelled", "_fired")
+
+    def __init__(self, at: float) -> None:
+        self.at = at
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> bool:
+        """Prevent the callback from running; False if it already ran."""
+        if not self.active:
+            return False
+        self._cancelled = True
+        return True
+
+    def __repr__(self) -> str:
+        status = "cancelled" if self._cancelled else "fired" if self._fired else "pending"
+        return f"TimerHandle(at={self.at}, {status})"
 
 
 class Simulator:
@@ -21,7 +61,7 @@ class Simulator:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[float, int, TimerHandle, Callable[[], None]]] = []
         self._counter = itertools.count()
         self.events_run = 0
 
@@ -30,17 +70,20 @@ class Simulator:
         """Current virtual time in seconds."""
         return self._now
 
-    def schedule(self, at: float, callback: Callable[[], None]) -> None:
+    def schedule(self, at: float, callback: Callable[[], None]) -> TimerHandle:
         """Run ``callback`` at absolute virtual time ``at``.
 
         Events scheduled for the past run at the current time; ties run
-        in scheduling order.
+        in scheduling order.  Returns a cancellable handle.
         """
-        heapq.heappush(self._queue, (max(at, self._now), next(self._counter), callback))
+        when = max(at, self._now)
+        handle = TimerHandle(when)
+        heapq.heappush(self._queue, (when, next(self._counter), handle, callback))
+        return handle
 
-    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         """Run ``callback`` after ``delay`` seconds of virtual time."""
-        self.schedule(self._now + delay, callback)
+        return self.schedule(self._now + delay, callback)
 
     def schedule_every(
         self,
@@ -48,34 +91,63 @@ class Simulator:
         callback: Callable[[], None],
         start: Optional[float] = None,
         until: Optional[float] = None,
-    ) -> None:
-        """Run ``callback`` periodically until ``until`` (inclusive start)."""
+    ) -> TimerHandle:
+        """Run ``callback`` periodically until ``until`` (inclusive start).
+
+        The returned handle cancels the whole repetition, including any
+        tick already queued.
+        """
         if interval <= 0:
             raise ValueError("interval must be positive")
         first = self._now if start is None else start
+        master = TimerHandle(first)
 
         def tick(at: float) -> None:
+            if master.cancelled:
+                return
             if until is not None and at > until:
                 return
             callback()
+            master.at = at + interval
             self.schedule(at + interval, lambda: tick(at + interval))
 
         self.schedule(first, lambda: tick(first))
+        return master
+
+    def _pop_runnable(self) -> Optional[Tuple[float, TimerHandle, Callable[[], None]]]:
+        while self._queue:
+            at, _, handle, callback = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            return at, handle, callback
+        return None
 
     def run_until(self, end: float) -> None:
         """Execute all events with time <= ``end``; clock lands on ``end``."""
         while self._queue and self._queue[0][0] <= end:
-            at, _, callback = heapq.heappop(self._queue)
+            entry = self._pop_runnable()
+            if entry is None:
+                break
+            at, handle, callback = entry
+            if at > end:
+                # A cancelled head hid a later event: put it back.
+                heapq.heappush(self._queue, (at, next(self._counter), handle, callback))
+                break
             self._now = at
+            handle._fired = True
             callback()
             self.events_run += 1
         self._now = max(self._now, end)
 
     def run(self) -> None:
         """Drain the queue completely."""
-        while self._queue:
-            at, _, callback = heapq.heappop(self._queue)
+        while True:
+            entry = self._pop_runnable()
+            if entry is None:
+                break
+            at, handle, callback = entry
             self._now = at
+            handle._fired = True
             callback()
             self.events_run += 1
 

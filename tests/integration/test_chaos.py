@@ -1,0 +1,346 @@
+"""Seeded chaos tests: the full resilience stack under injected faults.
+
+Every test drives a compiled Figure 1 exchange through the
+:class:`~repro.resilience.FaultInjector` and asserts the acceptance
+invariants of the resilience layer end-to-end:
+
+* a poisoned participant policy degrades exactly that participant to
+  BGP-default forwarding while everyone else keeps compiled policies;
+* a session flap under damping triggers at most one recompilation wave,
+  and graceful restart brings routes back without a table rewrite;
+* an injected mid-commit failure leaves the fabric bit-identical to the
+  pre-commit state (flow-table hash comparison).
+
+All randomness flows from explicit seeds, so a failing run replays
+exactly.  Selected by the ``chaos`` marker (``make chaos``).
+"""
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate
+from repro.bgp.session import SessionState
+from repro.bgp.wire import encode_update
+from repro.netutils.ip import IPv4Prefix
+from repro.policy import Packet
+from repro.resilience import (
+    CommitSabotage,
+    DampingConfig,
+    FaultInjector,
+    LivenessConfig,
+)
+from repro.sim.clock import Simulator
+
+from tests.conftest import P1, P2, P3, P4
+
+pytestmark = pytest.mark.chaos
+
+#: B's Figure 1b routes, for graceful-restart re-announcement.
+B_ROUTES = (
+    (P1, [65002, 65100], "172.0.0.11", None),
+    (P2, [65002, 65101], "172.0.0.11", None),
+    (P3, [65002, 65102], "172.0.0.11", None),
+    (P4, [65002, 65103], "172.0.0.12", ["C"]),
+)
+
+#: A huge hold/restart time: liveness supervision present but inert,
+#: for tests that advance the clock far while exercising other layers.
+INERT_LIVENESS = LivenessConfig(hold_time=10.0**9, restart_time=10.0**9)
+
+
+def egress(controller, sender, dst_prefix, **headers):
+    """Ports a tagged probe from ``sender`` exits on, per the fabric."""
+    advertised = {
+        a.prefix: a.attributes.next_hop for a in controller.advertisements(sender)
+    }
+    next_hop = advertised.get(IPv4Prefix(dst_prefix))
+    if next_hop is None:
+        return None
+    vmac = controller.arp.resolve(next_hop)
+    if vmac is None:
+        owner = controller.config.owner_of_address(next_hop)
+        vmac = owner.port_for_address(next_hop).hardware
+    in_port = headers.pop("port", f"{sender}1")
+    dstip = str(IPv4Prefix(dst_prefix).network + 1)
+    packet = Packet(dstip=dstip, dstmac=vmac, port=in_port, **headers)
+    return sorted(port for port, _ in controller.switch.receive(packet, in_port))
+
+
+class TestPoisonIsolation:
+    """Acceptance (a): quarantine degrades exactly one participant."""
+
+    def test_poison_degrades_only_the_poisoned_participant(self, figure1_compiled):
+        controller = figure1_compiled
+        injector = FaultInjector(seed=11)
+        # Baseline: A's outbound policy diverts HTTP to B even though C
+        # has the better BGP path for p1.
+        assert egress(controller, "A", P1, dstport=80, srcip="50.0.0.1") == ["B1"]
+
+        injector.poison_policy(controller, "A")
+        controller.compile()
+
+        assert set(controller.quarantined()) == {"A"}
+        diagnosis = controller.quarantined()["A"]
+        assert diagnosis.error_type == "PolicyPoisonError"
+        # A now follows plain BGP: best path for p1 is via C.
+        assert egress(controller, "A", P1, dstport=80, srcip="50.0.0.1") == ["C1"]
+        # B's inbound traffic engineering still applies to everyone:
+        # p3 (best via B) splits on source halves.
+        assert egress(controller, "A", P3, dstport=80, srcip="50.0.0.1") == ["B1"]
+        assert egress(controller, "A", P3, dstport=80, srcip="192.0.0.1") == ["B2"]
+
+    def test_operator_recovers_by_replacing_the_policy(self, figure1_compiled):
+        from repro.core.participant import SDXPolicySet
+        from repro.policy import fwd, match
+
+        controller = figure1_compiled
+        FaultInjector(seed=11).poison_policy(controller, "A")
+        controller.compile()
+        controller.set_policies(
+            "A",
+            SDXPolicySet(
+                outbound=(match(dstport=80) >> fwd("B"))
+                + (match(dstport=443) >> fwd("C"))
+            ),
+            recompile=True,
+        )
+        assert not controller.quarantined()
+        assert egress(controller, "A", P1, dstport=80, srcip="50.0.0.1") == ["B1"]
+        assert not controller.health().degraded
+
+
+class TestFlapDampingWaves:
+    """Acceptance (b), first half: damping bounds recompilation."""
+
+    def test_flap_storm_triggers_at_most_one_wave_once_suppressed(
+        self, figure1_compiled
+    ):
+        controller = figure1_compiled
+        sim = Simulator()
+        resilience = controller.enable_resilience(
+            clock=sim, damping=DampingConfig(), liveness=INERT_LIVENESS
+        )
+        battrs = RouteAttributes(as_path=[65002, 65102], next_hop="172.0.0.11")
+        baseline = len(controller.fast_path_log)
+
+        for _ in range(8):  # p3's best path flaps B -> C -> B each cycle
+            controller.withdraw("B", P3)
+            controller.announce("B", P3, battrs)
+
+        waves = len(controller.fast_path_log) - baseline
+        # Suppression engages after the first full cycle: two waves from
+        # that cycle, nothing from the remaining seven.
+        assert waves <= 2
+        assert resilience.suppressed_changes > 0
+        assert controller.health().damped
+        # The damper gates only the *data plane*; the RIB stayed exact.
+        best = controller.route_server.best_route("A", P3)
+        assert best is not None and best.learned_from == "B"
+
+        # Penalty decays; exactly one catch-up recompilation restores
+        # data-plane sync, after which nothing is damped.
+        before_catchup = len(controller.fast_path_log)
+        sim.run_until(6 * 3600.0)
+        assert len(controller.fast_path_log) == before_catchup + 1
+        assert not controller.health().damped
+        # End-to-end: A's policy still diverts HTTP for p3 to B.
+        assert egress(controller, "A", P3, dstport=80, srcip="50.0.0.1") == ["B1"]
+
+    def test_without_damping_every_flap_recompiles(self, figure1_compiled):
+        controller = figure1_compiled  # no resilience layer attached
+        battrs = RouteAttributes(as_path=[65002, 65102], next_hop="172.0.0.11")
+        baseline = len(controller.fast_path_log)
+        for _ in range(8):
+            controller.withdraw("B", P3)
+            controller.announce("B", P3, battrs)
+        assert len(controller.fast_path_log) - baseline == 16
+
+
+class TestGracefulRestart:
+    """Acceptance (b), second half: restart without a table rewrite."""
+
+    def test_failed_peer_returns_without_touching_the_fabric(
+        self, figure1_compiled
+    ):
+        controller = figure1_compiled
+        sim = Simulator()
+        reachable = {"up": True}
+        resilience = controller.enable_resilience(
+            clock=sim,
+            liveness=LivenessConfig(hold_time=30.0, restart_time=600.0),
+            reconnect_probe=lambda peer: reachable["up"],
+        )
+        # A and C stay chatty; B falls silent.
+        for peer in ("A", "C"):
+            sim.schedule_every(10.0, lambda p=peer: resilience.liveness.heard_from(p))
+        reachable["up"] = False
+
+        table_hash = controller.switch.table.content_hash()
+        fast_path_waves = len(controller.fast_path_log)
+
+        sim.run_until(31.0)  # B's hold timer expires at t=30
+        server = controller.route_server
+        assert server.session("B").state is SessionState.FAILED
+        assert server.session("A").is_established
+        assert server.session("C").is_established
+        # Graceful restart: routes retained as stale, zero dataplane churn.
+        assert server.stale_prefixes("B") == {
+            IPv4Prefix(p) for p, _, _, _ in B_ROUTES
+        }
+        assert controller.switch.table.content_hash() == table_hash
+        assert len(controller.fast_path_log) == fast_path_waves
+        assert controller.health().stale_routes == {"B": len(B_ROUTES)}
+
+        # The peer becomes reachable; backoff reconnection restores it.
+        reachable["up"] = True
+        sim.run_until(60.0)
+        assert server.session("B").is_established
+        assert resilience.liveness.peer_state("B").reconnect_attempts >= 2
+
+        # B re-announces the identical table; End-of-RIB sweeps nothing.
+        for prefix, as_path, next_hop, export_to in B_ROUTES:
+            controller.announce(
+                "B",
+                prefix,
+                RouteAttributes(as_path=as_path, next_hop=next_hop),
+                export_to=export_to,
+            )
+        resilience.end_of_rib("B")
+        assert server.stale_prefixes("B") == frozenset()
+        # The whole failure-and-return cycle: not one flow-table write.
+        assert controller.switch.table.content_hash() == table_hash
+        assert len(controller.fast_path_log) == fast_path_waves
+        assert not controller.health().degraded
+
+    def test_peer_that_never_returns_is_swept_once(self, figure1_compiled):
+        controller = figure1_compiled
+        sim = Simulator()
+        resilience = controller.enable_resilience(
+            clock=sim,
+            liveness=LivenessConfig(hold_time=30.0, restart_time=120.0),
+            reconnect_probe=lambda peer: False,
+        )
+        for peer in ("A", "C"):
+            sim.schedule_every(10.0, lambda p=peer: resilience.liveness.heard_from(p))
+        waves_before = len(controller.fast_path_log)
+        sim.run_until(200.0)  # hold expiry at 30, restart sweep at 150
+        server = controller.route_server
+        assert server.session("B").state is SessionState.FAILED
+        assert server.stale_prefixes("B") == frozenset()
+        for prefix, _, _, _ in B_ROUTES:
+            assert server.route_from("B", IPv4Prefix(prefix)) is None
+        # The sweep recompiled each affected prefix exactly once (every
+        # one of B's routes was someone's best path — C imported p1/p2
+        # from B even though its own routes win elsewhere).
+        touched = {u.prefix for u in controller.fast_path_log[waves_before:]}
+        assert touched == {IPv4Prefix(p) for p, _, _, _ in B_ROUTES}
+        assert len(controller.fast_path_log) - waves_before == len(B_ROUTES)
+
+
+class TestTransactionalCommit:
+    """Acceptance (c): an aborted commit leaves the fabric untouched."""
+
+    def test_mid_commit_failure_is_bit_identical_rollback(self, figure1_compiled):
+        controller = figure1_compiled
+        injector = FaultInjector(seed=13)
+        before_hash = controller.switch.table.content_hash()
+        before_paths = {
+            prefix: egress(controller, "A", prefix, dstport=80, srcip="50.0.0.1")
+            for prefix in (P1, P2, P3)
+        }
+
+        injector.sabotage_commit(controller)
+        with pytest.raises(CommitSabotage):
+            controller.run_background_recompilation()
+
+        assert controller.switch.table.content_hash() == before_hash
+        after_paths = {
+            prefix: egress(controller, "A", prefix, dstport=80, srcip="50.0.0.1")
+            for prefix in (P1, P2, P3)
+        }
+        assert after_paths == before_paths
+
+        # The sabotage hook expires after one commit: recovery is clean.
+        controller.run_background_recompilation()
+        assert egress(controller, "A", P1, dstport=80, srcip="50.0.0.1") == ["B1"]
+
+
+class TestSeededSoak:
+    """A bounded storm of mixed faults; the exchange must stay coherent."""
+
+    def _corrupt_wire(self, controller, resilience, injector):
+        cattrs = RouteAttributes(as_path=[65101], next_hop="172.0.0.21")
+        (data,) = encode_update(
+            BGPUpdate("C", announced=[Announcement(P2, cattrs)])
+        )
+        if injector.rng.random() < 0.5:
+            resilience.process_wire("C", injector.corrupt_attributes(data))
+        else:
+            resilience.process_wire("C", injector.corrupt_marker(data))
+
+    def test_soak_with_seeded_fault_mix(self, figure1_compiled):
+        controller = figure1_compiled
+        sim = Simulator()
+        resilience = controller.enable_resilience(
+            clock=sim, liveness=INERT_LIVENESS
+        )
+        injector = FaultInjector(seed=1234)
+        battrs = RouteAttributes(as_path=[65002, 65102], next_hop="172.0.0.11")
+
+        for _ in range(40):
+            action = injector.rng.choice(["flap", "corrupt", "crash", "report"])
+            if action == "flap":
+                controller.withdraw("B", P3)
+                controller.announce("B", P3, battrs)
+            elif action == "corrupt":
+                self._corrupt_wire(controller, resilience, injector)
+            elif action == "crash":
+                peer = injector.crash_session(controller.route_server)
+                controller.route_server.session(peer).establish()
+            else:
+                # health() must stay consistent mid-storm, whatever broke
+                report = controller.health()
+                assert report.flow_rules == len(controller.switch.table)
+
+        # Every fault is on the injector's replayable record.
+        assert injector.log
+        # Recovery: sweep stale state, restore B's table, recompile.
+        for peer in sorted(controller.route_server.peers()):
+            session = controller.route_server.session(peer)
+            if not session.is_established:
+                session.establish()
+            controller.route_server.sweep_stale(peer)
+        for prefix, as_path, next_hop, export_to in B_ROUTES:
+            controller.announce(
+                "B",
+                prefix,
+                RouteAttributes(as_path=as_path, next_hop=next_hop),
+                export_to=export_to,
+            )
+        controller.run_background_recompilation()
+        report = controller.health()
+        assert all(state == "established" for state in report.sessions.values())
+        assert not report.quarantined
+        assert report.flow_rules > 0
+        # The data plane answers coherently after the storm.
+        assert egress(controller, "A", P3, dstport=80, srcip="50.0.0.1") == ["B1"]
+
+    def test_same_seed_injects_the_same_faults(self):
+        from tests.conftest import (
+            install_figure1_policies,
+            load_figure1_routes,
+            make_figure1_config,
+        )
+        from repro.core.controller import SDXController
+
+        logs = []
+        for _ in range(2):
+            controller = SDXController(make_figure1_config())
+            load_figure1_routes(controller)
+            install_figure1_policies(controller)
+            injector = FaultInjector(seed=99)
+            for _ in range(6):
+                peer = injector.crash_session(controller.route_server)
+                controller.route_server.session(peer).establish()
+            logs.append(list(injector.log))
+        assert logs[0] == logs[1]

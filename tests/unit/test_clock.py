@@ -83,3 +83,85 @@ class TestSimulator:
     def test_schedule_every_rejects_bad_interval(self):
         with pytest.raises(ValueError):
             Simulator().schedule_every(0, lambda: None)
+
+
+class TestTimerHandles:
+    def test_schedule_returns_active_handle(self):
+        sim = Simulator()
+        handle = sim.schedule(5.0, lambda: None)
+        assert handle.active
+        assert not handle.fired
+        assert handle.at == 5.0
+
+    def test_cancel_prevents_callback(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule_in(2.0, lambda: seen.append("x"))
+        assert handle.cancel()
+        sim.run()
+        assert seen == []
+        assert handle.cancelled and not handle.fired
+
+    def test_cancel_after_fire_returns_false(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert handle.fired
+        assert not handle.cancel()
+
+    def test_double_cancel_returns_false(self):
+        handle = Simulator().schedule(1.0, lambda: None)
+        assert handle.cancel()
+        assert not handle.cancel()
+
+    def test_cancelled_events_do_not_count_as_run(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_run == 1
+
+    def test_cancel_mid_run_skips_peer_event(self):
+        sim = Simulator()
+        seen = []
+        later = sim.schedule(5.0, lambda: seen.append("later"))
+        sim.schedule(1.0, lambda: later.cancel())
+        sim.run()
+        assert seen == []
+        assert sim.now == 1.0
+
+    def test_run_until_respects_cancelled_head(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1)).cancel()
+        sim.schedule(5.0, lambda: seen.append(5))
+        sim.run_until(3.0)
+        assert seen == []
+        assert sim.now == 3.0
+        sim.run_until(6.0)
+        assert seen == [5]
+
+    def test_schedule_every_handle_cancels_repetition(self):
+        sim = Simulator()
+        ticks = []
+        handle = sim.schedule_every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(2.5, handle.cancel)
+        sim.run()
+        assert ticks == [0.0, 1.0, 2.0]
+
+    def test_rearming_pattern(self):
+        # The hold-timer idiom: each heartbeat cancels and re-arms.
+        sim = Simulator()
+        expiries = []
+        state = {}
+
+        def arm():
+            if "timer" in state:
+                state["timer"].cancel()
+            state["timer"] = sim.schedule_in(3.0, lambda: expiries.append(sim.now))
+
+        arm()
+        sim.schedule(2.0, arm)
+        sim.schedule(4.0, arm)
+        sim.run()
+        assert expiries == [7.0]

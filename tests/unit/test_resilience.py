@@ -1,0 +1,651 @@
+"""Unit tests for the resilience layer.
+
+Covers each component in isolation — flap damping math (RFC 2439),
+update-plane protection (RFC 7606), session liveness timers and
+graceful restart (RFC 4724), transactional flow-table commits, and the
+controller's quarantine of poisoned participant policies — plus the
+end-to-end wire-error path: corrupted bytes entering
+``UpdateGuard.process_wire`` and their effect on the route server.
+"""
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Announcement, BGPUpdate, Withdrawal
+from repro.bgp.route_server import RouteServer
+from repro.bgp.session import SessionState
+from repro.bgp.wire import WireError, decode_message, encode_update
+from repro.dataplane.flowtable import FlowTable
+from repro.netutils.ip import IPv4Prefix
+from repro.policy import fwd, match
+from repro.resilience import (
+    CommitSabotage,
+    DampingConfig,
+    FaultInjector,
+    FlapDamper,
+    LivenessConfig,
+    PolicyPoisonError,
+    ProtectionConfig,
+    SessionLivenessManager,
+    SkewedClock,
+    UpdateGuard,
+    salvage_update,
+)
+from repro.sim.clock import Simulator
+
+from tests.conftest import P1
+
+P = "10.9.0.0/16"
+Q = "10.10.0.0/16"
+
+
+def attrs(asns=(65100,), next_hop="172.0.0.11"):
+    return RouteAttributes(as_path=list(asns), next_hop=next_hop)
+
+
+def make_server(*peers):
+    server = RouteServer()
+    for peer in peers:
+        server.add_peer(peer)
+    return server
+
+
+class ManualClock:
+    """A clock whose time the test sets directly."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+# ---------------------------------------------------------------------------
+# Flap damping (RFC 2439)
+# ---------------------------------------------------------------------------
+
+
+class TestFlapDamper:
+    def test_no_history_means_no_suppression(self):
+        damper = FlapDamper(ManualClock())
+        assert not damper.is_suppressed("B", P)
+        assert damper.penalty("B", P) == 0.0
+        assert damper.reuse_delay("B", P) == 0.0
+
+    def test_penalty_accumulates_to_suppression(self):
+        damper = FlapDamper(ManualClock())
+        assert not damper.record_withdraw("B", P)  # 1000 < 2000
+        assert damper.record_withdraw("B", P)  # 2000 >= 2000
+        assert damper.is_suppressed("B", P)
+        assert damper.is_prefix_suppressed(P)
+        assert not damper.is_prefix_suppressed(Q)
+
+    def test_penalty_halves_per_half_life(self):
+        clock = ManualClock()
+        damper = FlapDamper(clock, DampingConfig(half_life=100.0))
+        damper.record_withdraw("B", P)
+        clock.now = 100.0
+        assert damper.penalty("B", P) == pytest.approx(500.0)
+        clock.now = 200.0
+        assert damper.penalty("B", P) == pytest.approx(250.0)
+
+    def test_penalty_capped_at_max(self):
+        damper = FlapDamper(ManualClock())
+        for _ in range(50):
+            damper.record_withdraw("B", P)
+        assert damper.penalty("B", P) == damper.config.max_penalty
+
+    def test_suppressed_route_released_after_reuse_delay(self):
+        clock = ManualClock()
+        damper = FlapDamper(clock)
+        for _ in range(3):
+            damper.record_withdraw("B", P)
+        assert damper.is_suppressed("B", P)
+        delay = damper.reuse_delay("B", P)
+        assert delay > 0
+        clock.now = delay / 2
+        assert damper.is_suppressed("B", P)
+        clock.now = delay
+        assert not damper.is_suppressed("B", P)
+        assert damper.prefix_reuse_delay(P) == 0.0
+
+    def test_distinct_peers_damped_independently(self):
+        damper = FlapDamper(ManualClock())
+        damper.record_withdraw("B", P)
+        damper.record_withdraw("B", P)
+        assert damper.is_suppressed("B", P)
+        assert not damper.is_suppressed("C", P)
+        # ...but the prefix as a whole counts as suppressed
+        assert damper.is_prefix_suppressed(P)
+
+    def test_flap_count_and_forget(self):
+        damper = FlapDamper(ManualClock())
+        damper.record_withdraw("B", P)
+        damper.record_readvertise("B", P)
+        assert damper.flap_count("B", P) == 2
+        damper.forget("B")
+        assert damper.flap_count("B", P) == 0
+        assert not damper.is_suppressed("B", P)
+
+    def test_reuse_threshold_must_sit_below_suppress(self):
+        with pytest.raises(ValueError):
+            FlapDamper(
+                ManualClock(),
+                DampingConfig(suppress_threshold=500.0, reuse_threshold=750.0),
+            )
+
+    def test_suppressed_routes_listing_sorted(self):
+        damper = FlapDamper(ManualClock())
+        for peer in ("C", "B"):
+            damper.record_withdraw(peer, P)
+            damper.record_withdraw(peer, P)
+        assert damper.suppressed_routes() == (
+            ("B", IPv4Prefix(P)),
+            ("C", IPv4Prefix(P)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Update-plane protection (RFC 7606)
+# ---------------------------------------------------------------------------
+
+
+class TestSalvageUpdate:
+    def _wire(self, update):
+        (data,) = encode_update(update)
+        return data
+
+    def test_attribute_corruption_is_salvaged_as_withdraw(self):
+        update = BGPUpdate("B", announced=[Announcement(P, attrs())])
+        bad = FaultInjector(1).corrupt_attributes(self._wire(update))
+        with pytest.raises(WireError):
+            decode_message(bad, peer="B")
+        salvaged = salvage_update(bad, "B")
+        assert salvaged is not None
+        assert not salvaged.announced
+        assert Withdrawal(P) in salvaged.withdrawn
+
+    def test_marker_corruption_is_not_salvageable(self):
+        update = BGPUpdate("B", announced=[Announcement(P, attrs())])
+        bad = FaultInjector(1).corrupt_marker(self._wire(update))
+        assert salvage_update(bad, "B") is None
+
+    def test_withdrawn_routes_survive_salvage(self):
+        update = BGPUpdate(
+            "B", announced=[Announcement(P, attrs())], withdrawn=[Withdrawal(Q)]
+        )
+        bad = FaultInjector(1).corrupt_attributes(self._wire(update))
+        salvaged = salvage_update(bad, "B")
+        assert {w.prefix for w in salvaged.withdrawn} == {
+            IPv4Prefix(P),
+            IPv4Prefix(Q),
+        }
+
+
+class TestUpdateGuardWirePath:
+    """WireError paths reaching RouteServer.process_update end-to-end."""
+
+    def _setup(self, **config):
+        server = make_server("B", "C")
+        server.announce("B", P, attrs())
+        guard = UpdateGuard(server, ProtectionConfig(**config))
+        return server, guard
+
+    def test_clean_wire_message_is_applied(self):
+        server, guard = self._setup()
+        (data,) = encode_update(BGPUpdate("B", announced=[Announcement(Q, attrs())]))
+        changes = guard.process_wire("B", data)
+        assert server.route_from("B", IPv4Prefix(Q)) is not None
+        assert any(change.prefix == IPv4Prefix(Q) for change in changes)
+        assert guard.counters("B").total_errors == 0
+
+    def test_corrupt_attributes_become_treat_as_withdraw(self):
+        server, guard = self._setup()
+        (data,) = encode_update(BGPUpdate("B", announced=[Announcement(P, attrs())]))
+        bad = FaultInjector(2).corrupt_attributes(data)
+        changes = guard.process_wire("B", bad)
+        # the re-announcement was mangled: the route is withdrawn, not kept
+        assert server.route_from("B", IPv4Prefix(P)) is None
+        assert any(change.prefix == IPv4Prefix(P) for change in changes)
+        counters = guard.counters("B")
+        assert counters.wire_errors == 1
+        assert counters.treat_as_withdraw == 1
+        assert server.session("B").is_established  # no reset below threshold
+
+    def test_corrupt_marker_is_discarded(self):
+        server, guard = self._setup()
+        (data,) = encode_update(BGPUpdate("B", announced=[Announcement(P, attrs())]))
+        bad = FaultInjector(2).corrupt_marker(data)
+        assert guard.process_wire("B", bad) == []
+        # nothing salvageable: the existing route is untouched
+        assert server.route_from("B", IPv4Prefix(P)) is not None
+        assert guard.counters("B").wire_errors == 1
+        assert guard.counters("B").treat_as_withdraw == 0
+
+    def test_error_threshold_resets_session(self):
+        server, guard = self._setup(error_threshold=3)
+        (data,) = encode_update(BGPUpdate("B", announced=[Announcement(P, attrs())]))
+        bad = FaultInjector(2).corrupt_marker(data)
+        for _ in range(3):
+            guard.process_wire("B", bad)
+        assert server.session("B").state is SessionState.FAILED
+        assert guard.counters("B").session_resets == 1
+        # other peers are untouched
+        assert server.session("C").is_established
+
+    def test_garbage_too_short_for_framing_is_counted(self):
+        server, guard = self._setup()
+        assert guard.process_wire("B", b"\x00\x01\x02") == []
+        assert guard.counters("B").wire_errors == 1
+
+
+class TestUpdateGuardValidation:
+    def _guarded(self, **config):
+        server = make_server("B")
+        guard = UpdateGuard(server, ProtectionConfig(**config))
+        return server, guard
+
+    def test_default_route_announcement_rejected(self):
+        server, guard = self._guarded()
+        update = BGPUpdate("B", announced=[Announcement("0.0.0.0/0", attrs())])
+        guard.process_update(update)
+        assert server.route_from("B", IPv4Prefix("0.0.0.0/0")) is None
+        assert guard.counters("B").validation_errors == 1
+
+    def test_empty_as_path_rejected(self):
+        server, guard = self._guarded()
+        update = BGPUpdate("B", announced=[Announcement(P, attrs(asns=()))])
+        guard.process_update(update)
+        assert server.route_from("B", IPv4Prefix(P)) is None
+        assert "AS_PATH" in guard.counters("B").last_error
+
+    def test_zero_next_hop_rejected(self):
+        server, guard = self._guarded()
+        update = BGPUpdate(
+            "B", announced=[Announcement(P, attrs(next_hop="0.0.0.0"))]
+        )
+        guard.process_update(update)
+        assert server.route_from("B", IPv4Prefix(P)) is None
+
+    def test_bad_announcement_withdraws_only_itself(self):
+        server, guard = self._guarded()
+        server.announce("B", P, attrs())
+        update = BGPUpdate(
+            "B",
+            announced=[
+                Announcement(P, attrs(next_hop="0.0.0.0")),  # invalid refresh
+                Announcement(Q, attrs()),  # valid
+            ],
+        )
+        guard.process_update(update)
+        assert server.route_from("B", IPv4Prefix(P)) is None  # treat-as-withdraw
+        assert server.route_from("B", IPv4Prefix(Q)) is not None  # applied
+
+    def test_update_from_down_session_is_dropped(self):
+        server, guard = self._guarded()
+        server.session("B").fail()
+        update = BGPUpdate("B", announced=[Announcement(P, attrs())])
+        assert guard.process_update(update) == []
+        assert server.route_from("B", IPv4Prefix(P)) is None
+        assert guard.counters("B").validation_errors == 1
+
+    def test_first_asn_enforcement_opt_in(self):
+        server = RouteServer()
+        server.add_peer("B", asn=65002)
+        guard = UpdateGuard(server, ProtectionConfig(enforce_first_asn=True))
+        update = BGPUpdate("B", announced=[Announcement(P, attrs(asns=(65100,)))])
+        guard.process_update(update)
+        assert server.route_from("B", IPv4Prefix(P)) is None
+        ok = BGPUpdate("B", announced=[Announcement(P, attrs(asns=(65002, 65100)))])
+        guard.process_update(ok)
+        assert server.route_from("B", IPv4Prefix(P)) is not None
+
+
+# ---------------------------------------------------------------------------
+# Session liveness, graceful restart, reconnection backoff
+# ---------------------------------------------------------------------------
+
+
+class TestSessionLiveness:
+    CONFIG = dict(hold_time=10.0, restart_time=50.0, backoff_initial=1.0)
+
+    def _watched(self, probe=None, **overrides):
+        sim = Simulator()
+        server = make_server("B")
+        server.announce("B", P, attrs())
+        manager = SessionLivenessManager(
+            server, sim, LivenessConfig(**{**self.CONFIG, **overrides}), probe
+        )
+        manager.watch("B")
+        return sim, server, manager
+
+    def test_heartbeats_keep_the_session_up(self):
+        sim, server, manager = self._watched(probe=lambda peer: False)
+        for t in (6, 12, 18, 24):
+            sim.run_until(t)
+            manager.heard_from("B")
+        sim.run_until(30)
+        assert server.session("B").is_established
+        assert manager.peer_state("B").hold_expirations == 0
+
+    def test_silence_past_hold_time_fails_the_session(self):
+        sim, server, manager = self._watched(probe=lambda peer: False)
+        sim.run_until(11)
+        assert server.session("B").state is SessionState.FAILED
+        assert manager.peer_state("B").hold_expirations == 1
+
+    def test_graceful_restart_retains_routes_as_stale(self):
+        sim, server, manager = self._watched(probe=lambda peer: False)
+        sim.run_until(11)  # hold expiry at t=10
+        assert server.stale_prefixes("B") == frozenset({IPv4Prefix(P)})
+        # forwarding continues on the last-known route
+        assert server.route_from("B", IPv4Prefix(P)) is not None
+
+    def test_without_graceful_restart_routes_flush_on_failure(self):
+        sim, server, manager = self._watched(
+            probe=lambda peer: False, graceful_restart=False
+        )
+        sim.run_until(11)
+        assert server.route_from("B", IPv4Prefix(P)) is None
+        assert server.stale_prefixes("B") == frozenset()
+
+    def test_restart_timer_sweeps_unrefreshed_stale_routes(self):
+        sim, server, manager = self._watched(probe=lambda peer: False)
+        sim.run_until(70)  # fail at 10, restart timer expires at 60
+        assert server.route_from("B", IPv4Prefix(P)) is None
+        assert server.stale_prefixes("B") == frozenset()
+
+    def test_reconnect_backoff_is_exponential(self):
+        sim, server, manager = self._watched(probe=lambda peer: False)
+        # fail at t=10; attempts at 11, 13, 17, 25, 41 (1+2+4+8+16 spacing)
+        expected = [(12, 1), (14, 2), (18, 3), (26, 4), (42, 5)]
+        for t, attempts in expected:
+            sim.run_until(t)
+            assert manager.peer_state("B").reconnect_attempts == attempts
+
+    def test_reconnection_restores_the_session_and_resets_backoff(self):
+        reachable = {"up": False}
+        sim, server, manager = self._watched(probe=lambda peer: reachable["up"])
+        sim.run_until(20)  # failed at 10, probes at 11, 13, 17 all refused
+        assert server.session("B").state is SessionState.FAILED
+        reachable["up"] = True
+        sim.run_until(30)  # next probe at 25 succeeds
+        assert server.session("B").is_established
+        assert manager.peer_state("B").backoff == manager.config.backoff_initial
+        # stale routes persist until refreshed or End-of-RIB swept
+        assert server.stale_prefixes("B") == frozenset({IPv4Prefix(P)})
+
+    def test_refresh_plus_end_of_rib_clears_stale_without_churn(self):
+        reachable = {"up": False}
+        sim, server, manager = self._watched(probe=lambda peer: reachable["up"])
+        observed = []
+        server.subscribe(observed.extend)
+        sim.run_until(20)
+        reachable["up"] = True
+        sim.run_until(30)
+        assert observed == []  # graceful failure + recovery: zero churn
+        server.announce("B", P, attrs())  # peer re-sends the same route
+        server.end_of_rib("B")
+        assert server.stale_prefixes("B") == frozenset()
+        assert server.route_from("B", IPv4Prefix(P)) is not None
+        assert observed == []  # identical refresh: still no best-path churn
+
+    def test_admin_shutdown_stops_supervision(self):
+        sim, server, manager = self._watched(probe=lambda peer: True)
+        server.session("B").shutdown()
+        sim.run_until(200)
+        assert server.session("B").state is SessionState.IDLE
+        assert manager.peer_state("B").reconnect_attempts == 0
+
+    def test_backoff_capped_at_maximum(self):
+        sim, server, manager = self._watched(
+            probe=lambda peer: False, backoff_max=4.0
+        )
+        sim.run_until(100)
+        assert manager.peer_state("B").backoff == 4.0
+
+
+# ---------------------------------------------------------------------------
+# Timer skew
+# ---------------------------------------------------------------------------
+
+
+class TestSkewedClock:
+    def test_relative_delays_are_scaled(self):
+        sim = Simulator()
+        skewed = SkewedClock(sim, 2.0)
+        fired = []
+        skewed.schedule_in(5.0, lambda: fired.append("x"))
+        sim.run_until(9.9)
+        assert fired == []
+        sim.run_until(10.0)
+        assert fired == ["x"]
+
+    def test_underlying_clock_unaffected(self):
+        sim = Simulator()
+        skewed = SkewedClock(sim, 0.5)
+        fired = []
+        sim.schedule_in(8.0, lambda: fired.append("direct"))
+        skewed.schedule_in(8.0, lambda: fired.append("skewed"))
+        sim.run_until(4.0)
+        assert fired == ["skewed"]
+        sim.run_until(8.0)
+        assert fired == ["skewed", "direct"]
+
+    def test_factor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SkewedClock(Simulator(), 0.0)
+
+    def test_injector_skew_is_seed_deterministic(self):
+        sim = Simulator()
+        a = FaultInjector(5).skew_clock(sim)
+        b = FaultInjector(5).skew_clock(sim)
+        assert a.factor == b.factor
+
+
+# ---------------------------------------------------------------------------
+# Transactional flow tables
+# ---------------------------------------------------------------------------
+
+
+def _toy_table():
+    table = FlowTable()
+    table.install_classifier(
+        (match(dstport=80) >> fwd("B")).compile(), base_priority=100, cookie="web"
+    )
+    return table
+
+
+class TestFlowTableTransactions:
+    def test_rollback_restores_contents_and_hash(self):
+        table = _toy_table()
+        before = table.content_hash()
+        transaction = table.transaction()
+        table.remove_by_cookie("web")
+        table.install_classifier(
+            (match(dstport=22) >> fwd("C")).compile(), base_priority=50, cookie="ssh"
+        )
+        assert table.content_hash() != before
+        transaction.rollback()
+        assert table.content_hash() == before
+
+    def test_commit_keeps_mutations(self):
+        table = _toy_table()
+        before = table.content_hash()
+        with table.transaction():
+            table.remove_by_cookie("web")
+        assert len(table) == 0
+        assert table.content_hash() != before
+
+    def test_exception_in_with_block_rolls_back(self):
+        table = _toy_table()
+        before = table.content_hash()
+        with pytest.raises(RuntimeError):
+            with table.transaction():
+                table.clear()
+                raise RuntimeError("mid-commit failure")
+        assert table.content_hash() == before
+
+    def test_rollback_after_commit_is_a_no_op(self):
+        table = _toy_table()
+        transaction = table.transaction()
+        table.remove_by_cookie("web")
+        transaction.commit()
+        transaction.rollback()
+        assert len(table) == 0
+
+    def test_hash_ignores_counters(self):
+        table = _toy_table()
+        before = table.content_hash()
+        rule = table.rules()[0]
+        rule.count(1500)
+        assert table.content_hash() == before
+
+    def test_restored_rules_keep_their_counters(self):
+        table = _toy_table()
+        checkpoint = table.checkpoint()
+        rule = table.rules()[0]
+        table.clear()
+        rule.count(100)  # traffic counted while the rule was "out"
+        table.restore(checkpoint)
+        assert table.rules()[0].packets == 1
+
+
+# ---------------------------------------------------------------------------
+# Fault-isolated compilation (quarantine) and transactional install
+# ---------------------------------------------------------------------------
+
+
+class TestQuarantine:
+    def test_poisoned_policy_quarantines_only_the_culprit(self, figure1_compiled):
+        controller = figure1_compiled
+        controller.register_participant("C").set_policies(
+            outbound=match(dstport=22) >> fwd("B"), recompile=False
+        )
+        FaultInjector(3).poison_policy(controller, "A")
+        result = controller.compile()
+        assert set(controller.quarantined()) == {"A"}
+        record = controller.quarantined()["A"]
+        assert record.error_type == "PolicyPoisonError"
+        assert "poison" in record.error
+        # C's policy block survived the quarantine pass
+        labels = [label for label, _ in result.segments]
+        assert ("policy", "C") in labels
+        assert ("policy", "A") not in labels
+
+    def test_quarantined_compile_raises_nothing(self, figure1_compiled):
+        controller = figure1_compiled
+        FaultInjector(3).poison_policy(controller, "A")
+        controller.compile()  # must not raise
+        controller.compile()  # stays quarantined; still must not raise
+        assert set(controller.quarantined()) == {"A"}
+
+    def test_release_without_fix_requarantines(self, figure1_compiled):
+        controller = figure1_compiled
+        FaultInjector(3).poison_policy(controller, "A")
+        controller.compile()
+        assert controller.release_quarantine("A", recompile=False)
+        assert not controller.quarantined()
+        controller.compile()  # the pill is still installed
+        assert set(controller.quarantined()) == {"A"}
+
+    def test_replacing_the_policy_lifts_quarantine(self, figure1_compiled):
+        from repro.core.participant import SDXPolicySet
+
+        controller = figure1_compiled
+        FaultInjector(3).poison_policy(controller, "A")
+        controller.compile()
+        controller.set_policies(
+            "A", SDXPolicySet(outbound=match(dstport=80) >> fwd("B")), recompile=False
+        )
+        result = controller.compile()
+        assert not controller.quarantined()
+        assert ("policy", "A") in [label for label, _ in result.segments]
+
+    def test_release_quarantine_unknown_participant_is_false(self, figure1_compiled):
+        assert not figure1_compiled.release_quarantine("Z")
+
+    def test_unattributable_failure_propagates(self, figure1_compiled):
+        controller = figure1_compiled
+        boom = RuntimeError("allocator exhausted mid-compile")
+        # Fail only the *joint* compile: every per-participant probe
+        # succeeds, so no single participant can be blamed and the
+        # error must surface instead of a bogus quarantine.
+        original = controller.compiler.compile
+
+        def broken_compile(policies, **kwargs):
+            if len(policies) > 1:
+                raise boom
+            return original(policies, **kwargs)
+
+        controller.compiler.compile = broken_compile
+        try:
+            with pytest.raises(RuntimeError, match="allocator exhausted"):
+                controller.compile()
+            assert not controller.quarantined()
+        finally:
+            controller.compiler.compile = original
+
+
+class TestTransactionalInstall:
+    def test_sabotaged_commit_rolls_back_bit_identically(self, figure1_compiled):
+        controller = figure1_compiled
+        table = controller.switch.table
+        before_hash = table.content_hash()
+        before_result = controller.last_compilation
+        FaultInjector(4).sabotage_commit(controller)
+        with pytest.raises(CommitSabotage):
+            controller.compile()
+        assert table.content_hash() == before_hash
+        assert controller.last_compilation is before_result
+
+    def test_commit_succeeds_after_sabotage_expires(self, figure1_compiled):
+        controller = figure1_compiled
+        FaultInjector(4).sabotage_commit(controller, times=1)
+        with pytest.raises(CommitSabotage):
+            controller.compile()
+        controller.compile()  # hook removed itself; clean commit
+        assert controller.last_compilation is not None
+
+    def test_rollback_preserves_advertisements(self, figure1_compiled):
+        controller = figure1_compiled
+        before = {
+            announcement.prefix: announcement.attributes.next_hop
+            for announcement in controller.advertisements("A")
+        }
+        FaultInjector(4).sabotage_commit(controller)
+        with pytest.raises(CommitSabotage):
+            controller.compile()
+        after = {
+            announcement.prefix: announcement.attributes.next_hop
+            for announcement in controller.advertisements("A")
+        }
+        assert after == before
+
+
+# ---------------------------------------------------------------------------
+# Health report
+# ---------------------------------------------------------------------------
+
+
+class TestHealthReport:
+    def test_healthy_exchange_reports_not_degraded(self, figure1_compiled):
+        report = figure1_compiled.health()
+        assert not report.degraded
+        assert set(report.sessions) == {"A", "B", "C"}
+        assert all(state == "established" for state in report.sessions.values())
+        assert report.flow_rules > 0
+        assert "3 sessions (3 up)" in report.summary()
+
+    def test_quarantine_degrades_the_report(self, figure1_compiled):
+        controller = figure1_compiled
+        FaultInjector(6).poison_policy(controller, "A")
+        controller.compile()
+        report = controller.health()
+        assert report.degraded
+        assert set(report.quarantined) == {"A"}
+        assert "quarantined: A" in report.summary()
+
+    def test_failed_session_degrades_the_report(self, figure1_compiled):
+        controller = figure1_compiled
+        controller.route_server.session("B").fail()
+        report = controller.health()
+        assert report.degraded
+        assert report.sessions["B"] == "failed"

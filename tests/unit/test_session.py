@@ -32,10 +32,48 @@ def test_shutdown_from_any_state():
     assert session.state is SessionState.IDLE
 
 
-def test_fail_behaves_like_shutdown():
+def test_fail_is_distinct_from_shutdown():
     session = BGPSession("B")
     session.establish()
     session.fail()
+    assert session.state is SessionState.FAILED
+    assert session.state is not SessionState.IDLE
+    assert session.is_down and not session.is_established
+
+
+def test_fail_counts_flaps():
+    session = BGPSession("B")
+    session.establish()
+    session.fail()
+    session.establish()
+    session.fail()
+    session.fail()  # already failed: not another flap
+    assert session.flaps == 2
+
+
+def test_reconnect_after_failure():
+    session = BGPSession("B")
+    session.establish()
+    session.fail()
+    session.start()
+    assert session.state is SessionState.CONNECT
+    session.establish()
+    assert session.is_established
+
+
+def test_establish_shortcut_from_failed():
+    session = BGPSession("B")
+    session.establish()
+    session.fail()
+    session.establish()
+    assert session.is_established
+
+
+def test_shutdown_from_failed_is_administrative():
+    session = BGPSession("B")
+    session.establish()
+    session.fail()
+    session.shutdown()
     assert session.state is SessionState.IDLE
 
 
@@ -61,3 +99,20 @@ def test_no_event_for_noop_transition():
     session.on_state_change(lambda s, state: seen.append(state))
     session.shutdown()  # already idle
     assert seen == []
+
+
+def test_raising_listener_does_not_skip_the_rest():
+    session = BGPSession("B")
+    seen = []
+
+    def bad(s, state):
+        raise ValueError("listener bug")
+
+    session.on_state_change(bad)
+    session.on_state_change(lambda s, state: seen.append(state))
+    with pytest.raises(ValueError, match="listener bug"):
+        session.start()
+    # The second listener still observed the transition...
+    assert seen == [SessionState.CONNECT]
+    # ...and the state change itself stuck.
+    assert session.state is SessionState.CONNECT
