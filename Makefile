@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test property integration chaos bench experiments quick examples clean
+.PHONY: install test property integration chaos bench experiments quick examples metrics clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -27,6 +27,9 @@ experiments:
 
 quick:
 	$(PYTHON) -m repro.experiments all --quick
+
+metrics:
+	PYTHONPATH=src $(PYTHON) -m repro.telemetry
 
 examples:
 	@for script in examples/*.py; do \

@@ -144,6 +144,29 @@ class RouteServer:
         # immediate withdraw storm.
         self._graceful: Set[str] = set()
         self._stale: Dict[str, Set[IPv4Prefix]] = {}
+        self._m_updates = self._m_changes = self._m_sessions = None
+        self._m_announce = self._m_withdraw = None
+
+    def attach_telemetry(self, registry) -> None:
+        """Count update-plane traffic and session churn in ``registry``."""
+        self._m_updates = registry.counter(
+            "sdx_bgp_updates_total",
+            "Announcements and withdrawals applied",
+            labels=("kind",),
+        )
+        # _apply is the update-plane hot loop: bind the label
+        # combinations once so each event is a plain dict update.
+        self._m_announce = self._m_updates.bind(kind="announce")
+        self._m_withdraw = self._m_updates.bind(kind="withdraw")
+        self._m_changes = registry.counter(
+            "sdx_bgp_best_path_changes_total",
+            "Per-participant best-path change events emitted",
+        ).bind()
+        self._m_sessions = registry.counter(
+            "sdx_session_transitions_total",
+            "BGP session state transitions",
+            labels=("state",),
+        )
 
     # -- peers ----------------------------------------------------------
 
@@ -216,6 +239,8 @@ class RouteServer:
         return self.sweep_stale(peer)
 
     def _session_changed(self, session: BGPSession, state: SessionState) -> None:
+        if self._m_sessions is not None:
+            self._m_sessions.inc(state=state.name.lower())
         if state is SessionState.IDLE:
             # Administrative shutdown: every route from this peer is
             # invalid immediately, stale retention included.
@@ -310,6 +335,11 @@ class RouteServer:
         rib_in = self._adj_rib_in[peer]
         stale = self._stale.get(peer)
         touched: Set[IPv4Prefix] = set()
+        if self._m_updates is not None:
+            if update.withdrawn:
+                self._m_withdraw.inc(len(update.withdrawn))
+            if update.announced:
+                self._m_announce.inc(len(update.announced))
         for withdrawal in update.withdrawn:
             if stale is not None:
                 stale.discard(withdrawal.prefix)
@@ -381,6 +411,8 @@ class RouteServer:
                 new = _best_from_ranked(ranked, participant)
                 changes.append(BestPathChange(participant, prefix, None, new))
         if changes:
+            if self._m_changes is not None:
+                self._m_changes.inc(len(changes))
             for subscriber in list(self._subscribers):
                 subscriber(changes)
         return changes

@@ -61,6 +61,7 @@ from repro.netutils.ip import IPv4Address, IPv4Prefix
 from repro.policy.analysis import with_fallback
 from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule, sequence_rule
 from repro.policy.language import Policy
+from repro.telemetry import MetricsRegistry
 
 __all__ = [
     "CompilationOptions",
@@ -127,13 +128,46 @@ class SDXCompiler:
         config: IXPConfig,
         route_server: RouteServer,
         options: CompilationOptions = CompilationOptions(),
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config
         self.route_server = route_server
         self.options = options
+        self.telemetry = telemetry
         self._ast_cache: Dict[Policy, Classifier] = {}
+        self._m_phase = self._m_total = self._m_compiles = None
+        self._m_cache = self._m_rules = self._m_groups = None
+        if telemetry is not None:
+            self._m_phase = telemetry.histogram(
+                "sdx_compile_phase_seconds",
+                "Time spent per compilation phase",
+                labels=("phase",),
+            )
+            self._m_total = telemetry.histogram(
+                "sdx_compile_seconds", "End-to-end full compilation time"
+            )
+            self._m_compiles = telemetry.counter(
+                "sdx_compilations_total", "Full compilation pipeline runs"
+            )
+            self._m_cache = telemetry.counter(
+                "sdx_ast_cache_total",
+                "Policy-AST compilation cache lookups",
+                labels=("result",),
+            )
+            self._m_rules = telemetry.gauge(
+                "sdx_compile_rules", "Flow rules emitted by the last compilation"
+            )
+            self._m_groups = telemetry.gauge(
+                "sdx_compile_fec_groups", "FEC groups in the last compilation"
+            )
 
     # -- small helpers ------------------------------------------------------
+
+    def _now(self) -> float:
+        """The telemetry time source, or wall clock when uninstrumented."""
+        if self.telemetry is not None:
+            return self.telemetry.now()
+        return time.perf_counter()
 
     def _compile_ast(self, policy: Optional[Policy]) -> Classifier:
         if policy is None:
@@ -142,8 +176,12 @@ class SDXCompiler:
             return policy.compile()
         cached = self._ast_cache.get(policy)
         if cached is None:
+            if self._m_cache is not None:
+                self._m_cache.inc(result="miss")
             cached = policy.compile()
             self._ast_cache[policy] = cached
+        elif self._m_cache is not None:
+            self._m_cache.inc(result="hit")
         return cached
 
     def _fingerprint(self, prefix: IPv4Prefix):
@@ -171,7 +209,7 @@ class SDXCompiler:
         passes a fresh one on every full compilation.  ``chains`` are
         the registered service chains participants may ``fwd()`` into.
         """
-        started = time.perf_counter()
+        started = self._now()
         originated = originated or {}
         chains = list(chains)
         validate_chains(chains, self.config)
@@ -181,7 +219,7 @@ class SDXCompiler:
         participant_names = frozenset(self.config.participant_names())
 
         # Phase A: policy ASTs -> classifiers.
-        phase = time.perf_counter()
+        phase = self._now()
         out_raw: Dict[str, Classifier] = {}
         in_raw: Dict[str, Classifier] = {}
         for name in self.config.participant_names():
@@ -192,10 +230,10 @@ class SDXCompiler:
                 out_raw[name] = self._compile_ast(policy_set.outbound)
             if policy_set.inbound is not None:
                 in_raw[name] = self._compile_ast(policy_set.inbound)
-        policy_compile_seconds = time.perf_counter() - phase
+        policy_compile_seconds = self._now() - phase
 
         # Phase B: prefix groups + FEC table (VNH computation).
-        phase = time.perf_counter()
+        phase = self._now()
         policy_groups: List[FrozenSet[IPv4Prefix]] = []
         for name, classifier in out_raw.items():
             reachable = self._reachable_fn(name)
@@ -216,11 +254,11 @@ class SDXCompiler:
                 ranked_cache[group.group_id] = cached
             return cached
 
-        vnh_compute_seconds = time.perf_counter() - phase
+        vnh_compute_seconds = self._now() - phase
 
         # Phase C: per-participant transformed blocks, labelled with their
         # provenance so the controller can account traffic per policy.
-        phase = time.perf_counter()
+        phase = self._now()
         labeled_blocks: List[Tuple[Any, Classifier]] = []
         for participant in self.config.participants():
             raw = out_raw.get(participant.name)
@@ -264,12 +302,12 @@ class SDXCompiler:
         for chain in chains:
             stage2_blocks[chain] = chain_entry_block(chain)
         continuation = Classifier(chain_continuation_rules(chains))
-        transform_seconds = time.perf_counter() - phase
+        transform_seconds = self._now() - phase
 
         # Phase D: two-stage composition.  Stage-1 blocks are disjoint
         # and ordered, so composing them separately preserves both the
         # global rule order and each rule's provenance label.
-        phase = time.perf_counter()
+        phase = self._now()
         labeled_blocks.append((("chains",), continuation))
         labeled_blocks.append((("default",), default_block))
         if self.options.disjoint_concat:
@@ -289,14 +327,14 @@ class SDXCompiler:
             stage1 = with_fallback(stage1, default_block)
             final = self._compose(stage1, stage2_blocks, in_raw, fec_table, ranked_routes)
             segments = [(("all",), final)]
-        compose_seconds = time.perf_counter() - phase
+        compose_seconds = self._now() - phase
 
         advertised = (
             self._advertised_next_hops(fec_table)
             if self.options.build_advertisements
             else {}
         )
-        total = time.perf_counter() - started
+        total = self._now() - started
         stats = CompilationStats(
             policy_compile_seconds=policy_compile_seconds,
             vnh_compute_seconds=vnh_compute_seconds,
@@ -307,6 +345,7 @@ class SDXCompiler:
             fec_groups=len(fec_table.affected_groups),
             rules=len(final),
         )
+        self._record_stats(stats)
         return CompilationResult(
             classifier=final,
             fec_table=fec_table,
@@ -316,6 +355,19 @@ class SDXCompiler:
             stats=stats,
             segments=tuple(segments),
         )
+
+    def _record_stats(self, stats: CompilationStats) -> None:
+        """Fold one compilation's phase breakdown into the registry."""
+        if self.telemetry is None:
+            return
+        self._m_compiles.inc()
+        self._m_phase.observe(stats.policy_compile_seconds, phase="ast")
+        self._m_phase.observe(stats.vnh_compute_seconds, phase="fec")
+        self._m_phase.observe(stats.transform_seconds, phase="transform")
+        self._m_phase.observe(stats.compose_seconds, phase="compose")
+        self._m_total.observe(stats.total_seconds)
+        self._m_rules.set(stats.rules)
+        self._m_groups.set(stats.fec_groups)
 
     # -- composition ----------------------------------------------------------
 

@@ -59,6 +59,7 @@ from repro.netutils.ip import IPv4Address, IPv4Prefix
 from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
 from repro.policy.packet import Packet
 from repro.resilience.health import HealthReport, QuarantineRecord
+from repro.telemetry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.incremental import FastPathUpdate as _FastPathUpdate
@@ -117,17 +118,32 @@ class SDXController:
         self.config = config
         self.ownership = ownership
         self.options = options
+        #: one registry per controller; every subsystem reports into it
+        self.telemetry = MetricsRegistry()
         # With a route-server ASN, announcements may steer their export
         # scope via the standard (0, peer) / (rs, peer) communities.
         self.route_server = RouteServer(asn=route_server_asn)
-        self.compiler = SDXCompiler(config, self.route_server, options)
+        self.route_server.attach_telemetry(self.telemetry)
+        self.compiler = SDXCompiler(
+            config, self.route_server, options, telemetry=self.telemetry
+        )
         self.arp = arp if arp is not None else ARPService()
         self.allocator = VirtualNextHopAllocator(config.vnh_pool)
         self.arp.register(self.allocator.resolve)
         self.switch = SDNSwitch(
             "sdx-fabric", ports=[port.port_id for port in config.physical_ports()]
         )
+        self.switch.table.attach_telemetry(self.telemetry)
         self.fast_path = FastPathEngine(self)
+        self._m_quarantines = self.telemetry.counter(
+            "sdx_quarantine_total", "Participants quarantined during compilation"
+        )
+        self._m_vnh = self.telemetry.gauge(
+            "sdx_vnh_allocated", "Live (VNH, VMAC) pairs in the allocator"
+        )
+        self._m_vnh_free = self.telemetry.gauge(
+            "sdx_vnh_free", "Released VNH addresses awaiting reuse"
+        )
         self.fast_path_enabled = fast_path_enabled
 
         self._policies: Dict[str, SDXPolicySet] = {}
@@ -339,6 +355,7 @@ class SDXController:
                     error_type=type(exc).__name__,
                     compile_attempts=attempts,
                 )
+                self._m_quarantines.inc()
                 active.pop(culprit)
 
     def _diagnose_culprit(self, policies: Mapping[str, SDXPolicySet]) -> Optional[str]:
@@ -554,6 +571,13 @@ class SDXController:
         from repro.resilience import ResilienceCoordinator
 
         self.resilience = ResilienceCoordinator(self, clock=clock, **configs)
+        if clock is not None:
+            # Simulated deployments should report every duration on the
+            # sim clock, so compile/fast-path timings and damping decay
+            # share one time base.  Wall-clock runs (no explicit clock)
+            # keep time.perf_counter.
+            sim = self.resilience.clock
+            self.telemetry.set_time_source(lambda: sim.now)
         return self.resilience
 
     def health(self) -> HealthReport:
@@ -580,6 +604,15 @@ class SDXController:
                 peer: counters.snapshot()
                 for peer, counters in self.resilience.guard.all_counters().items()
             }
+        events = {
+            "session_transitions": int(server._m_sessions.total())
+            if server._m_sessions is not None
+            else 0,
+            "quarantines": int(self._m_quarantines.total()),
+            "damping_suppressed": (
+                self.resilience.suppressed_changes if self.resilience is not None else 0
+            ),
+        }
         return HealthReport(
             sessions=sessions,
             quarantined=self.quarantined(),
@@ -588,7 +621,31 @@ class SDXController:
             update_errors=update_errors,
             fast_path_prefixes=len(self.fast_path.active_prefixes),
             flow_rules=len(self.switch.table),
+            events=events,
         )
+
+    # -- telemetry -----------------------------------------------------------------------
+
+    def _refresh_gauges(self) -> None:
+        """Re-sample gauges whose sources are polled, not event-driven."""
+        self._m_vnh.set(self.allocator.allocated)
+        self._m_vnh_free.set(len(self.allocator._free))
+        self.fast_path._sync_gauges()
+
+    def metrics(self) -> Dict[str, Dict[str, Any]]:
+        """A structured snapshot of every metric (JSON-friendly).
+
+        Counters and histograms accumulate as events happen; sampled
+        gauges (VNH pool occupancy, fast-path footprint) are refreshed
+        at snapshot time so the view is internally consistent.
+        """
+        self._refresh_gauges()
+        return self.telemetry.snapshot()
+
+    def metrics_text(self) -> str:
+        """The same snapshot in Prometheus text exposition format."""
+        self._refresh_gauges()
+        return self.telemetry.exposition()
 
     # -- diagnostics and accounting ------------------------------------------------------
 

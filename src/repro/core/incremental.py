@@ -29,6 +29,8 @@ from typing import (
     Tuple,
 )
 
+from repro.telemetry import SIZE_BUCKETS
+
 from repro.bgp.messages import Route
 from repro.bgp.route_server import BestPathChange
 from repro.core.chaining import (
@@ -71,7 +73,45 @@ class FastPathEngine:
     def __init__(self, controller: "SDXController") -> None:
         self._controller = controller
         self._active: Dict[IPv4Prefix, Any] = {}  # prefix -> cookie
+        self._vnhs: Dict[IPv4Prefix, VirtualNextHop] = {}  # prefix -> its VNH
         self._sequence = 0
+        self._extra_rules = 0  # running count of installed fast-path rules
+        telemetry = getattr(controller, "telemetry", None)
+        self._m_seconds = self._m_rules = self._m_updates = None
+        self._m_extra = self._m_prefixes = None
+        if telemetry is not None:
+            self._m_seconds = telemetry.histogram(
+                "sdx_fastpath_seconds",
+                "Per-prefix fast-path handling latency (Figure 10)",
+                sample_window=8192,
+            )
+            self._m_rules = telemetry.histogram(
+                "sdx_fastpath_rules_installed",
+                "Rules installed per fast-path update",
+                buckets=SIZE_BUCKETS,
+            )
+            self._m_updates = telemetry.counter(
+                "sdx_fastpath_updates_total",
+                "Fast-path invocations by outcome",
+                labels=("outcome",),
+            )
+            self._m_extra = telemetry.gauge(
+                "sdx_fastpath_extra_rules",
+                "Fast-path override rules currently installed (Figure 9)",
+            )
+            self._m_prefixes = telemetry.gauge(
+                "sdx_fastpath_active_prefixes",
+                "Prefixes currently served by fast-path rules",
+            )
+
+    def _now(self) -> float:
+        telemetry = getattr(self._controller, "telemetry", None)
+        return telemetry.now() if telemetry is not None else time.perf_counter()
+
+    def _sync_gauges(self) -> None:
+        if self._m_extra is not None:
+            self._m_extra.set(self._extra_rules)
+            self._m_prefixes.set(len(self._active))
 
     @property
     def active_prefixes(self) -> FrozenSet[IPv4Prefix]:
@@ -81,7 +121,8 @@ class FastPathEngine:
     def additional_rules(self) -> int:
         """Extra (fast-path) rules in the switch right now — Figure 9's metric."""
         table = self._controller.switch.table
-        return sum(1 for rule in table if rule.cookie in set(self._active.values()))
+        cookies = set(self._active.values())
+        return sum(1 for rule in table if rule.cookie in cookies)
 
     # -- update handling ----------------------------------------------------
 
@@ -104,13 +145,15 @@ class FastPathEngine:
         routers start tagging traffic with the new VMAC.
         """
         controller = self._controller
-        started = time.perf_counter()
+        started = self._now()
         self._remove_block(prefix)
         ranked = controller.route_server.ranked_routes(prefix)
         if not ranked:
             # Prefix fully withdrawn: routers lose the route; nothing to install.
             controller.readvertise_prefix(prefix, None)
-            return FastPathUpdate(prefix, None, 0, time.perf_counter() - started)
+            elapsed = self._now() - started
+            self._observe(elapsed, 0, installed=False)
+            return FastPathUpdate(prefix, None, 0, elapsed)
         vnh = controller.allocator.allocate()
         group = PrefixGroup(-1, frozenset((prefix,)), vnh)
         classifier = self._compile_prefix(prefix, group, ranked)
@@ -122,32 +165,68 @@ class FastPathEngine:
             cookie=cookie,
         )
         self._active[prefix] = cookie
+        self._vnhs[prefix] = vnh
+        self._extra_rules += len(classifier)
         controller.readvertise_prefix(prefix, vnh.address)
-        elapsed = time.perf_counter() - started
+        elapsed = self._now() - started
+        self._observe(elapsed, len(classifier), installed=True)
         return FastPathUpdate(prefix, vnh, len(classifier), elapsed)
 
+    def _observe(self, seconds: float, rules: int, installed: bool) -> None:
+        self._sync_gauges()
+        if self._m_seconds is None:
+            return
+        self._m_seconds.observe(seconds)
+        self._m_rules.observe(rules)
+        self._m_updates.inc(outcome="installed" if installed else "withdrawn")
+
     def flush(self) -> int:
-        """Drop every fast-path block (after a background recompilation)."""
+        """Drop every fast-path block (after a background recompilation).
+
+        Also releases the per-prefix VNHs: the background compilation
+        has re-assigned every affected prefix a fresh FEC-level VNH, so
+        the fast-path ones are dead weight in the pool.
+        """
         removed = 0
         table = self._controller.switch.table
+        allocator = self._controller.allocator
         for cookie in self._active.values():
             removed += table.remove_by_cookie(cookie)
+        for vnh in self._vnhs.values():
+            allocator.release(vnh.address)
         self._active.clear()
+        self._vnhs.clear()
+        self._extra_rules = 0
+        self._sync_gauges()
         return removed
 
-    def snapshot(self) -> Tuple[Dict[IPv4Prefix, Any], int]:
+    def snapshot(self) -> Tuple[Dict[IPv4Prefix, Any], Dict[IPv4Prefix, VirtualNextHop], int, int]:
         """Capture the engine's bookkeeping for transactional rollback.
 
-        Only the cookie map and sequence counter are recorded — the flow
-        rules themselves are covered by the flow table's own checkpoint.
+        The cookie map, VNH map, sequence counter, and extra-rule count
+        are recorded — the flow rules themselves are covered by the flow
+        table's own checkpoint.
         """
-        return dict(self._active), self._sequence
+        return dict(self._active), dict(self._vnhs), self._sequence, self._extra_rules
 
-    def restore(self, state: Tuple[Dict[IPv4Prefix, Any], int]) -> None:
-        """Reinstate bookkeeping captured by :meth:`snapshot`."""
-        active, sequence = state
+    def restore(
+        self,
+        state: Tuple[Dict[IPv4Prefix, Any], Dict[IPv4Prefix, VirtualNextHop], int, int],
+    ) -> None:
+        """Reinstate bookkeeping captured by :meth:`snapshot`.
+
+        VNHs released by an intervening :meth:`flush` are reclaimed in
+        the allocator so the restored rules and re-advertisements keep
+        resolving.
+        """
+        active, vnhs, sequence, extra_rules = state
         self._active = dict(active)
+        self._vnhs = dict(vnhs)
+        for vnh in vnhs.values():
+            self._controller.allocator.reclaim(vnh)
         self._sequence = sequence
+        self._extra_rules = extra_rules
+        self._sync_gauges()
 
     # -- prefix-restricted compilation ------------------------------------------
 
@@ -262,10 +341,17 @@ class FastPathEngine:
 
     # -- plumbing -------------------------------------------------------------
 
-    def _remove_block(self, prefix: IPv4Prefix) -> None:
+    def _remove_block(self, prefix: IPv4Prefix) -> int:
+        """Drop one prefix's block and release its superseded VNH."""
         cookie = self._active.pop(prefix, None)
+        removed = 0
         if cookie is not None:
-            self._controller.switch.table.remove_by_cookie(cookie)
+            removed = self._controller.switch.table.remove_by_cookie(cookie)
+            self._extra_rules -= removed
+        vnh = self._vnhs.pop(prefix, None)
+        if vnh is not None:
+            self._controller.allocator.release(vnh.address)
+        return removed
 
     def __repr__(self) -> str:
         return f"FastPathEngine(active_prefixes={len(self._active)})"

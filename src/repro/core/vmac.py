@@ -16,7 +16,7 @@ the controller's ARP responder.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, NamedTuple, Optional
+from typing import Dict, Iterator, List, NamedTuple, Optional
 
 from repro.netutils.ip import IPv4Address, IPv4Prefix
 from repro.netutils.mac import MACAddress, MACAllocator
@@ -49,17 +49,29 @@ class VirtualNextHopAllocator:
         self._macs = mac_allocator if mac_allocator is not None else MACAllocator()
         self._next_index = 1  # skip the network address
         self._by_address: Dict[IPv4Address, VirtualNextHop] = {}
+        self._free: List[IPv4Address] = []  # released addresses, reused LIFO
+        self.released_total = 0
 
     @property
     def allocated(self) -> int:
         return len(self._by_address)
 
     def allocate(self) -> VirtualNextHop:
-        """Allocate a fresh (VNH, VMAC) pair."""
-        if self._next_index >= self.pool.num_addresses - 1:
+        """Allocate a fresh (VNH, VMAC) pair.
+
+        Released addresses are reused (most recently released first)
+        before the sequential cursor advances, so a sustained flap on a
+        few prefixes cycles a few addresses instead of draining the
+        pool.  The VMAC is always fresh: routers must re-ARP and re-tag
+        after every change, which a recycled MAC would defeat.
+        """
+        if self._free:
+            address = self._free.pop()
+        elif self._next_index < self.pool.num_addresses - 1:
+            address = self.pool.host(self._next_index)
+            self._next_index += 1
+        else:
             raise RuntimeError(f"VNH pool {self.pool} exhausted")
-        address = self.pool.host(self._next_index)
-        self._next_index += 1
         vnh = VirtualNextHop(address, self._macs.allocate())
         self._by_address[address] = vnh
         return vnh
@@ -69,9 +81,37 @@ class VirtualNextHopAllocator:
         vnh = self._by_address.get(IPv4Address(address))
         return vnh.hardware if vnh is not None else None
 
+    def release(self, address: "IPv4Address | str") -> bool:
+        """Return one VNH address to the pool; False if not allocated.
+
+        The fast path calls this for each superseded per-prefix VNH —
+        without it, every flap between background recompilations leaks
+        an address until the pool raises.
+        """
+        address = IPv4Address(address)
+        if self._by_address.pop(address, None) is None:
+            return False
+        self._free.append(address)
+        self.released_total += 1
+        return True
+
+    def reclaim(self, vnh: VirtualNextHop) -> None:
+        """Undo a :meth:`release` (transactional rollback support).
+
+        Reinstates the exact (address, VMAC) pair so restored fast-path
+        rules and re-advertisements resolve again.  Idempotent.
+        """
+        if vnh.address not in self._by_address:
+            self._by_address[vnh.address] = vnh
+            try:
+                self._free.remove(vnh.address)
+            except ValueError:
+                pass
+
     def release_all(self) -> None:
         """Forget every allocation (used by full background recompilation)."""
         self._by_address.clear()
+        self._free.clear()
         self._next_index = 1
         self._macs.reset()
 

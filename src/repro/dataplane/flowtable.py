@@ -62,6 +62,36 @@ class FlowTable:
     def __init__(self) -> None:
         self._rules: List[FlowRule] = []
         self.misses = 0
+        self._m_installs = self._m_removes = None
+        self._m_commits = self._m_rollbacks = self._m_rules_gauge = None
+
+    def attach_telemetry(self, registry) -> None:
+        """Report install/remove churn and commit outcomes to ``registry``."""
+        self._m_installs = registry.counter(
+            "sdx_flowtable_installs_total", "Flow rules installed"
+        )
+        self._m_removes = registry.counter(
+            "sdx_flowtable_removes_total", "Flow rules removed"
+        )
+        self._m_commits = registry.counter(
+            "sdx_flowtable_commits_total", "Flow-table transactions committed"
+        )
+        self._m_rollbacks = registry.counter(
+            "sdx_flowtable_rollbacks_total", "Flow-table transactions rolled back"
+        )
+        self._m_rules_gauge = registry.gauge(
+            "sdx_flowtable_rules", "Flow rules currently installed"
+        )
+        self._m_rules_gauge.set(len(self._rules))
+
+    def _count_churn(self, installed: int = 0, removed: int = 0) -> None:
+        if self._m_installs is None:
+            return
+        if installed:
+            self._m_installs.inc(installed)
+        if removed:
+            self._m_removes.inc(removed)
+        self._m_rules_gauge.set(len(self._rules))
 
     # -- rule management --------------------------------------------------
 
@@ -77,6 +107,7 @@ class FlowTable:
                 index = position
                 break
         self._rules.insert(index, rule)
+        self._count_churn(installed=1)
         return rule
 
     def install_classifier(
@@ -104,15 +135,22 @@ class FlowTable:
 
     def remove(self, rule: FlowRule) -> None:
         self._rules.remove(rule)
+        self._count_churn(removed=1)
 
     def remove_by_cookie(self, cookie: Any) -> int:
         """Remove every rule tagged with ``cookie``; returns the count."""
         before = len(self._rules)
         self._rules = [rule for rule in self._rules if rule.cookie != cookie]
-        return before - len(self._rules)
+        removed = before - len(self._rules)
+        if removed:
+            self._count_churn(removed=removed)
+        return removed
 
     def clear(self) -> None:
+        removed = len(self._rules)
         self._rules.clear()
+        if removed:
+            self._count_churn(removed=removed)
 
     # -- transactions --------------------------------------------------------
 
@@ -128,6 +166,8 @@ class FlowTable:
     def restore(self, checkpoint: Tuple[FlowRule, ...]) -> None:
         """Reset the table to a previously taken :meth:`checkpoint`."""
         self._rules = list(checkpoint)
+        if self._m_rules_gauge is not None:
+            self._m_rules_gauge.set(len(self._rules))
 
     def transaction(self) -> "FlowTableTransaction":
         """Start a two-phase update; see :class:`FlowTableTransaction`."""
@@ -219,6 +259,8 @@ class FlowTableTransaction:
 
     def commit(self) -> None:
         """Keep the mutations; the checkpoint is discarded."""
+        if not self._closed and self._table._m_commits is not None:
+            self._table._m_commits.inc()
         self._closed = True
 
     def rollback(self) -> None:
@@ -226,6 +268,8 @@ class FlowTableTransaction:
         if not self._closed:
             self._table.restore(self._checkpoint)
             self._closed = True
+            if self._table._m_rollbacks is not None:
+                self._table._m_rollbacks.inc()
 
     def __enter__(self) -> "FlowTableTransaction":
         return self

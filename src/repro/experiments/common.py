@@ -38,11 +38,22 @@ class Scenario(NamedTuple):
     route_server: RouteServer
     workload: PolicyWorkload
 
-    def compiler(self, options: Optional[CompilationOptions] = None) -> SDXCompiler:
-        """A compiler over this scenario (headless defaults)."""
+    def compiler(
+        self,
+        options: Optional[CompilationOptions] = None,
+        telemetry=None,
+    ) -> SDXCompiler:
+        """A compiler over this scenario (headless defaults).
+
+        Pass a :class:`~repro.telemetry.MetricsRegistry` to time the
+        compile through the telemetry layer (what the Figure 8 driver
+        does) instead of leaving it uninstrumented.
+        """
         if options is None:
             options = CompilationOptions(build_advertisements=False)
-        return SDXCompiler(self.ixp.config, self.route_server, options)
+        return SDXCompiler(
+            self.ixp.config, self.route_server, options, telemetry=telemetry
+        )
 
     def controller(self, **kwargs) -> SDXController:
         """A full controller with this scenario's routes already loaded."""

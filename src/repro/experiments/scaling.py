@@ -18,6 +18,7 @@ from typing import Dict, List, NamedTuple, Sequence, Tuple
 
 from repro.core.compiler import CompilationOptions
 from repro.experiments.common import build_scenario, print_table, scaling_policies
+from repro.telemetry import MetricsRegistry
 
 __all__ = ["ScalingPoint", "ScalingResult", "run_sweep"]
 
@@ -96,18 +97,24 @@ def run_sweep(
             policies = scaling_policies(
                 scenario.ixp, policy_prefixes=policy_prefixes, seed=seed + 1
             )
+            # One registry per sweep point: the point's numbers are the
+            # telemetry totals, so the driver and a production scrape
+            # report identical figures.
+            telemetry = MetricsRegistry()
             compiler = scenario.compiler(
-                CompilationOptions(build_advertisements=False)
+                CompilationOptions(build_advertisements=False), telemetry=telemetry
             )
-            result = compiler.compile(policies)
+            compiler.compile(policies)
             points.append(
                 ScalingPoint(
                     participants=participants,
                     policy_prefixes=policy_prefixes,
-                    prefix_groups=result.stats.fec_groups,
-                    flow_rules=result.stats.rules,
-                    compile_seconds=result.stats.total_seconds,
-                    vnh_seconds=result.stats.vnh_compute_seconds,
+                    prefix_groups=int(telemetry.get("sdx_compile_fec_groups").value()),
+                    flow_rules=int(telemetry.get("sdx_compile_rules").value()),
+                    compile_seconds=telemetry.get("sdx_compile_seconds").total(),
+                    vnh_seconds=telemetry.get("sdx_compile_phase_seconds").total(
+                        phase="fec"
+                    ),
                 )
             )
     return ScalingResult(points)

@@ -104,6 +104,15 @@ class ResilienceCoordinator:
         self._refresh_timers: Dict[IPv4Prefix, TimerHandle] = {}
         #: best-path changes withheld from the fast path by damping
         self.suppressed_changes = 0
+        registry = getattr(controller, "telemetry", None)
+        self._m_suppressed = (
+            registry.counter(
+                "sdx_damping_suppressed_total",
+                "Best-path changes withheld from the fast path by flap damping",
+            )
+            if registry is not None
+            else None
+        )
 
     # -- update-plane entry points ------------------------------------------------
 
@@ -147,6 +156,8 @@ class ResilienceCoordinator:
         for change in changes:
             if self.damper.is_prefix_suppressed(change.prefix):
                 self.suppressed_changes += 1
+                if self._m_suppressed is not None:
+                    self._m_suppressed.inc()
                 self._schedule_refresh(change.prefix)
             else:
                 kept.append(change)

@@ -87,6 +87,9 @@ class HealthReport(NamedTuple):
     fast_path_prefixes: int
     #: total installed flow rules
     flow_rules: int
+    #: lifetime resilience event counts (damping suppressions,
+    #: quarantines, session transitions), sourced from telemetry
+    events: Mapping[str, int] = {}
 
     @property
     def degraded(self) -> bool:

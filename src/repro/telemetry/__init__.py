@@ -1,0 +1,38 @@
+"""First-class instrumentation for the SDX compile/fast-path pipeline.
+
+See :mod:`repro.telemetry.registry` for the metric primitives.  The
+controller owns one :class:`MetricsRegistry` (``controller.telemetry``)
+and wires it through the compiler, fast-path engine, route server, and
+flow table; ``controller.metrics()`` returns the structured snapshot
+and ``controller.metrics_text()`` the Prometheus-style exposition.
+
+Metric names follow the ``sdx_<subsystem>_<what>[_total|_seconds]``
+convention; the full catalogue (names, labels, bucket choices) is
+documented in ``docs/internals.md``.
+"""
+
+from repro.telemetry.registry import (
+    BoundCounter,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    Metric,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+    SpanRecord,
+    TraceSpan,
+)
+
+__all__ = [
+    "BoundCounter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "Metric",
+    "MetricsRegistry",
+    "SIZE_BUCKETS",
+    "SpanRecord",
+    "TraceSpan",
+]

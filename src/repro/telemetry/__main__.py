@@ -1,0 +1,49 @@
+"""Telemetry smoke workload: ``python -m repro.telemetry``.
+
+Builds a small synthetic exchange, runs one full compilation and a
+best-path-changing update burst through the fast path, then prints the
+controller's Prometheus text exposition.  Exits non-zero if the
+exposition comes back empty — the CI ``make metrics`` step pins exactly
+that, so a refactor that silently unwires the registry fails fast.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.experiments.common import build_scenario
+from repro.experiments.figure9 import _worst_case_burst
+
+#: Metrics the smoke workload must populate to count as wired.
+REQUIRED = (
+    "sdx_compile_seconds",
+    "sdx_fastpath_seconds",
+    "sdx_bgp_updates_total",
+    "sdx_flowtable_installs_total",
+)
+
+
+def main() -> int:
+    scenario = build_scenario(participants=10, prefixes=60, seed=3)
+    controller = scenario.controller()
+    controller.compile()
+    burst = _worst_case_burst(scenario, 12, random.Random(4))
+    for update in burst:
+        controller.process_update(update)
+    text = controller.metrics_text()
+    if not text.strip():
+        print("telemetry smoke FAILED: empty exposition", file=sys.stderr)
+        return 1
+    missing = [name for name in REQUIRED if name not in text]
+    if missing:
+        print(
+            f"telemetry smoke FAILED: missing metrics {missing}", file=sys.stderr
+        )
+        return 1
+    print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

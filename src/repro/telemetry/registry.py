@@ -1,0 +1,510 @@
+"""A dependency-free metrics registry: counters, gauges, histograms, spans.
+
+The SDX paper's headline claims are quantitative — compilation time
+(Figure 8), extra fast-path rules (Figure 9), per-update latency
+(Figure 10) — so the controller carries first-class instrumentation
+instead of ad-hoc ``time.perf_counter()`` calls scattered through
+benchmarks.  Three design constraints shape this module:
+
+* **No dependencies.**  The exposition format is Prometheus text
+  (``# TYPE``/``# HELP`` plus ``name{label="v"} value`` samples), but
+  nothing here imports a client library.
+* **Fixed bucket boundaries.**  Histograms are cumulative-bucket
+  (``le``-semantics) with boundaries fixed at creation, so merging and
+  scraping never reshape the data.  An optional bounded sample window
+  additionally retains raw observations for exact percentiles — the
+  Figure 10 CDF needs more resolution than buckets give.
+* **An injectable time source.**  ``registry.now()`` is
+  ``time.perf_counter`` by default, but a controller running on the
+  discrete-event sim clock swaps in ``lambda: sim.now`` so simulated
+  and wall-clock runs report durations in one consistent time base.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "BoundCounter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "Metric",
+    "MetricsRegistry",
+    "SIZE_BUCKETS",
+    "SpanRecord",
+    "TraceSpan",
+]
+
+#: Default boundaries for duration histograms: 100 µs to 10 s.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default boundaries for count histograms (rules installed, burst sizes).
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+LabelKey = Tuple[str, ...]
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name) or name[0].isdigit():
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class Metric:
+    """Base class: a named metric with a declared, fixed label schema."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        self.name = _validate_name(name)
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(labels)
+        for label in self.label_names:
+            _validate_name(label)
+
+    def _key(self, labels: Mapping[str, Any]) -> LabelKey:
+        if len(labels) != len(self.label_names) or any(
+            name not in labels for name in self.label_names
+        ):
+            raise ValueError(
+                f"{self.name} requires labels {self.label_names}, got "
+                f"{tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def _labels_of(self, key: LabelKey) -> Dict[str, str]:
+        return dict(zip(self.label_names, key))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class BoundCounter:
+    """One pre-resolved series of a :class:`Counter`.
+
+    Hot paths bind their label combination once (at attach time) so the
+    per-event cost is a dict update, not label validation — the
+    ``labels()`` child idiom of the standard Prometheus clients.
+    """
+
+    __slots__ = ("name", "_values", "_series_key")
+
+    def __init__(self, counter: "Counter", key: LabelKey) -> None:
+        self.name = counter.name
+        self._values = counter._values
+        self._series_key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        values = self._values
+        values[self._series_key] = values.get(self._series_key, 0.0) + amount
+
+
+class Counter(Metric):
+    """A monotonically increasing sum, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def bind(self, **labels: Any) -> BoundCounter:
+        """A hot-path handle for one label combination (validated once)."""
+        return BoundCounter(self, self._key(labels))
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """The sum across every label combination."""
+        return sum(self._values.values())
+
+    def series(self) -> Iterator[Tuple[Dict[str, str], float]]:
+        for key in sorted(self._values):
+            yield self._labels_of(key), self._values[key]
+
+
+class Gauge(Metric):
+    """A value that can go up and down (table sizes, active prefixes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def series(self) -> Iterator[Tuple[Dict[str, str], float]]:
+        for key in sorted(self._values):
+            yield self._labels_of(key), self._values[key]
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "count", "sum", "samples")
+
+    def __init__(self, n_buckets: int, sample_window: int) -> None:
+        self.bucket_counts = [0] * (n_buckets + 1)  # +1 for the +Inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.samples: Optional[Deque[float]] = (
+            deque(maxlen=sample_window) if sample_window > 0 else None
+        )
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram with fixed boundaries.
+
+    ``sample_window`` > 0 keeps the last N raw observations in a ring
+    buffer so :meth:`percentile` is exact over recent data; with a
+    window of 0, percentiles fall back to linear interpolation inside
+    the matching bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        sample_window: int = 0,
+    ) -> None:
+        super().__init__(name, help, labels)
+        boundaries = tuple(float(b) for b in buckets)
+        if not boundaries or list(boundaries) != sorted(set(boundaries)):
+            raise ValueError(f"bucket boundaries must be strictly increasing: {buckets}")
+        self.buckets = boundaries
+        self.sample_window = int(sample_window)
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def _get_series(self, labels: Mapping[str, Any]) -> _HistogramSeries:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(len(self.buckets), self.sample_window)
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float, **labels: Any) -> None:
+        series = self._get_series(labels)
+        series.bucket_counts[bisect_left(self.buckets, value)] += 1
+        series.count += 1
+        series.sum += value
+        if series.samples is not None:
+            series.samples.append(value)
+
+    def count(self, **labels: Any) -> int:
+        series = self._series.get(self._key(labels))
+        return series.count if series is not None else 0
+
+    def total(self, **labels: Any) -> float:
+        """The sum of every observed value in this series."""
+        series = self._series.get(self._key(labels))
+        return series.sum if series is not None else 0.0
+
+    def samples(self, **labels: Any) -> List[float]:
+        """The retained raw observations (empty without a sample window)."""
+        series = self._series.get(self._key(labels))
+        if series is None or series.samples is None:
+            return []
+        return list(series.samples)
+
+    def percentile(self, percent: float, **labels: Any) -> float:
+        """The ``percent``-th percentile; exact when samples are retained."""
+        series = self._series.get(self._key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        if series.samples:
+            data = sorted(series.samples)
+            index = min(len(data) - 1, int(len(data) * percent / 100))
+            return data[index]
+        # Bucket interpolation: find the bucket holding the target rank,
+        # then interpolate linearly between its boundaries.
+        target = series.count * percent / 100
+        cumulative = 0
+        lower = 0.0
+        for index, bucket_count in enumerate(series.bucket_counts):
+            upper = (
+                self.buckets[index]
+                if index < len(self.buckets)
+                else self.buckets[-1]  # the +Inf bucket has no width
+            )
+            if cumulative + bucket_count >= target:
+                if bucket_count == 0:
+                    return upper
+                fraction = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * min(fraction, 1.0)
+            cumulative += bucket_count
+            lower = upper
+        return self.buckets[-1]
+
+    def series(self) -> Iterator[Tuple[Dict[str, str], _HistogramSeries]]:
+        for key in sorted(self._series):
+            yield self._labels_of(key), self._series[key]
+
+
+class SpanRecord(NamedTuple):
+    """One completed trace span (kept in a bounded ring for debugging)."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    started: float
+    seconds: float
+
+
+class TraceSpan:
+    """Times a ``with`` block and observes the duration into a histogram."""
+
+    __slots__ = ("_registry", "_histogram", "_labels", "started", "seconds")
+
+    def __init__(
+        self, registry: "MetricsRegistry", histogram: Histogram, labels: Dict[str, Any]
+    ) -> None:
+        self._registry = registry
+        self._histogram = histogram
+        self._labels = labels
+        self.started: float = 0.0
+        self.seconds: float = 0.0
+
+    def __enter__(self) -> "TraceSpan":
+        self.started = self._registry.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = self._registry.now() - self.started
+        self._histogram.observe(self.seconds, **self._labels)
+        self._registry._record_span(
+            SpanRecord(
+                self._histogram.name,
+                tuple(sorted((k, str(v)) for k, v in self._labels.items())),
+                self.started,
+                self.seconds,
+            )
+        )
+
+
+class MetricsRegistry:
+    """Creates, indexes, and exposes metrics; owns the time source."""
+
+    def __init__(
+        self,
+        time_source: Callable[[], float] = time.perf_counter,
+        span_window: int = 256,
+    ) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._time_source = time_source
+        self._spans: Deque[SpanRecord] = deque(maxlen=span_window)
+
+    # -- time -------------------------------------------------------------
+
+    def now(self) -> float:
+        """The current time from the injected source (seconds)."""
+        return self._time_source()
+
+    def set_time_source(self, time_source: Callable[[], float]) -> None:
+        """Swap the time base (e.g. a sim clock's ``lambda: sim.now``)."""
+        self._time_source = time_source
+
+    # -- metric creation (get-or-create, schema-checked) -------------------
+
+    def _register(self, cls, name: str, help: str, labels: Sequence[str], **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls) or existing.label_names != tuple(labels):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.label_names}"
+                )
+            return existing
+        metric = cls(name, help, labels, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+        sample_window: int = 0,
+    ) -> Histogram:
+        return self._register(
+            Histogram,
+            name,
+            help,
+            labels,
+            buckets=tuple(buckets) if buckets is not None else LATENCY_BUCKETS,
+            sample_window=sample_window,
+        )
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    # -- spans ------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> TraceSpan:
+        """Context manager timing a block into histogram ``name``."""
+        histogram = self.histogram(
+            name, help, labels=tuple(sorted(labels)), buckets=buckets
+        )
+        return TraceSpan(self, histogram, labels)
+
+    def _record_span(self, record: SpanRecord) -> None:
+        self._spans.append(record)
+
+    def recent_spans(self) -> List[SpanRecord]:
+        """The most recent completed spans, oldest first."""
+        return list(self._spans)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A structured, JSON-friendly view of every metric."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, metric in self._metrics.items():
+            entry: Dict[str, Any] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "series": [],
+            }
+            if isinstance(metric, Histogram):
+                for labels, series in metric.series():
+                    cumulative = 0
+                    buckets: Dict[str, int] = {}
+                    for boundary, count in zip(
+                        metric.buckets, series.bucket_counts
+                    ):
+                        cumulative += count
+                        buckets[_format_value(boundary)] = cumulative
+                    buckets["+Inf"] = series.count
+                    entry["series"].append(
+                        {
+                            "labels": labels,
+                            "count": series.count,
+                            "sum": series.sum,
+                            "buckets": buckets,
+                        }
+                    )
+            else:
+                for labels, value in metric.series():
+                    entry["series"].append({"labels": labels, "value": value})
+            out[name] = entry
+        return out
+
+    def exposition(self) -> str:
+        """Prometheus text exposition of every metric with data."""
+        lines: List[str] = []
+        for name, metric in self._metrics.items():
+            samples = self._sample_lines(metric)
+            if not samples:
+                continue
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(samples)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @staticmethod
+    def _render_labels(labels: Mapping[str, str], extra: str = "") -> str:
+        parts = [f'{key}="{_escape_label(value)}"' for key, value in labels.items()]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    def _sample_lines(self, metric: Metric) -> List[str]:
+        lines: List[str] = []
+        if isinstance(metric, Histogram):
+            for labels, series in metric.series():
+                cumulative = 0
+                for boundary, count in zip(metric.buckets, series.bucket_counts):
+                    cumulative += count
+                    rendered = self._render_labels(
+                        labels, f'le="{_format_value(boundary)}"'
+                    )
+                    lines.append(f"{metric.name}_bucket{rendered} {cumulative}")
+                rendered = self._render_labels(labels, 'le="+Inf"')
+                lines.append(f"{metric.name}_bucket{rendered} {series.count}")
+                plain = self._render_labels(labels)
+                lines.append(f"{metric.name}_sum{plain} {_format_value(series.sum)}")
+                lines.append(f"{metric.name}_count{plain} {series.count}")
+        else:
+            for labels, value in metric.series():  # type: ignore[union-attr]
+                rendered = self._render_labels(labels)
+                lines.append(f"{metric.name}{rendered} {_format_value(value)}")
+        return lines
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(metrics={len(self._metrics)})"

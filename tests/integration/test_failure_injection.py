@@ -136,17 +136,37 @@ class TestResourceExhaustion:
 
         config = make_figure1_config()
         tiny = SDXController(config)
-        tiny.allocator = VirtualNextHopAllocator("172.16.0.0/29")  # 6 usable
+        tiny.allocator = VirtualNextHopAllocator("172.16.0.0/30")  # 2 usable
         tiny.arp.register(tiny.allocator.resolve)
         load_figure1_routes(tiny)
         install_figure1_policies(tiny, recompile=False)
-        tiny.compile()  # a handful of groups fit
         with pytest.raises(RuntimeError):
-            for _ in range(10):  # churn until the pool runs dry
-                tiny.withdraw("C", P1)
-                tiny.announce(
-                    "C", P1, RouteAttributes(as_path=[65100], next_hop="172.0.0.21")
-                )
+            tiny.compile()  # the base FEC groups alone overflow 2 addresses
+
+    def test_flap_storm_does_not_exhaust_pool(self, figure1_config):
+        # Regression: each fast-path pass used to allocate a fresh VNH
+        # without releasing the superseded one, so a sustained flap on a
+        # single prefix drained the pool between background recompiles.
+        from repro.core.controller import SDXController
+
+        config = make_figure1_config()
+        tiny = SDXController(config)
+        tiny.allocator = VirtualNextHopAllocator("172.16.0.0/28")  # 14 usable
+        tiny.arp.register(tiny.allocator.resolve)
+        load_figure1_routes(tiny)
+        install_figure1_policies(tiny, recompile=False)
+        tiny.compile()
+        base_allocated = tiny.allocator.allocated
+        pool_size = 14
+        for _ in range(3 * pool_size):  # far more flaps than addresses
+            tiny.withdraw("C", P1)
+            tiny.announce(
+                "C", P1, RouteAttributes(as_path=[65100], next_hop="172.0.0.21")
+            )
+        # One extra address may be live for the prefix's current VNH,
+        # but churn must not grow the footprint beyond that.
+        assert tiny.allocator.allocated <= base_allocated + 1
+        assert tiny.allocator.released_total >= 3 * pool_size
 
     def test_mac_allocator_capacity_respected(self):
         from repro.netutils.mac import MACAllocator

@@ -1,0 +1,140 @@
+"""End-to-end telemetry: the controller's metrics across a full cycle.
+
+Drives one compile, a best-path-changing update burst, and an aborted
+transactional commit through a Figure 1 exchange, then asserts that
+``controller.metrics()`` / ``metrics_text()`` report the cycle — the
+wiring test behind the ``make metrics`` CI smoke.
+"""
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.resilience import CommitSabotage, FaultInjector
+
+from tests.conftest import P1, P3
+
+
+def flap(controller, index):
+    """One guaranteed best-path change for P1 (alternating attributes)."""
+    controller.announce(
+        "C",
+        P1,
+        RouteAttributes(as_path=[65100 + index % 2, 65100], next_hop="172.0.0.21"),
+    )
+
+
+class TestMetricsAcrossACycle:
+    def test_compile_update_rollback_cycle_populates_metrics(
+        self, figure1_compiled
+    ):
+        controller = figure1_compiled
+        for index in range(6):
+            flap(controller, index)
+        injector = FaultInjector(seed=13)
+        injector.sabotage_commit(controller)
+        with pytest.raises(CommitSabotage):
+            controller.run_background_recompilation()
+
+        metrics = controller.metrics()
+
+        def series(name):
+            return {
+                tuple(sorted(entry["labels"].items())): entry
+                for entry in metrics[name]["series"]
+            }
+
+        # compile phases: the fixture compile plus the aborted recompile
+        compiles = series("sdx_compilations_total")[()]["value"]
+        assert compiles >= 2
+        phases = {labels[0][1] for labels in series("sdx_compile_phase_seconds")}
+        assert phases == {"ast", "fec", "transform", "compose"}
+        assert metrics["sdx_compile_seconds"]["series"][0]["count"] >= 2
+
+        # the update burst flowed through the route server and fast path
+        assert series("sdx_bgp_updates_total")[(("kind", "announce"),)]["value"] >= 6
+        fast = series("sdx_fastpath_seconds")[()]
+        assert fast["count"] == len(controller.fast_path_log)
+        assert series("sdx_fastpath_updates_total")[(("outcome", "installed"),)][
+            "value"
+        ] >= 6
+
+        # the sabotaged commit rolled back, and the flow table noticed
+        assert series("sdx_flowtable_rollbacks_total")[()]["value"] == 1
+        assert series("sdx_flowtable_commits_total")[()]["value"] >= 1
+        assert (
+            series("sdx_flowtable_rules")[()]["value"]
+            == controller.table_size()
+        )
+
+        # sampled gauges refreshed at snapshot time
+        assert (
+            series("sdx_vnh_allocated")[()]["value"]
+            == controller.allocator.allocated
+        )
+        assert (
+            series("sdx_fastpath_extra_rules")[()]["value"]
+            == controller.fast_path.additional_rules()
+        )
+
+    def test_rollback_reclaims_fastpath_vnhs(self, figure1_compiled):
+        controller = figure1_compiled
+        flap(controller, 0)
+        (prefix,) = controller.fast_path.active_prefixes
+        vnh = controller.fast_path._vnhs[prefix]
+        injector = FaultInjector(seed=7)
+        injector.sabotage_commit(controller)
+        with pytest.raises(CommitSabotage):
+            controller.run_background_recompilation()
+        # the aborted commit's flush released the fast-path VNH; the
+        # rollback must reinstate it so the override rules keep resolving
+        assert controller.arp.resolve(vnh.address) == vnh.hardware
+        assert controller.fast_path.active_prefixes == {prefix}
+
+    def test_exposition_text_round_trip(self, figure1_compiled):
+        controller = figure1_compiled
+        flap(controller, 0)
+        text = controller.metrics_text()
+        assert "# TYPE sdx_compile_seconds histogram" in text
+        assert "# TYPE sdx_bgp_updates_total counter" in text
+        assert 'sdx_compile_phase_seconds_bucket{phase="fec",le="+Inf"}' in text
+        assert "sdx_fastpath_seconds_count 1" in text
+
+    def test_health_report_folds_in_event_counters(self, figure1_compiled):
+        controller = figure1_compiled
+        flap(controller, 0)
+        report = controller.health()
+        assert report.events["session_transitions"] >= 3  # A, B, C established
+        assert report.events["quarantines"] == 0
+        assert report.events["damping_suppressed"] == 0
+
+
+@pytest.mark.chaos
+class TestMetricsUnderChaos:
+    def test_metrics_stay_coherent_under_fault_storm(self, figure1_compiled):
+        controller = figure1_compiled
+        clock = controller.enable_resilience().clock
+        for index in range(12):
+            flap(controller, index)
+            clock.run_until(clock.now + 0.5)
+        injector = FaultInjector(seed=29)
+        injector.sabotage_commit(controller)
+        with pytest.raises(CommitSabotage):
+            controller.run_background_recompilation()
+        controller.run_background_recompilation()  # sabotage expired
+
+        metrics = controller.metrics()
+        rollbacks = metrics["sdx_flowtable_rollbacks_total"]["series"][0]["value"]
+        commits = metrics["sdx_flowtable_commits_total"]["series"][0]["value"]
+        assert rollbacks == 1
+        assert commits >= 2
+        # damping suppressed some of the storm, and health agrees with
+        # both the coordinator and the exposed counter
+        report = controller.health()
+        suppressed = controller.resilience.suppressed_changes
+        assert report.events["damping_suppressed"] == suppressed
+        counter = controller.telemetry.get("sdx_damping_suppressed_total")
+        assert counter.total() == suppressed
+        # gauges track the post-recovery table exactly
+        rules = metrics["sdx_flowtable_rules"]["series"][0]["value"]
+        assert rules == controller.table_size()
+        assert controller.metrics_text().strip()

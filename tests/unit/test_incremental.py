@@ -90,6 +90,61 @@ class TestFastPath:
         controller.withdraw("C", P1)
         assert controller.fast_path.additional_rules() > 0
 
+    def test_additional_rules_matches_table_scan_and_running_count(
+        self, figure1_compiled
+    ):
+        controller = figure1_compiled
+        controller.withdraw("C", P1)
+        controller.withdraw("B", P3)
+        engine = controller.fast_path
+        fastpath_rules = [
+            rule
+            for rule in controller.switch.table
+            if isinstance(rule.cookie, tuple) and rule.cookie[0] == "fastpath"
+        ]
+        assert engine.additional_rules() == len(fastpath_rules)
+        # the engine's O(1) running count (what Figure 9 reads through
+        # the gauge) agrees with the authoritative table scan
+        assert engine._extra_rules == len(fastpath_rules)
+
+    def test_superseded_vnh_is_released(self, figure1_compiled):
+        controller = figure1_compiled
+        controller.withdraw("C", P1)
+        footprint = controller.allocator.allocated
+        for index in range(8):  # repeated flaps replace P1's block in place
+            controller.announce(
+                "C",
+                P1,
+                RouteAttributes(
+                    as_path=[65100 + index % 2, 65100], next_hop="172.0.0.21"
+                ),
+            )
+        assert controller.allocator.allocated == footprint
+        assert controller.allocator.released_total >= 8
+
+    def test_fastpath_seconds_follow_sim_clock_when_resilient(
+        self, figure1_compiled
+    ):
+        from repro.sim.clock import Simulator
+
+        controller = figure1_compiled
+        controller.enable_resilience(clock=Simulator(start=100.0))
+        controller.withdraw("C", P1)
+        (entry,) = controller.fast_path_log
+        # on the sim time base, handling is instantaneous: no wall-clock
+        # jitter leaks into simulated measurements
+        assert entry.seconds == 0.0
+        assert controller.telemetry.now() == 100.0
+
+    def test_fastpath_latency_lands_in_telemetry(self, figure1_compiled):
+        controller = figure1_compiled
+        controller.withdraw("C", P1)
+        histogram = controller.telemetry.get("sdx_fastpath_seconds")
+        assert histogram.count() == len(controller.fast_path_log)
+        assert histogram.samples() == [
+            entry.seconds for entry in controller.fast_path_log
+        ]
+
     def test_flush_removes_blocks(self, figure1_compiled):
         controller = figure1_compiled
         controller.withdraw("C", P1)

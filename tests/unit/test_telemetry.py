@@ -1,0 +1,202 @@
+"""Unit tests for the telemetry registry (counters, gauges, histograms,
+spans, exposition, and the injectable time source)."""
+
+import pytest
+
+from repro.telemetry import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("sdx_things_total")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        assert counter.total() == 3.5
+
+    def test_labeled_series_are_independent(self):
+        counter = Counter("sdx_updates_total", labels=("kind",))
+        counter.inc(kind="announce")
+        counter.inc(3, kind="withdraw")
+        assert counter.value(kind="announce") == 1
+        assert counter.value(kind="withdraw") == 3
+        assert counter.total() == 4
+
+    def test_cannot_decrease(self):
+        counter = Counter("sdx_things_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_label_schema_enforced(self):
+        counter = Counter("sdx_updates_total", labels=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc()  # missing label
+        with pytest.raises(ValueError):
+            counter.inc(kind="announce", extra="nope")
+
+    def test_bound_handle_updates_parent_series(self):
+        counter = Counter("sdx_updates_total", labels=("kind",))
+        bound = counter.bind(kind="announce")
+        bound.inc()
+        bound.inc(4)
+        assert counter.value(kind="announce") == 5
+        with pytest.raises(ValueError):
+            bound.inc(-1)
+        with pytest.raises(ValueError):
+            counter.bind(wrong="label")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("sdx_rules")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+    def test_unset_series_reads_zero(self):
+        assert Gauge("sdx_rules").value() == 0.0
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = Histogram("sdx_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.total() == pytest.approx(55.55)
+        ((labels, series),) = list(histogram.series())
+        assert labels == {}
+        assert series.bucket_counts == [1, 1, 1, 1]
+
+    def test_boundary_lands_in_its_own_bucket(self):
+        # le-semantics: an observation equal to a boundary counts in it.
+        histogram = Histogram("sdx_seconds", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        ((_, series),) = list(histogram.series())
+        assert series.bucket_counts == [1, 0, 0]
+
+    def test_percentile_exact_with_sample_window(self):
+        histogram = Histogram("sdx_seconds", buckets=(1.0,), sample_window=100)
+        for value in range(1, 101):
+            histogram.observe(value / 100)
+        assert histogram.percentile(50) == pytest.approx(0.51)
+        assert histogram.percentile(99) == pytest.approx(1.0)
+
+    def test_percentile_interpolates_without_samples(self):
+        histogram = Histogram("sdx_seconds", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.6, 1.7):
+            histogram.observe(value)
+        p50 = histogram.percentile(50)
+        assert 1.0 <= p50 <= 2.0
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("sdx_seconds", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("sdx_seconds", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("sdx_seconds", buckets=(1.0, 1.0))
+
+    def test_default_bucket_sets(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert list(SIZE_BUCKETS) == sorted(SIZE_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("sdx_c_total", "help")
+        second = registry.counter("sdx_c_total")
+        assert first is second
+
+    def test_schema_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("sdx_c_total")
+        with pytest.raises(ValueError):
+            registry.gauge("sdx_c_total")
+        registry.counter("sdx_l_total", labels=("kind",))
+        with pytest.raises(ValueError):
+            registry.counter("sdx_l_total", labels=("other",))
+
+    def test_invalid_metric_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("9starts_with_digit")
+        with pytest.raises(ValueError):
+            registry.counter("has space")
+
+    def test_time_source_is_injectable(self):
+        ticks = iter([10.0, 25.0])
+        registry = MetricsRegistry()
+        registry.set_time_source(lambda: next(ticks))
+        with registry.span("sdx_op_seconds") as span:
+            pass
+        assert span.seconds == pytest.approx(15.0)
+        assert registry.histogram("sdx_op_seconds").total() == pytest.approx(15.0)
+
+    def test_spans_are_recorded(self):
+        registry = MetricsRegistry()
+        with registry.span("sdx_op_seconds", phase="ast"):
+            pass
+        (record,) = registry.recent_spans()
+        assert record.name == "sdx_op_seconds"
+        assert ("phase", "ast") in record.labels
+
+
+class TestExposition:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "sdx_updates_total", "Updates applied", labels=("kind",)
+        ).inc(3, kind="announce")
+        registry.gauge("sdx_rules", "Installed rules").set(42)
+        histogram = registry.histogram(
+            "sdx_compile_seconds", "Compile time", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        return registry
+
+    def test_prometheus_text_format(self):
+        text = self.build().exposition()
+        lines = text.splitlines()
+        assert "# TYPE sdx_updates_total counter" in lines
+        assert 'sdx_updates_total{kind="announce"} 3' in lines
+        assert "# TYPE sdx_rules gauge" in lines
+        assert "sdx_rules 42" in lines
+        assert "# TYPE sdx_compile_seconds histogram" in lines
+        assert 'sdx_compile_seconds_bucket{le="0.1"} 1' in lines
+        assert 'sdx_compile_seconds_bucket{le="1"} 2' in lines
+        assert 'sdx_compile_seconds_bucket{le="+Inf"} 2' in lines
+        assert "sdx_compile_seconds_count 2" in lines
+        assert text.endswith("\n")
+
+    def test_metrics_without_samples_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.counter("sdx_never_incremented_total", "quiet")
+        assert registry.exposition() == ""
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("sdx_c_total", labels=("who",)).inc(who='pe"er\\x')
+        text = registry.exposition()
+        assert 'who="pe\\"er\\\\x"' in text
+
+    def test_snapshot_round_trips_structure(self):
+        snapshot = self.build().snapshot()
+        assert snapshot["sdx_updates_total"]["type"] == "counter"
+        (series,) = snapshot["sdx_updates_total"]["series"]
+        assert series == {"labels": {"kind": "announce"}, "value": 3.0}
+        (hist_series,) = snapshot["sdx_compile_seconds"]["series"]
+        assert hist_series["count"] == 2
+        assert hist_series["buckets"]["0.1"] == 1
+        assert hist_series["buckets"]["+Inf"] == 2

@@ -57,3 +57,36 @@ class TestVirtualNextHopAllocator:
         allocator = VirtualNextHopAllocator("172.16.0.0/24")
         vnhs = [allocator.allocate() for _ in range(3)]
         assert list(allocator) == vnhs
+
+    def test_release_returns_address_to_pool(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        vnh = allocator.allocate()
+        assert allocator.release(vnh.address) is True
+        assert allocator.allocated == 0
+        assert allocator.resolve(vnh.address) is None
+        assert allocator.released_total == 1
+        # not allocated anymore -> a second release is a no-op
+        assert allocator.release(vnh.address) is False
+
+    def test_released_addresses_reused_with_fresh_macs(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/29")  # 6 usable
+        vnh = allocator.allocate()
+        for _ in range(100):  # far more cycles than the pool has addresses
+            allocator.release(vnh.address)
+            reused = allocator.allocate()
+            assert reused.address == vnh.address
+            assert reused.hardware != vnh.hardware  # routers must re-ARP
+            vnh = reused
+        assert allocator.allocated == 1
+
+    def test_reclaim_reinstates_released_pair(self):
+        allocator = VirtualNextHopAllocator("172.16.0.0/24")
+        vnh = allocator.allocate()
+        allocator.release(vnh.address)
+        allocator.reclaim(vnh)
+        assert allocator.resolve(vnh.address) == vnh.hardware
+        # the address left the free list: the next allocation is fresh
+        assert allocator.allocate().address != vnh.address
+        # reclaiming a live pair is idempotent
+        allocator.reclaim(vnh)
+        assert allocator.resolve(vnh.address) == vnh.hardware
