@@ -7,6 +7,8 @@ performance regressions in the substrate.
 
 import random
 
+import pytest
+
 from repro.bgp.attributes import RouteAttributes
 from repro.bgp.messages import Announcement, BGPUpdate
 from repro.bgp.route_server import RouteServer
@@ -189,3 +191,85 @@ def test_telemetry_overhead_under_five_percent():
     assert instrumented <= bare * 1.05 + 5e-4, (
         f"telemetry overhead too high: {instrumented:.6f}s vs {bare:.6f}s bare"
     )
+
+
+# -- compile-shard scaling (staged pipeline) ----------------------------------
+#
+# How per-participant shard compilation scales with exchange size, and
+# whether the fork-pool backend actually buys anything.  Shard work is
+# made heavy enough (dense destination-specific policies over many
+# prefix groups) that it dominates the recompile; the pool comparison
+# is asserted only on multicore hosts and reported everywhere.
+
+
+def _sharded_controller(participants, backend):
+    from repro.core.controller import SDXController
+    from repro.experiments.common import build_scenario, scaling_policies
+
+    scenario = build_scenario(
+        participants=participants,
+        prefixes=participants * 25,
+        seed=participants,
+        with_policies=False,
+    )
+    controller = SDXController(scenario.ixp.config, backend=backend)
+    controller.route_server.load(scenario.ixp.updates)
+    policies = scaling_policies(
+        scenario.ixp, participants * 12, chunk_size=2, senders=participants
+    )
+    with controller.deferred_recompilation():
+        for name, policy_set in policies.items():
+            controller.set_policies(name, policy_set)
+    return controller
+
+
+def _recompile_all_shards(controller):
+    controller.pipeline._shard_cache.clear()
+    return controller.compile()
+
+
+def _best_of(controller, rounds=3):
+    import time
+
+    best = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        _recompile_all_shards(controller)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+@pytest.mark.parametrize("participants", [2, 8, 32])
+def test_compile_shard_scaling_serial(benchmark, participants):
+    from repro.pipeline import SerialBackend
+
+    controller = _sharded_controller(participants, SerialBackend())
+    result = benchmark.pedantic(
+        _recompile_all_shards, args=(controller,), rounds=3, warmup_rounds=1
+    )
+    assert result.segments
+
+
+@pytest.mark.parametrize("participants", [8, 32])
+def test_compile_shard_parallel_speedup(benchmark, participants):
+    import os
+
+    from _report import report
+
+    from repro.pipeline import ParallelBackend, SerialBackend
+
+    serial_best = _best_of(_sharded_controller(participants, SerialBackend()))
+    parallel = _sharded_controller(participants, ParallelBackend(processes=2))
+    benchmark.pedantic(_recompile_all_shards, args=(parallel,), rounds=3, warmup_rounds=1)
+    parallel_best = _best_of(parallel)
+    report(
+        f"shard scaling: {participants} participants  "
+        f"serial {serial_best * 1000:.0f} ms  "
+        f"parallel(2) {parallel_best * 1000:.0f} ms  "
+        f"speedup {serial_best / parallel_best:.2f}x"
+    )
+    if (os.cpu_count() or 1) >= 2:
+        assert parallel_best < serial_best, (
+            f"fork pool slower than serial at {participants} participants"
+        )

@@ -42,10 +42,11 @@ def main() -> None:
     workload = generate_policies(ixp, seed=2)
     print(f"  policy mix (§6.1): {workload.policy_count} policies across "
           f"{len(workload.policies)} participants")
-    for name, policy_set in workload.policies.items():
-        controller.set_policies(name, policy_set, recompile=False)
+    with controller.deferred_recompilation():
+        for name, policy_set in workload.policies.items():
+            controller.set_policies(name, policy_set)
 
-    result = controller.compile()
+    result = controller.last_compilation
     stats = result.stats
     print(
         f"\ninitial compilation: {stats.rules} rules, "

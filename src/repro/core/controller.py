@@ -24,6 +24,8 @@ Typical use::
 
 from __future__ import annotations
 
+import sys
+from contextlib import contextmanager
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -56,6 +58,9 @@ from repro.dataplane.router import BorderRouter
 from repro.dataplane.switch import SDNSwitch
 from repro.ixp.topology import IXPConfig
 from repro.netutils.ip import IPv4Address, IPv4Prefix
+from repro.pipeline import CompilationPipeline, ExecutionBackend
+from repro.pipeline.events import ChainsChanged, PolicyChanged, QuarantineLifted
+from repro.pipeline.stages import BASE_COOKIE, BASE_PRIORITY
 from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
 from repro.policy.packet import Packet
 from repro.resilience.health import HealthReport, QuarantineRecord
@@ -66,7 +71,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.resilience import ResilienceCoordinator
     from repro.sim.clock import Simulator
 
-__all__ = ["PacketTrace", "SDXController"]
+__all__ = ["BASE_COOKIE", "BASE_PRIORITY", "PacketTrace", "SDXController"]
 
 
 class PacketTrace(NamedTuple):
@@ -97,14 +102,14 @@ class PacketTrace(NamedTuple):
             f"priority={self.rule.priority} -> {ports})"
         )
 
-#: Cookie tagging the base (fully optimized) rule block in the switch.
-BASE_COOKIE = "sdx-base"
-#: Priority floor of the base block.
-BASE_PRIORITY = 1000
-
-
 class SDXController:
-    """Coordinates the route server, compiler, switch, and fast path."""
+    """Facade over the staged compilation pipeline (``repro.pipeline``).
+
+    The controller owns registration, policy/chain/origination storage,
+    and the public API; compilation, shard caching, BGP ingress
+    batching, and fabric commits live in
+    :class:`~repro.pipeline.pipeline.CompilationPipeline`.
+    """
 
     def __init__(
         self,
@@ -114,6 +119,7 @@ class SDXController:
         arp: Optional[ARPService] = None,
         ownership: Optional["OwnershipRegistry"] = None,
         route_server_asn: Optional[int] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         self.config = config
         self.ownership = ownership
@@ -160,6 +166,12 @@ class SDXController:
         #: set by :meth:`enable_resilience`
         self.resilience: Optional["ResilienceCoordinator"] = None
 
+        #: the staged compilation engine (shard cache, ingress, committer);
+        #: ``backend`` overrides the REPRO_BACKEND environment selection
+        self.pipeline = CompilationPipeline(self, backend=backend)
+        self._deferred_depth = 0
+        self._deferred_pending = False
+
         for participant in config.participants():
             self.route_server.add_peer(participant.name, asn=participant.asn)
         self.route_server.subscribe(self._on_best_path_changes)
@@ -195,8 +207,8 @@ class SDXController:
             self._policies.pop(name, None)
         else:
             self._policies[name] = policy_set
-        if recompile:
-            self.compile()
+        self.pipeline.bus.publish(PolicyChanged(name))
+        self._maybe_compile(recompile)
 
     def policies(self) -> Mapping[str, SDXPolicySet]:
         return dict(self._policies)
@@ -210,8 +222,9 @@ class SDXController:
     def release_quarantine(self, name: str, recompile: bool = True) -> bool:
         """Re-admit a quarantined participant's policies (operator action)."""
         released = self._quarantined.pop(name, None) is not None
-        if released and recompile:
-            self.compile()
+        if released:
+            self.pipeline.bus.publish(QuarantineLifted(name))
+            self._maybe_compile(recompile)
         return released
 
     # -- service chains (Section 8 extension) -----------------------------------
@@ -222,14 +235,14 @@ class SDXController:
 
         validate_chains([chain], self.config)
         self._chains[chain.name] = chain
-        if recompile:
-            self.compile()
+        self.pipeline.bus.publish(ChainsChanged(chain.name))
+        self._maybe_compile(recompile)
 
     def remove_chain(self, name: str, recompile: bool = False) -> None:
         """Deregister a service chain (idempotent)."""
-        self._chains.pop(name, None)
-        if recompile:
-            self.compile()
+        if self._chains.pop(name, None) is not None:
+            self.pipeline.bus.publish(ChainsChanged(name))
+        self._maybe_compile(recompile)
 
     def chains(self) -> Mapping[str, "ServiceChain"]:
         return dict(self._chains)
@@ -250,9 +263,17 @@ class SDXController:
         resilience enabled, the update first passes the RFC 7606 guard
         and flap-damping bookkeeping.
         """
-        if self.resilience is not None:
-            return self.resilience.process_update(update)
-        return self.route_server.process_update(update)
+        return self.pipeline.ingress.submit(update)
+
+    def batched_updates(self):
+        """Context manager coalescing a BGP burst's fast-path work.
+
+        Updates inside the block apply to the route server immediately
+        (RIB ordering preserved); the resulting best-path changes are
+        deduplicated per prefix and handed to the fast path once, when
+        the block closes.
+        """
+        return self.pipeline.ingress.batch()
 
     def announce(
         self,
@@ -292,6 +313,9 @@ class SDXController:
         if self.ownership is not None:
             self.ownership.require(spec.asn, prefix)
         self._originated.setdefault(name, set()).add(prefix)
+        # Origination changes the FEC input even when the announcement
+        # does not move a best path, so mark routes dirty explicitly.
+        self.pipeline.dirty.mark_routes()
         attributes = RouteAttributes(
             as_path=[spec.asn],
             next_hop=self.config.vnh_pool.network,
@@ -304,6 +328,7 @@ class SDXController:
         originated = self._originated.get(name)
         if originated is not None:
             originated.discard(prefix)
+        self.pipeline.dirty.mark_routes()
         self.withdraw(name, prefix)
 
     def originated(self) -> Mapping[str, FrozenSet[IPv4Prefix]]:
@@ -317,100 +342,68 @@ class SDXController:
         Also flushes any fast-path blocks — this is the "background
         re-optimization" endpoint of Section 4.3.2.
 
-        Compilation is *fault-isolated*: a participant whose policy
-        raises during compilation is quarantined (degraded to BGP
-        default forwarding, with a recorded diagnosis) and the global
-        compile proceeds without it.  The flow-table installation is
+        Compilation runs on the staged pipeline: only shards whose
+        inputs changed are recompiled (on the configured execution
+        backend), and it is *fault-isolated* — a participant whose
+        policy raises is quarantined (degraded to BGP default
+        forwarding, with a recorded diagnosis) and the global compile
+        proceeds without it.  The flow-table installation is
         *transactional*: a failure mid-commit rolls the fabric back to
         its pre-commit state rather than leaving it half-written.
         """
-        result = self._compile_isolated()
+        result = self.pipeline.compile()
         self._install(result)
         return result
 
-    def _compile_isolated(self) -> CompilationResult:
-        """Compile, quarantining any participant whose policy explodes."""
-        active = {
-            name: policy_set
-            for name, policy_set in self._policies.items()
-            if name not in self._quarantined
-        }
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                return self.compiler.compile(
-                    active,
-                    originated=self.originated(),
-                    allocator=self.allocator,
-                    chains=self._chains.values(),
-                )
-            except Exception as exc:
-                culprit = self._diagnose_culprit(active)
-                if culprit is None:
-                    raise
-                self._quarantined[culprit] = QuarantineRecord(
-                    participant=culprit,
-                    error=str(exc),
-                    error_type=type(exc).__name__,
-                    compile_attempts=attempts,
-                )
-                self._m_quarantines.inc()
-                active.pop(culprit)
+    def _maybe_compile(self, recompile: bool) -> None:
+        """Mutator epilogue: compile now, or once at deferred-batch exit."""
+        if not recompile:
+            return
+        if self._deferred_depth > 0:
+            self._deferred_pending = True
+        else:
+            self.compile()
 
-    def _diagnose_culprit(self, policies: Mapping[str, SDXPolicySet]) -> Optional[str]:
-        """Which single participant's policy set fails to compile alone?"""
-        probe_allocator = VirtualNextHopAllocator(self.config.vnh_pool)
-        for name in sorted(policies):
-            try:
-                self.compiler.compile(
-                    {name: policies[name]}, allocator=probe_allocator
-                )
-            except Exception:
-                return name
-        return None
+    @contextmanager
+    def deferred_recompilation(self):
+        """Batch mutators into exactly one compilation.
+
+        Inside the block, every ``set_policies`` / ``define_chain`` /
+        ``release_quarantine`` call that would have recompiled defers
+        instead; one compile runs when the outermost block exits
+        cleanly.  On an exception nothing is compiled — the dirty state
+        survives for the next explicit or background compilation.
+
+        ::
+
+            with controller.deferred_recompilation():
+                for name, policy_set in workload.items():
+                    controller.set_policies(name, policy_set)
+            # exactly one compile has run here
+        """
+        self._deferred_depth += 1
+        try:
+            yield self
+        finally:
+            self._deferred_depth -= 1
+            if (
+                self._deferred_depth == 0
+                and self._deferred_pending
+                and sys.exc_info()[0] is None
+            ):
+                self._deferred_pending = False
+                self.compile()
 
     def _install(self, result: CompilationResult) -> None:
         """Two-phase commit of a compilation into the switch.
 
-        Any exception inside the transaction — including a registered
-        commit hook raising — restores the flow table, the fast-path
-        state, and the advertisement map to their pre-commit values,
-        then propagates.
+        Delegates to the pipeline's
+        :class:`~repro.pipeline.stages.FabricCommitter`: any exception
+        inside the transaction — including a registered commit hook
+        raising — restores the flow table, the fast-path state, and the
+        advertisement map to their pre-commit values, then propagates.
         """
-        table = self.switch.table
-        saved_fast_path = self.fast_path.snapshot()
-        saved_cookies = list(self._base_cookies)
-        saved_advertised = dict(self._advertised)
-        transaction = table.transaction()
-        try:
-            for cookie in self._base_cookies:
-                table.remove_by_cookie(cookie)
-            self._base_cookies.clear()
-            self.fast_path.flush()
-            # Install per-provenance segments so the flow table can account
-            # traffic per participant policy.  Segment order fixes relative
-            # priority: earlier segments sit above later ones.
-            segments = result.segments or ((("all",), result.classifier),)
-            remaining = sum(len(block) for _, block in segments)
-            for label, block in segments:
-                cookie = (BASE_COOKIE, *label)
-                base = BASE_PRIORITY + remaining - len(block)
-                table.install_classifier(block, base_priority=base, cookie=cookie)
-                self._base_cookies.append(cookie)
-                remaining -= len(block)
-            self._advertised = dict(result.advertised_next_hops)
-            for hook in list(self._commit_hooks):
-                hook(result)
-            transaction.commit()
-        except BaseException:
-            transaction.rollback()
-            self.fast_path.restore(saved_fast_path)
-            self._base_cookies = saved_cookies
-            self._advertised = saved_advertised
-            raise
-        self._last_result = result
-        self._push_routes_to_all()
+        self.pipeline.committer.install(result)
 
     def add_commit_hook(self, hook: Callable[[CompilationResult], None]) -> None:
         """Run ``hook`` inside every fabric-commit transaction.
@@ -426,7 +419,24 @@ class SDXController:
             self._commit_hooks.remove(hook)
 
     def run_background_recompilation(self) -> CompilationResult:
-        """Alias for :meth:`compile`, named for its Section 4.3.2 role."""
+        """The periodic Section 4.3.2 re-optimization endpoint.
+
+        When nothing is dirty — no policy, chain, or route change since
+        the last successful commit and no fast-path overrides pending —
+        the (expensive) compilation is skipped entirely and counted on
+        the ``sdx_pipeline_noop_total`` telemetry counter; the cached
+        result is *reinstalled* transactionally, preserving the
+        documented side effect that recompilation resets per-segment
+        traffic counters.  Otherwise this is a full :meth:`compile`.
+        """
+        if (
+            self._last_result is not None
+            and self.pipeline.idle
+            and not self.fast_path.active_prefixes
+        ):
+            self.pipeline.count_noop()
+            self._install(self._last_result)
+            return self._last_result
         return self.compile()
 
     @property
@@ -441,6 +451,13 @@ class SDXController:
     # -- fast path plumbing ------------------------------------------------------------
 
     def _on_best_path_changes(self, changes: List[BestPathChange]) -> None:
+        self.pipeline.note_route_changes(changes)
+        if self.pipeline.ingress.batching:
+            self.pipeline.ingress.collect(changes)
+            return
+        self._dispatch_fast_path(changes)
+
+    def _dispatch_fast_path(self, changes: List[BestPathChange]) -> None:
         if not self.fast_path_enabled or self._last_result is None:
             return
         if self.resilience is not None:

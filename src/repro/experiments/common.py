@@ -56,11 +56,18 @@ class Scenario(NamedTuple):
         )
 
     def controller(self, **kwargs) -> SDXController:
-        """A full controller with this scenario's routes already loaded."""
+        """A full controller with this scenario's routes already loaded.
+
+        The workload's policies are installed inside one
+        :meth:`~repro.core.controller.SDXController.deferred_recompilation`
+        batch, so construction costs exactly one compilation no matter
+        how many participants carry policies.
+        """
         controller = SDXController(self.ixp.config, **kwargs)
         controller.route_server.load(self.ixp.updates)
-        for name, policy_set in self.workload.policies.items():
-            controller.set_policies(name, policy_set, recompile=False)
+        with controller.deferred_recompilation():
+            for name, policy_set in self.workload.policies.items():
+                controller.set_policies(name, policy_set)
         return controller
 
 

@@ -1,0 +1,151 @@
+"""Pluggable execution backends for compile-shard fan-out.
+
+Per-participant shards are independent (the disjoint-concat invariant:
+stage-1 blocks are port-isolated, so no shard reads another's output),
+which makes shard compilation embarrassingly parallel.  The pipeline
+submits a list of :class:`~repro.pipeline.shards.ShardTask`s to an
+:class:`ExecutionBackend` and gets results back *in submission order*,
+whatever order the shards actually finished in — determinism is the
+backend contract, not an accident of scheduling.
+
+Backends:
+
+* :class:`SerialBackend` — the default; runs shards inline.
+* :class:`ParallelBackend` — a ``multiprocessing`` fork pool.  Tasks
+  are handed to workers by index through a module-level global set
+  just before the fork, so the (large, classifier-heavy) task inputs
+  are inherited copy-on-write and only the results are pickled.  The
+  ``fork`` start method is required for byte-identical output: rule
+  actions are frozensets, whose iteration order depends on the
+  process's hash seed, and forked children inherit the parent's seed
+  where spawned ones would not.  Platforms without ``fork`` fall back
+  to serial execution.
+* :class:`ShuffledSerialBackend` — a test backend that *executes* the
+  shards in a seeded random order while still returning results in
+  submission order, to prove completion order cannot leak into the
+  flow table.
+
+Selection: ``REPRO_BACKEND=serial|parallel`` (optionally
+``REPRO_BACKEND_PROCS=<n>`` to pin the pool size) or pass a backend
+instance to ``SDXController(backend=...)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+from typing import Callable, List, Optional, Sequence
+
+__all__ = [
+    "ExecutionBackend",
+    "ParallelBackend",
+    "SerialBackend",
+    "ShuffledSerialBackend",
+    "backend_from_env",
+]
+
+#: (tasks, fn) stashed by ParallelBackend immediately before forking its
+#: pool so workers inherit the inputs instead of unpickling them.
+_FORK_WORK = None
+
+
+def _invoke_inherited(index: int):
+    tasks, fn = _FORK_WORK
+    return fn(tasks[index])
+
+
+class ExecutionBackend:
+    """Runs shard tasks; results come back in submission order."""
+
+    name = "abstract"
+
+    def run(self, tasks: Sequence, fn: Callable) -> List:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every shard inline, in submission order (the default)."""
+
+    name = "serial"
+
+    def run(self, tasks: Sequence, fn: Callable) -> List:
+        return [fn(task) for task in tasks]
+
+
+class ShuffledSerialBackend(ExecutionBackend):
+    """Execute in a seeded random order; return in submission order.
+
+    Exists for the determinism tests: if any pipeline stage accidentally
+    depended on shard *completion* order, this backend would expose it.
+    """
+
+    name = "shuffled"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def run(self, tasks: Sequence, fn: Callable) -> List:
+        order = list(range(len(tasks)))
+        random.Random(self.seed).shuffle(order)
+        results: List = [None] * len(tasks)
+        for index in order:
+            results[index] = fn(tasks[index])
+        return results
+
+    def __repr__(self) -> str:
+        return f"ShuffledSerialBackend(seed={self.seed})"
+
+
+class ParallelBackend(ExecutionBackend):
+    """Fan shards out over a forked ``multiprocessing`` pool.
+
+    A fresh pool is created per ``run`` call: shard batches are rare
+    (one per compilation) and large, so pool reuse buys nothing, while
+    a fresh fork guarantees workers see the current task inputs without
+    any pickling of classifiers, FEC tables, or stage-2 blocks.
+    """
+
+    name = "parallel"
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        self.processes = processes
+
+    def _pool_size(self, tasks: Sequence) -> int:
+        if self.processes is not None:
+            return max(1, min(self.processes, len(tasks)))
+        return max(1, min(os.cpu_count() or 1, len(tasks)))
+
+    def run(self, tasks: Sequence, fn: Callable) -> List:
+        global _FORK_WORK
+        if len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return [fn(task) for task in tasks]
+        processes = self._pool_size(tasks)
+        if processes <= 1:
+            return [fn(task) for task in tasks]
+        _FORK_WORK = (list(tasks), fn)
+        try:
+            with context.Pool(processes=processes) as pool:
+                return pool.map(_invoke_inherited, range(len(tasks)))
+        finally:
+            _FORK_WORK = None
+
+    def __repr__(self) -> str:
+        return f"ParallelBackend(processes={self.processes})"
+
+
+def backend_from_env(env: Optional[dict] = None) -> ExecutionBackend:
+    """The backend named by ``REPRO_BACKEND`` (default: serial)."""
+    env = os.environ if env is None else env
+    choice = str(env.get("REPRO_BACKEND", "serial")).strip().lower()
+    if choice in ("parallel", "pool", "multiprocessing"):
+        procs = env.get("REPRO_BACKEND_PROCS")
+        return ParallelBackend(processes=int(procs) if procs else None)
+    return SerialBackend()

@@ -1,0 +1,132 @@
+"""Pipeline event plumbing: a tiny synchronous bus plus dirty tracking.
+
+The staged pipeline is wired together by :class:`EventBus` — a
+deliberately small publish/subscribe hub.  The controller's mutators
+publish typed events (policy installed, chain defined, routes moved,
+quarantine lifted); the pipeline subscribes and folds them into a
+:class:`DirtyTracker`, which is what lets
+``run_background_recompilation()`` prove that *nothing* changed and
+skip compilation entirely.
+
+The bus contract (also documented in ``docs/internals.md``):
+
+* events are plain immutable values (NamedTuples) — no behavior;
+* delivery is synchronous and in subscription order, on the
+  publisher's thread;
+* subscribers must not publish from inside a handler (no re-entrant
+  dispatch is attempted, recursion is the caller's bug);
+* unknown event types are allowed — subscribers register per type, and
+  an event nobody listens to is simply dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Tuple, Type
+
+__all__ = [
+    "ChainsChanged",
+    "CommitApplied",
+    "CompileFinished",
+    "DirtyTracker",
+    "EventBus",
+    "PolicyChanged",
+    "QuarantineLifted",
+    "RoutesChanged",
+]
+
+
+class PolicyChanged(NamedTuple):
+    """A participant installed, replaced, or cleared its policy set."""
+
+    participant: str
+
+
+class QuarantineLifted(NamedTuple):
+    """An operator re-admitted a quarantined participant."""
+
+    participant: str
+
+
+class ChainsChanged(NamedTuple):
+    """A service chain was defined or removed."""
+
+    name: str
+
+
+class RoutesChanged(NamedTuple):
+    """The route server's state moved (announce/withdraw/session sweep)."""
+
+    changes: int
+
+
+class CompileFinished(NamedTuple):
+    """One pipeline compilation completed (before fabric commit)."""
+
+    passes: int
+    shards_compiled: int
+    shards_cached: int
+
+
+class CommitApplied(NamedTuple):
+    """The FabricCommitter successfully installed a compilation."""
+
+    rules: int
+
+
+class EventBus:
+    """Synchronous, type-keyed publish/subscribe."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[Type, List[Callable]] = {}
+
+    def subscribe(self, event_type: Type, handler: Callable) -> None:
+        """Call ``handler(event)`` for every published ``event_type``."""
+        self._subscribers.setdefault(event_type, []).append(handler)
+
+    def publish(self, event) -> None:
+        for handler in self._subscribers.get(type(event), ()):
+            handler(event)
+
+
+class DirtyTracker:
+    """What changed since the last successful fabric commit.
+
+    Per-participant policy dirtiness is tracked by name so telemetry
+    can expose the pending-work set; route and chain dirtiness are
+    single bits (their blast radius is global — the default-forwarding
+    segment depends on every best path, the continuation on every
+    chain).  The shard cache revalidates itself from signatures, so
+    these flags only gate the background-recompilation no-op shortcut.
+    """
+
+    def __init__(self) -> None:
+        self.participants: set = set()
+        self.routes = False
+        self.chains = False
+
+    @property
+    def any(self) -> bool:
+        return bool(self.participants) or self.routes or self.chains
+
+    def mark_policy(self, name: str) -> None:
+        self.participants.add(name)
+
+    def mark_routes(self) -> None:
+        self.routes = True
+
+    def mark_chains(self) -> None:
+        self.chains = True
+
+    def clear(self) -> None:
+        self.participants.clear()
+        self.routes = False
+        self.chains = False
+
+    def snapshot(self) -> Tuple[Tuple[str, ...], bool, bool]:
+        return (tuple(sorted(self.participants)), self.routes, self.chains)
+
+    def __repr__(self) -> str:
+        return (
+            f"DirtyTracker(participants={sorted(self.participants)}, "
+            f"routes={self.routes}, chains={self.chains})"
+        )

@@ -1,0 +1,115 @@
+"""Compile shards: the per-segment unit of (parallel) compilation.
+
+A *shard* produces one provenance segment of the final flow table:
+
+* ``("policy", name)`` — a participant's outbound policy, VMAC-encoded
+  against the current FEC table, sealed, pinned to the participant's
+  ports, and composed with the second stage;
+* ``("chains",)`` — the service-chain continuation block, composed;
+* ``("default",)`` — the shared default-forwarding block, composed.
+
+:func:`run_shard` is a *pure function* of its :class:`ShardTask`: it
+reads no controller state, which is what lets the pipeline run it in a
+forked worker process or replay it from cache.  Failures never escape
+— they come back in ``ShardResult.error`` so the scheduler can decide
+between quarantining a participant (policy shards) and aborting the
+compilation (shared shards).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Mapping, NamedTuple, Optional, Tuple
+
+from repro.core.fec import FECTable
+from repro.core.transforms import isolate, vmacify_outbound
+from repro.netutils.ip import IPv4Prefix
+from repro.policy.analysis import with_fallback
+from repro.policy.classifier import Classifier, Rule, sequence_rule
+
+__all__ = ["ShardResult", "ShardTask", "run_shard", "segment_targets"]
+
+_EMPTY = Classifier()
+
+
+class ShardTask(NamedTuple):
+    """Everything one shard compilation reads (nothing else)."""
+
+    #: provenance label: ("policy", name) / ("chains",) / ("default",)
+    label: Tuple
+    #: participant name for policy shards, None for shared shards
+    participant: Optional[str]
+    #: policy shards: the raw compiled outbound classifier;
+    #: shared shards: the already-built stage-1 block (composed as-is)
+    raw: Classifier
+    #: physical ports the stage-1 block is pinned to (policy shards)
+    port_ids: Tuple[str, ...]
+    #: every configured participant name (virtual-location universe)
+    participant_names: FrozenSet[str]
+    #: target -> prefixes reachable via target (policy shards)
+    reachable: Mapping[str, FrozenSet[IPv4Prefix]]
+    #: the FEC partition this compilation runs against
+    fec_table: Optional[FECTable]
+    #: the full second-stage block map (consulted per forwarding action)
+    stage2_blocks: Mapping[Any, Classifier]
+
+
+class ShardResult(NamedTuple):
+    """One shard's outputs (or its failure)."""
+
+    label: Tuple
+    participant: Optional[str]
+    #: the (possibly transformed) stage-1 block, for ``result.stage1``
+    stage1_block: Optional[Classifier]
+    #: the composed segment (may be empty)
+    segment: Optional[Classifier]
+    #: (exception type name, message) when the shard failed
+    error: Optional[Tuple[str, str]]
+
+
+def _compose(stage1_block: Classifier, stage2_blocks: Mapping[Any, Classifier]) -> Classifier:
+    """Sequential composition with target pruning (Section 4.3.1).
+
+    Identical to the legacy compiler's ``_compose`` on the default
+    options: every stage-1 action consults only the second-stage block
+    of the location it forwards to.
+    """
+    rules: List[Rule] = []
+    for rule in stage1_block.rules:
+        rules.extend(
+            sequence_rule(rule, lambda action: stage2_blocks.get(action.output_port))
+        )
+    return Classifier(rules).optimized()
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Compile one shard; exceptions are captured, never raised."""
+    try:
+        if task.label[0] == "policy":
+            reachable_map = task.reachable
+
+            def reachable(target: str) -> FrozenSet[IPv4Prefix]:
+                return reachable_map.get(target, frozenset())
+
+            vmacified = vmacify_outbound(
+                task.raw, task.participant_names, reachable, task.fec_table
+            )
+            sealed = with_fallback(vmacified, _EMPTY)
+            stage1_block = isolate(sealed, task.port_ids)
+        else:
+            stage1_block = task.raw
+        segment = _compose(stage1_block, task.stage2_blocks)
+        return ShardResult(task.label, task.participant, stage1_block, segment, None)
+    except Exception as exc:  # noqa: BLE001 - shard faults are data
+        return ShardResult(
+            task.label, task.participant, None, None, (type(exc).__name__, str(exc))
+        )
+
+
+def segment_targets(stage1_block: Classifier) -> FrozenSet[Any]:
+    """The second-stage locations a stage-1 block's composition consults."""
+    targets = set()
+    for rule in stage1_block.rules:
+        for action in rule.actions:
+            if action.output_port is not None:
+                targets.add(action.output_port)
+    return frozenset(targets)

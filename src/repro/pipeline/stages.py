@@ -1,0 +1,150 @@
+"""The pipeline's boundary stages: BGP ingress and fabric commit.
+
+``UpdateIngress`` is where BGP UPDATEs enter the control plane (through
+the resilience guard when one is attached) and where bursts can be
+coalesced: inside an ``ingress.batch()`` block, updates still apply to
+the route server immediately (RIB ordering is preserved), but the
+resulting best-path changes are collected and handed to the fast path
+*once*, deduplicated by prefix, when the batch closes.  A burst of N
+updates touching one prefix then costs one fast-path pass instead of N.
+
+``FabricCommitter`` is the last stage: the two-phase, rolled-back-on-
+failure installation of a compilation into the switch, relocated from
+the old monolithic controller.  Commit success is also the pipeline's
+checkpoint — only then are dirty flags cleared and superseded VNHs
+released, so a failed commit leaves the next compilation knowing it
+still has work to do (and the old advertisements still resolving).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.bgp.messages import BGPUpdate
+from repro.bgp.route_server import BestPathChange
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.compiler import CompilationResult
+    from repro.pipeline.pipeline import CompilationPipeline
+
+__all__ = ["BASE_COOKIE", "BASE_PRIORITY", "FabricCommitter", "UpdateIngress"]
+
+#: Cookie tagging the base (fully optimized) rule block in the switch.
+BASE_COOKIE = "sdx-base"
+#: Priority floor of the base block.
+BASE_PRIORITY = 1000
+
+
+class UpdateIngress:
+    """Feeds BGP updates into the route server, batching bursts."""
+
+    def __init__(self, pipeline: "CompilationPipeline") -> None:
+        self.pipeline = pipeline
+        self._batch_depth = 0
+        self._collected: List[BestPathChange] = []
+        telemetry = pipeline.controller.telemetry
+        self._m_updates = telemetry.counter(
+            "sdx_ingress_updates_total", "BGP updates accepted by the ingress stage"
+        )
+        self._m_batched = telemetry.histogram(
+            "sdx_ingress_batch_changes",
+            "Best-path changes coalesced per ingress batch",
+        )
+
+    @property
+    def batching(self) -> bool:
+        return self._batch_depth > 0
+
+    def submit(self, update: BGPUpdate) -> List[BestPathChange]:
+        """One update through the guard (if any) into the route server.
+
+        The subscriber hook on the route server routes the resulting
+        best-path changes back through :meth:`collect` while a batch is
+        open, or straight to the fast path otherwise.
+        """
+        controller = self.pipeline.controller
+        self._m_updates.inc()
+        if controller.resilience is not None:
+            return controller.resilience.process_update(update)
+        return controller.route_server.process_update(update)
+
+    def collect(self, changes: List[BestPathChange]) -> None:
+        """Hold a batch's best-path changes for coalesced dispatch."""
+        self._collected.extend(changes)
+
+    @contextmanager
+    def batch(self):
+        """Coalesce this block's best-path changes into one fast-path pass."""
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                collected, self._collected = self._collected, []
+                merged = self._dedupe(collected)
+                self._m_batched.observe(len(merged))
+                if merged:
+                    self.pipeline.controller._dispatch_fast_path(merged)
+
+    @staticmethod
+    def _dedupe(changes: List[BestPathChange]) -> List[BestPathChange]:
+        """Last change per prefix wins (the fast path recomputes from the
+        route server anyway, so intermediate flaps are pure waste)."""
+        last: Dict = {}
+        for change in changes:
+            last[change.prefix] = change
+        return list(last.values())
+
+
+class FabricCommitter:
+    """Two-phase commit of a compilation into the switch."""
+
+    def __init__(self, pipeline: "CompilationPipeline") -> None:
+        self.pipeline = pipeline
+
+    def install(self, result: "CompilationResult") -> None:
+        """Install ``result`` transactionally; rollback restores everything.
+
+        Any exception inside the transaction — including a registered
+        commit hook raising — restores the flow table, the fast-path
+        state, and the advertisement map to their pre-commit values,
+        then propagates.  On success the pipeline checkpoint runs:
+        dirty flags clear and superseded VNHs are released.
+        """
+        controller = self.pipeline.controller
+        table = controller.switch.table
+        saved_fast_path = controller.fast_path.snapshot()
+        saved_cookies = list(controller._base_cookies)
+        saved_advertised = dict(controller._advertised)
+        transaction = table.transaction()
+        try:
+            for cookie in controller._base_cookies:
+                table.remove_by_cookie(cookie)
+            controller._base_cookies.clear()
+            controller.fast_path.flush()
+            # Install per-provenance segments so the flow table can account
+            # traffic per participant policy.  Segment order fixes relative
+            # priority: earlier segments sit above later ones.
+            segments = result.segments or ((("all",), result.classifier),)
+            remaining = sum(len(block) for _, block in segments)
+            for label, block in segments:
+                cookie = (BASE_COOKIE, *label)
+                base = BASE_PRIORITY + remaining - len(block)
+                table.install_classifier(block, base_priority=base, cookie=cookie)
+                controller._base_cookies.append(cookie)
+                remaining -= len(block)
+            controller._advertised = dict(result.advertised_next_hops)
+            for hook in list(controller._commit_hooks):
+                hook(result)
+            transaction.commit()
+        except BaseException:
+            transaction.rollback()
+            controller.fast_path.restore(saved_fast_path)
+            controller._base_cookies = saved_cookies
+            controller._advertised = saved_advertised
+            raise
+        controller._last_result = result
+        self.pipeline.on_committed(result)
+        controller._push_routes_to_all()

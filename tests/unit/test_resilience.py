@@ -564,24 +564,52 @@ class TestQuarantine:
 
     def test_unattributable_failure_propagates(self, figure1_compiled):
         controller = figure1_compiled
-        boom = RuntimeError("allocator exhausted mid-compile")
-        # Fail only the *joint* compile: every per-participant probe
-        # succeeds, so no single participant can be blamed and the
-        # error must surface instead of a bogus quarantine.
-        original = controller.compiler.compile
+        # Fail a *shared* pipeline stage (the default-forwarding /
+        # stage-2 build serves every participant at once): no single
+        # participant can be blamed, so the error must surface instead
+        # of a bogus quarantine.
+        pipeline = controller.pipeline
+        original = pipeline._build_shared_blocks
 
-        def broken_compile(policies, **kwargs):
-            if len(policies) > 1:
-                raise boom
-            return original(policies, **kwargs)
+        def broken_build(*args, **kwargs):
+            raise RuntimeError("allocator exhausted mid-compile")
 
-        controller.compiler.compile = broken_compile
+        pipeline._build_shared_blocks = broken_build
         try:
             with pytest.raises(RuntimeError, match="allocator exhausted"):
                 controller.compile()
             assert not controller.quarantined()
         finally:
-            controller.compiler.compile = original
+            pipeline._build_shared_blocks = original
+
+    def test_shared_shard_failure_propagates_without_quarantine(
+        self, figure1_compiled
+    ):
+        controller = figure1_compiled
+        # A failure inside the shared "default" compile shard is equally
+        # unattributable: the scheduler must raise, not quarantine.
+        from repro.pipeline import shards as shards_module
+
+        original = shards_module.run_shard
+
+        def broken_run_shard(task):
+            if task.label == ("default",):
+                return shards_module.ShardResult(
+                    task.label, None, None, None, ("RuntimeError", "fabric melted")
+                )
+            return original(task)
+
+        # Invalidate the cached default shard so the broken one runs.
+        controller.pipeline._shard_cache.pop(("default",), None)
+        import repro.pipeline.pipeline as pipeline_module
+
+        pipeline_module.run_shard, saved = broken_run_shard, pipeline_module.run_shard
+        try:
+            with pytest.raises(RuntimeError, match="fabric melted"):
+                controller.compile()
+            assert not controller.quarantined()
+        finally:
+            pipeline_module.run_shard = saved
 
 
 class TestTransactionalInstall:
