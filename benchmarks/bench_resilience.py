@@ -52,10 +52,10 @@ def _run_storm(damped):
     started = time.perf_counter()
     for _ in range(CYCLES):
         for peer, prefix, attributes in targets:
-            controller.withdraw(peer, prefix)
-            controller.announce(peer, prefix, attributes)
+            controller.routing.withdraw(peer, prefix)
+            controller.routing.announce(peer, prefix, attributes)
     storm_seconds = time.perf_counter() - started
-    log = controller.fast_path_log
+    log = controller.ops.fast_path_log
     return {
         "waves": len(log),
         "recompile_seconds": sum(update.seconds for update in log),

@@ -37,17 +37,17 @@ def build() -> SDXController:
     def attrs(asns, next_hop):
         return RouteAttributes(as_path=asns, next_hop=next_hop)
 
-    controller.announce("B", PREFIXES["p1"], attrs([65002, 65100], "172.0.0.11"))
-    controller.announce("B", PREFIXES["p2"], attrs([65002, 65101], "172.0.0.11"))
-    controller.announce("B", PREFIXES["p3"], attrs([65002, 65102], "172.0.0.11"))
-    controller.announce(
+    controller.routing.announce("B", PREFIXES["p1"], attrs([65002, 65100], "172.0.0.11"))
+    controller.routing.announce("B", PREFIXES["p2"], attrs([65002, 65101], "172.0.0.11"))
+    controller.routing.announce("B", PREFIXES["p3"], attrs([65002, 65102], "172.0.0.11"))
+    controller.routing.announce(
         "B", PREFIXES["p4"], attrs([65002, 65103], "172.0.0.12"), export_to=["C"]
     )
-    controller.announce("C", PREFIXES["p1"], attrs([65100], "172.0.0.21"))
-    controller.announce("C", PREFIXES["p2"], attrs([65101], "172.0.0.21"))
-    controller.announce("C", PREFIXES["p3"], attrs([65003, 65110, 65102], "172.0.0.21"))
-    controller.announce("C", PREFIXES["p4"], attrs([65003, 65103], "172.0.0.22"))
-    controller.announce("A", PREFIXES["p5"], attrs([65001, 65120], "172.0.0.1"))
+    controller.routing.announce("C", PREFIXES["p1"], attrs([65100], "172.0.0.21"))
+    controller.routing.announce("C", PREFIXES["p2"], attrs([65101], "172.0.0.21"))
+    controller.routing.announce("C", PREFIXES["p3"], attrs([65003, 65110, 65102], "172.0.0.21"))
+    controller.routing.announce("C", PREFIXES["p4"], attrs([65003, 65103], "172.0.0.22"))
+    controller.routing.announce("A", PREFIXES["p5"], attrs([65001, 65120], "172.0.0.1"))
     return controller
 
 

@@ -44,7 +44,7 @@ def main() -> None:
           f"{len(workload.policies)} participants")
     with controller.deferred_recompilation():
         for name, policy_set in workload.policies.items():
-            controller.set_policies(name, policy_set)
+            controller.policy.set_policies(name, policy_set)
 
     result = controller.last_compilation
     stats = result.stats
@@ -62,7 +62,7 @@ def main() -> None:
     )
 
     for index, update in enumerate(trace.updates):
-        controller.process_update(update)
+        controller.routing.process_update(update)
         if (index + 1) % 25 == 0:
             extra = controller.fast_path.additional_rules()
             print(
@@ -75,7 +75,7 @@ def main() -> None:
                 f"    background recompilation -> table={controller.table_size():5d} rules"
             )
 
-    times = sorted(entry.seconds for entry in controller.fast_path_log)
+    times = sorted(entry.seconds for entry in controller.ops.fast_path_log)
     if times:
         p50 = times[len(times) // 2]
         p99 = times[min(len(times) - 1, int(len(times) * 0.99))]

@@ -34,7 +34,7 @@ def build_deployment() -> EmulatedIXP:
     config.add_participant("C", 65003, [("C1", "172.0.0.21", "08:00:27:00:00:21")])
     ixp = EmulatedIXP(config)
     # B announces its eyeball prefix via B1 (so default traffic targets B1).
-    ixp.controller.announce(
+    ixp.controller.routing.announce(
         "B", "100.64.0.0/16", RouteAttributes(as_path=[65002], next_hop="172.0.0.11")
     )
     ixp.add_host("cdn-a", "A", "50.0.0.1")

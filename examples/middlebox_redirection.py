@@ -29,12 +29,12 @@ def build_deployment() -> EmulatedIXP:
     ixp = EmulatedIXP(config, appliance_ports=["E1"])
 
     # Transit AS T announces a YouTube-originated prefix and a normal one.
-    ixp.controller.announce(
+    ixp.controller.routing.announce(
         "T",
         "203.0.0.0/16",
         RouteAttributes(as_path=[65002, YOUTUBE_AS], next_hop="172.0.0.11"),
     )
-    ixp.controller.announce(
+    ixp.controller.routing.announce(
         "T",
         "198.18.0.0/16",
         RouteAttributes(as_path=[65002, 64999], next_hop="172.0.0.11"),

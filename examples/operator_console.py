@@ -28,10 +28,10 @@ def build() -> EmulatedIXP:
     config.add_participant("C", 65003, [("C1", "172.0.0.21", "08:00:27:00:00:21")])
     ixp = EmulatedIXP(config)
     controller = ixp.controller
-    controller.announce(
+    controller.routing.announce(
         "B", "10.1.0.0/16", RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
     )
-    controller.announce(
+    controller.routing.announce(
         "C", "10.1.0.0/16", RouteAttributes(as_path=[65100], next_hop="172.0.0.21")
     )
     ixp.add_host("client", "A", "50.0.0.1")
@@ -71,7 +71,7 @@ def main() -> None:
     print(f"  default BGP carried: {default_packets} packet(s)")
 
     print("\n== and after a route change? ==")
-    controller.withdraw("B", "10.1.0.0/16")
+    controller.routing.withdraw("B", "10.1.0.0/16")
     trace = controller.trace_packet(tagged_probe(controller, 80), "A1")
     print(f"  dstport= 80: {trace!r}   (fast-path override, B withdrew)")
 

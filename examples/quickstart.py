@@ -34,8 +34,8 @@ def announce_routes(controller: SDXController) -> None:
     def attrs(asns, next_hop):
         return RouteAttributes(as_path=asns, next_hop=next_hop)
 
-    controller.announce("B", "10.1.0.0/16", attrs([65002, 65100], "172.0.0.11"))
-    controller.announce("C", "10.1.0.0/16", attrs([65100], "172.0.0.21"))
+    controller.routing.announce("B", "10.1.0.0/16", attrs([65002, 65100], "172.0.0.11"))
+    controller.routing.announce("C", "10.1.0.0/16", attrs([65100], "172.0.0.21"))
 
 
 def install_policies(controller: SDXController) -> None:

@@ -33,10 +33,10 @@ def build_exchange() -> SDXController:
     config.add_participant("B", 65002, [("B1", "172.0.0.11", "08:00:27:00:00:11")])
     config.add_participant("C", 65003, [("C1", "172.0.0.21", "08:00:27:00:00:21")])
     controller = SDXController(config)
-    controller.announce(
+    controller.routing.announce(
         "B", PREFIX, RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
     )
-    controller.announce(
+    controller.routing.announce(
         "C", PREFIX, RouteAttributes(as_path=[65100], next_hop="172.0.0.21")
     )
     controller.register_participant("A").set_policies(
@@ -51,31 +51,31 @@ def drill_poisoned_policy(controller: SDXController, injector: FaultInjector) ->
     print("== Drill 1: poisoned participant policy ==")
     injector.poison_policy(controller, "A")
     controller.compile()  # does not raise: the culprit is quarantined
-    record = controller.quarantined()["A"]
+    record = controller.ops.quarantined()["A"]
     print(f"quarantined: {record.participant} ({record.error_type}: {record.error})")
-    print(f"health: {controller.health().summary()}")
+    print(f"health: {controller.ops.health().summary()}")
     # The operator ships a fixed policy; quarantine lifts automatically.
     controller.register_participant("A").set_policies(
         outbound=(match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C")),
         recompile=True,
     )
-    print(f"after fix: degraded={controller.health().degraded}\n")
+    print(f"after fix: degraded={controller.ops.health().degraded}\n")
 
 
 def drill_flap_damping(controller: SDXController, sim: Simulator) -> None:
     print("== Drill 2: route-flap damping ==")
-    waves_before = len(controller.fast_path_log)
+    waves_before = len(controller.ops.fast_path_log)
     attributes = RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
     for _ in range(6):
-        controller.withdraw("B", PREFIX)
-        controller.announce("B", PREFIX, attributes)
-    waves = len(controller.fast_path_log) - waves_before
+        controller.routing.withdraw("B", PREFIX)
+        controller.routing.announce("B", PREFIX, attributes)
+    waves = len(controller.ops.fast_path_log) - waves_before
     print(f"12 flap events -> {waves} recompilation wave(s)")
     print(f"damped routes: {controller.resilience.damped_routes()}")
     sim.run_until(sim.now + 6 * 3600)  # penalties decay; one catch-up runs
-    catch_up = len(controller.fast_path_log) - waves_before - waves
+    catch_up = len(controller.ops.fast_path_log) - waves_before - waves
     print(f"after decay: {catch_up} catch-up recompilation, "
-          f"damped={controller.health().damped}\n")
+          f"damped={controller.ops.health().damped}\n")
 
 
 def drill_graceful_restart(controller, sim: Simulator, reachable: dict) -> None:
@@ -99,7 +99,7 @@ def drill_graceful_restart(controller, sim: Simulator, reachable: dict) -> None:
     reachable["B"] = True
     sim.run_until(sim.now + 15)  # backoff reconnection brings B back
     print(f"B session after reconnect: {server.session('B').state.value}")
-    controller.announce(  # B refreshes its table; End-of-RIB sweeps nothing
+    controller.routing.announce(  # B refreshes its table; End-of-RIB sweeps nothing
         "B", PREFIX, RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
     )
     resilience.end_of_rib("B")
@@ -118,7 +118,7 @@ def drill_commit_sabotage(controller: SDXController, injector: FaultInjector) ->
     print(f"rolled back bit-identically: "
           f"{controller.switch.table.content_hash() == before}")
     controller.run_background_recompilation()  # recovery commit is clean
-    print(f"health: {controller.health().summary()}")
+    print(f"health: {controller.ops.health().summary()}")
 
 
 def main() -> None:

@@ -31,7 +31,7 @@ def build_deployment() -> EmulatedIXP:
         ],
     )
     ixp = EmulatedIXP(config, appliance_ports=["FW1", "DPI1"])
-    ixp.controller.announce(
+    ixp.controller.routing.announce(
         "T", "198.51.0.0/16", RouteAttributes(as_path=[65002, 64999], next_hop="172.0.0.11")
     )
     ixp.add_host("subscriber", "ISP", "100.64.0.50")
@@ -45,7 +45,7 @@ def main() -> None:
     controller = ixp.controller
 
     chain = ServiceChain("scrub", hops=["FW1", "DPI1"])
-    controller.define_chain(chain)
+    controller.policy.define_chain(chain)
     isp = controller.register_participant("ISP")
     isp.set_policies(outbound=match(dstport=80) >> fwd(chain))
 

@@ -31,7 +31,7 @@ def build_deployment() -> EmulatedIXP:
     ixp = EmulatedIXP(config)
 
     # AS B provides transit toward the real instance addresses.
-    ixp.controller.announce(
+    ixp.controller.routing.announce(
         "B", "54.198.0.0/16", RouteAttributes(as_path=[65002, 14618], next_hop="172.0.0.11")
     )
     ixp.add_host("client-east", "A", "204.57.0.67")

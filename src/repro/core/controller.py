@@ -12,19 +12,26 @@ and the bookkeeping that ties them together: participant registration,
 policy storage, prefix origination, re-advertisement with VNH rewriting,
 and pushing routes into attached border routers.
 
+The public API is *faceted* (see :mod:`repro.core.facets`):
+``controller.routing`` for the BGP side, ``controller.policy`` for
+policy and chain management, ``controller.ops`` for health, metrics,
+quarantine, and commit hooks.  The historical flat methods survive as
+deprecated delegating shims.
+
 Typical use::
 
     controller = SDXController(config)
     a = controller.register_participant("A")
     ...
     a.set_policies(outbound=match(dstport=80) >> fwd("B"))
-    controller.process_update(update)          # BGP updates stream in
+    controller.routing.process_update(update)  # BGP updates stream in
     controller.run_background_recompilation()  # periodic re-optimization
 """
 
 from __future__ import annotations
 
 import sys
+import warnings
 from contextlib import contextmanager
 from typing import (
     TYPE_CHECKING,
@@ -48,18 +55,19 @@ from repro.core.compiler import (
     CompilationResult,
     SDXCompiler,
 )
+from repro.core.facets import OpsFacet, PolicyFacet, RoutingFacet
 from repro.core.incremental import FastPathEngine, FastPathUpdate
 from repro.core.participant import ParticipantHandle, SDXPolicySet
 from repro.core.transforms import rewrite_inbound_delivery
 from repro.core.vmac import VirtualNextHopAllocator
 from repro.dataplane.arp import ARPService
 from repro.dataplane.flowtable import FlowRule
+from repro.dataplane.reconcile import ChurnStats, CommitReport
 from repro.dataplane.router import BorderRouter
 from repro.dataplane.switch import SDNSwitch
 from repro.ixp.topology import IXPConfig
 from repro.netutils.ip import IPv4Address, IPv4Prefix
 from repro.pipeline import CompilationPipeline, ExecutionBackend
-from repro.pipeline.events import ChainsChanged, PolicyChanged, QuarantineLifted
 from repro.pipeline.stages import BASE_COOKIE, BASE_PRIORITY
 from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
 from repro.policy.packet import Packet
@@ -71,7 +79,29 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.resilience import ResilienceCoordinator
     from repro.sim.clock import Simulator
 
-__all__ = ["BASE_COOKIE", "BASE_PRIORITY", "PacketTrace", "SDXController"]
+__all__ = [
+    "BASE_COOKIE",
+    "BASE_PRIORITY",
+    "ChurnStats",
+    "CommitReport",
+    "PacketTrace",
+    "SDXController",
+]
+
+
+def _warn_flat(name: str, replacement: str) -> None:
+    """Mark one flat ``SDXController`` method as superseded by a facet.
+
+    ``stacklevel=3`` attributes the warning to the *caller* of the flat
+    method, so the tier-1 suite's ``error::DeprecationWarning:repro``
+    filter catches unmigrated in-repo callers while external callers
+    and the test suite just see a warning.
+    """
+    warnings.warn(
+        f"SDXController.{name} is deprecated; use controller.{replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class PacketTrace(NamedTuple):
@@ -166,6 +196,13 @@ class SDXController:
         #: set by :meth:`enable_resilience`
         self.resilience: Optional["ResilienceCoordinator"] = None
 
+        #: faceted public API (see :mod:`repro.core.facets`): thin views
+        #: over this controller's state — the supported surface; the flat
+        #: methods below are deprecated shims over these.
+        self.routing = RoutingFacet(self)
+        self.policy = PolicyFacet(self)
+        self.ops = OpsFacet(self)
+
         #: the staged compilation engine (shard cache, ingress, committer);
         #: ``backend`` overrides the REPRO_BACKEND environment selection
         self.pipeline = CompilationPipeline(self, backend=backend)
@@ -196,84 +233,60 @@ class SDXController:
     def set_policies(
         self, name: str, policy_set: SDXPolicySet, recompile: bool = True
     ) -> None:
-        """Install a participant's policy set, optionally recompiling now.
-
-        Submitting a new policy set clears any quarantine on the
-        participant — it is their chance to ship a fix.
-        """
-        self.config.participant(name)
-        self._quarantined.pop(name, None)
-        if policy_set.is_empty:
-            self._policies.pop(name, None)
-        else:
-            self._policies[name] = policy_set
-        self.pipeline.bus.publish(PolicyChanged(name))
-        self._maybe_compile(recompile)
+        """Deprecated shim for :meth:`PolicyFacet.set_policies`."""
+        _warn_flat("set_policies", "policy.set_policies")
+        self.policy.set_policies(name, policy_set, recompile=recompile)
 
     def policies(self) -> Mapping[str, SDXPolicySet]:
-        return dict(self._policies)
+        """Deprecated shim for :meth:`PolicyFacet.policies`."""
+        _warn_flat("policies", "policy.policies")
+        return self.policy.policies()
 
     # -- quarantine (fault-isolated compilation) --------------------------------
 
     def quarantined(self) -> Mapping[str, QuarantineRecord]:
-        """Participants degraded to BGP-default forwarding, with diagnoses."""
-        return dict(self._quarantined)
+        """Deprecated shim for :meth:`OpsFacet.quarantined`."""
+        _warn_flat("quarantined", "ops.quarantined")
+        return self.ops.quarantined()
 
     def release_quarantine(self, name: str, recompile: bool = True) -> bool:
-        """Re-admit a quarantined participant's policies (operator action)."""
-        released = self._quarantined.pop(name, None) is not None
-        if released:
-            self.pipeline.bus.publish(QuarantineLifted(name))
-            self._maybe_compile(recompile)
-        return released
+        """Deprecated shim for :meth:`OpsFacet.release_quarantine`."""
+        _warn_flat("release_quarantine", "ops.release_quarantine")
+        return self.ops.release_quarantine(name, recompile=recompile)
 
     # -- service chains (Section 8 extension) -----------------------------------
 
     def define_chain(self, chain: "ServiceChain", recompile: bool = False) -> None:
-        """Register a middlebox service chain participants may ``fwd()`` into."""
-        from repro.core.chaining import validate_chains
-
-        validate_chains([chain], self.config)
-        self._chains[chain.name] = chain
-        self.pipeline.bus.publish(ChainsChanged(chain.name))
-        self._maybe_compile(recompile)
+        """Deprecated shim for :meth:`PolicyFacet.define_chain`."""
+        _warn_flat("define_chain", "policy.define_chain")
+        self.policy.define_chain(chain, recompile=recompile)
 
     def remove_chain(self, name: str, recompile: bool = False) -> None:
-        """Deregister a service chain (idempotent)."""
-        if self._chains.pop(name, None) is not None:
-            self.pipeline.bus.publish(ChainsChanged(name))
-        self._maybe_compile(recompile)
+        """Deprecated shim for :meth:`PolicyFacet.remove_chain`."""
+        _warn_flat("remove_chain", "policy.remove_chain")
+        self.policy.remove_chain(name, recompile=recompile)
 
     def chains(self) -> Mapping[str, "ServiceChain"]:
-        return dict(self._chains)
+        """Deprecated shim for :meth:`PolicyFacet.chains`."""
+        _warn_flat("chains", "policy.chains")
+        return self.policy.chains()
 
     def chain_hop_ports(self) -> FrozenSet[str]:
-        """Every physical port currently serving as a chain hop."""
-        return frozenset(
-            hop for chain in self._chains.values() for hop in chain.hops
-        )
+        """Deprecated shim for :meth:`PolicyFacet.chain_hop_ports`."""
+        _warn_flat("chain_hop_ports", "policy.chain_hop_ports")
+        return self.policy.chain_hop_ports()
 
     # -- BGP input ---------------------------------------------------------------
 
     def process_update(self, update: BGPUpdate) -> List[BestPathChange]:
-        """Feed one BGP UPDATE from a participant into the route server.
-
-        Best-path changes trigger the fast path automatically (when a
-        base compilation exists and the fast path is enabled).  With
-        resilience enabled, the update first passes the RFC 7606 guard
-        and flap-damping bookkeeping.
-        """
-        return self.pipeline.ingress.submit(update)
+        """Deprecated shim for :meth:`RoutingFacet.process_update`."""
+        _warn_flat("process_update", "routing.process_update")
+        return self.routing.process_update(update)
 
     def batched_updates(self):
-        """Context manager coalescing a BGP burst's fast-path work.
-
-        Updates inside the block apply to the route server immediately
-        (RIB ordering preserved); the resulting best-path changes are
-        deduplicated per prefix and handed to the fast path once, when
-        the block closes.
-        """
-        return self.pipeline.ingress.batch()
+        """Deprecated shim for :meth:`RoutingFacet.batched_updates`."""
+        _warn_flat("batched_updates", "routing.batched_updates")
+        return self.routing.batched_updates()
 
     def announce(
         self,
@@ -282,62 +295,36 @@ class SDXController:
         attributes: RouteAttributes,
         export_to=None,
     ) -> List[BestPathChange]:
-        """Convenience wrapper for a participant announcing a route."""
-        update = BGPUpdate(
-            name, announced=[Announcement(prefix, attributes, export_to=export_to)]
-        )
-        return self.process_update(update)
+        """Deprecated shim for :meth:`RoutingFacet.announce`."""
+        _warn_flat("announce", "routing.announce")
+        return self.routing.announce(name, prefix, attributes, export_to=export_to)
 
     def withdraw(self, name: str, prefix: "IPv4Prefix | str") -> List[BestPathChange]:
-        """Convenience wrapper for a participant withdrawing a route."""
-        from repro.bgp.messages import Withdrawal
-
-        update = BGPUpdate(name, withdrawn=[Withdrawal(prefix)])
-        return self.process_update(update)
+        """Deprecated shim for :meth:`RoutingFacet.withdraw`."""
+        _warn_flat("withdraw", "routing.withdraw")
+        return self.routing.withdraw(name, prefix)
 
     # -- SDX route origination (Section 3.2) ----------------------------------------
 
     def originate(self, name: str, prefix: "IPv4Prefix | str") -> None:
-        """Originate ``prefix`` from the SDX on behalf of ``name``.
-
-        The route enters the route server like any announcement, with
-        the participant's own ASN as the path and a placeholder next-hop
-        from the VNH pool (the compiler always assigns such prefixes a
-        real VNH, because senders can only reach them through a tag).
-
-        When the controller was built with an ownership registry (the
-        RPKI stand-in), the participant must hold a covering ROA.
-        """
-        prefix = IPv4Prefix(prefix)
-        spec = self.config.participant(name)
-        if self.ownership is not None:
-            self.ownership.require(spec.asn, prefix)
-        self._originated.setdefault(name, set()).add(prefix)
-        # Origination changes the FEC input even when the announcement
-        # does not move a best path, so mark routes dirty explicitly.
-        self.pipeline.dirty.mark_routes()
-        attributes = RouteAttributes(
-            as_path=[spec.asn],
-            next_hop=self.config.vnh_pool.network,
-        )
-        self.announce(name, prefix, attributes)
+        """Deprecated shim for :meth:`RoutingFacet.originate`."""
+        _warn_flat("originate", "routing.originate")
+        self.routing.originate(name, prefix)
 
     def withdraw_origination(self, name: str, prefix: "IPv4Prefix | str") -> None:
-        """Withdraw a previously originated prefix."""
-        prefix = IPv4Prefix(prefix)
-        originated = self._originated.get(name)
-        if originated is not None:
-            originated.discard(prefix)
-        self.pipeline.dirty.mark_routes()
-        self.withdraw(name, prefix)
+        """Deprecated shim for :meth:`RoutingFacet.withdraw_origination`."""
+        _warn_flat("withdraw_origination", "routing.withdraw_origination")
+        self.routing.withdraw_origination(name, prefix)
 
     def originated(self) -> Mapping[str, FrozenSet[IPv4Prefix]]:
-        return {name: frozenset(prefixes) for name, prefixes in self._originated.items()}
+        """Deprecated shim for :meth:`RoutingFacet.originated`."""
+        _warn_flat("originated", "routing.originated")
+        return self.routing.originated()
 
     # -- compilation ----------------------------------------------------------------
 
-    def compile(self) -> CompilationResult:
-        """Full (optimal) compilation: rebuild and install the base table.
+    def compile(self) -> CommitReport:
+        """Full (optimal) compilation: rebuild and reconcile the base table.
 
         Also flushes any fast-path blocks — this is the "background
         re-optimization" endpoint of Section 4.3.2.
@@ -347,13 +334,22 @@ class SDXController:
         backend), and it is *fault-isolated* — a participant whose
         policy raises is quarantined (degraded to BGP default
         forwarding, with a recorded diagnosis) and the global compile
-        proceeds without it.  The flow-table installation is
-        *transactional*: a failure mid-commit rolls the fabric back to
-        its pre-commit state rather than leaving it half-written.
+        proceeds without it.  Installation is *delta-reconciled* and
+        *transactional*: only the minimal add/remove/reprioritize patch
+        against the installed table is applied (unchanged rules keep
+        their packet/byte counters), and a failure mid-commit rolls the
+        fabric back to its exact pre-commit state rather than leaving
+        it half-written.
+
+        Returns the commit's :class:`CommitReport` — the added/removed/
+        retained/reprioritized counts plus latency; unknown attributes
+        delegate to the underlying
+        :class:`~repro.core.compiler.CompilationResult`, so callers
+        reading ``.segments`` / ``.fec_table`` / ``.stats`` are
+        unaffected.
         """
         result = self.pipeline.compile()
-        self._install(result)
-        return result
+        return self._install(result)
 
     def _maybe_compile(self, recompile: bool) -> None:
         """Mutator epilogue: compile now, or once at deferred-batch exit."""
@@ -378,7 +374,7 @@ class SDXController:
 
             with controller.deferred_recompilation():
                 for name, policy_set in workload.items():
-                    controller.set_policies(name, policy_set)
+                    controller.policy.set_policies(name, policy_set)
             # exactly one compile has run here
         """
         self._deferred_depth += 1
@@ -394,40 +390,42 @@ class SDXController:
                 self._deferred_pending = False
                 self.compile()
 
-    def _install(self, result: CompilationResult) -> None:
-        """Two-phase commit of a compilation into the switch.
+    def _install(self, result: CompilationResult) -> CommitReport:
+        """Delta-reconciled two-phase commit of a compilation.
 
         Delegates to the pipeline's
-        :class:`~repro.pipeline.stages.FabricCommitter`: any exception
-        inside the transaction — including a registered commit hook
-        raising — restores the flow table, the fast-path state, and the
-        advertisement map to their pre-commit values, then propagates.
+        :class:`~repro.pipeline.stages.FabricCommitter`: the target
+        table is diffed against the installed one and only the patch is
+        applied; any exception inside the transaction — including a
+        registered commit hook raising — restores the flow table
+        (membership, order, and priorities), the fast-path state, and
+        the advertisement map to their pre-commit values, then
+        propagates.
         """
-        self.pipeline.committer.install(result)
+        return self.pipeline.committer.install(result)
 
     def add_commit_hook(self, hook: Callable[[CompilationResult], None]) -> None:
-        """Run ``hook`` inside every fabric-commit transaction.
-
-        A raising hook aborts the commit and triggers rollback — the
-        fault-injection harness uses this to exercise mid-commit
-        failures; deployments could use it for external validation.
-        """
-        self._commit_hooks.append(hook)
+        """Deprecated shim for :meth:`OpsFacet.add_commit_hook`."""
+        _warn_flat("add_commit_hook", "ops.add_commit_hook")
+        self.ops.add_commit_hook(hook)
 
     def remove_commit_hook(self, hook: Callable[[CompilationResult], None]) -> None:
-        if hook in self._commit_hooks:
-            self._commit_hooks.remove(hook)
+        """Deprecated shim for :meth:`OpsFacet.remove_commit_hook`."""
+        _warn_flat("remove_commit_hook", "ops.remove_commit_hook")
+        self.ops.remove_commit_hook(hook)
 
-    def run_background_recompilation(self) -> CompilationResult:
+    def run_background_recompilation(self) -> CommitReport:
         """The periodic Section 4.3.2 re-optimization endpoint.
 
         When nothing is dirty — no policy, chain, or route change since
         the last successful commit and no fast-path overrides pending —
         the (expensive) compilation is skipped entirely and counted on
         the ``sdx_pipeline_noop_total`` telemetry counter; the cached
-        result is *reinstalled* transactionally, preserving the
-        documented side effect that recompilation resets per-segment
-        traffic counters.  Otherwise this is a full :meth:`compile`.
+        result is re-reconciled transactionally, which the delta engine
+        recognises as a no-op patch — every installed rule is retained
+        and per-segment traffic counters keep accumulating.  Otherwise
+        this is a full :meth:`compile`.  Either way the commit's
+        :class:`CommitReport` is returned.
         """
         if (
             self._last_result is not None
@@ -435,8 +433,7 @@ class SDXController:
             and not self.fast_path.active_prefixes
         ):
             self.pipeline.count_noop()
-            self._install(self._last_result)
-            return self._last_result
+            return self._install(self._last_result)
         return self.compile()
 
     @property
@@ -445,8 +442,9 @@ class SDXController:
 
     @property
     def fast_path_log(self) -> List[FastPathUpdate]:
-        """Every fast-path invocation since the last full compilation."""
-        return list(self._fast_path_log)
+        """Deprecated shim for :attr:`OpsFacet.fast_path_log`."""
+        _warn_flat("fast_path_log", "ops.fast_path_log")
+        return self.ops.fast_path_log
 
     # -- fast path plumbing ------------------------------------------------------------
 
@@ -500,7 +498,7 @@ class SDXController:
         port = next(
             port for port in self.config.physical_ports() if port.port_id == port_id
         )
-        if port_id in self.chain_hop_ports():
+        if port_id in self.policy.chain_hop_ports():
             egress = Action(port=port.port_id)
         else:
             egress = Action(port=port.port_id, dstmac=port.hardware)
@@ -598,11 +596,12 @@ class SDXController:
         return self.resilience
 
     def health(self) -> HealthReport:
-        """One consistent snapshot of the exchange's operational state.
+        """Deprecated shim for :meth:`OpsFacet.health`."""
+        _warn_flat("health", "ops.health")
+        return self.ops.health()
 
-        Works with or without the resilience layer attached; damping
-        and update-error fields are simply empty without it.
-        """
+    def _health_snapshot(self) -> HealthReport:
+        """Backing implementation of ``controller.ops.health()``."""
         server = self.route_server
         sessions = {peer: server.session(peer).state.value for peer in server.peers()}
         stale = {
@@ -632,7 +631,7 @@ class SDXController:
         }
         return HealthReport(
             sessions=sessions,
-            quarantined=self.quarantined(),
+            quarantined=dict(self._quarantined),
             damped=damped,
             stale_routes=stale,
             update_errors=update_errors,
@@ -650,19 +649,14 @@ class SDXController:
         self.fast_path._sync_gauges()
 
     def metrics(self) -> Dict[str, Dict[str, Any]]:
-        """A structured snapshot of every metric (JSON-friendly).
-
-        Counters and histograms accumulate as events happen; sampled
-        gauges (VNH pool occupancy, fast-path footprint) are refreshed
-        at snapshot time so the view is internally consistent.
-        """
-        self._refresh_gauges()
-        return self.telemetry.snapshot()
+        """Deprecated shim for :meth:`OpsFacet.metrics`."""
+        _warn_flat("metrics", "ops.metrics")
+        return self.ops.metrics()
 
     def metrics_text(self) -> str:
-        """The same snapshot in Prometheus text exposition format."""
-        self._refresh_gauges()
-        return self.telemetry.exposition()
+        """Deprecated shim for :meth:`OpsFacet.metrics_text`."""
+        _warn_flat("metrics_text", "ops.metrics_text")
+        return self.ops.metrics_text()
 
     # -- diagnostics and accounting ------------------------------------------------------
 

@@ -287,7 +287,7 @@ class FastPathEngine:
         # Mid-chain continuation for this VMAC must outrank the default
         # rule (which has no port constraint and would otherwise swallow
         # traffic returning from a middlebox hop).
-        chains = list(controller.chains().values())
+        chains = list(controller.policy.chains().values())
         for continuation in chain_continuation_rules(chains):
             scoped = continuation.match.restrict("dstmac", vmac)
             if scoped is not None:

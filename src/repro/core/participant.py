@@ -85,13 +85,15 @@ class ParticipantHandle:
         recompile: bool = True,
     ) -> None:
         """Install (replace) this participant's SDX policies."""
-        self._controller.set_policies(
+        self._controller.policy.set_policies(
             self.name, SDXPolicySet(outbound, inbound), recompile=recompile
         )
 
     def clear_policies(self, recompile: bool = True) -> None:
         """Remove this participant's policies (back to pure BGP)."""
-        self._controller.set_policies(self.name, SDXPolicySet(), recompile=recompile)
+        self._controller.policy.set_policies(
+            self.name, SDXPolicySet(), recompile=recompile
+        )
 
     # -- route origination (Section 3.2) --------------------------------------
 
@@ -102,11 +104,11 @@ class ParticipantHandle:
         anycast prefix).  The controller stands in for RPKI validation —
         ownership is assumed in this reproduction.
         """
-        self._controller.originate(self.name, prefix)
+        self._controller.routing.originate(self.name, prefix)
 
     def withdraw(self, prefix: "IPv4Prefix | str") -> None:
         """Withdraw a previously originated prefix."""
-        self._controller.withdraw_origination(self.name, prefix)
+        self._controller.routing.withdraw_origination(self.name, prefix)
 
     # -- route inspection ----------------------------------------------------
 

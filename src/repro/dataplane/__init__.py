@@ -11,6 +11,14 @@ from repro.dataplane.appliance import MiddleboxAppliance
 from repro.dataplane.arp import ARPService, ARPTable
 from repro.dataplane.fabric import Endpoint, Fabric, Host
 from repro.dataplane.flowtable import FlowRule, FlowTable
+from repro.dataplane.reconcile import (
+    ChurnStats,
+    CommitReport,
+    RuleSpec,
+    TablePatch,
+    diff,
+    target_specs,
+)
 from repro.dataplane.router import BorderRouter, RouterInterface
 from repro.dataplane.stp import SpanningTree, compute_spanning_tree
 from repro.dataplane.switch import LearningSwitch, Node, SDNSwitch
@@ -19,6 +27,8 @@ __all__ = [
     "ARPService",
     "ARPTable",
     "BorderRouter",
+    "ChurnStats",
+    "CommitReport",
     "Endpoint",
     "Fabric",
     "FlowRule",
@@ -27,8 +37,12 @@ __all__ = [
     "LearningSwitch",
     "MiddleboxAppliance",
     "Node",
+    "RuleSpec",
     "RouterInterface",
     "SDNSwitch",
     "SpanningTree",
+    "TablePatch",
     "compute_spanning_tree",
+    "diff",
+    "target_specs",
 ]

@@ -46,6 +46,22 @@ class FlowRule:
     def is_drop(self) -> bool:
         return not self.actions
 
+    @property
+    def identity(self) -> Tuple[str, str, Tuple[str, ...]]:
+        """Stable identity: (cookie, match, actions) — priority excluded.
+
+        This is what the delta reconciler keys on: a rule whose identity
+        survives a recompilation is the *same* rule (its counters must
+        survive), even when the priority tiling around it shifted.  The
+        canonical forms match :meth:`FlowTable.content_hash` row fields,
+        so identity-equal rules at equal priorities hash identically.
+        """
+        return (
+            repr(self.cookie),
+            repr(self.match),
+            tuple(sorted(repr(action) for action in self.actions)),
+        )
+
     def count(self, packet_bytes: int = 0) -> None:
         """Record one packet hit against this rule."""
         self.packets += 1
@@ -136,6 +152,25 @@ class FlowTable:
     def remove(self, rule: FlowRule) -> None:
         self._rules.remove(rule)
         self._count_churn(removed=1)
+
+    def reprioritize(self, rule: FlowRule, priority: int) -> FlowRule:
+        """Move an installed rule to a new priority, counters intact.
+
+        The rule object is re-slotted (removed from its position and
+        re-inserted under the normal ordering) rather than replaced, so
+        its packet/byte counters keep accumulating — the whole point of
+        a reprioritize over a remove+install.  Not counted as flow-table
+        churn: no rule was installed or removed.
+        """
+        self._rules.remove(rule)
+        rule.priority = int(priority)
+        index = len(self._rules)
+        for position, existing in enumerate(self._rules):
+            if existing.priority < rule.priority:
+                index = position
+                break
+        self._rules.insert(index, rule)
+        return rule
 
     def remove_by_cookie(self, cookie: Any) -> int:
         """Remove every rule tagged with ``cookie``; returns the count."""
@@ -251,6 +286,10 @@ class FlowTableTransaction:
     def __init__(self, table: FlowTable) -> None:
         self._table = table
         self._checkpoint = table.checkpoint()
+        # Rule objects are shared with the live table and a delta patch
+        # may reprioritize them in place, so membership alone is not a
+        # sufficient snapshot: record each rule's priority too.
+        self._priorities = tuple(rule.priority for rule in self._checkpoint)
         self._closed = False
 
     @property
@@ -264,8 +303,16 @@ class FlowTableTransaction:
         self._closed = True
 
     def rollback(self) -> None:
-        """Restore the table to its state at transaction start."""
+        """Restore the table to its state at transaction start.
+
+        Reinstates membership, order, *and* the priorities captured at
+        construction, so a rolled-back reprioritization leaves no trace
+        (the post-rollback ``content_hash`` equals the pre-transaction
+        one exactly).
+        """
         if not self._closed:
+            for rule, priority in zip(self._checkpoint, self._priorities):
+                rule.priority = priority
             self._table.restore(self._checkpoint)
             self._closed = True
             if self._table._m_rollbacks is not None:

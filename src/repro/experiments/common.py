@@ -67,7 +67,7 @@ class Scenario(NamedTuple):
         controller.route_server.load(self.ixp.updates)
         with controller.deferred_recompilation():
             for name, policy_set in self.workload.policies.items():
-                controller.set_policies(name, policy_set)
+                controller.policy.set_policies(name, policy_set)
         return controller
 
 

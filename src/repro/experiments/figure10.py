@@ -78,7 +78,7 @@ def run(
             scenario, updates_per_setting, rng, prefix_pool=affected or None
         )
         for update in burst:
-            controller.process_update(update)
+            controller.routing.process_update(update)
         # The fast-path latency histogram retains raw samples in a ring
         # buffer (sized well above any burst here), so the CDF is exact.
         histogram = controller.telemetry.get("sdx_fastpath_seconds")

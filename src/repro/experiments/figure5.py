@@ -92,10 +92,10 @@ def run_5a(
     controller = ixp.controller
     aws_prefix = "54.198.0.0/16"
     # Both transit ASes learn the AWS prefix upstream; A's path is shorter.
-    controller.announce(
+    controller.routing.announce(
         "A", aws_prefix, RouteAttributes(as_path=[65001, 14618], next_hop="172.0.0.1")
     )
-    controller.announce(
+    controller.routing.announce(
         "B",
         aws_prefix,
         RouteAttributes(as_path=[65002, 7224, 14618], next_hop="172.0.0.11"),
@@ -121,7 +121,9 @@ def run_5a(
         policy_time,
         lambda: handle.set_policies(outbound=match(dstport=80) >> fwd("B")),
     )
-    simulator.schedule(withdrawal_time, lambda: controller.withdraw("B", aws_prefix))
+    simulator.schedule(
+        withdrawal_time, lambda: controller.routing.withdraw("B", aws_prefix)
+    )
     simulator.run_until(duration)
     return Figure5aResult(dict(meter.series), policy_time, withdrawal_time)
 
@@ -196,7 +198,7 @@ def run_5b(
     instance2_ip = "54.198.128.20"
 
     # B carries traffic to the real instance addresses.
-    controller.announce(
+    controller.routing.announce(
         "B",
         "54.198.0.0/16",
         RouteAttributes(as_path=[65002, 14618], next_hop="172.0.0.11"),

@@ -114,10 +114,10 @@ def run(
                 scenario, burst_size, rng, prefix_pool=affected or None
             )
             for update in burst:
-                controller.process_update(update)
+                controller.routing.process_update(update)
             # The fast path maintains its override footprint as a gauge,
             # so the measurement is O(1) instead of a full-table diff.
-            metrics = controller.metrics()
+            metrics = controller.ops.metrics()
             (gauge_series,) = metrics["sdx_fastpath_extra_rules"]["series"]
             additional = int(gauge_series["value"])
             points.append((burst_size, additional))

@@ -281,7 +281,7 @@ class CompilationPipeline:
                 )
                 self._extract_cache[name] = _ExtractEntry(classifier, reachable, groups)
             policy_groups.extend(groups)
-        originated = controller.originated()
+        originated = controller.routing.originated()
         for name, prefixes in originated.items():
             if prefixes:
                 policy_groups.append(frozenset(prefixes))
@@ -643,7 +643,7 @@ class CompilationPipeline:
             try:
                 return controller.compiler.compile(
                     active,
-                    originated=controller.originated(),
+                    originated=controller.routing.originated(),
                     allocator=controller.allocator,
                     chains=controller._chains.values(),
                 )

@@ -9,11 +9,16 @@ resulting best-path changes are collected and handed to the fast path
 updates touching one prefix then costs one fast-path pass instead of N.
 
 ``FabricCommitter`` is the last stage: the two-phase, rolled-back-on-
-failure installation of a compilation into the switch, relocated from
-the old monolithic controller.  Commit success is also the pipeline's
-checkpoint — only then are dirty flags cleared and superseded VNHs
-released, so a failed commit leaves the next compilation knowing it
-still has work to do (and the old advertisements still resolving).
+failure installation of a compilation into the switch.  Since the delta
+reconciliation engine (``repro.dataplane.reconcile``) it no longer
+wipes and reinstalls the base table: the target table is diffed against
+the installed one and only the minimal add/remove/reprioritize patch is
+applied, preserving packet/byte counters on every unchanged rule and
+making an edit-1-of-N recompile O(changed segment) instead of O(table).
+Commit success is also the pipeline's checkpoint — only then are dirty
+flags cleared and superseded VNHs released, so a failed commit leaves
+the next compilation knowing it still has work to do (and the old
+advertisements still resolving).
 """
 
 from __future__ import annotations
@@ -23,17 +28,21 @@ from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.bgp.messages import BGPUpdate
 from repro.bgp.route_server import BestPathChange
+from repro.dataplane.reconcile import (
+    BASE_COOKIE,
+    BASE_PRIORITY,
+    ChurnStats,
+    CommitReport,
+    diff,
+    is_base_cookie,
+    target_specs,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.compiler import CompilationResult
     from repro.pipeline.pipeline import CompilationPipeline
 
 __all__ = ["BASE_COOKIE", "BASE_PRIORITY", "FabricCommitter", "UpdateIngress"]
-
-#: Cookie tagging the base (fully optimized) rule block in the switch.
-BASE_COOKIE = "sdx-base"
-#: Priority floor of the base block.
-BASE_PRIORITY = 1000
 
 
 class UpdateIngress:
@@ -99,42 +108,90 @@ class UpdateIngress:
 
 
 class FabricCommitter:
-    """Two-phase commit of a compilation into the switch."""
+    """Delta-reconciled, two-phase commit of a compilation into the switch."""
 
     def __init__(self, pipeline: "CompilationPipeline") -> None:
         self.pipeline = pipeline
+        self._last_report: CommitReport | None = None
+        self._commits = 0
+        self._total_added = 0
+        self._total_removed = 0
+        self._total_retained = 0
+        self._total_reprioritized = 0
+        telemetry = pipeline.controller.telemetry
+        self._m_added = telemetry.counter(
+            "sdx_fabric_rules_added_total",
+            "Base-table rules installed by delta-reconciled commits",
+        )
+        self._m_removed = telemetry.counter(
+            "sdx_fabric_rules_removed_total",
+            "Base-table rules removed by delta-reconciled commits",
+        )
+        self._m_retained = telemetry.counter(
+            "sdx_fabric_rules_retained_total",
+            "Base-table rules left untouched (counters preserved) per commit",
+        )
+        self._m_reprioritized = telemetry.counter(
+            "sdx_fabric_rules_reprioritized_total",
+            "Base-table rules re-slotted in place (counters preserved)",
+        )
+        self._m_seconds = telemetry.histogram(
+            "sdx_fabric_commit_seconds",
+            "Fabric commit latency (reconcile + patch + hooks)",
+        )
 
-    def install(self, result: "CompilationResult") -> None:
-        """Install ``result`` transactionally; rollback restores everything.
+    @property
+    def last_report(self) -> CommitReport | None:
+        """The most recent commit's :class:`CommitReport` (None before one)."""
+        return self._last_report
 
-        Any exception inside the transaction — including a registered
-        commit hook raising — restores the flow table, the fast-path
-        state, and the advertisement map to their pre-commit values,
-        then propagates.  On success the pipeline checkpoint runs:
-        dirty flags clear and superseded VNHs are released.
+    def churn_stats(self) -> ChurnStats:
+        """Cumulative reconciliation counters (``controller.ops.churn()``)."""
+        return ChurnStats(
+            commits=self._commits,
+            added=self._total_added,
+            removed=self._total_removed,
+            retained=self._total_retained,
+            reprioritized=self._total_reprioritized,
+            last=self._last_report,
+        )
+
+    def install(self, result: "CompilationResult") -> CommitReport:
+        """Reconcile ``result`` into the switch transactionally.
+
+        The target table implied by ``result.segments`` is diffed
+        against the installed base rules (identity: cookie + match +
+        actions; priority handled as a reprioritize-in-place) and only
+        the patch is applied — unchanged rules keep their packet/byte
+        counters.  Any exception inside the transaction — including a
+        registered commit hook raising — restores the flow table
+        (membership, order, *and* priorities), the fast-path state, and
+        the advertisement map to their pre-commit values, then
+        propagates.  On success the pipeline checkpoint runs: dirty
+        flags clear and superseded VNHs are released.  Returns the
+        typed :class:`CommitReport`.
         """
         controller = self.pipeline.controller
         table = controller.switch.table
+        started = controller.telemetry.now()
         saved_fast_path = controller.fast_path.snapshot()
         saved_cookies = list(controller._base_cookies)
         saved_advertised = dict(controller._advertised)
+        # Per-provenance segments let the flow table account traffic per
+        # participant policy.  Segment order fixes relative priority:
+        # earlier segments sit above later ones.
+        segments = result.segments or ((("all",), result.classifier),)
+        patch = diff(
+            (rule for rule in table if is_base_cookie(rule.cookie)),
+            target_specs(segments),
+        )
         transaction = table.transaction()
         try:
-            for cookie in controller._base_cookies:
-                table.remove_by_cookie(cookie)
-            controller._base_cookies.clear()
             controller.fast_path.flush()
-            # Install per-provenance segments so the flow table can account
-            # traffic per participant policy.  Segment order fixes relative
-            # priority: earlier segments sit above later ones.
-            segments = result.segments or ((("all",), result.classifier),)
-            remaining = sum(len(block) for _, block in segments)
-            for label, block in segments:
-                cookie = (BASE_COOKIE, *label)
-                base = BASE_PRIORITY + remaining - len(block)
-                table.install_classifier(block, base_priority=base, cookie=cookie)
-                controller._base_cookies.append(cookie)
-                remaining -= len(block)
+            patch.apply(table)
+            controller._base_cookies = [
+                (BASE_COOKIE, *label) for label, _ in segments
+            ]
             controller._advertised = dict(result.advertised_next_hops)
             for hook in list(controller._commit_hooks):
                 hook(result)
@@ -145,6 +202,34 @@ class FabricCommitter:
             controller._base_cookies = saved_cookies
             controller._advertised = saved_advertised
             raise
+        seconds = controller.telemetry.now() - started
+        report = CommitReport(
+            added=len(patch.adds),
+            removed=len(patch.removes),
+            retained=patch.retained,
+            reprioritized=len(patch.moves),
+            seconds=seconds,
+            result=result,
+        )
+        self._record(report)
         controller._last_result = result
         self.pipeline.on_committed(result)
         controller._push_routes_to_all()
+        return report
+
+    def _record(self, report: CommitReport) -> None:
+        self._last_report = report
+        self._commits += 1
+        self._total_added += report.added
+        self._total_removed += report.removed
+        self._total_retained += report.retained
+        self._total_reprioritized += report.reprioritized
+        if report.added:
+            self._m_added.inc(report.added)
+        if report.removed:
+            self._m_removed.inc(report.removed)
+        if report.retained:
+            self._m_retained.inc(report.retained)
+        if report.reprioritized:
+            self._m_reprioritized.inc(report.reprioritized)
+        self._m_seconds.observe(report.seconds)

@@ -19,7 +19,7 @@ The paper's correctness story — "the data plane stays in sync with BGP"
 :class:`ResilienceCoordinator` wires the first three onto a live
 :class:`~repro.core.controller.SDXController`; the controller exposes it
 via ``controller.enable_resilience(...)`` and surfaces the aggregate
-state through ``controller.health()``.
+state through ``controller.ops.health()``.
 """
 
 from __future__ import annotations

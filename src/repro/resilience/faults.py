@@ -177,7 +177,7 @@ class FaultInjector:
         from repro.core.participant import SDXPolicySet
 
         pill = PoisonPill(label or f"{name}-seed{self.seed}")
-        controller.set_policies(name, SDXPolicySet(outbound=pill), recompile=False)
+        controller.policy.set_policies(name, SDXPolicySet(outbound=pill), recompile=False)
         self._note("policy-poison", name)
         return pill
 
@@ -189,14 +189,14 @@ class FaultInjector:
 
         def hook(result) -> None:
             if remaining["count"] <= 0:
-                controller.remove_commit_hook(hook)
+                controller.ops.remove_commit_hook(hook)
                 return
             remaining["count"] -= 1
             if remaining["count"] <= 0:
-                controller.remove_commit_hook(hook)
+                controller.ops.remove_commit_hook(hook)
             raise CommitSabotage(f"injected commit failure (seed {self.seed})")
 
-        controller.add_commit_hook(hook)
+        controller.ops.add_commit_hook(hook)
         self._note("commit-sabotage", f"times={times}")
 
     # -- timer skew ----------------------------------------------------------------------

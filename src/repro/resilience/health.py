@@ -1,6 +1,6 @@
 """Health-report data model for the SDX controller.
 
-``SDXController.health()`` aggregates what the resilience layer knows —
+``controller.ops.health()`` aggregates what the resilience layer knows —
 session states, quarantined participants, damped prefixes, per-peer
 update-error counters — into one :class:`HealthReport`.  Operators of
 real exchanges page on exactly this breakdown: *which* peer is flapping,

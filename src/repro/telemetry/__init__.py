@@ -3,8 +3,8 @@
 See :mod:`repro.telemetry.registry` for the metric primitives.  The
 controller owns one :class:`MetricsRegistry` (``controller.telemetry``)
 and wires it through the compiler, fast-path engine, route server, and
-flow table; ``controller.metrics()`` returns the structured snapshot
-and ``controller.metrics_text()`` the Prometheus-style exposition.
+flow table; ``controller.ops.metrics()`` returns the structured snapshot
+and ``controller.ops.metrics_text()`` the Prometheus-style exposition.
 
 Metric names follow the ``sdx_<subsystem>_<what>[_total|_seconds]``
 convention; the full catalogue (names, labels, bucket choices) is

@@ -30,8 +30,8 @@ def main() -> int:
     controller.compile()
     burst = _worst_case_burst(scenario, 12, random.Random(4))
     for update in burst:
-        controller.process_update(update)
-    text = controller.metrics_text()
+        controller.routing.process_update(update)
+    text = controller.ops.metrics_text()
     if not text.strip():
         print("telemetry smoke FAILED: empty exposition", file=sys.stderr)
         return 1

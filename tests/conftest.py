@@ -53,15 +53,15 @@ def load_figure1_routes(controller: SDXController) -> None:
     def attrs(asns, next_hop):
         return RouteAttributes(as_path=asns, next_hop=next_hop)
 
-    controller.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
-    controller.announce("B", P2, attrs([65002, 65101], "172.0.0.11"))
-    controller.announce("B", P3, attrs([65002, 65102], "172.0.0.11"))
-    controller.announce("B", P4, attrs([65002, 65103], "172.0.0.12"), export_to=["C"])
-    controller.announce("C", P1, attrs([65100], "172.0.0.21"))
-    controller.announce("C", P2, attrs([65101], "172.0.0.21"))
-    controller.announce("C", P3, attrs([65003, 65110, 65102], "172.0.0.21"))
-    controller.announce("C", P4, attrs([65003, 65103], "172.0.0.22"))
-    controller.announce("A", P5, attrs([65001, 65120], "172.0.0.1"))
+    controller.routing.announce("B", P1, attrs([65002, 65100], "172.0.0.11"))
+    controller.routing.announce("B", P2, attrs([65002, 65101], "172.0.0.11"))
+    controller.routing.announce("B", P3, attrs([65002, 65102], "172.0.0.11"))
+    controller.routing.announce("B", P4, attrs([65002, 65103], "172.0.0.12"), export_to=["C"])
+    controller.routing.announce("C", P1, attrs([65100], "172.0.0.21"))
+    controller.routing.announce("C", P2, attrs([65101], "172.0.0.21"))
+    controller.routing.announce("C", P3, attrs([65003, 65110, 65102], "172.0.0.21"))
+    controller.routing.announce("C", P4, attrs([65003, 65103], "172.0.0.22"))
+    controller.routing.announce("A", P5, attrs([65001, 65120], "172.0.0.1"))
 
 
 def install_figure1_policies(controller: SDXController, recompile: bool = True) -> None:

@@ -51,12 +51,36 @@ class TestAccounting:
         )
         assert total == 4
 
-    def test_counters_reset_on_recompilation(self, deployment):
+    def test_counters_survive_noop_recompilation(self, deployment):
+        """Delta reconciliation retains unchanged rules, so a clean
+        background pass no longer zeroes the accounting totals."""
         controller = deployment.controller
         deployment.send("client", dstip="10.1.2.3", dstport=80, srcport=5)
-        assert controller.policy_traffic("A")[0] == 1
-        controller.run_background_recompilation()
-        assert controller.policy_traffic("A") == (0, 0)
+        before = controller.policy_traffic("A")
+        assert before[0] == 1
+        report = controller.run_background_recompilation()
+        assert report.churn == 0
+        assert controller.policy_traffic("A") == before
+        # ...and the counters keep accumulating on the same rules.
+        deployment.send("client", dstip="10.1.2.3", dstport=80, srcport=5)
+        assert controller.policy_traffic("A")[0] == 2
+
+    def test_counters_survive_unrelated_policy_edit(self, deployment):
+        """Editing one participant's policy must not reset another's
+        accounting: C gaining an SSH policy leaves A's segment rules
+        identity-equal, so the reconciler retains or reprioritizes them
+        in place and A's totals survive the full recompilation."""
+        from repro.core.participant import SDXPolicySet
+        from repro.policy import fwd, match
+
+        controller = deployment.controller
+        deployment.send("client", dstip="10.1.2.3", dstport=80, srcport=5)
+        before = controller.policy_traffic("A")
+        assert before[0] == 1
+        controller.policy.set_policies(
+            "C", SDXPolicySet(outbound=match(dstport=22) >> fwd("A"))
+        )
+        assert controller.policy_traffic("A") == before
 
     def test_segment_order_preserves_forwarding(self, deployment):
         """Segmented installation must behave exactly like the monolithic

@@ -264,6 +264,37 @@ class TestTransactionalCommit:
         controller.run_background_recompilation()
         assert egress(controller, "A", P1, dstport=80, srcip="50.0.0.1") == ["B1"]
 
+    def test_mid_patch_failure_rolls_back_delta_exactly(self, figure1_compiled):
+        """A sabotaged *delta* commit — one with genuine adds, removes,
+        and reprioritized moves half-applied when the hook raises — must
+        restore membership, order, and priorities bit-identically."""
+        from repro.core.participant import SDXPolicySet
+        from repro.policy import fwd, match
+
+        controller = figure1_compiled
+        injector = FaultInjector(seed=17)
+        before_hash = controller.switch.table.content_hash()
+
+        # Dirty one participant so the aborted commit carries a real
+        # patch (C's new policy adds a segment and shifts the tiling of
+        # every segment below it — adds + moves in one transaction).
+        controller.policy.set_policies(
+            "C",
+            SDXPolicySet(outbound=match(dstport=22) >> fwd("A")),
+            recompile=False,
+        )
+        injector.sabotage_commit(controller)
+        with pytest.raises(CommitSabotage):
+            controller.run_background_recompilation()
+        assert controller.switch.table.content_hash() == before_hash
+
+        # The dirty state survived the abort; the recovery pass applies
+        # the same delta cleanly and lands on a different table.
+        report = controller.run_background_recompilation()
+        assert report.added > 0
+        assert report.retained + report.reprioritized > 0
+        assert controller.switch.table.content_hash() != before_hash
+
 
 class TestSeededSoak:
     """A bounded storm of mixed faults; the exchange must stay coherent."""

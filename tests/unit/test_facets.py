@@ -1,0 +1,170 @@
+"""Unit tests for the faceted controller API (``repro.core.facets``).
+
+Two things are pinned here: the facets are *views* (same state, same
+behaviour as the historical flat methods), and every flat method is a
+shim that still works but emits ``DeprecationWarning`` naming its facet
+replacement.
+"""
+
+import warnings
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.core.facets import OpsFacet, PolicyFacet, RoutingFacet
+from repro.core.participant import SDXPolicySet
+from repro.dataplane.reconcile import ChurnStats, CommitReport
+from repro.policy import fwd, match
+
+from tests.conftest import install_figure1_policies, load_figure1_routes
+
+
+@pytest.fixture
+def controller(figure1_controller):
+    load_figure1_routes(figure1_controller)
+    return figure1_controller
+
+
+class TestFacetWiring:
+    def test_facets_exist_and_are_typed(self, controller):
+        assert isinstance(controller.routing, RoutingFacet)
+        assert isinstance(controller.policy, PolicyFacet)
+        assert isinstance(controller.ops, OpsFacet)
+
+    def test_facets_are_views_not_copies(self, controller):
+        install_figure1_policies(controller, recompile=False)
+        # The same state is visible through the facet and internally.
+        assert set(controller.policy.policies()) == set(controller._policies)
+
+
+class TestRoutingFacet:
+    def test_announce_and_withdraw(self, controller):
+        changes = controller.routing.announce(
+            "B", "99.0.0.0/24", RouteAttributes(as_path=[65002], next_hop="172.0.0.11")
+        )
+        assert changes
+        assert controller.routing.withdraw("B", "99.0.0.0/24")
+
+    def test_originate_tracks_prefixes(self, controller):
+        controller.routing.originate("A", "100.64.0.0/24")
+        assert "100.64.0.0/24" in {
+            str(p) for p in controller.routing.originated()["A"]
+        }
+        controller.routing.withdraw_origination("A", "100.64.0.0/24")
+        assert not controller.routing.originated()["A"]
+
+    def test_batched_updates_coalesces(self, controller):
+        controller.compile()
+        attributes = RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
+        with controller.routing.batched_updates():
+            controller.routing.withdraw("B", "10.1.0.0/16")
+            controller.routing.announce("B", "10.1.0.0/16", attributes)
+        # one coalesced fast-path pass, not two
+        assert len(controller.ops.fast_path_log) == 1
+
+
+class TestPolicyFacet:
+    def test_set_and_clear_policies(self, controller):
+        controller.policy.set_policies(
+            "A", SDXPolicySet(outbound=match(dstport=80) >> fwd("B")), recompile=False
+        )
+        assert "A" in controller.policy.policies()
+        controller.policy.set_policies("A", SDXPolicySet(), recompile=False)
+        assert "A" not in controller.policy.policies()
+
+    def test_chain_views(self, controller):
+        assert controller.policy.chains() == {}
+        assert controller.policy.chain_hop_ports() == frozenset()
+
+
+class TestOpsFacet:
+    def test_health_snapshot(self, controller):
+        report = controller.ops.health()
+        assert set(report.sessions) == {"A", "B", "C"}
+
+    def test_metrics_round_trip(self, controller):
+        controller.compile()
+        assert "sdx_compile_seconds" in controller.ops.metrics()
+        assert "sdx_compile_seconds" in controller.ops.metrics_text()
+
+    def test_churn_accumulates_across_commits(self, controller):
+        assert controller.ops.churn() == ChurnStats(0, 0, 0, 0, 0, None)
+        report = controller.compile()
+        assert isinstance(report, CommitReport)
+        stats = controller.ops.churn()
+        assert stats.commits == 1
+        assert stats.added == report.added > 0
+        assert controller.ops.last_commit() is report
+        noop = controller.run_background_recompilation()
+        after = controller.ops.churn()
+        assert after.commits == 2
+        assert after.added == stats.added  # no-op pass adds nothing
+        assert after.retained == stats.retained + noop.retained
+
+    def test_commit_hooks(self, controller):
+        seen = []
+        hook = seen.append
+        controller.ops.add_commit_hook(hook)
+        controller.compile()
+        assert len(seen) == 1
+        controller.ops.remove_commit_hook(hook)
+        controller.compile()
+        assert len(seen) == 1
+
+    def test_quarantine_view_empty_by_default(self, controller):
+        assert controller.ops.quarantined() == {}
+        assert controller.ops.release_quarantine("A") is False
+
+
+FLAT_CALLS = [
+    ("set_policies", lambda c: c.set_policies("A", SDXPolicySet(), recompile=False)),
+    ("policies", lambda c: c.policies()),
+    ("quarantined", lambda c: c.quarantined()),
+    ("release_quarantine", lambda c: c.release_quarantine("A", recompile=False)),
+    ("chains", lambda c: c.chains()),
+    ("chain_hop_ports", lambda c: c.chain_hop_ports()),
+    ("batched_updates", lambda c: c.batched_updates()),
+    (
+        "announce",
+        lambda c: c.announce(
+            "B", "99.0.0.0/24", RouteAttributes(as_path=[65002], next_hop="172.0.0.11")
+        ),
+    ),
+    ("withdraw", lambda c: c.withdraw("B", "99.0.0.0/24")),
+    ("originate", lambda c: c.originate("A", "100.64.0.0/24")),
+    ("withdraw_origination", lambda c: c.withdraw_origination("A", "100.64.0.0/24")),
+    ("originated", lambda c: c.originated()),
+    ("health", lambda c: c.health()),
+    ("metrics", lambda c: c.metrics()),
+    ("metrics_text", lambda c: c.metrics_text()),
+    ("add_commit_hook", lambda c: c.add_commit_hook(lambda result: None)),
+    ("remove_commit_hook", lambda c: c.remove_commit_hook(lambda result: None)),
+    ("fast_path_log", lambda c: c.fast_path_log),
+]
+
+
+class TestFlatShimsDeprecated:
+    @pytest.mark.parametrize("name,call", FLAT_CALLS, ids=[n for n, _ in FLAT_CALLS])
+    def test_flat_method_warns_and_names_replacement(self, controller, name, call):
+        with pytest.warns(DeprecationWarning, match=f"SDXController.{name}"):
+            call(controller)
+
+    def test_shim_still_delegates(self, controller):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            controller.set_policies(
+                "A",
+                SDXPolicySet(outbound=match(dstport=80) >> fwd("B")),
+                recompile=False,
+            )
+        assert "A" in controller.policy.policies()
+
+    def test_warning_attributed_to_caller(self, controller):
+        """stacklevel must point at the *calling* module, so the tier-1
+        ``error::DeprecationWarning:repro`` filter bites in-repo callers
+        and nobody else."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            controller.policies()
+        (warning,) = [w for w in caught if w.category is DeprecationWarning]
+        assert warning.filename == __file__

@@ -106,3 +106,47 @@ class TestFlowTable:
         table.install(rule(1))
         table.clear()
         assert len(table) == 0
+
+
+class TestReprioritize:
+    def test_moves_rule_and_keeps_counters(self):
+        table = FlowTable()
+        moved = table.install(rule(1, dstport=80))
+        blocker = table.install(rule(5, dstport=80))
+        moved.count(64)
+        table.reprioritize(moved, 9)
+        assert table.lookup(Packet(dstport=80)) is moved
+        assert moved.packets == 1 and moved.bytes == 64
+        assert blocker in table.rules()
+
+    def test_not_counted_as_churn(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        table = FlowTable()
+        table.attach_telemetry(registry)
+        entry = table.install(rule(1, dstport=80))
+        installs = registry.get("sdx_flowtable_installs_total").total()
+        table.reprioritize(entry, 7)
+        assert registry.get("sdx_flowtable_installs_total").total() == installs
+        assert registry.get("sdx_flowtable_removes_total").total() == 0
+
+
+class TestTransactionPrioritySnapshot:
+    def test_rollback_restores_in_place_priority_changes(self):
+        table = FlowTable()
+        entry = table.install(rule(3, dstport=80))
+        before = table.content_hash()
+        transaction = table.transaction()
+        table.reprioritize(entry, 42)
+        table.install(rule(50, dstport=22))
+        transaction.rollback()
+        assert entry.priority == 3
+        assert table.content_hash() == before
+
+    def test_commit_keeps_priority_changes(self):
+        table = FlowTable()
+        entry = table.install(rule(3, dstport=80))
+        with table.transaction():
+            table.reprioritize(entry, 42)
+        assert entry.priority == 42

@@ -13,6 +13,7 @@ from repro.pipeline import (
     backend_from_env,
     run_shard,
 )
+from repro.dataplane.reconcile import is_base_cookie
 from repro.pipeline.events import DirtyTracker, EventBus
 from repro.core.participant import SDXPolicySet
 from repro.policy import fwd, match
@@ -146,7 +147,13 @@ class TestNoopRecompilation:
         noops = _counter(controller, "sdx_pipeline_noop_total")
         table_before = controller.switch.table.content_hash()
         result = controller.run_background_recompilation()
-        assert result is controller.last_compilation
+        assert result.result is controller.last_compilation
+        # A clean pass reconciles to a no-op patch: nothing added or
+        # removed, every installed base rule retained in place.
+        assert result.churn == 0
+        assert result.retained == len(
+            [rule for rule in controller.switch.table if is_base_cookie(rule.cookie)]
+        )
         assert _counter(controller, "sdx_compilations_total") == compiles
         assert _counter(controller, "sdx_pipeline_noop_total") == noops + 1
         assert controller.switch.table.content_hash() == table_before

@@ -1,0 +1,197 @@
+"""Unit tests for the delta fabric reconciliation engine
+(``repro.dataplane.reconcile``)."""
+
+from repro.dataplane.flowtable import FlowRule, FlowTable
+from repro.dataplane.reconcile import (
+    BASE_COOKIE,
+    BASE_PRIORITY,
+    CommitReport,
+    RuleSpec,
+    TablePatch,
+    diff,
+    is_base_cookie,
+    target_specs,
+)
+from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
+
+
+def spec(priority, cookie=(BASE_COOKIE, "t"), actions=(Action(port="out"),), **c):
+    return RuleSpec(priority, HeaderMatch(**c), frozenset(actions), cookie)
+
+
+def installed(priority, cookie=(BASE_COOKIE, "t"), actions=(Action(port="out"),), **c):
+    return FlowRule(priority, HeaderMatch(**c), actions, cookie=cookie)
+
+
+class TestIdentity:
+    def test_rule_and_spec_identities_align(self):
+        rule = installed(7, dstport=80)
+        assert rule.identity == spec(3, dstport=80).identity
+
+    def test_priority_excluded_from_identity(self):
+        assert spec(1, dstport=80).identity == spec(99, dstport=80).identity
+
+    def test_distinct_match_distinct_identity(self):
+        assert spec(1, dstport=80).identity != spec(1, dstport=22).identity
+
+    def test_distinct_cookie_distinct_identity(self):
+        a = spec(1, cookie=(BASE_COOKIE, "policy", "A"), dstport=80)
+        b = spec(1, cookie=(BASE_COOKIE, "policy", "B"), dstport=80)
+        assert a.identity != b.identity
+
+    def test_is_base_cookie(self):
+        assert is_base_cookie((BASE_COOKIE, "policy", "A"))
+        assert is_base_cookie((BASE_COOKIE,))
+        assert not is_base_cookie(("fastpath", "10.0.0.0/8"))
+        assert not is_base_cookie(BASE_COOKIE)  # bare string is not tagged
+        assert not is_base_cookie(None)
+
+
+class TestDiff:
+    def test_empty_to_target_is_all_adds(self):
+        patch = diff([], [spec(1, dstport=80), spec(2, dstport=22)])
+        assert len(patch.adds) == 2
+        assert not patch.removes and not patch.moves and patch.retained == 0
+
+    def test_current_to_empty_is_all_removes(self):
+        patch = diff([installed(1, dstport=80)], [])
+        assert len(patch.removes) == 1
+        assert not patch.adds and not patch.moves
+
+    def test_identical_tables_are_noop(self):
+        rules = [installed(5, dstport=80), installed(4, dstport=22)]
+        specs = [spec(5, dstport=80), spec(4, dstport=22)]
+        patch = diff(rules, specs)
+        assert patch.is_noop
+        assert patch.retained == 2
+        assert patch.churn == 0
+
+    def test_priority_shift_becomes_move_not_churn(self):
+        rule = installed(5, dstport=80)
+        patch = diff([rule], [spec(9, dstport=80)])
+        assert patch.moves == [(rule, 9)]
+        assert patch.churn == 0 and patch.retained == 0
+
+    def test_changed_actions_are_remove_plus_add(self):
+        rule = installed(5, actions=(Action(port="x"),), dstport=80)
+        patch = diff([rule], [spec(5, actions=(Action(port="y"),), dstport=80)])
+        assert patch.removes == [rule]
+        assert len(patch.adds) == 1
+        assert not patch.moves
+
+    def test_duplicate_identities_pair_by_priority_order(self):
+        # Two identical rules at different priorities, target shifts both:
+        # they must pair 1:1 in priority order, producing two moves.
+        low, high = installed(3, dstport=80), installed(8, dstport=80)
+        patch = diff([high, low], [spec(4, dstport=80), spec(9, dstport=80)])
+        assert sorted(patch.moves, key=lambda m: m[1]) == [(low, 4), (high, 9)]
+        assert patch.churn == 0
+
+    def test_duplicate_identity_surplus_is_removed(self):
+        low, high = installed(3, dstport=80), installed(8, dstport=80)
+        patch = diff([high, low], [spec(8, dstport=80)])
+        assert patch.retained == 1
+        assert patch.removes == [low]
+
+
+class TestTargetSpecs:
+    def _segments(self):
+        seg_a = Classifier(
+            [
+                Rule(HeaderMatch(dstport=80), (Action(port="B1"),)),
+                Rule(HeaderMatch(dstport=443), (Action(port="B2"),)),
+            ]
+        )
+        seg_b = Classifier([Rule(HeaderMatch.ANY, (Action(port="C1"),))])
+        return ((("policy", "A"), seg_a), (("default",), seg_b))
+
+    def test_priorities_tile_contiguously(self):
+        specs = target_specs(self._segments())
+        assert sorted(s.priority for s in specs) == [
+            BASE_PRIORITY + 1,
+            BASE_PRIORITY + 2,
+            BASE_PRIORITY + 3,
+        ]
+
+    def test_earlier_segments_sit_above_later_ones(self):
+        specs = target_specs(self._segments())
+        a = [s.priority for s in specs if s.cookie == (BASE_COOKIE, "policy", "A")]
+        b = [s.priority for s in specs if s.cookie == (BASE_COOKIE, "default")]
+        assert min(a) > max(b)
+
+    def test_matches_install_classifier_layout(self):
+        """The specs must reproduce the historical wipe-and-reinstall
+        layout bit for bit (same priorities, same cookies)."""
+        reference = FlowTable()
+        remaining = 3
+        for label, block in self._segments():
+            base = BASE_PRIORITY + remaining - len(block.rules)
+            reference.install_classifier(
+                block, base_priority=base, cookie=(BASE_COOKIE, *label)
+            )
+            remaining -= len(block.rules)
+        fresh = FlowTable()
+        TablePatch(
+            target_specs(self._segments()), [], [], 0
+        ).apply(fresh)
+        assert fresh.content_hash() == reference.content_hash()
+
+
+class TestPatchApply:
+    def test_apply_reaches_target_digest(self):
+        table = FlowTable()
+        rule_kept = table.install(installed(BASE_PRIORITY + 2, dstport=80))
+        table.install(installed(BASE_PRIORITY + 1, dstport=22))
+        target = [
+            spec(BASE_PRIORITY + 3, dstport=80),  # moved
+            spec(BASE_PRIORITY + 2, dstport=443),  # added
+            # dstport=22 removed
+        ]
+        diff(list(table), target).apply(table)
+        fresh = FlowTable()
+        TablePatch(target, [], [], 0).apply(fresh)
+        assert table.content_hash() == fresh.content_hash()
+        assert rule_kept in list(table)
+
+    def test_move_preserves_counters(self):
+        table = FlowTable()
+        rule = table.install(installed(BASE_PRIORITY + 1, dstport=80))
+        rule.count(100)
+        diff(list(table), [spec(BASE_PRIORITY + 9, dstport=80)]).apply(table)
+        assert rule.packets == 1 and rule.bytes == 100
+        assert rule.priority == BASE_PRIORITY + 9
+
+    def test_rollback_restores_moved_priorities(self):
+        table = FlowTable()
+        rule = table.install(installed(BASE_PRIORITY + 1, dstport=80))
+        before = table.content_hash()
+        transaction = table.transaction()
+        diff(list(table), [spec(BASE_PRIORITY + 9, dstport=80)]).apply(table)
+        assert table.content_hash() != before
+        transaction.rollback()
+        assert rule.priority == BASE_PRIORITY + 1
+        assert table.content_hash() == before
+
+
+class TestCommitReport:
+    def _report(self, **overrides):
+        class _Result:
+            segments = ("seg",)
+            stats = {"x": 1}
+
+        fields = dict(
+            added=2, removed=1, retained=5, reprioritized=3, seconds=0.25
+        )
+        fields.update(overrides)
+        return CommitReport(result=_Result(), **fields)
+
+    def test_churn_counts_adds_and_removes_only(self):
+        assert self._report().churn == 3
+
+    def test_unknown_attributes_delegate_to_result(self):
+        report = self._report()
+        assert report.segments == ("seg",)
+        assert report.stats == {"x": 1}
+
+    def test_own_fields_do_not_delegate(self):
+        assert self._report(added=0).added == 0
