@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test property integration chaos bench experiments quick examples metrics clean
+.PHONY: install test property integration chaos bench experiments quick examples metrics verify-fuzz clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -30,6 +30,9 @@ quick:
 
 metrics:
 	PYTHONPATH=src $(PYTHON) -m repro.telemetry
+
+verify-fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro.verify.fuzz --seeds 6
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,43 @@
+"""Benchmarks for the verification oracle.
+
+Not a paper artifact — these size the cost of running ``ops.verify()``
+as a post-commit gate (the fuzz harness runs it after *every* commit)
+and guard the reference interpreter and invariant sweep against
+accidental quadratic blowups as the exchange grows.
+"""
+
+from repro.experiments.common import build_scenario
+from repro.verify.checker import DifferentialChecker
+from repro.verify.invariants import check_all_invariants
+
+
+def _controller(participants=24, prefixes=192, seed=4):
+    scenario = build_scenario(
+        participants=participants, prefixes=prefixes, seed=seed, policy_seed=seed + 1
+    )
+    return scenario.controller()
+
+
+def test_differential_pass(benchmark):
+    """One full check pass (64 probes + invariants) on a mid-size IXP."""
+    controller = _controller()
+    checker = DifferentialChecker(controller)
+    report = benchmark(lambda: checker.check(probes=64, seed=9))
+    assert report.ok, report.summary()
+
+
+def test_reference_interpreter_only(benchmark):
+    """Probe evaluation without the invariant sweep (the per-packet cost)."""
+    controller = _controller()
+    checker = DifferentialChecker(controller)
+    report = benchmark(
+        lambda: checker.check(probes=64, seed=9, invariants=False)
+    )
+    assert report.ok, report.summary()
+
+
+def test_invariant_sweep_only(benchmark):
+    """The whole-table structural sweep on its own."""
+    controller = _controller()
+    violations = benchmark(lambda: check_all_invariants(controller))
+    assert violations == []

@@ -54,25 +54,43 @@ def rank_routes(
 ) -> List[Route]:
     """All candidate routes ordered best-first.
 
-    MED is folded in as a refinement pass: after the primary sort, any
-    adjacent pair that ties through origin and shares a neighbor AS is
-    reordered by MED.  (With ``always_compare_med`` the MED applies to
-    every such tie.)
+    The primary sort settles LOCAL_PREF, AS_PATH length and ORIGIN.  MED
+    is then folded in by group-by-neighbor-AS *elimination* (the
+    "deterministic MED" evaluation order): within each tier of routes
+    that tie through ORIGIN, a route stays ineligible while any other
+    route from the same neighbor AS with a strictly lower MED is still
+    unranked — regardless of where the primary sort placed the pair.
+    Among eligible routes the remaining tie-breaks (next-hop IP, peer
+    name) decide.  With ``always_compare_med`` all routes in a tier form
+    one MED group.
     """
     ordered = sorted(routes, key=_comparison_key)
-    # Refine adjacent ties by MED (stable bubble pass; candidate lists are short).
-    changed = True
-    while changed:
-        changed = False
-        for i in range(len(ordered) - 1):
-            left, right = ordered[i], ordered[i + 1]
-            if _comparison_key(left)[:3] != _comparison_key(right)[:3]:
-                continue
-            beats = _med_beats(right, left, always_compare_med)
-            if beats:
-                ordered[i], ordered[i + 1] = right, left
-                changed = True
-    return ordered
+    result: List[Route] = []
+    start = 0
+    while start < len(ordered):
+        # One tier: maximal run tying on (local_pref, as_path len, origin).
+        end = start
+        tier_key = _comparison_key(ordered[start])[:3]
+        while end < len(ordered) and _comparison_key(ordered[end])[:3] == tier_key:
+            end += 1
+        tier = ordered[start:end]
+        # Repeatedly rank the first tier route not MED-dominated by any
+        # other unranked route of its neighbor-AS group.  MED dominance
+        # is a strict partial order, so an eligible route always exists.
+        while tier:
+            pick = next(
+                route
+                for route in tier
+                if not any(
+                    _med_beats(other, route, always_compare_med)
+                    for other in tier
+                    if other is not route
+                )
+            )
+            result.append(pick)
+            tier.remove(pick)
+        start = end
+    return result
 
 
 def best_path(

@@ -23,7 +23,28 @@ from __future__ import annotations
 import enum
 from typing import Callable, List, Optional, Tuple
 
-__all__ = ["BGPSession", "SessionState"]
+__all__ = ["BGPSession", "ListenerErrorGroup", "SessionState"]
+
+
+class ListenerErrorGroup(RuntimeError):
+    """Two or more session listeners raised during one transition.
+
+    Every collected exception is kept in :attr:`errors` and named in the
+    message; the first is additionally chained as ``__cause__`` so
+    tracebacks still show where the cascade started.  A *single* failing
+    listener propagates unwrapped — only multiple concurrent faults are
+    grouped, so chaos runs cannot mask secondary failures behind the
+    first one.
+    """
+
+    def __init__(self, peer: str, target: "SessionState", errors: List[BaseException]) -> None:
+        self.peer = peer
+        self.target = target
+        self.errors: Tuple[BaseException, ...] = tuple(errors)
+        summary = "; ".join(f"{type(exc).__name__}: {exc}" for exc in errors)
+        super().__init__(
+            f"{len(errors)} listeners failed during {peer!r} -> {target.value}: {summary}"
+        )
 
 
 class SessionState(enum.Enum):
@@ -105,8 +126,10 @@ class BGPSession:
                 listener(self, target)
             except Exception as exc:  # noqa: BLE001 - isolate listeners
                 errors.append(exc)
-        if errors:
+        if len(errors) == 1:
             raise errors[0]
+        if errors:
+            raise ListenerErrorGroup(self.peer, target, errors) from errors[0]
 
     def __repr__(self) -> str:
         return f"BGPSession(peer={self.peer!r}, state={self.state.value})"

@@ -15,9 +15,10 @@ API always did, so the two surfaces can never disagree.
   side: ``set_policies``, service-chain definition, and the read views
   over installed policies and chains.
 * :class:`OpsFacet` (``controller.ops``) — the operator side: health,
-  metrics, quarantine management, commit hooks, the fast-path log, and
+  metrics, quarantine management, commit hooks, the fast-path log,
   ``churn()`` — the structured reconciliation counters of the delta
-  fabric committer.
+  fabric committer — and ``verify()``, one pass of the
+  :mod:`repro.verify` differential oracle over the installed tables.
 
 The historical flat methods survive as delegating shims that emit
 ``DeprecationWarning``; in-repo callers (``examples/``,
@@ -52,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.participant import SDXPolicySet
     from repro.dataplane.router import BorderRouter
     from repro.resilience.health import HealthReport, QuarantineRecord
+    from repro.verify.checker import CheckReport
 
 __all__ = ["OpsFacet", "PolicyFacet", "RoutingFacet"]
 
@@ -307,6 +309,26 @@ class OpsFacet(_Facet):
             controller.pipeline.bus.publish(QuarantineLifted(name))
             controller._maybe_compile(recompile)
         return released
+
+    # -- verification (the repro.verify oracle) ----------------------------
+
+    def verify(
+        self, probes: int = 64, seed: int = 0, invariants: bool = True
+    ) -> "CheckReport":
+        """One differential + invariant pass over the installed tables.
+
+        Samples ``probes`` router-faithful packets, diffs the compiled
+        data plane against the reference interpreter, and sweeps the
+        structural invariants (isolation, BGP consistency, loop freedom,
+        VNH state).  Inspect ``.ok`` / ``summary()`` on the returned
+        :class:`~repro.verify.checker.CheckReport`; results also land in
+        the ``sdx_verify_*`` metric family.
+        """
+        from repro.verify.checker import DifferentialChecker
+
+        return DifferentialChecker(self._controller).check(
+            probes=probes, seed=seed, invariants=invariants
+        )
 
     # -- commit hooks ------------------------------------------------------
 

@@ -118,6 +118,15 @@ class FastPathEngine:
         """Prefixes currently served by fast-path rules."""
         return frozenset(self._active)
 
+    def active_vnhs(self) -> Dict[IPv4Prefix, VirtualNextHop]:
+        """The per-prefix VNHs currently backing fast-path blocks.
+
+        The verification invariants audit these against the allocator:
+        every entry must still be allocated (and resolvable over ARP),
+        and nothing else fast-path-shaped may linger in the pool.
+        """
+        return dict(self._vnhs)
+
     def additional_rules(self) -> int:
         """Extra (fast-path) rules in the switch right now — Figure 9's metric."""
         table = self._controller.switch.table

@@ -181,6 +181,15 @@ class FlowTable:
             self._count_churn(removed=removed)
         return removed
 
+    def rules_for_cookie(self, cookie: Any) -> Tuple[FlowRule, ...]:
+        """Every installed rule tagged with ``cookie``, priority order.
+
+        The verification oracle uses this to audit one provenance
+        segment (a participant's policy block, a fast-path override)
+        without scanning the whole table at each call site.
+        """
+        return tuple(rule for rule in self._rules if rule.cookie == cookie)
+
     def clear(self) -> None:
         removed = len(self._rules)
         self._rules.clear()

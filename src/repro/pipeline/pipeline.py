@@ -192,6 +192,19 @@ class CompilationPipeline:
     def count_noop(self) -> None:
         self._m_noop.inc()
 
+    def live_vnh_addresses(self) -> FrozenSet[IPv4Address]:
+        """Every VNH address the pipeline currently accounts for.
+
+        The live FEC-group VNHs plus those superseded-but-unreleased
+        until the next commit (:attr:`_pending_release`).  The
+        verification layer's leak check compares the allocator against
+        this set unioned with the fast path's per-prefix VNHs — any
+        difference is a pool leak or a dangling reference.
+        """
+        addresses = {vnh.address for vnh in self._vnh_by_key.values()}
+        addresses.update(vnh.address for vnh in self._pending_release)
+        return frozenset(addresses)
+
     def on_committed(self, result: CompilationResult) -> None:
         """Commit checkpoint: clear dirty state, release superseded VNHs."""
         self.dirty.clear()

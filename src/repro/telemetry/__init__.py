@@ -8,7 +8,10 @@ and ``controller.ops.metrics_text()`` the Prometheus-style exposition.
 
 Metric names follow the ``sdx_<subsystem>_<what>[_total|_seconds]``
 convention; the full catalogue (names, labels, bucket choices) is
-documented in ``docs/internals.md``.
+documented in ``docs/internals.md``.  The verification oracle
+(:mod:`repro.verify`) reports into the same registry under the
+``sdx_verify_*`` family — probe results, invariant violations, and
+check-pass latency.
 """
 
 from repro.telemetry.registry import (

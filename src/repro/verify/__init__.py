@@ -1,0 +1,59 @@
+"""Differential verification oracle for the SDX data plane.
+
+Four PRs of optimization (sharded pipeline, shard caches, the fast
+path, delta fabric reconciliation) stand between a participant's policy
+and the installed flow table.  This package is the independent referee
+that checks the paper's core promise — compiled rules forward exactly
+where policies joined with BGP say traffic may go (Sections 3.2, 4.1):
+
+* :mod:`repro.verify.interpreter` — a **reference interpreter** that
+  evaluates a packet directly against the policy ASTs and route-server
+  state (no classifier compilation, no FEC/VMAC encoding) to produce
+  the ground-truth forwarding decision;
+* :mod:`repro.verify.checker` — a **differential checker** driving
+  generated probe packets through the compiled flow table (base +
+  fast-path + post-reconcile) and diffing the outcomes against the
+  interpreter, minimizing any disagreement to a one-packet
+  counterexample;
+* :mod:`repro.verify.invariants` — structural **invariant checkers**
+  over the compiled tables: participant isolation, BGP-consistency
+  (egress only via advertised routes), virtual-topology loop-freedom,
+  and the VNH/VMAC↔FEC bijection with leak detection;
+* :mod:`repro.verify.fuzz` — a **seeded fuzz harness** (also
+  ``make verify-fuzz``) replaying random workloads through policy
+  edits, BGP update bursts, fast-path flushes, and delta-reconciled
+  commits, running the full checker after every commit.
+
+Operators reach the checker through the ops facet::
+
+    report = controller.ops.verify(probes=128, seed=7)
+    assert report.ok, report.summary()
+
+Checker runs report into the controller's telemetry registry as the
+``sdx_verify_*`` metric family.
+"""
+
+from repro.verify.checker import CheckReport, DifferentialChecker, Mismatch, Probe
+from repro.verify.interpreter import ReferenceInterpreter
+from repro.verify.invariants import (
+    InvariantViolation,
+    check_all_invariants,
+    check_bgp_consistency,
+    check_isolation,
+    check_loop_freedom,
+    check_vnh_state,
+)
+
+__all__ = [
+    "CheckReport",
+    "DifferentialChecker",
+    "InvariantViolation",
+    "Mismatch",
+    "Probe",
+    "ReferenceInterpreter",
+    "check_all_invariants",
+    "check_bgp_consistency",
+    "check_isolation",
+    "check_loop_freedom",
+    "check_vnh_state",
+]

@@ -1,0 +1,272 @@
+"""The differential checker: compiled data plane vs. reference interpreter.
+
+One :meth:`DifferentialChecker.check` pass
+
+1. samples probe packets the way border routers would emit them — a
+   random sender port, an advertised destination prefix, the dstmac tag
+   the sender's router would actually apply (VMAC or interface MAC, via
+   the re-advertisement map and ARP);
+2. pushes every probe through the *installed* tables
+   (``switch.receive`` — base rules, fast-path overrides, and whatever
+   the last delta reconciliation left behind, all at their real
+   priorities);
+3. diffs the observed ``(egress port, dstip)`` set against the
+   :class:`~repro.verify.interpreter.ReferenceInterpreter`'s ground
+   truth;
+4. shrinks any disagreement to a **one-packet counterexample**: header
+   fields are dropped one at a time while the mismatch persists, so the
+   reported packet carries only what is needed to reproduce the bug;
+5. optionally runs the structural invariant sweep
+   (:mod:`repro.verify.invariants`) over the same installed state.
+
+Every pass reports into the controller's telemetry registry:
+``sdx_verify_probes_total{result}``, ``sdx_verify_runs_total{outcome}``,
+``sdx_verify_violations_total{invariant}``, ``sdx_verify_seconds``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    FrozenSet,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+from repro.netutils.ip import IPv4Prefix
+from repro.policy.packet import Packet
+from repro.verify.interpreter import ReferenceInterpreter
+from repro.verify.invariants import InvariantViolation, check_all_invariants
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import SDXController
+
+__all__ = ["CheckReport", "DifferentialChecker", "Mismatch", "Probe"]
+
+#: Application ports probes sample (the workload generator's mix + ssh).
+_PROBE_PORTS = (80, 443, 8080, 1935, 8443, 22)
+_PROBE_SRCIPS = ("50.0.0.1", "130.5.5.5", "200.9.9.9")
+#: Header fields minimization may remove from a counterexample packet.
+_OPTIONAL_FIELDS = ("srcip", "srcport", "dstport", "srcmac", "tos", "proto")
+
+
+class Probe(NamedTuple):
+    """One generated test packet, with the context that produced it."""
+
+    sender: str
+    in_port: str
+    prefix: IPv4Prefix
+    packet: Packet
+
+
+class Mismatch(NamedTuple):
+    """A probe the compiled fabric forwarded differently than it should."""
+
+    probe: Probe
+    expected: FrozenSet[Tuple[str, Any]]
+    actual: FrozenSet[Tuple[str, Any]]
+    provenance: str  # which installed rule decided (trace_packet verdict)
+
+    def explain(self) -> str:
+        """A reproduction-ready rendering of the counterexample."""
+
+        def show(deliveries: FrozenSet[Tuple[str, Any]]) -> str:
+            if not deliveries:
+                return "drop"
+            return ", ".join(
+                f"({port}, dstip={dstip})" for port, dstip in sorted(
+                    deliveries, key=lambda item: (str(item[0]), str(item[1]))
+                )
+            )
+
+        probe = self.probe
+        headers = {field: probe.packet.get(field) for field in probe.packet}
+        return (
+            f"counterexample: sender={probe.sender} in_port={probe.in_port} "
+            f"prefix={probe.prefix}\n"
+            f"  packet    : {headers}\n"
+            f"  expected  : {show(self.expected)}\n"
+            f"  compiled  : {show(self.actual)}  (via {self.provenance})"
+        )
+
+
+class CheckReport(NamedTuple):
+    """Outcome of one differential + invariant pass."""
+
+    probes: int  # probes sampled
+    checked: int  # probes actually compared (admissible)
+    skipped: int  # probes skipped (sender announces prefix / no route)
+    mismatches: Tuple[Mismatch, ...]
+    violations: Tuple[InvariantViolation, ...]
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"verify: {self.checked}/{self.probes} probes checked "
+            f"({self.skipped} skipped), {len(self.mismatches)} mismatches, "
+            f"{len(self.violations)} invariant violations "
+            f"in {self.seconds:.3f}s"
+        ]
+        for mismatch in self.mismatches:
+            lines.append(mismatch.explain())
+        for violation in self.violations:
+            lines.append(str(violation))
+        return "\n".join(lines)
+
+
+class DifferentialChecker:
+    """Drives probes through the installed tables and diffs the outcome."""
+
+    def __init__(self, controller: "SDXController") -> None:
+        self._controller = controller
+        telemetry = controller.telemetry
+        self._m_probes = telemetry.counter(
+            "sdx_verify_probes_total",
+            "Differential probes by result",
+            labels=("result",),
+        )
+        self._m_runs = telemetry.counter(
+            "sdx_verify_runs_total",
+            "Differential check passes by outcome",
+            labels=("outcome",),
+        )
+        self._m_violations = telemetry.counter(
+            "sdx_verify_violations_total",
+            "Invariant violations found by the verifier",
+            labels=("invariant",),
+        )
+        self._m_seconds = telemetry.histogram(
+            "sdx_verify_seconds", "Differential check pass latency"
+        )
+
+    # -- one full pass -------------------------------------------------------
+
+    def check(
+        self,
+        probes: int = 64,
+        seed: int = 0,
+        invariants: bool = True,
+    ) -> CheckReport:
+        """Sample ``probes`` packets, diff them, sweep the invariants."""
+        controller = self._controller
+        started = controller.telemetry.now()
+        interpreter = ReferenceInterpreter(controller)
+        rng = random.Random(seed)
+        ports = [port.port_id for port in controller.config.physical_ports()]
+        prefixes = sorted(controller.route_server.all_prefixes())
+
+        checked = skipped = 0
+        mismatches: List[Mismatch] = []
+        if ports and prefixes:
+            for _ in range(probes):
+                probe = self._generate_probe(rng, ports, prefixes, interpreter)
+                if probe is None:
+                    skipped += 1
+                    self._m_probes.inc(result="skipped")
+                    continue
+                mismatch = self.check_probe(probe, interpreter)
+                checked += 1
+                if mismatch is not None:
+                    self._m_probes.inc(result="mismatch")
+                    mismatches.append(self.minimize(mismatch, interpreter))
+                else:
+                    self._m_probes.inc(result="ok")
+
+        violations: Tuple[InvariantViolation, ...] = ()
+        if invariants:
+            violations = tuple(check_all_invariants(controller))
+            for violation in violations:
+                self._m_violations.inc(invariant=violation.invariant)
+
+        seconds = controller.telemetry.now() - started
+        self._m_seconds.observe(seconds)
+        report = CheckReport(
+            probes=probes,
+            checked=checked,
+            skipped=skipped,
+            mismatches=tuple(mismatches),
+            violations=violations,
+            seconds=seconds,
+        )
+        self._m_runs.inc(outcome="ok" if report.ok else "failed")
+        return report
+
+    # -- probe machinery -----------------------------------------------------
+
+    def _generate_probe(
+        self,
+        rng: random.Random,
+        ports: List[str],
+        prefixes: List[IPv4Prefix],
+        interpreter: ReferenceInterpreter,
+    ) -> Optional[Probe]:
+        """One router-faithful probe, or None when the draw is inadmissible."""
+        in_port = rng.choice(ports)
+        sender = self._controller.config.owner_of_port(in_port).name
+        prefix = rng.choice(prefixes)
+        if not interpreter.can_probe(sender, prefix):
+            return None
+        tag = interpreter.tag(sender, prefix)
+        packet = Packet(
+            dstip=prefix.host(rng.randrange(1, 255)),
+            dstmac=tag,
+            dstport=rng.choice(_PROBE_PORTS),
+            srcport=rng.choice((1024, 30000, 55000)),
+            srcip=rng.choice(_PROBE_SRCIPS),
+        )
+        return Probe(sender, in_port, prefix, packet)
+
+    def check_probe(
+        self, probe: Probe, interpreter: Optional[ReferenceInterpreter] = None
+    ) -> Optional[Mismatch]:
+        """Diff one probe; ``None`` when compiled and reference agree."""
+        if interpreter is None:
+            interpreter = ReferenceInterpreter(self._controller)
+        expected = interpreter.expected_deliveries(
+            probe.sender, probe.prefix, probe.packet
+        )
+        actual = self._compiled_deliveries(probe)
+        if actual == expected:
+            return None
+        trace = self._controller.trace_packet(probe.packet, probe.in_port)
+        return Mismatch(probe, expected, actual, trace.provenance)
+
+    def _compiled_deliveries(self, probe: Probe) -> FrozenSet[Tuple[str, Any]]:
+        received = self._controller.switch.receive(
+            probe.packet.modify(port=probe.in_port), probe.in_port
+        )
+        return frozenset((port, out.get("dstip")) for port, out in received)
+
+    # -- counterexample minimization -----------------------------------------
+
+    def minimize(
+        self, mismatch: Mismatch, interpreter: Optional[ReferenceInterpreter] = None
+    ) -> Mismatch:
+        """Shrink a mismatching probe to a minimal one-packet repro.
+
+        Greedily removes each optional header field (keeping dstip and
+        the dstmac tag, without which the probe is not a valid frame)
+        and keeps the removal whenever *some* disagreement persists —
+        the surviving packet pins the smallest header set that still
+        exhibits the bug.
+        """
+        if interpreter is None:
+            interpreter = ReferenceInterpreter(self._controller)
+        current = mismatch
+        for field in _OPTIONAL_FIELDS:
+            if current.probe.packet.get(field) is None:
+                continue
+            candidate_packet = current.probe.packet.modify(**{field: None})
+            candidate = current.probe._replace(packet=candidate_packet)
+            shrunk = self.check_probe(candidate, interpreter)
+            if shrunk is not None:
+                current = shrunk
+        return current

@@ -1,0 +1,232 @@
+"""Seeded fuzz harness: random workloads under differential verification.
+
+Each scenario builds a synthetic exchange (the §6.1 workload mix),
+then applies a random sequence of control-plane events — policy edits,
+BGP update bursts, withdrawals, fast-path flushes, and delta-reconciled
+recompilations — running the full differential + invariant check after
+the initial compile and after **every** subsequent commit.  Any
+disagreement between the compiled tables and the reference interpreter
+surfaces as a minimized one-packet counterexample tied to the seed that
+produced it.
+
+Reproduce a failure exactly::
+
+    PYTHONPATH=src python -m repro.verify.fuzz --seed 17
+
+CI runs a bounded smoke pass (``make verify-fuzz``); the integration
+suite sweeps 25+ seeds through the same entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.bgp.attributes import RouteAttributes
+from repro.core.participant import SDXPolicySet
+from repro.experiments.common import build_scenario
+from repro.netutils.ip import IPv4Prefix
+from repro.policy.language import fwd, match, parallel
+from repro.verify.checker import CheckReport, DifferentialChecker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import SDXController
+
+__all__ = ["ScenarioResult", "main", "run_scenario"]
+
+_STEP_KINDS = ("edit", "burst", "withdraw", "flush", "reconcile")
+_APP_PORTS = (80, 443, 8080, 1935, 8443)
+
+
+class ScenarioResult(NamedTuple):
+    """One fuzz scenario's outcome."""
+
+    seed: int
+    steps: Tuple[str, ...]  # the event sequence actually applied
+    checks: int  # differential passes run (initial + per commit)
+    probes_checked: int  # admissible probes compared across all passes
+    reports: Tuple[CheckReport, ...]  # the failing reports only
+
+    @property
+    def ok(self) -> bool:
+        return not self.reports
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        line = (
+            f"seed {self.seed:4d}: {status}  "
+            f"steps=[{', '.join(self.steps)}]  "
+            f"checks={self.checks} probes={self.probes_checked}"
+        )
+        if self.ok:
+            return line
+        return "\n".join([line] + [report.summary() for report in self.reports])
+
+
+def _alternate_route(
+    controller: "SDXController",
+    rng: random.Random,
+    announcers: Dict[IPv4Prefix, List[str]],
+) -> Optional[Tuple[str, IPv4Prefix, RouteAttributes]]:
+    """A plausible extra announcement: another peer offering a known prefix."""
+    prefix = rng.choice(sorted(announcers, key=str))
+    origins = announcers[prefix]
+    names = [
+        n
+        for n in controller.config.participant_names()
+        if n not in origins and controller.config.participant(n).ports
+    ]
+    if not names:
+        return None
+    name = rng.choice(names)
+    spec = controller.config.participant(name)
+    origin_asn = controller.config.participant(rng.choice(origins)).asn
+    attributes = RouteAttributes(
+        as_path=[spec.asn, 64900 + rng.randrange(64), origin_asn],
+        next_hop=spec.ports[rng.randrange(len(spec.ports))].address,
+        med=rng.choice((0, 10, 50)),
+        local_pref=rng.choice((50, 100, 100, 200)),
+    )
+    return name, prefix, attributes
+
+
+def _fresh_outbound(
+    controller: "SDXController", rng: random.Random
+) -> Optional[Tuple[str, SDXPolicySet]]:
+    """A new outbound policy edit for a random participant."""
+    names = list(controller.config.participant_names())
+    sender = rng.choice(names)
+    targets = [n for n in names if n != sender]
+    if not targets:
+        return None
+    clauses = [
+        match(dstport=rng.choice(_APP_PORTS)) >> fwd(rng.choice(targets))
+        for _ in range(rng.randrange(1, 3))
+    ]
+    existing = controller.policy.policies().get(sender)
+    inbound = existing.inbound if existing is not None else None
+    return sender, SDXPolicySet(outbound=parallel(*clauses), inbound=inbound)
+
+
+def run_scenario(
+    seed: int,
+    participants: int = 12,
+    prefixes: int = 96,
+    steps: int = 8,
+    probes: int = 48,
+) -> ScenarioResult:
+    """Run one seeded scenario; the checker runs after every commit."""
+    rng = random.Random(seed)
+    scenario = build_scenario(
+        participants=participants,
+        prefixes=prefixes,
+        seed=seed,
+        policy_seed=seed + 1,
+    )
+    controller = scenario.controller()
+    checker = DifferentialChecker(controller)
+
+    announcers: Dict[IPv4Prefix, List[str]] = {}
+    for name, announced in scenario.ixp.announced.items():
+        for prefix in announced:
+            announcers.setdefault(prefix, []).append(name)
+    extra: List[Tuple[str, IPv4Prefix]] = []  # fuzz-added announcements
+
+    applied: List[str] = []
+    failing: List[CheckReport] = []
+    checks = probes_checked = 0
+
+    def run_check() -> None:
+        nonlocal checks, probes_checked
+        report = checker.check(probes=probes, seed=seed * 1000 + checks)
+        checks += 1
+        probes_checked += report.checked
+        if not report.ok:
+            failing.append(report)
+
+    run_check()  # the freshly built exchange must already verify
+
+    for _ in range(steps):
+        kind = rng.choice(_STEP_KINDS)
+        if kind == "edit":
+            edit = _fresh_outbound(controller, rng)
+            if edit is None:
+                continue
+            controller.policy.set_policies(edit[0], edit[1], recompile=True)
+        elif kind == "burst":
+            with controller.routing.batched_updates():
+                for _ in range(rng.randrange(2, 6)):
+                    alt = _alternate_route(controller, rng, announcers)
+                    if alt is None:
+                        continue
+                    name, prefix, attributes = alt
+                    controller.routing.announce(name, prefix, attributes)
+                    extra.append((name, prefix))
+        elif kind == "withdraw":
+            if not extra:
+                continue
+            name, prefix = extra.pop(rng.randrange(len(extra)))
+            controller.routing.withdraw(name, prefix)
+        elif kind == "flush":
+            # Fold any fast-path overrides back into the base table.
+            controller.run_background_recompilation()
+        else:  # reconcile: an explicit delta-reconciled commit
+            controller.compile()
+        applied.append(kind)
+        run_check()
+
+    return ScenarioResult(
+        seed=seed,
+        steps=tuple(applied),
+        checks=checks,
+        probes_checked=probes_checked,
+        reports=tuple(failing),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.fuzz",
+        description="differential fuzz of the SDX compilation pipeline",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=6, help="run seeds 0..N-1 (default 6)"
+    )
+    parser.add_argument(
+        "--seed", type=int, action="append", default=None,
+        help="run one explicit seed (repeatable; overrides --seeds)",
+    )
+    parser.add_argument("--participants", type=int, default=12)
+    parser.add_argument("--prefixes", type=int, default=96)
+    parser.add_argument("--steps", type=int, default=8)
+    parser.add_argument("--probes", type=int, default=48)
+    options = parser.parse_args(argv)
+
+    seeds = options.seed if options.seed else list(range(options.seeds))
+    failures = 0
+    for seed in seeds:
+        result = run_scenario(
+            seed,
+            participants=options.participants,
+            prefixes=options.prefixes,
+            steps=options.steps,
+            probes=options.probes,
+        )
+        print(result.summary())
+        if not result.ok:
+            failures += 1
+            print(
+                f"reproduce with: PYTHONPATH=src python -m repro.verify.fuzz "
+                f"--seed {seed} --participants {options.participants} "
+                f"--prefixes {options.prefixes} --steps {options.steps} "
+                f"--probes {options.probes}"
+            )
+    total = len(seeds)
+    print(f"verify-fuzz: {total - failures}/{total} scenarios clean")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""The reference interpreter: ground truth for one packet's forwarding.
+
+The interpreter answers "where *should* this packet leave the fabric?"
+using only the inputs the SDX promises to honor — the participants'
+policy ASTs and the route server's RIB state.  Nothing from the
+compilation pipeline is consulted: no classifiers, no FEC table, no
+VNH/VMAC encoding, no flow rules.  That independence is the point; the
+differential checker diffs the compiled data plane against this model.
+
+The decision procedure mirrors Sections 3.2 and 4.1 of the paper:
+
+1. evaluate the sender's outbound policy AST on the (untagged) packet;
+2. keep outputs whose target may legitimately carry the destination —
+   participant targets must have advertised the prefix to the sender
+   (the BGP-consistency rule); service-chain and physical-port targets
+   pass through (their legitimacy is the operator's to grant when the
+   chain is registered);
+3. if nothing feasible remains, fall back to the sender's best BGP
+   route (plain default forwarding);
+4. at the receiving participant's virtual switch, evaluate the inbound
+   policy AST; failing that, deliver out the port that announced the
+   route the traffic followed;
+5. a service-chain target delivers at the chain's first hop (the
+   middlebox port), headers untouched.
+
+Quarantined participants are degraded to BGP-default forwarding, just
+as the fault-isolated compiler degrades them.
+
+Scope: the oracle treats "the policy yields no output" as "the policy
+does not claim the packet" and falls back to default forwarding.  This
+is exact for the match-and-forward policy algebra of the §6.1 workload
+generator (and for everything the compiler's ``with_fallback`` sealing
+produces for it); a policy built to *explicitly* drop claimed traffic
+via ``if_(pred, drop, ...)`` is outside the modeled regime.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.chaining import ServiceChain
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+from repro.netutils.mac import MACAddress
+from repro.policy.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import SDXController
+
+__all__ = ["Delivery", "ReferenceInterpreter"]
+
+#: One ground-truth egress: (physical port, dstip the frame carries).
+#: This is exactly the observable the differential checker compares —
+#: dstmac is an encoding artifact the oracle deliberately ignores.
+Delivery = Tuple[str, Any]
+
+
+class ReferenceInterpreter:
+    """Policy-AST + RIB evaluation of single-packet forwarding."""
+
+    def __init__(self, controller: "SDXController") -> None:
+        self._controller = controller
+        self._config = controller.config
+        self._server = controller.route_server
+        # Per-run caches; build one interpreter per check pass, not one
+        # per controller lifetime — RIB or policy mutations invalidate.
+        self._policies = dict(controller.policy.policies())
+        self._quarantined = frozenset(controller.ops.quarantined())
+        self._port_ids = frozenset(
+            port.port_id for port in self._config.physical_ports()
+        )
+        self._adv_cache: Dict[str, Dict[IPv4Prefix, IPv4Address]] = {}
+
+    # -- probe admissibility ------------------------------------------------
+
+    def tag(self, sender: str, prefix: IPv4Prefix) -> Optional[MACAddress]:
+        """The dstmac ``sender``'s border router would put on the frame.
+
+        Routers learn next-hops from the SDX's re-advertisements and
+        resolve them over ARP: a virtual next-hop resolves to its VMAC,
+        a real next-hop to the announcing interface's MAC.  ``None``
+        means the sender holds no route — its router would never emit
+        the packet, so there is nothing to verify.
+        """
+        prefix = IPv4Prefix(prefix)
+        advertised = self._adv_cache.get(sender)
+        if advertised is None:
+            advertised = {
+                ann.prefix: ann.attributes.next_hop
+                for ann in self._controller.routing.advertisements(sender)
+            }
+            self._adv_cache[sender] = advertised
+        next_hop = advertised.get(prefix)
+        if next_hop is None:
+            return None
+        vmac = self._controller.arp.resolve(next_hop)
+        if vmac is not None:
+            return vmac
+        owner = self._config.owner_of_address(next_hop)
+        if owner is None:
+            return None
+        port = owner.port_for_address(next_hop)
+        return port.hardware if port is not None else None
+
+    def can_probe(self, sender: str, prefix: IPv4Prefix) -> bool:
+        """True when a probe from ``sender`` toward ``prefix`` is meaningful.
+
+        Paper invariant: announcers never forward traffic for their own
+        prefixes back into the fabric, and a sender with no route (no
+        tag) never emits the packet at all.
+        """
+        prefix = IPv4Prefix(prefix)
+        if self._server.route_from(sender, prefix) is not None:
+            return False
+        return self.tag(sender, prefix) is not None
+
+    # -- the decision procedure ---------------------------------------------
+
+    def expected_deliveries(
+        self, sender: str, prefix: IPv4Prefix, packet: Packet
+    ) -> FrozenSet[Delivery]:
+        """Ground-truth ``(egress port, dstip)`` set for one probe.
+
+        ``packet`` is the frame as the border router emits it (dstmac
+        tagged); the policy ASTs are evaluated on it directly, so any
+        header the policy matches or rewrites is honored.
+        """
+        prefix = IPv4Prefix(prefix)
+        loc_rib = self._server.loc_rib(sender)
+        deliveries: Set[Delivery] = set()
+        outbound = None
+        if sender not in self._quarantined:
+            policy_set = self._policies.get(sender)
+            outbound = policy_set.outbound if policy_set is not None else None
+        if outbound is not None:
+            for out in outbound.eval(packet):
+                target = out.get("port")
+                if isinstance(target, ServiceChain):
+                    # Chain entry: egress at the first middlebox hop,
+                    # headers (including the tag) untouched.
+                    deliveries.add((target.hops[0], out.get("dstip")))
+                elif target in self._port_ids:
+                    deliveries.add((target, out.get("dstip")))
+                elif target in self._config and prefix in loc_rib.prefixes_via(target):
+                    deliveries |= self._deliver(target, prefix, out)
+        if deliveries:
+            return frozenset(deliveries)
+        best = loc_rib.best(prefix)
+        if best is None:
+            return frozenset()
+        return frozenset(self._deliver(best.learned_from, prefix, packet))
+
+    def _deliver(
+        self, target: str, prefix: IPv4Prefix, carried: Packet
+    ) -> Set[Delivery]:
+        """Delivery at participant ``target``'s virtual switch."""
+        spec = self._config.participant(target)
+        inbound = None
+        if target not in self._quarantined:
+            policy_set = self._policies.get(target)
+            inbound = policy_set.inbound if policy_set is not None else None
+        if inbound is not None:
+            outs = inbound.eval(carried)
+            if outs:
+                return {(out["port"], out.get("dstip")) for out in outs}
+        route = self._server.route_from(target, prefix)
+        if route is None:
+            return set()
+        port = spec.port_for_address(route.attributes.next_hop)
+        if port is None:
+            # Remote participant or a next-hop off the peering LAN:
+            # the fabric has no interface to hand the frame to.
+            return set()
+        return {(port.port_id, carried.get("dstip"))}

@@ -1,0 +1,386 @@
+"""Structural invariants over the compiled SDX tables.
+
+Where the differential checker samples behavior one packet at a time,
+these checkers sweep the *whole* installed state — base table,
+fast-path overrides, allocator, ARP — for properties that must hold
+after every commit:
+
+* **isolation** — every rule in a participant's policy segment matches
+  only on that participant's own ingress ports (Section 4.1's isolation
+  transform survived composition);
+* **bgp-consistency** — a rule matching a VMAC tag only forwards to
+  ports of participants that actually advertised (a prefix of) the
+  tagged forwarding class, per the tagging sender's Loc-RIB view when
+  the rule is sender-scoped;
+* **loop-freedom** — the re-entry graph over middlebox (service-chain
+  hop) ports is acyclic, so no composition of policies and chain
+  continuations can cycle a frame through the fabric (the Prelude-style
+  check for SDX rule composition);
+* **vnh-state** — the (VNH, VMAC) encoding is a bijection (distinct
+  addresses, distinct VMACs, ARP resolves each), and the allocator
+  holds *exactly* the VNHs the pipeline and fast path account for — no
+  leaks, no dangling references.
+
+Each check returns a list of :class:`InvariantViolation`; the
+differential checker folds them into its report and telemetry.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.netutils.ip import IPv4Prefix
+from repro.pipeline.stages import BASE_COOKIE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import SDXController
+
+__all__ = [
+    "InvariantViolation",
+    "check_all_invariants",
+    "check_bgp_consistency",
+    "check_isolation",
+    "check_loop_freedom",
+    "check_vnh_state",
+]
+
+
+class InvariantViolation(NamedTuple):
+    """One broken invariant, locatable enough to debug from."""
+
+    invariant: str  # isolation | bgp-consistency | loop-freedom | vnh-state
+    subject: str  # the rule/port/VNH at fault, rendered
+    detail: str  # what should have held and what was found
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.subject}: {self.detail}"
+
+
+def check_all_invariants(controller: "SDXController") -> List[InvariantViolation]:
+    """Run every invariant checker; concatenated violations."""
+    violations = check_isolation(controller)
+    violations.extend(check_bgp_consistency(controller))
+    violations.extend(check_loop_freedom(controller))
+    violations.extend(check_vnh_state(controller))
+    return violations
+
+
+# -- participant isolation ----------------------------------------------------
+
+
+def check_isolation(controller: "SDXController") -> List[InvariantViolation]:
+    """Policy-segment rules may match only their owner's ingress ports."""
+    violations: List[InvariantViolation] = []
+    for rule in controller.switch.table:
+        cookie = rule.cookie
+        if not (
+            isinstance(cookie, tuple)
+            and len(cookie) == 3
+            and cookie[0] == BASE_COOKIE
+            and cookie[1] == "policy"
+        ):
+            continue
+        owner = cookie[2]
+        allowed = (
+            controller.config.participant(owner).port_ids
+            if owner in controller.config
+            else ()
+        )
+        port = rule.match.constraints.get("port")
+        if port is None:
+            violations.append(
+                InvariantViolation(
+                    "isolation",
+                    repr(rule),
+                    f"policy rule of {owner!r} has no ingress-port constraint",
+                )
+            )
+        elif port not in allowed:
+            violations.append(
+                InvariantViolation(
+                    "isolation",
+                    repr(rule),
+                    f"policy rule of {owner!r} pinned to foreign port {port!r}",
+                )
+            )
+    return violations
+
+
+# -- BGP consistency ----------------------------------------------------------
+
+
+def check_bgp_consistency(controller: "SDXController") -> List[InvariantViolation]:
+    """VMAC-tagged rules egress only via participants that advertised.
+
+    The tag identifies a forwarding class (a FEC group, or one fast-path
+    prefix); any physical egress the rule performs — other than into a
+    registered service-chain hop — must land on a port of a participant
+    holding a route for some prefix of that class.  When the rule is
+    scoped to a sender's ingress port, the stricter per-sender view
+    applies: the route must actually be exported to that sender.
+    """
+    violations: List[InvariantViolation] = []
+    config = controller.config
+    server = controller.route_server
+
+    tag_classes: Dict[Any, FrozenSet[IPv4Prefix]] = {}
+    last = controller.last_compilation
+    if last is not None:
+        for group in last.fec_table.affected_groups:
+            tag_classes[group.vnh.hardware] = group.prefixes
+    for prefix, vnh in controller.fast_path.active_vnhs().items():
+        tag_classes[vnh.hardware] = frozenset((prefix,))
+    interface_owner = {
+        port.hardware: spec.name
+        for spec in config.participants()
+        for port in spec.ports
+    }
+    port_owner = {
+        port.port_id: spec.name
+        for spec in config.participants()
+        for port in spec.ports
+    }
+    chain_hops = controller.policy.chain_hop_ports()
+    exported_cache: Dict[Tuple[str, str], FrozenSet[IPv4Prefix]] = {}
+
+    def exported(sender: str, via: str) -> FrozenSet[IPv4Prefix]:
+        key = (sender, via)
+        found = exported_cache.get(key)
+        if found is None:
+            found = server.loc_rib(sender).prefixes_via(via)
+            exported_cache[key] = found
+        return found
+
+    for rule in controller.switch.table:
+        if rule.is_drop:
+            continue
+        tag = rule.match.constraints.get("dstmac")
+        if tag is None:
+            continue
+        sender = None
+        ingress = rule.match.constraints.get("port")
+        if ingress is not None:
+            sender = port_owner.get(ingress)
+        prefixes = tag_classes.get(tag)
+        if prefixes is None and tag not in interface_owner:
+            violations.append(
+                InvariantViolation(
+                    "bgp-consistency",
+                    repr(rule),
+                    f"matches unknown tag {tag!r}: neither a live VMAC "
+                    "nor a peering interface MAC (stale or leaked rule)",
+                )
+            )
+            continue
+        for action in rule.actions:
+            egress = action.output_port
+            if egress is None or egress in chain_hops:
+                continue
+            target = port_owner.get(egress)
+            if target is None:
+                violations.append(
+                    InvariantViolation(
+                        "bgp-consistency",
+                        repr(rule),
+                        f"egress {egress!r} is not a physical peering port",
+                    )
+                )
+                continue
+            if prefixes is None:
+                # Interface-MAC tag: plain default delivery — the frame
+                # must stay with the participant owning that interface.
+                if target != interface_owner[tag]:
+                    violations.append(
+                        InvariantViolation(
+                            "bgp-consistency",
+                            repr(rule),
+                            f"interface tag of {interface_owner[tag]!r} "
+                            f"delivered to {target!r}'s port {egress!r}",
+                        )
+                    )
+                continue
+            if sender is not None:
+                ok = any(p in exported(sender, target) for p in prefixes)
+            else:
+                ok = any(server.route_from(target, p) is not None for p in prefixes)
+            if not ok:
+                shown = ", ".join(sorted(map(str, prefixes))[:3])
+                violations.append(
+                    InvariantViolation(
+                        "bgp-consistency",
+                        repr(rule),
+                        f"egress via {target!r} which advertised no route for "
+                        f"the tagged class {{{shown}}}"
+                        + (f" visible to sender {sender!r}" if sender else ""),
+                    )
+                )
+    return violations
+
+
+# -- virtual-topology loop freedom --------------------------------------------
+
+
+def check_loop_freedom(controller: "SDXController") -> List[InvariantViolation]:
+    """The middlebox re-entry graph must be acyclic.
+
+    Chain-hop ports are the only fabric egresses whose traffic comes
+    *back* (a middlebox re-injects the frame); router-facing ports
+    terminate a path.  A cycle among hop ports means a frame could
+    orbit the fabric forever — the failure mode Prelude flags for
+    composed SDX policies.  Rules without an ingress constraint can be
+    entered from any port, so they contribute edges from every hop.
+    """
+    hops = controller.policy.chain_hop_ports()
+    if not hops:
+        return []
+    edges: Dict[str, Set[str]] = {hop: set() for hop in hops}
+    for rule in controller.switch.table:
+        if rule.is_drop:
+            continue
+        targets = {
+            action.output_port
+            for action in rule.actions
+            if action.output_port in hops
+        }
+        if not targets:
+            continue
+        ingress = rule.match.constraints.get("port")
+        if ingress is None:
+            sources = hops
+        elif ingress in hops:
+            sources = (ingress,)
+        else:
+            continue  # router-port ingress: an entry edge, not a cycle edge
+        for source in sources:
+            edges[source] |= targets
+
+    violations: List[InvariantViolation] = []
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {hop: WHITE for hop in hops}
+    stack_path: List[str] = []
+
+    def visit(node: str) -> Optional[List[str]]:
+        color[node] = GRAY
+        stack_path.append(node)
+        for succ in sorted(edges[node]):
+            if color[succ] == GRAY:
+                return stack_path[stack_path.index(succ):] + [succ]
+            if color[succ] == WHITE:
+                cycle = visit(succ)
+                if cycle is not None:
+                    return cycle
+        stack_path.pop()
+        color[node] = BLACK
+        return None
+
+    for hop in sorted(hops):
+        if color[hop] == WHITE:
+            cycle = visit(hop)
+            if cycle is not None:
+                violations.append(
+                    InvariantViolation(
+                        "loop-freedom",
+                        " -> ".join(cycle),
+                        "service-chain hop ports form a forwarding cycle",
+                    )
+                )
+                stack_path.clear()
+    return violations
+
+
+# -- VNH/VMAC bijection and leak detection ------------------------------------
+
+
+def check_vnh_state(controller: "SDXController") -> List[InvariantViolation]:
+    """The (VNH, VMAC) encoding is a live, leak-free bijection.
+
+    * every referenced VNH has a distinct address and a distinct VMAC,
+      and ARP resolves the address to exactly that VMAC;
+    * the allocator holds exactly the union of the pipeline's FEC VNHs
+      (including those pending release until the next commit) and the
+      fast path's per-prefix VNHs — anything extra is a leak (the PR-2
+      flap-storm bug class), anything missing is a dangling reference.
+    """
+    violations: List[InvariantViolation] = []
+    referenced = []
+    last = controller.last_compilation
+    if last is not None:
+        referenced.extend(
+            (f"group {group.group_id}", group.vnh)
+            for group in last.fec_table.affected_groups
+        )
+    referenced.extend(
+        (f"fast-path {prefix}", vnh)
+        for prefix, vnh in sorted(
+            controller.fast_path.active_vnhs().items(), key=lambda kv: str(kv[0])
+        )
+    )
+
+    by_address: Dict[Any, str] = {}
+    by_vmac: Dict[Any, str] = {}
+    for origin, vnh in referenced:
+        holder = by_address.get(vnh.address)
+        if holder is not None and holder != origin:
+            violations.append(
+                InvariantViolation(
+                    "vnh-state",
+                    str(vnh.address),
+                    f"VNH address shared by {holder} and {origin}",
+                )
+            )
+        by_address.setdefault(vnh.address, origin)
+        holder = by_vmac.get(vnh.hardware)
+        if holder is not None and holder != origin:
+            violations.append(
+                InvariantViolation(
+                    "vnh-state",
+                    str(vnh.hardware),
+                    f"VMAC shared by {holder} and {origin}",
+                )
+            )
+        by_vmac.setdefault(vnh.hardware, origin)
+        resolved = controller.arp.resolve(vnh.address)
+        if resolved != vnh.hardware:
+            violations.append(
+                InvariantViolation(
+                    "vnh-state",
+                    str(vnh.address),
+                    f"ARP resolves {origin}'s VNH to {resolved!r}, "
+                    f"expected {vnh.hardware!r}",
+                )
+            )
+
+    expected = set(controller.pipeline.live_vnh_addresses())
+    expected.update(
+        vnh.address for vnh in controller.fast_path.active_vnhs().values()
+    )
+    allocated = {vnh.address for vnh in controller.allocator}
+    for address in sorted(allocated - expected, key=str):
+        violations.append(
+            InvariantViolation(
+                "vnh-state",
+                str(address),
+                "allocated VNH not accounted for by the pipeline or "
+                "fast path (leak)",
+            )
+        )
+    for address in sorted(expected - allocated, key=str):
+        violations.append(
+            InvariantViolation(
+                "vnh-state",
+                str(address),
+                "live VNH reference no longer held by the allocator "
+                "(dangling)",
+            )
+        )
+    return violations

@@ -72,3 +72,99 @@ def test_among_top_local_pref_shortest_path_wins(routes):
     contenders = [r for r in routes if r.attributes.local_pref == top]
     shortest = min(len(r.attributes.as_path) for r in contenders)
     assert len(best.attributes.as_path) == shortest
+
+
+# -- differential: the implementation vs a straight-line reference ------------
+#
+# The reference applies the textbook elimination steps literally, one
+# pass per pick, with no sorting cleverness — slow but obviously right.
+
+
+def _reference_best(routes, always_compare_med=False):
+    contenders = list(routes)
+    top = max(r.attributes.local_pref for r in contenders)
+    contenders = [r for r in contenders if r.attributes.local_pref == top]
+    shortest = min(len(r.attributes.as_path) for r in contenders)
+    contenders = [r for r in contenders if len(r.attributes.as_path) == shortest]
+    lowest_origin = min(int(r.attributes.origin) for r in contenders)
+    contenders = [r for r in contenders if int(r.attributes.origin) == lowest_origin]
+
+    def dominated(route):
+        return any(
+            (
+                always_compare_med
+                or (
+                    other.attributes.as_path.first_as is not None
+                    and other.attributes.as_path.first_as
+                    == route.attributes.as_path.first_as
+                )
+            )
+            and other.attributes.med < route.attributes.med
+            for other in contenders
+        )
+
+    contenders = [r for r in contenders if not dominated(r)]
+    return min(
+        contenders,
+        key=lambda r: (
+            int(r.attributes.next_hop),
+            r.learned_from,
+            r.attributes.med,
+            r.attributes.as_path.asns,
+        ),
+    )
+
+
+def _reference_rank(routes, always_compare_med=False):
+    remaining = list(routes)
+    ranked = []
+    while remaining:
+        best = _reference_best(remaining, always_compare_med)
+        ranked.append(best)
+        remaining.remove(best)
+    return ranked
+
+
+@settings(max_examples=300)
+@given(routes_lists, st.booleans())
+def test_best_path_matches_reference_decision_process(routes, acm):
+    best = best_path(routes, always_compare_med=acm)
+    if not routes:
+        assert best is None
+    else:
+        assert best is _reference_best(routes, always_compare_med=acm)
+
+
+@settings(max_examples=300)
+@given(routes_lists, st.booleans())
+def test_rank_matches_reference_decision_process(routes, acm):
+    ranked = rank_routes(routes, always_compare_med=acm)
+    reference = _reference_rank(routes, always_compare_med=acm)
+    assert [id(r) for r in ranked] == [id(r) for r in reference]
+
+
+def _route(peer, first_as, med, next_hop):
+    return Route(
+        "10.0.0.0/8",
+        RouteAttributes(
+            as_path=[first_as, 65000], next_hop=next_hop, med=med
+        ),
+        learned_from=peer,
+    )
+
+
+def test_med_elimination_is_not_adjacent_only():
+    """Pinned regression: MED comparison must group by neighbor AS.
+
+    The old implementation compared MED only between sort-adjacent
+    routes; B (a different neighbor AS) sorted between A and C masked
+    that C MED-dominates A, so A incorrectly ranked first.
+    """
+    a = _route("A", 100, med=10, next_hop="192.0.2.1")
+    b = _route("B", 200, med=0, next_hop="192.0.2.2")
+    c = _route("C", 100, med=0, next_hop="192.0.2.3")
+    assert best_path([a, b, c]) is b
+    assert rank_routes([a, b, c]) == [b, c, a]
+    # A stays MED-dominated in every input order.
+    for ordering in ([c, b, a], [b, a, c], [a, c, b]):
+        assert best_path(ordering) is not a

@@ -67,6 +67,59 @@ def test_deletion_restores_model(raw_entries):
         assert pfx in trie
 
 
+@given(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_host_bits_canonicalized(network, length, probe_raw):
+    """10.1.2.3/16 and 10.1.0.0/16 are the same trie key."""
+    canonical = IPv4Prefix(IPv4Prefix(network, length).network, length)
+    trie = PrefixTrie()
+    trie[IPv4Prefix(network, length)] = "first"
+    trie[canonical] = "second"
+    assert len(trie) == 1
+    assert trie[canonical] == "second"
+    probe = IPv4Address(probe_raw)
+    assert (trie.longest_match(probe) is not None) == (probe in canonical)
+
+
+@given(prefix_entries, probe_addresses)
+def test_default_route_backstops_every_miss(raw_entries, probes):
+    """With 0.0.0.0/0 installed, longest_match never misses and the
+    default (depth 0) only wins when no real entry covers the probe."""
+    entries = {}
+    trie = PrefixTrie()
+    default = IPv4Prefix(0, 0)
+    trie[default] = "default"
+    entries[default] = "default"
+    for network, length, value in raw_entries:
+        pfx = IPv4Prefix(network, length)
+        entries[pfx] = value
+        trie[pfx] = value
+    for address in probes:
+        found = trie.longest_match(address)
+        assert found == model_longest_match(entries, address)
+        assert found is not None
+        specific = {p for p in entries if p.length > 0 and address in p}
+        if not specific:
+            assert found[0] == default
+
+
+@given(prefix_entries, probe_addresses)
+def test_miss_reported_as_none(raw_entries, probes):
+    """Without a default route, a probe outside every entry misses."""
+    entries = {}
+    trie = PrefixTrie()
+    for network, length, value in raw_entries:
+        pfx = IPv4Prefix(network, length)
+        entries[pfx] = value
+        trie[pfx] = value
+    for address in probes:
+        covered = any(address in pfx for pfx in entries)
+        assert (trie.longest_match(address) is not None) == covered
+
+
 @given(prefix_entries, st.tuples(st.integers(min_value=0, max_value=(1 << 32) - 1), st.integers(min_value=0, max_value=16)))
 def test_covered_by_agrees_with_containment_scan(raw_entries, block_raw):
     block = IPv4Prefix(block_raw[0], block_raw[1])

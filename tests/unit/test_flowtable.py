@@ -92,6 +92,14 @@ class TestFlowTable:
         assert table.remove_by_cookie("a") == 2
         assert len(table) == 1
 
+    def test_rules_for_cookie(self):
+        table = FlowTable()
+        low = table.install(rule(1, cookie="a", dstport=80))
+        high = table.install(rule(9, cookie="a", dstport=443))
+        table.install(rule(5, cookie="b", dstport=22))
+        assert table.rules_for_cookie("a") == (high, low)
+        assert table.rules_for_cookie("missing") == ()
+
     def test_counters_by_cookie(self):
         table = FlowTable()
         table.install(rule(2, cookie="x", dstport=80))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bgp.session import BGPSession, SessionState
+from repro.bgp.session import BGPSession, ListenerErrorGroup, SessionState
 
 
 def test_initial_state_is_idle():
@@ -115,4 +115,31 @@ def test_raising_listener_does_not_skip_the_rest():
     # The second listener still observed the transition...
     assert seen == [SessionState.CONNECT]
     # ...and the state change itself stuck.
+    assert session.state is SessionState.CONNECT
+
+
+def test_multiple_raising_listeners_aggregate():
+    session = BGPSession("B")
+    seen = []
+
+    def first(s, state):
+        raise ValueError("first bug")
+
+    def second(s, state):
+        raise KeyError("second bug")
+
+    session.on_state_change(first)
+    session.on_state_change(second)
+    session.on_state_change(lambda s, state: seen.append(state))
+    with pytest.raises(ListenerErrorGroup) as excinfo:
+        session.start()
+    group = excinfo.value
+    # Every failure is preserved, in registration order, with context.
+    assert group.peer == "B" and group.target is SessionState.CONNECT
+    assert [type(e) for e in group.errors] == [ValueError, KeyError]
+    assert group.__cause__ is group.errors[0]
+    assert "2 listeners failed" in str(group)
+    assert "ValueError: first bug" in str(group)
+    # The healthy listener still ran and the transition stuck.
+    assert seen == [SessionState.CONNECT]
     assert session.state is SessionState.CONNECT
