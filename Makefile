@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test property integration chaos bench experiments quick examples metrics verify-fuzz clean
+.PHONY: install test property integration chaos bench bench-guard guard-gate experiments quick examples metrics verify-fuzz clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,12 @@ chaos:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-guard:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_guard.py --emit benchmarks/BENCH_robustness.json
+
+guard-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_guard.py --check benchmarks/BENCH_robustness.json
 
 experiments:
 	$(PYTHON) -m repro.experiments all

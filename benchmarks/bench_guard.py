@@ -1,0 +1,266 @@
+"""Robustness benchmark: guarded-commit overhead and admission throughput.
+
+Two questions decide whether the guard can stay always-on:
+
+1. **What does per-commit verification cost?**  A synthetic exchange is
+   driven through an identical seeded churn workload (policy edits +
+   route flaps, every one triggering a commit) twice — once unguarded,
+   once with the default 8-probe guard — and the per-commit latency
+   distributions are compared.  The figure of merit is the *ratio*
+   (guarded / unguarded) at p50 and p99, which is machine-independent.
+2. **How fast does the admission plane say no?**  A storming tenant is
+   hammered against a closed token bucket; the figure of merit is
+   rejections per second (the admission plane must be far cheaper than
+   the work it refuses).
+
+Run standalone to (re)generate the checked-in baseline::
+
+    PYTHONPATH=src python benchmarks/bench_guard.py --emit benchmarks/BENCH_robustness.json
+
+or as the CI regression gate, which fails when the measured guard
+overhead ratio exceeds the baseline's by more than 10%::
+
+    PYTHONPATH=src python benchmarks/bench_guard.py --check benchmarks/BENCH_robustness.json
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from _report import emit
+
+from repro.core.participant import SDXPolicySet
+from repro.experiments.common import build_scenario
+from repro.guard import AdmissionConfig, AdmissionError, GuardConfig, GuardReport
+from repro.policy.language import fwd, match
+
+PARTICIPANTS = 24
+PREFIXES = 120
+EDIT_CYCLES = 32
+FLAP_CYCLES = 16
+MEASURE_ROUNDS = 3  # alternated guarded/unguarded rounds (drift cancels)
+PROBE_BUDGET = 8  # the GuardConfig default: what "always-on" costs
+SEED = 3
+
+#: CI gate: measured overhead may exceed the baseline ratio by 10%,
+#: plus an absolute slack so timer noise cannot fail the gate
+#: spuriously — small at the median, wider at the tail (p99 of a
+#: ~50-commit run is its max sample, the noisiest statistic measured).
+REGRESSION_HEADROOM = 1.10
+REGRESSION_SLACK = {"overhead_p50": 0.05, "overhead_p99": 0.30}
+
+ADMISSION_ATTEMPTS = 20_000
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _churn_controller(guarded):
+    scenario = build_scenario(PARTICIPANTS, PREFIXES, seed=SEED, policy_seed=SEED + 1)
+    guard = GuardConfig(probe_budget=PROBE_BUDGET, seed=SEED) if guarded else None
+    controller = scenario.controller(guard=guard)
+    controller.compile()
+    return controller
+
+
+def _churn_workload(controller):
+    """The seeded commit-heavy churn; returns per-commit latencies.
+
+    Each cycle interleaves one route flap (background churn the fast
+    path absorbs without a fabric commit) with one policy edit that
+    forces a full compile + commit — the operation the guard actually
+    intercepts.  Only the commits are timed.
+    """
+    names = [
+        name
+        for name in controller.config.participant_names()
+        if controller.config.participant(name).ports
+    ]
+    server = controller.route_server
+    flaps = []
+    for prefix in sorted(server.all_prefixes(), key=str)[:FLAP_CYCLES]:
+        ranked = server.ranked_routes(prefix)
+        if ranked:
+            flaps.append((ranked[0].learned_from, prefix, ranked[0].attributes))
+
+    latencies = []
+    for cycle in range(EDIT_CYCLES):
+        if flaps:
+            peer, prefix, attributes = flaps[cycle % len(flaps)]
+            controller.routing.withdraw(peer, prefix)
+            controller.routing.announce(peer, prefix, attributes)
+        sender = names[cycle % len(names)]
+        target = names[(cycle + 1) % len(names)]
+        policy = SDXPolicySet(
+            outbound=(match(dstport=8000 + cycle) >> fwd(target))
+        )
+        started = time.perf_counter()
+        controller.policy.set_policies(sender, policy, recompile=True)
+        latencies.append(time.perf_counter() - started)
+    return latencies
+
+
+def measure_guard_overhead():
+    unguarded_controller = _churn_controller(guarded=False)
+    guarded_controller = _churn_controller(guarded=True)
+    guard = guarded_controller.guard
+    # One discarded warm-up round per controller, then alternate measured
+    # rounds so clock/cache drift hits both latency pools equally.
+    _churn_workload(unguarded_controller)
+    _churn_workload(guarded_controller)
+    checks_before = guard._m_checks.value(outcome="ok")
+    unguarded = []
+    guarded = []
+    for _ in range(MEASURE_ROUNDS):
+        unguarded.extend(_churn_workload(unguarded_controller))
+        guarded.extend(_churn_workload(guarded_controller))
+    checks = guard._m_checks.value(outcome="ok") - checks_before
+    return {
+        "probe_budget": PROBE_BUDGET,
+        "commits": len(guarded),
+        "verified_commits": checks,
+        "unguarded_p50_ms": _percentile(unguarded, 0.50) * 1e3,
+        "unguarded_p99_ms": _percentile(unguarded, 0.99) * 1e3,
+        "guarded_p50_ms": _percentile(guarded, 0.50) * 1e3,
+        "guarded_p99_ms": _percentile(guarded, 0.99) * 1e3,
+        "overhead_p50": _percentile(guarded, 0.50) / _percentile(unguarded, 0.50),
+        "overhead_p99": _percentile(guarded, 0.99) / _percentile(unguarded, 0.99),
+        "guard_check_p99_ms": guard.controller.telemetry.get(
+            "sdx_guard_seconds"
+        ).percentile(0.99)
+        * 1e3,
+    }
+
+
+def measure_admission_throughput():
+    scenario = build_scenario(8, 32, seed=SEED, policy_seed=SEED + 1)
+    controller = scenario.controller(
+        admission=AdmissionConfig(policy_edits_per_sec=1.0, policy_edit_burst=1)
+    )
+    name = next(iter(controller.config.participant_names()))
+    policy = SDXPolicySet(outbound=(match(dstport=80) >> fwd(name)))
+    admission = controller.admission
+    rejections = 0
+    started = time.perf_counter()
+    for _ in range(ADMISSION_ATTEMPTS):
+        try:
+            admission.admit_policy_edit(name, policy)
+        except AdmissionError:
+            rejections += 1
+    seconds = time.perf_counter() - started
+    return {
+        "attempts": ADMISSION_ATTEMPTS,
+        "rejections": rejections,
+        "seconds": seconds,
+        "rejections_per_sec": rejections / seconds if seconds else None,
+    }
+
+
+def run_benchmark():
+    return {
+        "workload": {
+            "participants": PARTICIPANTS,
+            "prefixes": PREFIXES,
+            "edit_cycles": EDIT_CYCLES,
+            "flap_cycles": FLAP_CYCLES,
+            "seed": SEED,
+        },
+        "guard": measure_guard_overhead(),
+        "admission": measure_admission_throughput(),
+    }
+
+
+def print_result(result):
+    guard = result["guard"]
+    admission = result["admission"]
+    print(
+        f"\n== Guarded commits: {guard['commits']} churn commits, "
+        f"budget {guard['probe_budget']} probes =="
+    )
+    print(
+        f"  per-commit p50: {guard['unguarded_p50_ms']:.2f} ms unguarded -> "
+        f"{guard['guarded_p50_ms']:.2f} ms guarded "
+        f"({(guard['overhead_p50'] - 1) * 100:+.1f}%)"
+    )
+    print(
+        f"  per-commit p99: {guard['unguarded_p99_ms']:.2f} ms unguarded -> "
+        f"{guard['guarded_p99_ms']:.2f} ms guarded "
+        f"({(guard['overhead_p99'] - 1) * 100:+.1f}%)"
+    )
+    print(
+        f"== Admission plane: {admission['rejections']}/{admission['attempts']} "
+        f"rejections at {admission['rejections_per_sec']:,.0f}/s =="
+    )
+
+
+def check_against_baseline(result, baseline):
+    """CI gate: fail when guard overhead regressed >10% vs the baseline."""
+    failures = []
+    for metric in ("overhead_p50", "overhead_p99"):
+        measured = result["guard"][metric]
+        reference = baseline["guard"][metric]
+        ceiling = reference * REGRESSION_HEADROOM + REGRESSION_SLACK[metric]
+        status = "ok" if measured <= ceiling else "REGRESSED"
+        print(
+            f"  {metric}: measured {measured:.3f} vs baseline {reference:.3f} "
+            f"(ceiling {ceiling:.3f}) {status}"
+        )
+        if measured > ceiling:
+            failures.append(metric)
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_guard.py",
+        description="guarded-commit overhead + admission throughput benchmark",
+    )
+    parser.add_argument(
+        "--emit", metavar="PATH", help="write the result JSON (the baseline file)"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a baseline JSON; exit 1 on >10%% overhead regression",
+    )
+    options = parser.parse_args(argv)
+
+    result = run_benchmark()
+    print_result(result)
+    if options.emit:
+        with open(options.emit, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {options.emit}")
+    if options.check:
+        with open(options.check) as handle:
+            baseline = json.load(handle)
+        print(f"\n== Regression gate vs {options.check} ==")
+        failures = check_against_baseline(result, baseline)
+        if failures:
+            print(f"FAIL: guard overhead regressed: {', '.join(failures)}")
+            return 1
+        print("gate passed")
+    return 0
+
+
+# -- pytest-benchmark wrapper (make bench) ----------------------------------
+
+
+def test_guard_overhead_and_admission_throughput(benchmark):
+    result = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    emit(lambda: print_result(result))
+    guard = result["guard"]
+    # every churn commit was verified, at the default always-on budget
+    assert guard["verified_commits"] == guard["commits"]
+    # the admission plane rejects much faster than edits compile
+    assert result["admission"]["rejections_per_sec"] > 10_000
+
+
+if __name__ == "__main__":
+    sys.exit(main())

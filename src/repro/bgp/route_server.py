@@ -135,6 +135,7 @@ class RouteServer:
         self._views: Dict[str, ParticipantView] = {}
         self._routes_by_prefix: Dict[IPv4Prefix, Dict[str, Route]] = {}
         self._ranked_cache: Dict[IPv4Prefix, Tuple[Route, ...]] = {}
+        self._sorted_prefixes: Optional[Tuple[IPv4Prefix, ...]] = None
         self._subscribers: List[Callable[[List[BestPathChange]], None]] = []
         self._always_compare_med = always_compare_med
         self.asn = asn
@@ -269,6 +270,8 @@ class RouteServer:
     # -- the shared candidate index -----------------------------------------
 
     def _index(self, route: Route) -> None:
+        if route.prefix not in self._routes_by_prefix:
+            self._sorted_prefixes = None
         self._routes_by_prefix.setdefault(route.prefix, {})[route.learned_from] = route
         self._ranked_cache.pop(route.prefix, None)
 
@@ -278,6 +281,7 @@ class RouteServer:
             per_prefix.pop(peer, None)
             if not per_prefix:
                 del self._routes_by_prefix[prefix]
+                self._sorted_prefixes = None
         self._ranked_cache.pop(prefix, None)
 
     def ranked_routes(self, prefix: "IPv4Prefix | str") -> Tuple[Route, ...]:
@@ -443,6 +447,16 @@ class RouteServer:
     def all_prefixes(self) -> FrozenSet[IPv4Prefix]:
         """Every prefix currently known from any peer."""
         return frozenset(self._routes_by_prefix)
+
+    def sorted_prefixes(self) -> Tuple[IPv4Prefix, ...]:
+        """Every known prefix in canonical order, cached between changes.
+
+        The per-commit verification guard sorts the probe universe on
+        every pass; re-sorting an unchanged RIB dominated its budget.
+        """
+        if self._sorted_prefixes is None:
+            self._sorted_prefixes = tuple(sorted(self._routes_by_prefix))
+        return self._sorted_prefixes
 
     def rib_table(self, participant: str) -> RIBTable:
         """A queryable RIB snapshot for the participant's policy code."""

@@ -63,6 +63,12 @@ from repro.core.vmac import VirtualNextHopAllocator
 from repro.dataplane.arp import ARPService
 from repro.dataplane.flowtable import FlowRule
 from repro.dataplane.reconcile import ChurnStats, CommitReport
+from repro.guard import (
+    AdmissionConfig,
+    AdmissionController,
+    CommitGuard,
+    GuardConfig,
+)
 from repro.dataplane.router import BorderRouter
 from repro.dataplane.switch import SDNSwitch
 from repro.ixp.topology import IXPConfig
@@ -150,6 +156,8 @@ class SDXController:
         ownership: Optional["OwnershipRegistry"] = None,
         route_server_asn: Optional[int] = None,
         backend: Optional[ExecutionBackend] = None,
+        guard: Optional[GuardConfig] = None,
+        admission: Optional[AdmissionConfig] = None,
     ) -> None:
         self.config = config
         self.ownership = ownership
@@ -195,6 +203,19 @@ class SDXController:
         self._commit_hooks: List[Callable[[CompilationResult], None]] = []
         #: set by :meth:`enable_resilience`
         self.resilience: Optional["ResilienceCoordinator"] = None
+        #: guarded commits (repro.guard): every fabric commit is followed
+        #: by a budgeted sampled differential check inside the commit
+        #: transaction; a mismatch rolls back, quarantines, and records
+        #: an incident surfaced by ops.health().  None = unguarded.
+        self.guard: Optional[CommitGuard] = (
+            CommitGuard(self, guard) if guard is not None else None
+        )
+        #: the admission plane (repro.guard): per-participant rate limits
+        #: and quotas enforced at the routing/policy facet entry points.
+        #: None = unmetered.
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(self, admission) if admission is not None else None
+        )
 
         #: faceted public API (see :mod:`repro.core.facets`): thin views
         #: over this controller's state — the supported surface; the flat
@@ -522,6 +543,23 @@ class SDXController:
                 out.append(announcement)
         return out
 
+    def advertised_next_hop(
+        self, name: str, prefix: IPv4Prefix
+    ) -> Optional[IPv4Address]:
+        """The next-hop ``name`` is told for one prefix (VNH-rewritten).
+
+        Single-prefix equivalent of :meth:`advertisements` — the guard's
+        per-commit probes ask about one (participant, prefix) pair at a
+        time, and materializing the participant's whole re-advertisement
+        list for each probe would dominate the verification budget.
+        ``None`` means the prefix is not advertised to ``name``.
+        """
+        best = self.route_server.best_route(name, prefix)
+        if best is None:
+            return None
+        rewritten = self._advertised.get((name, prefix))
+        return rewritten if rewritten is not None else best.attributes.next_hop
+
     def readvertise_prefix(
         self, prefix: IPv4Prefix, vnh_address: Optional[IPv4Address]
     ) -> None:
@@ -629,6 +667,8 @@ class SDXController:
                 self.resilience.suppressed_changes if self.resilience is not None else 0
             ),
         }
+        if self.guard is not None:
+            events["guard_rollbacks"] = int(self.guard._m_rollbacks.total())
         return HealthReport(
             sessions=sessions,
             quarantined=dict(self._quarantined),
@@ -638,6 +678,10 @@ class SDXController:
             fast_path_prefixes=len(self.fast_path.active_prefixes),
             flow_rules=len(self.switch.table),
             events=events,
+            incidents=self.guard.incidents if self.guard is not None else (),
+            admission=(
+                self.admission.snapshot() if self.admission is not None else {}
+            ),
         )
 
     # -- telemetry -----------------------------------------------------------------------

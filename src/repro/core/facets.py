@@ -35,6 +35,7 @@ from typing import (
     Callable,
     Dict,
     FrozenSet,
+    Iterable,
     List,
     Mapping,
     Optional,
@@ -84,8 +85,16 @@ class RoutingFacet(_Facet):
         base compilation exists and the fast path is enabled).  With
         resilience enabled, the update first passes the RFC 7606 guard
         and flap-damping bookkeeping.
+
+        With an admission plane configured, the update is first metered
+        against the peer's announcement budget; a rejection raises
+        :class:`~repro.guard.admission.AnnouncementRateExceeded` (with
+        ``retry_after``) before the route server sees anything.
         """
-        return self._controller.pipeline.ingress.submit(update)
+        controller = self._controller
+        if controller.admission is not None:
+            controller.admission.admit_update(update)
+        return controller.pipeline.ingress.submit(update)
 
     def batched_updates(self):
         """Context manager coalescing a BGP burst's fast-path work.
@@ -187,11 +196,18 @@ class PolicyFacet(_Facet):
 
         Submitting a new policy set clears any quarantine on the
         participant — it is their chance to ship a fix.
+
+        With an admission plane configured, the edit is first metered
+        against the participant's policy-edit rate and compiled-rule
+        budget; a typed :class:`~repro.guard.admission.AdmissionError`
+        rejection leaves every controller structure untouched.
         """
         from repro.pipeline.events import PolicyChanged
 
         controller = self._controller
         controller.config.participant(name)
+        if controller.admission is not None:
+            controller.admission.admit_policy_edit(name, policy_set)
         controller._quarantined.pop(name, None)
         if policy_set.is_empty:
             controller._policies.pop(name, None)
@@ -313,7 +329,12 @@ class OpsFacet(_Facet):
     # -- verification (the repro.verify oracle) ----------------------------
 
     def verify(
-        self, probes: int = 64, seed: int = 0, invariants: bool = True
+        self,
+        probes: int = 64,
+        seed: int = 0,
+        invariants: bool = True,
+        budget: Optional[int] = None,
+        focus: Optional[Iterable[IPv4Prefix]] = None,
     ) -> "CheckReport":
         """One differential + invariant pass over the installed tables.
 
@@ -323,11 +344,20 @@ class OpsFacet(_Facet):
         VNH state).  Inspect ``.ok`` / ``summary()`` on the returned
         :class:`~repro.verify.checker.CheckReport`; results also land in
         the ``sdx_verify_*`` metric family.
+
+        ``budget`` caps the pass at exactly that many probes (overriding
+        ``probes``) and ``focus`` concentrates sampling on a prefix set
+        — together they replay a guarded commit's check precisely:
+        ``ops.verify(budget=cfg.probe_budget, seed=incident.seed)``.
         """
         from repro.verify.checker import DifferentialChecker
 
         return DifferentialChecker(self._controller).check(
-            probes=probes, seed=seed, invariants=invariants
+            probes=probes,
+            seed=seed,
+            invariants=invariants,
+            budget=budget,
+            focus=focus,
         )
 
     # -- commit hooks ------------------------------------------------------

@@ -78,6 +78,9 @@ class FlowTable:
     def __init__(self) -> None:
         self._rules: List[FlowRule] = []
         self.misses = 0
+        # Lazy per-ingress-port candidate lists (the always-on commit
+        # guard makes lookup a hot path); any mutation clears them.
+        self._port_candidates: Dict[Any, List[FlowRule]] = {}
         self._m_installs = self._m_removes = None
         self._m_commits = self._m_rollbacks = self._m_rules_gauge = None
 
@@ -123,6 +126,7 @@ class FlowTable:
                 index = position
                 break
         self._rules.insert(index, rule)
+        self._port_candidates.clear()
         self._count_churn(installed=1)
         return rule
 
@@ -151,6 +155,7 @@ class FlowTable:
 
     def remove(self, rule: FlowRule) -> None:
         self._rules.remove(rule)
+        self._port_candidates.clear()
         self._count_churn(removed=1)
 
     def reprioritize(self, rule: FlowRule, priority: int) -> FlowRule:
@@ -170,6 +175,7 @@ class FlowTable:
                 index = position
                 break
         self._rules.insert(index, rule)
+        self._port_candidates.clear()
         return rule
 
     def remove_by_cookie(self, cookie: Any) -> int:
@@ -178,6 +184,7 @@ class FlowTable:
         self._rules = [rule for rule in self._rules if rule.cookie != cookie]
         removed = before - len(self._rules)
         if removed:
+            self._port_candidates.clear()
             self._count_churn(removed=removed)
         return removed
 
@@ -193,6 +200,7 @@ class FlowTable:
     def clear(self) -> None:
         removed = len(self._rules)
         self._rules.clear()
+        self._port_candidates.clear()
         if removed:
             self._count_churn(removed=removed)
 
@@ -210,6 +218,7 @@ class FlowTable:
     def restore(self, checkpoint: Tuple[FlowRule, ...]) -> None:
         """Reset the table to a previously taken :meth:`checkpoint`."""
         self._rules = list(checkpoint)
+        self._port_candidates.clear()
         if self._m_rules_gauge is not None:
             self._m_rules_gauge.set(len(self._rules))
 
@@ -240,10 +249,35 @@ class FlowTable:
 
     def lookup(self, packet: Packet) -> Optional[FlowRule]:
         """The matching rule a switch would select, without counting."""
-        for rule in self._rules:
+        for rule in self._candidates(packet.get("port")):
             if rule.match.matches(packet):
                 return rule
         return None
+
+    def _candidates(self, port: Any) -> List[FlowRule]:
+        """Rules that could match a packet arriving on ``port``, in order.
+
+        ``port`` is an exact-match field, so the table partitions by it:
+        a rule either names this port or leaves port unconstrained, and
+        filtering preserves the priority order, making a scan over the
+        partition equivalent to a scan over the full table.  A packet
+        without a located port (``None``) can never satisfy a
+        port-constrained rule, but the full list is returned unfiltered —
+        the unconstrained rules inside it are exactly the ones that can
+        match, and such packets are rare (pre-location tracing only).
+        """
+        if port is None:
+            return self._rules
+        cached = self._port_candidates.get(port)
+        if cached is None:
+            cached = [
+                rule
+                for rule in self._rules
+                if (constraint := rule.match.constraint("port")) is None
+                or constraint == port
+            ]
+            self._port_candidates[port] = cached
+        return cached
 
     def process(self, packet: Packet, packet_bytes: int = 0) -> FrozenSet[Packet]:
         """Match, count, and apply actions; no match or drop returns ∅."""
@@ -304,6 +338,30 @@ class FlowTableTransaction:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    def checkpoint_digest(self) -> str:
+        """Digest of the state :meth:`rollback` restores.
+
+        Row-for-row identical to :meth:`FlowTable.content_hash` over the
+        checkpoint membership at the *checkpointed* priorities, so after
+        a rollback ``table.content_hash() == checkpoint_digest()`` iff
+        the restore was byte-exact.  Computed lazily from the snapshot
+        (no table hash on the commit hot path); the one state it cannot
+        certify is a rule whose *fields* were mutated in place — which
+        is why mutating installed rules' fields is forbidden everywhere
+        (corrupt via remove + reinstall instead).
+        """
+        digest = hashlib.sha256()
+        for rule, priority in zip(self._checkpoint, self._priorities):
+            row = (
+                priority,
+                repr(rule.match),
+                tuple(sorted(repr(action) for action in rule.actions)),
+                repr(rule.cookie),
+            )
+            digest.update(repr(row).encode())
+            digest.update(b"\x00")
+        return digest.hexdigest()
 
     def commit(self) -> None:
         """Keep the mutations; the checkpoint is discarded."""

@@ -55,6 +55,7 @@ from repro.policy.classifier import Action, Classifier, HeaderMatch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.compiler import CompilationResult
+    from repro.guard.commits import GuardReport
 
 __all__ = [
     "BASE_COOKIE",
@@ -235,7 +236,15 @@ class CommitReport:
     keeps working unchanged.
     """
 
-    __slots__ = ("added", "removed", "retained", "reprioritized", "seconds", "result")
+    __slots__ = (
+        "added",
+        "removed",
+        "retained",
+        "reprioritized",
+        "seconds",
+        "result",
+        "verified",
+    )
 
     def __init__(
         self,
@@ -245,6 +254,7 @@ class CommitReport:
         reprioritized: int,
         seconds: float,
         result: "CompilationResult",
+        verified: Optional["GuardReport"] = None,
     ) -> None:
         self.added = added
         self.removed = removed
@@ -252,6 +262,9 @@ class CommitReport:
         self.reprioritized = reprioritized
         self.seconds = seconds
         self.result = result
+        #: the commit guard's sampled-check report (None when no guard
+        #: is attached or the check was skipped as a no-op re-commit)
+        self.verified = verified
 
     @property
     def churn(self) -> int:

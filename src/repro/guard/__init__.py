@@ -1,0 +1,90 @@
+"""Guarded commits and the multi-tenant admission plane.
+
+The SDX promise — participants independently author policies against a
+shared fabric — only survives production if one tenant's *bad* or
+*excessive* churn cannot corrupt or starve the others.  PR 5's
+differential oracle runs offline; this package moves both defenses
+onto the commit path itself:
+
+* :mod:`repro.guard.commits` — **guarded commits**.  Every fabric
+  commit is followed, *inside the still-open transaction*, by a
+  budgeted sampled differential check (the :mod:`repro.verify` oracle
+  with a per-commit probe budget and a deterministic seeded sampler
+  focused on the changed FEC groups).  A mismatch rolls the
+  :class:`~repro.dataplane.flowtable.FlowTableTransaction` back,
+  quarantines the offending participant's shard through the existing
+  compile-quarantine machinery, re-commits the last-known-good cache,
+  and records the minimized counterexample in an incident log surfaced
+  by ``controller.ops.health()``.
+* :mod:`repro.guard.admission` — the **admission plane**.
+  Per-participant token-bucket rate limits and edit quotas (policy
+  edits/sec, announcements/sec, compiled-rule budget) enforced at the
+  ``RoutingFacet``/``PolicyFacet`` entry points, with typed rejection
+  errors carrying ``retry_after`` and escalating backoff — a
+  policy-change storm from one tenant degrades *that tenant*
+  gracefully instead of serializing everyone behind it.  Quarantine
+  (PR 1) handles bad policies; this handles *too many* policies.
+* :mod:`repro.guard.sampling` — the deterministic seeded sampler:
+  which prefixes a commit changed (FEC-table delta) and the per-commit
+  probe seed derivation.
+
+Both halves report into telemetry as the ``sdx_guard_*`` and
+``sdx_admission_*`` metric families.
+
+Quick tour::
+
+    from repro.guard import AdmissionConfig, GuardConfig
+
+    controller = SDXController(
+        config,
+        guard=GuardConfig(probe_budget=16, seed=7),
+        admission=AdmissionConfig(policy_edits_per_sec=2.0,
+                                  announcements_per_sec=50.0,
+                                  compiled_rule_budget=5_000),
+    )
+    ...
+    report = controller.ops.health()
+    for incident in report.incidents:       # guarded-commit outcomes
+        print(incident.action, incident.detail)
+"""
+
+from repro.guard.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionError,
+    AnnouncementRateExceeded,
+    PolicyEditRateExceeded,
+    RuleBudgetExceeded,
+    TokenBucket,
+)
+from repro.guard.commits import (
+    CommitGuard,
+    GuardConfig,
+    GuardIncident,
+    GuardReport,
+    GuardedCommitError,
+    GuardViolation,
+    ProbeFailure,
+    RollbackFailure,
+)
+from repro.guard.sampling import changed_prefixes, probe_seed
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionError",
+    "AnnouncementRateExceeded",
+    "CommitGuard",
+    "GuardConfig",
+    "GuardIncident",
+    "GuardReport",
+    "GuardViolation",
+    "GuardedCommitError",
+    "PolicyEditRateExceeded",
+    "ProbeFailure",
+    "RollbackFailure",
+    "RuleBudgetExceeded",
+    "TokenBucket",
+    "changed_prefixes",
+    "probe_seed",
+]

@@ -1,0 +1,390 @@
+"""The multi-tenant admission plane: rate limits, quotas, backoff.
+
+An IXP's control plane is a shared resource: every policy edit costs a
+compile + commit and every announcement costs route-server work plus a
+possible fast-path pass.  Without admission control, one tenant's
+policy-change storm serializes every other tenant behind it.  This
+module enforces *per-participant* budgets at the facet entry points:
+
+* **policy edits/sec** — a token bucket charged by
+  ``controller.policy.set_policies``;
+* **announcements/sec** — a token bucket charged per announced or
+  withdrawn prefix by ``controller.routing.process_update``;
+* **compiled-rule budget** — a cap on how many classifier rules one
+  participant's policy set may compile to (the memoized AST compile is
+  reused by the real compilation, so the check is nearly free).
+
+Rejections are *typed* (:class:`PolicyEditRateExceeded`,
+:class:`AnnouncementRateExceeded`, :class:`RuleBudgetExceeded`, all
+subclasses of :class:`AdmissionError`) and carry ``retry_after`` so a
+well-behaved client can pace itself.  Repeat offenders escalate: each
+rejection inside an active backoff window doubles the penalty (up to a
+cap), so a tenant that hammers the control plane is shut out for
+progressively longer — and recovers automatically after staying quiet.
+
+All quotas default to ``None`` (unlimited): the admission plane is
+always *present* but only *enforcing* what the operator configured.
+Clocking uses the controller's telemetry time source, so simulated
+deployments meter quotas on the sim clock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Mapping, NamedTuple, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bgp.messages import BGPUpdate
+    from repro.core.controller import SDXController
+    from repro.core.participant import SDXPolicySet
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionError",
+    "AnnouncementRateExceeded",
+    "PolicyEditRateExceeded",
+    "RuleBudgetExceeded",
+    "TokenBucket",
+]
+
+
+class AdmissionConfig(NamedTuple):
+    """Operator-configured per-participant budgets (None = unlimited)."""
+
+    #: sustained policy edits per second (token-bucket rate)
+    policy_edits_per_sec: Optional[float] = None
+    #: policy-edit burst tolerance (token-bucket capacity)
+    policy_edit_burst: int = 8
+    #: sustained announced/withdrawn prefixes per second
+    announcements_per_sec: Optional[float] = None
+    #: announcement burst tolerance
+    announcement_burst: int = 64
+    #: max classifier rules one participant's policy set may compile to
+    compiled_rule_budget: Optional[int] = None
+    #: first backoff penalty after a rate rejection (seconds)
+    backoff_initial: float = 0.5
+    #: penalty multiplier for rejections inside an active window
+    backoff_factor: float = 2.0
+    #: penalty ceiling (seconds)
+    backoff_max: float = 30.0
+
+    @property
+    def enforcing(self) -> bool:
+        """True when at least one budget is finite."""
+        return (
+            self.policy_edits_per_sec is not None
+            or self.announcements_per_sec is not None
+            or self.compiled_rule_budget is not None
+        )
+
+
+class AdmissionError(Exception):
+    """Base of every typed admission rejection."""
+
+    def __init__(
+        self, participant: str, kind: str, detail: str, retry_after: float = 0.0
+    ) -> None:
+        super().__init__(f"{participant}: {detail}")
+        self.participant = participant
+        self.kind = kind
+        self.detail = detail
+        #: seconds until the participant's next request can succeed
+        self.retry_after = retry_after
+
+
+class PolicyEditRateExceeded(AdmissionError):
+    """The participant exceeded its policy-edit rate (or is in backoff)."""
+
+
+class AnnouncementRateExceeded(AdmissionError):
+    """The participant exceeded its announcement rate (or is in backoff)."""
+
+
+class RuleBudgetExceeded(AdmissionError):
+    """The policy set compiles to more rules than the participant's budget."""
+
+
+class TokenBucket:
+    """A classic token bucket on an injectable clock.
+
+    ``rate`` tokens accrue per second up to ``capacity``; a request
+    takes ``cost`` tokens or is refused.  ``deficit_delay`` reports how
+    long until ``cost`` tokens will be available — the honest
+    ``retry_after`` for a refused request.
+    """
+
+    __slots__ = ("rate", "capacity", "tokens", "_updated")
+
+    def __init__(self, rate: float, capacity: float, now: float = 0.0) -> None:
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("token bucket rate and capacity must be positive")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)
+        self._updated = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_take(self, now: float, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; False (untaken) otherwise."""
+        self._refill(now)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def deficit_delay(self, now: float, cost: float = 1.0) -> float:
+        """Seconds until ``cost`` tokens will have accrued."""
+        self._refill(now)
+        missing = cost - self.tokens
+        if missing <= 0:
+            return 0.0
+        return missing / self.rate
+
+    def __repr__(self) -> str:
+        return f"TokenBucket(rate={self.rate}, tokens={self.tokens:.2f}/{self.capacity})"
+
+
+class _TenantState:
+    """One participant's buckets, backoff window, and counters."""
+
+    __slots__ = (
+        "edit_bucket",
+        "announce_bucket",
+        "backoff_until",
+        "penalty",
+        "allowed",
+        "rejected",
+        "last_rejection",
+    )
+
+    def __init__(self, config: AdmissionConfig, now: float) -> None:
+        self.edit_bucket = (
+            TokenBucket(
+                config.policy_edits_per_sec, config.policy_edit_burst, now
+            )
+            if config.policy_edits_per_sec is not None
+            else None
+        )
+        self.announce_bucket = (
+            TokenBucket(
+                config.announcements_per_sec, config.announcement_burst, now
+            )
+            if config.announcements_per_sec is not None
+            else None
+        )
+        self.backoff_until = 0.0
+        self.penalty = 0.0
+        self.allowed = 0
+        self.rejected = 0
+        self.last_rejection = ""
+
+
+class AdmissionController:
+    """Per-participant admission state for one controller."""
+
+    def __init__(
+        self, controller: "SDXController", config: AdmissionConfig = AdmissionConfig()
+    ) -> None:
+        self.controller = controller
+        self.config = config
+        self._tenants: Dict[str, _TenantState] = {}
+        telemetry = controller.telemetry
+        self._m_allowed = telemetry.counter(
+            "sdx_admission_allowed_total",
+            "Admitted control-plane requests by kind",
+            labels=("kind",),
+        )
+        self._m_rejected = telemetry.counter(
+            "sdx_admission_rejections_total",
+            "Rejected control-plane requests by participant and kind",
+            labels=("participant", "kind"),
+        )
+        self._m_backoff = telemetry.histogram(
+            "sdx_admission_backoff_seconds",
+            "Backoff penalties imposed on rejected participants",
+        )
+        self._m_throttled = telemetry.gauge(
+            "sdx_admission_throttled_participants",
+            "Participants currently inside a backoff window",
+        )
+
+    # -- clock and state ------------------------------------------------------
+
+    def _now(self) -> float:
+        return self.controller.telemetry.now()
+
+    def _tenant(self, name: str, now: float) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = _TenantState(self.config, now)
+            self._tenants[name] = state
+        return state
+
+    def _sync_throttled(self, now: float) -> None:
+        self._m_throttled.set(
+            sum(1 for state in self._tenants.values() if state.backoff_until > now)
+        )
+
+    # -- rejection and backoff ------------------------------------------------
+
+    def _reject(
+        self,
+        state: _TenantState,
+        name: str,
+        kind: str,
+        detail: str,
+        error: type,
+        retry_after: float,
+        now: float,
+        escalate: bool = True,
+    ) -> AdmissionError:
+        state.rejected += 1
+        state.last_rejection = detail
+        self._m_rejected.inc(participant=name, kind=kind)
+        if escalate:
+            if now < state.backoff_until:
+                # Still hammering inside an active window: escalate.
+                state.penalty = min(
+                    max(state.penalty, self.config.backoff_initial)
+                    * self.config.backoff_factor,
+                    self.config.backoff_max,
+                )
+            else:
+                state.penalty = self.config.backoff_initial
+            state.backoff_until = now + state.penalty
+            self._m_backoff.observe(state.penalty)
+            retry_after = max(retry_after, state.penalty)
+        self._sync_throttled(now)
+        return error(name, kind, detail, retry_after=retry_after)
+
+    def _check_backoff(
+        self, state: _TenantState, name: str, kind: str, error: type, now: float
+    ) -> None:
+        if now < state.backoff_until:
+            raise self._reject(
+                state,
+                name,
+                kind,
+                f"in backoff for {state.backoff_until - now:.3f}s more "
+                f"(penalty {state.penalty:.3f}s)",
+                error,
+                retry_after=state.backoff_until - now,
+                now=now,
+                escalate=True,
+            )
+        if state.penalty and now >= state.backoff_until + state.penalty:
+            # A full quiet penalty-window elapsed: forgive the history.
+            state.penalty = 0.0
+
+    # -- entry points ---------------------------------------------------------
+
+    def admit_policy_edit(self, name: str, policy_set: "SDXPolicySet") -> None:
+        """Gate one ``set_policies`` call; raises a typed rejection.
+
+        Checks, in order: active backoff window, the edit-rate token
+        bucket, then the compiled-rule budget.  The rule count comes
+        from the compiler's memoized AST compile, so an admitted policy
+        set costs nothing extra at compile time; a policy whose AST
+        *raises* is admitted here and left to the compile stage's
+        quarantine (admission polices volume, quarantine polices
+        correctness).
+        """
+        now = self._now()
+        state = self._tenant(name, now)
+        self._check_backoff(state, name, "policy_edit", PolicyEditRateExceeded, now)
+        if state.edit_bucket is not None and not state.edit_bucket.try_take(now):
+            raise self._reject(
+                state,
+                name,
+                "policy_edit",
+                "policy-edit rate exceeded "
+                f"({self.config.policy_edits_per_sec}/s, "
+                f"burst {self.config.policy_edit_burst})",
+                PolicyEditRateExceeded,
+                retry_after=state.edit_bucket.deficit_delay(now),
+                now=now,
+            )
+        budget = self.config.compiled_rule_budget
+        if budget is not None:
+            rules = self._compiled_rules(policy_set)
+            if rules is not None and rules > budget:
+                raise self._reject(
+                    state,
+                    name,
+                    "rule_budget",
+                    f"policy set compiles to {rules} rules, budget is {budget}",
+                    RuleBudgetExceeded,
+                    retry_after=0.0,
+                    now=now,
+                    escalate=False,  # a size cap, not a pacing problem
+                )
+        state.allowed += 1
+        self._m_allowed.inc(kind="policy_edit")
+
+    def admit_update(self, update: "BGPUpdate") -> None:
+        """Gate one BGP UPDATE; cost = announced + withdrawn prefixes."""
+        now = self._now()
+        name = update.peer
+        state = self._tenant(name, now)
+        self._check_backoff(state, name, "announcement", AnnouncementRateExceeded, now)
+        if state.announce_bucket is None:
+            state.allowed += 1
+            self._m_allowed.inc(kind="announcement")
+            return
+        cost = max(1, len(update.announced) + len(update.withdrawn))
+        if not state.announce_bucket.try_take(now, cost):
+            raise self._reject(
+                state,
+                name,
+                "announcement",
+                f"announcement rate exceeded (cost {cost}, "
+                f"{self.config.announcements_per_sec}/s, "
+                f"burst {self.config.announcement_burst})",
+                AnnouncementRateExceeded,
+                retry_after=state.announce_bucket.deficit_delay(now, cost),
+                now=now,
+            )
+        state.allowed += 1
+        self._m_allowed.inc(kind="announcement")
+
+    def _compiled_rules(self, policy_set: "SDXPolicySet") -> Optional[int]:
+        """Classifier rules this policy set compiles to (None if it raises)."""
+        total = 0
+        compiler = self.controller.compiler
+        try:
+            for ast in (policy_set.outbound, policy_set.inbound):
+                if ast is not None:
+                    total += len(compiler._compile_ast(ast))
+        except Exception:  # noqa: BLE001 - broken policies quarantine later
+            return None
+        return total
+
+    # -- reporting ------------------------------------------------------------
+
+    def snapshot(self) -> Mapping[str, Mapping[str, Any]]:
+        """Per-participant admission state for ``ops.health()``."""
+        now = self._now()
+        out: Dict[str, Mapping[str, Any]] = {}
+        for name, state in sorted(self._tenants.items()):
+            if not (state.rejected or state.penalty or state.backoff_until > now):
+                continue
+            out[name] = {
+                "allowed": state.allowed,
+                "rejected": state.rejected,
+                "in_backoff": state.backoff_until > now,
+                "backoff_remaining": max(0.0, state.backoff_until - now),
+                "penalty": state.penalty,
+                "last_rejection": state.last_rejection,
+            }
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(enforcing={self.config.enforcing}, "
+            f"tenants={len(self._tenants)})"
+        )

@@ -1,0 +1,69 @@
+"""Deterministic seeded sampling support for guarded commits.
+
+The per-commit differential check is *budgeted*: it cannot afford to
+probe the whole prefix universe after every commit, so it concentrates
+its budget where this commit actually moved state.  Two small, pure
+helpers implement that:
+
+* :func:`changed_prefixes` — the FEC-table delta between the previous
+  and the new compilation: every prefix belonging to a group that
+  appeared, vanished, or changed its (prefix-set, VNH) pairing.  These
+  are exactly the prefixes whose encoding, advertisement, or
+  forwarding could have been altered by the commit.
+* :func:`probe_seed` — the per-commit probe seed.  Derived (not
+  random) so that a failing guarded commit replays exactly from the
+  guard's base seed and the commit sequence number, the same way the
+  fuzz harness replays from its scenario seed.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set, Tuple
+
+from repro.core.fec import FECTable
+from repro.core.vmac import VirtualNextHop
+from repro.netutils.ip import IPv4Prefix
+
+__all__ = ["changed_prefixes", "probe_seed"]
+
+#: Multiplier separating per-commit seed streams; any odd constant much
+#: larger than a plausible probe budget works, this one is a prime.
+_SEED_STRIDE = 1_000_003
+
+
+def _group_keys(
+    table: Optional[FECTable],
+) -> Set[Tuple[FrozenSet[IPv4Prefix], VirtualNextHop]]:
+    if table is None:
+        return set()
+    return {(group.prefixes, group.vnh) for group in table.groups}
+
+
+def changed_prefixes(
+    old: Optional[FECTable], new: Optional[FECTable]
+) -> FrozenSet[IPv4Prefix]:
+    """Prefixes whose FEC grouping differs between two compilations.
+
+    A group is "the same" iff both its prefix set and its (VNH, VMAC)
+    pair survived — the same identity the pipeline's VNH reconciliation
+    preserves.  The symmetric difference therefore covers policy-group
+    splits/merges, route-driven regrouping, and VNH churn; anything
+    outside it kept byte-identical encoding through the commit.  With
+    no previous compilation every prefix counts as changed.
+    """
+    old_keys = _group_keys(old)
+    new_keys = _group_keys(new)
+    touched: Set[IPv4Prefix] = set()
+    for prefixes, _ in old_keys.symmetric_difference(new_keys):
+        touched.update(prefixes)
+    return frozenset(touched)
+
+
+def probe_seed(base_seed: int, commit_seq: int) -> int:
+    """The deterministic probe seed for commit number ``commit_seq``.
+
+    Distinct commits draw from distinct (but replayable) streams; the
+    guard logs ``commit_seq`` in its incidents so a failure reproduces
+    as ``ops.verify(budget=..., seed=probe_seed(base, seq))``.
+    """
+    return base_seed * _SEED_STRIDE + commit_seq

@@ -94,6 +94,10 @@ class IXPConfig:
     def __init__(self, vnh_pool: "IPv4Prefix | str" = "172.16.0.0/12") -> None:
         self._participants: Dict[str, ParticipantSpec] = {}
         self.vnh_pool = IPv4Prefix(vnh_pool)
+        # Lazy reverse indexes (registration is append-only, so they are
+        # invalidated in add_participant and nowhere else).
+        self._port_owners: Optional[Dict[str, ParticipantSpec]] = None
+        self._address_owners: Optional[Dict[IPv4Address, ParticipantSpec]] = None
 
     def add_participant(
         self,
@@ -111,6 +115,8 @@ class IXPConfig:
         participant = ParticipantSpec(name, asn, specs)
         self._check_port_collisions(participant)
         self._participants[name] = participant
+        self._port_owners = None
+        self._address_owners = None
         return participant
 
     def _check_port_collisions(self, new: ParticipantSpec) -> None:
@@ -143,17 +149,26 @@ class IXPConfig:
 
     def owner_of_port(self, port_id: str) -> ParticipantSpec:
         """The participant owning a given physical port."""
-        for participant in self._participants.values():
-            if port_id in participant.port_ids:
-                return participant
-        raise KeyError(f"no participant owns port {port_id!r}")
+        if self._port_owners is None:
+            self._port_owners = {
+                port.port_id: participant
+                for participant in self._participants.values()
+                for port in participant.ports
+            }
+        try:
+            return self._port_owners[port_id]
+        except KeyError:
+            raise KeyError(f"no participant owns port {port_id!r}") from None
 
     def owner_of_address(self, address: "IPv4Address | str") -> Optional[ParticipantSpec]:
         """The participant whose interface has ``address``, if any."""
-        for participant in self._participants.values():
-            if participant.port_for_address(address) is not None:
-                return participant
-        return None
+        if self._address_owners is None:
+            self._address_owners = {
+                port.address: participant
+                for participant in self._participants.values()
+                for port in participant.ports
+            }
+        return self._address_owners.get(IPv4Address(address))
 
     def __contains__(self, name: str) -> bool:
         return name in self._participants

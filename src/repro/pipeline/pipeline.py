@@ -83,7 +83,13 @@ from repro.pipeline.events import (
     QuarantineLifted,
     RoutesChanged,
 )
-from repro.pipeline.shards import ShardResult, ShardTask, run_shard, segment_targets
+from repro.pipeline.shards import (
+    ShardResult,
+    ShardTask,
+    policy_label,
+    run_shard,
+    segment_targets,
+)
 from repro.pipeline.stages import FabricCommitter, UpdateIngress
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -335,7 +341,7 @@ class CompilationPipeline:
             raw = out_raw.get(participant.name)
             if raw is None or participant.is_remote:
                 continue
-            label = ("policy", participant.name)
+            label = policy_label(participant.name)
             entry = self._shard_cache.get(label)
             reachable = reachable_maps.get(participant.name, {})
             if entry is not None and self._policy_entry_valid(
@@ -627,7 +633,13 @@ class CompilationPipeline:
         return entry
 
     def _quarantine(
-        self, name: str, error_type: str, message: str, attempts: int
+        self,
+        name: str,
+        error_type: str,
+        message: str,
+        attempts: int,
+        state: str = "compile",
+        offenses: int = 1,
     ) -> None:
         controller = self.controller
         controller._quarantined[name] = QuarantineRecord(
@@ -635,10 +647,14 @@ class CompilationPipeline:
             error=message,
             error_type=error_type,
             compile_attempts=attempts,
+            state=state,
+            offenses=offenses,
         )
         controller._m_quarantines.inc()
-        # The culprit's cached shard is stale by definition.
-        self._shard_cache.pop(("policy", name), None)
+        # The culprit's cached shard is stale by definition — for a
+        # guard quarantine it compiled fine but *misforwarded*, so the
+        # cache entry is exactly what must not be replayed.
+        self._shard_cache.pop(policy_label(name), None)
 
     # -- legacy path (ablation options) -------------------------------------
 

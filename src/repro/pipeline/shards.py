@@ -26,9 +26,34 @@ from repro.netutils.ip import IPv4Prefix
 from repro.policy.analysis import with_fallback
 from repro.policy.classifier import Classifier, Rule, sequence_rule
 
-__all__ = ["ShardResult", "ShardTask", "run_shard", "segment_targets"]
+__all__ = [
+    "ShardResult",
+    "ShardTask",
+    "label_participant",
+    "policy_label",
+    "run_shard",
+    "segment_targets",
+]
 
 _EMPTY = Classifier()
+
+
+def policy_label(name: str) -> Tuple[str, str]:
+    """The shard/segment label of one participant's policy block.
+
+    The same tuple keys the pipeline's shard cache and — prefixed with
+    the base cookie — tags the segment's flow rules, which is what lets
+    the commit guard trace a counterexample's provenance back to a
+    cache entry to drop and a participant to quarantine.
+    """
+    return ("policy", name)
+
+
+def label_participant(label: Tuple) -> Optional[str]:
+    """The participant behind a shard/segment label, if it has one."""
+    if len(label) >= 2 and label[0] == "policy":
+        return label[1]
+    return None
 
 
 class ShardTask(NamedTuple):

@@ -37,6 +37,7 @@ from repro.dataplane.reconcile import (
     is_base_cookie,
     target_specs,
 )
+from repro.guard.commits import GuardViolation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.compiler import CompilationResult
@@ -186,6 +187,8 @@ class FabricCommitter:
             target_specs(segments),
         )
         transaction = table.transaction()
+        guard = controller.guard
+        verified = None
         try:
             controller.fast_path.flush()
             patch.apply(table)
@@ -195,12 +198,22 @@ class FabricCommitter:
             controller._advertised = dict(result.advertised_next_hops)
             for hook in list(controller._commit_hooks):
                 hook(result)
+            if guard is not None:
+                # Inside the still-open transaction: probes traverse the
+                # patched table; a mismatch raises GuardViolation and the
+                # failure path below restores everything.
+                verified = guard.check_commit(result, patch)
             transaction.commit()
-        except BaseException:
+        except BaseException as error:
             transaction.rollback()
             controller.fast_path.restore(saved_fast_path)
             controller._base_cookies = saved_cookies
             controller._advertised = saved_advertised
+            if guard is not None and isinstance(error, GuardViolation):
+                # Quarantine the culprit, prove the rollback, re-assert
+                # the last-known-good cache, record the incident.  Always
+                # raises (GuardedCommitError or RollbackFailure).
+                guard.handle_violation(error, result, transaction)
             raise
         seconds = controller.telemetry.now() - started
         report = CommitReport(
@@ -210,6 +223,7 @@ class FabricCommitter:
             reprioritized=len(patch.moves),
             seconds=seconds,
             result=result,
+            verified=verified,
         )
         self._record(report)
         controller._last_result = result

@@ -77,6 +77,10 @@ class HeaderMatch:
         """The set of constrained field names."""
         return frozenset(self._constraints)
 
+    def constraint(self, field: str) -> Any:
+        """The constraint on one field, or ``None`` when unconstrained."""
+        return self._constraints.get(field)
+
     def matches(self, packet: Packet) -> bool:
         """True when ``packet`` satisfies every constraint."""
         for field, constraint in self._constraints.items():

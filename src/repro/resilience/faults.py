@@ -11,6 +11,12 @@ demand, reproducibly, from one seeded :class:`FaultInjector`:
   raises, exercising the controller's quarantine path;
 * **commit sabotage** — abort the controller's fabric commit
   mid-transaction, exercising rollback;
+* **commit corruption** — make a commit *succeed wrongly* (one policy
+  segment silently blackholed), exercising the commit guard's sampled
+  detection, auto-rollback, and quarantine (:mod:`repro.guard`);
+* **guard fault points** — probe failure (guard must fail open),
+  rollback failure (guard must fail closed), and a quarantine-release
+  race (guard must re-catch the reoffender);
 * **timer skew** — a clock view whose relative delays run fast or slow,
   exercising hold-timer/backoff robustness.
 
@@ -25,6 +31,8 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.bgp.route_server import RouteServer
 from repro.bgp.wire import HEADER_LENGTH
+from repro.dataplane.flowtable import FlowRule
+from repro.dataplane.reconcile import is_base_cookie
 from repro.policy.classifier import Classifier
 from repro.policy.language import Policy
 from repro.sim.clock import Simulator, TimerHandle
@@ -198,6 +206,104 @@ class FaultInjector:
 
         controller.ops.add_commit_hook(hook)
         self._note("commit-sabotage", f"times={times}")
+
+    def corrupt_commit(
+        self,
+        controller: "SDXController",
+        participant: Optional[str] = None,
+        times: int = 1,
+    ) -> None:
+        """Make the next ``times`` commits install a *silently wrong* table.
+
+        Where :meth:`sabotage_commit` makes the commit *fail loudly*
+        (exercising rollback), this makes it *succeed wrongly*: inside
+        the transaction, every rule of one participant's policy segment
+        is replaced with an action-less (drop) copy — same cookie, same
+        match, same priority, so nothing structural looks off and only
+        behavioural verification (the commit guard's sampled probes) can
+        tell.  ``participant`` pins the victim segment; by default the
+        first policy segment in the table is hit.
+
+        Corruption is remove + reinstall, never in-place mutation of
+        rule fields — the transaction checkpoint snapshots membership
+        and priorities, so only membership-level damage rolls back
+        byte-exactly.
+        """
+        remaining = {"count": times}
+
+        def hook(result) -> None:
+            if remaining["count"] <= 0:
+                controller.ops.remove_commit_hook(hook)
+                return
+            table = controller.switch.table
+            victims = [
+                rule
+                for rule in table
+                if is_base_cookie(rule.cookie)
+                and len(rule.cookie) >= 3
+                and rule.cookie[1] == "policy"
+                and (participant is None or rule.cookie[2] == participant)
+                and rule.actions
+            ]
+            if not victims:
+                return  # no such segment this commit; stay armed
+            remaining["count"] -= 1
+            if remaining["count"] <= 0:
+                controller.ops.remove_commit_hook(hook)
+            victim_cookie = victims[0].cookie
+            for rule in victims:
+                if rule.cookie != victim_cookie:
+                    continue
+                table.remove(rule)
+                table.install(
+                    FlowRule(rule.priority, rule.match, (), cookie=rule.cookie)
+                )
+            self._note("commit-corruption", repr(victim_cookie))
+
+        controller.ops.add_commit_hook(hook)
+
+    # -- guarded-commit fault points ---------------------------------------------------
+
+    def _guard_of(self, controller: "SDXController"):
+        guard = controller.guard
+        if guard is None:
+            raise ValueError(
+                "controller has no commit guard attached "
+                "(construct with SDXController(config, guard=GuardConfig(...)))"
+            )
+        return guard
+
+    def fail_probe(self, controller: "SDXController", times: int = 1) -> None:
+        """Make the next ``times`` guarded-commit probe passes raise.
+
+        Exercises the guard's fail-open path: the commit must stand and
+        a ``probe-failure`` incident must appear in ``ops.health()``.
+        """
+        self._guard_of(controller).arm_fault("probe", times)
+        self._note("probe-failure", f"times={times}")
+
+    def fail_rollback(self, controller: "SDXController", times: int = 1) -> None:
+        """Make the next ``times`` guard recoveries report a dirty rollback.
+
+        Exercises the guard's fail-closed path:
+        :class:`~repro.guard.commits.RollbackFailure` must propagate and
+        a ``rollback-failure`` incident must be recorded.
+        """
+        self._guard_of(controller).arm_fault("rollback", times)
+        self._note("rollback-failure", f"times={times}")
+
+    def race_quarantine_release(
+        self, controller: "SDXController", times: int = 1
+    ) -> None:
+        """Release the guard's next ``times`` quarantines immediately.
+
+        Models an operator (or automation) lifting the quarantine while
+        the guard is still mid-recovery — the offending policy stays
+        installed and will recompile, so the guard must catch it again
+        on the next commit with an escalated offense count.
+        """
+        self._guard_of(controller).arm_fault("release", times)
+        self._note("quarantine-release-race", f"times={times}")
 
     # -- timer skew ----------------------------------------------------------------------
 

@@ -24,10 +24,21 @@ class QuarantineRecord(NamedTuple):
     error: str
     error_type: str
     compile_attempts: int = 1
+    #: which defense quarantined them: "compile" (their policy failed to
+    #: compile) or "guard" (their compiled policy misforwarded and the
+    #: commit guard rolled the commit back)
+    state: str = "compile"
+    #: escalation counter — how many times this participant has been
+    #: quarantined by the same defense (released-then-reoffended repeats)
+    offenses: int = 1
 
     def __repr__(self) -> str:
+        extra = f", {self.state}" + (
+            f" x{self.offenses}" if self.offenses > 1 else ""
+        )
         return (
-            f"QuarantineRecord({self.participant!r}, {self.error_type}: {self.error})"
+            f"QuarantineRecord({self.participant!r}, "
+            f"{self.error_type}: {self.error}{extra})"
         )
 
 
@@ -90,6 +101,12 @@ class HealthReport(NamedTuple):
     #: lifetime resilience event counts (damping suppressions,
     #: quarantines, session transitions), sourced from telemetry
     events: Mapping[str, int] = {}
+    #: the commit guard's bounded incident log (GuardIncident tuples:
+    #: rollbacks with counterexamples, probe failures), oldest first
+    incidents: Tuple = ()
+    #: per-participant admission state (rejections, active backoff),
+    #: only participants with any rejection history appear
+    admission: Mapping[str, Mapping] = {}
 
     @property
     def degraded(self) -> bool:
@@ -115,4 +132,13 @@ class HealthReport(NamedTuple):
             parts.append("down: " + ", ".join(down))
         if self.quarantined:
             parts.append("quarantined: " + ", ".join(sorted(self.quarantined)))
+        if self.incidents:
+            parts.append(f"{len(self.incidents)} guard incidents")
+        throttled = sorted(
+            name
+            for name, state in self.admission.items()
+            if state.get("in_backoff")
+        )
+        if throttled:
+            parts.append("throttled: " + ", ".join(throttled))
         return "; ".join(parts)

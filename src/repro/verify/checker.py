@@ -31,6 +31,7 @@ from typing import (
     TYPE_CHECKING,
     Any,
     FrozenSet,
+    Iterable,
     List,
     NamedTuple,
     Optional,
@@ -154,20 +155,38 @@ class DifferentialChecker:
         probes: int = 64,
         seed: int = 0,
         invariants: bool = True,
+        budget: Optional[int] = None,
+        focus: Optional[Iterable[IPv4Prefix]] = None,
     ) -> CheckReport:
-        """Sample ``probes`` packets, diff them, sweep the invariants."""
+        """Sample ``probes`` packets, diff them, sweep the invariants.
+
+        ``budget``, when given, overrides ``probes`` — it is the commit
+        guard's hard cap on per-commit verification spend, and the
+        number an incident's repro command replays with.  ``focus``
+        concentrates roughly half the samples on the given prefixes
+        (the guard passes the commit's changed-FEC delta); the other
+        half still draws from the full advertised universe so damage
+        outside the declared delta keeps a detection chance.
+        """
         controller = self._controller
+        if budget is not None:
+            probes = budget
         started = controller.telemetry.now()
         interpreter = ReferenceInterpreter(controller)
         rng = random.Random(seed)
         ports = [port.port_id for port in controller.config.physical_ports()]
-        prefixes = sorted(controller.route_server.all_prefixes())
+        prefixes = list(controller.route_server.sorted_prefixes())
+        focused: List[IPv4Prefix] = (
+            sorted(set(focus).intersection(prefixes)) if focus else []
+        )
 
         checked = skipped = 0
         mismatches: List[Mismatch] = []
         if ports and prefixes:
             for _ in range(probes):
-                probe = self._generate_probe(rng, ports, prefixes, interpreter)
+                probe = self._generate_probe(
+                    rng, ports, prefixes, interpreter, focused
+                )
                 if probe is None:
                     skipped += 1
                     self._m_probes.inc(result="skipped")
@@ -207,11 +226,21 @@ class DifferentialChecker:
         ports: List[str],
         prefixes: List[IPv4Prefix],
         interpreter: ReferenceInterpreter,
+        focus: List[IPv4Prefix] = (),
     ) -> Optional[Probe]:
-        """One router-faithful probe, or None when the draw is inadmissible."""
+        """One router-faithful probe, or None when the draw is inadmissible.
+
+        With a non-empty ``focus``, each draw flips a (seeded) coin
+        between the focus set and the full universe; without one the
+        rng stream is identical to the pre-focus checker, so existing
+        seeded repro commands keep reproducing the same probes.
+        """
         in_port = rng.choice(ports)
         sender = self._controller.config.owner_of_port(in_port).name
-        prefix = rng.choice(prefixes)
+        if focus and rng.random() < 0.5:
+            prefix = rng.choice(focus)
+        else:
+            prefix = rng.choice(prefixes)
         if not interpreter.can_probe(sender, prefix):
             return None
         tag = interpreter.tag(sender, prefix)
@@ -240,10 +269,29 @@ class DifferentialChecker:
         return Mismatch(probe, expected, actual, trace.provenance)
 
     def _compiled_deliveries(self, probe: Probe) -> FrozenSet[Tuple[str, Any]]:
-        received = self._controller.switch.receive(
-            probe.packet.modify(port=probe.in_port), probe.in_port
-        )
-        return frozenset((port, out.get("dstip")) for port, out in received)
+        """Where the installed tables send the probe — without counting.
+
+        Mirrors ``SDNSwitch.receive`` (locate, match, apply actions,
+        keep real egress ports) but goes through ``table.lookup`` so the
+        probe leaves no trace: no packet/byte counters on the matched
+        rule, no received/dropped tick on the switch.  Verification that
+        perturbed per-policy traffic accounting would make the guard's
+        always-on probing unbillable.
+        """
+        switch = self._controller.switch
+        located = probe.packet.modify(port=probe.in_port, switch=switch.name)
+        rule = switch.table.lookup(located)
+        if rule is None:
+            return frozenset()
+        deliveries = set()
+        valid_ports = switch.ports()
+        for action in rule.actions:
+            out = action.apply(located)
+            out_port = out.get("port")
+            if out_port is None or out_port not in valid_ports:
+                continue
+            deliveries.add((out_port, out.get("dstip")))
+        return frozenset(deliveries)
 
     # -- counterexample minimization -----------------------------------------
 

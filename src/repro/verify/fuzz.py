@@ -116,8 +116,16 @@ def run_scenario(
     prefixes: int = 96,
     steps: int = 8,
     probes: int = 48,
+    budget: Optional[int] = None,
 ) -> ScenarioResult:
-    """Run one seeded scenario; the checker runs after every commit."""
+    """Run one seeded scenario; the checker runs after every commit.
+
+    ``budget`` caps each pass like a guarded commit would (overriding
+    ``probes``), so a guard incident replays at the exact spend that
+    found it.
+    """
+    if budget is not None:
+        probes = budget
     rng = random.Random(seed)
     scenario = build_scenario(
         participants=participants,
@@ -202,9 +210,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--prefixes", type=int, default=96)
     parser.add_argument("--steps", type=int, default=8)
     parser.add_argument("--probes", type=int, default=48)
+    parser.add_argument(
+        "--budget", type=int, default=None,
+        help="per-pass probe budget (overrides --probes; matches the "
+        "commit guard's per-commit cap)",
+    )
     options = parser.parse_args(argv)
 
     seeds = options.seed if options.seed else list(range(options.seeds))
+    effective_budget = (
+        options.budget if options.budget is not None else options.probes
+    )
     failures = 0
     for seed in seeds:
         result = run_scenario(
@@ -213,6 +229,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             prefixes=options.prefixes,
             steps=options.steps,
             probes=options.probes,
+            budget=options.budget,
         )
         print(result.summary())
         if not result.ok:
@@ -221,7 +238,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"reproduce with: PYTHONPATH=src python -m repro.verify.fuzz "
                 f"--seed {seed} --participants {options.participants} "
                 f"--prefixes {options.prefixes} --steps {options.steps} "
-                f"--probes {options.probes}"
+                f"--budget {effective_budget}"
             )
     total = len(seeds)
     print(f"verify-fuzz: {total - failures}/{total} scenarios clean")

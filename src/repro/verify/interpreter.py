@@ -76,7 +76,10 @@ class ReferenceInterpreter:
         self._port_ids = frozenset(
             port.port_id for port in self._config.physical_ports()
         )
-        self._adv_cache: Dict[str, Dict[IPv4Prefix, IPv4Address]] = {}
+        #: (sender, prefix) -> advertised next-hop (None: not advertised)
+        self._adv_cache: Dict[
+            Tuple[str, IPv4Prefix], Optional[IPv4Address]
+        ] = {}
 
     # -- probe admissibility ------------------------------------------------
 
@@ -90,14 +93,16 @@ class ReferenceInterpreter:
         the packet, so there is nothing to verify.
         """
         prefix = IPv4Prefix(prefix)
-        advertised = self._adv_cache.get(sender)
-        if advertised is None:
-            advertised = {
-                ann.prefix: ann.attributes.next_hop
-                for ann in self._controller.routing.advertisements(sender)
-            }
-            self._adv_cache[sender] = advertised
-        next_hop = advertised.get(prefix)
+        key = (sender, prefix)
+        if key in self._adv_cache:
+            next_hop = self._adv_cache[key]
+        else:
+            # Single-prefix query: materializing the sender's whole
+            # re-advertisement list per probe would dominate a budgeted
+            # guard pass (the checker probes a handful of prefixes, not
+            # the universe).
+            next_hop = self._controller.advertised_next_hop(sender, prefix)
+            self._adv_cache[key] = next_hop
         if next_hop is None:
             return None
         vmac = self._controller.arp.resolve(next_hop)

@@ -1,0 +1,198 @@
+"""Integration: a policy-storming tenant is throttled, neighbours are not.
+
+The admission plane's acceptance property is *isolation*: one tenant
+hammering the control plane must not degrade anyone else's service.
+These tests drive a seeded storm from one participant of the Figure 1
+exchange and assert (1) the storm is rejected with typed errors and an
+escalating backoff, (2) every other participant's control-plane
+requests still go through, and (3) the data plane keeps forwarding
+exactly as before the storm.  The admission clock is injected, so every
+timing assertion is deterministic.
+"""
+
+import pytest
+
+from repro.bgp.attributes import RouteAttributes
+from repro.core.controller import SDXController
+from repro.core.participant import SDXPolicySet
+from repro.guard import (
+    AdmissionConfig,
+    AnnouncementRateExceeded,
+    PolicyEditRateExceeded,
+)
+from repro.policy.language import fwd, match
+
+from tests.conftest import (
+    P1,
+    P3,
+    install_figure1_policies,
+    load_figure1_routes,
+    make_figure1_config,
+)
+from tests.integration.test_chaos import egress
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def metered():
+    """Figure 1, compiled, with finite edit/announce budgets and a fake clock."""
+    controller = SDXController(
+        make_figure1_config(),
+        admission=AdmissionConfig(
+            policy_edits_per_sec=1.0,
+            policy_edit_burst=2,
+            announcements_per_sec=10.0,
+            announcement_burst=20,
+            backoff_initial=0.5,
+            backoff_factor=2.0,
+            backoff_max=8.0,
+        ),
+    )
+    clock = FakeClock()
+    controller.telemetry.set_time_source(clock)
+    load_figure1_routes(controller)
+    clock.advance(10.0)  # refill what the route load spent
+    install_figure1_policies(controller)
+    return controller, clock
+
+
+def storm_policy(port: int) -> SDXPolicySet:
+    return SDXPolicySet(outbound=(match(dstport=port) >> fwd("B")))
+
+
+class TestPolicyStorm:
+    def test_storm_is_rejected_with_escalating_backoff(self, metered):
+        controller, clock = metered
+        state = controller.admission._tenants["C"]
+        allowed_before = state.allowed  # route-load announcements count too
+        rejections = []
+        for attempt in range(12):
+            try:
+                controller.policy.set_policies(
+                    "C", storm_policy(8000 + attempt), recompile=True
+                )
+            except PolicyEditRateExceeded as error:
+                rejections.append(error)
+        # burst of 2 admitted, the other 10 rejected
+        assert len(rejections) == 10
+        assert state.allowed == allowed_before + 2 and state.rejected == 10
+        # penalties escalated: 0.5 → 1 → 2 → 4 → 8 (capped)
+        assert state.penalty == pytest.approx(8.0)
+        retry_afters = [error.retry_after for error in rejections]
+        assert retry_afters == sorted(retry_afters)
+
+    def test_neighbours_keep_control_plane_access(self, metered):
+        controller, clock = metered
+        for attempt in range(12):
+            try:
+                controller.policy.set_policies(
+                    "C", storm_policy(8000 + attempt), recompile=True
+                )
+            except PolicyEditRateExceeded:
+                pass
+        # A's quota is untouched by C's storm: its burst is still free.
+        controller.policy.set_policies(
+            "A",
+            SDXPolicySet(
+                outbound=(match(dstport=80) >> fwd("B"))
+                + (match(dstport=443) >> fwd("C"))
+            ),
+            recompile=True,
+        )
+        # ... and so is B's announcement budget.
+        controller.routing.announce(
+            "B",
+            "10.9.0.0/16",
+            RouteAttributes(as_path=[65002, 65900], next_hop="172.0.0.11"),
+        )
+        snapshot = controller.admission.snapshot()
+        assert "C" in snapshot and snapshot["C"]["in_backoff"]
+        assert "A" not in snapshot and "B" not in snapshot
+
+    def test_forwarding_is_unaffected_by_the_storm(self, metered):
+        controller, clock = metered
+        baseline = {
+            ("A", P1, 80): egress(controller, "A", P1, dstport=80, srcip="50.0.0.1"),
+            ("A", P1, 443): egress(controller, "A", P1, dstport=443, srcip="50.0.0.1"),
+            ("A", P3, 80): egress(controller, "A", P3, dstport=80, srcip="192.0.0.1"),
+        }
+        assert baseline[("A", P1, 80)] == ["B1"]  # sanity: policies active
+        digest = controller.switch.table.content_hash()
+        storm_digest_changed = False
+        for attempt in range(20):
+            try:
+                controller.policy.set_policies(
+                    "C", storm_policy(8000 + attempt), recompile=True
+                )
+                storm_digest_changed = True  # an admitted edit may recompile
+            except PolicyEditRateExceeded:
+                pass
+        for (sender, prefix, port), expected in baseline.items():
+            assert (
+                egress(controller, sender, prefix, dstport=port, srcip="50.0.0.1"
+                       if port != 80 or prefix != P3 else "192.0.0.1")
+                == expected
+            )
+        if not storm_digest_changed:
+            assert controller.switch.table.content_hash() == digest
+
+    def test_storm_recovers_after_quiet_period(self, metered):
+        controller, clock = metered
+        for attempt in range(8):
+            try:
+                controller.policy.set_policies(
+                    "C", storm_policy(8000 + attempt), recompile=False
+                )
+            except PolicyEditRateExceeded:
+                pass
+        state = controller.admission._tenants["C"]
+        assert state.backoff_until > clock.now
+        # Stay quiet for the whole backoff + a full penalty window.
+        clock.advance(state.backoff_until - clock.now + state.penalty + 2.0)
+        controller.policy.set_policies("C", storm_policy(9000), recompile=False)
+        assert controller.admission._tenants["C"].penalty == 0.0
+        assert not controller.admission.snapshot()["C"]["in_backoff"]
+
+    def test_health_surfaces_throttled_tenants(self, metered):
+        controller, clock = metered
+        for attempt in range(6):
+            try:
+                controller.policy.set_policies(
+                    "C", storm_policy(8000 + attempt), recompile=False
+                )
+            except PolicyEditRateExceeded:
+                pass
+        health = controller.ops.health()
+        assert health.admission["C"]["in_backoff"]
+        assert "throttled: C" in health.summary()
+
+
+class TestAnnouncementStorm:
+    def test_update_burst_is_metered_per_prefix(self, metered):
+        controller, clock = metered
+        attrs = RouteAttributes(as_path=[65002, 65901], next_hop="172.0.0.11")
+        admitted = rejected = 0
+        for i in range(40):
+            try:
+                controller.routing.announce("B", f"10.{100 + i}.0.0/16", attrs)
+                admitted += 1
+            except AnnouncementRateExceeded:
+                rejected += 1
+        assert admitted == 20  # the burst capacity
+        assert rejected == 20
+        # C's announcements still flow while B is in backoff.
+        controller.routing.announce(
+            "C",
+            "10.200.0.0/16",
+            RouteAttributes(as_path=[65003, 65902], next_hop="172.0.0.21"),
+        )

@@ -1,0 +1,233 @@
+"""Seeded chaos tests: guarded commits under injected silent corruption.
+
+``FaultInjector.sabotage_commit`` (PR 4) throws *loudly* mid-commit;
+the guard exists for the scarier failure: a commit that *succeeds* but
+installs wrong forwarding state.  ``corrupt_commit`` injects exactly
+that — a commit hook strips the actions off one participant's policy
+rules, so the patched table silently drops what it should forward.
+
+These tests assert the full guarded-commit state machine end to end
+(commit → sample → rollback → quarantine → release), the two injected
+guard fault points (rollback failure fails closed, a quarantine-release
+race is survived and recorded), offense escalation across a release,
+and the ISSUE's acceptance drill: a policy-storming tenant plus a
+fault-injected bad commit, with every other tenant unaffected.
+
+Detection is *sampled*, so every base seed below is part of the test
+vector: it was chosen so the budgeted probe pass deterministically
+draws a probe that traverses the corrupted rule.  A different seed may
+legitimately miss — that is the probabilistic contract the benchmark's
+overhead budget pays for.
+"""
+
+import pytest
+
+from repro.core.controller import SDXController
+from repro.core.participant import SDXPolicySet
+from repro.guard import AdmissionConfig, GuardConfig, PolicyEditRateExceeded
+from repro.guard.commits import GuardedCommitError, RollbackFailure
+from repro.policy.language import fwd, match, parallel
+from repro.resilience import FaultInjector
+
+from tests.conftest import (
+    P1,
+    P3,
+    install_figure1_policies,
+    load_figure1_routes,
+    make_figure1_config,
+)
+from tests.integration.test_chaos import egress
+
+pytestmark = pytest.mark.chaos
+
+
+def guarded_figure1(
+    base_seed: int, budget: int = 16, admission: AdmissionConfig = None
+) -> SDXController:
+    controller = SDXController(
+        make_figure1_config(),
+        guard=GuardConfig(probe_budget=budget, seed=base_seed),
+        admission=admission,
+    )
+    load_figure1_routes(controller)
+    install_figure1_policies(controller)
+    return controller
+
+
+BAD_EDIT = SDXPolicySet(outbound=(match(dstport=22) >> fwd("C")))
+
+
+class TestGuardedRollback:
+    """Commit → sample → rollback: the fabric ends byte-identical."""
+
+    def test_bad_commit_is_detected_rolled_back_and_quarantined(self):
+        controller = guarded_figure1(base_seed=3)
+        FaultInjector(seed=1).corrupt_commit(controller, participant="A")
+        pre_digest = controller.switch.table.content_hash()
+
+        with pytest.raises(GuardedCommitError) as excinfo:
+            controller.policy.set_policies("A", BAD_EDIT, recompile=True)
+
+        # the fabric is byte-identical to the pre-commit state
+        assert controller.switch.table.content_hash() == pre_digest
+        # the culprit is quarantined through the guard, not the compiler
+        record = controller.ops.health().quarantined["A"]
+        assert record.state == "guard" and record.offenses == 1
+        assert record.error_type == "GuardViolation"
+        # the incident carries a replayable counterexample
+        incident = excinfo.value.incident
+        assert incident.action == "rolled-back"
+        assert incident.participant == "A"
+        assert "counterexample" in incident.counterexample
+        assert incident is controller.ops.health().incidents[-1]
+        assert controller.guard.offenses("A") == 1
+        # forwarding still follows the last-known-good policies
+        assert egress(controller, "A", P1, dstport=80, srcip="50.0.0.1") == ["B1"]
+        assert egress(controller, "A", P3, dstport=80, srcip="192.0.0.1") == ["B2"]
+        # The next compile actualizes the quarantine (A degrades to BGP
+        # default, like a compile-time quarantine would) and the fabric
+        # then verifies clean against the reference model.
+        report = controller.compile()
+        assert report.verified is not None and report.verified.ok
+        assert controller.ops.verify(probes=128, seed=99).ok
+        assert egress(controller, "A", P1, dstport=80, srcip="50.0.0.1") == ["C1"]
+
+    def test_guard_metrics_count_the_intervention(self):
+        controller = guarded_figure1(base_seed=3)
+        FaultInjector(seed=1).corrupt_commit(controller, participant="A")
+        with pytest.raises(GuardedCommitError):
+            controller.policy.set_policies("A", BAD_EDIT, recompile=True)
+        registry = controller.telemetry
+        assert registry.get("sdx_guard_mismatches_total").total() >= 1
+        assert registry.get("sdx_guard_rollbacks_total").total() == 1
+        assert registry.get("sdx_guard_quarantines_total").total() == 1
+        assert registry.get("sdx_guard_checks_total").value(outcome="mismatch") == 1
+        health = controller.ops.health()
+        assert health.events["guard_rollbacks"] == 1
+        assert "1 guard incident" in health.summary()
+
+    def test_rollback_fault_point_fails_closed(self):
+        controller = guarded_figure1(base_seed=3)
+        injector = FaultInjector(seed=1)
+        injector.corrupt_commit(controller, participant="A")
+        injector.fail_rollback(controller)
+        with pytest.raises(RollbackFailure):
+            controller.policy.set_policies("A", BAD_EDIT, recompile=True)
+        incident = controller.ops.health().incidents[-1]
+        assert incident.action == "rollback-failure"
+        # fail closed means no quarantine claim either way
+        assert "A" not in controller.ops.health().quarantined
+
+
+class TestQuarantineLifecycle:
+    """Quarantine → release: operators recover, re-offenders escalate."""
+
+    def test_release_then_reoffend_escalates_offense_count(self):
+        controller = guarded_figure1(base_seed=3, budget=32)
+        injector = FaultInjector(seed=1)
+        injector.corrupt_commit(controller, participant="A")
+        with pytest.raises(GuardedCommitError):
+            controller.policy.set_policies("A", BAD_EDIT, recompile=True)
+
+        # operator releases; the (spent) fault is gone, so the commit is
+        # clean and guard-verified
+        assert controller.ops.release_quarantine("A", recompile=True)
+        assert not controller.ops.health().quarantined
+        assert controller.guard.last_report.ok
+
+        injector.corrupt_commit(controller, participant="A")
+        second = SDXPolicySet(
+            outbound=parallel(
+                match(dstport=80) >> fwd("B"), match(dstport=443) >> fwd("C")
+            )
+        )
+        with pytest.raises(GuardedCommitError):
+            controller.policy.set_policies("A", second, recompile=True)
+        record = controller.ops.health().quarantined["A"]
+        assert record.state == "guard" and record.offenses == 2
+        assert controller.guard.offenses("A") == 2
+
+    def test_release_race_is_survived_and_recorded(self):
+        controller = guarded_figure1(base_seed=3)
+        injector = FaultInjector(seed=1)
+        injector.corrupt_commit(controller, participant="A")
+        injector.race_quarantine_release(controller)
+        with pytest.raises(GuardedCommitError) as excinfo:
+            controller.policy.set_policies("A", BAD_EDIT, recompile=True)
+        # the race lifted the quarantine mid-recovery; the guard recorded
+        # it rather than crashing or leaving the fabric dirty
+        assert excinfo.value.incident.released_by_race
+        assert "A" not in controller.ops.health().quarantined
+        # with the (spent) fault gone, the released policy recompiles
+        # cleanly and the fabric re-converges with intent
+        report = controller.compile()
+        assert report.verified is not None and report.verified.ok
+        assert controller.ops.verify(probes=128, seed=99).ok
+
+
+class TestAcceptanceDrill:
+    """The ISSUE's end-to-end drill: storm + bad commit, neighbours fine."""
+
+    def test_storm_plus_bad_commit_drill(self):
+        clock = [0.0]
+        controller = SDXController(
+            make_figure1_config(),
+            guard=GuardConfig(probe_budget=16, seed=7),
+            admission=AdmissionConfig(
+                policy_edits_per_sec=1.0, policy_edit_burst=2
+            ),
+        )
+        controller.telemetry.set_time_source(lambda: clock[0])
+        load_figure1_routes(controller)
+        clock[0] += 10.0
+        install_figure1_policies(controller)
+
+        baseline = {
+            (P1, 80): egress(controller, "A", P1, dstport=80, srcip="50.0.0.1"),
+            (P1, 443): egress(controller, "A", P1, dstport=443, srcip="50.0.0.1"),
+            (P3, 80): egress(controller, "A", P3, dstport=80, srcip="192.0.0.1"),
+        }
+        assert baseline[(P1, 80)] == ["B1"]
+
+        # C storms policy edits: the burst is admitted (and each admitted
+        # commit is guard-verified), the rest are rate-limited.
+        rejections = 0
+        for attempt in range(10):
+            try:
+                controller.policy.set_policies(
+                    "C",
+                    SDXPolicySet(outbound=(match(dstport=8000 + attempt) >> fwd("B"))),
+                    recompile=True,
+                )
+                assert controller.guard.last_report.ok
+            except PolicyEditRateExceeded:
+                rejections += 1
+        assert rejections == 8
+        assert controller.admission.snapshot()["C"]["in_backoff"]
+
+        # While the storm is being throttled, a fault-injected bad commit
+        # from A lands — and the sampled probes catch it.
+        clock[0] += 100.0
+        FaultInjector(seed=1).corrupt_commit(controller, participant="A")
+        pre_digest = controller.switch.table.content_hash()
+        with pytest.raises(GuardedCommitError):
+            controller.policy.set_policies("A", BAD_EDIT, recompile=True)
+
+        # rolled back byte-identically, culprit quarantined
+        assert controller.switch.table.content_hash() == pre_digest
+        assert controller.ops.health().quarantined["A"].state == "guard"
+
+        # every other tenant's forwarding is exactly what it was
+        for (prefix, port), expected in baseline.items():
+            srcip = "192.0.0.1" if prefix == P3 else "50.0.0.1"
+            assert egress(controller, "A", prefix, dstport=port, srcip=srcip) == expected
+
+        # the operator releases the quarantine; the fabric verifies clean
+        assert controller.ops.release_quarantine("A", recompile=True)
+        assert not controller.ops.health().quarantined
+        assert controller.ops.verify(probes=128, seed=99).ok
+
+        # and the incident log tells the whole story
+        incidents = controller.ops.health().incidents
+        assert [i.action for i in incidents] == ["rolled-back"]
+        assert incidents[0].participant == "A"

@@ -1,0 +1,427 @@
+"""Unit tests for the guarded-commit engine and the admission plane.
+
+Covers the :mod:`repro.guard` package in isolation plus its contact
+points with the rest of the controller: the token bucket's refill
+arithmetic, typed admission rejections with escalating backoff, the
+deterministic probe sampler, the transaction checkpoint digest, the
+guard's fail-open / fail-closed split, and the bounded incident log.
+All clocks are injected so every timing assertion is deterministic.
+"""
+
+import pytest
+
+from repro.core.controller import SDXController
+from repro.core.participant import SDXPolicySet
+from repro.guard import (
+    AdmissionConfig,
+    AnnouncementRateExceeded,
+    GuardConfig,
+    GuardIncident,
+    PolicyEditRateExceeded,
+    RuleBudgetExceeded,
+    TokenBucket,
+    changed_prefixes,
+    probe_seed,
+)
+from repro.guard.commits import RollbackFailure
+from repro.netutils.ip import IPv4Prefix
+from repro.policy.language import fwd, match
+from repro.resilience import FaultInjector
+
+from tests.conftest import (
+    install_figure1_policies,
+    load_figure1_routes,
+    make_figure1_config,
+)
+
+
+class FakeClock:
+    """A hand-cranked time source for the telemetry registry."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_controller(clock=None, **kwargs) -> SDXController:
+    controller = SDXController(make_figure1_config(), **kwargs)
+    if clock is not None:
+        controller.telemetry.set_time_source(clock)
+    return controller
+
+
+# -- token bucket ------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(rate=1.0, capacity=3, now=0.0)
+        assert [bucket.try_take(0.0) for _ in range(4)] == [True] * 3 + [False]
+
+    def test_refills_at_rate_up_to_capacity(self):
+        bucket = TokenBucket(rate=2.0, capacity=4, now=0.0)
+        for _ in range(4):
+            assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.25)  # only 0.5 tokens accrued so far
+        assert bucket.try_take(1.0, cost=2.0)  # 0.5 + 0.75s * 2/s = 2.0
+        # after a long quiet period the bucket caps at capacity, not more
+        assert bucket.try_take(100.0, cost=4.0)
+        assert not bucket.try_take(100.0, cost=0.5)
+
+    def test_deficit_delay_is_honest(self):
+        bucket = TokenBucket(rate=2.0, capacity=2, now=0.0)
+        bucket.try_take(0.0, cost=2.0)
+        assert bucket.deficit_delay(0.0, cost=1.0) == pytest.approx(0.5)
+        assert bucket.deficit_delay(0.5, cost=1.0) == pytest.approx(0.0)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, capacity=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0)
+
+
+# -- deterministic sampling --------------------------------------------------
+
+
+class TestSampling:
+    def test_probe_seed_is_deterministic_and_distinct(self):
+        assert probe_seed(7, 3) == probe_seed(7, 3)
+        seeds = {probe_seed(base, seq) for base in range(4) for seq in range(50)}
+        assert len(seeds) == 4 * 50
+
+    def test_changed_prefixes_empty_for_identical_tables(self):
+        controller = make_controller()
+        load_figure1_routes(controller)
+        install_figure1_policies(controller)
+        fec = controller._last_result.fec_table
+        assert changed_prefixes(fec, fec) == frozenset()
+
+    def test_changed_prefixes_covers_everything_from_nothing(self):
+        controller = make_controller()
+        load_figure1_routes(controller)
+        install_figure1_policies(controller)
+        fec = controller._last_result.fec_table
+        touched = changed_prefixes(None, fec)
+        every = set()
+        for group in fec.groups:
+            every.update(group.prefixes)
+        assert touched == frozenset(every)
+
+    def test_changed_prefixes_localizes_a_policy_edit(self):
+        controller = make_controller()
+        load_figure1_routes(controller)
+        install_figure1_policies(controller)
+        before = controller._last_result.fec_table
+        controller.policy.set_policies(
+            "A",
+            SDXPolicySet(outbound=(match(dstport=22) >> fwd("B"))),
+            recompile=True,
+        )
+        after = controller._last_result.fec_table
+        delta = changed_prefixes(before, after)
+        unchanged_groups = {
+            (g.prefixes, g.vnh) for g in before.groups
+        } & {(g.prefixes, g.vnh) for g in after.groups}
+        for prefixes, _ in unchanged_groups:
+            assert not delta.intersection(prefixes)
+
+
+# -- checkpoint digest -------------------------------------------------------
+
+
+class TestCheckpointDigest:
+    def test_digest_matches_content_hash_after_rollback(self):
+        controller = make_controller()
+        load_figure1_routes(controller)
+        install_figure1_policies(controller)
+        table = controller.switch.table
+        before = table.content_hash()
+        try:
+            with table.transaction() as txn:
+                victim = next(iter(table))
+                table.remove(victim)
+                assert txn.checkpoint_digest() == before
+                raise RuntimeError("force rollback")
+        except RuntimeError:
+            pass
+        assert table.content_hash() == before
+
+    def test_digest_diverges_when_commit_mutates(self):
+        controller = make_controller()
+        load_figure1_routes(controller)
+        install_figure1_policies(controller)
+        table = controller.switch.table
+        with table.transaction() as txn:
+            table.remove(next(iter(table)))
+            assert table.content_hash() != txn.checkpoint_digest()
+
+
+# -- admission plane ---------------------------------------------------------
+
+
+class TestAdmission:
+    def test_unlimited_by_default(self):
+        clock = FakeClock()
+        controller = make_controller(clock, admission=AdmissionConfig())
+        assert not controller.admission.config.enforcing
+        load_figure1_routes(controller)
+        policy = SDXPolicySet(outbound=(match(dstport=80) >> fwd("B")))
+        for _ in range(50):
+            controller.policy.set_policies("A", policy, recompile=False)
+        assert controller.admission.snapshot() == {}
+
+    def test_policy_edit_rate_rejection_is_typed(self):
+        clock = FakeClock()
+        controller = make_controller(
+            clock,
+            admission=AdmissionConfig(policy_edits_per_sec=1.0, policy_edit_burst=2),
+        )
+        load_figure1_routes(controller)
+        policy = SDXPolicySet(outbound=(match(dstport=80) >> fwd("B")))
+        controller.policy.set_policies("A", policy, recompile=False)
+        controller.policy.set_policies("A", policy, recompile=False)
+        with pytest.raises(PolicyEditRateExceeded) as excinfo:
+            controller.policy.set_policies("A", policy, recompile=False)
+        assert excinfo.value.participant == "A"
+        assert excinfo.value.retry_after > 0
+
+    def test_rejection_leaves_policy_state_untouched(self):
+        clock = FakeClock()
+        controller = make_controller(
+            clock,
+            admission=AdmissionConfig(policy_edits_per_sec=1.0, policy_edit_burst=1),
+        )
+        load_figure1_routes(controller)
+        first = SDXPolicySet(outbound=(match(dstport=80) >> fwd("B")))
+        controller.policy.set_policies("A", first, recompile=False)
+        with pytest.raises(PolicyEditRateExceeded):
+            controller.policy.set_policies(
+                "A",
+                SDXPolicySet(outbound=(match(dstport=22) >> fwd("C"))),
+                recompile=False,
+            )
+        assert controller.policy.policies()["A"] is first
+
+    def test_backoff_escalates_then_forgives(self):
+        clock = FakeClock()
+        config = AdmissionConfig(
+            policy_edits_per_sec=1.0,
+            policy_edit_burst=1,
+            backoff_initial=0.5,
+            backoff_factor=2.0,
+            backoff_max=4.0,
+        )
+        controller = make_controller(clock, admission=config)
+        load_figure1_routes(controller)
+        policy = SDXPolicySet(outbound=(match(dstport=80) >> fwd("B")))
+        admission = controller.admission
+
+        controller.policy.set_policies("A", policy, recompile=False)
+        with pytest.raises(PolicyEditRateExceeded):
+            controller.policy.set_policies("A", policy, recompile=False)
+        state = admission._tenants["A"]
+        assert state.penalty == pytest.approx(0.5)
+        assert state.rejected == 1
+
+        # Hammering inside the window doubles the penalty each time,
+        # capped at backoff_max.
+        penalties = []
+        for _ in range(5):
+            with pytest.raises(PolicyEditRateExceeded):
+                controller.policy.set_policies("A", policy, recompile=False)
+            penalties.append(state.penalty)
+        assert penalties == [pytest.approx(p) for p in (1.0, 2.0, 4.0, 4.0, 4.0)]
+        assert admission.snapshot()["A"]["in_backoff"]
+
+        # A full quiet penalty window after the backoff expires forgives.
+        clock.advance(state.backoff_until + state.penalty + 1.0)
+        controller.policy.set_policies("A", policy, recompile=False)
+        assert state.penalty == 0.0
+
+    def test_announcement_cost_counts_prefixes(self):
+        from repro.bgp.attributes import RouteAttributes
+
+        clock = FakeClock()
+        controller = make_controller(
+            clock,
+            admission=AdmissionConfig(
+                announcements_per_sec=1.0, announcement_burst=4
+            ),
+        )
+        attrs = RouteAttributes(as_path=[65002], next_hop="172.0.0.11")
+        for i in range(4):
+            controller.routing.announce("B", f"10.{i}.0.0/16", attrs)
+        with pytest.raises(AnnouncementRateExceeded) as excinfo:
+            controller.routing.announce("B", "10.9.0.0/16", attrs)
+        assert excinfo.value.kind == "announcement"
+        # other participants are unaffected by B's backoff
+        controller.routing.announce(
+            "C", "10.0.0.0/16", RouteAttributes(as_path=[65003], next_hop="172.0.0.21")
+        )
+
+    def test_rule_budget_rejects_wide_policies_without_backoff(self):
+        from repro.policy.language import parallel
+
+        clock = FakeClock()
+        controller = make_controller(
+            clock, admission=AdmissionConfig(compiled_rule_budget=2)
+        )
+        load_figure1_routes(controller)
+        wide = SDXPolicySet(
+            outbound=parallel(
+                *(match(dstport=port) >> fwd("B") for port in (80, 443, 22, 8080))
+            )
+        )
+        with pytest.raises(RuleBudgetExceeded):
+            controller.policy.set_policies("A", wide, recompile=False)
+        # A size cap is not a pacing problem: no backoff window opened,
+        # and a narrow policy is admitted immediately.
+        controller.policy.set_policies(
+            "A",
+            SDXPolicySet(outbound=(match(dstport=80) >> fwd("B"))),
+            recompile=False,
+        )
+
+    def test_metrics_and_snapshot(self):
+        clock = FakeClock()
+        controller = make_controller(
+            clock,
+            admission=AdmissionConfig(policy_edits_per_sec=1.0, policy_edit_burst=1),
+        )
+        load_figure1_routes(controller)
+        policy = SDXPolicySet(outbound=(match(dstport=80) >> fwd("B")))
+        controller.policy.set_policies("A", policy, recompile=False)
+        with pytest.raises(PolicyEditRateExceeded):
+            controller.policy.set_policies("A", policy, recompile=False)
+        registry = controller.telemetry
+        assert registry.get("sdx_admission_allowed_total").total() >= 1
+        assert (
+            registry.get("sdx_admission_rejections_total").value(
+                participant="A", kind="policy_edit"
+            )
+            == 1
+        )
+        assert registry.get("sdx_admission_throttled_participants").value() == 1
+        snap = controller.admission.snapshot()["A"]
+        assert snap["rejected"] == 1 and snap["in_backoff"]
+
+
+# -- guarded commits ---------------------------------------------------------
+
+
+# Seed 3 is pinned: with a 16-probe budget it deterministically samples
+# a probe that traverses the corrupted rule in the fault-injection tests
+# below (detection is sampled, so the seed is part of the test vector).
+def guarded_controller(**config) -> SDXController:
+    controller = make_controller(
+        guard=GuardConfig(probe_budget=16, seed=3, **config)
+    )
+    load_figure1_routes(controller)
+    return controller
+
+
+class TestCommitGuard:
+    def test_clean_commit_reports_verified(self):
+        controller = guarded_controller()
+        install_figure1_policies(controller)
+        report = controller.guard.last_report
+        assert report is not None and report.ok
+        assert report.probes == 16
+        assert report.seed == probe_seed(3, report.commit_seq)
+        assert controller.guard.incidents == ()
+
+    def test_noop_background_tick_skips_the_check(self):
+        controller = guarded_controller()
+        install_figure1_policies(controller)
+        seq = controller.guard._commit_seq
+        report = controller.run_background_recompilation()
+        assert report is not None and report.verified is None
+        assert controller.guard._commit_seq == seq
+
+    def test_commit_report_carries_guard_report(self):
+        controller = guarded_controller()
+        install_figure1_policies(controller, recompile=False)
+        report = controller.compile()
+        assert report.verified is not None and report.verified.ok
+
+    def test_disabled_guard_is_inert(self):
+        controller = make_controller(guard=GuardConfig(enabled=False))
+        load_figure1_routes(controller)
+        install_figure1_policies(controller)
+        assert controller.guard.last_report is None
+
+    def test_probe_failure_fails_open(self):
+        controller = guarded_controller()
+        install_figure1_policies(controller)
+        FaultInjector(seed=1).fail_probe(controller)
+        before = controller.switch.table.content_hash()
+        controller.policy.set_policies(
+            "A",
+            SDXPolicySet(outbound=(match(dstport=22) >> fwd("C"))),
+            recompile=True,
+        )
+        # the commit stood (fail open) and the incident is on the record
+        assert controller.switch.table.content_hash() != before
+        incident = controller.guard.incidents[-1]
+        assert incident.action == "probe-failure"
+        assert "ProbeFailure" in incident.detail
+        assert controller.ops.health().incidents[-1] is incident
+
+    def test_rollback_fault_fails_closed(self):
+        controller = guarded_controller()
+        install_figure1_policies(controller)
+        injector = FaultInjector(seed=1)
+        injector.corrupt_commit(controller, participant="A")
+        injector.fail_rollback(controller)
+        with pytest.raises(RollbackFailure):
+            controller.policy.set_policies(
+                "A",
+                SDXPolicySet(outbound=(match(dstport=22) >> fwd("C"))),
+                recompile=True,
+            )
+        incident = controller.guard.incidents[-1]
+        assert incident.action == "rollback-failure"
+        # fail-closed: no quarantine claim was made
+        assert "A" not in controller.ops.health().quarantined
+
+    def test_incident_log_is_bounded(self):
+        controller = guarded_controller(max_incidents=3)
+        guard = controller.guard
+        for seq in range(10):
+            guard._record_incident(
+                GuardIncident(
+                    commit_seq=seq,
+                    action="probe-failure",
+                    participant=None,
+                    detail="synthetic",
+                    counterexample="",
+                    seed=seq,
+                )
+            )
+        assert len(guard.incidents) == 3
+        assert [i.commit_seq for i in guard.incidents] == [7, 8, 9]
+
+    def test_health_summary_mentions_guard_incidents(self):
+        controller = guarded_controller()
+        install_figure1_policies(controller)
+        FaultInjector(seed=1).fail_probe(controller)
+        controller.policy.set_policies(
+            "A",
+            SDXPolicySet(outbound=(match(dstport=22) >> fwd("C"))),
+            recompile=True,
+        )
+        assert "guard incident" in controller.ops.health().summary()
+
+    def test_ops_verify_accepts_budget_and_replays_guard_seed(self):
+        controller = guarded_controller()
+        install_figure1_policies(controller)
+        report = controller.guard.last_report
+        replay = controller.ops.verify(budget=16, seed=report.seed)
+        assert replay.ok
+        assert replay.probes == 16
