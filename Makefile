@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test property integration chaos bench bench-guard guard-gate experiments quick examples metrics verify-fuzz clean
+.PHONY: install test property integration chaos bench bench-guard guard-gate bench-compile compile-gate experiments quick examples metrics verify-fuzz clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -27,6 +27,12 @@ bench-guard:
 
 guard-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_guard.py --check benchmarks/BENCH_robustness.json
+
+bench-compile:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_compile.py --emit benchmarks/BENCH_compile.json
+
+compile-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_compile.py --check benchmarks/BENCH_compile.json
 
 experiments:
 	$(PYTHON) -m repro.experiments all

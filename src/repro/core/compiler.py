@@ -46,6 +46,13 @@ from repro.core.chaining import (
 )
 from repro.core.fec import FECTable, PrefixGroup, compute_fec_table
 from repro.core.participant import SDXPolicySet
+from repro.core.supersets import (
+    SupersetEncoder,
+    default_delivery_classifier_superset,
+    default_forwarding_classifier_superset,
+    encoding_inputs,
+    vmacify_outbound_superset,
+)
 from repro.core.transforms import (
     concat_disjoint,
     default_delivery_classifier,
@@ -118,6 +125,9 @@ class CompilationResult(NamedTuple):
     advertised_next_hops: Mapping[Tuple[str, IPv4Prefix], IPv4Address]
     stats: CompilationStats
     segments: Tuple[Tuple[Any, Classifier], ...] = ()
+    #: multi-table layout: segment label -> (table id, goto table);
+    #: empty means every segment lands in table 0 with no chaining
+    placements: Mapping[Any, Tuple[int, Optional[int]]] = {}
 
 
 class SDXCompiler:
@@ -129,11 +139,20 @@ class SDXCompiler:
         route_server: RouteServer,
         options: CompilationOptions = CompilationOptions(),
         telemetry: Optional[MetricsRegistry] = None,
+        vmac_mode: str = "fec",
+        encoder: Optional["SupersetEncoder"] = None,
     ) -> None:
         self.config = config
         self.route_server = route_server
         self.options = options
         self.telemetry = telemetry
+        #: "fec" (opaque per-class VMACs, exact matches) or "superset"
+        #: (attribute-encoded VMACs, masked matches); superset requires
+        #: an encoder — one is created on demand when none is supplied
+        self.vmac_mode = vmac_mode
+        if vmac_mode == "superset" and encoder is None:
+            encoder = SupersetEncoder(telemetry=telemetry)
+        self.encoder = encoder
         self._ast_cache: Dict[Policy, Classifier] = {}
         self._m_phase = self._m_total = self._m_compiles = None
         self._m_cache = self._m_rules = self._m_groups = None
@@ -191,6 +210,41 @@ class SDXCompiler:
             for route in self.route_server.ranked_routes(prefix)
         )
 
+    # -- VMAC-encoding dispatch ---------------------------------------------
+
+    @property
+    def _vmac_for_group(self):
+        """The FEC-stage VMAC hook: attribute-encode in superset mode."""
+        if self.vmac_mode != "superset":
+            return None
+        encoder = self.encoder
+
+        def vmac_for_group(prefixes, fingerprint):
+            return encoder.encode(*encoding_inputs(fingerprint))
+
+        return vmac_for_group
+
+    def _vmacify(self, classifier, participant_names, reachable, fec_table):
+        if self.vmac_mode == "superset":
+            return vmacify_outbound_superset(
+                classifier, participant_names, reachable, fec_table, self.encoder
+            )
+        return vmacify_outbound(classifier, participant_names, reachable, fec_table)
+
+    def _default_forwarding(self, fec_table, ranked_routes):
+        if self.vmac_mode == "superset":
+            return default_forwarding_classifier_superset(
+                self.config, fec_table, ranked_routes, self.encoder
+            )
+        return default_forwarding_classifier(self.config, fec_table, ranked_routes)
+
+    def _default_delivery(self, participant, fec_table, ranked_routes):
+        if self.vmac_mode == "superset":
+            return default_delivery_classifier_superset(
+                participant, fec_table, ranked_routes, self.encoder
+            )
+        return default_delivery_classifier(participant, fec_table, ranked_routes)
+
     # -- main entry point -----------------------------------------------------
 
     def compile(
@@ -243,7 +297,9 @@ class SDXCompiler:
         for name, prefixes in originated.items():
             if prefixes:
                 policy_groups.append(frozenset(prefixes))
-        fec_table = compute_fec_table(policy_groups, self._fingerprint, allocator)
+        fec_table = compute_fec_table(
+            policy_groups, self._fingerprint, allocator, self._vmac_for_group
+        )
         ranked_cache: Dict[int, Tuple[Route, ...]] = {}
 
         def ranked_routes(group: PrefixGroup) -> Tuple[Route, ...]:
@@ -264,7 +320,7 @@ class SDXCompiler:
             raw = out_raw.get(participant.name)
             if raw is None or participant.is_remote:
                 continue
-            vmacified = vmacify_outbound(
+            vmacified = self._vmacify(
                 raw,
                 participant_names,
                 self._reachable_fn(participant.name),
@@ -275,9 +331,7 @@ class SDXCompiler:
                 (("policy", participant.name), isolate(sealed, participant.port_ids))
             )
         stage1_blocks = [block for _, block in labeled_blocks]
-        default_block = default_forwarding_classifier(
-            self.config, fec_table, ranked_routes
-        )
+        default_block = self._default_forwarding(fec_table, ranked_routes)
 
         stage2_blocks: Dict[Any, Classifier] = {}
         for participant in self.config.participants():
@@ -285,7 +339,7 @@ class SDXCompiler:
             delivery_ready = rewrite_inbound_delivery(raw_in, self.config)
             combined = with_fallback(
                 delivery_ready,
-                default_delivery_classifier(participant, fec_table, ranked_routes),
+                self._default_delivery(participant, fec_table, ranked_routes),
             )
             stage2_blocks[participant.name] = isolate(combined, [participant.name])
         for port in self.config.physical_ports():

@@ -58,10 +58,15 @@ from repro.core.compiler import (
 from repro.core.facets import OpsFacet, PolicyFacet, RoutingFacet
 from repro.core.incremental import FastPathEngine, FastPathUpdate
 from repro.core.participant import ParticipantHandle, SDXPolicySet
+from repro.core.supersets import VMAC_MODES, SupersetEncoder, vmac_mode_from_env
 from repro.core.transforms import rewrite_inbound_delivery
 from repro.core.vmac import VirtualNextHopAllocator
 from repro.dataplane.arp import ARPService
-from repro.dataplane.flowtable import FlowRule
+from repro.dataplane.flowtable import (
+    DATAPLANE_MODES,
+    FlowRule,
+    dataplane_mode_from_env,
+)
 from repro.dataplane.reconcile import ChurnStats, CommitReport
 from repro.guard import (
     AdmissionConfig,
@@ -158,6 +163,8 @@ class SDXController:
         backend: Optional[ExecutionBackend] = None,
         guard: Optional[GuardConfig] = None,
         admission: Optional[AdmissionConfig] = None,
+        vmac_mode: Optional[str] = None,
+        dataplane_mode: Optional[str] = None,
     ) -> None:
         self.config = config
         self.ownership = ownership
@@ -168,12 +175,41 @@ class SDXController:
         # scope via the standard (0, peer) / (rs, peer) communities.
         self.route_server = RouteServer(asn=route_server_asn)
         self.route_server.attach_telemetry(self.telemetry)
-        self.compiler = SDXCompiler(
-            config, self.route_server, options, telemetry=self.telemetry
+        #: VMAC encoding scheme: "fec" (one opaque VMAC per class) or
+        #: "superset" (attribute-encoded VMACs, masked fabric rules);
+        #: defaults to the REPRO_VMAC environment selection
+        self.vmac_mode = vmac_mode if vmac_mode is not None else vmac_mode_from_env()
+        if self.vmac_mode not in VMAC_MODES:
+            raise ValueError(f"unknown vmac_mode {self.vmac_mode!r}")
+        #: dataplane layout: "single" (fully composed table 0) or
+        #: "multitable" (stage-1 policy table chained into a stage-2
+        #: VMAC table); defaults to the REPRO_DATAPLANE selection
+        self.dataplane_mode = (
+            dataplane_mode if dataplane_mode is not None else dataplane_mode_from_env()
         )
+        if self.dataplane_mode not in DATAPLANE_MODES:
+            raise ValueError(f"unknown dataplane_mode {self.dataplane_mode!r}")
         self.arp = arp if arp is not None else ARPService()
         self.allocator = VirtualNextHopAllocator(config.vnh_pool)
         self.arp.register(self.allocator.resolve)
+        #: superset-mode VMAC registry (None in per-FEC mode).  Spilled
+        #: classes draw from the allocator's own MAC source so spilled
+        #: and fast-path per-prefix VMACs can never collide.
+        self.superset_encoder: Optional[SupersetEncoder] = (
+            SupersetEncoder(
+                fallback=self.allocator._macs, telemetry=self.telemetry
+            )
+            if self.vmac_mode == "superset"
+            else None
+        )
+        self.compiler = SDXCompiler(
+            config,
+            self.route_server,
+            options,
+            telemetry=self.telemetry,
+            vmac_mode=self.vmac_mode,
+            encoder=self.superset_encoder,
+        )
         self.switch = SDNSwitch(
             "sdx-fabric", ports=[port.port_id for port in config.physical_ports()]
         )
@@ -740,9 +776,10 @@ class SDXController:
         override), and the resulting output packets.
         """
         located = packet.modify(port=in_port, switch=self.switch.name)
-        rule = self.switch.table.lookup(located)
-        if rule is None:
+        resolved = self.switch.table.resolve(located)
+        if resolved is None:
             return PacketTrace(packet, in_port, None, "no-match", frozenset())
+        rule, raw_outputs = resolved
         cookie = rule.cookie
         if isinstance(cookie, tuple) and cookie and cookie[0] == BASE_COOKIE:
             verdict = ":".join(str(part) for part in cookie[1:]) or "base"
@@ -750,9 +787,7 @@ class SDXController:
             verdict = f"fastpath:{cookie[1]}"
         else:
             verdict = str(cookie)
-        outputs = frozenset(
-            action.apply(located).modify(switch=None) for action in rule.actions
-        )
+        outputs = frozenset(out.modify(switch=None) for out in raw_outputs)
         return PacketTrace(packet, in_port, rule, verdict, outputs)
 
     def __repr__(self) -> str:

@@ -25,6 +25,7 @@ the ablation benchmark.
 from __future__ import annotations
 
 from typing import (
+    Any,
     Callable,
     Dict,
     FrozenSet,
@@ -172,6 +173,7 @@ def compute_fec_table(
     policy_groups: Sequence[FrozenSet[IPv4Prefix]],
     bgp_fingerprint: Callable[[IPv4Prefix], Hashable],
     allocator: VirtualNextHopAllocator,
+    vmac_for_group: Optional[Callable[[FrozenSet[IPv4Prefix], Hashable], Any]] = None,
 ) -> FECTable:
     """Run the three-pass FEC computation of Section 4.2.
 
@@ -182,6 +184,11 @@ def compute_fec_table(
     (policy-group signature, fingerprint) and allocates one (VNH, VMAC)
     per resulting group.  Prefixes outside every policy group keep
     their default behavior and receive no VNH (the paper's ``p5`` case).
+
+    ``vmac_for_group`` selects an attribute-encoded VMAC instead of the
+    allocator's opaque one: it is called with each group's prefixes and
+    shared fingerprint, and its result becomes the group's hardware
+    address (the superset encoding hook).
     """
     signature_of: Dict[IPv4Prefix, List[int]] = {}
     for index, group in enumerate(policy_groups):
@@ -194,8 +201,15 @@ def compute_fec_table(
         buckets.setdefault(key, set()).add(prefix)
 
     groups: List[PrefixGroup] = []
-    for group_id, (_, prefixes) in enumerate(
+    for group_id, ((_, fingerprint), prefixes) in enumerate(
         sorted(buckets.items(), key=lambda item: sorted(map(str, item[1])))
     ):
-        groups.append(PrefixGroup(group_id, frozenset(prefixes), allocator.allocate()))
+        frozen = frozenset(prefixes)
+        if vmac_for_group is not None:
+            vnh = allocator.allocate(vmac_for_group(frozen, fingerprint))
+        else:
+            # Keep the zero-argument call so replay/stub allocators with
+            # the historical signature stay compatible in per-FEC mode.
+            vnh = allocator.allocate()
+        groups.append(PrefixGroup(group_id, frozen, vnh))
     return FECTable(groups)

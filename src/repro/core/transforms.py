@@ -40,6 +40,7 @@ from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
 __all__ = [
     "concat_disjoint",
     "default_delivery_classifier",
+    "default_exception_rules",
     "default_forwarding_classifier",
     "default_rules_for_group",
     "delivery_rules_for_group",
@@ -199,6 +200,38 @@ def _best_for(ranked: Tuple[Route, ...], participant: str) -> Optional[Route]:
     return None
 
 
+def default_exception_rules(
+    config: IXPConfig, group: PrefixGroup, ranked: Tuple[Route, ...]
+) -> List[Rule]:
+    """Port-scoped exceptions to one FEC's shared default rule.
+
+    When the top route carries an export scope, participants outside it
+    get exception rules steering along their own best route; these sit
+    above the shared (sender-independent) rule regardless of whether
+    that rule matches the class exactly or by attribute mask.
+    """
+    rules: List[Rule] = []
+    if not ranked:
+        return rules
+    top = ranked[0]
+    if top.export_to is None:
+        return rules
+    for participant in config.participants():
+        if participant.name == top.learned_from or participant.is_remote:
+            continue
+        best = _best_for(ranked, participant.name)
+        if best is None or best is top:
+            continue
+        for port in participant.ports:
+            rules.append(
+                Rule(
+                    HeaderMatch(port=port.port_id, dstmac=group.vnh.hardware),
+                    (Action(port=best.learned_from),),
+                )
+            )
+    return rules
+
+
 def default_rules_for_group(
     config: IXPConfig, group: PrefixGroup, ranked: Tuple[Route, ...]
 ) -> List[Rule]:
@@ -213,20 +246,7 @@ def default_rules_for_group(
     if not ranked:
         return rules
     top = ranked[0]
-    if top.export_to is not None:
-        for participant in config.participants():
-            if participant.name == top.learned_from or participant.is_remote:
-                continue
-            best = _best_for(ranked, participant.name)
-            if best is None or best is top:
-                continue
-            for port in participant.ports:
-                rules.append(
-                    Rule(
-                        HeaderMatch(port=port.port_id, dstmac=group.vnh.hardware),
-                        (Action(port=best.learned_from),),
-                    )
-                )
+    rules.extend(default_exception_rules(config, group, ranked))
     rules.append(
         Rule(
             HeaderMatch(dstmac=group.vnh.hardware),

@@ -56,14 +56,17 @@ class VirtualNextHopAllocator:
     def allocated(self) -> int:
         return len(self._by_address)
 
-    def allocate(self) -> VirtualNextHop:
+    def allocate(self, hardware: Optional[MACAddress] = None) -> VirtualNextHop:
         """Allocate a fresh (VNH, VMAC) pair.
 
         Released addresses are reused (most recently released first)
         before the sequential cursor advances, so a sustained flap on a
         few prefixes cycles a few addresses instead of draining the
         pool.  The VMAC is always fresh: routers must re-ARP and re-tag
-        after every change, which a recycled MAC would defeat.
+        after every change, which a recycled MAC would defeat.  An
+        attribute-encoding scheme (the superset encoder) may pass the
+        ``hardware`` address explicitly; the pairing is still recorded
+        here so the ARP responder stays the single authority.
         """
         if self._free:
             address = self._free.pop()
@@ -72,7 +75,9 @@ class VirtualNextHopAllocator:
             self._next_index += 1
         else:
             raise RuntimeError(f"VNH pool {self.pool} exhausted")
-        vnh = VirtualNextHop(address, self._macs.allocate())
+        if hardware is None:
+            hardware = self._macs.allocate()
+        vnh = VirtualNextHop(address, hardware)
         self._by_address[address] = vnh
         return vnh
 

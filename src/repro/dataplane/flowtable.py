@@ -12,20 +12,61 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import os
 from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
 from repro.policy.packet import Packet
 
-__all__ = ["FlowRule", "FlowTable", "FlowTableTransaction"]
+__all__ = [
+    "FlowRule",
+    "FlowTable",
+    "FlowTableTransaction",
+    "dataplane_mode_from_env",
+]
+
+DATAPLANE_MODES = ("single", "multitable")
+
+
+def dataplane_mode_from_env() -> str:
+    """``REPRO_DATAPLANE``: ``single`` (default) or ``multitable``.
+
+    Single-table installs fully composed rules into table 0; multitable
+    keeps stage-1 outbound-policy rules in table 0 with a ``goto`` into
+    the merged stage-2 (delivery/VMAC) rules in table 1.
+    """
+    mode = os.environ.get("REPRO_DATAPLANE", "single").strip().lower() or "single"
+    if mode not in DATAPLANE_MODES:
+        raise ValueError(
+            f"REPRO_DATAPLANE={mode!r}: expected one of {', '.join(DATAPLANE_MODES)}"
+        )
+    return mode
 
 _rule_ids = itertools.count(1)
 
 
 class FlowRule:
-    """One installed flow entry: priority + match + actions + counters."""
+    """One installed flow entry: priority + match + actions + counters.
 
-    __slots__ = ("priority", "match", "actions", "cookie", "rule_id", "packets", "bytes")
+    ``table`` places the entry in one stage of a multi-table layout
+    (table 0 is the default, and the only one single-table layouts use);
+    ``goto`` chains a matched packet — after this rule's actions are
+    applied — into a later table, the OpenFlow ``goto_table``
+    instruction.  Gotos must point strictly forward, which is what makes
+    chained lookups loop-free by construction.
+    """
+
+    __slots__ = (
+        "priority",
+        "match",
+        "actions",
+        "cookie",
+        "table",
+        "goto",
+        "rule_id",
+        "packets",
+        "bytes",
+    )
 
     def __init__(
         self,
@@ -33,11 +74,17 @@ class FlowRule:
         match: HeaderMatch,
         actions: Iterable[Action] = (),
         cookie: Any = None,
+        table: int = 0,
+        goto: Optional[int] = None,
     ) -> None:
         self.priority = int(priority)
         self.match = match
         self.actions: FrozenSet[Action] = frozenset(actions)
         self.cookie = cookie
+        self.table = int(table)
+        if goto is not None and int(goto) <= self.table:
+            raise ValueError(f"goto must point forward: table {table} -> {goto}")
+        self.goto = int(goto) if goto is not None else None
         self.rule_id = next(_rule_ids)
         self.packets = 0
         self.bytes = 0
@@ -47,12 +94,13 @@ class FlowRule:
         return not self.actions
 
     @property
-    def identity(self) -> Tuple[str, str, Tuple[str, ...]]:
-        """Stable identity: (cookie, match, actions) — priority excluded.
+    def identity(self) -> Tuple[str, str, Tuple[str, ...], int, str]:
+        """Stable identity: (cookie, match, actions, table, goto).
 
         This is what the delta reconciler keys on: a rule whose identity
         survives a recompilation is the *same* rule (its counters must
-        survive), even when the priority tiling around it shifted.  The
+        survive), even when the priority tiling around it shifted — but
+        priority is excluded: it is an attribute, not identity.  The
         canonical forms match :meth:`FlowTable.content_hash` row fields,
         so identity-equal rules at equal priorities hash identically.
         """
@@ -60,6 +108,8 @@ class FlowRule:
             repr(self.cookie),
             repr(self.match),
             tuple(sorted(repr(action) for action in self.actions)),
+            self.table,
+            repr(self.goto),
         )
 
     def count(self, packet_bytes: int = 0) -> None:
@@ -69,7 +119,9 @@ class FlowRule:
 
     def __repr__(self) -> str:
         verdict = "drop" if self.is_drop else ", ".join(sorted(repr(a) for a in self.actions))
-        return f"FlowRule(prio={self.priority}, {self.match!r} -> {verdict})"
+        stage = f"t{self.table}:" if self.table else ""
+        chain = f" goto({self.goto})" if self.goto is not None else ""
+        return f"FlowRule({stage}prio={self.priority}, {self.match!r} -> {verdict}{chain})"
 
 
 class FlowTable:
@@ -135,20 +187,30 @@ class FlowTable:
         classifier: Classifier,
         base_priority: int = 0,
         cookie: Any = None,
+        table: int = 0,
+        goto: Optional[int] = None,
     ) -> List[FlowRule]:
         """Install a compiled classifier as a block of flow rules.
 
         The classifier's rule order becomes strictly descending
         priorities starting at ``base_priority + len(classifier)``, so
         the block preserves first-match semantics and sits above any
-        rules with priority <= ``base_priority``.
+        rules with priority <= ``base_priority``.  ``table``/``goto``
+        place the whole block in one stage of a multi-table layout.
         """
         installed: List[FlowRule] = []
         top = base_priority + len(classifier.rules)
         for offset, rule in enumerate(classifier.rules):
             installed.append(
                 self.install(
-                    FlowRule(top - offset, rule.match, rule.actions, cookie=cookie)
+                    FlowRule(
+                        top - offset,
+                        rule.match,
+                        rule.actions,
+                        cookie=cookie,
+                        table=table,
+                        goto=goto,
+                    )
                 )
             )
         return installed
@@ -240,6 +302,8 @@ class FlowTable:
                 repr(rule.match),
                 tuple(sorted(repr(action) for action in rule.actions)),
                 repr(rule.cookie),
+                rule.table,
+                repr(rule.goto),
             )
             digest.update(repr(row).encode())
             digest.update(b"\x00")
@@ -247,37 +311,78 @@ class FlowTable:
 
     # -- matching ----------------------------------------------------------
 
-    def lookup(self, packet: Packet) -> Optional[FlowRule]:
-        """The matching rule a switch would select, without counting."""
-        for rule in self._candidates(packet.get("port")):
+    def lookup(self, packet: Packet, table: int = 0) -> Optional[FlowRule]:
+        """The matching rule a switch would select in one table stage."""
+        for rule in self._candidates(table, packet.get("port")):
             if rule.match.matches(packet):
                 return rule
         return None
 
-    def _candidates(self, port: Any) -> List[FlowRule]:
-        """Rules that could match a packet arriving on ``port``, in order.
+    def _candidates(self, table: int, port: Any) -> List[FlowRule]:
+        """Rules in ``table`` that could match a packet on ``port``, in order.
 
         ``port`` is an exact-match field, so the table partitions by it:
         a rule either names this port or leaves port unconstrained, and
         filtering preserves the priority order, making a scan over the
         partition equivalent to a scan over the full table.  A packet
         without a located port (``None``) can never satisfy a
-        port-constrained rule, but the full list is returned unfiltered —
-        the unconstrained rules inside it are exactly the ones that can
-        match, and such packets are rare (pre-location tracing only).
+        port-constrained rule, but every unconstrained rule is kept —
+        those are exactly the ones that can match, and such packets are
+        rare (pre-location tracing only).
         """
-        if port is None:
-            return self._rules
-        cached = self._port_candidates.get(port)
+        key = (table, port)
+        cached = self._port_candidates.get(key)
         if cached is None:
-            cached = [
-                rule
-                for rule in self._rules
-                if (constraint := rule.match.constraint("port")) is None
-                or constraint == port
-            ]
-            self._port_candidates[port] = cached
+            if port is None:
+                cached = [rule for rule in self._rules if rule.table == table]
+            else:
+                cached = [
+                    rule
+                    for rule in self._rules
+                    if rule.table == table
+                    and (
+                        (constraint := rule.match.constraint("port")) is None
+                        or constraint == port
+                    )
+                ]
+            self._port_candidates[key] = cached
         return cached
+
+    def _apply_chained(
+        self, rule: FlowRule, packet: Packet, count: bool, packet_bytes: int
+    ) -> FrozenSet[Packet]:
+        """Apply one matched rule, following ``goto`` chains to the end.
+
+        Each action's rewritten packet either egresses (no goto) or is
+        re-matched in the goto table; a miss in a later table drops that
+        copy, as an OpenFlow table-miss does.  Gotos point strictly
+        forward (enforced at construction), so chains terminate.
+        """
+        if rule.goto is None:
+            return frozenset(action.apply(packet) for action in rule.actions)
+        outputs = []
+        for action in rule.actions:
+            staged = action.apply(packet)
+            nxt = self.lookup(staged, rule.goto)
+            if nxt is None:
+                continue
+            if count:
+                nxt.count(packet_bytes)
+            outputs.extend(self._apply_chained(nxt, staged, count, packet_bytes))
+        return frozenset(outputs)
+
+    def resolve(self, packet: Packet) -> Optional[Tuple[FlowRule, FrozenSet[Packet]]]:
+        """Chained, counter-free resolution from table 0 to egress.
+
+        Returns the first-stage rule the packet matched (the provenance
+        anchor: its cookie names the policy segment that claimed the
+        packet) together with the final output packets after every goto
+        hop; ``None`` on a first-table miss.
+        """
+        rule = self.lookup(packet)
+        if rule is None:
+            return None
+        return rule, self._apply_chained(rule, packet, count=False, packet_bytes=0)
 
     def process(self, packet: Packet, packet_bytes: int = 0) -> FrozenSet[Packet]:
         """Match, count, and apply actions; no match or drop returns ∅."""
@@ -286,12 +391,20 @@ class FlowTable:
             self.misses += 1
             return frozenset()
         rule.count(packet_bytes)
-        return frozenset(action.apply(packet) for action in rule.actions)
+        return self._apply_chained(rule, packet, count=True, packet_bytes=packet_bytes)
 
     # -- introspection ------------------------------------------------------
 
     def rules(self) -> Tuple[FlowRule, ...]:
         return tuple(self._rules)
+
+    def table_ids(self) -> Tuple[int, ...]:
+        """The distinct table stages currently holding rules, ascending."""
+        return tuple(sorted({rule.table for rule in self._rules}))
+
+    def rules_in(self, table: int) -> Tuple[FlowRule, ...]:
+        """Every rule in one table stage, priority order."""
+        return tuple(rule for rule in self._rules if rule.table == table)
 
     def counters_by_cookie(self) -> Dict[Any, Tuple[int, int]]:
         """Aggregate (packets, bytes) per cookie."""
@@ -358,6 +471,8 @@ class FlowTableTransaction:
                 repr(rule.match),
                 tuple(sorted(repr(action) for action in rule.actions)),
                 repr(rule.cookie),
+                rule.table,
+                repr(rule.goto),
             )
             digest.update(repr(row).encode())
             digest.update(b"\x00")

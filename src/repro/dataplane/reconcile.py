@@ -74,7 +74,10 @@ BASE_COOKIE = "sdx-base"
 #: Priority floor of the base block.
 BASE_PRIORITY = 1000
 
-RuleIdentity = Tuple[str, str, Tuple[str, ...]]
+RuleIdentity = Tuple[str, str, Tuple[str, ...], int, str]
+
+#: Segment placement in the multi-table layout: label -> (table, goto).
+Placement = Tuple[int, Optional[int]]
 
 
 def is_base_cookie(cookie: Any) -> bool:
@@ -89,6 +92,8 @@ class RuleSpec(NamedTuple):
     match: HeaderMatch
     actions: FrozenSet[Action]
     cookie: Any
+    table: int = 0
+    goto: Optional[int] = None
 
     @property
     def identity(self) -> RuleIdentity:
@@ -97,6 +102,8 @@ class RuleSpec(NamedTuple):
             repr(self.cookie),
             repr(self.match),
             tuple(sorted(repr(action) for action in self.actions)),
+            self.table,
+            repr(self.goto),
         )
 
 
@@ -104,6 +111,7 @@ def target_specs(
     segments: Sequence[Tuple[Any, Classifier]],
     base_priority: int = BASE_PRIORITY,
     base_cookie: Any = BASE_COOKIE,
+    placements: Optional[Dict[Any, Placement]] = None,
 ) -> List[RuleSpec]:
     """The full desired base table for ``segments``, priorities tiled.
 
@@ -112,16 +120,27 @@ def target_specs(
     and within a segment the classifier's rule order becomes strictly
     descending priorities.  The resulting priorities are globally
     unique — they tile ``base_priority + 1 .. base_priority + total`` —
-    which is what makes patched-table ordering deterministic.
+    which is what makes patched-table ordering deterministic even when
+    ``placements`` scatters segments across table stages (per-stage
+    lookup only sees its own slice of the tiling, still in order).
     """
+    placements = placements or {}
     specs: List[RuleSpec] = []
     remaining = sum(len(block) for _, block in segments)
     for label, block in segments:
         cookie = (base_cookie, *label)
+        table, goto = placements.get(label, (0, None))
         top = base_priority + remaining
         for offset, rule in enumerate(block.rules):
             specs.append(
-                RuleSpec(top - offset, rule.match, frozenset(rule.actions), cookie)
+                RuleSpec(
+                    top - offset,
+                    rule.match,
+                    frozenset(rule.actions),
+                    cookie,
+                    table,
+                    goto,
+                )
             )
         remaining -= len(block)
     return specs
@@ -169,7 +188,14 @@ class TablePatch:
             table.reprioritize(rule, priority)
         for spec in self.adds:
             table.install(
-                FlowRule(spec.priority, spec.match, spec.actions, cookie=spec.cookie)
+                FlowRule(
+                    spec.priority,
+                    spec.match,
+                    spec.actions,
+                    cookie=spec.cookie,
+                    table=spec.table,
+                    goto=spec.goto,
+                )
             )
 
     def __repr__(self) -> str:

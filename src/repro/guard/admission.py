@@ -125,8 +125,14 @@ class TokenBucket:
 
     def _refill(self, now: float) -> None:
         elapsed = now - self._updated
-        if elapsed > 0:
-            self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        if elapsed < 0:
+            # The clock went backwards (a reset sim clock, an NTP step).
+            # Clamp: credit no tokens for negative time, but re-anchor on
+            # the new timeline so refill resumes immediately instead of
+            # staying frozen until the clock catches the stale anchor.
+            self._updated = now
+            return
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
         self._updated = now
 
     def try_take(self, now: float, cost: float = 1.0) -> bool:
@@ -265,6 +271,13 @@ class AdmissionController:
     def _check_backoff(
         self, state: _TenantState, name: str, kind: str, error: type, now: float
     ) -> None:
+        if state.backoff_until - now > max(state.penalty, self.config.backoff_max):
+            # A legitimate window never extends further than one penalty
+            # beyond "now", so a longer remainder means the clock was
+            # rewound (reset sim clock).  Re-impose at most the intended
+            # penalty on the new timeline rather than locking the tenant
+            # out until the clock catches up to the stale deadline.
+            state.backoff_until = now + state.penalty
         if now < state.backoff_until:
             raise self._reject(
                 state,

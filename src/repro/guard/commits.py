@@ -438,9 +438,10 @@ class CommitGuard:
             return
         table = controller.switch.table
         segments = last.segments or ((("all",), last.classifier),)
+        placements = dict(getattr(last, "placements", None) or {})
         patch = diff(
             (rule for rule in table if is_base_cookie(rule.cookie)),
-            target_specs(segments),
+            target_specs(segments, placements=placements),
         )
         if patch.is_noop:
             return

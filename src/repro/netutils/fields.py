@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, NamedTuple
 
 from repro.netutils.ip import IPv4Address, IPv4Prefix
-from repro.netutils.mac import MACAddress
+from repro.netutils.mac import MACAddress, MACMask
 
 __all__ = [
     "FIELDS",
@@ -92,6 +92,8 @@ def normalize_match_value(field: str, value: Any) -> Any:
             return IPv4Prefix(value)
         return IPv4Address(value).to_prefix()
     if spec.packet_type == "mac":
+        if isinstance(value, MACMask):
+            return value.simplified()
         return MACAddress(value)
     if spec.packet_type == "int":
         return int(value)
@@ -102,10 +104,15 @@ def match_values_intersect(field: str, left: Any, right: Any) -> Any:
     """Intersection of two match values; ``None`` when disjoint.
 
     For IP fields this is CIDR intersection (the longer prefix when
-    nested); all other fields intersect only on equality.
+    nested); MAC fields intersect bit-masked (:class:`MACMask`); all
+    other fields intersect only on equality.
     """
     if isinstance(left, IPv4Prefix) and isinstance(right, IPv4Prefix):
         return left.intersection(right)
+    if isinstance(left, MACMask):
+        return left.intersect(right) if isinstance(right, (MACMask, MACAddress)) else None
+    if isinstance(right, MACMask):
+        return right.intersect(left) if isinstance(left, MACAddress) else None
     return left if left == right else None
 
 
@@ -113,6 +120,12 @@ def match_value_covers(field: str, general: Any, specific: Any) -> bool:
     """True if every packet satisfying ``specific`` also satisfies ``general``."""
     if isinstance(general, IPv4Prefix) and isinstance(specific, IPv4Prefix):
         return general.contains(specific)
+    if isinstance(general, MACMask):
+        return general.covers(specific) if isinstance(specific, (MACMask, MACAddress)) else False
+    if isinstance(specific, MACMask):
+        # An exact value never covers a strictly-masked matcher
+        # (exact MACMasks are normalized away to MACAddress).
+        return False
     return general == specific
 
 
@@ -122,4 +135,8 @@ def value_satisfies_match(field: str, packet_value: Any, match_value: Any) -> bo
         return False
     if isinstance(match_value, IPv4Prefix):
         return match_value.contains(packet_value)
+    if isinstance(match_value, MACMask):
+        return isinstance(packet_value, (int, MACAddress)) and match_value.matches(
+            packet_value
+        )
     return packet_value == match_value

@@ -12,7 +12,7 @@ from __future__ import annotations
 import re
 from typing import Iterator
 
-__all__ = ["MACAddress", "MACAllocator", "mac"]
+__all__ = ["MACAddress", "MACAllocator", "MACMask", "mac"]
 
 _MAX_MAC = (1 << 48) - 1
 _MAC_RE = re.compile(r"^([0-9a-fA-F]{2})(?::([0-9a-fA-F]{2})){5}$")
@@ -76,6 +76,91 @@ class MACAddress:
 def mac(address: "int | str | MACAddress") -> MACAddress:
     """Shorthand constructor: ``mac("02:00:00:00:00:01")``."""
     return MACAddress(address)
+
+
+class MACMask:
+    """A masked destination-MAC match value: ``packet & mask == value``.
+
+    This is the OpenFlow ``dl_dst/mask`` construct the superset VMAC
+    encoding relies on: one rule can match a whole attribute field of
+    the VMAC (a superset id, a single participant-position bit, the
+    next-hop bits) while ignoring the rest.  Stored canonically — bits
+    outside the mask are zeroed — so equal matchers compare and hash
+    equal.
+    """
+
+    __slots__ = ("_value", "_mask")
+
+    def __init__(self, value: "int | str | MACAddress", mask: "int | str | MACAddress") -> None:
+        mask_value = int(mask) if isinstance(mask, int) else int(MACAddress(mask))
+        if not 0 <= mask_value <= _MAX_MAC:
+            raise ValueError(f"MAC mask out of range: {mask_value}")
+        raw = int(value) if isinstance(value, int) else int(MACAddress(value))
+        if not 0 <= raw <= _MAX_MAC:
+            raise ValueError(f"MAC value out of range: {raw}")
+        self._mask = mask_value
+        self._value = raw & mask_value
+
+    @property
+    def value(self) -> MACAddress:
+        """The required bits, as an address (don't-care bits zeroed)."""
+        return MACAddress(self._value)
+
+    @property
+    def mask(self) -> int:
+        """The care-bit mask as a 48-bit unsigned integer."""
+        return self._mask
+
+    @property
+    def is_exact(self) -> bool:
+        """True when every bit is constrained (equivalent to an address)."""
+        return self._mask == _MAX_MAC
+
+    def matches(self, address: "int | MACAddress") -> bool:
+        """True when a concrete address satisfies this matcher."""
+        return (int(address) & self._mask) == self._value
+
+    def covers(self, other: "MACMask | MACAddress") -> bool:
+        """True when every address matching ``other`` also matches ``self``."""
+        if isinstance(other, MACAddress):
+            return self.matches(other)
+        return (other._mask & self._mask) == self._mask and (
+            other._value & self._mask
+        ) == self._value
+
+    def intersect(self, other: "MACMask | MACAddress") -> "MACMask | MACAddress | None":
+        """The conjunction of two matchers; ``None`` when disjoint.
+
+        Returns a plain :class:`MACAddress` when the conjunction pins
+        every bit, keeping match values canonical.
+        """
+        if isinstance(other, MACAddress):
+            return other if self.matches(other) else None
+        common = self._mask & other._mask
+        if (self._value & common) != (other._value & common):
+            return None
+        merged = MACMask(self._value | other._value, self._mask | other._mask)
+        return merged.simplified()
+
+    def simplified(self) -> "MACMask | MACAddress":
+        """This matcher, collapsed to an address when fully constrained."""
+        if self.is_exact:
+            return MACAddress(self._value)
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MACMask):
+            return self._value == other._value and self._mask == other._mask
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("MACMask", self._value, self._mask))
+
+    def __str__(self) -> str:
+        return f"{MACAddress(self._value)}/{MACAddress(self._mask)}"
+
+    def __repr__(self) -> str:
+        return f"MACMask({str(MACAddress(self._value))!r}, {str(MACAddress(self._mask))!r})"
 
 
 class MACAllocator:

@@ -54,21 +54,27 @@ from typing import (
 )
 
 from repro.bgp.messages import Route
-from repro.core.chaining import chain_continuation_rules, chain_entry_block, validate_chains
+from repro.core.chaining import (
+    ServiceChain,
+    chain_continuation_rules,
+    chain_entry_block,
+    validate_chains,
+)
 from repro.core.compiler import CompilationResult, CompilationStats
 from repro.core.fec import FECTable, PrefixGroup
 from repro.core.participant import SDXPolicySet
+from repro.core.supersets import (
+    default_forwarding_classifier_superset,
+    encoding_inputs,
+)
 from repro.core.transforms import (
     concat_disjoint,
-    default_delivery_classifier,
     default_forwarding_classifier,
     extract_policy_groups,
     isolate,
-    rewrite_inbound_delivery,
 )
 from repro.core.vmac import VirtualNextHop, VirtualNextHopAllocator
 from repro.netutils.ip import IPv4Address, IPv4Prefix
-from repro.policy.analysis import with_fallback
 from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
 from repro.resilience.health import QuarantineRecord
 
@@ -84,8 +90,10 @@ from repro.pipeline.events import (
     RoutesChanged,
 )
 from repro.pipeline.shards import (
+    ParticipantRIBView,
     ShardResult,
     ShardTask,
+    compile_delivery,
     policy_label,
     run_shard,
     segment_targets,
@@ -110,6 +118,11 @@ class _ShardEntry(NamedTuple):
     target_blocks: Dict[Any, Optional[Classifier]]
     stage1_block: Classifier
     segment: Classifier
+    #: superset mode only: (epoch, every affected group's (prefixes,
+    #: VMAC)) — masked-rule validity depends on *other* participants'
+    #: classes sharing a superset, so any encoding change dirties the
+    #: shard; None in per-FEC mode
+    encoding_sig: Optional[Tuple] = None
 
 
 class _ExtractEntry(NamedTuple):
@@ -141,6 +154,11 @@ class CompilationPipeline:
         self._extract_cache: Dict[str, _ExtractEntry] = {}
         #: frozenset(prefixes) -> VNH kept across compilations
         self._vnh_by_key: Dict[FrozenSet[IPv4Prefix], VirtualNextHop] = {}
+        #: superset mode: frozenset(prefixes) -> (encoding inputs,
+        #: encoder epoch) the kept VMAC was minted under; reuse is only
+        #: sound while both still match (a stale attribute VMAC would
+        #: steer masked rules wrongly)
+        self._vnh_meta: Dict[FrozenSet[IPv4Prefix], Tuple[Tuple, int]] = {}
         #: VNHs superseded by a compile, released after its commit
         self._pending_release: List[VirtualNextHop] = []
         #: advertisement map cache (valid while routes/VNHs unchanged)
@@ -320,11 +338,40 @@ class CompilationPipeline:
         fec_seconds = compiler._now() - phase
         self._m_stage.observe(fec_seconds, stage="fec")
 
+        # Encoding context for this pass.  The encoder view is a frozen
+        # registry snapshot: shards read it without touching (or racing
+        # on) the live encoder, and it crosses a worker fork as data.
+        mode = controller.vmac_mode
+        encoder = controller.superset_encoder
+        encoder_view = encoder.view() if encoder is not None else None
+        multitable = controller.dataplane_mode == "multitable"
+        if mode == "superset":
+            # Masked superset rules read *other* participants' encodings
+            # (the carriers index), so shard-cache validity must cover
+            # the whole encoding state, not just the shard's universe.
+            encoding_sig = (
+                encoder.epoch,
+                frozenset(
+                    (group.prefixes, group.vnh.hardware)
+                    for group in fec_table.affected_groups
+                ),
+            )
+        else:
+            encoding_sig = None
+        views = self._build_rib_views(reachable_maps, fec_table, ranked_routes)
+
         # Stage 3: second-stage blocks + shared stage-1 blocks (serial).
         phase = compiler._now()
         stage2_blocks, default_block, continuation, stage2_failures = (
             self._build_shared_blocks(
-                in_raw, fec_table, ranked_routes, chains, chain_hop_ports
+                in_raw,
+                fec_table,
+                ranked_routes,
+                chains,
+                chain_hop_ports,
+                views,
+                mode,
+                encoder_view,
             )
         )
         stage2_seconds = compiler._now() - phase
@@ -345,7 +392,12 @@ class CompilationPipeline:
             entry = self._shard_cache.get(label)
             reachable = reachable_maps.get(participant.name, {})
             if entry is not None and self._policy_entry_valid(
-                entry, active[participant.name], reachable, fec_table, stage2_blocks
+                entry,
+                active[participant.name],
+                reachable,
+                fec_table,
+                stage2_blocks,
+                encoding_sig,
             ):
                 self._m_shard_cache.inc(result="hit")
                 plan.append((label, None, entry))
@@ -363,13 +415,19 @@ class CompilationPipeline:
                             reachable=reachable,
                             fec_table=fec_table,
                             stage2_blocks=stage2_blocks,
+                            rib_view=views.get(participant.name),
+                            mode=mode,
+                            encoder=encoder_view,
+                            compose=not multitable,
                         ),
                         None,
                     )
                 )
         for label, block in ((("chains",), continuation), (("default",), default_block)):
             entry = self._shard_cache.get(label)
-            if entry is not None and self._shared_entry_valid(entry, block, stage2_blocks):
+            if entry is not None and self._shared_entry_valid(
+                entry, block, stage2_blocks
+            ):
                 self._m_shard_cache.inc(result="hit")
                 plan.append((label, None, entry))
             else:
@@ -386,6 +444,9 @@ class CompilationPipeline:
                             reachable={},
                             fec_table=fec_table,
                             stage2_blocks=stage2_blocks,
+                            mode=mode,
+                            encoder=encoder_view,
+                            compose=not multitable,
                         ),
                         None,
                     )
@@ -426,12 +487,33 @@ class CompilationPipeline:
         for label, task, entry in plan:
             if task is not None:
                 result = results_by_label[label]
-                entry = self._store_entry(label, task, result, active, stage2_blocks)
+                entry = self._store_entry(
+                    label, task, result, active, stage2_blocks, encoding_sig
+                )
                 shards_compiled += 1
                 self._m_shards.inc(participant=label[1] if len(label) > 1 else label[0])
             labeled_blocks.append((label, entry.stage1_block))
             if len(entry.segment):
                 segments.append((label, entry.segment))
+        placements: Dict[Any, Tuple[int, Optional[int]]] = {}
+        if multitable:
+            # The uncomposed stage-1 segments live in table 0 and chain
+            # into a single merged VMAC-matching table.  Chain-entry
+            # blocks match ANY in composition (the composing rule
+            # provides the context); merged into a shared table they
+            # must be pinned to their own virtual location or they'd
+            # swallow every table-1 miss.
+            merged_stage2: List[Classifier] = []
+            for target, block in stage2_blocks.items():
+                if isinstance(target, ServiceChain):
+                    block = isolate(block, [target])
+                merged_stage2.append(block)
+            vmac_segment = concat_disjoint(merged_stage2)
+            for label, _ in segments:
+                placements[label] = (0, 1)
+            if len(vmac_segment):
+                segments.append((("vmac",), vmac_segment))
+                placements[("vmac",)] = (1, None)
         stage1 = concat_disjoint([block for _, block in labeled_blocks])
         final = concat_disjoint([segment for _, segment in segments])
 
@@ -471,6 +553,7 @@ class CompilationPipeline:
             advertised_next_hops=advertised,
             stats=stats,
             segments=tuple(segments),
+            placements=placements,
         )
 
     # -- stage helpers ------------------------------------------------------
@@ -515,43 +598,114 @@ class CompilationPipeline:
         for prefix, indices in signature_of.items():
             key = (frozenset(indices), fingerprint(prefix))
             buckets.setdefault(key, set()).add(prefix)
+        ordered = sorted(buckets.items(), key=lambda item: sorted(map(str, item[1])))
 
-        groups: List[PrefixGroup] = []
-        live_keys: Set[FrozenSet[IPv4Prefix]] = set()
+        encoder = self.controller.superset_encoder
         changed = False
-        for group_id, (_, prefixes) in enumerate(
-            sorted(buckets.items(), key=lambda item: sorted(map(str, item[1])))
-        ):
-            key = frozenset(prefixes)
-            live_keys.add(key)
-            vnh = self._vnh_by_key.get(key)
-            if vnh is None:
-                vnh = allocator.allocate()
-                self._vnh_by_key[key] = vnh
-                changed = True
-            groups.append(PrefixGroup(group_id, key, vnh))
+        # encode() can trigger a full registry recomputation mid-pass
+        # (superset id-space overflow), invalidating encodings reused
+        # earlier in the same loop — rerun until the epoch is stable.
+        # The second pass starts against an empty registry, so a bound
+        # of a few attempts is structural, not a timeout.
+        for _attempt in range(4):
+            epoch_at_start = encoder.epoch if encoder is not None else 0
+            groups: List[PrefixGroup] = []
+            live_keys: Set[FrozenSet[IPv4Prefix]] = set()
+            for group_id, ((_, bgp_fingerprint), prefixes) in enumerate(ordered):
+                key = frozenset(prefixes)
+                live_keys.add(key)
+                vnh = self._vnh_by_key.get(key)
+                if encoder is not None:
+                    inputs = encoding_inputs(bgp_fingerprint)
+                    meta = (inputs, encoder.epoch)
+                    if vnh is not None and self._vnh_meta.get(key) != meta:
+                        # The class's announcers/next-hop (or the whole
+                        # encoding epoch) changed: the attribute bits in
+                        # the old VMAC are stale.  Reallocate so routers
+                        # re-ARP onto a correctly encoded address.
+                        self._pending_release.append(self._vnh_by_key.pop(key))
+                        vnh = None
+                        changed = True
+                    if vnh is None:
+                        hardware = encoder.encode(*inputs)
+                        vnh = allocator.allocate(hardware)
+                        self._vnh_by_key[key] = vnh
+                        self._vnh_meta[key] = (inputs, encoder.epoch)
+                        changed = True
+                elif vnh is None:
+                    vnh = allocator.allocate()
+                    self._vnh_by_key[key] = vnh
+                    changed = True
+                groups.append(PrefixGroup(group_id, key, vnh))
+            if encoder is None or encoder.epoch == epoch_at_start:
+                break
         for key in list(self._vnh_by_key):
             if key not in live_keys:
                 self._pending_release.append(self._vnh_by_key.pop(key))
+                self._vnh_meta.pop(key, None)
                 changed = True
         return FECTable(groups), changed
 
+    def _build_rib_views(
+        self, reachable_maps, fec_table, ranked_routes
+    ) -> Dict[str, ParticipantRIBView]:
+        """Materialize each participant's scoped RIB slice in one sweep.
+
+        Exports come straight from the already-materialized reachability
+        maps; the announced slices are carved out of the ranked routes of
+        the affected FEC groups, bucketed by announcer.  O(groups·routes)
+        total — each ranked list is walked once, not once per participant.
+        """
+        announced_by: Dict[str, Dict[FrozenSet[IPv4Prefix], List[Route]]] = {}
+        for group in fec_table.affected_groups:
+            for route in ranked_routes(group):
+                announced_by.setdefault(route.learned_from, {}).setdefault(
+                    group.prefixes, []
+                ).append(route)
+        views: Dict[str, ParticipantRIBView] = {}
+        for name in self.controller.config.participant_names():
+            views[name] = ParticipantRIBView(
+                participant=name,
+                exports=reachable_maps.get(name, {}),
+                announced={
+                    key: tuple(routes)
+                    for key, routes in announced_by.get(name, {}).items()
+                },
+            )
+        return views
+
     def _build_shared_blocks(
-        self, in_raw, fec_table, ranked_routes, chains, chain_hop_ports
+        self,
+        in_raw,
+        fec_table,
+        ranked_routes,
+        chains,
+        chain_hop_ports,
+        views,
+        mode,
+        encoder_view,
     ):
-        """Stage-2 blocks plus the shared stage-1 blocks (legacy Phase C)."""
+        """Stage-2 blocks plus the shared stage-1 blocks (legacy Phase C).
+
+        Delivery blocks are now compiled participant-locally
+        (:func:`compile_delivery` against each participant's RIB view);
+        only the cross-participant blocks — egress ports, chain entries,
+        default forwarding — are built centrally.
+        """
         config = self.controller.config
         stage2_blocks: Dict[Any, Classifier] = {}
         failures: Dict[str, Tuple[str, str]] = {}
         for participant in config.participants():
             try:
-                raw_in = in_raw.get(participant.name, _EMPTY)
-                delivery_ready = rewrite_inbound_delivery(raw_in, config)
-                combined = with_fallback(
-                    delivery_ready,
-                    default_delivery_classifier(participant, fec_table, ranked_routes),
+                stage2_blocks[participant.name] = compile_delivery(
+                    participant,
+                    views[participant.name],
+                    in_raw.get(participant.name, _EMPTY),
+                    config,
+                    fec_table,
+                    mode,
+                    encoder_view,
                 )
-                stage2_blocks[participant.name] = isolate(combined, [participant.name])
             except Exception as exc:  # noqa: BLE001 - isolate the participant
                 failures[participant.name] = (type(exc).__name__, str(exc))
         for port in config.physical_ports():
@@ -567,16 +721,25 @@ class CompilationPipeline:
             )
         for chain in chains:
             stage2_blocks[chain] = chain_entry_block(chain)
-        default_block = default_forwarding_classifier(config, fec_table, ranked_routes)
+        if mode == "superset":
+            default_block = default_forwarding_classifier_superset(
+                config, fec_table, ranked_routes, encoder_view
+            )
+        else:
+            default_block = default_forwarding_classifier(
+                config, fec_table, ranked_routes
+            )
         continuation = Classifier(chain_continuation_rules(chains))
         return stage2_blocks, default_block, continuation, failures
 
     def _policy_entry_valid(
-        self, entry, policy_set, reachable, fec_table, stage2_blocks
+        self, entry, policy_set, reachable, fec_table, stage2_blocks, encoding_sig
     ) -> bool:
         if entry.policy_set != policy_set:
             return False
         if entry.reachable != reachable:
+            return False
+        if entry.encoding_sig != encoding_sig:
             return False
         if entry.group_sig != self._group_signature(fec_table, reachable):
             return False
@@ -613,9 +776,17 @@ class CompilationPipeline:
         )
 
     def _store_entry(
-        self, label, task: ShardTask, result: ShardResult, active, stage2_blocks
+        self, label, task: ShardTask, result: ShardResult, active, stage2_blocks,
+        encoding_sig=None,
     ) -> _ShardEntry:
-        targets = segment_targets(result.stage1_block)
+        if task.compose:
+            targets = segment_targets(result.stage1_block)
+            target_blocks = {target: stage2_blocks.get(target) for target in targets}
+        else:
+            # Multi-table: the segment never embeds stage-2 blocks, so
+            # their churn can't stale it — the merged VMAC table is
+            # rebuilt from fresh blocks every pass regardless.
+            target_blocks = {}
         entry = _ShardEntry(
             policy_set=active.get(task.participant) if task.participant else None,
             reachable=dict(task.reachable) if task.participant else None,
@@ -625,9 +796,10 @@ class CompilationPipeline:
                 else None
             ),
             raw=task.raw,
-            target_blocks={target: stage2_blocks.get(target) for target in targets},
+            target_blocks=target_blocks,
             stage1_block=result.stage1_block,
             segment=result.segment,
+            encoding_sig=encoding_sig if task.participant else None,
         )
         self._shard_cache[label] = entry
         return entry

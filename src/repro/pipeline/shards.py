@@ -1,12 +1,21 @@
-"""Compile shards: the per-segment unit of (parallel) compilation.
+"""Compile shards: participant-local compilation units.
 
-A *shard* produces one provenance segment of the final flow table:
+A *shard* is one participant's self-contained controller (or a shared
+segment), producing one provenance segment of the final flow table:
 
 * ``("policy", name)`` — a participant's outbound policy, VMAC-encoded
   against the current FEC table, sealed, pinned to the participant's
   ports, and composed with the second stage;
 * ``("chains",)`` — the service-chain continuation block, composed;
 * ``("default",)`` — the shared default-forwarding block, composed.
+
+A policy shard never reads the route server: it compiles against a
+:class:`ParticipantRIBView` — a materialized snapshot of exactly the
+slice of BGP state the participant is entitled to see (its peers'
+export-filtered routes, plus the ranked routes it announced itself,
+for delivery).  The central pipeline retains only the cross-participant
+authorities — the FEC partition, VNH/VMAC allocation, ARP — and the
+final rule merge.
 
 :func:`run_shard` is a *pure function* of its :class:`ShardTask`: it
 reads no controller state, which is what lets the pipeline run it in a
@@ -20,15 +29,28 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, List, Mapping, NamedTuple, Optional, Tuple
 
-from repro.core.fec import FECTable
-from repro.core.transforms import isolate, vmacify_outbound
+from repro.bgp.messages import Route
+from repro.core.fec import FECTable, PrefixGroup
+from repro.core.supersets import (
+    default_delivery_classifier_superset,
+    vmacify_outbound_superset,
+)
+from repro.core.transforms import (
+    default_delivery_classifier,
+    isolate,
+    rewrite_inbound_delivery,
+    vmacify_outbound,
+)
+from repro.ixp.topology import IXPConfig, ParticipantSpec
 from repro.netutils.ip import IPv4Prefix
 from repro.policy.analysis import with_fallback
 from repro.policy.classifier import Classifier, Rule, sequence_rule
 
 __all__ = [
+    "ParticipantRIBView",
     "ShardResult",
     "ShardTask",
+    "compile_delivery",
     "label_participant",
     "policy_label",
     "run_shard",
@@ -36,6 +58,35 @@ __all__ = [
 ]
 
 _EMPTY = Classifier()
+
+
+class ParticipantRIBView(NamedTuple):
+    """One participant's scoped, materialized slice of BGP state.
+
+    This is everything a participant-local compilation is entitled to
+    read: what its peers export *to it* (the BGP-consistency filters of
+    its outbound policy) and the ranked routes *it announced* (its
+    delivery rules).  Views are plain data — comparable for shard-cache
+    validation and inheritable across a worker fork — and are built by
+    the central pipeline, which remains the RIB/ARP authority.
+    """
+
+    participant: str
+    #: peer -> the peer's export-filtered prefixes, as seen by this
+    #: participant (``loc_rib(participant).prefixes_via(peer)``)
+    exports: Mapping[str, FrozenSet[IPv4Prefix]]
+    #: FEC prefix-set -> the ranked routes this participant announced
+    #: for that class (group ids renumber between passes; prefix sets
+    #: are the stable key)
+    announced: Mapping[FrozenSet[IPv4Prefix], Tuple[Route, ...]]
+
+    def reachable(self, target: str) -> FrozenSet[IPv4Prefix]:
+        """The prefixes this participant may steer toward ``target``."""
+        return self.exports.get(target, frozenset())
+
+    def ranked_routes(self, group: PrefixGroup) -> Tuple[Route, ...]:
+        """The announced-route slice for one FEC (delivery's input)."""
+        return self.announced.get(group.prefixes, ())
 
 
 def policy_label(name: str) -> Tuple[str, str]:
@@ -70,12 +121,22 @@ class ShardTask(NamedTuple):
     port_ids: Tuple[str, ...]
     #: every configured participant name (virtual-location universe)
     participant_names: FrozenSet[str]
-    #: target -> prefixes reachable via target (policy shards)
+    #: target -> prefixes reachable via target (policy shards); mirrors
+    #: ``rib_view.exports`` — kept flat for cache-signature comparison
     reachable: Mapping[str, FrozenSet[IPv4Prefix]]
     #: the FEC partition this compilation runs against
     fec_table: Optional[FECTable]
     #: the full second-stage block map (consulted per forwarding action)
     stage2_blocks: Mapping[Any, Classifier]
+    #: the participant's scoped RIB snapshot (policy shards)
+    rib_view: Optional[ParticipantRIBView] = None
+    #: VMAC encoding scheme this shard compiles under
+    mode: str = "fec"
+    #: superset mode: the encoder registry snapshot (a SupersetView)
+    encoder: Optional[Any] = None
+    #: False in the multi-table layout: the stage-1 block *is* the
+    #: segment (table 0, goto stage 2) and composition is skipped
+    compose: bool = True
 
 
 class ShardResult(NamedTuple):
@@ -110,24 +171,70 @@ def run_shard(task: ShardTask) -> ShardResult:
     """Compile one shard; exceptions are captured, never raised."""
     try:
         if task.label[0] == "policy":
-            reachable_map = task.reachable
+            if task.rib_view is not None:
+                reachable = task.rib_view.reachable
+            else:
+                reachable_map = task.reachable
 
-            def reachable(target: str) -> FrozenSet[IPv4Prefix]:
-                return reachable_map.get(target, frozenset())
+                def reachable(target: str) -> FrozenSet[IPv4Prefix]:
+                    return reachable_map.get(target, frozenset())
 
-            vmacified = vmacify_outbound(
-                task.raw, task.participant_names, reachable, task.fec_table
-            )
+            if task.mode == "superset":
+                vmacified = vmacify_outbound_superset(
+                    task.raw,
+                    task.participant_names,
+                    reachable,
+                    task.fec_table,
+                    task.encoder,
+                )
+            else:
+                vmacified = vmacify_outbound(
+                    task.raw, task.participant_names, reachable, task.fec_table
+                )
             sealed = with_fallback(vmacified, _EMPTY)
             stage1_block = isolate(sealed, task.port_ids)
         else:
             stage1_block = task.raw
-        segment = _compose(stage1_block, task.stage2_blocks)
+        if task.compose:
+            segment = _compose(stage1_block, task.stage2_blocks)
+        else:
+            # Multi-table layout: the stage-1 block is installed as-is
+            # (table 0) and chains into the merged stage-2 table.
+            segment = stage1_block
         return ShardResult(task.label, task.participant, stage1_block, segment, None)
     except Exception as exc:  # noqa: BLE001 - shard faults are data
         return ShardResult(
             task.label, task.participant, None, None, (type(exc).__name__, str(exc))
         )
+
+
+def compile_delivery(
+    spec: ParticipantSpec,
+    view: ParticipantRIBView,
+    inbound: Classifier,
+    config: IXPConfig,
+    fec_table: FECTable,
+    mode: str = "fec",
+    encoder: Optional[Any] = None,
+) -> Classifier:
+    """One participant's second-stage block, from its own RIB view.
+
+    The participant-local half of ``defP``: the inbound policy (with
+    physical-port forwards rewritten to set interface MACs) sealed over
+    default delivery, pinned to the participant's virtual switch.
+    Everything it reads about BGP comes from ``view.announced`` — the
+    routes this participant announced — so a shard can build it without
+    the route server.
+    """
+    delivery_ready = rewrite_inbound_delivery(inbound, config)
+    if mode == "superset":
+        default = default_delivery_classifier_superset(
+            spec, fec_table, view.ranked_routes, encoder
+        )
+    else:
+        default = default_delivery_classifier(spec, fec_table, view.ranked_routes)
+    combined = with_fallback(delivery_ready, default)
+    return isolate(combined, [spec.name])
 
 
 def segment_targets(stage1_block: Classifier) -> FrozenSet[Any]:

@@ -182,9 +182,10 @@ class FabricCommitter:
         # participant policy.  Segment order fixes relative priority:
         # earlier segments sit above later ones.
         segments = result.segments or ((("all",), result.classifier),)
+        placements = dict(getattr(result, "placements", None) or {})
         patch = diff(
             (rule for rule in table if is_base_cookie(rule.cookie)),
-            target_specs(segments),
+            target_specs(segments, placements=placements),
         )
         transaction = table.transaction()
         guard = controller.guard

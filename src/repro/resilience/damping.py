@@ -16,11 +16,14 @@ in sync with BGP.
 from __future__ import annotations
 
 import math
-from typing import Dict, NamedTuple, Optional, Tuple
+from typing import Dict, NamedTuple, Optional, Set, Tuple
 
 from repro.netutils.ip import IPv4Prefix
 
 __all__ = ["DampingConfig", "FlapDamper", "FlapRecord"]
+
+#: Smallest record count at which the amortized eviction sweep runs.
+_SWEEP_MIN = 64
 
 
 class DampingConfig(NamedTuple):
@@ -64,6 +67,19 @@ class FlapDamper:
         self._clock = clock
         self.config = config
         self._records: Dict[Tuple[str, IPv4Prefix], FlapRecord] = {}
+        # Per-prefix index of peers whose route is (or recently was)
+        # suppressed: the fast-path gate asks "is this prefix damped?"
+        # on every best-path change, and scanning every record ever
+        # flapped made that O(all records).  The index may hold entries
+        # whose penalty has since decayed — they are cleared lazily by
+        # ``is_suppressed`` — but never misses a suppressed route.
+        self._suppressed: Dict[IPv4Prefix, Set[str]] = {}
+        # Records whose penalty decayed below this floor carry no
+        # information (they cannot influence suppression before being
+        # re-penalized) and are evicted so the table tracks only routes
+        # that flapped *recently*, not every route that ever flapped.
+        self._evict_floor = config.reuse_threshold / 2.0
+        self._sweep_at = _SWEEP_MIN
 
     # -- recording flap events ------------------------------------------------
 
@@ -83,43 +99,82 @@ class FlapDamper:
         record = self._records.get(key)
         if record is None:
             record = self._records[key] = FlapRecord(now)
+            if len(self._records) >= self._sweep_at:
+                self._sweep(now)
         record.decay(now, self.config.half_life)
         record.penalty = min(record.penalty + amount, self.config.max_penalty)
         record.flaps += 1
         if record.penalty >= self.config.suppress_threshold:
             record.suppressed = True
+            self._suppressed.setdefault(key[1], set()).add(peer)
         return record.suppressed
+
+    def _unsuppress(self, key: Tuple[str, IPv4Prefix], record: FlapRecord) -> None:
+        record.suppressed = False
+        peers = self._suppressed.get(key[1])
+        if peers is not None:
+            peers.discard(key[0])
+            if not peers:
+                del self._suppressed[key[1]]
+
+    def _maybe_evict(self, key: Tuple[str, IPv4Prefix], record: FlapRecord) -> None:
+        """Drop a decayed-cold record (must not be suppressed)."""
+        if not record.suppressed and record.penalty < self._evict_floor:
+            self._records.pop(key, None)
+
+    def _sweep(self, now: float) -> None:
+        """Evict every decayed-cold record; amortized O(1) per new route.
+
+        Runs when the table has doubled since the last sweep, so a long
+        churn replay holds only the routes still carrying penalty — the
+        table is bounded by ~2x the *warm* route count, not by every
+        (peer, prefix) that ever flapped.
+        """
+        for key in list(self._records):
+            record = self._records[key]
+            record.decay(now, self.config.half_life)
+            if record.suppressed and record.penalty <= self.config.reuse_threshold:
+                self._unsuppress(key, record)
+            self._maybe_evict(key, record)
+        self._sweep_at = max(_SWEEP_MIN, 2 * len(self._records))
 
     # -- queries ---------------------------------------------------------------
 
     def penalty(self, peer: str, prefix: "IPv4Prefix | str") -> float:
-        record = self._records.get((peer, IPv4Prefix(prefix)))
+        key = (peer, IPv4Prefix(prefix))
+        record = self._records.get(key)
         if record is None:
             return 0.0
         record.decay(self._clock.now, self.config.half_life)
-        return record.penalty
+        value = record.penalty
+        self._maybe_evict(key, record)
+        return value
 
     def is_suppressed(self, peer: str, prefix: "IPv4Prefix | str") -> bool:
         """Current suppression verdict for one route (decays lazily)."""
-        record = self._records.get((peer, IPv4Prefix(prefix)))
+        key = (peer, IPv4Prefix(prefix))
+        record = self._records.get(key)
         if record is None:
             return False
         record.decay(self._clock.now, self.config.half_life)
         if record.suppressed and record.penalty <= self.config.reuse_threshold:
-            record.suppressed = False
-        return record.suppressed
+            self._unsuppress(key, record)
+        verdict = record.suppressed
+        self._maybe_evict(key, record)
+        return verdict
 
     def is_prefix_suppressed(self, prefix: "IPv4Prefix | str") -> bool:
         """True when any peer's route for ``prefix`` is suppressed.
 
         The fast path recompiles per *prefix*, so one badly flapping
-        announcer is enough to withhold that prefix's churn.
+        announcer is enough to withhold that prefix's churn.  The check
+        walks only the prefix's suppressed-peer index — O(peers that
+        suppressed this prefix), not O(every record ever created).
         """
         prefix = IPv4Prefix(prefix)
         return any(
-            self.is_suppressed(peer, recorded)
-            for peer, recorded in list(self._records)
-            if recorded == prefix
+            self.is_suppressed(peer, prefix)
+            for peer in sorted(self._suppressed.get(prefix, ()))
         )
 
     def reuse_delay(self, peer: str, prefix: "IPv4Prefix | str") -> float:
@@ -139,18 +194,23 @@ class FlapDamper:
         prefix = IPv4Prefix(prefix)
         return max(
             (
-                self.reuse_delay(peer, recorded)
-                for peer, recorded in list(self._records)
-                if recorded == prefix and self.is_suppressed(peer, recorded)
+                self.reuse_delay(peer, prefix)
+                for peer in sorted(self._suppressed.get(prefix, ()))
+                if self.is_suppressed(peer, prefix)
             ),
             default=0.0,
         )
 
     def suppressed_routes(self) -> Tuple[Tuple[str, IPv4Prefix], ...]:
         """Every (peer, prefix) currently suppressed, sorted."""
+        candidates = [
+            (peer, prefix)
+            for prefix, peers in list(self._suppressed.items())
+            for peer in sorted(peers)
+        ]
         return tuple(
             sorted(
-                (key for key in list(self._records) if self.is_suppressed(*key)),
+                (key for key in candidates if self.is_suppressed(*key)),
                 key=lambda key: (key[0], str(key[1])),
             )
         )
@@ -162,10 +222,13 @@ class FlapDamper:
     def forget(self, peer: str, prefix: Optional["IPv4Prefix | str"] = None) -> None:
         """Drop damping state for a route, or a peer's every route."""
         if prefix is not None:
-            self._records.pop((peer, IPv4Prefix(prefix)), None)
+            keys = [(peer, IPv4Prefix(prefix))]
         else:
-            for key in [key for key in self._records if key[0] == peer]:
-                del self._records[key]
+            keys = [key for key in self._records if key[0] == peer]
+        for key in keys:
+            record = self._records.pop(key, None)
+            if record is not None and record.suppressed:
+                self._unsuppress(key, record)
 
     def __repr__(self) -> str:
         return (

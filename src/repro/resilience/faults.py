@@ -256,7 +256,14 @@ class FaultInjector:
                     continue
                 table.remove(rule)
                 table.install(
-                    FlowRule(rule.priority, rule.match, (), cookie=rule.cookie)
+                    FlowRule(
+                        rule.priority,
+                        rule.match,
+                        (),
+                        cookie=rule.cookie,
+                        table=rule.table,
+                        goto=rule.goto,
+                    )
                 )
             self._note("commit-corruption", repr(victim_cookie))
 

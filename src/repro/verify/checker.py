@@ -272,21 +272,22 @@ class DifferentialChecker:
         """Where the installed tables send the probe — without counting.
 
         Mirrors ``SDNSwitch.receive`` (locate, match, apply actions,
-        keep real egress ports) but goes through ``table.lookup`` so the
-        probe leaves no trace: no packet/byte counters on the matched
-        rule, no received/dropped tick on the switch.  Verification that
-        perturbed per-policy traffic accounting would make the guard's
-        always-on probing unbillable.
+        keep real egress ports) but goes through ``table.resolve`` so
+        the probe leaves no trace: no packet/byte counters on any
+        matched rule — across every table stage of a multi-table
+        layout — no received/dropped tick on the switch.  Verification
+        that perturbed per-policy traffic accounting would make the
+        guard's always-on probing unbillable.
         """
         switch = self._controller.switch
         located = probe.packet.modify(port=probe.in_port, switch=switch.name)
-        rule = switch.table.lookup(located)
-        if rule is None:
+        resolved = switch.table.resolve(located)
+        if resolved is None:
             return frozenset()
+        _, outputs = resolved
         deliveries = set()
         valid_ports = switch.ports()
-        for action in rule.actions:
-            out = action.apply(located)
+        for out in outputs:
             out_port = out.get("port")
             if out_port is None or out_port not in valid_ports:
                 continue

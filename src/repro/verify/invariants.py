@@ -40,6 +40,7 @@ from typing import (
 )
 
 from repro.netutils.ip import IPv4Prefix
+from repro.netutils.mac import MACMask
 from repro.pipeline.stages import BASE_COOKIE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -128,6 +129,13 @@ def check_bgp_consistency(controller: "SDXController") -> List[InvariantViolatio
     holding a route for some prefix of that class.  When the rule is
     scoped to a sender's ingress port, the stricter per-sender view
     applies: the route must actually be exported to that sender.
+
+    Under the superset encoding a tag may be *masked* — one rule
+    covering every VMAC with a given attribute bit set.  The masked
+    rule is consistent exactly when every **live** VMAC it matches
+    passes the per-class check above: the mask widens the quantifier,
+    not the property.  (A mask matching no live VMAC is vacuous — no
+    frame the fabric ARP'd for can reach it.)
     """
     violations: List[InvariantViolation] = []
     config = controller.config
@@ -171,8 +179,20 @@ def check_bgp_consistency(controller: "SDXController") -> List[InvariantViolatio
         ingress = rule.match.constraints.get("port")
         if ingress is not None:
             sender = port_owner.get(ingress)
-        prefixes = tag_classes.get(tag)
-        if prefixes is None and tag not in interface_owner:
+        if isinstance(tag, MACMask) and not tag.is_exact:
+            # Superset-encoded masked tag: the rule stands for every
+            # live VMAC the mask matches, and each matched class must
+            # pass the check independently.
+            classes = [
+                prefix_set
+                for vmac, prefix_set in tag_classes.items()
+                if tag.matches(vmac)
+            ]
+        elif tag in tag_classes:
+            classes = [tag_classes[tag]]
+        elif tag in interface_owner:
+            classes = None  # interface-MAC tag: default delivery
+        else:
             violations.append(
                 InvariantViolation(
                     "bgp-consistency",
@@ -181,6 +201,12 @@ def check_bgp_consistency(controller: "SDXController") -> List[InvariantViolatio
                     "nor a peering interface MAC (stale or leaked rule)",
                 )
             )
+            continue
+        if rule.goto is not None:
+            # Multi-table stage-1 rule: it forwards to a *virtual*
+            # location and chains on — the physical egress happens in
+            # the goto table, whose rules carry their own VMAC matches
+            # and are checked in their own right.
             continue
         for action in rule.actions:
             egress = action.output_port
@@ -196,7 +222,7 @@ def check_bgp_consistency(controller: "SDXController") -> List[InvariantViolatio
                     )
                 )
                 continue
-            if prefixes is None:
+            if classes is None:
                 # Interface-MAC tag: plain default delivery — the frame
                 # must stay with the participant owning that interface.
                 if target != interface_owner[tag]:
@@ -209,21 +235,24 @@ def check_bgp_consistency(controller: "SDXController") -> List[InvariantViolatio
                         )
                     )
                 continue
-            if sender is not None:
-                ok = any(p in exported(sender, target) for p in prefixes)
-            else:
-                ok = any(server.route_from(target, p) is not None for p in prefixes)
-            if not ok:
-                shown = ", ".join(sorted(map(str, prefixes))[:3])
-                violations.append(
-                    InvariantViolation(
-                        "bgp-consistency",
-                        repr(rule),
-                        f"egress via {target!r} which advertised no route for "
-                        f"the tagged class {{{shown}}}"
-                        + (f" visible to sender {sender!r}" if sender else ""),
+            for prefixes in classes:
+                if sender is not None:
+                    ok = any(p in exported(sender, target) for p in prefixes)
+                else:
+                    ok = any(
+                        server.route_from(target, p) is not None for p in prefixes
                     )
-                )
+                if not ok:
+                    shown = ", ".join(sorted(map(str, prefixes))[:3])
+                    violations.append(
+                        InvariantViolation(
+                            "bgp-consistency",
+                            repr(rule),
+                            f"egress via {target!r} which advertised no route "
+                            f"for the tagged class {{{shown}}}"
+                            + (f" visible to sender {sender!r}" if sender else ""),
+                        )
+                    )
     return violations
 
 

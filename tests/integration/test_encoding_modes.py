@@ -1,0 +1,157 @@
+"""The VMAC encoding and dataplane layout knobs, end to end.
+
+Four controller configurations span the matrix: per-FEC x superset
+encodings against single-table x multi-table layouts.  Whatever the
+configuration, the compiled fabric must verify differentially clean and
+pass every structural invariant; the superset encoding must never need
+*more* fabric rules than per-FEC, and the multi-table layout must
+forward byte-for-byte like the composed single table.
+"""
+
+import os
+
+import pytest
+
+from repro.core.controller import SDXController
+from repro.core.supersets import SupersetEncoder
+from repro.experiments.common import build_scenario
+from repro.verify.invariants import check_all_invariants
+
+
+def scenario():
+    return build_scenario(participants=10, prefixes=64, seed=7, policy_seed=8)
+
+
+MODES = [
+    ("fec", "single"),
+    ("superset", "single"),
+    ("fec", "multitable"),
+    ("superset", "multitable"),
+]
+
+
+class TestModeMatrix:
+    @pytest.mark.parametrize("vmac_mode,dataplane_mode", MODES)
+    def test_compiles_and_verifies_clean(self, vmac_mode, dataplane_mode):
+        controller = scenario().controller(
+            vmac_mode=vmac_mode, dataplane_mode=dataplane_mode
+        )
+        report = controller.ops.verify(probes=96, seed=11)
+        assert report.ok, report.summary()
+        assert not check_all_invariants(controller)
+
+    @pytest.mark.parametrize("vmac_mode,dataplane_mode", MODES)
+    def test_survives_policy_edit_and_reverify(self, vmac_mode, dataplane_mode):
+        from repro.policy.language import fwd, match
+
+        controller = scenario().controller(
+            vmac_mode=vmac_mode, dataplane_mode=dataplane_mode
+        )
+        names = sorted(controller.config.participant_names())
+        editor, target = names[0], names[-1]
+        from repro.core.participant import SDXPolicySet
+
+        controller.policy.set_policies(
+            editor,
+            SDXPolicySet(outbound=match(dstport=4321) >> fwd(target)),
+            recompile=True,
+        )
+        report = controller.ops.verify(probes=96, seed=13)
+        assert report.ok, report.summary()
+        assert not check_all_invariants(controller)
+
+
+class TestSupersetEncoding:
+    def test_installs_no_more_rules_than_fec(self):
+        fec = scenario().controller(vmac_mode="fec")
+        superset = scenario().controller(vmac_mode="superset")
+        assert len(superset.switch.table) <= len(fec.switch.table)
+
+    def test_group_vmacs_decode_under_the_controller_encoder(self):
+        controller = scenario().controller(vmac_mode="superset")
+        encoder = controller.superset_encoder
+        assert isinstance(encoder, SupersetEncoder)
+        last = controller.last_compilation
+        for group in last.fec_table.affected_groups:
+            decoded = encoder.decode(group.vnh.hardware)
+            assert decoded is not None, group.vnh.hardware
+            assert decoded.nexthop_id > 0
+
+    def test_fec_mode_has_no_encoder(self):
+        controller = scenario().controller(vmac_mode="fec")
+        assert controller.superset_encoder is None
+
+
+class TestMultiTableLayout:
+    def test_rules_span_two_tables(self):
+        controller = scenario().controller(dataplane_mode="multitable")
+        assert controller.switch.table.table_ids() == (0, 1)
+        stage1 = controller.switch.table.rules_in(0)
+        assert any(rule.goto == 1 for rule in stage1)
+        assert all(rule.goto is None for rule in controller.switch.table.rules_in(1))
+
+    def test_single_table_stays_flat(self):
+        controller = scenario().controller(dataplane_mode="single")
+        assert controller.switch.table.table_ids() == (0,)
+
+    def test_forwards_identically_to_the_composed_layout(self):
+        """Same scenario, both layouts: every probe resolves identically.
+
+        Both controllers run per-FEC encoding over the same scenario, so
+        their VNH/VMAC assignment is deterministic and identical — a
+        router-faithful probe built from one is valid against the other.
+        """
+        import random
+
+        from repro.verify.checker import DifferentialChecker
+        from repro.verify.interpreter import ReferenceInterpreter
+
+        single = scenario().controller(dataplane_mode="single")
+        multi = scenario().controller(dataplane_mode="multitable")
+        checker = DifferentialChecker(single)
+        interpreter = ReferenceInterpreter(single)
+        rng = random.Random(17)
+        ports = [port.port_id for port in single.config.physical_ports()]
+        prefixes = list(single.route_server.sorted_prefixes())
+        compared = 0
+        for _ in range(96):
+            probe = checker._generate_probe(rng, ports, prefixes, interpreter)
+            if probe is None:
+                continue
+            located = probe.packet.modify(port=probe.in_port)
+            one = single.switch.table.resolve(located)
+            two = multi.switch.table.resolve(located)
+            lhs = frozenset() if one is None else one[1]
+            rhs = frozenset() if two is None else two[1]
+            assert lhs == rhs, located
+            compared += 1
+        assert compared > 0
+
+
+class TestModeKnobs:
+    def test_env_knobs_select_modes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VMAC", "superset")
+        monkeypatch.setenv("REPRO_DATAPLANE", "multitable")
+        controller = scenario().controller()
+        assert controller.vmac_mode == "superset"
+        assert controller.dataplane_mode == "multitable"
+
+    def test_constructor_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VMAC", "superset")
+        controller = scenario().controller(vmac_mode="fec")
+        assert controller.vmac_mode == "fec"
+
+    def test_invalid_modes_are_rejected(self):
+        config = scenario().ixp.config
+        with pytest.raises(ValueError):
+            SDXController(config, vmac_mode="bitmap")
+        with pytest.raises(ValueError):
+            SDXController(config, dataplane_mode="pipeline")
+
+    def test_default_is_fec_single(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VMAC", raising=False)
+        monkeypatch.delenv("REPRO_DATAPLANE", raising=False)
+        controller = scenario().controller()
+        assert controller.vmac_mode == "fec"
+        assert controller.dataplane_mode == "single"
+        assert os.environ.get("REPRO_VMAC") is None

@@ -1,0 +1,110 @@
+"""Property tests pinning the superset VMAC bit-budget invariants.
+
+The encoding promises: every attribute field fits the 48-bit MAC with
+nothing left over, encoded VMACs are pairwise distinct (the bijection
+the ARP responder depends on), and neither encoded nor spilled VMACs
+can ever collide with participant interface MACs or each other's
+blocks.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import supersets as ss
+from repro.core.supersets import SupersetEncoder
+from repro.netutils.mac import MACAllocator
+
+NAMES = [f"as{i:02d}" for i in range(20)]
+
+member_sets = st.frozensets(st.sampled_from(NAMES), min_size=1, max_size=14)
+classes = st.lists(
+    st.tuples(member_sets, st.none() | st.sampled_from(NAMES)),
+    min_size=1,
+    max_size=40,
+)
+
+
+def test_attribute_fields_fill_exactly_48_bits():
+    assert (
+        8 + ss.SUPERSET_BITS + ss.POSITION_BITS + ss.NEXTHOP_BITS + ss.SERIAL_BITS
+        == 48
+    )
+
+
+@given(classes)
+def test_vmacs_stay_in_48_bits_and_never_collide(family):
+    encoder = SupersetEncoder()
+    issued = [encoder.encode(members, nexthop) for members, nexthop in family]
+    values = [int(vmac) for vmac in issued]
+    assert all(0 <= value < (1 << 48) for value in values)
+    assert len(set(values)) == len(values), "VNH<->VMAC bijection broken"
+
+
+@given(classes)
+def test_no_collision_with_physical_or_fec_blocks(family):
+    encoder = SupersetEncoder()
+    for members, nexthop in family:
+        vmac = encoder.encode(members, nexthop)
+        top_octet = int(vmac) >> 40
+        # locally administered, never a real interface's block
+        assert top_octet & 0x02
+        if encoder.is_superset_vmac(vmac):
+            assert top_octet == ss.MARKER_OCTET
+        else:
+            # spilled classes live in the per-FEC fallback block
+            assert top_octet != ss.MARKER_OCTET
+            assert int(vmac) >> 32 == 0x02A5
+
+
+@given(classes)
+def test_decode_recovers_members_and_masks_agree(family):
+    encoder = SupersetEncoder()
+    for members, nexthop in family:
+        vmac = encoder.encode(members, nexthop)
+        encoding = encoder.decode(vmac)
+        if encoding is None:
+            assert len(members) > ss.POSITION_BITS or encoder.spills
+            continue
+        roster = encoder.members_of(encoding.superset_id)
+        carried = {
+            roster[position]
+            for position in range(ss.POSITION_BITS)
+            if (encoding.position_mask >> position) & 1
+        }
+        assert carried == members
+        # the policy matcher for every member selects this VMAC ...
+        for name in members:
+            position = encoder.position_of(encoding.superset_id, name)
+            assert encoder.policy_match(encoding.superset_id, position).matches(vmac)
+        # ... and for hosted non-members it never does
+        for name in set(roster) - members:
+            position = encoder.position_of(encoding.superset_id, name)
+            assert not encoder.policy_match(encoding.superset_id, position).matches(
+                vmac
+            )
+        if nexthop is not None:
+            assert encoder.nexthop_match(nexthop).matches(vmac)
+
+
+@given(classes)
+def test_superset_ids_and_positions_respect_budget(family):
+    encoder = SupersetEncoder()
+    for members, nexthop in family:
+        encoder.encode(members, nexthop)
+    assert encoder.superset_count <= ss.MAX_SUPERSETS
+    for superset_id in range(encoder.superset_count):
+        roster = encoder.members_of(superset_id)
+        assert len(roster) <= ss.POSITION_BITS
+        for name in roster:
+            position = encoder.position_of(superset_id, name)
+            assert 0 <= position < ss.POSITION_BITS
+
+
+@settings(max_examples=25, deadline=None)
+@given(classes)
+def test_spilled_vmacs_unique_even_with_shared_fallback(family):
+    fallback = MACAllocator()
+    encoder = SupersetEncoder(fallback=fallback)
+    issued = [int(encoder.encode(members, nexthop)) for members, nexthop in family]
+    direct = [int(fallback.allocate()) for _ in range(8)]
+    combined = issued + direct
+    assert len(set(combined)) == len(combined)

@@ -158,3 +158,110 @@ class TestTransactionPrioritySnapshot:
         with table.transaction():
             table.reprioritize(entry, 42)
         assert entry.priority == 42
+
+
+class TestMultiTable:
+    def chained(self):
+        table = FlowTable()
+        stage1 = table.install(
+            FlowRule(
+                10,
+                HeaderMatch(dstport=80),
+                (Action(tos=1),),
+                cookie="s1",
+                table=0,
+                goto=1,
+            )
+        )
+        stage2 = table.install(
+            FlowRule(
+                5,
+                HeaderMatch(tos=1),
+                (Action(port="out"),),
+                cookie="s2",
+                table=1,
+            )
+        )
+        return table, stage1, stage2
+
+    def test_goto_must_point_forward(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            FlowRule(1, HeaderMatch.ANY, (), table=1, goto=1)
+        with pytest.raises(ValueError):
+            FlowRule(1, HeaderMatch.ANY, (), table=2, goto=0)
+
+    def test_lookup_is_per_table(self):
+        table, stage1, stage2 = self.chained()
+        assert table.lookup(Packet(dstport=80)) is stage1
+        assert table.lookup(Packet(tos=1), table=1) is stage2
+        assert table.lookup(Packet(tos=1)) is None
+
+    def test_process_follows_goto_and_counts_both_stages(self):
+        table, stage1, stage2 = self.chained()
+        out = table.process(Packet(dstport=80), packet_bytes=64)
+        assert {p["port"] for p in out} == {"out"}
+        assert {p["tos"] for p in out} == {1}
+        assert stage1.packets == 1 and stage1.bytes == 64
+        assert stage2.packets == 1 and stage2.bytes == 64
+
+    def test_miss_in_next_table_drops(self):
+        table = FlowTable()
+        table.install(
+            FlowRule(10, HeaderMatch(dstport=80), (Action(tos=2),), table=0, goto=1)
+        )
+        table.install(FlowRule(5, HeaderMatch(tos=1), (Action(port="out"),), table=1))
+        assert table.process(Packet(dstport=80)) == frozenset()
+
+    def test_resolve_returns_first_stage_rule_without_counting(self):
+        table, stage1, stage2 = self.chained()
+        resolved = table.resolve(Packet(dstport=80))
+        assert resolved is not None
+        first, outputs = resolved
+        assert first is stage1
+        assert {p["port"] for p in outputs} == {"out"}
+        assert stage1.packets == 0 and stage2.packets == 0
+        assert table.resolve(Packet(dstport=22)) is None
+
+    def test_multistage_fanout(self):
+        table = FlowTable()
+        table.install(
+            FlowRule(
+                10,
+                HeaderMatch(dstport=80),
+                (Action(tos=1), Action(tos=2)),
+                table=0,
+                goto=1,
+            )
+        )
+        table.install(FlowRule(5, HeaderMatch(tos=1), (Action(port="a"),), table=1))
+        table.install(FlowRule(5, HeaderMatch(tos=2), (Action(port="b"),), table=1))
+        out = table.process(Packet(dstport=80))
+        assert {p["port"] for p in out} == {"a", "b"}
+
+    def test_identity_includes_table_and_goto(self):
+        base = FlowRule(1, HeaderMatch(dstport=80), (Action(port="x"),), cookie="c")
+        other_table = FlowRule(
+            1, HeaderMatch(dstport=80), (Action(port="x"),), cookie="c", table=1
+        )
+        with_goto = FlowRule(
+            1, HeaderMatch(dstport=80), (Action(port="x"),), cookie="c", goto=1
+        )
+        assert base.identity != other_table.identity
+        assert base.identity != with_goto.identity
+
+    def test_content_hash_distinguishes_placement(self):
+        plain = FlowTable()
+        plain.install(rule(1, dstport=80))
+        staged = FlowTable()
+        staged.install(
+            FlowRule(1, HeaderMatch(dstport=80), (Action(port="out"),), table=1)
+        )
+        assert plain.content_hash() != staged.content_hash()
+
+    def test_table_ids_and_rules_in(self):
+        table, stage1, stage2 = self.chained()
+        assert table.table_ids() == (0, 1)
+        assert table.rules_in(0) == (stage1,)
+        assert table.rules_in(1) == (stage2,)

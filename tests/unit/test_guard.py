@@ -85,6 +85,16 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket(rate=1.0, capacity=0)
 
+    def test_rewound_clock_does_not_freeze_refill(self):
+        bucket = TokenBucket(rate=1.0, capacity=2, now=100.0)
+        assert bucket.try_take(100.0, cost=2.0)
+        # The sim clock resets to zero: negative elapsed is clamped (no
+        # token windfall), and refill resumes on the new timeline
+        # instead of waiting for t to climb back past 100.
+        assert not bucket.try_take(0.0)
+        assert bucket.deficit_delay(0.0, cost=1.0) == pytest.approx(1.0)
+        assert bucket.try_take(2.0, cost=2.0)
+
 
 # -- deterministic sampling --------------------------------------------------
 
@@ -243,6 +253,32 @@ class TestAdmission:
         clock.advance(state.backoff_until + state.penalty + 1.0)
         controller.policy.set_policies("A", policy, recompile=False)
         assert state.penalty == 0.0
+
+    def test_rewound_clock_shortens_stale_backoff(self):
+        clock = FakeClock(start=100.0)
+        controller = make_controller(
+            clock,
+            admission=AdmissionConfig(policy_edits_per_sec=1.0, policy_edit_burst=1),
+        )
+        load_figure1_routes(controller)
+        policy = SDXPolicySet(outbound=(match(dstport=80) >> fwd("B")))
+        controller.policy.set_policies("A", policy, recompile=False)
+        with pytest.raises(PolicyEditRateExceeded):
+            controller.policy.set_policies("A", policy, recompile=False)
+        # The sim clock resets to zero.  The stale deadline (t=100.5)
+        # must not lock the tenant out for the next hundred seconds of
+        # the new timeline: at most the intended penalty is re-imposed.
+        clock.now = 0.0
+        with pytest.raises(PolicyEditRateExceeded) as excinfo:
+            controller.policy.set_policies("A", policy, recompile=False)
+        assert excinfo.value.retry_after < 2.0
+        # One more touch re-anchors the rewound token bucket ...
+        clock.now = 2.0
+        with pytest.raises(PolicyEditRateExceeded):
+            controller.policy.set_policies("A", policy, recompile=False)
+        # ... after which tokens accrue on the new timeline as usual.
+        clock.now = 10.0
+        controller.policy.set_policies("A", policy, recompile=False)
 
     def test_announcement_cost_counts_prefixes(self):
         from repro.bgp.attributes import RouteAttributes

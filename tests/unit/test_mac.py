@@ -78,3 +78,101 @@ class TestMACAllocator:
         first = allocator.allocate()
         allocator.reset()
         assert allocator.allocate() == first
+
+
+class TestMACAllocatorBoundaries:
+    def test_final_address_in_block_is_usable(self):
+        allocator = MACAllocator(base="02:a5:00:00:00:00", capacity=3)
+        last = None
+        for _ in range(3):
+            last = allocator.allocate()
+        assert str(last) == "02:a5:00:00:00:02"
+        with pytest.raises(RuntimeError, match="exhausted"):
+            allocator.allocate()
+
+    def test_exhausted_allocator_stays_exhausted(self):
+        allocator = MACAllocator(capacity=1)
+        allocator.allocate()
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                allocator.allocate()
+        assert allocator.allocated == 1
+
+    def test_reset_recovers_from_exhaustion(self):
+        allocator = MACAllocator(capacity=2)
+        list(allocator.allocate_many(2))
+        with pytest.raises(RuntimeError):
+            allocator.allocate()
+        allocator.reset()
+        assert allocator.allocated == 0
+        assert str(allocator.allocate()) == "02:a5:00:00:00:00"
+
+    def test_allocation_at_top_of_address_space(self):
+        # A block ending exactly at ff:ff:ff:ff:ff:ff must not overflow
+        # 48 bits on its final allocation.
+        allocator = MACAllocator(base=(1 << 48) - 2, capacity=2)
+        assert str(allocator.allocate()) == "ff:ff:ff:ff:ff:fe"
+        assert str(allocator.allocate()) == "ff:ff:ff:ff:ff:ff"
+        with pytest.raises(RuntimeError):
+            allocator.allocate()
+
+    def test_allocate_many_stops_at_capacity(self):
+        allocator = MACAllocator(capacity=3)
+        with pytest.raises(RuntimeError):
+            list(allocator.allocate_many(4))
+        assert allocator.allocated == 3
+
+
+class TestMACMask:
+    def test_canonical_storage_zeroes_dont_care_bits(self):
+        from repro.netutils.mac import MACMask
+
+        masked = MACMask("06:ff:ff:ff:ff:ff", "ff:00:00:00:00:00")
+        assert str(masked.value) == "06:00:00:00:00:00"
+        assert masked == MACMask("06:00:00:00:00:00", "ff:00:00:00:00:00")
+        assert hash(masked) == hash(MACMask("06:12:34:00:00:00", 0xFF0000000000))
+
+    def test_matches_and_covers(self):
+        from repro.netutils.mac import MACMask
+
+        top_octet = MACMask("06:00:00:00:00:00", "ff:00:00:00:00:00")
+        assert top_octet.matches(mac("06:12:34:56:78:9a"))
+        assert not top_octet.matches(mac("02:a5:00:00:00:01"))
+        narrower = MACMask("06:12:00:00:00:00", "ff:ff:00:00:00:00")
+        assert top_octet.covers(narrower)
+        assert not narrower.covers(top_octet)
+        assert top_octet.covers(mac("06:00:00:00:00:07"))
+
+    def test_intersect_merges_and_detects_disjoint(self):
+        from repro.netutils.mac import MACMask
+
+        a = MACMask("06:00:00:00:00:00", "ff:00:00:00:00:00")
+        b = MACMask("00:34:00:00:00:00", "00:ff:00:00:00:00")
+        merged = a.intersect(b)
+        assert merged == MACMask("06:34:00:00:00:00", "ff:ff:00:00:00:00")
+        conflict = MACMask("02:00:00:00:00:00", "ff:00:00:00:00:00")
+        assert a.intersect(conflict) is None
+
+    def test_intersect_with_exact_address_collapses(self):
+        from repro.netutils.mac import MACMask
+
+        a = MACMask("06:00:00:00:00:00", "ff:00:00:00:00:00")
+        address = mac("06:12:34:56:78:9a")
+        assert a.intersect(address) == address
+        assert a.intersect(mac("08:00:27:00:00:01")) is None
+        full = MACMask(address, (1 << 48) - 1)
+        assert full.simplified() == address
+
+    def test_header_match_with_masked_dstmac(self):
+        from repro.netutils.mac import MACMask
+        from repro.policy.classifier import HeaderMatch
+        from repro.policy.packet import Packet
+
+        masked = HeaderMatch(dstmac=MACMask("06:00:00:00:00:00", "ff:00:00:00:00:00"))
+        assert masked.matches(Packet(dstmac="06:aa:bb:cc:dd:ee"))
+        assert not masked.matches(Packet(dstmac="02:a5:00:00:00:01"))
+        exact = HeaderMatch(dstmac="06:aa:bb:cc:dd:ee")
+        assert masked.covers(exact)
+        assert not exact.covers(masked)
+        overlap = masked.intersect(exact)
+        assert overlap is not None and overlap == exact

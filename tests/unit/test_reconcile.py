@@ -195,3 +195,64 @@ class TestCommitReport:
 
     def test_own_fields_do_not_delegate(self):
         assert self._report(added=0).added == 0
+
+
+class TestPlacements:
+    def segments(self):
+        s1 = Classifier(
+            [Rule(HeaderMatch(dstport=80), (Action(tos=1),))]
+        )
+        s2 = Classifier([Rule(HeaderMatch(tos=1), (Action(port="out"),))])
+        return [(("policy", "a"), s1), (("vmac",), s2)]
+
+    def test_target_specs_applies_placements(self):
+        segments = self.segments()
+        specs = target_specs(
+            segments,
+            placements={("policy", "a"): (0, 1), ("vmac",): (1, None)},
+        )
+        assert [(s.table, s.goto) for s in specs] == [(0, 1), (1, None)]
+        # Global priority tiling is unchanged by placement.
+        assert [s.priority for s in specs] == [
+            s.priority for s in target_specs(segments)
+        ]
+
+    def test_placement_default_is_single_table(self):
+        specs = target_specs(self.segments())
+        assert all((s.table, s.goto) == (0, None) for s in specs)
+
+    def test_placement_change_is_churn_not_retain(self):
+        segments = self.segments()
+        table = FlowTable()
+        diff(
+            (), target_specs(segments)
+        ).apply(table)
+        patch = diff(
+            (rule for rule in table if is_base_cookie(rule.cookie)),
+            target_specs(
+                segments,
+                placements={("policy", "a"): (0, 1), ("vmac",): (1, None)},
+            ),
+        )
+        # Moving a segment to a new stage changes its rules' identity:
+        # everything is re-installed, nothing silently "retained" in the
+        # wrong stage.
+        assert patch.retained == 0
+        assert len(patch.adds) == 2 and len(patch.removes) == 2
+
+    def test_patch_apply_installs_placed_rules(self):
+        segments = self.segments()
+        table = FlowTable()
+        patch = diff(
+            (),
+            target_specs(
+                segments,
+                placements={("policy", "a"): (0, 1), ("vmac",): (1, None)},
+            ),
+        )
+        patch.apply(table)
+        from repro.policy.packet import Packet
+
+        out = table.process(Packet(dstport=80))
+        assert {p["port"] for p in out} == {"out"}
+        assert table.table_ids() == (0, 1)

@@ -141,6 +141,51 @@ class TestFlapDamper:
             ("C", IPv4Prefix(P)),
         )
 
+    def test_long_churn_keeps_record_count_bounded(self):
+        # A rolling population of routes each flaps once and goes quiet.
+        # Decayed-cold records must be evicted, not kept forever: the
+        # table tracks the warm set, not every route that ever flapped.
+        clock = ManualClock()
+        damper = FlapDamper(clock, DampingConfig(half_life=60.0))
+        for i in range(5000):
+            clock.now = i * 30.0
+            damper.record_withdraw("B", f"10.{(i >> 8) & 255}.{i & 255}.0/24")
+        assert len(damper._records) < 200
+
+    def test_cold_record_evicted_after_full_decay(self):
+        clock = ManualClock()
+        damper = FlapDamper(clock, DampingConfig(half_life=100.0))
+        damper.record_withdraw("B", P)
+        clock.now = 10_000.0  # 100 half-lives: penalty is effectively zero
+        assert damper.penalty("B", P) == pytest.approx(0.0, abs=1e-3)
+        assert ("B", IPv4Prefix(P)) not in damper._records
+        # Re-flapping after eviction starts a clean history.
+        assert not damper.record_withdraw("B", P)
+        assert damper.flap_count("B", P) == 1
+
+    def test_prefix_suppression_index_clears_on_release(self):
+        clock = ManualClock()
+        damper = FlapDamper(clock)
+        for _ in range(2):
+            damper.record_withdraw("B", P)
+        assert damper.is_prefix_suppressed(P)
+        delay = damper.prefix_reuse_delay(P)
+        assert delay > 0
+        clock.now = delay
+        assert not damper.is_prefix_suppressed(P)
+        assert damper.prefix_reuse_delay(P) == 0.0
+        assert damper.suppressed_routes() == ()
+        assert damper._suppressed == {}
+
+    def test_forget_clears_suppression_index(self):
+        damper = FlapDamper(ManualClock())
+        for _ in range(2):
+            damper.record_withdraw("B", P)
+        assert damper.is_prefix_suppressed(P)
+        damper.forget("B")
+        assert not damper.is_prefix_suppressed(P)
+        assert damper._suppressed == {}
+
 
 # ---------------------------------------------------------------------------
 # Update-plane protection (RFC 7606)

@@ -1,0 +1,337 @@
+"""Unit tests for the superset VMAC encoder and its masked transforms."""
+
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Route
+from repro.core import supersets as ss
+from repro.core.fec import FECTable, PrefixGroup
+from repro.core.supersets import (
+    SupersetEncoder,
+    default_delivery_classifier_superset,
+    default_forwarding_classifier_superset,
+    encoding_inputs,
+    vmacify_outbound_superset,
+)
+from repro.core.vmac import VirtualNextHop
+from repro.ixp.topology import IXPConfig
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+from repro.netutils.mac import MACAddress, MACMask
+from repro.policy import fwd, match
+
+P1 = IPv4Prefix("10.1.0.0/16")
+P2 = IPv4Prefix("10.2.0.0/16")
+P3 = IPv4Prefix("10.3.0.0/16")
+
+PARTICIPANTS = frozenset({"A", "B", "C"})
+
+
+def config3():
+    config = IXPConfig(vnh_pool="172.16.0.0/16")
+    config.add_participant("A", 65001, [("A1", "172.0.0.1", "08:00:27:00:00:01")])
+    config.add_participant(
+        "B",
+        65002,
+        [
+            ("B1", "172.0.0.11", "08:00:27:00:00:11"),
+            ("B2", "172.0.0.12", "08:00:27:00:00:12"),
+        ],
+    )
+    config.add_participant("C", 65003, [("C1", "172.0.0.21", "08:00:27:00:00:21")])
+    return config
+
+
+def route(peer, prefix, next_hop, as_path=(65002, 65100), export_to=None):
+    return Route(
+        prefix,
+        RouteAttributes(as_path=list(as_path), next_hop=next_hop),
+        learned_from=peer,
+        export_to=export_to,
+    )
+
+
+def encoded_group(encoder, group_id, prefixes, members, nexthop):
+    vmac = encoder.encode(frozenset(members), nexthop)
+    vnh = VirtualNextHop(IPv4Address(f"172.16.0.{group_id + 1}"), vmac)
+    return PrefixGroup(group_id, frozenset(prefixes), vnh)
+
+
+class TestEncoder:
+    def test_roundtrip_decode(self):
+        encoder = SupersetEncoder()
+        vmac = encoder.encode(frozenset({"B", "C"}), "B")
+        encoding = encoder.decode(vmac)
+        assert encoding is not None
+        roster = encoder.members_of(encoding.superset_id)
+        carried = {
+            roster[position]
+            for position in range(ss.POSITION_BITS)
+            if (encoding.position_mask >> position) & 1
+        }
+        assert carried == {"B", "C"}
+        assert encoding.nexthop_id == encoder.nexthop_id("B")
+
+    def test_serial_keeps_vmacs_distinct(self):
+        encoder = SupersetEncoder()
+        first = encoder.encode(frozenset({"B"}), "B")
+        second = encoder.encode(frozenset({"B"}), "B")
+        assert first != second
+        assert encoder.decode(first)._replace(serial=0) == encoder.decode(
+            second
+        )._replace(serial=0)
+
+    def test_overlapping_sets_share_a_superset(self):
+        encoder = SupersetEncoder()
+        first = encoder.decode(encoder.encode(frozenset({"A", "B"}), "A"))
+        second = encoder.decode(encoder.encode(frozenset({"B", "C"}), "B"))
+        assert first.superset_id == second.superset_id
+        # existing positions never move when a roster grows
+        assert encoder.position_of(first.superset_id, "A") == 0
+        assert encoder.position_of(first.superset_id, "B") == 1
+        assert encoder.position_of(first.superset_id, "C") == 2
+
+    def test_disjoint_sets_get_fresh_supersets(self):
+        encoder = SupersetEncoder()
+        first = encoder.decode(encoder.encode(frozenset({"A"}), "A"))
+        second = encoder.decode(encoder.encode(frozenset({"Z"}), "Z"))
+        assert first.superset_id != second.superset_id
+
+    def test_wide_member_set_spills_to_fallback(self):
+        encoder = SupersetEncoder()
+        members = frozenset(f"p{i}" for i in range(ss.POSITION_BITS + 1))
+        vmac = encoder.encode(members, "p0")
+        assert encoder.decode(vmac) is None
+        assert not encoder.is_superset_vmac(vmac)
+        assert encoder.spills == 1
+
+    def test_serial_exhaustion_spills(self):
+        encoder = SupersetEncoder()
+        vmacs = [encoder.encode(frozenset({"B"}), "B") for _ in range(ss.MAX_SERIALS)]
+        assert all(encoder.is_superset_vmac(v) for v in vmacs)
+        assert len(set(int(v) for v in vmacs)) == ss.MAX_SERIALS
+        spilled = encoder.encode(frozenset({"B"}), "B")
+        assert not encoder.is_superset_vmac(spilled)
+        assert encoder.spills == 1
+
+    def test_id_space_overflow_triggers_recompute(self, monkeypatch):
+        monkeypatch.setattr(ss, "MAX_SUPERSETS", 2)
+        encoder = SupersetEncoder()
+        wide = ss.POSITION_BITS  # full rosters: nothing can be absorbed
+        encoder.encode(frozenset(f"a{i}" for i in range(wide)), None)
+        encoder.encode(frozenset(f"b{i}" for i in range(wide)), None)
+        assert encoder.superset_count == 2 and encoder.epoch == 0
+        vmac = encoder.encode(frozenset(f"c{i}" for i in range(wide)), None)
+        assert encoder.epoch == 1
+        assert encoder.recomputes == 1
+        assert encoder.superset_count == 1
+        assert encoder.is_superset_vmac(vmac)
+
+    def test_nexthop_ids_survive_recompute(self):
+        encoder = SupersetEncoder()
+        encoder.encode(frozenset({"B"}), "B")
+        assigned = encoder.nexthop_id("B")
+        encoder.recompute()
+        assert encoder.nexthop_id("B") == assigned
+
+    def test_policy_match_selects_only_carriers(self):
+        encoder = SupersetEncoder()
+        both = encoder.encode(frozenset({"B", "C"}), "B")
+        only_b = encoder.encode(frozenset({"B"}), "B")
+        sid = encoder.decode(both).superset_id
+        match_c = encoder.policy_match(sid, encoder.position_of(sid, "C"))
+        assert isinstance(match_c, MACMask)
+        assert match_c.matches(both)
+        assert not match_c.matches(only_b)
+        assert not match_c.matches(MACAddress("08:00:27:00:00:11"))
+
+    def test_nexthop_match_ignores_reserved_zero(self):
+        encoder = SupersetEncoder()
+        routeless = encoder.encode(frozenset({"B"}), None)
+        via_b = encoder.encode(frozenset({"B"}), "B")
+        mask = encoder.nexthop_match("B")
+        assert mask.matches(via_b)
+        assert not mask.matches(routeless)
+        assert encoder.nexthop_match("unseen") is None
+
+    def test_encoding_inputs_from_fingerprint(self):
+        fingerprint = (
+            ("B", 0xAC000001, None),
+            ("C", 0xAC000002, frozenset({"A"})),
+        )
+        members, nexthop = encoding_inputs(fingerprint)
+        assert members == frozenset({"B", "C"})
+        assert nexthop == "B"
+        assert encoding_inputs(()) == (frozenset(), None)
+
+
+class TestVmacifySuperset:
+    def reachable(self, target):
+        return {"B": frozenset({P1, P2})}.get(target, frozenset())
+
+    def test_one_masked_rule_covers_the_superset(self):
+        encoder = SupersetEncoder()
+        g0 = encoded_group(encoder, 0, {P1}, {"B"}, "B")
+        g1 = encoded_group(encoder, 1, {P2}, {"B", "C"}, "B")
+        table = FECTable([g0, g1])
+        classifier = (match(dstport=80) >> fwd("B")).compile()
+        rewritten = vmacify_outbound_superset(
+            classifier, PARTICIPANTS, self.reachable, table, encoder
+        )
+        assert len(rewritten) == 1
+        matcher = rewritten[0].match.constraints["dstmac"]
+        assert isinstance(matcher, MACMask)
+        assert matcher.matches(g0.vnh.hardware)
+        assert matcher.matches(g1.vnh.hardware)
+
+    def test_partial_eligibility_falls_back_to_exact(self):
+        encoder = SupersetEncoder()
+        g0 = encoded_group(encoder, 0, {P1}, {"B"}, "B")
+        g1 = encoded_group(encoder, 1, {P2}, {"B", "C"}, "B")
+        g2 = encoded_group(encoder, 2, {P3}, {"B", "C"}, "C")
+        table = FECTable([g0, g1, g2])  # g2 carries B's bit but is ineligible
+        classifier = (match(dstport=80) >> fwd("B")).compile()
+        rewritten = vmacify_outbound_superset(
+            classifier, PARTICIPANTS, self.reachable, table, encoder
+        )
+        matchers = [rule.match.constraints["dstmac"] for rule in rewritten.rules]
+        assert matchers == [g0.vnh.hardware, g1.vnh.hardware]
+
+    def test_spilled_group_gets_exact_rule(self):
+        encoder = SupersetEncoder()
+        wide = frozenset(f"p{i}" for i in range(ss.POSITION_BITS + 1)) | {"B"}
+        g0 = encoded_group(encoder, 0, {P1, P2}, wide, "B")
+        table = FECTable([g0])
+        classifier = (match(dstport=80) >> fwd("B")).compile()
+        rewritten = vmacify_outbound_superset(
+            classifier, PARTICIPANTS, self.reachable, table, encoder
+        )
+        (rule,) = rewritten.rules
+        assert rule.match.constraints["dstmac"] == g0.vnh.hardware
+
+    def test_finer_dstip_constraint_survives_masked_rule(self):
+        encoder = SupersetEncoder()
+        g0 = encoded_group(encoder, 0, {P1, P2}, {"B"}, "B")
+        table = FECTable([g0])
+        narrow = IPv4Prefix("10.1.7.0/24")
+        classifier = (match(dstip=narrow, dstport=80) >> fwd("B")).compile()
+        rewritten = vmacify_outbound_superset(
+            classifier,
+            PARTICIPANTS,
+            lambda t: frozenset({P1, P2}) if t == "B" else frozenset(),
+            table,
+            encoder,
+        )
+        (rule,) = rewritten.rules
+        assert rule.match.constraints["dstip"] == narrow
+        assert isinstance(rule.match.constraints["dstmac"], MACMask)
+
+
+class TestDefaultForwardingSuperset:
+    def test_single_masked_rule_per_nexthop(self):
+        config = config3()
+        encoder = SupersetEncoder()
+        g0 = encoded_group(encoder, 0, {P1}, {"B"}, "B")
+        g1 = encoded_group(encoder, 1, {P2}, {"B", "C"}, "B")
+        table = FECTable([g0, g1])
+        ranked = {
+            0: (route("B", P1, "172.0.0.11"),),
+            1: (route("B", P2, "172.0.0.11"),),
+        }
+        classifier = default_forwarding_classifier_superset(
+            config, table, lambda group: ranked[group.group_id], encoder
+        )
+        # one masked next-hop rule + 4 physical port rules
+        assert len(classifier) == 5
+        masked = classifier.rules[0]
+        assert isinstance(masked.match.constraints["dstmac"], MACMask)
+        assert masked.match.constraints["dstmac"].matches(g0.vnh.hardware)
+        assert masked.match.constraints["dstmac"].matches(g1.vnh.hardware)
+
+    def test_stale_nexthop_encoding_stays_exact(self):
+        config = config3()
+        encoder = SupersetEncoder()
+        g0 = encoded_group(encoder, 0, {P1}, {"B", "C"}, "C")  # stale: best is B
+        table = FECTable([g0])
+        classifier = default_forwarding_classifier_superset(
+            config, table, lambda group: (route("B", P1, "172.0.0.11"),), encoder
+        )
+        exact = classifier.rules[0]
+        assert exact.match.constraints["dstmac"] == g0.vnh.hardware
+        # the exact rule precedes any masked rule, so exact wins
+        masked = [
+            rule
+            for rule in classifier.rules
+            if isinstance(rule.match.constraints.get("dstmac"), MACMask)
+        ]
+        assert classifier.rules.index(exact) < (
+            classifier.rules.index(masked[0]) if masked else len(classifier)
+        )
+
+    def test_export_scope_exceptions_precede_masked_rule(self):
+        config = config3()
+        encoder = SupersetEncoder()
+        g0 = encoded_group(encoder, 0, {P1}, {"B", "C"}, "B")
+        table = FECTable([g0])
+        scoped = route("B", P1, "172.0.0.11", export_to=frozenset({"C"}))
+        fallback = route("C", P1, "172.0.0.21", (65003, 65100, 65101))
+        classifier = default_forwarding_classifier_superset(
+            config, table, lambda group: (scoped, fallback), encoder
+        )
+        exception = classifier.rules[0]
+        assert exception.match.constraints["port"] == "A1"
+        assert exception.match.constraints["dstmac"] == g0.vnh.hardware
+
+
+class TestDeliverySuperset:
+    def test_uniform_port_collapses_to_masked_rule(self):
+        config = config3()
+        encoder = SupersetEncoder()
+        g0 = encoded_group(encoder, 0, {P1}, {"B"}, "B")
+        g1 = encoded_group(encoder, 1, {P2}, {"B"}, "B")
+        table = FECTable([g0, g1])
+        classifier = default_delivery_classifier_superset(
+            config.participant("B"),
+            table,
+            lambda group: (route("B", next(iter(group.prefixes)), "172.0.0.11"),),
+            encoder,
+        )
+        # 2 physical-MAC rules + 1 masked delivery rule
+        assert len(classifier) == 3
+        masked = classifier.rules[-1]
+        assert isinstance(masked.match.constraints["dstmac"], MACMask)
+        assert masked.match.constraints["dstmac"].matches(g0.vnh.hardware)
+        (action,) = masked.actions
+        assert action.output_port == "B1"
+
+    def test_split_ports_fall_back_to_exact(self):
+        config = config3()
+        encoder = SupersetEncoder()
+        g0 = encoded_group(encoder, 0, {P1}, {"B"}, "B")
+        g1 = encoded_group(encoder, 1, {P2}, {"B"}, "B")
+        table = FECTable([g0, g1])
+        addresses = {0: "172.0.0.11", 1: "172.0.0.12"}  # B1 vs B2
+        classifier = default_delivery_classifier_superset(
+            config.participant("B"),
+            table,
+            lambda group: (
+                route("B", next(iter(group.prefixes)), addresses[group.group_id]),
+            ),
+            encoder,
+        )
+        assert len(classifier) == 4
+        exact = classifier.rules[2:]
+        assert {rule.match.constraints["dstmac"] for rule in exact} == {
+            g0.vnh.hardware,
+            g1.vnh.hardware,
+        }
+
+    def test_non_announcer_gets_no_masked_rule(self):
+        config = config3()
+        encoder = SupersetEncoder()
+        g0 = encoded_group(encoder, 0, {P1}, {"B"}, "B")
+        table = FECTable([g0])
+        classifier = default_delivery_classifier_superset(
+            config.participant("C"),
+            table,
+            lambda group: (route("B", P1, "172.0.0.11"),),
+            encoder,
+        )
+        assert len(classifier) == 1  # C's own physical-MAC rule only
