@@ -1,0 +1,308 @@
+"""Update→install latency benchmark: inline calls vs the event-loop runtime.
+
+The tentpole claim of the runtime PR is about *bursty* control-plane
+traces: BGP update bursts (the workload generator reproduces the
+measured burst-size/gap mixture) interleaved with policy edits that
+force a guarded compile + commit.  What an operator feels is the time
+from an event's **arrival** to its **installation** in the fabric, and
+with the commit guard always on (its designed operating point) the two
+runtimes shape that latency differently:
+
+* **inline** serialises everything — an edit's install latency is
+  compile + commit + the guard's probe pass, and every update queued
+  behind it eats all three;
+* the **event-loop runtime** commits first and *defers* the probe pass
+  (verification of commit N overlaps the work after it), so install
+  latency stops at the commit, and the ingress task coalesces each
+  burst's fast-path work into one deduplicated pass.
+
+Both modes run the identical seeded trace; per-event latency is
+anchored at its burst's arrival instant, which makes the two pipelines
+directly comparable.  The figure of merit is the machine-independent
+*ratio* (eventloop / inline) at p50 and p99 — below 1.0 means the
+runtime wins.  The p99 — the statistic the gate guards — is the tail
+an edit-led burst pays.
+
+Run standalone to (re)generate the checked-in baseline::
+
+    PYTHONPATH=src python benchmarks/bench_latency.py --emit benchmarks/BENCH_latency.json
+
+or as the CI regression gate, which fails when the event-loop runtime
+stops beating inline at p99 or its ratio regresses >10% beyond the
+baseline::
+
+    PYTHONPATH=src python benchmarks/bench_latency.py --check benchmarks/BENCH_latency.json
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from _report import emit
+
+from repro.core.participant import SDXPolicySet
+from repro.experiments.common import build_scenario
+from repro.guard import GuardConfig
+from repro.policy.language import fwd, match
+from repro.runtime import RuntimeConfig
+from repro.workloads.update_gen import generate_update_trace
+
+PARTICIPANTS = 12
+PREFIXES = 60
+BURSTS = 40
+SEED = 7
+MEASURE_ROUNDS = 5  # alternated inline/eventloop rounds (drift cancels)
+PROBE_BUDGET = 16  # the chaos-suite budget: catches the seeded corruptions
+EDIT_EVERY = 2  # every other burst is led by a recompiling policy edit
+WITHDRAWAL_PROBABILITY = 0.5  # flap-heavy bursts: withdraw + re-announce pairs
+
+#: a gap above this re-segments the trace into a new arrival burst
+#: (generated inter-burst gaps are >= 2 s; intra-burst spacing < 0.7 s)
+BURST_GAP_SECONDS = 1.0
+
+#: CI gate: the eventloop/inline latency ratio may exceed the baseline
+#: by 10%, plus an absolute slack so timer noise cannot fail the gate
+#: spuriously — and must stay below 1.0 at p99 (the acceptance claim).
+REGRESSION_HEADROOM = 1.10
+REGRESSION_SLACK = {"ratio_p99": 0.10}
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _bursts(trace):
+    """Re-segment the timestamped trace into its arrival bursts."""
+    bursts = []
+    current = []
+    last = None
+    for update in trace.updates:
+        if current and last is not None and update.time - last > BURST_GAP_SECONDS:
+            bursts.append(current)
+            current = []
+        current.append(update)
+        last = update.time
+    if current:
+        bursts.append(current)
+    return bursts
+
+
+def _controller(scenario, mode):
+    config = RuntimeConfig(coalesce=True) if mode == "eventloop" else None
+    return scenario.controller(
+        runtime_mode=mode,
+        runtime_config=config,
+        guard=GuardConfig(probe_budget=PROBE_BUDGET, seed=SEED),
+    )
+
+
+def _edit(cycle, names):
+    sender = names[cycle % len(names)]
+    target = names[(cycle + 1) % len(names)]
+    return sender, SDXPolicySet(outbound=(match(dstport=8000 + cycle) >> fwd(target)))
+
+
+def _replay(controller, bursts, names):
+    """Replay the trace; per-event latency anchored at burst arrival.
+
+    Event-loop latencies come from the submission handles — an event is
+    *installed* when its commit lands, which for the eventloop is before
+    the deferred probe pass runs (the verification still happens inside
+    the same drain; it just no longer sits on the install path).
+    """
+    latencies = []
+    runtime = controller.runtime
+    started_total = time.perf_counter()
+    for index, burst in enumerate(bursts):
+        edit = _edit(index, names) if index % EDIT_EVERY == 0 else None
+        if runtime is not None:
+            arrival = controller.telemetry.now()  # perf_counter-based
+            with runtime.pipelined():
+                handles = []
+                if edit is not None:
+                    handles.append(
+                        controller.policy.set_policies(*edit, recompile=True)
+                    )
+                handles.extend(
+                    controller.routing.process_update(update) for update in burst
+                )
+            for handle in handles:
+                if handle.error is not None:
+                    raise handle.error
+                latencies.append(handle.completed_at - arrival)
+        else:
+            arrival = time.perf_counter()
+            if edit is not None:
+                controller.policy.set_policies(*edit, recompile=True)
+                latencies.append(time.perf_counter() - arrival)
+            for update in burst:
+                controller.routing.process_update(update)
+                latencies.append(time.perf_counter() - arrival)
+    return latencies, time.perf_counter() - started_total
+
+
+def measure_latency():
+    scenario = build_scenario(PARTICIPANTS, PREFIXES, seed=SEED, policy_seed=SEED + 1)
+    trace = generate_update_trace(
+        scenario.ixp,
+        bursts=BURSTS,
+        seed=SEED + 2,
+        withdrawal_probability=WITHDRAWAL_PROBABILITY,
+    )
+    bursts = _bursts(trace)
+    names = [
+        name
+        for name in scenario.ixp.config.participant_names()
+        if scenario.ixp.config.participant(name).ports
+    ]
+
+    inline_controller = _controller(scenario, "inline")
+    eventloop_controller = _controller(scenario, "eventloop")
+    # one discarded warm-up round each, then alternate measured rounds
+    _replay(inline_controller, bursts, names)
+    _replay(eventloop_controller, bursts, names)
+    inline, eventloop = [], []
+    inline_seconds = eventloop_seconds = 0.0
+    for _ in range(MEASURE_ROUNDS):
+        samples, seconds = _replay(inline_controller, bursts, names)
+        inline.extend(samples)
+        inline_seconds += seconds
+        samples, seconds = _replay(eventloop_controller, bursts, names)
+        eventloop.extend(samples)
+        eventloop_seconds += seconds
+
+    runtime_info = eventloop_controller.runtime.health_info()
+    inline_p50 = _percentile(inline, 0.50)
+    inline_p99 = _percentile(inline, 0.99)
+    eventloop_p50 = _percentile(eventloop, 0.50)
+    eventloop_p99 = _percentile(eventloop, 0.99)
+    return {
+        "updates": len(trace.updates),
+        "edits": len(bursts[:: EDIT_EVERY]),
+        "bursts": len(bursts),
+        "largest_burst": max(len(b) for b in bursts),
+        "probe_budget": PROBE_BUDGET,
+        "inline_p50_ms": inline_p50 * 1e3,
+        "inline_p99_ms": inline_p99 * 1e3,
+        "eventloop_p50_ms": eventloop_p50 * 1e3,
+        "eventloop_p99_ms": eventloop_p99 * 1e3,
+        "ratio_p50": eventloop_p50 / inline_p50,
+        "ratio_p99": eventloop_p99 / inline_p99,
+        "inline_rules_per_sec": len(inline) / inline_seconds,
+        "eventloop_rules_per_sec": len(eventloop) / eventloop_seconds,
+        "queue_depth_peak": runtime_info["ingress_peak"],
+        "queue_rejected": runtime_info["ingress_rejected"],
+    }
+
+
+def run_benchmark():
+    return {
+        "workload": {
+            "participants": PARTICIPANTS,
+            "prefixes": PREFIXES,
+            "bursts": BURSTS,
+            "seed": SEED,
+            "measure_rounds": MEASURE_ROUNDS,
+        },
+        "latency": measure_latency(),
+    }
+
+
+def print_result(result):
+    latency = result["latency"]
+    print(
+        f"\n== Update→install latency: {latency['updates']} updates + "
+        f"{latency['edits']} guarded edits in {latency['bursts']} bursts "
+        f"(largest {latency['largest_burst']}, probe budget "
+        f"{latency['probe_budget']}) =="
+    )
+    print(
+        f"  p50: {latency['inline_p50_ms']:.3f} ms inline -> "
+        f"{latency['eventloop_p50_ms']:.3f} ms eventloop "
+        f"(ratio {latency['ratio_p50']:.2f})"
+    )
+    print(
+        f"  p99: {latency['inline_p99_ms']:.3f} ms inline -> "
+        f"{latency['eventloop_p99_ms']:.3f} ms eventloop "
+        f"(ratio {latency['ratio_p99']:.2f})"
+    )
+    print(
+        f"  throughput: {latency['inline_rules_per_sec']:,.0f}/s inline, "
+        f"{latency['eventloop_rules_per_sec']:,.0f}/s eventloop; "
+        f"peak ingress depth {latency['queue_depth_peak']}"
+    )
+
+
+def check_against_baseline(result, baseline):
+    """CI gate: eventloop must beat inline at p99 and not regress >10%."""
+    failures = []
+    measured_p99 = result["latency"]["ratio_p99"]
+    if measured_p99 >= 1.0:
+        print(f"  ratio_p99: measured {measured_p99:.3f} >= 1.0 NOT WINNING")
+        failures.append("ratio_p99 >= 1.0")
+    for metric in ("ratio_p99",):
+        measured = result["latency"][metric]
+        reference = baseline["latency"][metric]
+        ceiling = reference * REGRESSION_HEADROOM + REGRESSION_SLACK[metric]
+        status = "ok" if measured <= ceiling else "REGRESSED"
+        print(
+            f"  {metric}: measured {measured:.3f} vs baseline {reference:.3f} "
+            f"(ceiling {ceiling:.3f}) {status}"
+        )
+        if measured > ceiling:
+            failures.append(metric)
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_latency.py",
+        description="update→install latency: inline vs event-loop runtime",
+    )
+    parser.add_argument(
+        "--emit", metavar="PATH", help="write the result JSON (the baseline file)"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a baseline JSON; exit 1 when the eventloop "
+        "stops winning at p99 or regresses >10%%",
+    )
+    options = parser.parse_args(argv)
+
+    result = run_benchmark()
+    print_result(result)
+    if options.emit:
+        with open(options.emit, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {options.emit}")
+    if options.check:
+        with open(options.check) as handle:
+            baseline = json.load(handle)
+        print(f"\n== Regression gate vs {options.check} ==")
+        failures = check_against_baseline(result, baseline)
+        if failures:
+            print(f"FAIL: latency gate: {', '.join(failures)}")
+            return 1
+        print("gate passed")
+    return 0
+
+
+# -- pytest-benchmark wrapper (make bench) ----------------------------------
+
+
+def test_update_install_latency(benchmark):
+    result = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    emit(lambda: print_result(result))
+    latency = result["latency"]
+    # the acceptance claim: the runtime wins the bursty-trace tail
+    assert latency["ratio_p99"] < 1.0
+    assert latency["queue_rejected"] == 0  # capacity absorbed every burst
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,8 +15,15 @@ and pushing routes into attached border routers.
 The public API is *faceted* (see :mod:`repro.core.facets`):
 ``controller.routing`` for the BGP side, ``controller.policy`` for
 policy and chain management, ``controller.ops`` for health, metrics,
-quarantine, and commit hooks.  The historical flat methods survive as
-deprecated delegating shims.
+quarantine, and commit hooks.  The historical flat methods are gone —
+the facets are the supported surface.
+
+The control plane runs in one of two modes (``REPRO_RUNTIME`` or the
+``runtime_mode=`` knob): ``inline`` executes every facet call
+synchronously, while ``eventloop`` attaches a
+:class:`~repro.runtime.runtime.ControlPlaneRuntime` whose cooperative
+scheduler pipelines the update→compile→commit→verify path.  Both run
+the same apply bodies, so their flow tables are byte-identical.
 
 Typical use::
 
@@ -31,7 +38,6 @@ Typical use::
 from __future__ import annotations
 
 import sys
-import warnings
 from contextlib import contextmanager
 from typing import (
     TYPE_CHECKING,
@@ -47,8 +53,7 @@ from typing import (
     Tuple,
 )
 
-from repro.bgp.attributes import RouteAttributes
-from repro.bgp.messages import Announcement, BGPUpdate
+from repro.bgp.messages import Announcement
 from repro.bgp.route_server import BestPathChange, RouteServer
 from repro.core.compiler import (
     CompilationOptions,
@@ -83,6 +88,12 @@ from repro.pipeline.stages import BASE_COOKIE, BASE_PRIORITY
 from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
 from repro.policy.packet import Packet
 from repro.resilience.health import HealthReport, QuarantineRecord
+from repro.runtime import (
+    RUNTIME_MODES,
+    ControlPlaneRuntime,
+    RuntimeConfig,
+    runtime_mode_from_env,
+)
 from repro.telemetry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -98,21 +109,6 @@ __all__ = [
     "PacketTrace",
     "SDXController",
 ]
-
-
-def _warn_flat(name: str, replacement: str) -> None:
-    """Mark one flat ``SDXController`` method as superseded by a facet.
-
-    ``stacklevel=3`` attributes the warning to the *caller* of the flat
-    method, so the tier-1 suite's ``error::DeprecationWarning:repro``
-    filter catches unmigrated in-repo callers while external callers
-    and the test suite just see a warning.
-    """
-    warnings.warn(
-        f"SDXController.{name} is deprecated; use controller.{replacement}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 class PacketTrace(NamedTuple):
@@ -165,6 +161,9 @@ class SDXController:
         admission: Optional[AdmissionConfig] = None,
         vmac_mode: Optional[str] = None,
         dataplane_mode: Optional[str] = None,
+        runtime_mode: Optional[str] = None,
+        runtime_config: Optional[RuntimeConfig] = None,
+        runtime_clock: Optional["Simulator"] = None,
     ) -> None:
         self.config = config
         self.ownership = ownership
@@ -224,6 +223,12 @@ class SDXController:
         self._m_vnh_free = self.telemetry.gauge(
             "sdx_vnh_free", "Released VNH addresses awaiting reuse"
         )
+        self._m_install_latency = self.telemetry.histogram(
+            "sdx_update_install_seconds",
+            "Update→install latency through the control plane",
+            labels=("kind",),
+            sample_window=4096,
+        )
         self.fast_path_enabled = fast_path_enabled
 
         self._policies: Dict[str, SDXPolicySet] = {}
@@ -254,8 +259,7 @@ class SDXController:
         )
 
         #: faceted public API (see :mod:`repro.core.facets`): thin views
-        #: over this controller's state — the supported surface; the flat
-        #: methods below are deprecated shims over these.
+        #: over this controller's state — the supported surface
         self.routing = RoutingFacet(self)
         self.policy = PolicyFacet(self)
         self.ops = OpsFacet(self)
@@ -265,6 +269,21 @@ class SDXController:
         self.pipeline = CompilationPipeline(self, backend=backend)
         self._deferred_depth = 0
         self._deferred_pending = False
+
+        #: control-plane runtime mode: "inline" (synchronous facet calls)
+        #: or "eventloop" (cooperative pipelined scheduler); defaults to
+        #: the REPRO_RUNTIME environment selection
+        self.runtime_mode = (
+            runtime_mode if runtime_mode is not None else runtime_mode_from_env()
+        )
+        if self.runtime_mode not in RUNTIME_MODES:
+            raise ValueError(f"unknown runtime_mode {self.runtime_mode!r}")
+        #: the event-loop runtime (None in inline mode)
+        self.runtime: Optional[ControlPlaneRuntime] = (
+            ControlPlaneRuntime(self, config=runtime_config, clock=runtime_clock)
+            if self.runtime_mode == "eventloop"
+            else None
+        )
 
         for participant in config.participants():
             self.route_server.add_peer(participant.name, asn=participant.asn)
@@ -286,97 +305,6 @@ class SDXController:
         self.config.participant(name)  # validates the name
         self._routers[name] = router
         self._push_routes_to(name)
-
-    def set_policies(
-        self, name: str, policy_set: SDXPolicySet, recompile: bool = True
-    ) -> None:
-        """Deprecated shim for :meth:`PolicyFacet.set_policies`."""
-        _warn_flat("set_policies", "policy.set_policies")
-        self.policy.set_policies(name, policy_set, recompile=recompile)
-
-    def policies(self) -> Mapping[str, SDXPolicySet]:
-        """Deprecated shim for :meth:`PolicyFacet.policies`."""
-        _warn_flat("policies", "policy.policies")
-        return self.policy.policies()
-
-    # -- quarantine (fault-isolated compilation) --------------------------------
-
-    def quarantined(self) -> Mapping[str, QuarantineRecord]:
-        """Deprecated shim for :meth:`OpsFacet.quarantined`."""
-        _warn_flat("quarantined", "ops.quarantined")
-        return self.ops.quarantined()
-
-    def release_quarantine(self, name: str, recompile: bool = True) -> bool:
-        """Deprecated shim for :meth:`OpsFacet.release_quarantine`."""
-        _warn_flat("release_quarantine", "ops.release_quarantine")
-        return self.ops.release_quarantine(name, recompile=recompile)
-
-    # -- service chains (Section 8 extension) -----------------------------------
-
-    def define_chain(self, chain: "ServiceChain", recompile: bool = False) -> None:
-        """Deprecated shim for :meth:`PolicyFacet.define_chain`."""
-        _warn_flat("define_chain", "policy.define_chain")
-        self.policy.define_chain(chain, recompile=recompile)
-
-    def remove_chain(self, name: str, recompile: bool = False) -> None:
-        """Deprecated shim for :meth:`PolicyFacet.remove_chain`."""
-        _warn_flat("remove_chain", "policy.remove_chain")
-        self.policy.remove_chain(name, recompile=recompile)
-
-    def chains(self) -> Mapping[str, "ServiceChain"]:
-        """Deprecated shim for :meth:`PolicyFacet.chains`."""
-        _warn_flat("chains", "policy.chains")
-        return self.policy.chains()
-
-    def chain_hop_ports(self) -> FrozenSet[str]:
-        """Deprecated shim for :meth:`PolicyFacet.chain_hop_ports`."""
-        _warn_flat("chain_hop_ports", "policy.chain_hop_ports")
-        return self.policy.chain_hop_ports()
-
-    # -- BGP input ---------------------------------------------------------------
-
-    def process_update(self, update: BGPUpdate) -> List[BestPathChange]:
-        """Deprecated shim for :meth:`RoutingFacet.process_update`."""
-        _warn_flat("process_update", "routing.process_update")
-        return self.routing.process_update(update)
-
-    def batched_updates(self):
-        """Deprecated shim for :meth:`RoutingFacet.batched_updates`."""
-        _warn_flat("batched_updates", "routing.batched_updates")
-        return self.routing.batched_updates()
-
-    def announce(
-        self,
-        name: str,
-        prefix: "IPv4Prefix | str",
-        attributes: RouteAttributes,
-        export_to=None,
-    ) -> List[BestPathChange]:
-        """Deprecated shim for :meth:`RoutingFacet.announce`."""
-        _warn_flat("announce", "routing.announce")
-        return self.routing.announce(name, prefix, attributes, export_to=export_to)
-
-    def withdraw(self, name: str, prefix: "IPv4Prefix | str") -> List[BestPathChange]:
-        """Deprecated shim for :meth:`RoutingFacet.withdraw`."""
-        _warn_flat("withdraw", "routing.withdraw")
-        return self.routing.withdraw(name, prefix)
-
-    # -- SDX route origination (Section 3.2) ----------------------------------------
-
-    def originate(self, name: str, prefix: "IPv4Prefix | str") -> None:
-        """Deprecated shim for :meth:`RoutingFacet.originate`."""
-        _warn_flat("originate", "routing.originate")
-        self.routing.originate(name, prefix)
-
-    def withdraw_origination(self, name: str, prefix: "IPv4Prefix | str") -> None:
-        """Deprecated shim for :meth:`RoutingFacet.withdraw_origination`."""
-        _warn_flat("withdraw_origination", "routing.withdraw_origination")
-        self.routing.withdraw_origination(name, prefix)
-
-    def originated(self) -> Mapping[str, FrozenSet[IPv4Prefix]]:
-        """Deprecated shim for :meth:`RoutingFacet.originated`."""
-        _warn_flat("originated", "routing.originated")
-        return self.routing.originated()
 
     # -- compilation ----------------------------------------------------------------
 
@@ -404,7 +332,15 @@ class SDXController:
         :class:`~repro.core.compiler.CompilationResult`, so callers
         reading ``.segments`` / ``.fec_table`` / ``.stats`` are
         unaffected.
+
+        Under the event-loop runtime an outside call submits a
+        :class:`~repro.runtime.events.CompileEvent` and (auto-draining)
+        returns the same report; re-entrant calls — from inside the
+        loop's own machinery — run the synchronous body directly.
         """
+        runtime = self.runtime
+        if runtime is not None and not runtime.active:
+            return runtime.submit_compile()
         result = self.pipeline.compile()
         return self._install(result)
 
@@ -414,8 +350,15 @@ class SDXController:
             return
         if self._deferred_depth > 0:
             self._deferred_pending = True
-        else:
-            self.compile()
+            return
+        runtime = self.runtime
+        if runtime is not None and runtime.applying:
+            # Mid-apply on the runtime's ingress task: request a compile
+            # job for the compile/commit tasks instead of recursing into
+            # a synchronous compilation from inside the event loop.
+            runtime.request_compile()
+            return
+        self.compile()
 
     @contextmanager
     def deferred_recompilation(self):
@@ -461,16 +404,6 @@ class SDXController:
         """
         return self.pipeline.committer.install(result)
 
-    def add_commit_hook(self, hook: Callable[[CompilationResult], None]) -> None:
-        """Deprecated shim for :meth:`OpsFacet.add_commit_hook`."""
-        _warn_flat("add_commit_hook", "ops.add_commit_hook")
-        self.ops.add_commit_hook(hook)
-
-    def remove_commit_hook(self, hook: Callable[[CompilationResult], None]) -> None:
-        """Deprecated shim for :meth:`OpsFacet.remove_commit_hook`."""
-        _warn_flat("remove_commit_hook", "ops.remove_commit_hook")
-        self.ops.remove_commit_hook(hook)
-
     def run_background_recompilation(self) -> CommitReport:
         """The periodic Section 4.3.2 re-optimization endpoint.
 
@@ -496,12 +429,6 @@ class SDXController:
     @property
     def last_compilation(self) -> Optional[CompilationResult]:
         return self._last_result
-
-    @property
-    def fast_path_log(self) -> List[FastPathUpdate]:
-        """Deprecated shim for :attr:`OpsFacet.fast_path_log`."""
-        _warn_flat("fast_path_log", "ops.fast_path_log")
-        return self.ops.fast_path_log
 
     # -- fast path plumbing ------------------------------------------------------------
 
@@ -656,23 +583,27 @@ class SDXController:
         ``damping=``, ``protection=``, ``reconnect_probe=``).  Updates
         then flow through the RFC 7606 guard, flap damping gates the
         fast path, and session hold/restart timers run on ``clock``.
+
+        Under the event-loop runtime, resilience timers default onto the
+        runtime's :class:`~repro.runtime.scheduler.TimerWheel`, so
+        session liveness, damping decay, and admission retries all share
+        one virtual clock that ``runtime.run_until`` advances.
         """
         from repro.resilience import ResilienceCoordinator
 
+        explicit_clock = clock is not None
+        if clock is None and self.runtime is not None:
+            clock = self.runtime.timers
         self.resilience = ResilienceCoordinator(self, clock=clock, **configs)
-        if clock is not None:
+        if explicit_clock:
             # Simulated deployments should report every duration on the
             # sim clock, so compile/fast-path timings and damping decay
             # share one time base.  Wall-clock runs (no explicit clock)
-            # keep time.perf_counter.
+            # keep time.perf_counter; runtime-backed clocks follow the
+            # runtime's own sim_time knob instead.
             sim = self.resilience.clock
             self.telemetry.set_time_source(lambda: sim.now)
         return self.resilience
-
-    def health(self) -> HealthReport:
-        """Deprecated shim for :meth:`OpsFacet.health`."""
-        _warn_flat("health", "ops.health")
-        return self.ops.health()
 
     def _health_snapshot(self) -> HealthReport:
         """Backing implementation of ``controller.ops.health()``."""
@@ -718,6 +649,11 @@ class SDXController:
             admission=(
                 self.admission.snapshot() if self.admission is not None else {}
             ),
+            runtime=(
+                self.runtime.health_info()
+                if self.runtime is not None
+                else {"mode": "inline"}
+            ),
         )
 
     # -- telemetry -----------------------------------------------------------------------
@@ -727,16 +663,8 @@ class SDXController:
         self._m_vnh.set(self.allocator.allocated)
         self._m_vnh_free.set(len(self.allocator._free))
         self.fast_path._sync_gauges()
-
-    def metrics(self) -> Dict[str, Dict[str, Any]]:
-        """Deprecated shim for :meth:`OpsFacet.metrics`."""
-        _warn_flat("metrics", "ops.metrics")
-        return self.ops.metrics()
-
-    def metrics_text(self) -> str:
-        """Deprecated shim for :meth:`OpsFacet.metrics_text`."""
-        _warn_flat("metrics_text", "ops.metrics_text")
-        return self.ops.metrics_text()
+        if self.runtime is not None:
+            self.runtime.refresh_gauges()
 
     # -- diagnostics and accounting ------------------------------------------------------
 

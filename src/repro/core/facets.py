@@ -20,11 +20,18 @@ API always did, so the two surfaces can never disagree.
   fabric committer — and ``verify()``, one pass of the
   :mod:`repro.verify` differential oracle over the installed tables.
 
-The historical flat methods survive as delegating shims that emit
-``DeprecationWarning``; in-repo callers (``examples/``,
-``repro.experiments``, benchmarks) have been migrated, and the tier-1
-suite errors on deprecation warnings raised from ``repro.*`` modules so
-they cannot creep back.
+The facets are *the* controller API: the historical flat methods (and
+their deprecation-warning shims) are gone.
+
+Every mutating entry point is split in two: a module-level ``_apply_*``
+function holding the actual body, and the facet method that routes to
+it.  With ``REPRO_RUNTIME=inline`` (the default) the facet calls the
+body synchronously; with ``eventloop`` it submits a typed event to
+``controller.runtime`` and the runtime's ingress task calls the *same*
+body — same code, different scheduling, which is what makes the two
+modes byte-identical (``tests/property/test_runtime_equivalence.py``).
+Either way the update→install latency lands on the
+``sdx_update_install_seconds`` histogram, labelled by event kind.
 """
 
 from __future__ import annotations
@@ -59,6 +66,123 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["OpsFacet", "PolicyFacet", "RoutingFacet"]
 
 
+# ---------------------------------------------------------------------------
+# Shared apply bodies.
+#
+# These module-level functions are the single implementation of every
+# mutating control-plane operation.  Inline mode calls them directly
+# (wrapped in latency observation); the event-loop runtime calls them
+# from its ingress task via the typed events in repro.runtime.events.
+# They must stay free of runtime/facet knowledge so the two schedules
+# execute identical code.
+# ---------------------------------------------------------------------------
+
+
+def _apply_process_update(
+    controller: "SDXController", update: BGPUpdate
+) -> List[BestPathChange]:
+    if controller.admission is not None:
+        controller.admission.admit_update(update)
+    return controller.pipeline.ingress.submit(update)
+
+
+def _apply_set_policies(
+    controller: "SDXController",
+    name: str,
+    policy_set: "SDXPolicySet",
+    recompile: bool = True,
+) -> None:
+    from repro.pipeline.events import PolicyChanged
+
+    controller.config.participant(name)
+    if controller.admission is not None:
+        controller.admission.admit_policy_edit(name, policy_set)
+    controller._quarantined.pop(name, None)
+    if policy_set.is_empty:
+        controller._policies.pop(name, None)
+    else:
+        controller._policies[name] = policy_set
+    controller.pipeline.bus.publish(PolicyChanged(name))
+    controller._maybe_compile(recompile)
+
+
+def _apply_originate(
+    controller: "SDXController", name: str, prefix: "IPv4Prefix | str"
+) -> None:
+    prefix = IPv4Prefix(prefix)
+    spec = controller.config.participant(name)
+    if controller.ownership is not None:
+        controller.ownership.require(spec.asn, prefix)
+    controller._originated.setdefault(name, set()).add(prefix)
+    # Origination changes the FEC input even when the announcement
+    # does not move a best path, so mark routes dirty explicitly.
+    controller.pipeline.dirty.mark_routes()
+    attributes = RouteAttributes(
+        as_path=[spec.asn],
+        next_hop=controller.config.vnh_pool.network,
+    )
+    update = BGPUpdate(name, announced=[Announcement(prefix, attributes)])
+    _apply_process_update(controller, update)
+
+
+def _apply_withdraw_origination(
+    controller: "SDXController", name: str, prefix: "IPv4Prefix | str"
+) -> None:
+    prefix = IPv4Prefix(prefix)
+    originated = controller._originated.get(name)
+    if originated is not None:
+        originated.discard(prefix)
+    controller.pipeline.dirty.mark_routes()
+    _apply_process_update(controller, BGPUpdate(name, withdrawn=[Withdrawal(prefix)]))
+
+
+def _apply_define_chain(
+    controller: "SDXController", chain: "ServiceChain", recompile: bool = False
+) -> None:
+    from repro.core.chaining import validate_chains
+    from repro.pipeline.events import ChainsChanged
+
+    validate_chains([chain], controller.config)
+    controller._chains[chain.name] = chain
+    controller.pipeline.bus.publish(ChainsChanged(chain.name))
+    controller._maybe_compile(recompile)
+
+
+def _apply_remove_chain(
+    controller: "SDXController", name: str, recompile: bool = False
+) -> None:
+    from repro.pipeline.events import ChainsChanged
+
+    if controller._chains.pop(name, None) is not None:
+        controller.pipeline.bus.publish(ChainsChanged(name))
+    controller._maybe_compile(recompile)
+
+
+def _apply_release_quarantine(
+    controller: "SDXController", name: str, recompile: bool = True
+) -> bool:
+    from repro.pipeline.events import QuarantineLifted
+
+    released = controller._quarantined.pop(name, None) is not None
+    if released:
+        controller.pipeline.bus.publish(QuarantineLifted(name))
+        controller._maybe_compile(recompile)
+    return released
+
+
+def _inline(controller: "SDXController", kind: str, fn: Callable[[], Any]):
+    """Run an apply body synchronously, observing update→install latency
+    (the event-loop runtime observes the same histogram at completion)."""
+    telemetry = controller.telemetry
+    started = telemetry.now()
+    try:
+        return fn()
+    finally:
+        controller._m_install_latency.observe(
+            telemetry.now() - started, kind=kind
+        )
+
+
 class _Facet:
     """Base: a named view over one controller's state."""
 
@@ -90,11 +214,19 @@ class RoutingFacet(_Facet):
         against the peer's announcement budget; a rejection raises
         :class:`~repro.guard.admission.AnnouncementRateExceeded` (with
         ``retry_after``) before the route server sees anything.
+
+        Under ``REPRO_RUNTIME=eventloop`` the update is submitted to the
+        runtime's bounded ingress queue instead; outside a
+        ``runtime.pipelined()`` block the call still blocks until the
+        update is fully installed and returns the same changes.
         """
         controller = self._controller
-        if controller.admission is not None:
-            controller.admission.admit_update(update)
-        return controller.pipeline.ingress.submit(update)
+        runtime = controller.runtime
+        if runtime is not None:
+            return runtime.submit_update(update)
+        return _inline(
+            controller, "update", lambda: _apply_process_update(controller, update)
+        )
 
     def batched_updates(self):
         """Context manager coalescing a BGP burst's fast-path work.
@@ -138,29 +270,24 @@ class RoutingFacet(_Facet):
         RPKI stand-in), the participant must hold a covering ROA.
         """
         controller = self._controller
-        prefix = IPv4Prefix(prefix)
-        spec = controller.config.participant(name)
-        if controller.ownership is not None:
-            controller.ownership.require(spec.asn, prefix)
-        controller._originated.setdefault(name, set()).add(prefix)
-        # Origination changes the FEC input even when the announcement
-        # does not move a best path, so mark routes dirty explicitly.
-        controller.pipeline.dirty.mark_routes()
-        attributes = RouteAttributes(
-            as_path=[spec.asn],
-            next_hop=controller.config.vnh_pool.network,
+        runtime = controller.runtime
+        if runtime is not None:
+            return runtime.submit_originate(name, prefix)
+        return _inline(
+            controller, "originate", lambda: _apply_originate(controller, name, prefix)
         )
-        self.announce(name, prefix, attributes)
 
     def withdraw_origination(self, name: str, prefix: "IPv4Prefix | str") -> None:
         """Withdraw a previously originated prefix."""
         controller = self._controller
-        prefix = IPv4Prefix(prefix)
-        originated = controller._originated.get(name)
-        if originated is not None:
-            originated.discard(prefix)
-        controller.pipeline.dirty.mark_routes()
-        self.withdraw(name, prefix)
+        runtime = controller.runtime
+        if runtime is not None:
+            return runtime.submit_withdraw_origination(name, prefix)
+        return _inline(
+            controller,
+            "originate",
+            lambda: _apply_withdraw_origination(controller, name, prefix),
+        )
 
     def originated(self) -> Mapping[str, FrozenSet[IPv4Prefix]]:
         """Prefixes the SDX currently originates, per participant."""
@@ -202,19 +329,17 @@ class PolicyFacet(_Facet):
         budget; a typed :class:`~repro.guard.admission.AdmissionError`
         rejection leaves every controller structure untouched.
         """
-        from repro.pipeline.events import PolicyChanged
-
         controller = self._controller
-        controller.config.participant(name)
-        if controller.admission is not None:
-            controller.admission.admit_policy_edit(name, policy_set)
-        controller._quarantined.pop(name, None)
-        if policy_set.is_empty:
-            controller._policies.pop(name, None)
-        else:
-            controller._policies[name] = policy_set
-        controller.pipeline.bus.publish(PolicyChanged(name))
-        controller._maybe_compile(recompile)
+        runtime = controller.runtime
+        if runtime is not None:
+            return runtime.submit_policies(name, policy_set, recompile=recompile)
+        return _inline(
+            controller,
+            "policy",
+            lambda: _apply_set_policies(
+                controller, name, policy_set, recompile=recompile
+            ),
+        )
 
     def policies(self) -> Mapping[str, "SDXPolicySet"]:
         """The currently installed policy sets, by participant."""
@@ -224,23 +349,27 @@ class PolicyFacet(_Facet):
 
     def define_chain(self, chain: "ServiceChain", recompile: bool = False) -> None:
         """Register a middlebox service chain participants may ``fwd()`` into."""
-        from repro.core.chaining import validate_chains
-        from repro.pipeline.events import ChainsChanged
-
         controller = self._controller
-        validate_chains([chain], controller.config)
-        controller._chains[chain.name] = chain
-        controller.pipeline.bus.publish(ChainsChanged(chain.name))
-        controller._maybe_compile(recompile)
+        runtime = controller.runtime
+        if runtime is not None:
+            return runtime.submit_define_chain(chain, recompile=recompile)
+        return _inline(
+            controller,
+            "chain",
+            lambda: _apply_define_chain(controller, chain, recompile=recompile),
+        )
 
     def remove_chain(self, name: str, recompile: bool = False) -> None:
         """Deregister a service chain (idempotent)."""
-        from repro.pipeline.events import ChainsChanged
-
         controller = self._controller
-        if controller._chains.pop(name, None) is not None:
-            controller.pipeline.bus.publish(ChainsChanged(name))
-        controller._maybe_compile(recompile)
+        runtime = controller.runtime
+        if runtime is not None:
+            return runtime.submit_remove_chain(name, recompile=recompile)
+        return _inline(
+            controller,
+            "chain",
+            lambda: _apply_remove_chain(controller, name, recompile=recompile),
+        )
 
     def chains(self) -> Mapping[str, "ServiceChain"]:
         """The registered service chains, by name."""
@@ -317,14 +446,15 @@ class OpsFacet(_Facet):
 
     def release_quarantine(self, name: str, recompile: bool = True) -> bool:
         """Re-admit a quarantined participant's policies (operator action)."""
-        from repro.pipeline.events import QuarantineLifted
-
         controller = self._controller
-        released = controller._quarantined.pop(name, None) is not None
-        if released:
-            controller.pipeline.bus.publish(QuarantineLifted(name))
-            controller._maybe_compile(recompile)
-        return released
+        runtime = controller.runtime
+        if runtime is not None:
+            return runtime.submit_release_quarantine(name, recompile=recompile)
+        return _inline(
+            controller,
+            "ops",
+            lambda: _apply_release_quarantine(controller, name, recompile=recompile),
+        )
 
     # -- verification (the repro.verify oracle) ----------------------------
 

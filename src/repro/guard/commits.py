@@ -63,6 +63,7 @@ __all__ = [
     "GuardReport",
     "GuardViolation",
     "GuardedCommitError",
+    "PendingVerification",
     "ProbeFailure",
     "RollbackFailure",
 ]
@@ -164,6 +165,62 @@ class ProbeFailure(RuntimeError):
 
 class RollbackFailure(RuntimeError):
     """Rollback could not be proven clean (fail-closed fault point)."""
+
+
+class PendingVerification:
+    """A committed-but-unverified install, held for deferred checking.
+
+    The event-loop runtime commits first and verifies *after*
+    ``transaction.commit()`` so compilation of the next result can start
+    under the check.  That is sound because ``check_commit``'s success
+    path is side-effect-free; the price is that a violation can no
+    longer lean on the open transaction — everything rollback needs is
+    snapshotted here instead: the transaction's checkpoint (shared Rule
+    objects + their pre-commit priorities), the pre-commit fast-path /
+    cookie / advertisement state, the VNHs the commit released, and the
+    dirty flags the commit cleared.
+    """
+
+    __slots__ = (
+        "commit_seq",
+        "seed",
+        "focus",
+        "result",
+        "transaction",
+        "previous",
+        "base_cookies",
+        "advertised",
+        "fast_path",
+        "released",
+        "dirty",
+    )
+
+    def __init__(self, commit_seq, seed, focus, result, transaction) -> None:
+        self.commit_seq = commit_seq
+        self.seed = seed
+        self.focus = focus
+        self.result = result
+        self.transaction = transaction
+        self.previous = None
+        self.base_cookies = None
+        self.advertised = None
+        self.fast_path = None
+        self.released = ()
+        self.dirty = ((), False, False)
+
+    def complete(
+        self, previous, base_cookies, advertised, fast_path, released, dirty
+    ) -> None:
+        """Fill in the recovery state once the commit has gone through."""
+        self.previous = previous
+        self.base_cookies = base_cookies
+        self.advertised = advertised
+        self.fast_path = fast_path
+        self.released = released
+        self.dirty = dirty
+
+    def __repr__(self) -> str:
+        return f"PendingVerification(commit_seq={self.commit_seq}, seed={self.seed})"
 
 
 class CommitGuard:
@@ -308,6 +365,210 @@ class CommitGuard:
         self._m_mismatches.inc(len(check.mismatches) + len(check.violations))
         raise GuardViolation(report, check)
 
+    # -- deferred verification (after the transaction committed) ------------
+
+    def begin_deferred(
+        self,
+        result: "CompilationResult",
+        patch: TablePatch,
+        transaction: "FlowTableTransaction",
+        previous: Optional["CompilationResult"],
+    ) -> Optional[PendingVerification]:
+        """Claim a commit sequence number and snapshot what rollback needs.
+
+        Called by the committer *instead of* :meth:`check_commit` when
+        verification is deferred: the probe pass moves to
+        :meth:`verify_snapshot`, after ``transaction.commit()``, so the
+        next compilation can overlap it.  Returns None when the guard is
+        disabled or for the no-op re-commit shortcut (same cases where
+        ``check_commit`` skips).  The sequence number and derived probe
+        seed are fixed *here*, at commit order, so deferral cannot change
+        which probe stream a commit is checked against.
+        """
+        if not self.config.enabled:
+            return None
+        if patch.is_noop and result is previous:
+            return None
+        self._commit_seq += 1
+        seq = self._commit_seq
+        return PendingVerification(
+            commit_seq=seq,
+            seed=probe_seed(self.config.seed, seq),
+            focus=changed_prefixes(
+                previous.fec_table if previous is not None else None,
+                result.fec_table,
+            ),
+            result=result,
+            transaction=transaction,
+        )
+
+    def verify_snapshot(
+        self, pending: PendingVerification
+    ) -> Optional[GuardReport]:
+        """The deferred probe pass for an already-committed install.
+
+        Identical verdict machinery to :meth:`check_commit` — same seed,
+        same focus set, same fail-open handling of probe-infrastructure
+        errors — but a mismatch can't abort an open transaction anymore,
+        so recovery rolls the fabric back from the snapshot captured in
+        ``pending`` (and then raises, exactly like the inline path).
+        """
+        controller = self.controller
+        seq = pending.commit_seq
+        from repro.verify.checker import DifferentialChecker
+
+        try:
+            if self._fault_fires("probe"):
+                raise ProbeFailure(f"injected probe failure at commit {seq}")
+            check = DifferentialChecker(controller).check(
+                budget=self.config.probe_budget,
+                seed=pending.seed,
+                invariants=self.config.invariants,
+                focus=pending.focus,
+            )
+        except Exception as exc:  # noqa: BLE001 - fail open, on the record
+            self._m_checks.inc(outcome="error")
+            self._record_incident(
+                GuardIncident(
+                    commit_seq=seq,
+                    action="probe-failure",
+                    participant=None,
+                    detail=f"verification pass failed: {type(exc).__name__}: {exc}",
+                    counterexample="",
+                    seed=pending.seed,
+                )
+            )
+            return None
+        report = GuardReport(
+            commit_seq=seq,
+            probes=check.probes,
+            checked=check.checked,
+            skipped=check.skipped,
+            focused=len(pending.focus),
+            seed=pending.seed,
+            seconds=check.seconds,
+            ok=check.ok,
+        )
+        self.last_report = report
+        self._m_probes.inc(check.probes)
+        self._m_seconds.observe(check.seconds)
+        if check.ok:
+            self._m_checks.inc(outcome="ok")
+            return report
+        self._m_checks.inc(outcome="mismatch")
+        self._m_mismatches.inc(len(check.mismatches) + len(check.violations))
+        self._handle_deferred_violation(pending, report, check)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _handle_deferred_violation(
+        self, pending: PendingVerification, report: GuardReport, check: "CheckReport"
+    ) -> None:
+        """Roll a *committed* bad install back from its snapshot.
+
+        Mirrors the committer's failure path plus :meth:`handle_violation`,
+        with one extra step each way: current fast-path overrides (added
+        after the bad commit) are flushed before the restore, and the
+        VNHs the commit released are re-reserved so the restored result's
+        advertisements resolve again.  Always raises.
+        """
+        controller = self.controller
+        pipeline = controller.pipeline
+        table = controller.switch.table
+        self._m_rollbacks.inc()
+        counterexample = ""
+        if check.mismatches:
+            counterexample = check.mismatches[0].explain()
+        elif check.violations:
+            counterexample = str(check.violations[0])
+
+        # The committer's failure path, replayed from the snapshot:
+        # flush post-commit overrides (releasing their VNHs), restore
+        # checkpoint membership/order/priorities, then the fast-path
+        # bookkeeping, cookies, advertisements, and last-result pointer.
+        controller.fast_path.flush()
+        for rule, priority in zip(
+            pending.transaction._checkpoint, pending.transaction._priorities
+        ):
+            rule.priority = priority
+        table.restore(pending.transaction._checkpoint)
+        controller.fast_path.restore(pending.fast_path)
+        controller._base_cookies = list(pending.base_cookies)
+        controller._advertised = dict(pending.advertised)
+        controller._last_result = pending.previous
+        # Undo the commit checkpoint: the released VNHs must resolve
+        # again (the restored advertisements still point at them) and
+        # stay queued for release by the next *good* commit; the dirty
+        # flags the commit cleared are re-marked (unioned — later edits
+        # may have dirtied more).
+        for vnh in pending.released:
+            controller.allocator.reclaim(vnh)
+        pipeline._pending_release.extend(pending.released)
+        dirty_participants, dirty_routes, dirty_chains = pending.dirty
+        for name in dirty_participants:
+            pipeline.dirty.mark_policy(name)
+        if dirty_routes:
+            pipeline.dirty.mark_routes()
+        if dirty_chains:
+            pipeline.dirty.mark_chains()
+        controller._push_routes_to_all()
+
+        injected = self._fault_fires("rollback")
+        if injected or table.content_hash() != pending.transaction.checkpoint_digest():
+            detail = (
+                "injected rollback failure"
+                if injected
+                else "post-rollback table digest differs from pre-commit checkpoint"
+            )
+            self._record_incident(
+                GuardIncident(
+                    commit_seq=report.commit_seq,
+                    action="rollback-failure",
+                    participant=None,
+                    detail=detail,
+                    counterexample=counterexample,
+                    seed=report.seed,
+                )
+            )
+            raise RollbackFailure(f"guarded commit {report.commit_seq}: {detail}")
+
+        culprit = self._attribute(check, dirty=dirty_participants)
+        released = False
+        if culprit is not None:
+            offenses = self._offenses.get(culprit, 0) + 1
+            self._offenses[culprit] = offenses
+            pipeline._quarantine(
+                culprit,
+                "GuardViolation",
+                f"guarded commit {report.commit_seq}: "
+                f"{len(check.mismatches)} mismatch(es) traced to this policy",
+                attempts=1,
+                state="guard",
+                offenses=offenses,
+            )
+            self._m_quarantines.inc()
+            if self._fault_fires("release"):
+                controller.ops.release_quarantine(culprit, recompile=False)
+                released = True
+
+        self._reassert_last_good()
+
+        incident = GuardIncident(
+            commit_seq=report.commit_seq,
+            action="rolled-back",
+            participant=culprit,
+            detail=(
+                f"{len(check.mismatches)} mismatch(es), "
+                f"{len(check.violations)} invariant violation(s) in "
+                f"{check.checked}/{report.probes} probes "
+                f"(seed {report.seed}); fabric restored (deferred)"
+            ),
+            counterexample=counterexample,
+            seed=report.seed,
+            released_by_race=released,
+        )
+        self._record_incident(incident)
+        raise GuardedCommitError(incident)
+
     # -- recovery (after the committer rolled back) -------------------------
 
     def handle_violation(
@@ -397,16 +658,18 @@ class CommitGuard:
         self._record_incident(incident)
         raise GuardedCommitError(incident) from violation
 
-    def _attribute(self, check: "CheckReport") -> Optional[str]:
+    def _attribute(self, check: "CheckReport", dirty=None) -> Optional[str]:
         """Which participant's policy segment misforwarded?
 
         The counterexamples' provenance strings (``"policy:NAME"``) name
         the installed segment that decided; when they are unanimous the
         attribution is direct.  When no policy segment decided (the bad
         rule dropped the probe, say), a commit with exactly one dirty
-        policy author is blamed on circumstantial evidence.  Anything
-        else stays unattributed — quarantining an innocent tenant is
-        worse than leaving an incident for the operator.
+        policy author is blamed on circumstantial evidence — for a
+        deferred check the *snapshot* of dirty authors at commit time is
+        passed in, since the live tracker has moved on.  Anything else
+        stays unattributed — quarantining an innocent tenant is worse
+        than leaving an incident for the operator.
         """
         names = set()
         for mismatch in check.mismatches:
@@ -416,7 +679,8 @@ class CommitGuard:
         if len(names) == 1:
             return next(iter(names))
         if not names:
-            dirty = self.controller.pipeline.dirty.participants
+            if dirty is None:
+                dirty = self.controller.pipeline.dirty.participants
             if len(dirty) == 1:
                 return next(iter(dirty))
         return None

@@ -28,6 +28,12 @@ Backends:
 Selection: ``REPRO_BACKEND=serial|parallel`` (optionally
 ``REPRO_BACKEND_PROCS=<n>`` to pin the pool size) or pass a backend
 instance to ``SDXController(backend=...)``.
+
+Besides the blocking ``run()`` barrier, every backend offers a
+``submit()``/``poll()`` future API so the event-loop runtime can keep
+verifying the previous commit (or just breathing) while a forked pool
+grinds through shards; ``run()`` is now sugar for
+``submit(...).wait()``.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ import random
 from typing import Callable, List, Optional, Sequence
 
 __all__ = [
+    "BackendFuture",
     "ExecutionBackend",
     "ParallelBackend",
     "SerialBackend",
@@ -55,12 +62,77 @@ def _invoke_inherited(index: int):
     return fn(tasks[index])
 
 
+class BackendFuture:
+    """Handle for an in-flight ``submit()`` batch.
+
+    ``poll()`` is non-blocking; ``wait()`` blocks and returns the
+    results in submission order (memoized — safe to call repeatedly).
+    A worker exception is re-raised from ``wait()``.
+    """
+
+    def poll(self) -> bool:
+        raise NotImplementedError
+
+    def wait(self) -> List:
+        raise NotImplementedError
+
+    def result(self) -> List:
+        """Alias for :meth:`wait` (explicit at call sites that polled)."""
+        return self.wait()
+
+
+class _EagerFuture(BackendFuture):
+    """Already-completed results (serial backends, tiny batches)."""
+
+    def __init__(self, results: List) -> None:
+        self._results = results
+
+    def poll(self) -> bool:
+        return True
+
+    def wait(self) -> List:
+        return self._results
+
+
+class _PoolFuture(BackendFuture):
+    """A ``map_async`` in flight on a forked pool."""
+
+    def __init__(self, pool, async_result) -> None:
+        self._pool = pool
+        self._async = async_result
+        self._results: Optional[List] = None
+        self._error: Optional[BaseException] = None
+
+    def poll(self) -> bool:
+        if self._pool is None:
+            return True
+        return self._async.ready()
+
+    def wait(self) -> List:
+        if self._pool is not None:
+            try:
+                self._results = self._async.get()
+            except BaseException as exc:  # noqa: BLE001 - propagate on re-wait too
+                self._error = exc
+                self._pool.terminate()
+            finally:
+                pool, self._pool = self._pool, None
+                pool.join()
+        if self._error is not None:
+            raise self._error
+        return self._results
+
+
 class ExecutionBackend:
     """Runs shard tasks; results come back in submission order."""
 
     name = "abstract"
 
     def run(self, tasks: Sequence, fn: Callable) -> List:
+        return self.submit(tasks, fn).wait()
+
+    def submit(self, tasks: Sequence, fn: Callable) -> BackendFuture:
+        """Start the batch; default implementation completes eagerly."""
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -72,8 +144,8 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def run(self, tasks: Sequence, fn: Callable) -> List:
-        return [fn(task) for task in tasks]
+    def submit(self, tasks: Sequence, fn: Callable) -> BackendFuture:
+        return _EagerFuture([fn(task) for task in tasks])
 
 
 class ShuffledSerialBackend(ExecutionBackend):
@@ -88,13 +160,13 @@ class ShuffledSerialBackend(ExecutionBackend):
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
 
-    def run(self, tasks: Sequence, fn: Callable) -> List:
+    def submit(self, tasks: Sequence, fn: Callable) -> BackendFuture:
         order = list(range(len(tasks)))
         random.Random(self.seed).shuffle(order)
         results: List = [None] * len(tasks)
         for index in order:
             results[index] = fn(tasks[index])
-        return results
+        return _EagerFuture(results)
 
     def __repr__(self) -> str:
         return f"ShuffledSerialBackend(seed={self.seed})"
@@ -119,23 +191,27 @@ class ParallelBackend(ExecutionBackend):
             return max(1, min(self.processes, len(tasks)))
         return max(1, min(os.cpu_count() or 1, len(tasks)))
 
-    def run(self, tasks: Sequence, fn: Callable) -> List:
+    def submit(self, tasks: Sequence, fn: Callable) -> BackendFuture:
         global _FORK_WORK
         if len(tasks) <= 1:
-            return [fn(task) for task in tasks]
+            return _EagerFuture([fn(task) for task in tasks])
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
-            return [fn(task) for task in tasks]
+            return _EagerFuture([fn(task) for task in tasks])
         processes = self._pool_size(tasks)
         if processes <= 1:
-            return [fn(task) for task in tasks]
+            return _EagerFuture([fn(task) for task in tasks])
+        # Workers fork at Pool construction and inherit _FORK_WORK
+        # copy-on-write; it can be cleared as soon as the fork happened.
         _FORK_WORK = (list(tasks), fn)
         try:
-            with context.Pool(processes=processes) as pool:
-                return pool.map(_invoke_inherited, range(len(tasks)))
+            pool = context.Pool(processes=processes)
         finally:
             _FORK_WORK = None
+        async_result = pool.map_async(_invoke_inherited, range(len(tasks)))
+        pool.close()
+        return _PoolFuture(pool, async_result)
 
     def __repr__(self) -> str:
         return f"ParallelBackend(processes={self.processes})"

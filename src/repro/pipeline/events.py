@@ -13,6 +13,11 @@ The bus contract (also documented in ``docs/internals.md``):
 * events are plain immutable values (NamedTuples) — no behavior;
 * delivery is synchronous and in subscription order, on the
   publisher's thread;
+* a raising subscriber does **not** abort the fanout: every subscriber
+  sees the event, then the collected errors re-raise — a single error
+  unwrapped, several as :class:`SubscriberErrorGroup` (mirroring
+  ``BGPSession``'s ``ListenerErrorGroup``), so a bad telemetry hook can
+  never leave the ``DirtyTracker`` unnotified;
 * subscribers must not publish from inside a handler (no re-entrant
   dispatch is attempted, recursion is the caller's bug);
 * unknown event types are allowed — subscribers register per type, and
@@ -32,6 +37,7 @@ __all__ = [
     "PolicyChanged",
     "QuarantineLifted",
     "RoutesChanged",
+    "SubscriberErrorGroup",
 ]
 
 
@@ -73,6 +79,22 @@ class CommitApplied(NamedTuple):
     rules: int
 
 
+class SubscriberErrorGroup(RuntimeError):
+    """Two or more subscribers raised during one ``publish`` fanout.
+
+    The first failure is chained as ``__cause__``; all of them are kept
+    on :attr:`errors` in subscription order.
+    """
+
+    def __init__(self, event, errors: List[BaseException]) -> None:
+        summary = "; ".join(f"{type(e).__name__}: {e}" for e in errors)
+        super().__init__(
+            f"{len(errors)} subscribers failed for {type(event).__name__}: {summary}"
+        )
+        self.event = event
+        self.errors = tuple(errors)
+
+
 class EventBus:
     """Synchronous, type-keyed publish/subscribe."""
 
@@ -84,8 +106,24 @@ class EventBus:
         self._subscribers.setdefault(event_type, []).append(handler)
 
     def publish(self, event) -> None:
+        """Deliver ``event`` to every subscriber, then surface failures.
+
+        Fanout always completes — a raising subscriber cannot starve the
+        ones registered after it (the ``DirtyTracker`` must see every
+        event or the no-op shortcut becomes unsound).  One failure
+        re-raises unwrapped; several raise :class:`SubscriberErrorGroup`
+        with the first as ``__cause__``.
+        """
+        errors: List[BaseException] = []
         for handler in self._subscribers.get(type(event), ()):
-            handler(event)
+            try:
+                handler(event)
+            except Exception as exc:  # noqa: BLE001 - aggregated below
+                errors.append(exc)
+        if len(errors) == 1:
+            raise errors[0]
+        if errors:
+            raise SubscriberErrorGroup(event, errors) from errors[0]
 
 
 class DirtyTracker:

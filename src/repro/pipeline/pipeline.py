@@ -229,19 +229,52 @@ class CompilationPipeline:
         addresses.update(vnh.address for vnh in self._pending_release)
         return frozenset(addresses)
 
-    def on_committed(self, result: CompilationResult) -> None:
-        """Commit checkpoint: clear dirty state, release superseded VNHs."""
+    def on_committed(self, result: CompilationResult) -> List[VirtualNextHop]:
+        """Commit checkpoint: clear dirty state, release superseded VNHs.
+
+        Returns the VNHs released by this commit so a *deferred* guard
+        verification can re-reserve them if the commit later proves bad
+        (see ``CommitGuard.begin_deferred``).
+        """
         self.dirty.clear()
         self._m_dirty.set(0)
         pending, self._pending_release = self._pending_release, []
         for vnh in pending:
             self.controller.allocator.release(vnh.address)
         self.bus.publish(CommitApplied(len(result.classifier)))
+        return pending
 
     # -- main entry point ---------------------------------------------------
 
     def compile(self) -> CompilationResult:
-        """Run the staged pipeline (or the legacy path for ablation options)."""
+        """Run the staged pipeline (or the legacy path for ablation options).
+
+        Inline trampoline over :meth:`compile_steps`: stage markers are
+        ignored and in-flight shard futures are waited on immediately,
+        which reproduces the old blocking barrier byte-for-byte.
+        """
+        steps = self.compile_steps()
+        while True:
+            try:
+                token = next(steps)
+            except StopIteration as stop:
+                return stop.value
+            if token[0] == "wait":
+                token[1].wait()
+
+    def compile_steps(self):
+        """Generator form of the compile loop, with explicit yield points.
+
+        Yields ``("stage", name)`` after each serial stage and
+        ``("wait", future)`` while a shard batch is in flight on the
+        backend; :class:`~repro.runtime.ControlPlaneRuntime` uses these
+        points to overlap guard verification of the previous commit (and
+        general bookkeeping) with this compilation.  Nothing may mutate
+        controller state at a yield point — the runtime only runs
+        side-effect-free work under an in-flight pass, which is what
+        keeps both drivers byte-identical.  The compiled result is the
+        generator's return value.
+        """
         options = self.controller.options
         if not (options.prune_targets and options.disjoint_concat and options.memoize):
             # The ablation configurations change the *shape* of the
@@ -252,14 +285,14 @@ class CompilationPipeline:
         while True:
             attempts += 1
             self._m_passes.inc()
-            result = self._compile_pass(attempts)
+            result = yield from self._compile_pass_steps(attempts)
             if result is not None:
                 return result
 
     # -- the staged pass ----------------------------------------------------
 
-    def _compile_pass(self, attempts: int) -> Optional[CompilationResult]:
-        """One pass over all stages; None means "quarantined, restart"."""
+    def _compile_pass_steps(self, attempts: int):
+        """One pass over all stages; returns None for "quarantined, restart"."""
         controller = self.controller
         compiler = controller.compiler
         config = controller.config
@@ -295,6 +328,7 @@ class CompilationPipeline:
                 in_raw.pop(name, None)
         ast_seconds = compiler._now() - phase
         self._m_stage.observe(ast_seconds, stage="ast")
+        yield ("stage", "ast")
 
         # Stage 2: prefix groups + FEC partition with VNH reconciliation.
         phase = compiler._now()
@@ -337,6 +371,7 @@ class CompilationPipeline:
 
         fec_seconds = compiler._now() - phase
         self._m_stage.observe(fec_seconds, stage="fec")
+        yield ("stage", "fec")
 
         # Encoding context for this pass.  The encoder view is a frozen
         # registry snapshot: shards read it without touching (or racing
@@ -376,6 +411,7 @@ class CompilationPipeline:
         )
         stage2_seconds = compiler._now() - phase
         self._m_stage.observe(stage2_seconds, stage="stage2")
+        yield ("stage", "stage2")
         if stage2_failures:
             for name, (error_type, message) in stage2_failures.items():
                 self._quarantine(name, error_type, message, attempts)
@@ -453,7 +489,16 @@ class CompilationPipeline:
                 )
 
         tasks = [task for _, task, _ in plan if task is not None]
-        shard_results = self.backend.run(tasks, run_shard) if tasks else []
+        if tasks:
+            # Non-blocking dispatch: the batch grinds on the backend
+            # while the caller interleaves other work at the yield
+            # point (the inline trampoline just waits immediately).
+            future = self.backend.submit(tasks, run_shard)
+            while not future.poll():
+                yield ("wait", future)
+            shard_results = future.result()
+        else:
+            shard_results = []
         results_by_label: Dict[Tuple, ShardResult] = {
             result.label: result for result in shard_results
         }

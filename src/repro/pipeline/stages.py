@@ -114,6 +114,9 @@ class FabricCommitter:
     def __init__(self, pipeline: "CompilationPipeline") -> None:
         self.pipeline = pipeline
         self._last_report: CommitReport | None = None
+        #: a deferred guard check handed over by the last install
+        #: (event-loop runtime only); popped by the verify task
+        self._deferred_verification = None
         self._commits = 0
         self._total_added = 0
         self._total_removed = 0
@@ -157,7 +160,9 @@ class FabricCommitter:
             last=self._last_report,
         )
 
-    def install(self, result: "CompilationResult") -> CommitReport:
+    def install(
+        self, result: "CompilationResult", defer_guard: bool = False
+    ) -> CommitReport:
         """Reconcile ``result`` into the switch transactionally.
 
         The target table implied by ``result.segments`` is diffed
@@ -171,10 +176,22 @@ class FabricCommitter:
         propagates.  On success the pipeline checkpoint runs: dirty
         flags clear and superseded VNHs are released.  Returns the
         typed :class:`CommitReport`.
+
+        With ``defer_guard=True`` (the event-loop runtime's pipelined
+        path) the guard's probe pass is *not* run inside the
+        transaction: the guard snapshots everything a rollback would
+        need (:meth:`~repro.guard.commits.CommitGuard.begin_deferred`),
+        the commit completes, and the check is left on
+        :meth:`pop_deferred_verification` for the runtime's verify task
+        to run — overlapped with the next compilation.  ``verified`` is
+        then None on the returned report; the eventual
+        :class:`~repro.guard.commits.GuardReport` lands on
+        ``guard.last_report``.
         """
         controller = self.pipeline.controller
         table = controller.switch.table
         started = controller.telemetry.now()
+        previous = controller._last_result
         saved_fast_path = controller.fast_path.snapshot()
         saved_cookies = list(controller._base_cookies)
         saved_advertised = dict(controller._advertised)
@@ -190,6 +207,7 @@ class FabricCommitter:
         transaction = table.transaction()
         guard = controller.guard
         verified = None
+        deferred = None
         try:
             controller.fast_path.flush()
             patch.apply(table)
@@ -200,10 +218,15 @@ class FabricCommitter:
             for hook in list(controller._commit_hooks):
                 hook(result)
             if guard is not None:
-                # Inside the still-open transaction: probes traverse the
-                # patched table; a mismatch raises GuardViolation and the
-                # failure path below restores everything.
-                verified = guard.check_commit(result, patch)
+                if defer_guard:
+                    deferred = guard.begin_deferred(
+                        result, patch, transaction, previous
+                    )
+                else:
+                    # Inside the still-open transaction: probes traverse
+                    # the patched table; a mismatch raises GuardViolation
+                    # and the failure path below restores everything.
+                    verified = guard.check_commit(result, patch)
             transaction.commit()
         except BaseException as error:
             transaction.rollback()
@@ -227,10 +250,28 @@ class FabricCommitter:
             verified=verified,
         )
         self._record(report)
+        # Snapshot the dirty flags *before* on_committed clears them:
+        # they are part of what a deferred violation must reinstate.
+        dirty_state = self.pipeline.dirty.snapshot()
         controller._last_result = result
-        self.pipeline.on_committed(result)
+        released = self.pipeline.on_committed(result)
+        if deferred is not None:
+            deferred.complete(
+                previous=previous,
+                base_cookies=saved_cookies,
+                advertised=saved_advertised,
+                fast_path=saved_fast_path,
+                released=tuple(released),
+                dirty=dirty_state,
+            )
+            self._deferred_verification = deferred
         controller._push_routes_to_all()
         return report
+
+    def pop_deferred_verification(self):
+        """Take (and clear) the pending deferred guard check, if any."""
+        pending, self._deferred_verification = self._deferred_verification, None
+        return pending
 
     def _record(self, report: CommitReport) -> None:
         self._last_report = report

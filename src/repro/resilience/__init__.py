@@ -84,6 +84,9 @@ class ResilienceCoordinator:
     def __init__(
         self,
         controller: "SDXController",
+        # Simulator or anything duck-typing its scheduling surface —
+        # under REPRO_RUNTIME=eventloop the controller passes the
+        # runtime's TimerWheel so all timers share one virtual clock.
         clock: Optional[Simulator] = None,
         liveness: Optional[LivenessConfig] = None,
         damping: Optional[DampingConfig] = None,

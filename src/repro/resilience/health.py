@@ -107,6 +107,9 @@ class HealthReport(NamedTuple):
     #: per-participant admission state (rejections, active backoff),
     #: only participants with any rejection history appear
     admission: Mapping[str, Mapping] = {}
+    #: control-plane runtime state: ``{"mode": "inline"}`` or the
+    #: event-loop runtime's queue depths / peak / rejection counters
+    runtime: Mapping[str, object] = {}
 
     @property
     def degraded(self) -> bool:

@@ -79,7 +79,10 @@ class SessionLivenessManager:
     def __init__(
         self,
         server: RouteServer,
-        clock: Simulator,
+        # Anything with the Simulator scheduling surface (now /
+        # schedule / schedule_in / schedule_every) works — the
+        # event-loop runtime passes its TimerWheel here.
+        clock: "Simulator",
         config: LivenessConfig = LivenessConfig(),
         reconnect_probe: Optional[Callable[[str], bool]] = None,
     ) -> None:

@@ -1,0 +1,93 @@
+"""Bounded queues for the control-plane runtime.
+
+The event-loop runtime's tasks communicate only through these queues;
+the ingress queue is *bounded* so a misbehaving peer storms into
+backpressure (a :class:`QueueOverflow` at submission time) instead of
+unbounded memory growth.  Depth changes are reported through an
+``on_depth`` callback so the runtime can keep the
+``sdx_runtime_queue_depth`` gauge current without the queue knowing
+about telemetry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+__all__ = ["BoundedQueue", "QueueOverflow"]
+
+
+class QueueOverflow(RuntimeError):
+    """A bounded queue refused an item (backpressure, not data loss)."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        super().__init__(f"queue {name!r} full ({capacity} items)")
+        self.queue = name
+        self.capacity = capacity
+
+
+class BoundedQueue:
+    """FIFO with a hard capacity and depth accounting."""
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "peak_depth",
+        "total_enqueued",
+        "total_rejected",
+        "_items",
+        "_on_depth",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        on_depth: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.peak_depth = 0
+        self.total_enqueued = 0
+        self.total_rejected = 0
+        self._items: Deque = deque()
+        self._on_depth = on_depth
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, item) -> None:
+        """Enqueue, or raise :class:`QueueOverflow` when at capacity."""
+        if len(self._items) >= self.capacity:
+            self.total_rejected += 1
+            raise QueueOverflow(self.name, self.capacity)
+        self._items.append(item)
+        self.total_enqueued += 1
+        depth = len(self._items)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+        if self._on_depth is not None:
+            self._on_depth(depth)
+
+    def pop(self):
+        """Dequeue the oldest item (raises IndexError when empty)."""
+        item = self._items.popleft()
+        if self._on_depth is not None:
+            self._on_depth(len(self._items))
+        return item
+
+    def peek(self):
+        """The oldest item without removing it (None when empty)."""
+        return self._items[0] if self._items else None
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedQueue({self.name!r}, depth={len(self._items)}/"
+            f"{self.capacity}, peak={self.peak_depth})"
+        )

@@ -114,6 +114,16 @@ class Simulator:
         self.schedule(first, lambda: tick(first))
         return master
 
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the earliest pending event, or None when idle.
+
+        Cancelled heads are discarded on the way (they would otherwise
+        make the answer pessimistic); the clock does not advance.
+        """
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else None
+
     def _pop_runnable(self) -> Optional[Tuple[float, TimerHandle, Callable[[], None]]]:
         while self._queue:
             at, _, handle, callback = heapq.heappop(self._queue)

@@ -79,8 +79,8 @@ class TestPoisonIsolation:
         injector.poison_policy(controller, "A")
         controller.compile()
 
-        assert set(controller.quarantined()) == {"A"}
-        diagnosis = controller.quarantined()["A"]
+        assert set(controller.ops.quarantined()) == {"A"}
+        diagnosis = controller.ops.quarantined()["A"]
         assert diagnosis.error_type == "PolicyPoisonError"
         # A now follows plain BGP: best path for p1 is via C.
         assert egress(controller, "A", P1, dstport=80, srcip="50.0.0.1") == ["C1"]
@@ -96,7 +96,7 @@ class TestPoisonIsolation:
         controller = figure1_compiled
         FaultInjector(seed=11).poison_policy(controller, "A")
         controller.compile()
-        controller.set_policies(
+        controller.policy.set_policies(
             "A",
             SDXPolicySet(
                 outbound=(match(dstport=80) >> fwd("B"))
@@ -104,9 +104,9 @@ class TestPoisonIsolation:
             ),
             recompile=True,
         )
-        assert not controller.quarantined()
+        assert not controller.ops.quarantined()
         assert egress(controller, "A", P1, dstport=80, srcip="50.0.0.1") == ["B1"]
-        assert not controller.health().degraded
+        assert not controller.ops.health().degraded
 
 
 class TestFlapDampingWaves:
@@ -121,39 +121,39 @@ class TestFlapDampingWaves:
             clock=sim, damping=DampingConfig(), liveness=INERT_LIVENESS
         )
         battrs = RouteAttributes(as_path=[65002, 65102], next_hop="172.0.0.11")
-        baseline = len(controller.fast_path_log)
+        baseline = len(controller.ops.fast_path_log)
 
         for _ in range(8):  # p3's best path flaps B -> C -> B each cycle
-            controller.withdraw("B", P3)
-            controller.announce("B", P3, battrs)
+            controller.routing.withdraw("B", P3)
+            controller.routing.announce("B", P3, battrs)
 
-        waves = len(controller.fast_path_log) - baseline
+        waves = len(controller.ops.fast_path_log) - baseline
         # Suppression engages after the first full cycle: two waves from
         # that cycle, nothing from the remaining seven.
         assert waves <= 2
         assert resilience.suppressed_changes > 0
-        assert controller.health().damped
+        assert controller.ops.health().damped
         # The damper gates only the *data plane*; the RIB stayed exact.
         best = controller.route_server.best_route("A", P3)
         assert best is not None and best.learned_from == "B"
 
         # Penalty decays; exactly one catch-up recompilation restores
         # data-plane sync, after which nothing is damped.
-        before_catchup = len(controller.fast_path_log)
+        before_catchup = len(controller.ops.fast_path_log)
         sim.run_until(6 * 3600.0)
-        assert len(controller.fast_path_log) == before_catchup + 1
-        assert not controller.health().damped
+        assert len(controller.ops.fast_path_log) == before_catchup + 1
+        assert not controller.ops.health().damped
         # End-to-end: A's policy still diverts HTTP for p3 to B.
         assert egress(controller, "A", P3, dstport=80, srcip="50.0.0.1") == ["B1"]
 
     def test_without_damping_every_flap_recompiles(self, figure1_compiled):
         controller = figure1_compiled  # no resilience layer attached
         battrs = RouteAttributes(as_path=[65002, 65102], next_hop="172.0.0.11")
-        baseline = len(controller.fast_path_log)
+        baseline = len(controller.ops.fast_path_log)
         for _ in range(8):
-            controller.withdraw("B", P3)
-            controller.announce("B", P3, battrs)
-        assert len(controller.fast_path_log) - baseline == 16
+            controller.routing.withdraw("B", P3)
+            controller.routing.announce("B", P3, battrs)
+        assert len(controller.ops.fast_path_log) - baseline == 16
 
 
 class TestGracefulRestart:
@@ -176,7 +176,7 @@ class TestGracefulRestart:
         reachable["up"] = False
 
         table_hash = controller.switch.table.content_hash()
-        fast_path_waves = len(controller.fast_path_log)
+        fast_path_waves = len(controller.ops.fast_path_log)
 
         sim.run_until(31.0)  # B's hold timer expires at t=30
         server = controller.route_server
@@ -188,8 +188,8 @@ class TestGracefulRestart:
             IPv4Prefix(p) for p, _, _, _ in B_ROUTES
         }
         assert controller.switch.table.content_hash() == table_hash
-        assert len(controller.fast_path_log) == fast_path_waves
-        assert controller.health().stale_routes == {"B": len(B_ROUTES)}
+        assert len(controller.ops.fast_path_log) == fast_path_waves
+        assert controller.ops.health().stale_routes == {"B": len(B_ROUTES)}
 
         # The peer becomes reachable; backoff reconnection restores it.
         reachable["up"] = True
@@ -199,7 +199,7 @@ class TestGracefulRestart:
 
         # B re-announces the identical table; End-of-RIB sweeps nothing.
         for prefix, as_path, next_hop, export_to in B_ROUTES:
-            controller.announce(
+            controller.routing.announce(
                 "B",
                 prefix,
                 RouteAttributes(as_path=as_path, next_hop=next_hop),
@@ -209,8 +209,8 @@ class TestGracefulRestart:
         assert server.stale_prefixes("B") == frozenset()
         # The whole failure-and-return cycle: not one flow-table write.
         assert controller.switch.table.content_hash() == table_hash
-        assert len(controller.fast_path_log) == fast_path_waves
-        assert not controller.health().degraded
+        assert len(controller.ops.fast_path_log) == fast_path_waves
+        assert not controller.ops.health().degraded
 
     def test_peer_that_never_returns_is_swept_once(self, figure1_compiled):
         controller = figure1_compiled
@@ -222,7 +222,7 @@ class TestGracefulRestart:
         )
         for peer in ("A", "C"):
             sim.schedule_every(10.0, lambda p=peer: resilience.liveness.heard_from(p))
-        waves_before = len(controller.fast_path_log)
+        waves_before = len(controller.ops.fast_path_log)
         sim.run_until(200.0)  # hold expiry at 30, restart sweep at 150
         server = controller.route_server
         assert server.session("B").state is SessionState.FAILED
@@ -232,9 +232,9 @@ class TestGracefulRestart:
         # The sweep recompiled each affected prefix exactly once (every
         # one of B's routes was someone's best path — C imported p1/p2
         # from B even though its own routes win elsewhere).
-        touched = {u.prefix for u in controller.fast_path_log[waves_before:]}
+        touched = {u.prefix for u in controller.ops.fast_path_log[waves_before:]}
         assert touched == {IPv4Prefix(p) for p, _, _, _ in B_ROUTES}
-        assert len(controller.fast_path_log) - waves_before == len(B_ROUTES)
+        assert len(controller.ops.fast_path_log) - waves_before == len(B_ROUTES)
 
 
 class TestTransactionalCommit:
@@ -321,8 +321,8 @@ class TestSeededSoak:
         for _ in range(40):
             action = injector.rng.choice(["flap", "corrupt", "crash", "report"])
             if action == "flap":
-                controller.withdraw("B", P3)
-                controller.announce("B", P3, battrs)
+                controller.routing.withdraw("B", P3)
+                controller.routing.announce("B", P3, battrs)
             elif action == "corrupt":
                 self._corrupt_wire(controller, resilience, injector)
             elif action == "crash":
@@ -330,7 +330,7 @@ class TestSeededSoak:
                 controller.route_server.session(peer).establish()
             else:
                 # health() must stay consistent mid-storm, whatever broke
-                report = controller.health()
+                report = controller.ops.health()
                 assert report.flow_rules == len(controller.switch.table)
 
         # Every fault is on the injector's replayable record.
@@ -342,14 +342,14 @@ class TestSeededSoak:
                 session.establish()
             controller.route_server.sweep_stale(peer)
         for prefix, as_path, next_hop, export_to in B_ROUTES:
-            controller.announce(
+            controller.routing.announce(
                 "B",
                 prefix,
                 RouteAttributes(as_path=as_path, next_hop=next_hop),
                 export_to=export_to,
             )
         controller.run_background_recompilation()
-        report = controller.health()
+        report = controller.ops.health()
         assert all(state == "established" for state in report.sessions.values())
         assert not report.quarantined
         assert report.flow_rules > 0

@@ -67,7 +67,7 @@ def test_churn_soak(seed):
     rng = random.Random(seed + 2)
     applied = 0
     for update in trace.updates:
-        controller.process_update(update)
+        controller.routing.process_update(update)
         applied += 1
         if applied % 20 == 0:
             # mid-churn: fast-path rules present but data plane correct

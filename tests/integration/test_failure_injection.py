@@ -67,7 +67,7 @@ class TestSessionFailures:
         controller = figure1_compiled
         controller.route_server.session("B").fail()
         controller.route_server.session("B").establish()
-        controller.announce(
+        controller.routing.announce(
             "B", P1, RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
         )
         vmac = tag_for(controller, "A", P1)
@@ -83,7 +83,7 @@ class TestWithdrawalStorm:
         controller = figure1_compiled
         for peer, prefixes in (("B", (P1, P2, P3, P4)), ("C", (P1, P2, P3, P4)), ("A", (P5,))):
             for prefix in prefixes:
-                controller.withdraw(peer, prefix)
+                controller.routing.withdraw(peer, prefix)
         assert controller.route_server.all_prefixes() == frozenset()
         controller.run_background_recompilation()
         assert controller.last_compilation.stats.fec_groups == 0
@@ -104,8 +104,8 @@ class TestWithdrawalStorm:
     def test_flap_storm_converges(self, figure1_compiled):
         controller = figure1_compiled
         for _ in range(10):
-            controller.withdraw("B", P1)
-            controller.announce(
+            controller.routing.withdraw("B", P1)
+            controller.routing.announce(
                 "B", P1, RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
             )
         assert len(controller.fast_path.active_prefixes) == 1  # one block, replaced in place
@@ -159,8 +159,8 @@ class TestResourceExhaustion:
         base_allocated = tiny.allocator.allocated
         pool_size = 14
         for _ in range(3 * pool_size):  # far more flaps than addresses
-            tiny.withdraw("C", P1)
-            tiny.announce(
+            tiny.routing.withdraw("C", P1)
+            tiny.routing.announce(
                 "C", P1, RouteAttributes(as_path=[65100], next_hop="172.0.0.21")
             )
         # One extra address may be live for the prefix's current VNH,
@@ -185,7 +185,7 @@ class TestStaleState:
         previously valid path (or drop), never somewhere new."""
         controller = figure1_compiled
         old_vmac = tag_for(controller, "A", P1)
-        controller.withdraw("C", P1)  # best flips to B, new VMAC issued
+        controller.routing.withdraw("C", P1)  # best flips to B, new VMAC issued
         packet = Packet(
             dstip="10.1.2.3", dstmac=old_vmac, port="A1", dstport=22, srcip="50.0.0.1", srcport=7
         )
@@ -195,7 +195,7 @@ class TestStaleState:
     def test_unknown_vmac_dropped_after_recompile(self, figure1_compiled):
         controller = figure1_compiled
         old_vmac = tag_for(controller, "A", P1)
-        controller.withdraw("C", P1)
+        controller.routing.withdraw("C", P1)
         controller.run_background_recompilation()
         # The old base table is gone; stale tags from before the flap
         # must not match anything (the VNH pool never reuses addresses).

@@ -64,17 +64,17 @@ def egress_behaviour(controller, packets):
 
 
 SCENARIOS = [
-    ("withdraw-diverted", lambda c: c.withdraw("B", P1)),
-    ("withdraw-best", lambda c: c.withdraw("C", P1)),
+    ("withdraw-diverted", lambda c: c.routing.withdraw("B", P1)),
+    ("withdraw-best", lambda c: c.routing.withdraw("C", P1)),
     (
         "better-path",
-        lambda c: c.announce(
+        lambda c: c.routing.announce(
             "C", P3, RouteAttributes(as_path=[65102], next_hop="172.0.0.21")
         ),
     ),
     (
         "new-port",
-        lambda c: c.announce(
+        lambda c: c.routing.announce(
             "B", P2, RouteAttributes(as_path=[65002, 65101], next_hop="172.0.0.12")
         ),
     ),
@@ -85,7 +85,7 @@ SCENARIOS = [
 def test_fast_path_agrees_with_background_recompilation(figure1_compiled, name, mutate):
     controller = figure1_compiled
     mutate(controller)
-    assert controller.fast_path_log, "expected the fast path to fire"
+    assert controller.ops.fast_path_log, "expected the fast path to fire"
     packets = probe_packets(controller, "A1")
     assert packets
     fast = egress_behaviour(controller, packets)
@@ -99,11 +99,11 @@ def test_fast_path_agrees_with_background_recompilation(figure1_compiled, name, 
 
 def test_burst_then_background_recompilation(figure1_compiled):
     controller = figure1_compiled
-    controller.withdraw("B", P1)
-    controller.announce(
+    controller.routing.withdraw("B", P1)
+    controller.routing.announce(
         "C", P3, RouteAttributes(as_path=[65102], next_hop="172.0.0.21")
     )
-    controller.announce(
+    controller.routing.announce(
         "B", P1, RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11")
     )
     packets = probe_packets(controller, "A1") + probe_packets(controller, "C1")
@@ -117,6 +117,6 @@ def test_fast_path_is_fast(figure1_compiled):
     """Sub-second convergence is the paper's headline claim; at this toy
     scale the fast path should be comfortably sub-100ms per update."""
     controller = figure1_compiled
-    controller.withdraw("C", P1)
-    (entry,) = controller.fast_path_log
+    controller.routing.withdraw("C", P1)
+    (entry,) = controller.ops.fast_path_log
     assert entry.seconds < 0.1

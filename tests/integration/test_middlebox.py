@@ -28,12 +28,12 @@ def deployment():
     # E1 is occupied by the middlebox itself, not a border router.
     ixp = EmulatedIXP(config, appliance_ports=["E1"])
     controller = ixp.controller
-    controller.announce(
+    controller.routing.announce(
         "B",
         YOUTUBE_PREFIX,
         RouteAttributes(as_path=[65002, YOUTUBE_AS], next_hop="172.0.0.11"),
     )
-    controller.announce(
+    controller.routing.announce(
         "B",
         OTHER_PREFIX,
         RouteAttributes(as_path=[65002, 65100], next_hop="172.0.0.11"),

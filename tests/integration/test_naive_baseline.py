@@ -62,7 +62,7 @@ PROBES = [
 def test_naive_forwards_identically_on_figure1(figure1):
     controller = figure1
     naive = compile_naive(
-        controller.config, controller.route_server, controller.policies()
+        controller.config, controller.route_server, controller.policy.policies()
     )
     for dst_prefix, dstip, headers in PROBES:
         expected = vmac_probe(controller, "A1", dst_prefix, dstip, **headers)
@@ -95,7 +95,7 @@ def test_naive_equivalent_on_random_scenarios(seed):
     controller = scenario.controller()
     controller.compile()
     naive = compile_naive(
-        controller.config, controller.route_server, controller.policies()
+        controller.config, controller.route_server, controller.policy.policies()
     )
     rng = random.Random(seed)
     ports = [port.port_id for port in controller.config.physical_ports()]

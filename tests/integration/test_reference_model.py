@@ -46,7 +46,7 @@ def _expected_outputs(controller, packet, sender, prefix):
     """The reference model: (egress port, dstip) pairs for one probe."""
     config = controller.config
     server = controller.route_server
-    policy_sets = controller.policies()
+    policy_sets = controller.policy.policies()
 
     def deliver(target, carried):
         """Delivery at participant ``target``'s virtual switch."""

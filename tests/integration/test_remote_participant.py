@@ -28,7 +28,7 @@ def deployment():
     config.add_participant("AWS", 64496, [])
     ixp = EmulatedIXP(config)
     controller = ixp.controller
-    controller.announce(
+    controller.routing.announce(
         "B", "54.198.0.0/16", RouteAttributes(as_path=[65002, 14618], next_hop="172.0.0.11")
     )
     ixp.add_host("client", "A", "204.57.0.67")

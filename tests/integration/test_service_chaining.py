@@ -30,7 +30,7 @@ def deployment():
         ],
     )
     ixp = EmulatedIXP(config, appliance_ports=["FW1", "DPI1"])
-    ixp.controller.announce(
+    ixp.controller.routing.announce(
         "T", "198.51.0.0/16", RouteAttributes(as_path=[65002, 64999], next_hop="172.0.0.11")
     )
     ixp.add_host("subscriber", "ISP", "100.64.0.50")
@@ -42,7 +42,7 @@ def deployment():
 def install_chain(ixp, exit=None):
     controller = ixp.controller
     chain = ServiceChain("scrub", hops=["FW1", "DPI1"], exit=exit)
-    controller.define_chain(chain)
+    controller.policy.define_chain(chain)
     isp = controller.register_participant("ISP")
     isp.set_policies(outbound=match(dstport=80) >> fwd(chain))
     return chain
@@ -59,7 +59,7 @@ class TestValidation:
 
     def test_unknown_port_rejected(self, deployment):
         with pytest.raises(ValueError):
-            deployment.controller.define_chain(ServiceChain("x", hops=["NOPE"]))
+            deployment.controller.policy.define_chain(ServiceChain("x", hops=["NOPE"]))
 
     def test_port_cannot_serve_two_chains(self, deployment):
         config = deployment.controller.config
@@ -119,10 +119,10 @@ class TestChainedForwarding:
         chain: the fast-path block carries its own continuation rules."""
         install_chain(deployment)
         controller = deployment.controller
-        controller.announce(
+        controller.routing.announce(
             "T", "198.51.0.0/16", RouteAttributes(as_path=[64999], next_hop="172.0.0.11")
         )
-        assert controller.fast_path_log  # fast path fired
+        assert controller.ops.fast_path_log  # fast path fired
         deployment.send("subscriber", dstip="198.51.7.7", dstport=80, srcport=5)
         assert len(deployment.middleboxes["firewall"].seen) == 1
         assert len(deployment.middleboxes["dpi"].seen) == 1

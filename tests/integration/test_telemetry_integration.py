@@ -2,7 +2,7 @@
 
 Drives one compile, a best-path-changing update burst, and an aborted
 transactional commit through a Figure 1 exchange, then asserts that
-``controller.metrics()`` / ``metrics_text()`` report the cycle — the
+``controller.ops.metrics()`` / ``metrics_text()`` report the cycle — the
 wiring test behind the ``make metrics`` CI smoke.
 """
 
@@ -16,7 +16,7 @@ from tests.conftest import P1, P3
 
 def flap(controller, index):
     """One guaranteed best-path change for P1 (alternating attributes)."""
-    controller.announce(
+    controller.routing.announce(
         "C",
         P1,
         RouteAttributes(as_path=[65100 + index % 2, 65100], next_hop="172.0.0.21"),
@@ -35,7 +35,7 @@ class TestMetricsAcrossACycle:
         with pytest.raises(CommitSabotage):
             controller.run_background_recompilation()
 
-        metrics = controller.metrics()
+        metrics = controller.ops.metrics()
 
         def series(name):
             return {
@@ -53,7 +53,7 @@ class TestMetricsAcrossACycle:
         # the update burst flowed through the route server and fast path
         assert series("sdx_bgp_updates_total")[(("kind", "announce"),)]["value"] >= 6
         fast = series("sdx_fastpath_seconds")[()]
-        assert fast["count"] == len(controller.fast_path_log)
+        assert fast["count"] == len(controller.ops.fast_path_log)
         assert series("sdx_fastpath_updates_total")[(("outcome", "installed"),)][
             "value"
         ] >= 6
@@ -93,7 +93,7 @@ class TestMetricsAcrossACycle:
     def test_exposition_text_round_trip(self, figure1_compiled):
         controller = figure1_compiled
         flap(controller, 0)
-        text = controller.metrics_text()
+        text = controller.ops.metrics_text()
         assert "# TYPE sdx_compile_seconds histogram" in text
         assert "# TYPE sdx_bgp_updates_total counter" in text
         assert 'sdx_compile_phase_seconds_bucket{phase="fec",le="+Inf"}' in text
@@ -102,7 +102,7 @@ class TestMetricsAcrossACycle:
     def test_health_report_folds_in_event_counters(self, figure1_compiled):
         controller = figure1_compiled
         flap(controller, 0)
-        report = controller.health()
+        report = controller.ops.health()
         assert report.events["session_transitions"] >= 3  # A, B, C established
         assert report.events["quarantines"] == 0
         assert report.events["damping_suppressed"] == 0
@@ -122,14 +122,14 @@ class TestMetricsUnderChaos:
             controller.run_background_recompilation()
         controller.run_background_recompilation()  # sabotage expired
 
-        metrics = controller.metrics()
+        metrics = controller.ops.metrics()
         rollbacks = metrics["sdx_flowtable_rollbacks_total"]["series"][0]["value"]
         commits = metrics["sdx_flowtable_commits_total"]["series"][0]["value"]
         assert rollbacks == 1
         assert commits >= 2
         # damping suppressed some of the storm, and health agrees with
         # both the coordinator and the exposed counter
-        report = controller.health()
+        report = controller.ops.health()
         suppressed = controller.resilience.suppressed_changes
         assert report.events["damping_suppressed"] == suppressed
         counter = controller.telemetry.get("sdx_damping_suppressed_total")
@@ -137,4 +137,4 @@ class TestMetricsUnderChaos:
         # gauges track the post-recovery table exactly
         rules = metrics["sdx_flowtable_rules"]["series"][0]["value"]
         assert rules == controller.table_size()
-        assert controller.metrics_text().strip()
+        assert controller.ops.metrics_text().strip()

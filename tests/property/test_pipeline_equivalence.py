@@ -67,14 +67,14 @@ def _assert_matches_legacy(controller: SDXController) -> None:
     replay = _ReplayAllocator(group.vnh for group in result.fec_table.groups)
     live = {
         name: policy_set
-        for name, policy_set in controller.policies().items()
-        if name not in controller.quarantined()
+        for name, policy_set in controller.policy.policies().items()
+        if name not in controller.ops.quarantined()
     }
     expected = controller.compiler.compile(
         live,
-        originated=controller.originated(),
+        originated=controller.routing.originated(),
         allocator=replay,
-        chains=list(controller.chains().values()),
+        chains=list(controller.policy.chains().values()),
     )
     assert replay.exhausted, "pipeline kept VNHs the legacy compile never assigned"
     assert expected.classifier == result.classifier
@@ -87,9 +87,9 @@ def _churn(controller: SDXController, scenario, seed: int) -> None:
     """One randomized round of BGP bursts + policy edits + a recompile."""
     trace = generate_update_trace(scenario.ixp, bursts=25, seed=seed)
     half = len(trace.updates) // 2
-    with controller.batched_updates():
+    with controller.routing.batched_updates():
         for update in trace.updates[:half]:
-            controller.process_update(update)
+            controller.routing.process_update(update)
     controller.run_background_recompilation()
     _assert_matches_legacy(controller)
 
@@ -97,12 +97,12 @@ def _churn(controller: SDXController, scenario, seed: int) -> None:
     edited = [name for name in alternate.policies][:2]
     with controller.deferred_recompilation():
         for name in edited:
-            controller.set_policies(name, alternate.policies[name])
+            controller.policy.set_policies(name, alternate.policies[name])
     _assert_matches_legacy(controller)
 
-    with controller.batched_updates():
+    with controller.routing.batched_updates():
         for update in trace.updates[half:]:
-            controller.process_update(update)
+            controller.routing.process_update(update)
     controller.run_background_recompilation()
     _assert_matches_legacy(controller)
 
@@ -129,15 +129,15 @@ def _scripted_run(scenario, backend):
     controller = scenario.controller(backend=backend)
     hashes = [controller.switch.table.content_hash()]
     trace = generate_update_trace(scenario.ixp, bursts=20, seed=31)
-    with controller.batched_updates():
+    with controller.routing.batched_updates():
         for update in trace.updates:
-            controller.process_update(update)
+            controller.routing.process_update(update)
     controller.run_background_recompilation()
     hashes.append(controller.switch.table.content_hash())
     alternate = generate_policies(scenario.ixp, seed=231)
     with controller.deferred_recompilation():
         for name in list(alternate.policies)[:3]:
-            controller.set_policies(name, alternate.policies[name])
+            controller.policy.set_policies(name, alternate.policies[name])
     hashes.append(controller.switch.table.content_hash())
     return hashes
 

@@ -39,11 +39,11 @@ class TestPolicies:
         with_policy = figure1_controller.last_compilation.stats.fec_groups
         a.clear_policies()
         assert figure1_controller.last_compilation.stats.fec_groups < with_policy
-        assert "A" not in figure1_controller.policies()
+        assert "A" not in figure1_controller.policy.policies()
 
     def test_empty_policy_set_removed(self, figure1_controller):
-        figure1_controller.set_policies("A", SDXPolicySet(), recompile=False)
-        assert "A" not in figure1_controller.policies()
+        figure1_controller.policy.set_policies("A", SDXPolicySet(), recompile=False)
+        assert "A" not in figure1_controller.policy.policies()
 
 
 class TestCompilation:
@@ -97,24 +97,24 @@ class TestOrigination:
 
 class TestFastPathWiring:
     def test_update_before_compile_skips_fast_path(self, figure1_controller):
-        figure1_controller.withdraw("C", P5)
-        assert figure1_controller.fast_path_log == []
+        figure1_controller.routing.withdraw("C", P5)
+        assert figure1_controller.ops.fast_path_log == []
 
     def test_update_after_compile_triggers_fast_path(self, figure1_compiled):
-        figure1_compiled.withdraw("A", P5)
-        log = figure1_compiled.fast_path_log
+        figure1_compiled.routing.withdraw("A", P5)
+        log = figure1_compiled.ops.fast_path_log
         assert len(log) == 1 and str(log[0].prefix) == P5
 
     def test_fast_path_disabled(self, figure1_controller):
         figure1_controller.fast_path_enabled = False
         install_figure1_policies(figure1_controller)
-        figure1_controller.withdraw("C", P5)
-        assert figure1_controller.fast_path_log == []
+        figure1_controller.routing.withdraw("C", P5)
+        assert figure1_controller.ops.fast_path_log == []
 
     def test_background_recompile_flushes_fast_path(self, figure1_compiled):
         # P1 keeps a route via B after C withdraws, so the fast path
         # installs an override block for it.
-        figure1_compiled.withdraw("C", P1)
+        figure1_compiled.routing.withdraw("C", P1)
         assert figure1_compiled.fast_path.active_prefixes
         figure1_compiled.run_background_recompilation()
         assert not figure1_compiled.fast_path.active_prefixes

@@ -27,7 +27,7 @@ class TestBuildScenario:
         scenario = build_scenario(participants=10, prefixes=100, seed=9)
         controller = scenario.controller()
         assert len(controller.route_server.all_prefixes()) == 100
-        assert controller.policies().keys() == scenario.workload.policies.keys()
+        assert controller.policy.policies().keys() == scenario.workload.policies.keys()
 
     def test_compiler_factory_defaults_headless(self):
         scenario = build_scenario(participants=10, prefixes=100, seed=9)

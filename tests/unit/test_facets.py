@@ -1,12 +1,10 @@
 """Unit tests for the faceted controller API (``repro.core.facets``).
 
 Two things are pinned here: the facets are *views* (same state, same
-behaviour as the historical flat methods), and every flat method is a
-shim that still works but emits ``DeprecationWarning`` naming its facet
-replacement.
+behaviour as the historical flat methods), and the flat methods are
+*gone* — the deprecation shims were retired after one release cycle,
+so a controller instance no longer carries them at all.
 """
-
-import warnings
 
 import pytest
 
@@ -116,55 +114,44 @@ class TestOpsFacet:
         assert controller.ops.release_quarantine("A") is False
 
 
-FLAT_CALLS = [
-    ("set_policies", lambda c: c.set_policies("A", SDXPolicySet(), recompile=False)),
-    ("policies", lambda c: c.policies()),
-    ("quarantined", lambda c: c.quarantined()),
-    ("release_quarantine", lambda c: c.release_quarantine("A", recompile=False)),
-    ("chains", lambda c: c.chains()),
-    ("chain_hop_ports", lambda c: c.chain_hop_ports()),
-    ("batched_updates", lambda c: c.batched_updates()),
-    (
-        "announce",
-        lambda c: c.announce(
-            "B", "99.0.0.0/24", RouteAttributes(as_path=[65002], next_hop="172.0.0.11")
-        ),
-    ),
-    ("withdraw", lambda c: c.withdraw("B", "99.0.0.0/24")),
-    ("originate", lambda c: c.originate("A", "100.64.0.0/24")),
-    ("withdraw_origination", lambda c: c.withdraw_origination("A", "100.64.0.0/24")),
-    ("originated", lambda c: c.originated()),
-    ("health", lambda c: c.health()),
-    ("metrics", lambda c: c.metrics()),
-    ("metrics_text", lambda c: c.metrics_text()),
-    ("add_commit_hook", lambda c: c.add_commit_hook(lambda result: None)),
-    ("remove_commit_hook", lambda c: c.remove_commit_hook(lambda result: None)),
-    ("fast_path_log", lambda c: c.fast_path_log),
+FLAT_NAMES = [
+    "set_policies",
+    "policies",
+    "quarantined",
+    "release_quarantine",
+    "define_chain",
+    "remove_chain",
+    "chains",
+    "chain_hop_ports",
+    "process_update",
+    "batched_updates",
+    "announce",
+    "withdraw",
+    "originate",
+    "withdraw_origination",
+    "originated",
+    "health",
+    "metrics",
+    "metrics_text",
+    "add_commit_hook",
+    "remove_commit_hook",
+    "fast_path_log",
 ]
 
 
-class TestFlatShimsDeprecated:
-    @pytest.mark.parametrize("name,call", FLAT_CALLS, ids=[n for n, _ in FLAT_CALLS])
-    def test_flat_method_warns_and_names_replacement(self, controller, name, call):
-        with pytest.warns(DeprecationWarning, match=f"SDXController.{name}"):
-            call(controller)
+class TestFlatShimsRetired:
+    """The PR-4 deprecation shims are gone: facets are the only surface."""
 
-    def test_shim_still_delegates(self, controller):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            controller.set_policies(
-                "A",
-                SDXPolicySet(outbound=match(dstport=80) >> fwd("B")),
-                recompile=False,
-            )
+    @pytest.mark.parametrize("name", FLAT_NAMES)
+    def test_flat_method_is_gone(self, controller, name):
+        assert not hasattr(controller, name), (
+            f"SDXController.{name} was retired; use the facet equivalent"
+        )
+
+    def test_facets_still_cover_the_surface(self, controller):
+        controller.policy.set_policies(
+            "A",
+            SDXPolicySet(outbound=match(dstport=80) >> fwd("B")),
+            recompile=False,
+        )
         assert "A" in controller.policy.policies()
-
-    def test_warning_attributed_to_caller(self, controller):
-        """stacklevel must point at the *calling* module, so the tier-1
-        ``error::DeprecationWarning:repro`` filter bites in-repo callers
-        and nobody else."""
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always", DeprecationWarning)
-            controller.policies()
-        (warning,) = [w for w in caught if w.category is DeprecationWarning]
-        assert warning.filename == __file__

@@ -30,8 +30,8 @@ class TestFastPath:
     def test_single_update_installs_high_priority_block(self, figure1_compiled):
         controller = figure1_compiled
         base_rules = controller.table_size()
-        controller.withdraw("C", P1)
-        (entry,) = controller.fast_path_log
+        controller.routing.withdraw("C", P1)
+        (entry,) = controller.ops.fast_path_log
         assert entry.rules_installed > 0
         assert controller.table_size() == base_rules + entry.rules_installed
         fast_rules = [
@@ -45,7 +45,7 @@ class TestFastPath:
         controller = figure1_compiled
         # Before: A's HTTP to p1 diverts via B (policy).  Withdraw B's p1:
         # the policy filter no longer allows B, so HTTP follows default to C.
-        controller.withdraw("B", P1)
+        controller.routing.withdraw("B", P1)
         packet = tagged_packet(
             controller, "A1", P1, "10.1.2.3", dstport=80, srcport=7, srcip="50.0.0.1"
         )
@@ -54,8 +54,8 @@ class TestFastPath:
 
     def test_withdrawal_of_only_route_uninstalls(self, figure1_compiled):
         controller = figure1_compiled
-        controller.withdraw("A", P5)
-        (entry,) = controller.fast_path_log
+        controller.routing.withdraw("A", P5)
+        (entry,) = controller.ops.fast_path_log
         assert entry.vnh is None and entry.rules_installed == 0
         assert P5 not in {str(p) for p in controller.fast_path.active_prefixes}
 
@@ -65,9 +65,9 @@ class TestFastPath:
         def attrs(asns, next_hop):
             return RouteAttributes(as_path=asns, next_hop=next_hop)
 
-        controller.announce("C", P1, attrs([65003, 65100], "172.0.0.21"))
+        controller.routing.announce("C", P1, attrs([65003, 65100], "172.0.0.21"))
         first_size = controller.table_size()
-        controller.announce("C", P1, attrs([65100], "172.0.0.21"))
+        controller.routing.announce("C", P1, attrs([65100], "172.0.0.21"))
         # the old block for P1 was removed before the new one installed
         assert len(controller.fast_path.active_prefixes) == 1
         assert controller.table_size() <= first_size + 4
@@ -77,7 +77,7 @@ class TestFastPath:
         before = {
             a.prefix: a.attributes.next_hop for a in controller.advertisements("A")
         }
-        controller.withdraw("C", P1)
+        controller.routing.withdraw("C", P1)
         after = {
             a.prefix: a.attributes.next_hop for a in controller.advertisements("A")
         }
@@ -87,15 +87,15 @@ class TestFastPath:
     def test_additional_rules_metric(self, figure1_compiled):
         controller = figure1_compiled
         assert controller.fast_path.additional_rules() == 0
-        controller.withdraw("C", P1)
+        controller.routing.withdraw("C", P1)
         assert controller.fast_path.additional_rules() > 0
 
     def test_additional_rules_matches_table_scan_and_running_count(
         self, figure1_compiled
     ):
         controller = figure1_compiled
-        controller.withdraw("C", P1)
-        controller.withdraw("B", P3)
+        controller.routing.withdraw("C", P1)
+        controller.routing.withdraw("B", P3)
         engine = controller.fast_path
         fastpath_rules = [
             rule
@@ -109,10 +109,10 @@ class TestFastPath:
 
     def test_superseded_vnh_is_released(self, figure1_compiled):
         controller = figure1_compiled
-        controller.withdraw("C", P1)
+        controller.routing.withdraw("C", P1)
         footprint = controller.allocator.allocated
         for index in range(8):  # repeated flaps replace P1's block in place
-            controller.announce(
+            controller.routing.announce(
                 "C",
                 P1,
                 RouteAttributes(
@@ -129,8 +129,8 @@ class TestFastPath:
 
         controller = figure1_compiled
         controller.enable_resilience(clock=Simulator(start=100.0))
-        controller.withdraw("C", P1)
-        (entry,) = controller.fast_path_log
+        controller.routing.withdraw("C", P1)
+        (entry,) = controller.ops.fast_path_log
         # on the sim time base, handling is instantaneous: no wall-clock
         # jitter leaks into simulated measurements
         assert entry.seconds == 0.0
@@ -138,16 +138,16 @@ class TestFastPath:
 
     def test_fastpath_latency_lands_in_telemetry(self, figure1_compiled):
         controller = figure1_compiled
-        controller.withdraw("C", P1)
+        controller.routing.withdraw("C", P1)
         histogram = controller.telemetry.get("sdx_fastpath_seconds")
-        assert histogram.count() == len(controller.fast_path_log)
+        assert histogram.count() == len(controller.ops.fast_path_log)
         assert histogram.samples() == [
-            entry.seconds for entry in controller.fast_path_log
+            entry.seconds for entry in controller.ops.fast_path_log
         ]
 
     def test_flush_removes_blocks(self, figure1_compiled):
         controller = figure1_compiled
-        controller.withdraw("C", P1)
+        controller.routing.withdraw("C", P1)
         removed = controller.fast_path.flush()
         assert removed > 0
         assert controller.fast_path.additional_rules() == 0
@@ -157,7 +157,7 @@ class TestFastPath:
         # Flip best path for p3 (currently via B) by shortening C's path;
         # default for p3 then goes to C.  B's inbound TE must still apply
         # to policy-diverted HTTP traffic toward the new VMAC.
-        controller.announce(
+        controller.routing.announce(
             "C", P3, RouteAttributes(as_path=[65102], next_hop="172.0.0.21")
         )
         packet = tagged_packet(

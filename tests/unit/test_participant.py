@@ -33,4 +33,4 @@ class TestParticipantHandle:
         handle = figure1_controller.register_participant("A")
         handle.set_policies(outbound=match(dstport=80) >> fwd("B"), recompile=False)
         assert figure1_controller.last_compilation is None
-        assert "A" in figure1_controller.policies()
+        assert "A" in figure1_controller.policy.policies()

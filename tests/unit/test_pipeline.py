@@ -14,7 +14,7 @@ from repro.pipeline import (
     run_shard,
 )
 from repro.dataplane.reconcile import is_base_cookie
-from repro.pipeline.events import DirtyTracker, EventBus
+from repro.pipeline.events import DirtyTracker, EventBus, SubscriberErrorGroup
 from repro.core.participant import SDXPolicySet
 from repro.policy import fwd, match
 
@@ -64,6 +64,46 @@ class TestEvents:
         bus.publish(CompileFinished(1, 2, 3))  # no subscriber: ignored
         assert seen == [PolicyChanged("A")]
 
+    def test_single_subscriber_failure_reraises_unwrapped(self):
+        bus = EventBus()
+        seen = []
+
+        def bad(event):
+            raise ValueError("subscriber exploded")
+
+        bus.subscribe(PolicyChanged, bad)
+        bus.subscribe(PolicyChanged, seen.append)
+        with pytest.raises(ValueError, match="subscriber exploded"):
+            bus.publish(PolicyChanged("A"))
+        # fanout completed anyway: the later subscriber still saw it
+        assert seen == [PolicyChanged("A")]
+
+    def test_multiple_failures_aggregate_into_error_group(self):
+        """Regression pin for the aggregated fanout contract: every
+        subscriber runs, and all failures surface together (mirroring
+        the listener-side ``ListenerErrorGroup``)."""
+        bus = EventBus()
+        seen = []
+
+        def first(event):
+            raise ValueError("first")
+
+        def second(event):
+            raise KeyError("second")
+
+        bus.subscribe(PolicyChanged, first)
+        bus.subscribe(PolicyChanged, seen.append)
+        bus.subscribe(PolicyChanged, second)
+        event = PolicyChanged("A")
+        with pytest.raises(SubscriberErrorGroup) as excinfo:
+            bus.publish(event)
+        group = excinfo.value
+        assert seen == [event]  # the middle subscriber was not starved
+        assert group.event is event
+        assert [type(e) for e in group.errors] == [ValueError, KeyError]
+        assert group.__cause__ is group.errors[0]
+        assert "2 subscribers failed for PolicyChanged" in str(group)
+
     def test_dirty_tracker_accumulates_and_clears(self):
         dirty = DirtyTracker()
         assert not dirty.any
@@ -98,7 +138,7 @@ class TestDeferredRecompilation:
         before = _counter(controller, "sdx_compilations_total")
         with controller.deferred_recompilation():
             install_figure1_policies(controller, recompile=False)
-            controller.set_policies(
+            controller.policy.set_policies(
                 "C",
                 SDXPolicySet(outbound=match(dstport=22) >> fwd("A")),
                 recompile=True,
@@ -112,7 +152,7 @@ class TestDeferredRecompilation:
         with controller.deferred_recompilation():
             with controller.deferred_recompilation():
                 install_figure1_policies(controller, recompile=False)
-                controller.set_policies(
+                controller.policy.set_policies(
                     "C",
                     SDXPolicySet(outbound=match(dstport=22) >> fwd("A")),
                     recompile=True,
@@ -129,7 +169,7 @@ class TestDeferredRecompilation:
         with pytest.raises(RuntimeError, match="boom"):
             with controller.deferred_recompilation():
                 install_figure1_policies(controller, recompile=False)
-                controller.set_policies(
+                controller.policy.set_policies(
                     "C",
                     SDXPolicySet(outbound=match(dstport=22) >> fwd("A")),
                     recompile=True,
@@ -160,7 +200,7 @@ class TestNoopRecompilation:
 
     def test_dirty_policy_forces_a_real_compile(self, figure1_compiled):
         controller = figure1_compiled
-        controller.set_policies("C", SDXPolicySet(outbound=match(dstport=22) >> fwd("A")), recompile=False
+        controller.policy.set_policies("C", SDXPolicySet(outbound=match(dstport=22) >> fwd("A")), recompile=False
         )
         compiles = _counter(controller, "sdx_compilations_total")
         noops = _counter(controller, "sdx_pipeline_noop_total")
@@ -178,12 +218,12 @@ class TestShardCaching:
 
     def test_policy_edit_recompiles_only_that_shard(self, figure1_compiled):
         controller = figure1_compiled
-        controller.set_policies("C", SDXPolicySet(outbound=match(dstport=22) >> fwd("A")))
+        controller.policy.set_policies("C", SDXPolicySet(outbound=match(dstport=22) >> fwd("A")))
         baseline = self._shard_counts(controller)
 
         # Same targets, different match: the FEC partition is unchanged,
         # so every other shard must come straight from the cache.
-        controller.set_policies("C", SDXPolicySet(outbound=match(dstport=23) >> fwd("A")))
+        controller.policy.set_policies("C", SDXPolicySet(outbound=match(dstport=23) >> fwd("A")))
         after = self._shard_counts(controller)
         assert after["C"] == baseline["C"] + 1
         assert after["A"] == baseline["A"]
@@ -196,7 +236,7 @@ class TestShardCaching:
         # C's new policy adds a prefix group, which the shared default
         # block covers — but A's shard only consults B/C delivery blocks,
         # which are untouched, so A stays cached.
-        controller.set_policies("C", SDXPolicySet(outbound=match(dstport=22) >> fwd("A")))
+        controller.policy.set_policies("C", SDXPolicySet(outbound=match(dstport=22) >> fwd("A")))
         after = self._shard_counts(controller)
         assert after["C"] == baseline["C"] + 1
         assert after["default"] == baseline["default"] + 1
@@ -214,17 +254,17 @@ class TestShardCaching:
 class TestIngressBatching:
     def test_batched_updates_dedupe_fast_path_work(self, figure1_compiled):
         controller = figure1_compiled
-        log_before = len(controller.fast_path_log)
+        log_before = len(controller.ops.fast_path_log)
         from repro.bgp.attributes import RouteAttributes
 
-        with controller.batched_updates():
+        with controller.routing.batched_updates():
             # Two best-path flips for the same prefix inside one burst:
             # only the final state should reach the fast path.
-            controller.announce(
+            controller.routing.announce(
                 "B",
                 "10.1.0.0/16",
                 RouteAttributes(as_path=[65002], next_hop="172.0.0.11"),
             )
-            controller.withdraw("B", "10.1.0.0/16")
-            assert len(controller.fast_path_log) == log_before  # held in the batch
-        assert len(controller.fast_path_log) == log_before + 1
+            controller.routing.withdraw("B", "10.1.0.0/16")
+            assert len(controller.ops.fast_path_log) == log_before  # held in the batch
+        assert len(controller.ops.fast_path_log) == log_before + 1

@@ -566,8 +566,8 @@ class TestQuarantine:
         )
         FaultInjector(3).poison_policy(controller, "A")
         result = controller.compile()
-        assert set(controller.quarantined()) == {"A"}
-        record = controller.quarantined()["A"]
+        assert set(controller.ops.quarantined()) == {"A"}
+        record = controller.ops.quarantined()["A"]
         assert record.error_type == "PolicyPoisonError"
         assert "poison" in record.error
         # C's policy block survived the quarantine pass
@@ -580,16 +580,16 @@ class TestQuarantine:
         FaultInjector(3).poison_policy(controller, "A")
         controller.compile()  # must not raise
         controller.compile()  # stays quarantined; still must not raise
-        assert set(controller.quarantined()) == {"A"}
+        assert set(controller.ops.quarantined()) == {"A"}
 
     def test_release_without_fix_requarantines(self, figure1_compiled):
         controller = figure1_compiled
         FaultInjector(3).poison_policy(controller, "A")
         controller.compile()
-        assert controller.release_quarantine("A", recompile=False)
-        assert not controller.quarantined()
+        assert controller.ops.release_quarantine("A", recompile=False)
+        assert not controller.ops.quarantined()
         controller.compile()  # the pill is still installed
-        assert set(controller.quarantined()) == {"A"}
+        assert set(controller.ops.quarantined()) == {"A"}
 
     def test_replacing_the_policy_lifts_quarantine(self, figure1_compiled):
         from repro.core.participant import SDXPolicySet
@@ -597,15 +597,15 @@ class TestQuarantine:
         controller = figure1_compiled
         FaultInjector(3).poison_policy(controller, "A")
         controller.compile()
-        controller.set_policies(
+        controller.policy.set_policies(
             "A", SDXPolicySet(outbound=match(dstport=80) >> fwd("B")), recompile=False
         )
         result = controller.compile()
-        assert not controller.quarantined()
+        assert not controller.ops.quarantined()
         assert ("policy", "A") in [label for label, _ in result.segments]
 
     def test_release_quarantine_unknown_participant_is_false(self, figure1_compiled):
-        assert not figure1_compiled.release_quarantine("Z")
+        assert not figure1_compiled.ops.release_quarantine("Z")
 
     def test_unattributable_failure_propagates(self, figure1_compiled):
         controller = figure1_compiled
@@ -623,7 +623,7 @@ class TestQuarantine:
         try:
             with pytest.raises(RuntimeError, match="allocator exhausted"):
                 controller.compile()
-            assert not controller.quarantined()
+            assert not controller.ops.quarantined()
         finally:
             pipeline._build_shared_blocks = original
 
@@ -652,7 +652,7 @@ class TestQuarantine:
         try:
             with pytest.raises(RuntimeError, match="fabric melted"):
                 controller.compile()
-            assert not controller.quarantined()
+            assert not controller.ops.quarantined()
         finally:
             pipeline_module.run_shard = saved
 
@@ -700,7 +700,7 @@ class TestTransactionalInstall:
 
 class TestHealthReport:
     def test_healthy_exchange_reports_not_degraded(self, figure1_compiled):
-        report = figure1_compiled.health()
+        report = figure1_compiled.ops.health()
         assert not report.degraded
         assert set(report.sessions) == {"A", "B", "C"}
         assert all(state == "established" for state in report.sessions.values())
@@ -711,7 +711,7 @@ class TestHealthReport:
         controller = figure1_compiled
         FaultInjector(6).poison_policy(controller, "A")
         controller.compile()
-        report = controller.health()
+        report = controller.ops.health()
         assert report.degraded
         assert set(report.quarantined) == {"A"}
         assert "quarantined: A" in report.summary()
@@ -719,6 +719,6 @@ class TestHealthReport:
     def test_failed_session_degrades_the_report(self, figure1_compiled):
         controller = figure1_compiled
         controller.route_server.session("B").fail()
-        report = controller.health()
+        report = controller.ops.health()
         assert report.degraded
         assert report.sessions["B"] == "failed"

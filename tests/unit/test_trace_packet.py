@@ -47,7 +47,7 @@ class TestTracePacket:
         assert "no matching rule" in repr(trace)
 
     def test_fast_path_hit_reported(self, figure1_compiled):
-        figure1_compiled.withdraw("C", P1)
+        figure1_compiled.routing.withdraw("C", P1)
         packet = tagged(
             figure1_compiled, "A", P1, "10.1.2.3", dstport=80, srcip="50.0.0.1", srcport=7
         )
