@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test property integration chaos bench bench-guard guard-gate bench-compile compile-gate bench-latency latency-gate experiments quick examples metrics verify-fuzz clean
+.PHONY: install test property integration chaos bench bench-guard guard-gate bench-compile compile-gate bench-latency latency-gate bench-federation experiments quick examples metrics verify-fuzz clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +33,9 @@ bench-compile:
 
 compile-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_compile.py --check benchmarks/BENCH_compile.json
+
+bench-federation:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_federation.py
 
 bench-latency:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_latency.py --emit benchmarks/BENCH_latency.json

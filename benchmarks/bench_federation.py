@@ -1,0 +1,175 @@
+"""Federation benchmark: relay propagation, sweep cost, failover latency.
+
+Three questions decide whether the federation layer scales past a demo:
+
+1. **What does relay convergence cost?**  A synthetic federation is
+   generated unconverged and :meth:`FederatedExchange.sync` is timed —
+   the full fixpoint over every inter-IXP link, from cold.
+2. **What does the federation-wide verification sweep cost?**  The
+   cross-exchange invariant checkers walk every (prefix, flow) pair of
+   the re-entry graph plus per-exchange differential probes; its
+   latency bounds how often an operator can afford to run it.
+3. **How fast does a backhaul failover re-converge?**  One inter-IXP
+   link fails; the time to withdraw, re-sync the surviving relays, and
+   recompile every member exchange is the federation's recovery floor.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_federation.py
+
+or via pytest-benchmark (``make bench``).
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from _report import emit
+
+from repro.verify import FederationChecker
+from repro.workloads import generate_federation
+
+EXCHANGES = 3
+PARTICIPANTS = 6
+TRANSITS = 2
+PREFIXES_EACH = 3
+SEED = 7
+SWEEP_PROBES = 32
+
+
+def measure_sync():
+    synthetic = generate_federation(
+        exchanges=EXCHANGES,
+        participants_per_exchange=PARTICIPANTS,
+        transits=TRANSITS,
+        prefixes_per_participant=PREFIXES_EACH,
+        seed=SEED,
+        converge=False,
+    )
+    federation = synthetic.federation
+    started = time.perf_counter()
+    updates = federation.sync()
+    sync_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    federation.compile_all()
+    compile_seconds = time.perf_counter() - started
+    return federation, {
+        "exchanges": len(federation),
+        "links": len(federation.links()),
+        "prefixes": len(synthetic.prefixes),
+        "relayed_updates": updates,
+        "sync_ms": sync_seconds * 1e3,
+        "compile_all_ms": compile_seconds * 1e3,
+        "updates_per_sec": updates / sync_seconds if sync_seconds else None,
+    }
+
+
+def measure_sweep(federation):
+    checker = FederationChecker(federation)
+    started = time.perf_counter()
+    report = checker.sweep(probes=SWEEP_PROBES)
+    seconds = time.perf_counter() - started
+    return report, {
+        "probes_per_exchange": SWEEP_PROBES,
+        "traces": len(report.traces),
+        "violations": len(report.violations),
+        "ok": report.ok,
+        "sweep_ms": seconds * 1e3,
+    }
+
+
+def measure_failover(federation):
+    link = next(link for link in federation.links() if link.relayed_prefixes())
+    started = time.perf_counter()
+    withdrawn = link.fail()
+    federation.sync()
+    federation.compile_all()
+    seconds = time.perf_counter() - started
+    link.restore()
+    federation.sync()
+    federation.compile_all()
+    return {
+        "failed_link": link.name,
+        "withdrawn_routes": withdrawn,
+        "reconverge_ms": seconds * 1e3,
+    }
+
+
+def run_benchmark():
+    federation, sync_result = measure_sync()
+    report, sweep_result = measure_sweep(federation)
+    assert report.ok, report.summary()
+    failover_result = measure_failover(federation)
+    return {
+        "workload": {
+            "exchanges": EXCHANGES,
+            "participants_per_exchange": PARTICIPANTS,
+            "transits": TRANSITS,
+            "prefixes_per_participant": PREFIXES_EACH,
+            "seed": SEED,
+        },
+        "sync": sync_result,
+        "sweep": sweep_result,
+        "failover": failover_result,
+    }
+
+
+def print_result(result):
+    sync = result["sync"]
+    sweep = result["sweep"]
+    failover = result["failover"]
+    print(
+        f"\n== Federation: {sync['exchanges']} exchanges, {sync['links']} links, "
+        f"{sync['prefixes']} prefixes =="
+    )
+    print(
+        f"  cold sync: {sync['relayed_updates']} relayed updates in "
+        f"{sync['sync_ms']:.2f} ms ({sync['updates_per_sec']:,.0f}/s); "
+        f"compile_all {sync['compile_all_ms']:.2f} ms"
+    )
+    print(
+        f"  sweep: {sweep['probes_per_exchange']} probes/exchange + "
+        f"{sweep['traces']} e2e traces in {sweep['sweep_ms']:.2f} ms "
+        f"(ok={sweep['ok']})"
+    )
+    print(
+        f"  failover: {failover['failed_link']} down -> "
+        f"{failover['withdrawn_routes']} withdrawn, re-converged in "
+        f"{failover['reconverge_ms']:.2f} ms"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_federation.py",
+        description="inter-IXP relay, sweep, and failover benchmark",
+    )
+    parser.add_argument(
+        "--emit", metavar="PATH", help="write the result JSON"
+    )
+    options = parser.parse_args(argv)
+
+    result = run_benchmark()
+    print_result(result)
+    if options.emit:
+        with open(options.emit, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"result written to {options.emit}")
+    return 0
+
+
+# -- pytest-benchmark wrapper (make bench) ----------------------------------
+
+
+def test_federation_sync_sweep_and_failover(benchmark):
+    result = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    emit(lambda: print_result(result))
+    assert result["sweep"]["ok"]
+    assert result["sync"]["relayed_updates"] > 0
+    assert result["failover"]["withdrawn_routes"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ import time
 
 from _report import emit
 
+from repro.core.config import SDXConfig
 from repro.core.participant import SDXPolicySet
 from repro.experiments.common import build_scenario
 from repro.guard import AdmissionConfig, AdmissionError, GuardConfig, GuardReport
@@ -63,7 +64,7 @@ def _percentile(samples, fraction):
 def _churn_controller(guarded):
     scenario = build_scenario(PARTICIPANTS, PREFIXES, seed=SEED, policy_seed=SEED + 1)
     guard = GuardConfig(probe_budget=PROBE_BUDGET, seed=SEED) if guarded else None
-    controller = scenario.controller(guard=guard)
+    controller = scenario.controller(sdx=SDXConfig(guard=guard))
     controller.compile()
     return controller
 
@@ -140,7 +141,9 @@ def measure_guard_overhead():
 def measure_admission_throughput():
     scenario = build_scenario(8, 32, seed=SEED, policy_seed=SEED + 1)
     controller = scenario.controller(
-        admission=AdmissionConfig(policy_edits_per_sec=1.0, policy_edit_burst=1)
+        sdx=SDXConfig(
+            admission=AdmissionConfig(policy_edits_per_sec=1.0, policy_edit_burst=1)
+        )
     )
     name = next(iter(controller.config.participant_names()))
     policy = SDXPolicySet(outbound=(match(dstport=80) >> fwd(name)))

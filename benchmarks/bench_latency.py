@@ -41,6 +41,7 @@ import time
 
 from _report import emit
 
+from repro.core.config import SDXConfig
 from repro.core.participant import SDXPolicySet
 from repro.experiments.common import build_scenario
 from repro.guard import GuardConfig
@@ -93,9 +94,11 @@ def _bursts(trace):
 def _controller(scenario, mode):
     config = RuntimeConfig(coalesce=True) if mode == "eventloop" else None
     return scenario.controller(
-        runtime_mode=mode,
-        runtime_config=config,
-        guard=GuardConfig(probe_budget=PROBE_BUDGET, seed=SEED),
+        sdx=SDXConfig(
+            runtime_mode=mode,
+            runtime_config=config,
+            guard=GuardConfig(probe_budget=PROBE_BUDGET, seed=SEED),
+        )
     )
 
 

@@ -203,6 +203,7 @@ def test_telemetry_overhead_under_five_percent():
 
 
 def _sharded_controller(participants, backend):
+    from repro.core.config import SDXConfig
     from repro.core.controller import SDXController
     from repro.experiments.common import build_scenario, scaling_policies
 
@@ -212,7 +213,7 @@ def _sharded_controller(participants, backend):
         seed=participants,
         with_policies=False,
     )
-    controller = SDXController(scenario.ixp.config, backend=backend)
+    controller = SDXController(scenario.ixp.config, sdx=SDXConfig(backend=backend))
     controller.route_server.load(scenario.ixp.updates)
     policies = scaling_policies(
         scenario.ixp, participants * 12, chunk_size=2, senders=participants

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Two-IXP federation drill: relays, a policy ping-pong, and a failover.
+
+Builds a federation of two exchanges — "west" (an origin AS plus two
+transit ASes) and "east" (an eyeball AS plus the same transits) — and
+walks three scenarios:
+
+1. **Relay + coherence** — both transits relay the origin's prefix
+   west→east; the federation sweep (inter-IXP loop freedom,
+   cross-exchange BGP consistency, end-to-end probe traces) passes.
+2. **Policy ping-pong** — three innocuous-looking policies steer port-80
+   traffic eyeball→transit-U at east, U→T at west, and T→U at east.
+   Each exchange is locally BGP-consistent, but together they orbit the
+   packet between the fabrics; the federation verifier reports the loop
+   as a minimized counterexample naming both exchanges.
+3. **Failover** — the eyeball's best transit loses its inter-IXP
+   backhaul; the relay withdraws, east re-converges onto the surviving
+   transit, and the sweep is clean again.
+
+Run with::
+
+    python examples/federation_two_ixp.py
+"""
+
+from repro import IXPConfig, RouteAttributes
+from repro.federation import FederatedExchange
+from repro.policy import fwd, match
+from repro.verify import FederationChecker, check_federation
+
+PREFIX = "10.9.0.0/16"
+
+
+def build_federation() -> FederatedExchange:
+    west = IXPConfig(vnh_pool="172.16.0.0/16")
+    west.add_participant("O", 65001, [("O1", "172.0.1.1", "08:00:27:01:00:01")])
+    west.add_participant("T", 65100, [("TW1", "172.0.1.11", "08:00:27:01:00:11")])
+    west.add_participant("U", 65200, [("UW1", "172.0.1.21", "08:00:27:01:00:21")])
+    east = IXPConfig(vnh_pool="172.17.0.0/16")
+    east.add_participant("E", 65002, [("E1", "172.0.2.1", "08:00:27:02:00:01")])
+    east.add_participant("T", 65100, [("TE1", "172.0.2.11", "08:00:27:02:00:11")])
+    east.add_participant("U", 65200, [("UE1", "172.0.2.21", "08:00:27:02:00:21")])
+    federation = FederatedExchange()
+    federation.add_exchange("west", west)
+    federation.add_exchange("east", east)
+    federation.exchange("west").routing.announce(
+        "O", PREFIX, RouteAttributes(as_path=[65001], next_hop="172.0.1.1")
+    )
+    return federation
+
+
+def drill_relays() -> None:
+    print("== Drill 1: transit relays and a clean federation sweep ==")
+    federation = build_federation()
+    link_u = federation.link(65200, "west", "east")
+    link_t = federation.link(65100, "west", "east")
+    updates = federation.sync()
+    federation.compile_all()
+    print(f"sync applied {updates} relayed updates over "
+          f"{[link.name for link in federation.links()]}")
+    east = federation.exchange("east")
+    best = east.route_server.best_route("E", PREFIX)
+    print(f"east eyeball's best: via {best.learned_from} "
+          f"(as_path [{best.attributes.as_path}])")
+    report = FederationChecker(federation).sweep(probes=24)
+    print(f"federation sweep ok: {report.ok} "
+          f"({len(report.traces)} end-to-end traces)")
+    print()
+
+
+def drill_ping_pong() -> None:
+    print("== Drill 2: an inter-IXP policy ping-pong ==")
+    federation = build_federation()
+    federation.link(65200, "west", "east")  # U relays the origin's route east
+    federation.link(65100, "east", "west")  # T relays its east routes west
+    federation.sync()
+    west, east = federation.exchange("west"), federation.exchange("east")
+    east.register_participant("E").set_policies(
+        outbound=match(dstport=80) >> fwd("U"), recompile=False
+    )
+    west.register_participant("U").set_policies(
+        outbound=match(dstport=80) >> fwd("T"), recompile=False
+    )
+    east.register_participant("T").set_policies(
+        outbound=match(dstport=80) >> fwd("U"), recompile=False
+    )
+    federation.compile_all()
+    print("each exchange alone is consistent:",
+          all(ctl.ops.verify(probes=24).ok for _, ctl in federation.controllers()))
+    violations = check_federation(federation)
+    for violation in violations:
+        print(f"caught: {violation}")
+    assert violations, "the ping-pong must be detected"
+    print()
+
+
+def drill_failover() -> None:
+    print("== Drill 3: inter-IXP backhaul failure and re-convergence ==")
+    federation = build_federation()
+    link_u = federation.link(65200, "west", "east")
+    link_t = federation.link(65100, "west", "east")
+    federation.sync()
+    federation.compile_all()
+    east = federation.exchange("east")
+    before = east.route_server.best_route("E", PREFIX)
+    primary = link_u if before.learned_from == "U" else link_t
+    print(f"east converged via {before.learned_from}; failing {primary.name}")
+    withdrawn = primary.fail()
+    federation.sync()
+    federation.compile_all()
+    after = east.route_server.best_route("E", PREFIX)
+    print(f"withdrew {withdrawn} relayed route(s); east re-converged via "
+          f"{after.learned_from}")
+    report = FederationChecker(federation).sweep(probes=24)
+    print(f"post-failover sweep ok: {report.ok}")
+    links_up = federation.telemetry.gauge("sdx_federation_links_up").value()
+    print(f"telemetry: sdx_federation_links_up={links_up:.0f}")
+
+
+def main() -> None:
+    drill_relays()
+    drill_ping_pong()
+    drill_failover()
+
+
+if __name__ == "__main__":
+    main()

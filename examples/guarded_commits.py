@@ -23,7 +23,7 @@ Run with::
     python examples/guarded_commits.py
 """
 
-from repro import IXPConfig, RouteAttributes, SDXController, SDXPolicySet
+from repro import IXPConfig, RouteAttributes, SDXConfig, SDXController, SDXPolicySet
 from repro.guard import AdmissionConfig, GuardConfig, PolicyEditRateExceeded
 from repro.policy import fwd, match
 from repro.resilience import FaultInjector
@@ -43,12 +43,14 @@ def build_exchange() -> SDXController:
     config.add_participant("C", 65003, [("C1", "172.0.0.21", "08:00:27:00:00:21")])
     controller = SDXController(
         config,
-        guard=GuardConfig(probe_budget=8, seed=GUARD_SEED),
-        admission=AdmissionConfig(
-            policy_edits_per_sec=1.0,
-            policy_edit_burst=4,
-            backoff_initial=0.5,
-            backoff_factor=2.0,
+        sdx=SDXConfig(
+            guard=GuardConfig(probe_budget=8, seed=GUARD_SEED),
+            admission=AdmissionConfig(
+                policy_edits_per_sec=1.0,
+                policy_edit_burst=4,
+                backoff_initial=0.5,
+                backoff_factor=2.0,
+            ),
         ),
     )
     controller.routing.announce(

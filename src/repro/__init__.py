@@ -42,6 +42,7 @@ from repro.bgp import (
 )
 from repro.core import (
     CompilationOptions,
+    SDXConfig,
     SDXController,
     SDXPolicySet,
 )

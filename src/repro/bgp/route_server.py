@@ -427,6 +427,26 @@ class RouteServer:
         """Register for best-path change notifications."""
         self._subscribers.append(callback)
 
+    def subscribe_participant(
+        self, participant: str, callback: Callable[[List[BestPathChange]], None]
+    ) -> None:
+        """Register for one participant's best-path changes only.
+
+        The callback receives the filtered change list and is skipped
+        entirely for batches that do not touch ``participant`` — the
+        inter-IXP relay watches its transit's view this way without
+        paying for every other member's churn.
+        """
+        if participant not in self._sessions:
+            raise KeyError(f"unknown peer {participant!r}")
+
+        def filtered(changes: List[BestPathChange]) -> None:
+            mine = [change for change in changes if change.participant == participant]
+            if mine:
+                callback(mine)
+
+        self.subscribe(filtered)
+
     def loc_rib(self, participant: str) -> ParticipantView:
         """The participant's post-decision view."""
         return self._views[participant]

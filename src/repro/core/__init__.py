@@ -12,6 +12,7 @@ from repro.core.compiler import (
     CompilationStats,
     SDXCompiler,
 )
+from repro.core.config import SDXConfig
 from repro.core.controller import PacketTrace, SDXController
 from repro.core.multiswitch import SwitchTopology, distribute
 from repro.core.fec import (
@@ -36,6 +37,7 @@ __all__ = [
     "ParticipantHandle",
     "PrefixGroup",
     "SDXCompiler",
+    "SDXConfig",
     "SDXController",
     "OwnershipRegistry",
     "PacketTrace",

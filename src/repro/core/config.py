@@ -1,0 +1,396 @@
+"""``SDXConfig`` — the one place controller knobs are resolved.
+
+The controller grew one keyword argument and one ``REPRO_*`` variable
+per PR until the facade had twelve kwargs and five environment knobs
+resolved ad hoc across four modules.  :class:`SDXConfig` consolidates
+them: a frozen dataclass holding every tunable the controller accepts,
+with a single resolution rule applied uniformly to every field —
+
+    **explicit argument > environment variable > built-in default.**
+
+``None`` in a field means *unset*; :meth:`SDXConfig.resolved` replaces
+every unset field with its environment selection (when the knob has
+one) or its default, validating as it goes.  :meth:`SDXConfig.from_env`
+is the fully-resolved environment snapshot.
+
+Primary construction form::
+
+    controller = SDXController(config, sdx=SDXConfig(vmac_mode="superset"))
+
+The legacy per-knob keyword arguments on :class:`SDXController` are
+thin shims that overlay onto the ``sdx`` value, so existing call sites
+keep working unchanged and obey the same precedence.
+
+The :data:`KNOBS` table is the machine-readable registry behind both
+the resolution and the README knob table — ``python -m
+repro.core.config`` regenerates the markdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import TYPE_CHECKING, Any, Callable, Mapping, NamedTuple, Optional, Tuple
+
+from repro.core.supersets import VMAC_MODES
+from repro.dataplane.flowtable import DATAPLANE_MODES
+from repro.guard import AdmissionConfig, GuardConfig
+from repro.runtime import RUNTIME_MODES, RuntimeConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.backend import ExecutionBackend
+
+__all__ = ["KNOBS", "Knob", "SDXConfig", "knob_table_markdown"]
+
+#: names `backend="..."` accepts (backend_from_env's historical aliases)
+BACKEND_NAMES = ("serial", "parallel", "pool", "multiprocessing")
+_TRUTHY = ("1", "true", "yes", "on")
+_FALSY = ("0", "false", "no", "off")
+
+
+class Knob(NamedTuple):
+    """One controller tunable: its field, env var, default, and doc."""
+
+    field: str
+    env: Optional[str]  # None: constructor-only (no environment form)
+    default: Any
+    values: str  # rendered value set, default first (for the README table)
+    doc: str
+
+
+#: Every controller knob, in README-table order.  ``resolved`` walks
+#: this registry; the markdown generator renders it.
+KNOBS: Tuple[Knob, ...] = (
+    Knob(
+        "vmac_mode",
+        "REPRO_VMAC",
+        "fec",
+        "`fec`, `superset`",
+        "VMAC encoding: opaque per-FEC addresses matched exactly, or the "
+        "§5.3 attribute-carrying superset layout matched with masks "
+        '(see "VMAC encoding modes" in `docs/internals.md`)',
+    ),
+    Knob(
+        "dataplane_mode",
+        "REPRO_DATAPLANE",
+        "single",
+        "`single`, `multitable`",
+        "Fabric layout: both pipeline stages composed into one flow "
+        "table, or stage-1 rules in table 0 chaining (`goto`) to "
+        "delivery rules in table 1",
+    ),
+    Knob(
+        "backend",
+        "REPRO_BACKEND",
+        "serial",
+        "`serial`, `parallel`",
+        "Compile-shard execution: in-process, or a fork pool "
+        "(`REPRO_BACKEND_PROCS` pins the pool size); an "
+        "`ExecutionBackend` instance is accepted directly",
+    ),
+    Knob(
+        "runtime_mode",
+        "REPRO_RUNTIME",
+        "inline",
+        "`inline`, `eventloop`",
+        "Control-plane execution: facet calls apply synchronously, or "
+        "flow through the deterministic cooperative event loop — "
+        "bounded ingress queue, coalesced bursts, deferred guard "
+        'verification (see "Control-plane runtime" in '
+        "`docs/internals.md`)",
+    ),
+    Knob(
+        "fast_path_enabled",
+        "REPRO_FASTPATH",
+        True,
+        "`1`, `0`",
+        "The §4.3.2 incremental fast path reacting to BGP best-path "
+        "changes between full compilations",
+    ),
+    Knob(
+        "runtime_config",
+        None,
+        None,
+        "`RuntimeConfig(...)`",
+        "Event-loop runtime tuning (queue capacity, burst coalescing, "
+        "deferred guard, admission retry); `None` keeps the defaults",
+    ),
+    Knob(
+        "guard",
+        None,
+        None,
+        "`GuardConfig(...)`",
+        "Guarded commits: budgeted per-commit differential verification "
+        "with byte-exact rollback; `None` commits unguarded",
+    ),
+    Knob(
+        "admission",
+        None,
+        None,
+        "`AdmissionConfig(...)`",
+        "Per-participant admission plane (rate limits, rule budgets, "
+        "escalating backoff); `None` admits everything",
+    ),
+)
+
+_KNOBS_BY_FIELD = {knob.field: knob for knob in KNOBS}
+
+
+def _parse_choice(knob: Knob, raw: str, source: str, choices: Tuple[str, ...]) -> str:
+    mode = raw.strip().lower() or str(knob.default)
+    if mode not in choices:
+        raise ValueError(
+            f"{source}={raw!r}: expected one of {', '.join(choices)}"
+        )
+    return mode
+
+
+def _parse_bool(knob: Knob, raw: str, source: str) -> bool:
+    value = raw.strip().lower()
+    if not value:
+        return bool(knob.default)
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise ValueError(
+        f"{source}={raw!r}: expected one of "
+        f"{', '.join(_TRUTHY)} / {', '.join(_FALSY)}"
+    )
+
+
+def _make_backend(name: str, env: Mapping[str, str]) -> "ExecutionBackend":
+    from repro.pipeline.backend import ParallelBackend, SerialBackend
+
+    if name == "serial":
+        return SerialBackend()
+    procs_raw = env.get("REPRO_BACKEND_PROCS")
+    if procs_raw is not None:
+        try:
+            procs: Optional[int] = int(procs_raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BACKEND_PROCS={procs_raw!r}: expected an integer"
+            ) from None
+    else:
+        procs = None
+    return ParallelBackend(processes=procs)
+
+
+@dataclasses.dataclass(frozen=True)
+class SDXConfig:
+    """Every :class:`~repro.core.controller.SDXController` tunable.
+
+    Fields left ``None`` (the dataclass default) are *unset* and fall
+    through to the environment and then the built-in default at
+    :meth:`resolved` time; a field given explicitly always wins.  The
+    instance is frozen, so a resolved config can be shared across the
+    many controllers of a :class:`~repro.federation.FederatedExchange`
+    without one exchange's knobs drifting from another's.
+    """
+
+    #: ``fec`` or ``superset`` (``REPRO_VMAC``)
+    vmac_mode: Optional[str] = None
+    #: ``single`` or ``multitable`` (``REPRO_DATAPLANE``)
+    dataplane_mode: Optional[str] = None
+    #: an :class:`~repro.pipeline.backend.ExecutionBackend` instance or
+    #: a backend name (``REPRO_BACKEND`` / ``REPRO_BACKEND_PROCS``)
+    backend: Optional["ExecutionBackend | str"] = None
+    #: ``inline`` or ``eventloop`` (``REPRO_RUNTIME``)
+    runtime_mode: Optional[str] = None
+    #: event-loop tuning; only consulted when ``runtime_mode`` resolves
+    #: to ``eventloop``
+    runtime_config: Optional[RuntimeConfig] = None
+    #: guarded-commit configuration (``None`` = unguarded)
+    guard: Optional[GuardConfig] = None
+    #: admission-plane configuration (``None`` = unmetered)
+    admission: Optional[AdmissionConfig] = None
+    #: the §4.3.2 incremental fast path (``REPRO_FASTPATH``)
+    fast_path_enabled: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        # Validate explicit values eagerly so a typo fails at the call
+        # site that made it, not at some later resolution.
+        if self.vmac_mode is not None and self.vmac_mode not in VMAC_MODES:
+            raise ValueError(
+                f"vmac_mode={self.vmac_mode!r}: expected one of "
+                f"{', '.join(VMAC_MODES)}"
+            )
+        if (
+            self.dataplane_mode is not None
+            and self.dataplane_mode not in DATAPLANE_MODES
+        ):
+            raise ValueError(
+                f"dataplane_mode={self.dataplane_mode!r}: expected one of "
+                f"{', '.join(DATAPLANE_MODES)}"
+            )
+        if self.runtime_mode is not None and self.runtime_mode not in RUNTIME_MODES:
+            raise ValueError(
+                f"runtime_mode={self.runtime_mode!r}: expected one of "
+                f"{', '.join(RUNTIME_MODES)}"
+            )
+        if isinstance(self.backend, str) and self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend={self.backend!r}: expected one of "
+                f"{', '.join(BACKEND_NAMES)} or an ExecutionBackend instance"
+            )
+        if self.runtime_config is not None and not isinstance(
+            self.runtime_config, RuntimeConfig
+        ):
+            raise ValueError(
+                f"runtime_config={self.runtime_config!r}: expected a "
+                "RuntimeConfig or None"
+            )
+        if self.guard is not None and not isinstance(self.guard, GuardConfig):
+            raise ValueError(
+                f"guard={self.guard!r}: expected a GuardConfig or None"
+            )
+        if self.admission is not None and not isinstance(
+            self.admission, AdmissionConfig
+        ):
+            raise ValueError(
+                f"admission={self.admission!r}: expected an AdmissionConfig or None"
+            )
+        if self.fast_path_enabled is not None and not isinstance(
+            self.fast_path_enabled, bool
+        ):
+            raise ValueError(
+                f"fast_path_enabled={self.fast_path_enabled!r}: expected a bool"
+            )
+
+    # -- resolution ----------------------------------------------------------
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "SDXConfig":
+        """The fully-resolved environment snapshot (every knob set)."""
+        return cls().resolved(env)
+
+    def overlay(self, **overrides: Any) -> "SDXConfig":
+        """A copy with the given (non-``None``) fields replaced.
+
+        This is the legacy-kwarg shim: ``SDXController(vmac_mode=...)``
+        overlays onto whatever ``sdx`` config was passed, keeping the
+        explicit-argument precedence uniform between the two forms.
+        """
+        changed = {
+            field: value for field, value in overrides.items() if value is not None
+        }
+        unknown = set(changed) - set(_KNOBS_BY_FIELD)
+        if unknown:
+            raise TypeError(f"unknown SDXConfig field(s): {sorted(unknown)}")
+        return dataclasses.replace(self, **changed) if changed else self
+
+    def resolved(self, env: Optional[Mapping[str, str]] = None) -> "SDXConfig":
+        """Fill every unset field from the environment, then defaults.
+
+        The returned config has no ``None`` left in the env-backed mode
+        fields, carries a concrete
+        :class:`~repro.pipeline.backend.ExecutionBackend` instance, and
+        validates every environment value with the knob's name in the
+        error message.  Idempotent.
+        """
+        source = os.environ if env is None else env
+
+        def env_raw(knob: Knob) -> Optional[str]:
+            return source.get(knob.env) if knob.env is not None else None
+
+        vmac = self.vmac_mode
+        if vmac is None:
+            raw = env_raw(_KNOBS_BY_FIELD["vmac_mode"])
+            vmac = (
+                _parse_choice(
+                    _KNOBS_BY_FIELD["vmac_mode"], raw, "REPRO_VMAC", VMAC_MODES
+                )
+                if raw is not None
+                else "fec"
+            )
+        dataplane = self.dataplane_mode
+        if dataplane is None:
+            raw = env_raw(_KNOBS_BY_FIELD["dataplane_mode"])
+            dataplane = (
+                _parse_choice(
+                    _KNOBS_BY_FIELD["dataplane_mode"],
+                    raw,
+                    "REPRO_DATAPLANE",
+                    DATAPLANE_MODES,
+                )
+                if raw is not None
+                else "single"
+            )
+        runtime_mode = self.runtime_mode
+        if runtime_mode is None:
+            raw = env_raw(_KNOBS_BY_FIELD["runtime_mode"])
+            runtime_mode = (
+                _parse_choice(
+                    _KNOBS_BY_FIELD["runtime_mode"],
+                    raw,
+                    "REPRO_RUNTIME",
+                    RUNTIME_MODES,
+                )
+                if raw is not None
+                else "inline"
+            )
+        backend = self.backend
+        if backend is None:
+            raw = source.get("REPRO_BACKEND")
+            name = (
+                _parse_choice(
+                    _KNOBS_BY_FIELD["backend"], raw, "REPRO_BACKEND", BACKEND_NAMES
+                )
+                if raw is not None
+                else "serial"
+            )
+            backend = _make_backend(name, source)
+        elif isinstance(backend, str):
+            backend = _make_backend(
+                "serial" if backend == "serial" else "parallel", source
+            )
+        fast_path = self.fast_path_enabled
+        if fast_path is None:
+            raw = source.get("REPRO_FASTPATH")
+            fast_path = (
+                _parse_bool(_KNOBS_BY_FIELD["fast_path_enabled"], raw, "REPRO_FASTPATH")
+                if raw is not None
+                else True
+            )
+        return dataclasses.replace(
+            self,
+            vmac_mode=vmac,
+            dataplane_mode=dataplane,
+            backend=backend,
+            runtime_mode=runtime_mode,
+            fast_path_enabled=fast_path,
+        )
+
+    def __repr__(self) -> str:
+        shown = ", ".join(
+            f"{field.name}={getattr(self, field.name)!r}"
+            for field in dataclasses.fields(self)
+            if getattr(self, field.name) is not None
+        )
+        return f"SDXConfig({shown})"
+
+
+# -- README knob-table generation ---------------------------------------------
+
+
+def knob_table_markdown() -> str:
+    """The README knob table, rendered from :data:`KNOBS`.
+
+    ``python -m repro.core.config`` prints this; the README section is
+    pasted from the output so the docs cannot drift from the registry.
+    """
+    lines = [
+        "| Knob | `SDXConfig` field | Values (default first) | Selects |",
+        "| --- | --- | --- | --- |",
+    ]
+    for knob in KNOBS:
+        env = f"`{knob.env}`" if knob.env is not None else "—"
+        lines.append(
+            f"| {env} | `{knob.field}` | {knob.values} | {knob.doc} |"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - doc generator entry point
+    print(knob_table_markdown())

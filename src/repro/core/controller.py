@@ -63,15 +63,12 @@ from repro.core.compiler import (
 from repro.core.facets import OpsFacet, PolicyFacet, RoutingFacet
 from repro.core.incremental import FastPathEngine, FastPathUpdate
 from repro.core.participant import ParticipantHandle, SDXPolicySet
-from repro.core.supersets import VMAC_MODES, SupersetEncoder, vmac_mode_from_env
+from repro.core.config import SDXConfig
+from repro.core.supersets import SupersetEncoder
 from repro.core.transforms import rewrite_inbound_delivery
 from repro.core.vmac import VirtualNextHopAllocator
 from repro.dataplane.arp import ARPService
-from repro.dataplane.flowtable import (
-    DATAPLANE_MODES,
-    FlowRule,
-    dataplane_mode_from_env,
-)
+from repro.dataplane.flowtable import FlowRule
 from repro.dataplane.reconcile import ChurnStats, CommitReport
 from repro.guard import (
     AdmissionConfig,
@@ -88,12 +85,7 @@ from repro.pipeline.stages import BASE_COOKIE, BASE_PRIORITY
 from repro.policy.classifier import Action, Classifier, HeaderMatch, Rule
 from repro.policy.packet import Packet
 from repro.resilience.health import HealthReport, QuarantineRecord
-from repro.runtime import (
-    RUNTIME_MODES,
-    ControlPlaneRuntime,
-    RuntimeConfig,
-    runtime_mode_from_env,
-)
+from repro.runtime import ControlPlaneRuntime, RuntimeConfig
 from repro.telemetry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -152,7 +144,7 @@ class SDXController:
         self,
         config: IXPConfig,
         options: CompilationOptions = CompilationOptions(),
-        fast_path_enabled: bool = True,
+        fast_path_enabled: Optional[bool] = None,
         arp: Optional[ARPService] = None,
         ownership: Optional["OwnershipRegistry"] = None,
         route_server_asn: Optional[int] = None,
@@ -164,10 +156,27 @@ class SDXController:
         runtime_mode: Optional[str] = None,
         runtime_config: Optional[RuntimeConfig] = None,
         runtime_clock: Optional["Simulator"] = None,
+        sdx: Optional[SDXConfig] = None,
     ) -> None:
         self.config = config
         self.ownership = ownership
         self.options = options
+        # Knob resolution happens in exactly one place: the per-knob
+        # keyword arguments overlay onto the ``sdx`` config (explicit
+        # argument wins), then every still-unset field resolves from
+        # its REPRO_* environment variable, then its default.
+        sdx = (sdx if sdx is not None else SDXConfig()).overlay(
+            vmac_mode=vmac_mode,
+            dataplane_mode=dataplane_mode,
+            backend=backend,
+            runtime_mode=runtime_mode,
+            runtime_config=runtime_config,
+            guard=guard,
+            admission=admission,
+            fast_path_enabled=fast_path_enabled,
+        )
+        #: the resolved knob set (no ``None`` left in the mode fields)
+        self.sdx: SDXConfig = sdx.resolved()
         #: one registry per controller; every subsystem reports into it
         self.telemetry = MetricsRegistry()
         # With a route-server ASN, announcements may steer their export
@@ -175,19 +184,12 @@ class SDXController:
         self.route_server = RouteServer(asn=route_server_asn)
         self.route_server.attach_telemetry(self.telemetry)
         #: VMAC encoding scheme: "fec" (one opaque VMAC per class) or
-        #: "superset" (attribute-encoded VMACs, masked fabric rules);
-        #: defaults to the REPRO_VMAC environment selection
-        self.vmac_mode = vmac_mode if vmac_mode is not None else vmac_mode_from_env()
-        if self.vmac_mode not in VMAC_MODES:
-            raise ValueError(f"unknown vmac_mode {self.vmac_mode!r}")
+        #: "superset" (attribute-encoded VMACs, masked fabric rules)
+        self.vmac_mode = self.sdx.vmac_mode
         #: dataplane layout: "single" (fully composed table 0) or
         #: "multitable" (stage-1 policy table chained into a stage-2
-        #: VMAC table); defaults to the REPRO_DATAPLANE selection
-        self.dataplane_mode = (
-            dataplane_mode if dataplane_mode is not None else dataplane_mode_from_env()
-        )
-        if self.dataplane_mode not in DATAPLANE_MODES:
-            raise ValueError(f"unknown dataplane_mode {self.dataplane_mode!r}")
+        #: VMAC table)
+        self.dataplane_mode = self.sdx.dataplane_mode
         self.arp = arp if arp is not None else ARPService()
         self.allocator = VirtualNextHopAllocator(config.vnh_pool)
         self.arp.register(self.allocator.resolve)
@@ -196,7 +198,7 @@ class SDXController:
         #: and fast-path per-prefix VMACs can never collide.
         self.superset_encoder: Optional[SupersetEncoder] = (
             SupersetEncoder(
-                fallback=self.allocator._macs, telemetry=self.telemetry
+                fallback=self.allocator.mac_source(), telemetry=self.telemetry
             )
             if self.vmac_mode == "superset"
             else None
@@ -229,7 +231,7 @@ class SDXController:
             labels=("kind",),
             sample_window=4096,
         )
-        self.fast_path_enabled = fast_path_enabled
+        self.fast_path_enabled = self.sdx.fast_path_enabled
 
         self._policies: Dict[str, SDXPolicySet] = {}
         self._chains: Dict[str, "ServiceChain"] = {}
@@ -249,13 +251,15 @@ class SDXController:
         #: transaction; a mismatch rolls back, quarantines, and records
         #: an incident surfaced by ops.health().  None = unguarded.
         self.guard: Optional[CommitGuard] = (
-            CommitGuard(self, guard) if guard is not None else None
+            CommitGuard(self, self.sdx.guard) if self.sdx.guard is not None else None
         )
         #: the admission plane (repro.guard): per-participant rate limits
         #: and quotas enforced at the routing/policy facet entry points.
         #: None = unmetered.
         self.admission: Optional[AdmissionController] = (
-            AdmissionController(self, admission) if admission is not None else None
+            AdmissionController(self, self.sdx.admission)
+            if self.sdx.admission is not None
+            else None
         )
 
         #: faceted public API (see :mod:`repro.core.facets`): thin views
@@ -265,22 +269,18 @@ class SDXController:
         self.ops = OpsFacet(self)
 
         #: the staged compilation engine (shard cache, ingress, committer);
-        #: ``backend`` overrides the REPRO_BACKEND environment selection
-        self.pipeline = CompilationPipeline(self, backend=backend)
+        #: the backend instance was resolved by ``SDXConfig`` (explicit
+        #: arg > REPRO_BACKEND > serial)
+        self.pipeline = CompilationPipeline(self, backend=self.sdx.backend)
         self._deferred_depth = 0
         self._deferred_pending = False
 
         #: control-plane runtime mode: "inline" (synchronous facet calls)
-        #: or "eventloop" (cooperative pipelined scheduler); defaults to
-        #: the REPRO_RUNTIME environment selection
-        self.runtime_mode = (
-            runtime_mode if runtime_mode is not None else runtime_mode_from_env()
-        )
-        if self.runtime_mode not in RUNTIME_MODES:
-            raise ValueError(f"unknown runtime_mode {self.runtime_mode!r}")
+        #: or "eventloop" (cooperative pipelined scheduler)
+        self.runtime_mode = self.sdx.runtime_mode
         #: the event-loop runtime (None in inline mode)
         self.runtime: Optional[ControlPlaneRuntime] = (
-            ControlPlaneRuntime(self, config=runtime_config, clock=runtime_clock)
+            ControlPlaneRuntime(self, config=self.sdx.runtime_config, clock=runtime_clock)
             if self.runtime_mode == "eventloop"
             else None
         )

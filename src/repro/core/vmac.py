@@ -56,6 +56,15 @@ class VirtualNextHopAllocator:
     def allocated(self) -> int:
         return len(self._by_address)
 
+    def mac_source(self) -> MACAllocator:
+        """The VMAC allocator backing this pool.
+
+        Encoders that spill classes to opaque per-FEC VMACs (the
+        superset encoder's fallback) must draw from *this* allocator so
+        spilled and fast-path per-prefix VMACs can never collide.
+        """
+        return self._macs
+
     def allocate(self, hardware: Optional[MACAddress] = None) -> VirtualNextHop:
         """Allocate a fresh (VNH, VMAC) pair.
 

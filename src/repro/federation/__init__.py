@@ -1,0 +1,45 @@
+"""Multi-IXP federation: several SDX fabrics joined by transit members.
+
+A single SDX controls one exchange.  Real interconnection is wider: a
+transit AS peers at several IXPs at once and carries traffic between
+them, so a participant's steering decision at exchange A can put a
+packet on a path that re-enters the fabric of exchange B.  This package
+models that layer:
+
+* :class:`~repro.federation.exchange.FederatedExchange` — hosts N
+  independent :class:`~repro.core.controller.SDXController` instances,
+  one per member IXP, and the inter-IXP links between them;
+* transit members — participants registered at two or more member
+  exchanges under one ASN (distinct ports and peering-LAN addresses
+  per IXP), discovered by ASN with
+  :meth:`~repro.federation.exchange.FederatedExchange.transit_members`;
+* :class:`~repro.federation.exchange.InterIXPLink` — a directed relay:
+  the transit re-announces routes it holds at the source exchange into
+  the destination exchange's route server (AS path prepended, next-hop
+  rewritten to the transit's own port on the destination peering LAN,
+  export scope filtered), with AS-path loop prevention;
+* :meth:`~repro.federation.exchange.FederatedExchange.sync` — drives
+  relays to a fixpoint, so policy changes and failures at one exchange
+  propagate coherently to the others.
+
+Because a relayed route's next-hop is the transit's interface on the
+*destination* LAN, each fabric's VNH/VMAC machinery applies unchanged:
+traffic steered out of exchange A toward the transit re-enters exchange
+B tagged by B's own ARP responder — the policy-stitching invariant the
+federation verifier (:mod:`repro.verify.federation`) checks end to end.
+
+Telemetry lands in ``FederatedExchange.telemetry`` under the
+``sdx_federation_*`` family.
+"""
+
+from repro.federation.exchange import (
+    FederatedExchange,
+    InterIXPLink,
+    TransitMember,
+)
+
+__all__ = [
+    "FederatedExchange",
+    "InterIXPLink",
+    "TransitMember",
+]

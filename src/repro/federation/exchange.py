@@ -1,0 +1,415 @@
+"""The federated exchange: N SDX controllers plus inter-IXP relays.
+
+The design keeps each member exchange a *complete* SDX — its own route
+server, compiler, fabric, and verifier — and adds exactly one new
+mechanism: the :class:`InterIXPLink`, a directed BGP relay operated by a
+transit participant present at both ends.  Everything else (policy
+stitching, cross-exchange verification) is derived from relayed-route
+provenance, which the federation records here.
+
+Relay semantics, per link ``src --AS T--> dst``:
+
+* the relay candidate set is T's Loc-RIB at ``src`` (its post-decision
+  best routes, exactly what a real transit router would redistribute);
+* routes whose AS path already contains T are skipped (standard BGP
+  loop prevention — this is what makes :meth:`FederatedExchange.sync`
+  a terminating fixpoint);
+* prefixes T announces natively at ``dst`` are never overwritten;
+* the relayed announcement prepends T's ASN to the path and rewrites
+  the next-hop to T's own port address on the destination peering LAN,
+  so the destination exchange delivers the traffic to T's router there
+  — the inter-IXP hop — and the destination's VNH/VMAC tagging applies
+  to the relayed route like any other.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.bgp.messages import Route
+from repro.core.controller import SDXController
+from repro.ixp.topology import IXPConfig
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+from repro.telemetry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bgp.route_server import BestPathChange
+    from repro.dataplane.reconcile import CommitReport
+
+__all__ = ["FederatedExchange", "InterIXPLink", "TransitMember"]
+
+
+class TransitMember(NamedTuple):
+    """One AS present at two or more member exchanges.
+
+    ``presence`` maps exchange name to the AS's local participant name
+    there — federation joins on ASNs, so the same transit may appear
+    under different names at each IXP.
+    """
+
+    asn: int
+    presence: Mapping[str, str]
+
+    @property
+    def exchanges(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.presence))
+
+    def name_at(self, exchange: str) -> str:
+        """The transit's participant name at ``exchange`` (KeyError if absent)."""
+        return self.presence[exchange]
+
+
+class InterIXPLink:
+    """A directed relay of one transit AS's routes between two exchanges.
+
+    The link subscribes to the transit's best-path changes at the source
+    exchange and marks itself dirty; :meth:`sync` then recomputes the
+    relay set and applies only the announce/withdraw *diff* at the
+    destination.  :meth:`fail` models the transit's inter-IXP backhaul
+    going down: every relayed route is withdrawn at once, and the
+    destination exchange re-converges on whatever other links provide.
+    """
+
+    def __init__(
+        self,
+        federation: "FederatedExchange",
+        transit_asn: int,
+        src: str,
+        dst: str,
+        export_to: Optional[FrozenSet[str]] = None,
+    ) -> None:
+        if src == dst:
+            raise ValueError(f"inter-IXP link endpoints must differ: {src!r}")
+        self._federation = federation
+        self.transit_asn = transit_asn
+        self.src = src
+        self.dst = dst
+        self.export_to = export_to
+        src_controller = federation.exchange(src)
+        dst_controller = federation.exchange(dst)
+        src_spec = src_controller.config.participant_with_asn(transit_asn)
+        dst_spec = dst_controller.config.participant_with_asn(transit_asn)
+        if src_spec is None or dst_spec is None:
+            missing = src if src_spec is None else dst
+            raise ValueError(
+                f"AS {transit_asn} is not a participant at exchange {missing!r}"
+            )
+        if not dst_spec.ports:
+            raise ValueError(
+                f"AS {transit_asn} has no physical port at {dst!r}: relayed "
+                "routes would carry a next-hop off the peering LAN"
+            )
+        self.src_name = src_spec.name
+        self.dst_name = dst_spec.name
+        #: the relayed next-hop — the transit's first interface on the
+        #: destination peering LAN
+        self.next_hop: IPv4Address = dst_spec.ports[0].address
+        self.up = True
+        #: prefix -> the source-exchange route currently backing the relay
+        self._relayed: Dict[IPv4Prefix, Route] = {}
+        self._dirty = True
+        self._m_announce = federation._m_relays.bind(link=self.name, kind="announce")
+        self._m_withdraw = federation._m_relays.bind(link=self.name, kind="withdraw")
+        src_controller.route_server.subscribe_participant(
+            self.src_name, self._on_changes
+        )
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}->{self.dst}:AS{self.transit_asn}"
+
+    def _on_changes(self, changes: List["BestPathChange"]) -> None:
+        self._dirty = True
+
+    # -- relay computation ---------------------------------------------------
+
+    def _desired(self) -> Dict[IPv4Prefix, Route]:
+        """What the transit would redistribute from src into dst right now."""
+        src_server = self._federation.exchange(self.src).route_server
+        dst_server = self._federation.exchange(self.dst).route_server
+        view = src_server.loc_rib(self.src_name)
+        desired: Dict[IPv4Prefix, Route] = {}
+        for prefix, route in view.items():
+            if route.attributes.as_path.contains_loop(self.transit_asn):
+                continue
+            native = dst_server.route_from(self.dst_name, prefix)
+            if native is not None and prefix not in self._relayed:
+                # The transit already announces this prefix at dst on its
+                # own; the relay must not clobber the native route.
+                continue
+            desired[prefix] = route
+        return desired
+
+    def sync(self) -> int:
+        """Apply the relay diff at the destination; returns updates applied."""
+        if not self.up or not self._dirty:
+            return 0
+        desired = self._desired()
+        routing = self._federation.exchange(self.dst).routing
+        updates = 0
+        for prefix in sorted(set(self._relayed) - set(desired)):
+            routing.withdraw(self.dst_name, prefix)
+            del self._relayed[prefix]
+            self._m_withdraw.inc()
+            updates += 1
+        for prefix in sorted(desired):
+            backing = desired[prefix]
+            if self._relayed.get(prefix) == backing:
+                continue
+            attributes = backing.attributes.replace(
+                as_path=backing.attributes.as_path.prepend(self.transit_asn),
+                next_hop=self.next_hop,
+            )
+            routing.announce(
+                self.dst_name, prefix, attributes, export_to=self.export_to
+            )
+            self._relayed[prefix] = backing
+            self._m_announce.inc()
+            updates += 1
+        self._dirty = False
+        return updates
+
+    # -- failure model -------------------------------------------------------
+
+    def fail(self) -> int:
+        """Take the link down, withdrawing every relayed route at once."""
+        withdrawn = 0
+        if self.up:
+            routing = self._federation.exchange(self.dst).routing
+            for prefix in sorted(self._relayed):
+                routing.withdraw(self.dst_name, prefix)
+                self._m_withdraw.inc()
+                withdrawn += 1
+            self._relayed.clear()
+            self.up = False
+            self._dirty = False
+            self._federation._links_changed()
+        return withdrawn
+
+    def restore(self) -> None:
+        """Bring the link back; the next :meth:`sync` re-relays."""
+        if not self.up:
+            self.up = True
+            self._dirty = True
+            self._federation._links_changed()
+
+    # -- queries the federation verifier makes -------------------------------
+
+    def relayed_prefixes(self) -> FrozenSet[IPv4Prefix]:
+        return frozenset(self._relayed)
+
+    def is_relayed(self, prefix: "IPv4Prefix | str") -> bool:
+        return IPv4Prefix(prefix) in self._relayed
+
+    def backing_route(self, prefix: "IPv4Prefix | str") -> Optional[Route]:
+        """The source-exchange route a relayed prefix currently mirrors."""
+        return self._relayed.get(IPv4Prefix(prefix))
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"InterIXPLink({self.name}, {state}, relayed={len(self._relayed)})"
+
+
+class FederatedExchange:
+    """N member SDX controllers plus the inter-IXP links joining them.
+
+    Build one by adding exchanges (each with its own
+    :class:`~repro.ixp.topology.IXPConfig`) and linking transit ASNs::
+
+        federation = FederatedExchange()
+        federation.add_exchange("west", west_config)
+        federation.add_exchange("east", east_config)
+        federation.link(65100, "west", "east")
+        federation.link(65100, "east", "west")
+        federation.sync()
+
+    ``sync`` runs the relays to a fixpoint; member controllers stay
+    fully independent SDXes (compile, verify, and bill per exchange).
+    Federation-level telemetry (``sdx_federation_*``) aggregates in
+    :attr:`telemetry`, separate from each member's registry.
+    """
+
+    def __init__(self) -> None:
+        self._controllers: Dict[str, SDXController] = {}
+        self._links: List[InterIXPLink] = []
+        self.telemetry = MetricsRegistry()
+        self._m_relays = self.telemetry.counter(
+            "sdx_federation_relay_updates_total",
+            "Announcements and withdrawals relayed across inter-IXP links",
+            labels=("link", "kind"),
+        )
+        self._m_links_up = self.telemetry.gauge(
+            "sdx_federation_links_up", "Inter-IXP links currently up"
+        )
+        self._m_exchanges = self.telemetry.gauge(
+            "sdx_federation_exchanges", "Member exchanges in the federation"
+        )
+        self._m_sync_rounds = self.telemetry.counter(
+            "sdx_federation_sync_rounds_total",
+            "Relay fixpoint rounds run by sync()",
+        )
+        self._m_relayed = self.telemetry.gauge(
+            "sdx_federation_relayed_prefixes",
+            "Prefixes currently relayed, per link",
+            labels=("link",),
+        )
+
+    # -- membership ----------------------------------------------------------
+
+    def add_exchange(
+        self,
+        name: str,
+        config: "IXPConfig | SDXController",
+        **controller_kwargs,
+    ) -> SDXController:
+        """Register a member exchange.
+
+        ``config`` is either an :class:`IXPConfig` (a controller is
+        built from it; keyword arguments — e.g. ``sdx=SDXConfig(...)``
+        — forward to :class:`SDXController`) or an already-constructed
+        controller.  The exchange name is stamped onto the config so
+        violations and telemetry can name the fabric.
+        """
+        if name in self._controllers:
+            raise ValueError(f"duplicate exchange {name!r}")
+        if isinstance(config, SDXController):
+            if controller_kwargs:
+                raise TypeError(
+                    "controller kwargs are only valid when passing an IXPConfig"
+                )
+            controller = config
+        else:
+            controller = SDXController(config, **controller_kwargs)
+        if controller.config.name is None:
+            controller.config.name = name
+        self._controllers[name] = controller
+        self._m_exchanges.set(len(self._controllers))
+        return controller
+
+    def exchange(self, name: str) -> SDXController:
+        try:
+            return self._controllers[name]
+        except KeyError:
+            raise KeyError(f"unknown exchange {name!r}") from None
+
+    def exchange_names(self) -> Tuple[str, ...]:
+        return tuple(self._controllers)
+
+    def controllers(self) -> Tuple[Tuple[str, SDXController], ...]:
+        return tuple(self._controllers.items())
+
+    def transit_members(self) -> Tuple[TransitMember, ...]:
+        """Every AS registered at two or more member exchanges."""
+        by_asn: Dict[int, Dict[str, str]] = {}
+        for ex_name, controller in self._controllers.items():
+            for spec in controller.config.participants():
+                by_asn.setdefault(spec.asn, {})[ex_name] = spec.name
+        return tuple(
+            TransitMember(asn, presence)
+            for asn, presence in sorted(by_asn.items())
+            if len(presence) >= 2
+        )
+
+    # -- links ---------------------------------------------------------------
+
+    def link(
+        self,
+        transit_asn: int,
+        src: str,
+        dst: str,
+        export_to: Optional["FrozenSet[str] | Tuple[str, ...] | List[str]"] = None,
+    ) -> InterIXPLink:
+        """Create a directed relay ``src -> dst`` operated by ``transit_asn``."""
+        link = InterIXPLink(
+            self,
+            transit_asn,
+            src,
+            dst,
+            export_to=None if export_to is None else frozenset(export_to),
+        )
+        self._links.append(link)
+        self._links_changed()
+        return link
+
+    def links(self) -> Tuple[InterIXPLink, ...]:
+        return tuple(self._links)
+
+    def relay_for(
+        self, exchange: str, participant: str, prefix: "IPv4Prefix | str"
+    ) -> Optional[InterIXPLink]:
+        """The link whose relay put ``participant``'s route for ``prefix``
+        into ``exchange``'s route server, if any.
+
+        This is the provenance query behind policy stitching: traffic
+        delivered to a transit at ``exchange`` for a relayed prefix
+        leaves the fabric and re-enters at the link's source exchange.
+        """
+        prefix = IPv4Prefix(prefix)
+        for link in self._links:
+            if (
+                link.up
+                and link.dst == exchange
+                and link.dst_name == participant
+                and link.is_relayed(prefix)
+            ):
+                return link
+        return None
+
+    def _links_changed(self) -> None:
+        self._m_links_up.set(sum(1 for link in self._links if link.up))
+
+    # -- propagation ---------------------------------------------------------
+
+    def sync(self, max_rounds: int = 16) -> int:
+        """Run every relay to a fixpoint; returns total updates applied.
+
+        A relay into one exchange can change a transit's best path
+        there and thereby feed another relay out of it, so rounds
+        repeat until quiescent.  AS-path loop prevention bounds the
+        rounds; exceeding ``max_rounds`` means a relay is flapping and
+        raises rather than looping forever.
+        """
+        total = 0
+        for _ in range(max_rounds):
+            self._m_sync_rounds.inc()
+            round_updates = sum(link.sync() for link in self._links)
+            total += round_updates
+            if round_updates == 0:
+                break
+        else:
+            raise RuntimeError(
+                f"federation relays did not converge in {max_rounds} rounds"
+            )
+        for link in self._links:
+            self._m_relayed.set(len(link.relayed_prefixes()), link=link.name)
+        return total
+
+    def compile_all(self) -> Dict[str, "CommitReport"]:
+        """Compile every member exchange; per-exchange commit reports."""
+        return {name: ctl.compile() for name, ctl in self._controllers.items()}
+
+    def prefixes(self) -> FrozenSet[IPv4Prefix]:
+        """Every prefix known at any member exchange."""
+        out: Set[IPv4Prefix] = set()
+        for controller in self._controllers.values():
+            out.update(controller.route_server.all_prefixes())
+        return frozenset(out)
+
+    def __len__(self) -> int:
+        return len(self._controllers)
+
+    def __repr__(self) -> str:
+        return (
+            f"FederatedExchange(exchanges={list(self._controllers)}, "
+            f"links={len(self._links)})"
+        )

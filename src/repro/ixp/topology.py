@@ -91,9 +91,16 @@ class IXPConfig:
         config.add_participant("A", asn=65001, ports=[("A1", "172.0.0.1", "08:00:27:00:00:01")])
     """
 
-    def __init__(self, vnh_pool: "IPv4Prefix | str" = "172.16.0.0/12") -> None:
+    def __init__(
+        self,
+        vnh_pool: "IPv4Prefix | str" = "172.16.0.0/12",
+        name: Optional[str] = None,
+    ) -> None:
         self._participants: Dict[str, ParticipantSpec] = {}
         self.vnh_pool = IPv4Prefix(vnh_pool)
+        #: optional exchange name; federated deployments label each
+        #: member IXP so violations and telemetry can name the fabric
+        self.name = name
         # Lazy reverse indexes (registration is append-only, so they are
         # invalidated in add_participant and nowhere else).
         self._port_owners: Optional[Dict[str, ParticipantSpec]] = None
@@ -132,6 +139,19 @@ class IXPConfig:
 
     def participant(self, name: str) -> ParticipantSpec:
         return self._participants[name]
+
+    def participant_with_asn(self, asn: int) -> Optional[ParticipantSpec]:
+        """The unique participant operating AS ``asn``, if any.
+
+        Federation joins exchanges on ASNs (a transit AS may appear
+        under different local names at each IXP), so ambiguity within
+        one exchange is an error rather than a silent first-match.
+        """
+        found = [spec for spec in self._participants.values() if spec.asn == asn]
+        if len(found) > 1:
+            names = ", ".join(sorted(spec.name for spec in found))
+            raise ValueError(f"ASN {asn} registered by multiple participants: {names}")
+        return found[0] if found else None
 
     def participants(self) -> Tuple[ParticipantSpec, ...]:
         return tuple(self._participants.values())

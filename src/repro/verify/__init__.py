@@ -19,6 +19,10 @@ where policies joined with BGP say traffic may go (Sections 3.2, 4.1):
   over the compiled tables: participant isolation, BGP-consistency
   (egress only via advertised routes), virtual-topology loop-freedom,
   and the VNH/VMAC↔FEC bijection with leak detection;
+* :mod:`repro.verify.federation` — the **federation sweep** for
+  multi-IXP deployments (:mod:`repro.federation`): inter-IXP
+  loop-freedom over the cross-exchange re-entry graph, relay
+  consistency audits, and end-to-end probe traces spanning fabrics;
 * :mod:`repro.verify.fuzz` — a **seeded fuzz harness** (also
   ``make verify-fuzz``) replaying random workloads through policy
   edits, BGP update bursts, fast-path flushes, and delta-reconciled
@@ -34,6 +38,15 @@ Checker runs report into the controller's telemetry registry as the
 """
 
 from repro.verify.checker import CheckReport, DifferentialChecker, Mismatch, Probe
+from repro.verify.federation import (
+    FederationChecker,
+    FederationHop,
+    FederationReport,
+    FederationTrace,
+    check_cross_exchange_consistency,
+    check_federation,
+    check_federation_loop_freedom,
+)
 from repro.verify.interpreter import ReferenceInterpreter
 from repro.verify.invariants import (
     InvariantViolation,
@@ -42,18 +55,27 @@ from repro.verify.invariants import (
     check_isolation,
     check_loop_freedom,
     check_vnh_state,
+    find_cycle,
 )
 
 __all__ = [
     "CheckReport",
     "DifferentialChecker",
+    "FederationChecker",
+    "FederationHop",
+    "FederationReport",
+    "FederationTrace",
     "InvariantViolation",
     "Mismatch",
     "Probe",
     "ReferenceInterpreter",
     "check_all_invariants",
     "check_bgp_consistency",
+    "check_cross_exchange_consistency",
+    "check_federation",
+    "check_federation_loop_freedom",
     "check_isolation",
     "check_loop_freedom",
     "check_vnh_state",
+    "find_cycle",
 ]

@@ -262,14 +262,18 @@ class DifferentialChecker:
         expected = interpreter.expected_deliveries(
             probe.sender, probe.prefix, probe.packet
         )
-        actual = self._compiled_deliveries(probe)
+        actual = self.compiled_deliveries(probe)
         if actual == expected:
             return None
         trace = self._controller.trace_packet(probe.packet, probe.in_port)
         return Mismatch(probe, expected, actual, trace.provenance)
 
-    def _compiled_deliveries(self, probe: Probe) -> FrozenSet[Tuple[str, Any]]:
+    def compiled_deliveries(self, probe: Probe) -> FrozenSet[Tuple[str, Any]]:
         """Where the installed tables send the probe — without counting.
+
+        Public because the federation verifier replays a probe hop by
+        hop across several fabrics and needs each exchange's compiled
+        verdict, not only the pass/fail of a local check.
 
         Mirrors ``SDNSwitch.receive`` (locate, match, apply actions,
         keep real egress ports) but goes through ``table.resolve`` so

@@ -1,0 +1,489 @@
+"""Federation-aware verification: loop freedom and consistency across IXPs.
+
+A single exchange's invariant sweep (:mod:`repro.verify.invariants`)
+cannot see the failure modes federation introduces, because each of
+them is locally consistent:
+
+* **policy ping-pong** — participant E at exchange A steers traffic to
+  a transit whose route re-enters exchange B, where another policy
+  steers it right back toward A.  Every intra-exchange BGP-consistency
+  check passes (each ``fwd`` target really advertised the prefix), yet
+  the packet orbits the federation forever;
+* **stale or incoherent relays** — a relayed route whose backing route
+  at the source exchange changed or vanished, whose AS path was not
+  prepended exactly once, or whose next-hop does not land on the
+  transit's destination-LAN port (so the re-entry hop cannot be
+  tagged/delivered).
+
+This module closes the gap with three layers:
+
+1. :func:`check_federation_loop_freedom` builds the **inter-IXP
+   forwarding graph** — nodes are (exchange, sender) states, edges mean
+   "this sender's traffic for the prefix egresses at exchange k into a
+   transit whose route was relayed from exchange k′, re-entering k′'s
+   fabric" — and asserts it is a DAG per (prefix, flow) using the same
+   cycle finder as the chain-hop checker.  A cycle is reported as a
+   minimized counterexample naming every exchange involved;
+2. :func:`check_cross_exchange_consistency` audits every live relay:
+   backing-route liveness, exactly-once AS-path prepending, on-LAN
+   next-hops, and VMAC coherence (the destination fabric can tag the
+   relayed route for every member that sees it);
+3. :class:`FederationChecker` adds the **end-to-end differential
+   trace**: a probe is replayed hop by hop across fabrics, each hop
+   diffed compiled-vs-reference with the per-exchange
+   :class:`~repro.verify.checker.DifferentialChecker`, and re-tagged at
+   every re-entry the way the next exchange's ARP would.
+
+Violations reuse :class:`~repro.verify.invariants.InvariantViolation`
+with the ``inter-ixp-loop`` / ``cross-exchange-bgp`` invariant names;
+sweeps report into ``federation.telemetry`` as
+``sdx_federation_verify_*``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.netutils.ip import IPv4Prefix
+from repro.policy.packet import Packet
+from repro.verify.checker import CheckReport, DifferentialChecker, Mismatch, Probe
+from repro.verify.interpreter import ReferenceInterpreter
+from repro.verify.invariants import InvariantViolation, find_cycle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import SDXController
+    from repro.federation.exchange import FederatedExchange
+
+__all__ = [
+    "FederationChecker",
+    "FederationHop",
+    "FederationReport",
+    "FederationTrace",
+    "check_cross_exchange_consistency",
+    "check_federation",
+    "check_federation_loop_freedom",
+]
+
+#: (exchange name, sender participant name) — one state of the
+#: inter-IXP forwarding walk
+_State = Tuple[str, str]
+
+
+def _flow_keys(federation: "FederatedExchange") -> Tuple[Optional[int], ...]:
+    """The dstport values any member policy discriminates on, plus None.
+
+    The inter-IXP graph depends on which policies claim a packet, and
+    the policies in this algebra branch on header fields — so walking
+    one representative packet per policy-relevant dstport (and one with
+    no dstport at all) covers every distinct forwarding function the
+    federation can apply to a prefix.
+    """
+    keys: Set[int] = set()
+    for _, controller in federation.controllers():
+        for name in controller.config.participant_names():
+            for classifier in (
+                controller.raw_outbound_classifier(name),
+                controller.raw_inbound_classifier(name),
+            ):
+                if classifier is None:
+                    continue
+                for rule in classifier.rules:
+                    value = rule.match.constraints.get("dstport")
+                    if isinstance(value, int):
+                        keys.add(value)
+    return (None,) + tuple(sorted(keys))
+
+
+def _probe_packet(
+    prefix: IPv4Prefix, dstport: Optional[int], tag=None
+) -> Packet:
+    """A minimal walk packet: dstip always, dstport only when probing it."""
+    headers: Dict[str, object] = {"dstip": prefix.host(1)}
+    if dstport is not None:
+        headers["dstport"] = dstport
+    if tag is not None:
+        headers["dstmac"] = tag
+    return Packet(**headers)
+
+
+def _reentry_edges(
+    federation: "FederatedExchange",
+    prefix: IPv4Prefix,
+    dstport: Optional[int],
+    interpreters: Dict[str, ReferenceInterpreter],
+) -> Tuple[Set[_State], Dict[_State, Set[_State]]]:
+    """The inter-IXP forwarding graph for one (prefix, flow) pair.
+
+    An edge ``(k, s) -> (k', t)`` means: sender ``s``'s traffic for the
+    prefix at exchange ``k`` is delivered to transit ``t``'s port, and
+    ``t``'s route at ``k`` was relayed from exchange ``k'`` — so ``t``
+    hauls the packet there and re-injects it as a sender on ``k'``'s
+    fabric.
+    """
+    nodes: Set[_State] = set()
+    edges: Dict[_State, Set[_State]] = {}
+    for exchange, controller in federation.controllers():
+        interpreter = interpreters[exchange]
+        for spec in controller.config.participants():
+            if not spec.ports or not interpreter.can_probe(spec.name, prefix):
+                continue
+            state = (exchange, spec.name)
+            nodes.add(state)
+            tag = interpreter.tag(spec.name, prefix)
+            packet = _probe_packet(prefix, dstport, tag)
+            for port, _ in interpreter.expected_deliveries(
+                spec.name, prefix, packet
+            ):
+                try:
+                    owner = controller.config.owner_of_port(port).name
+                except KeyError:
+                    continue  # chain-hop or virtual port: stays in-fabric
+                link = federation.relay_for(exchange, owner, prefix)
+                if link is not None:
+                    successor = (link.src, link.src_name)
+                    nodes.add(successor)
+                    edges.setdefault(state, set()).add(successor)
+    return nodes, edges
+
+
+def check_federation_loop_freedom(
+    federation: "FederatedExchange",
+) -> List[InvariantViolation]:
+    """No (prefix, flow) may cycle through the inter-IXP re-entry graph.
+
+    Counterexamples are minimized along both axes the walk varies:
+    the bare flow (no dstport) is tried before any policy-specific
+    port, and only the fields the surviving packet actually carries are
+    reported — so an injected ping-pong shows up as one violation
+    naming the exchanges on the cycle and the single header that
+    triggers it.
+    """
+    violations: List[InvariantViolation] = []
+    flows = _flow_keys(federation)
+    interpreters = {
+        name: ReferenceInterpreter(controller)
+        for name, controller in federation.controllers()
+    }
+    for prefix in sorted(federation.prefixes()):
+        for dstport in flows:
+            nodes, edges = _reentry_edges(federation, prefix, dstport, interpreters)
+            cycle = find_cycle(nodes, edges)
+            if cycle is None:
+                continue
+            exchanges = sorted({exchange for exchange, _ in cycle})
+            rendered = " -> ".join(f"{k}:{s}" for k, s in cycle)
+            flow = "any flow" if dstport is None else f"dstport={dstport}"
+            violations.append(
+                InvariantViolation(
+                    "inter-ixp-loop",
+                    rendered,
+                    f"policy ping-pong between exchanges "
+                    f"{' and '.join(repr(e) for e in exchanges)}: traffic for "
+                    f"{prefix} ({flow}) re-enters each fabric indefinitely",
+                )
+            )
+            break  # one minimized counterexample per prefix
+    return violations
+
+
+def check_cross_exchange_consistency(
+    federation: "FederatedExchange",
+) -> List[InvariantViolation]:
+    """Every live relayed route is coherent at both ends of its link.
+
+    * the backing route still exists at the source exchange and is the
+      transit's current best there (a mismatch means a missed
+      :meth:`~repro.federation.exchange.FederatedExchange.sync`);
+    * the destination route's AS path is the backing path with the
+      transit's ASN prepended exactly once;
+    * its next-hop is one of the transit's own ports on the destination
+      peering LAN (the inter-IXP hop is deliverable);
+    * VMAC coherence: every destination member that sees the relayed
+      route can resolve a tag for it, so re-entering traffic is
+      taggable by the destination fabric's own ARP.
+    """
+    violations: List[InvariantViolation] = []
+    for link in federation.links():
+        if not link.up:
+            continue
+        src_server = federation.exchange(link.src).route_server
+        dst_controller = federation.exchange(link.dst)
+        dst_server = dst_controller.route_server
+        dst_spec = dst_controller.config.participant(link.dst_name)
+        interpreter = ReferenceInterpreter(dst_controller)
+        for prefix in sorted(link.relayed_prefixes()):
+            subject = f"{link.name} {prefix}"
+            backing = link.backing_route(prefix)
+            current = src_server.loc_rib(link.src_name).best(prefix)
+            if current is None:
+                violations.append(
+                    InvariantViolation(
+                        "cross-exchange-bgp",
+                        subject,
+                        f"relayed into {link.dst!r} but AS {link.transit_asn} "
+                        f"no longer holds a route at {link.src!r} (stale relay)",
+                    )
+                )
+            elif current != backing:
+                violations.append(
+                    InvariantViolation(
+                        "cross-exchange-bgp",
+                        subject,
+                        f"backing route at {link.src!r} changed since the "
+                        "last sync (stale relay)",
+                    )
+                )
+            relayed = dst_server.route_from(link.dst_name, prefix)
+            if relayed is None:
+                violations.append(
+                    InvariantViolation(
+                        "cross-exchange-bgp",
+                        subject,
+                        f"link records a relay but {link.dst!r}'s route server "
+                        f"has no route from {link.dst_name!r} (dangling relay)",
+                    )
+                )
+                continue
+            if backing is not None:
+                expected_path = backing.attributes.as_path.prepend(link.transit_asn)
+                if relayed.attributes.as_path != expected_path:
+                    violations.append(
+                        InvariantViolation(
+                            "cross-exchange-bgp",
+                            subject,
+                            f"AS path [{relayed.attributes.as_path}] is not the "
+                            f"backing path with AS {link.transit_asn} prepended "
+                            f"once ([{expected_path}])",
+                        )
+                    )
+            if dst_spec.port_for_address(relayed.attributes.next_hop) is None:
+                violations.append(
+                    InvariantViolation(
+                        "cross-exchange-bgp",
+                        subject,
+                        f"next-hop {relayed.attributes.next_hop} is not one of "
+                        f"AS {link.transit_asn}'s ports at {link.dst!r} — the "
+                        "inter-IXP hop cannot be delivered",
+                    )
+                )
+            for spec in dst_controller.config.participants():
+                if spec.name == link.dst_name or not spec.ports:
+                    continue
+                if not relayed.exported_to(spec.name):
+                    continue
+                view = dst_server.loc_rib(spec.name)
+                if view.best(prefix) is None:
+                    continue
+                if interpreter.tag(spec.name, prefix) is None:
+                    violations.append(
+                        InvariantViolation(
+                            "cross-exchange-bgp",
+                            subject,
+                            f"{spec.name!r} at {link.dst!r} sees the relayed "
+                            "route but no VMAC/interface tag resolves for it "
+                            "(VMAC incoherence)",
+                        )
+                    )
+    return violations
+
+
+def check_federation(federation: "FederatedExchange") -> List[InvariantViolation]:
+    """The full federation invariant sweep (both checkers)."""
+    violations = check_cross_exchange_consistency(federation)
+    violations.extend(check_federation_loop_freedom(federation))
+    return violations
+
+
+# -- end-to-end differential tracing ------------------------------------------
+
+
+class FederationHop(NamedTuple):
+    """One fabric transit of an end-to-end trace."""
+
+    exchange: str
+    sender: str
+    deliveries: FrozenSet[Tuple[str, object]]  # reference (port, dstip) set
+
+
+class FederationTrace(NamedTuple):
+    """A probe's path across the federation, diffed at every hop."""
+
+    prefix: IPv4Prefix
+    hops: Tuple[FederationHop, ...]
+    mismatches: Tuple[Tuple[str, Mismatch], ...]  # (exchange, local mismatch)
+    looped: bool  # the walk revisited an (exchange, sender) state
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.looped
+
+    def render(self) -> str:
+        path = " -> ".join(f"{hop.exchange}:{hop.sender}" for hop in self.hops)
+        tail = " [LOOP]" if self.looped else ""
+        return f"{self.prefix}: {path}{tail} ({len(self.mismatches)} mismatches)"
+
+
+class FederationReport(NamedTuple):
+    """Outcome of one federation-wide verification sweep."""
+
+    per_exchange: Tuple[Tuple[str, CheckReport], ...]
+    violations: Tuple[InvariantViolation, ...]
+    traces: Tuple[FederationTrace, ...]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            all(report.ok for _, report in self.per_exchange)
+            and not self.violations
+            and all(trace.ok for trace in self.traces)
+        )
+
+    def summary(self) -> str:
+        lines = []
+        for name, report in self.per_exchange:
+            lines.append(f"[{name}] {report.summary()}")
+        for violation in self.violations:
+            lines.append(str(violation))
+        bad_traces = [trace for trace in self.traces if not trace.ok]
+        lines.append(
+            f"federation: {len(self.per_exchange)} exchanges, "
+            f"{len(self.violations)} federation violations, "
+            f"{len(self.traces)} end-to-end traces "
+            f"({len(bad_traces)} disagreeing)"
+        )
+        for trace in bad_traces:
+            lines.append(trace.render())
+            for exchange, mismatch in trace.mismatches:
+                lines.append(f"  at {exchange}: {mismatch.explain()}")
+        return "\n".join(lines)
+
+
+class FederationChecker:
+    """Drives per-exchange checks plus cross-fabric traces for a federation."""
+
+    def __init__(self, federation: "FederatedExchange") -> None:
+        self._federation = federation
+        telemetry = federation.telemetry
+        self._m_runs = telemetry.counter(
+            "sdx_federation_verify_runs_total",
+            "Federation verification sweeps by outcome",
+            labels=("outcome",),
+        )
+        self._m_violations = telemetry.counter(
+            "sdx_federation_verify_violations_total",
+            "Cross-exchange invariant violations found",
+            labels=("invariant",),
+        )
+        self._m_traces = telemetry.counter(
+            "sdx_federation_verify_traces_total",
+            "End-to-end probe traces by result",
+            labels=("result",),
+        )
+
+    def trace_probe(
+        self,
+        exchange: str,
+        sender: str,
+        prefix: "IPv4Prefix | str",
+        dstport: Optional[int] = None,
+        max_hops: int = 8,
+    ) -> FederationTrace:
+        """Replay one probe end to end, diffing each fabric it crosses.
+
+        At every hop the packet is re-tagged the way the *current*
+        exchange's ARP would tag it for the current sender — exactly
+        what the transit's router does when it re-injects the packet —
+        and the hop's compiled deliveries are diffed against the
+        reference interpreter before following any inter-IXP re-entry.
+        """
+        federation = self._federation
+        prefix = IPv4Prefix(prefix)
+        hops: List[FederationHop] = []
+        mismatches: List[Tuple[str, Mismatch]] = []
+        seen: Set[_State] = set()
+        state: Optional[_State] = (exchange, sender)
+        looped = False
+        while state is not None and len(hops) < max_hops:
+            if state in seen:
+                looped = True
+                break
+            seen.add(state)
+            hop_exchange, hop_sender = state
+            controller = federation.exchange(hop_exchange)
+            interpreter = ReferenceInterpreter(controller)
+            spec = controller.config.participant(hop_sender)
+            if not spec.ports or not interpreter.can_probe(hop_sender, prefix):
+                break
+            tag = interpreter.tag(hop_sender, prefix)
+            packet = _probe_packet(prefix, dstport, tag)
+            probe = Probe(hop_sender, spec.ports[0].port_id, prefix, packet)
+            checker = DifferentialChecker(controller)
+            mismatch = checker.check_probe(probe, interpreter)
+            if mismatch is not None:
+                mismatches.append(
+                    (hop_exchange, checker.minimize(mismatch, interpreter))
+                )
+            deliveries = interpreter.expected_deliveries(hop_sender, prefix, packet)
+            hops.append(FederationHop(hop_exchange, hop_sender, deliveries))
+            state = None
+            for port, _ in sorted(deliveries, key=lambda d: str(d[0])):
+                try:
+                    owner = controller.config.owner_of_port(port).name
+                except KeyError:
+                    continue
+                link = federation.relay_for(hop_exchange, owner, prefix)
+                if link is not None:
+                    state = (link.src, link.src_name)
+                    break
+        return FederationTrace(prefix, tuple(hops), tuple(mismatches), looped)
+
+    def sweep(
+        self,
+        probes: int = 32,
+        seed: int = 0,
+        traces_per_link: int = 4,
+    ) -> FederationReport:
+        """One full pass: local checks, federation invariants, e2e traces.
+
+        ``probes`` is the per-exchange differential budget; each link
+        additionally gets up to ``traces_per_link`` relayed prefixes
+        traced end to end from every eligible sender at its destination
+        exchange.
+        """
+        federation = self._federation
+        per_exchange = tuple(
+            (name, DifferentialChecker(controller).check(probes=probes, seed=seed))
+            for name, controller in federation.controllers()
+        )
+        violations = tuple(check_federation(federation))
+        for violation in violations:
+            self._m_violations.inc(invariant=violation.invariant)
+
+        traces: List[FederationTrace] = []
+        for link in federation.links():
+            if not link.up:
+                continue
+            dst_controller = federation.exchange(link.dst)
+            interpreter = ReferenceInterpreter(dst_controller)
+            for prefix in sorted(link.relayed_prefixes())[:traces_per_link]:
+                for spec in dst_controller.config.participants():
+                    if spec.name == link.dst_name or not spec.ports:
+                        continue
+                    if not interpreter.can_probe(spec.name, prefix):
+                        continue
+                    trace = self.trace_probe(link.dst, spec.name, prefix)
+                    traces.append(trace)
+                    self._m_traces.inc(result="ok" if trace.ok else "mismatch")
+
+        report = FederationReport(per_exchange, violations, tuple(traces))
+        self._m_runs.inc(outcome="ok" if report.ok else "failed")
+        return report

@@ -53,7 +53,45 @@ __all__ = [
     "check_isolation",
     "check_loop_freedom",
     "check_vnh_state",
+    "find_cycle",
 ]
+
+
+def find_cycle(nodes, edges) -> Optional[List[Any]]:
+    """First cycle in a directed graph, as a closed walk ``[a, ..., a]``.
+
+    ``edges`` maps each node to its successors (absent keys mean no
+    successors).  Deterministic: nodes and successors are visited in
+    sorted order, so the same graph always reports the same cycle —
+    both the chain-hop loop checker below and the federation verifier's
+    inter-IXP walk lean on that for stable counterexamples.  Returns
+    ``None`` for an acyclic graph.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in nodes}
+    stack_path: List[Any] = []
+
+    def visit(node) -> Optional[List[Any]]:
+        color[node] = GRAY
+        stack_path.append(node)
+        for succ in sorted(edges.get(node, ())):
+            if color.get(succ) == GRAY:
+                return stack_path[stack_path.index(succ):] + [succ]
+            if color.get(succ) == WHITE:
+                cycle = visit(succ)
+                if cycle is not None:
+                    return cycle
+        stack_path.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(color):
+        if color[node] == WHITE:
+            cycle = visit(node)
+            if cycle is not None:
+                return cycle
+            stack_path.clear()
+    return None
 
 
 class InvariantViolation(NamedTuple):
@@ -293,38 +331,16 @@ def check_loop_freedom(controller: "SDXController") -> List[InvariantViolation]:
         for source in sources:
             edges[source] |= targets
 
-    violations: List[InvariantViolation] = []
-    WHITE, GRAY, BLACK = 0, 1, 2
-    color = {hop: WHITE for hop in hops}
-    stack_path: List[str] = []
-
-    def visit(node: str) -> Optional[List[str]]:
-        color[node] = GRAY
-        stack_path.append(node)
-        for succ in sorted(edges[node]):
-            if color[succ] == GRAY:
-                return stack_path[stack_path.index(succ):] + [succ]
-            if color[succ] == WHITE:
-                cycle = visit(succ)
-                if cycle is not None:
-                    return cycle
-        stack_path.pop()
-        color[node] = BLACK
-        return None
-
-    for hop in sorted(hops):
-        if color[hop] == WHITE:
-            cycle = visit(hop)
-            if cycle is not None:
-                violations.append(
-                    InvariantViolation(
-                        "loop-freedom",
-                        " -> ".join(cycle),
-                        "service-chain hop ports form a forwarding cycle",
-                    )
-                )
-                stack_path.clear()
-    return violations
+    cycle = find_cycle(hops, edges)
+    if cycle is None:
+        return []
+    return [
+        InvariantViolation(
+            "loop-freedom",
+            " -> ".join(cycle),
+            "service-chain hop ports form a forwarding cycle",
+        )
+    ]
 
 
 # -- VNH/VMAC bijection and leak detection ------------------------------------

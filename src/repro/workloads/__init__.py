@@ -1,5 +1,6 @@
 """Synthetic workloads calibrated to the paper's §6.1 methodology."""
 
+from repro.workloads.federation_gen import SyntheticFederation, generate_federation
 from repro.workloads.policy_gen import PolicyWorkload, generate_policies
 from repro.workloads.serialization import (
     dump_updates,
@@ -18,12 +19,14 @@ from repro.workloads.update_gen import UpdateTrace, generate_update_trace
 __all__ = [
     "ASCategory",
     "PolicyWorkload",
+    "SyntheticFederation",
     "SyntheticIXP",
     "UpdateTrace",
     "allocate_prefix_pool",
     "announcement_counts",
     "dump_updates",
     "dumps_updates",
+    "generate_federation",
     "generate_ixp",
     "generate_policies",
     "generate_update_trace",

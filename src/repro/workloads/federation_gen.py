@@ -1,0 +1,148 @@
+"""Synthetic multi-IXP federations for scale tests and benchmarks.
+
+:func:`generate_federation` builds, deterministically from a seed, a
+:class:`~repro.federation.exchange.FederatedExchange` with
+
+* N member exchanges, each with its own local participants announcing
+  disjoint /24 prefixes;
+* K transit ASes present at *every* exchange (one port per IXP, shared
+  ASN — the federation's join points), fully meshed with directed
+  :class:`~repro.federation.exchange.InterIXPLink` relays so every
+  member exchange learns every prefix;
+* a §6.1-style policy sprinkle: a fraction of the local participants
+  steer one application port to a transit, which is what creates real
+  inter-IXP forwarding (and what the federation verifier's re-entry
+  graph has to reason about).
+
+The generator returns the federation synced and compiled by default so
+benchmarks can measure a steady state; pass ``converge=False`` to time
+:meth:`~repro.federation.exchange.FederatedExchange.sync` itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, NamedTuple, Tuple
+
+from repro.bgp.attributes import RouteAttributes
+from repro.federation.exchange import FederatedExchange
+from repro.ixp.topology import IXPConfig
+from repro.netutils.ip import IPv4Prefix
+from repro.policy import fwd, match
+
+__all__ = ["SyntheticFederation", "generate_federation"]
+
+#: application ports the policy sprinkle steers (workload generator mix)
+_POLICY_PORTS = (80, 443, 8080)
+
+
+class SyntheticFederation(NamedTuple):
+    """A generated federation plus the knobs that shaped it."""
+
+    federation: FederatedExchange
+    transit_asns: Tuple[int, ...]
+    prefixes: Tuple[IPv4Prefix, ...]
+    seed: int
+
+    @property
+    def exchange_names(self) -> Tuple[str, ...]:
+        return self.federation.exchange_names()
+
+
+def generate_federation(
+    exchanges: int = 2,
+    participants_per_exchange: int = 4,
+    transits: int = 2,
+    prefixes_per_participant: int = 2,
+    policy_fraction: float = 0.5,
+    seed: int = 0,
+    converge: bool = True,
+    **controller_kwargs,
+) -> SyntheticFederation:
+    """Generate a synthetic federation (see module docstring).
+
+    ``controller_kwargs`` forward to every member
+    :class:`~repro.core.controller.SDXController` — e.g.
+    ``sdx=SDXConfig(vmac_mode="superset")`` to exercise an encoding
+    across the whole federation.
+    """
+    if exchanges < 2:
+        raise ValueError("a federation needs at least two exchanges")
+    if transits < 1:
+        raise ValueError("a federation needs at least one transit AS")
+    rng = random.Random(seed)
+    federation = FederatedExchange()
+    names = [f"ix{index}" for index in range(exchanges)]
+    transit_asns = tuple(65000 + index for index in range(transits))
+    prefixes: List[IPv4Prefix] = []
+
+    for ex_index, ex_name in enumerate(names):
+        config = IXPConfig(vnh_pool="172.16.0.0/12", name=ex_name)
+        for t_index, asn in enumerate(transit_asns):
+            config.add_participant(
+                f"T{t_index}",
+                asn,
+                [(
+                    f"{ex_name}-T{t_index}",
+                    f"172.0.{ex_index * 8 + t_index}.1",
+                    f"08:00:30:{ex_index:02x}:{t_index:02x}:01",
+                )],
+            )
+        for p_index in range(participants_per_exchange):
+            config.add_participant(
+                f"P{p_index}",
+                66000 + ex_index * 100 + p_index,
+                [(
+                    f"{ex_name}-P{p_index}",
+                    f"172.0.{ex_index * 8 + transits}.{p_index + 1}",
+                    f"08:00:31:{ex_index:02x}:{p_index:02x}:01",
+                )],
+            )
+        federation.add_exchange(ex_name, config, **controller_kwargs)
+
+    # Local announcements: disjoint /24s per participant, per exchange.
+    for ex_index, ex_name in enumerate(names):
+        controller = federation.exchange(ex_name)
+        for p_index in range(participants_per_exchange):
+            name = f"P{p_index}"
+            spec = controller.config.participant(name)
+            origin_as = 64512 + rng.randrange(500)
+            for k in range(prefixes_per_participant):
+                prefix = IPv4Prefix(
+                    f"10.{ex_index * 32 + p_index}.{k}.0/24"
+                )
+                prefixes.append(prefix)
+                controller.routing.announce(
+                    name,
+                    prefix,
+                    RouteAttributes(
+                        as_path=[spec.asn, origin_as],
+                        next_hop=spec.ports[0].address,
+                    ),
+                )
+
+    # Full transit mesh: every transit relays every directed pair.
+    for asn in transit_asns:
+        for src in names:
+            for dst in names:
+                if src != dst:
+                    federation.link(asn, src, dst)
+
+    # Policy sprinkle: some locals steer one application port to a transit.
+    for ex_name in names:
+        controller = federation.exchange(ex_name)
+        for p_index in range(participants_per_exchange):
+            if rng.random() >= policy_fraction:
+                continue
+            transit_name = f"T{rng.randrange(transits)}"
+            handle = controller.register_participant(f"P{p_index}")
+            handle.set_policies(
+                outbound=match(dstport=rng.choice(_POLICY_PORTS))
+                >> fwd(transit_name),
+                recompile=False,
+            )
+
+    if converge:
+        federation.sync()
+        federation.compile_all()
+    return SyntheticFederation(federation, transit_asns, tuple(prefixes), seed)

@@ -1,0 +1,194 @@
+"""Two-IXP federation scenarios: sweep, ping-pong detection, failover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IXPConfig, RouteAttributes
+from repro.federation import FederatedExchange
+from repro.policy import fwd, match
+from repro.verify import (
+    FederationChecker,
+    check_cross_exchange_consistency,
+    check_federation,
+)
+from repro.workloads import generate_federation
+
+PREFIX = "10.9.0.0/16"
+
+
+def build_federation() -> FederatedExchange:
+    """West: origin O + transits T, U; east: eyeball E + the same transits."""
+    west = IXPConfig(vnh_pool="172.16.0.0/16")
+    west.add_participant("O", 65001, [("O1", "172.0.1.1", "08:00:27:01:00:01")])
+    west.add_participant("T", 65100, [("TW1", "172.0.1.11", "08:00:27:01:00:11")])
+    west.add_participant("U", 65200, [("UW1", "172.0.1.21", "08:00:27:01:00:21")])
+    east = IXPConfig(vnh_pool="172.17.0.0/16")
+    east.add_participant("E", 65002, [("E1", "172.0.2.1", "08:00:27:02:00:01")])
+    east.add_participant("T", 65100, [("TE1", "172.0.2.11", "08:00:27:02:00:11")])
+    east.add_participant("U", 65200, [("UE1", "172.0.2.21", "08:00:27:02:00:21")])
+    federation = FederatedExchange()
+    federation.add_exchange("west", west)
+    federation.add_exchange("east", east)
+    federation.exchange("west").routing.announce(
+        "O", PREFIX, RouteAttributes(as_path=[65001], next_hop="172.0.1.1")
+    )
+    return federation
+
+
+class TestTwoIXPTransit:
+    def test_sweep_passes_on_the_relay_scenario(self):
+        federation = build_federation()
+        federation.link(65200, "west", "east")
+        federation.link(65100, "west", "east")
+        updates = federation.sync()
+        assert updates == 2  # both transits relay the origin's prefix
+        federation.compile_all()
+        report = FederationChecker(federation).sweep(probes=24)
+        assert report.ok, report.summary()
+        assert not report.violations
+        assert report.traces, "end-to-end traces must have run"
+        assert all(trace.ok for trace in report.traces)
+        assert {name for name, _ in report.per_exchange} == {"west", "east"}
+        assert all(r.ok for _, r in report.per_exchange)
+
+    def test_export_policy_scopes_the_relay(self):
+        federation = build_federation()
+        federation.link(65200, "west", "east", export_to=("E",))
+        federation.sync()
+        east = federation.exchange("east").route_server
+        assert east.best_route("E", PREFIX) is not None
+        # The relay's export scope keeps the other transit from learning
+        # the route at east.
+        assert east.best_route("T", PREFIX) is None
+
+    def test_verify_telemetry_counts_runs(self):
+        federation = build_federation()
+        federation.link(65200, "west", "east")
+        federation.sync()
+        federation.compile_all()
+        checker = FederationChecker(federation)
+        assert checker.sweep(probes=16).ok
+        runs = federation.telemetry.get("sdx_federation_verify_runs_total")
+        assert runs.value(outcome="ok") == 1
+
+
+class TestPolicyPingPong:
+    """The acceptance scenario: locally-sound policies, global loop."""
+
+    @staticmethod
+    def inject_ping_pong(federation: FederatedExchange) -> None:
+        federation.link(65200, "west", "east")  # U relays the origin's route east
+        federation.link(65100, "east", "west")  # T relays its east routes west
+        federation.sync()
+        west, east = federation.exchange("west"), federation.exchange("east")
+        east.register_participant("E").set_policies(
+            outbound=match(dstport=80) >> fwd("U"), recompile=False
+        )
+        west.register_participant("U").set_policies(
+            outbound=match(dstport=80) >> fwd("T"), recompile=False
+        )
+        east.register_participant("T").set_policies(
+            outbound=match(dstport=80) >> fwd("U"), recompile=False
+        )
+        federation.compile_all()
+
+    def test_each_exchange_is_locally_sound(self):
+        federation = build_federation()
+        self.inject_ping_pong(federation)
+        for _, controller in federation.controllers():
+            assert controller.ops.verify(probes=24).ok
+
+    def test_loop_detected_naming_both_exchanges(self):
+        federation = build_federation()
+        self.inject_ping_pong(federation)
+        violations = check_federation(federation)
+        loops = [v for v in violations if v.invariant == "inter-ixp-loop"]
+        assert loops, "the ping-pong must be detected"
+        (violation,) = loops  # minimized: one counterexample per prefix
+        assert "west" in violation.detail and "east" in violation.detail
+        assert PREFIX in violation.detail
+        # The orbit is spelled out as (exchange, sender) states.
+        assert "west:U" in violation.subject and "east:T" in violation.subject
+
+    def test_counterexample_is_minimized_to_the_guilty_flow(self):
+        federation = build_federation()
+        self.inject_ping_pong(federation)
+        (violation,) = [
+            v
+            for v in check_federation(federation)
+            if v.invariant == "inter-ixp-loop"
+        ]
+        # Only dstport=80 orbits; the minimal flow in the report is that
+        # port, not the bare (portless) packet.
+        assert "dstport=80" in violation.detail
+
+    def test_sweep_reports_the_loop(self):
+        federation = build_federation()
+        self.inject_ping_pong(federation)
+        report = FederationChecker(federation).sweep(probes=16)
+        assert not report.ok
+        assert any(v.invariant == "inter-ixp-loop" for v in report.violations)
+        assert "federation violations" in report.summary()
+
+
+class TestFailover:
+    def test_backhaul_failure_reconverges_and_stays_clean(self):
+        federation = build_federation()
+        link_u = federation.link(65200, "west", "east")
+        link_t = federation.link(65100, "west", "east")
+        federation.sync()
+        federation.compile_all()
+        east = federation.exchange("east")
+        before = east.route_server.best_route("E", PREFIX)
+        primary = link_u if before.learned_from == "U" else link_t
+        survivor = "T" if primary is link_u else "U"
+        assert primary.fail() == 1
+        federation.sync()
+        federation.compile_all()
+        after = east.route_server.best_route("E", PREFIX)
+        assert after is not None
+        assert after.learned_from == survivor
+        report = FederationChecker(federation).sweep(probes=24)
+        assert report.ok, report.summary()
+        assert federation.telemetry.gauge("sdx_federation_links_up").value() == 1
+
+    def test_stale_relay_flagged_until_resynced(self):
+        federation = build_federation()
+        federation.link(65200, "west", "east")
+        federation.sync()
+        federation.compile_all()
+        # The origin re-announces with different attributes; until the
+        # next sync the relayed route mirrors a route that no longer
+        # exists at the source.
+        federation.exchange("west").routing.announce(
+            "O",
+            PREFIX,
+            RouteAttributes(as_path=[65001, 64999], next_hop="172.0.1.1"),
+        )
+        stale = check_cross_exchange_consistency(federation)
+        assert any(v.invariant == "cross-exchange-bgp" for v in stale)
+        federation.sync()
+        federation.compile_all()
+        assert check_cross_exchange_consistency(federation) == []
+
+
+class TestGeneratedFederations:
+    @pytest.mark.parametrize("exchanges", [2, 3])
+    def test_generated_federation_sweeps_clean(self, exchanges):
+        synthetic = generate_federation(
+            exchanges=exchanges,
+            participants_per_exchange=3,
+            transits=2,
+            prefixes_per_participant=1,
+            seed=11,
+        )
+        federation = synthetic.federation
+        assert len(federation.links()) == 2 * exchanges * (exchanges - 1)
+        report = FederationChecker(federation).sweep(probes=16, traces_per_link=2)
+        assert report.ok, report.summary()
+        # Every exchange learned every prefix (local or relayed).
+        for _, controller in federation.controllers():
+            assert (
+                controller.route_server.all_prefixes() >= set(synthetic.prefixes)
+            )

@@ -1,0 +1,214 @@
+"""Inter-IXP link relay semantics, provenance, and telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IXPConfig, RouteAttributes, SDXController
+from repro.federation import FederatedExchange, InterIXPLink
+from repro.netutils.ip import IPv4Address, IPv4Prefix
+
+PREFIX = IPv4Prefix("10.9.0.0/16")
+
+
+def two_ixp_federation() -> FederatedExchange:
+    """West: origin O plus transit T; east: eyeball E plus the same T."""
+    west = IXPConfig(vnh_pool="172.16.0.0/16")
+    west.add_participant("O", 65001, [("O1", "172.0.1.1", "08:00:27:01:00:01")])
+    west.add_participant("T", 65100, [("TW1", "172.0.1.11", "08:00:27:01:00:11")])
+    east = IXPConfig(vnh_pool="172.17.0.0/16")
+    east.add_participant("E", 65002, [("E1", "172.0.2.1", "08:00:27:02:00:01")])
+    east.add_participant("T", 65100, [("TE1", "172.0.2.11", "08:00:27:02:00:11")])
+    federation = FederatedExchange()
+    federation.add_exchange("west", west)
+    federation.add_exchange("east", east)
+    federation.exchange("west").routing.announce(
+        "O", PREFIX, RouteAttributes(as_path=[65001], next_hop="172.0.1.1")
+    )
+    return federation
+
+
+class TestMembership:
+    def test_duplicate_exchange_rejected(self):
+        federation = two_ixp_federation()
+        with pytest.raises(ValueError, match="west"):
+            federation.add_exchange("west", IXPConfig())
+
+    def test_exchange_name_stamped_on_config(self):
+        federation = two_ixp_federation()
+        assert federation.exchange("west").config.name == "west"
+        assert federation.exchange("east").config.name == "east"
+
+    def test_prebuilt_controller_accepted_but_not_with_kwargs(self):
+        config = IXPConfig()
+        config.add_participant(
+            "T", 65100, [("X1", "172.0.3.11", "08:00:27:03:00:11")]
+        )
+        controller = SDXController(config)
+        federation = two_ixp_federation()
+        federation.add_exchange("extra", controller)
+        assert federation.exchange("extra") is controller
+        with pytest.raises(TypeError):
+            two_ixp_federation().add_exchange(
+                "extra", SDXController(IXPConfig()), vmac_mode="fec"
+            )
+
+    def test_unknown_exchange_raises(self):
+        with pytest.raises(KeyError, match="nowhere"):
+            two_ixp_federation().exchange("nowhere")
+
+    def test_transit_members_join_on_asn(self):
+        federation = two_ixp_federation()
+        members = federation.transit_members()
+        assert len(members) == 1
+        (member,) = members
+        assert member.asn == 65100
+        assert member.exchanges == ("east", "west")
+        assert member.name_at("west") == "T"
+
+
+class TestTopologyHelpers:
+    def test_participant_with_asn(self):
+        config = two_ixp_federation().exchange("west").config
+        assert config.participant_with_asn(65100).name == "T"
+        assert config.participant_with_asn(64999) is None
+
+    def test_duplicate_asn_is_ambiguous(self):
+        config = IXPConfig()
+        config.add_participant("X", 65100, [("X1", "172.0.0.1", "08:00:27:00:00:01")])
+        config.add_participant("Y", 65100, [("Y1", "172.0.0.2", "08:00:27:00:00:02")])
+        with pytest.raises(ValueError, match="X"):
+            config.participant_with_asn(65100)
+
+    def test_subscribe_participant_filters_changes(self):
+        federation = two_ixp_federation()
+        server = federation.exchange("west").route_server
+        seen = []
+        server.subscribe_participant("T", seen.extend)
+        federation.exchange("west").routing.announce(
+            "O", "10.10.0.0/16", RouteAttributes(as_path=[65001], next_hop="172.0.1.1")
+        )
+        assert seen  # T's view of the new prefix changed
+        assert all(change.participant == "T" for change in seen)
+
+    def test_subscribe_unknown_participant_raises(self):
+        server = two_ixp_federation().exchange("west").route_server
+        with pytest.raises(KeyError, match="nobody"):
+            server.subscribe_participant("nobody", lambda changes: None)
+
+
+class TestLinkConstruction:
+    def test_endpoints_must_differ(self):
+        with pytest.raises(ValueError, match="west"):
+            two_ixp_federation().link(65100, "west", "west")
+
+    def test_transit_must_be_present_at_both_ends(self):
+        with pytest.raises(ValueError, match="east"):
+            two_ixp_federation().link(65001, "west", "east")  # O is west-only
+
+    def test_link_name_and_repr(self):
+        link = two_ixp_federation().link(65100, "west", "east")
+        assert link.name == "west->east:AS65100"
+        assert "up" in repr(link)
+
+
+class TestRelaySemantics:
+    def test_relay_prepends_asn_and_rewrites_next_hop(self):
+        federation = two_ixp_federation()
+        federation.link(65100, "west", "east")
+        assert federation.sync() == 1
+        relayed = federation.exchange("east").route_server.route_from("T", PREFIX)
+        assert relayed is not None
+        assert tuple(relayed.attributes.as_path) == (65100, 65001)
+        # Next hop is the transit's port on the *east* peering LAN, so
+        # east's own VNH/VMAC machinery applies to the relayed route.
+        assert relayed.attributes.next_hop == IPv4Address("172.0.2.11")
+        assert federation.exchange("east").route_server.best_route(
+            "E", PREFIX
+        ).learned_from == "T"
+
+    def test_sync_is_idempotent_until_dirty(self):
+        federation = two_ixp_federation()
+        federation.link(65100, "west", "east")
+        federation.sync()
+        assert federation.sync() == 0
+        federation.exchange("west").routing.announce(
+            "O", "10.10.0.0/16", RouteAttributes(as_path=[65001], next_hop="172.0.1.1")
+        )
+        assert federation.sync() == 1
+
+    def test_as_path_loop_prevention_stops_echo(self):
+        federation = two_ixp_federation()
+        forward = federation.link(65100, "west", "east")
+        reverse = federation.link(65100, "east", "west")
+        federation.sync()  # must terminate
+        assert forward.is_relayed(PREFIX)
+        # The relayed path already contains AS 65100, so the reverse
+        # link refuses to bounce it back west.
+        assert not reverse.is_relayed(PREFIX)
+
+    def test_native_route_not_clobbered(self):
+        federation = two_ixp_federation()
+        native = RouteAttributes(as_path=[65100, 64900], next_hop="172.0.2.11")
+        federation.exchange("east").routing.announce("T", PREFIX, native)
+        federation.link(65100, "west", "east")
+        federation.sync()
+        kept = federation.exchange("east").route_server.route_from("T", PREFIX)
+        assert tuple(kept.attributes.as_path) == (65100, 64900)
+
+    def test_withdrawal_propagates(self):
+        federation = two_ixp_federation()
+        link = federation.link(65100, "west", "east")
+        federation.sync()
+        federation.exchange("west").routing.withdraw("O", PREFIX)
+        federation.sync()
+        assert not link.is_relayed(PREFIX)
+        assert federation.exchange("east").route_server.route_from("T", PREFIX) is None
+
+    def test_relay_provenance(self):
+        federation = two_ixp_federation()
+        link = federation.link(65100, "west", "east")
+        federation.sync()
+        assert federation.relay_for("east", "T", PREFIX) is link
+        assert federation.relay_for("east", "T", "10.99.0.0/16") is None
+        assert federation.relay_for("west", "T", PREFIX) is None
+        backing = link.backing_route(PREFIX)
+        assert tuple(backing.attributes.as_path) == (65001,)
+
+
+class TestFailureModel:
+    def test_fail_withdraws_and_restore_resyncs(self):
+        federation = two_ixp_federation()
+        link = federation.link(65100, "west", "east")
+        federation.sync()
+        assert link.fail() == 1
+        east = federation.exchange("east").route_server
+        assert east.route_from("T", PREFIX) is None
+        assert federation.relay_for("east", "T", PREFIX) is None
+        assert link.fail() == 0  # already down
+        link.restore()
+        federation.sync()
+        assert link.is_relayed(PREFIX)
+        assert east.route_from("T", PREFIX) is not None
+
+    def test_sync_raises_when_flapping(self):
+        federation = two_ixp_federation()
+        federation.link(65100, "west", "east")
+        with pytest.raises(RuntimeError, match="converge"):
+            federation.sync(max_rounds=0)
+
+
+class TestTelemetry:
+    def test_relay_and_link_metrics(self):
+        federation = two_ixp_federation()
+        link = federation.link(65100, "west", "east")
+        federation.sync()
+        counter = federation.telemetry.get("sdx_federation_relay_updates_total")
+        assert counter.value(link=link.name, kind="announce") == 1
+        assert federation.telemetry.gauge("sdx_federation_links_up").value() == 1
+        assert federation.telemetry.gauge("sdx_federation_exchanges").value() == 2
+        relayed = federation.telemetry.get("sdx_federation_relayed_prefixes")
+        assert relayed.value(link=link.name) == 1
+        link.fail()
+        assert counter.value(link=link.name, kind="withdraw") == 1
+        assert federation.telemetry.gauge("sdx_federation_links_up").value() == 0
