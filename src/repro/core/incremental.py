@@ -45,7 +45,10 @@ from repro.core.transforms import (
     isolate,
 )
 from repro.core.vmac import VirtualNextHop
+from repro.dataplane.flowtable import FlowRule
+from repro.dataplane.reconcile import is_base_cookie
 from repro.netutils.ip import IPv4Prefix
+from repro.netutils.mac import MACMask
 from repro.policy.analysis import with_fallback
 from repro.policy.classifier import Classifier, Rule, sequence_rule
 
@@ -141,11 +144,16 @@ class FastPathEngine:
         seen: Dict[IPv4Prefix, None] = {}
         for change in changes:
             seen.setdefault(change.prefix)
+        # One shared-table sweep for the whole burst: per-prefix pruning
+        # would rescan the table once per change.
+        self.prune_stale_delivery(seen)
         for prefix in seen:
-            results.append(self.handle_prefix(prefix))
+            results.append(self.handle_prefix(prefix, prune=False))
         return results
 
-    def handle_prefix(self, prefix: IPv4Prefix) -> FastPathUpdate:
+    def handle_prefix(
+        self, prefix: IPv4Prefix, prune: bool = True
+    ) -> FastPathUpdate:
         """Recompile a single prefix's slice of the SDX policy.
 
         Allocates a fresh VNH unconditionally (the paper's shortcut),
@@ -155,6 +163,8 @@ class FastPathEngine:
         """
         controller = self._controller
         started = self._now()
+        if prune:
+            self.prune_stale_delivery((prefix,))
         self._remove_block(prefix)
         ranked = controller.route_server.ranked_routes(prefix)
         if not ranked:
@@ -180,6 +190,109 @@ class FastPathEngine:
         elapsed = self._now() - started
         self._observe(elapsed, len(classifier), installed=True)
         return FastPathUpdate(prefix, vnh, len(classifier), elapsed)
+
+    def prune_stale_delivery(self, prefixes: Any) -> int:
+        """Drop shared delivery-table rules strandable by these changes.
+
+        The multi-table layout's merged VMAC table carries one delivery
+        rule per (class, announcing participant) — keyed by BGP
+        *feasibility* at compile time, not by what stage-0 actually
+        targets.  A withdrawal between background recompilations can
+        therefore strand a delivery rule whose participant no longer
+        advertises any prefix of the class.  The composed single table
+        has no analogue: delivery only materializes behind stage-1
+        rules, and those filter infeasible targets per sender.
+
+        Frames must not leave the fabric toward a router that never
+        advertised their destination (it would discard or, worse,
+        re-route them), so the fast path prunes such rules — a table-1
+        miss drops the frame, exactly what composition would have
+        produced.  Masked superset rules covering several classes are
+        narrowed instead of dropped: surviving classes keep exact-match
+        replacements at the same priority.  The next background
+        recompilation rebuilds the table from live state either way.
+        """
+        controller = self._controller
+        last = controller.last_compilation
+        if last is None or not last.placements:
+            return 0  # single-table layout: delivery is composition-owned
+        changed = set(prefixes)
+        tag_classes = {
+            group.vnh.hardware: group.prefixes
+            for group in last.fec_table.affected_groups
+        }
+        changed_tags = {
+            vmac
+            for vmac, owned in tag_classes.items()
+            if not changed.isdisjoint(owned)
+        }
+        if not changed_tags:
+            return 0
+        server = controller.route_server
+        port_owner = {
+            port.port_id: spec.name
+            for spec in controller.config.participants()
+            for port in spec.ports
+        }
+        table = controller.switch.table
+
+        def advertises(target: str, vmac: Any) -> bool:
+            return any(
+                server.route_from(target, p) is not None
+                for p in tag_classes[vmac]
+            )
+
+        removals: List[FlowRule] = []
+        replacements: List[FlowRule] = []
+        for rule in table:
+            if rule.table == 0 or rule.goto is not None:
+                continue
+            if not is_base_cookie(rule.cookie):
+                continue
+            tag = rule.match.constraints.get("dstmac")
+            if isinstance(tag, MACMask) and not tag.is_exact:
+                matched = [vmac for vmac in tag_classes if tag.matches(vmac)]
+                if changed_tags.isdisjoint(matched):
+                    continue
+            elif tag in changed_tags:
+                matched = [tag]
+            else:
+                continue
+            targets = {
+                port_owner[action.output_port]
+                for action in rule.actions
+                if action.output_port in port_owner
+            }
+            if not targets:
+                continue
+            valid = [
+                vmac
+                for vmac in matched
+                if all(advertises(target, vmac) for target in targets)
+            ]
+            if len(valid) == len(matched):
+                continue
+            removals.append(rule)
+            for vmac in valid:
+                narrowed = rule.match.restrict("dstmac", vmac)
+                if narrowed is not None:
+                    replacements.append(
+                        FlowRule(
+                            rule.priority,
+                            narrowed,
+                            rule.actions,
+                            cookie=rule.cookie,
+                            table=rule.table,
+                            goto=rule.goto,
+                        )
+                    )
+        for rule in removals:
+            table.remove(rule)
+        for rule in replacements:
+            table.install(rule)
+        if removals and self._m_updates is not None:
+            self._m_updates.inc(len(removals), outcome="pruned")
+        return len(removals)
 
     def _observe(self, seconds: float, rules: int, installed: bool) -> None:
         self._sync_gauges()

@@ -105,6 +105,12 @@ class IXPConfig:
         # invalidated in add_participant and nowhere else).
         self._port_owners: Optional[Dict[str, ParticipantSpec]] = None
         self._address_owners: Optional[Dict[IPv4Address, ParticipantSpec]] = None
+        # Live uniqueness sets so registering N participants costs
+        # O(total ports), not O(total ports²) — data-driven topologies
+        # ingest hundreds of members and tests build thousands.
+        self._used_port_ids: set = set()
+        self._used_addresses: set = set()
+        self._used_macs: set = set()
 
     def add_participant(
         self,
@@ -122,20 +128,22 @@ class IXPConfig:
         participant = ParticipantSpec(name, asn, specs)
         self._check_port_collisions(participant)
         self._participants[name] = participant
+        for port in participant.ports:
+            self._used_port_ids.add(port.port_id)
+            self._used_addresses.add(port.address)
+            self._used_macs.add(port.hardware)
         self._port_owners = None
         self._address_owners = None
         return participant
 
     def _check_port_collisions(self, new: ParticipantSpec) -> None:
-        for existing in self._participants.values():
-            for port in existing.ports:
-                for candidate in new.ports:
-                    if candidate.port_id == port.port_id:
-                        raise ValueError(f"port id {port.port_id!r} already in use")
-                    if candidate.address == port.address:
-                        raise ValueError(f"address {port.address} already in use")
-                    if candidate.hardware == port.hardware:
-                        raise ValueError(f"MAC {port.hardware} already in use")
+        for candidate in new.ports:
+            if candidate.port_id in self._used_port_ids:
+                raise ValueError(f"port id {candidate.port_id!r} already in use")
+            if candidate.address in self._used_addresses:
+                raise ValueError(f"address {candidate.address} already in use")
+            if candidate.hardware in self._used_macs:
+                raise ValueError(f"MAC {candidate.hardware} already in use")
 
     def participant(self, name: str) -> ParticipantSpec:
         return self._participants[name]

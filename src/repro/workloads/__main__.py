@@ -1,0 +1,13 @@
+"""``python -m repro.workloads`` — the churn-replay smoke CLI.
+
+Delegates to :func:`repro.workloads.scenarios._main`; a package-level
+entry point avoids runpy's double-import warning (``__init__`` already
+imports :mod:`.scenarios` eagerly).
+"""
+
+import sys
+
+from repro.workloads.scenarios import _main
+
+if __name__ == "__main__":
+    sys.exit(_main())

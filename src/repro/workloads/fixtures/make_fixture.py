@@ -1,0 +1,132 @@
+"""Regenerate the checked-in fixture snapshots (development utility).
+
+The fixtures are *data inputs*, not generator outputs the code depends
+on: they stand in for CAIDA AS-relationship / pfx2as-derived snapshots
+of a large European exchange, shaped to the §4.3.2/Table 1 statistics
+(top ~1% of members announcing >50% of prefixes, bottom 90% under a
+few percent, transit-heavy announcement overlap).  This script exists
+so the snapshots have reproducible provenance; run it only to rebuild
+them::
+
+    PYTHONPATH=src python -m repro.workloads.fixtures.make_fixture
+
+The files it writes are committed; nothing imports this module at
+runtime.
+"""
+
+import os
+import random
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def make_amsix2014(rng: random.Random) -> None:
+    """160-member census, ~102k prefixes, CAIDA serial-1 relationships."""
+    members = []  # (asn, prefixes, ports)
+    tier1 = [(2914, 45000), (1299, 18000)]  # the top-1% heavy announcers
+    mid_transits = [
+        (3356, 4100), (6939, 3700), (174, 3400), (3257, 2950), (6453, 2600),
+        (1273, 2200), (3491, 1800), (9002, 1450), (6762, 1150), (5511, 900),
+        (12956, 650), (7018, 450),
+    ]
+    for asn, count in tier1:
+        members.append((asn, count, 4))
+    for asn, count in mid_transits:
+        members.append((asn, count, 2))
+    stub_base = 50000
+    stubs = []
+    for index in range(146):
+        asn = stub_base + index * 7 + rng.randrange(5)
+        count = max(1, int(rng.paretovariate(1.4)))
+        count = min(count, 60)
+        ports = 2 if rng.random() < 0.15 else 1
+        stubs.append((asn, count, ports))
+        members.append((asn, count, ports))
+    total = sum(count for _, count, _ in members)
+    # Top up the heaviest announcer so the census crosses 100k prefixes.
+    deficit = 102000 - total
+    if deficit > 0:
+        asn, count, ports = members[0]
+        members[0] = (asn, count + deficit, ports)
+
+    edges = []  # (as1, as2, rel)
+    transit_asns = [asn for asn, _ in tier1] + [asn for asn, _ in mid_transits]
+    # Tier-1s peer with each other and with every mid transit.
+    edges.append((tier1[0][0], tier1[1][0], 0))
+    for asn, _ in mid_transits:
+        for t1, _ in tier1:
+            edges.append((t1, asn, -1))
+    # Mid-transit p2p mesh (sparse).
+    for i, (left, _) in enumerate(mid_transits):
+        for right, _ in mid_transits[i + 1 :]:
+            if rng.random() < 0.4:
+                edges.append((left, right, 0))
+    # Every stub buys transit from 1-3 providers; some stubs also peer.
+    for asn, _, _ in stubs:
+        providers = rng.sample(transit_asns, rng.randint(1, 3))
+        for provider in providers:
+            edges.append((provider, asn, -1))
+    for _ in range(40):
+        left, right = rng.sample([asn for asn, _, _ in stubs], 2)
+        edges.append((left, right, 0))
+
+    with open(os.path.join(HERE, "amsix2014.members"), "w") as handle:
+        handle.write(
+            "# IXP membership census snapshot (aggregated pfx2as counts)\n"
+            "# format: asn|prefixes|ports\n"
+        )
+        for asn, count, ports in members:
+            handle.write(f"{asn}|{count}|{ports}\n")
+    with open(os.path.join(HERE, "amsix2014.asrel"), "w") as handle:
+        handle.write(
+            "# AS-relationship snapshot (CAIDA serial-1 format)\n"
+            "# as1|as2|rel  (rel -1: as1 provider of as2; 0: p2p)\n"
+        )
+        for as1, as2, rel in edges:
+            handle.write(f"{as1}|{as2}|{rel}\n")
+    print(
+        f"amsix2014: {len(members)} members, "
+        f"{sum(c for _, c, _ in members)} prefixes, {len(edges)} edges"
+    )
+
+
+def make_ixp_small(rng: random.Random) -> None:
+    """A 24-node GML fixture small enough for unit/integration tests."""
+    nodes = []
+    transits = [(64601, 120, 2), (64602, 85, 2), (64603, 60, 2)]
+    contents = [(64700 + i, rng.randint(10, 26), 1) for i in range(6)]
+    eyeballs = [(64800 + i, rng.randint(1, 8), 1) for i in range(15)]
+    nodes.extend(transits + contents + eyeballs)
+    asn_ids = {asn: index for index, (asn, _, _) in enumerate(nodes)}
+
+    edges = []
+    for asn, _, _ in contents + eyeballs:
+        for provider, _, _ in rng.sample(transits, rng.randint(1, 2)):
+            edges.append((provider, asn, "p2c"))
+    for i, (left, _, _) in enumerate(transits):
+        for right, _, _ in transits[i + 1 :]:
+            edges.append((left, right, "p2p"))
+    for _ in range(6):
+        (l, _, _), (r, _, _) = rng.sample(contents + eyeballs, 2)
+        edges.append((l, r, "p2p"))
+
+    lines = ["graph [", "  directed 0"]
+    for index, (asn, prefixes, ports) in enumerate(nodes):
+        lines.append(
+            f'  node [ id {index} label "AS{asn}" asn {asn} '
+            f"prefixes {prefixes} ports {ports} ]"
+        )
+    for left, right, rel in edges:
+        lines.append(
+            f'  edge [ source {asn_ids[left]} target {asn_ids[right]} rel "{rel}" ]'
+        )
+    lines.append("]")
+    with open(os.path.join(HERE, "ixp_small.gml"), "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    total = sum(p for _, p, _ in nodes)
+    print(f"ixp_small: {len(nodes)} members, {total} prefixes, {len(edges)} edges")
+
+
+if __name__ == "__main__":
+    make_amsix2014(random.Random(2014))
+    make_ixp_small(random.Random(24))

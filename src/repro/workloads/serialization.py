@@ -1,10 +1,24 @@
-"""JSON persistence for workloads and update traces.
+"""JSON persistence for workloads, topologies, traces and scenarios.
 
 Reproducibility tooling: experiments can snapshot the exact synthetic
 exchange and update trace they ran against (an MRT-dump stand-in), and
 reload them later — or on another machine — without re-deriving them
 from generator seeds.  The format is plain JSON, versioned, and
 deliberately close to the in-memory model.
+
+Four self-identifying document kinds:
+
+* ``repro-sdx-updates`` — a bare list of BGP updates;
+* ``repro-sdx-topology`` — a full :class:`SyntheticIXP` (config,
+  categories, table, peering matrix), whatever provider built it;
+* ``repro-sdx-trace`` — an :class:`UpdateTrace` with its ground truth
+  (active set, burst count, duration);
+* ``repro-sdx-scenario`` — a churn :class:`ScenarioSpec` together with
+  its materialised trace, so an episode replays bit-for-bit elsewhere.
+
+Round-trips are exact: the determinism suite pins that serialising and
+reloading a topology/trace and replaying it produces byte-identical
+fabric state.
 """
 
 from __future__ import annotations
@@ -14,12 +28,25 @@ from typing import Any, Dict, IO, List, Union
 
 from repro.bgp.attributes import Community, Origin, RouteAttributes
 from repro.bgp.messages import Announcement, BGPUpdate, Withdrawal
+from repro.ixp.topology import IXPConfig
 from repro.netutils.ip import IPv4Prefix
 
 __all__ = [
+    "dump_scenario",
+    "dump_topology",
+    "dump_trace",
     "dump_updates",
+    "dumps_scenario",
+    "dumps_topology",
+    "dumps_trace",
     "dumps_updates",
+    "load_scenario",
+    "load_topology",
+    "load_trace",
     "load_updates",
+    "loads_scenario",
+    "loads_topology",
+    "loads_trace",
     "loads_updates",
 ]
 
@@ -120,3 +147,211 @@ def load_updates(stream: Union[str, IO[str]]) -> List[BGPUpdate]:
         with open(stream, "r", encoding="utf-8") as handle:
             return loads_updates(handle.read())
     return loads_updates(stream.read())
+
+
+# -- shared plumbing ----------------------------------------------------------
+
+
+def _check_envelope(payload: Dict[str, Any], kind: str) -> Dict[str, Any]:
+    if payload.get("format") != kind:
+        raise ValueError(f"not a {kind} document")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported {kind} version {payload.get('version')!r}")
+    return payload
+
+
+def _write(text: str, stream: Union[str, IO[str]]) -> None:
+    if isinstance(stream, str):
+        with open(stream, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        stream.write(text)
+
+
+def _read(stream: Union[str, IO[str]]) -> str:
+    if isinstance(stream, str):
+        with open(stream, "r", encoding="utf-8") as handle:
+            return handle.read()
+    return stream.read()
+
+
+# -- full topologies (SyntheticIXP, whichever provider built it) --------------
+
+
+def dumps_topology(ixp) -> str:
+    """Serialize a :class:`~repro.workloads.topology_gen.SyntheticIXP`.
+
+    Participant registration order, per-participant announced-prefix
+    order and the update list are all preserved exactly — loading the
+    document and replaying it must produce the same controller state,
+    not merely an equivalent one.
+    """
+    config = ixp.config
+    payload = {
+        "format": "repro-sdx-topology",
+        "version": FORMAT_VERSION,
+        "seed": ixp.seed,
+        "config": {
+            "name": config.name,
+            "vnh_pool": str(config.vnh_pool),
+            "participants": [
+                {
+                    "name": spec.name,
+                    "asn": spec.asn,
+                    "ports": [
+                        [port.port_id, str(port.address), str(port.hardware)]
+                        for port in spec.ports
+                    ],
+                }
+                for spec in config.participants()
+            ],
+        },
+        "categories": {name: ixp.categories[name] for name in sorted(ixp.categories)},
+        "announced": {
+            name: [str(prefix) for prefix in prefixes]
+            for name, prefixes in ixp.announced.items()
+        },
+        "announced_order": list(ixp.announced),
+        "updates": [_update_to_json(update) for update in ixp.updates],
+        "peering": (
+            {name: list(peers) for name, peers in sorted(ixp.peering.items())}
+            if ixp.peering is not None
+            else None
+        ),
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def loads_topology(text: str):
+    """Deserialize a ``repro-sdx-topology`` document."""
+    from repro.workloads.topology_gen import SyntheticIXP
+
+    payload = _check_envelope(json.loads(text), "repro-sdx-topology")
+    config_data = payload["config"]
+    config = IXPConfig(
+        vnh_pool=config_data["vnh_pool"], name=config_data.get("name")
+    )
+    for entry in config_data["participants"]:
+        config.add_participant(
+            entry["name"],
+            asn=entry["asn"],
+            ports=[tuple(port) for port in entry["ports"]],
+        )
+    announced = {
+        name: tuple(IPv4Prefix(prefix) for prefix in payload["announced"][name])
+        for name in payload["announced_order"]
+    }
+    peering = payload.get("peering")
+    return SyntheticIXP(
+        config=config,
+        categories=dict(payload["categories"]),
+        announced=announced,
+        updates=[_update_from_json(entry) for entry in payload["updates"]],
+        seed=payload["seed"],
+        peering=(
+            {name: tuple(peers) for name, peers in peering.items()}
+            if peering is not None
+            else None
+        ),
+    )
+
+
+def dump_topology(ixp, stream: Union[str, IO[str]]) -> None:
+    """Write a topology document to a path or text stream."""
+    _write(dumps_topology(ixp), stream)
+
+
+def load_topology(stream: Union[str, IO[str]]):
+    """Read a topology document from a path or text stream."""
+    return loads_topology(_read(stream))
+
+
+# -- update traces with ground truth (UpdateTrace) ----------------------------
+
+
+def dumps_trace(trace) -> str:
+    """Serialize an :class:`~repro.workloads.update_gen.UpdateTrace`."""
+    payload = {
+        "format": "repro-sdx-trace",
+        "version": FORMAT_VERSION,
+        "updates": [_update_to_json(update) for update in trace.updates],
+        "active_prefixes": [str(prefix) for prefix in trace.active_prefixes],
+        "burst_count": trace.burst_count,
+        "duration": trace.duration,
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def loads_trace(text: str):
+    """Deserialize a ``repro-sdx-trace`` document."""
+    from repro.workloads.update_gen import UpdateTrace
+
+    payload = _check_envelope(json.loads(text), "repro-sdx-trace")
+    return UpdateTrace(
+        updates=[_update_from_json(entry) for entry in payload["updates"]],
+        active_prefixes=tuple(
+            IPv4Prefix(prefix) for prefix in payload["active_prefixes"]
+        ),
+        burst_count=payload["burst_count"],
+        duration=payload["duration"],
+    )
+
+
+def dump_trace(trace, stream: Union[str, IO[str]]) -> None:
+    """Write a trace document to a path or text stream."""
+    _write(dumps_trace(trace), stream)
+
+
+def load_trace(stream: Union[str, IO[str]]):
+    """Read a trace document from a path or text stream."""
+    return loads_trace(_read(stream))
+
+
+# -- churn scenarios (spec + materialised trace) ------------------------------
+
+
+def dumps_scenario(spec, trace) -> str:
+    """Serialize a churn scenario: its spec plus the trace it built.
+
+    Shipping the materialised trace (not just the spec) makes the
+    document self-contained — replaying it needs no generator code, so
+    an incident episode can be re-run against future controller
+    versions even if the builders change.
+    """
+    payload = {
+        "format": "repro-sdx-scenario",
+        "version": FORMAT_VERSION,
+        "spec": {
+            "name": spec.name,
+            "kind": spec.kind,
+            "seed": spec.seed,
+            "params": dict(spec.params),
+        },
+        "trace": json.loads(dumps_trace(trace)),
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def loads_scenario(text: str):
+    """Deserialize a ``repro-sdx-scenario`` document → (spec, trace)."""
+    from repro.workloads.scenarios import ScenarioSpec
+
+    payload = _check_envelope(json.loads(text), "repro-sdx-scenario")
+    spec_data = payload["spec"]
+    spec = ScenarioSpec(
+        name=spec_data["name"],
+        kind=spec_data["kind"],
+        seed=spec_data["seed"],
+        params=dict(spec_data["params"]),
+    )
+    return spec, loads_trace(json.dumps(payload["trace"]))
+
+
+def dump_scenario(spec, trace, stream: Union[str, IO[str]]) -> None:
+    """Write a scenario document to a path or text stream."""
+    _write(dumps_scenario(spec, trace), stream)
+
+
+def load_scenario(stream: Union[str, IO[str]]):
+    """Read a scenario document from a path or text stream."""
+    return loads_scenario(_read(stream))

@@ -26,7 +26,14 @@ from repro.ixp.topology import IXPConfig
 from repro.netutils.ip import IPv4Prefix
 from repro.workloads.prefixes import allocate_prefix_pool, announcement_counts
 
-__all__ = ["ASCategory", "SyntheticIXP", "generate_ixp"]
+__all__ = [
+    "ASCategory",
+    "PEERING_LAN_CAPACITY",
+    "PORTS_PER_PARTICIPANT",
+    "SyntheticIXP",
+    "generate_ixp",
+    "peering_lan_ports",
+]
 
 
 class ASCategory:
@@ -40,13 +47,20 @@ class ASCategory:
 
 
 class SyntheticIXP(NamedTuple):
-    """A generated exchange: config, classification, and routing table."""
+    """A generated exchange: config, classification, and routing table.
+
+    ``peering`` optionally records the data-derived peering matrix
+    (participant → peers it exchanges routes with); ``None`` means
+    everyone peers with everyone, which is what the purely synthetic
+    generator assumes.
+    """
 
     config: IXPConfig
     categories: Dict[str, str]
     announced: Dict[str, Tuple[IPv4Prefix, ...]]
     updates: List[BGPUpdate]
     seed: int
+    peering: Optional[Dict[str, Tuple[str, ...]]] = None
 
     @property
     def participant_names(self) -> Tuple[str, ...]:
@@ -89,15 +103,59 @@ def _participant_name(index: int) -> str:
     return f"AS{index + 1:03d}"
 
 
-def _port_specs(index: int, ports: int) -> List[Tuple[str, str, str]]:
-    """(port_id, interface IP, MAC) triples on the 172.0.0.0/12 peering LAN."""
+#: Port slots reserved per participant index on the peering LAN.
+PORTS_PER_PARTICIPANT = 4
+#: Usable final-octet values — ``.0`` and ``.255`` are skipped (network/
+#: broadcast-looking interface bytes confuse real router configs).
+_HOST_BYTES = 254
+#: 172.0.0.0/12 gives 16 second-octet values; each /16 holds 256×254
+#: usable interface addresses under the skip rule.
+PEERING_LAN_CAPACITY = 16 * 256 * _HOST_BYTES
+
+
+def _port_specs(
+    index: int, ports: int, name: Optional[str] = None
+) -> List[Tuple[str, str, str]]:
+    """(port_id, interface IP, MAC) triples on the 172.0.0.0/12 peering LAN.
+
+    Every (``index``, ``port_number``) pair maps to a distinct *slot*;
+    the slot is encoded bijectively into both the interface address and
+    the MAC, so port identities never collide below
+    :data:`PEERING_LAN_CAPACITY` slots (~260k participants at 4 ports
+    each) and exhaustion raises instead of silently wrapping.  The
+    final octet skips ``.0`` and ``.255``.
+    """
+    if ports > PORTS_PER_PARTICIPANT:
+        raise ValueError(
+            f"at most {PORTS_PER_PARTICIPANT} ports per participant "
+            f"(requested {ports})"
+        )
+    label = name if name is not None else _participant_name(index)
     specs = []
     for port_number in range(ports):
-        host = index * 4 + port_number + 1
-        address = f"172.{(host >> 16) & 0x0F}.{(host >> 8) & 0xFF}.{host & 0xFF}"
-        hardware = f"08:00:27:{(index >> 8) & 0xFF:02x}:{index & 0xFF:02x}:{port_number + 1:02x}"
-        specs.append((f"{_participant_name(index)}-p{port_number + 1}", address, hardware))
+        slot = index * PORTS_PER_PARTICIPANT + port_number
+        if not 0 <= slot < PEERING_LAN_CAPACITY:
+            raise ValueError(
+                f"peering LAN exhausted: slot {slot} exceeds the "
+                f"{PEERING_LAN_CAPACITY} interface addresses of 172.0.0.0/12"
+            )
+        low = slot % _HOST_BYTES + 1  # 1..254 — never .0 / .255
+        rest = slot // _HOST_BYTES
+        address = f"172.{rest >> 8}.{rest & 0xFF}.{low}"
+        # The slot fits in 20 bits (< capacity), so three MAC bytes
+        # encode it without the pre-fix wrap at index 0xFFFF.
+        hardware = (
+            f"08:00:27:{(slot >> 16) & 0xFF:02x}:"
+            f"{(slot >> 8) & 0xFF:02x}:{slot & 0xFF:02x}"
+        )
+        specs.append((f"{label}-p{port_number + 1}", address, hardware))
     return specs
+
+
+#: Public name for the slot→(IP, MAC) mapping so topology *providers*
+#: (:mod:`repro.workloads.providers`) place their participants on the
+#: same peering LAN with the same collision-freedom guarantee.
+peering_lan_ports = _port_specs
 
 
 def generate_ixp(

@@ -9,19 +9,27 @@ three facts, all of which this generator reproduces as tunable knobs:
   (``burst_small_fraction`` / ``burst_small_max``), with a heavy tail;
 * inter-burst gaps are at least 10 s in 75% of cases and over a minute
   half the time (modelled as a log-uniform mixture).
+
+The generator tracks per-prefix announcement state through the trace,
+seeded from the exchange's *actual* BGP table (``ixp.updates``), so a
+withdrawal can never target a prefix its peer never announced — a
+prefix whose session is down at trace start is brought up with an
+announcement before it can churn.  :func:`validate_trace` is the
+public checker the property tests (and the scenario suite, which
+composes traces) pin that guarantee with.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro.bgp.attributes import RouteAttributes
 from repro.bgp.messages import Announcement, BGPUpdate, Withdrawal
 from repro.netutils.ip import IPv4Prefix
 from repro.workloads.topology_gen import SyntheticIXP
 
-__all__ = ["UpdateTrace", "generate_update_trace"]
+__all__ = ["TraceValidationError", "UpdateTrace", "generate_update_trace", "validate_trace"]
 
 
 class UpdateTrace(NamedTuple):
@@ -31,6 +39,10 @@ class UpdateTrace(NamedTuple):
     active_prefixes: Tuple[IPv4Prefix, ...]
     burst_count: int
     duration: float
+
+
+class TraceValidationError(AssertionError):
+    """A generated/composed trace violates the trace validity contract."""
 
 
 def _gap_sample(rng: random.Random) -> float:
@@ -57,6 +69,27 @@ def _burst_size(rng: random.Random, small_fraction: float, small_max: int, tail_
     return rng.randint(small_max + 1, max(small_max + 1, size))
 
 
+def _initially_announced(
+    ixp: SyntheticIXP, owner_of: Dict[IPv4Prefix, str]
+) -> Set[IPv4Prefix]:
+    """Prefixes whose *owner* actually announced them in ``ixp.updates``.
+
+    ``ixp.announced`` records intended primary ownership; the BGP table
+    is what the route server loaded.  The two differ when a session is
+    down at trace start (scenario suites model exactly that), and only
+    actually-announced prefixes are eligible for withdrawal events.
+    """
+    live: Set[IPv4Prefix] = set()
+    for update in ixp.updates:
+        for announcement in update.announced:
+            if owner_of.get(announcement.prefix) == update.peer:
+                live.add(announcement.prefix)
+        for withdrawal in update.withdrawn:
+            if owner_of.get(withdrawal.prefix) == update.peer:
+                live.discard(withdrawal.prefix)
+    return live
+
+
 def generate_update_trace(
     ixp: SyntheticIXP,
     bursts: int = 200,
@@ -73,6 +106,10 @@ def generate_update_trace(
     prefix the announcing participant either re-announces it with a
     perturbed AS path (a best-path change) or briefly withdraws and
     re-announces it.  Timestamps honour the inter-burst gap mixture.
+
+    Each burst touches a prefix at most once (no self-superseding
+    updates inside one burst), and withdrawals only ever target a
+    prefix its peer currently announces.
     """
     rng = random.Random(seed)
     owner_of: Dict[IPv4Prefix, str] = {}
@@ -82,6 +119,7 @@ def generate_update_trace(
     all_prefixes = sorted(owner_of, key=str)
     if not all_prefixes:
         raise ValueError("the exchange announces no prefixes")
+    live = _initially_announced(ixp, owner_of)
     active_count = max(1, int(len(all_prefixes) * active_fraction))
     active = rng.sample(all_prefixes, active_count)
 
@@ -103,7 +141,7 @@ def generate_update_trace(
                 as_path=[spec.asn, 63500 + rng.randrange(400), origin_as],
                 next_hop=port.address,
             )
-            if rng.random() < withdrawal_probability:
+            if prefix in live and rng.random() < withdrawal_probability:
                 updates.append(
                     BGPUpdate(owner, withdrawn=[Withdrawal(prefix)], time=now)
                 )
@@ -116,6 +154,8 @@ def generate_update_trace(
                     )
                 )
             else:
+                # Down-at-start prefixes are brought up by an ordinary
+                # announcement (never a ghost withdrawal).
                 updates.append(
                     BGPUpdate(
                         owner,
@@ -123,6 +163,7 @@ def generate_update_trace(
                         time=now,
                     )
                 )
+            live.add(prefix)
             now += rng.uniform(0.0, 0.2)
     return UpdateTrace(
         updates=updates,
@@ -130,3 +171,63 @@ def generate_update_trace(
         burst_count=bursts,
         duration=now,
     )
+
+
+def validate_trace(
+    ixp: SyntheticIXP,
+    updates: Sequence[BGPUpdate],
+    burst_gap: float = 1.0,
+) -> None:
+    """Check the trace validity contract; raise :class:`TraceValidationError`.
+
+    Replays ``ixp.updates`` followed by ``updates`` through a per-peer
+    announcement state machine and rejects:
+
+    * **ghost withdrawals** — a withdrawal from a peer that does not
+      currently announce the prefix (the route server's RFC 7606
+      treat-as-withdraw path silently absorbs these, masking generator
+      bugs);
+    * **self-superseding updates** — the same (peer, prefix) announced
+      twice within one burst (two events closer than ``burst_gap``)
+      with no withdrawal in between: the first announcement is dead on
+      arrival and skews burst statistics;
+    * non-monotonic timestamps.
+    """
+    announced: Set[Tuple[str, IPv4Prefix]] = set()
+    for update in ixp.updates:
+        for announcement in update.announced:
+            announced.add((update.peer, announcement.prefix))
+        for withdrawal in update.withdrawn:
+            announced.discard((update.peer, withdrawal.prefix))
+
+    last_time: Optional[float] = None
+    burst_announced: Set[Tuple[str, IPv4Prefix]] = set()
+    for index, update in enumerate(updates):
+        if last_time is not None and update.time < last_time:
+            raise TraceValidationError(
+                f"update #{index} at t={update.time} arrives before "
+                f"t={last_time}: trace is not time-ordered"
+            )
+        if last_time is None or update.time - last_time > burst_gap:
+            burst_announced.clear()
+        last_time = update.time
+        for withdrawal in update.withdrawn:
+            key = (update.peer, withdrawal.prefix)
+            if key not in announced:
+                raise TraceValidationError(
+                    f"ghost withdrawal: update #{index} withdraws "
+                    f"{withdrawal.prefix} from {update.peer!r}, which "
+                    "never announced it"
+                )
+            announced.discard(key)
+            burst_announced.discard(key)
+        for announcement in update.announced:
+            key = (update.peer, announcement.prefix)
+            if key in burst_announced:
+                raise TraceValidationError(
+                    f"self-superseding update: #{index} re-announces "
+                    f"{announcement.prefix} from {update.peer!r} within "
+                    "the same burst"
+                )
+            announced.add(key)
+            burst_announced.add(key)

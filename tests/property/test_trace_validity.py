@@ -1,0 +1,75 @@
+"""Trace-validity property: every generated trace obeys the contract.
+
+``validate_trace`` rejects ghost withdrawals, same-burst
+self-superseding announcements, and time regressions.  This suite
+sweeps the generator knobs and the scenario builders — including
+flap-heavy settings and partially-down exchanges — and requires every
+produced trace to validate.
+"""
+
+import pytest
+
+from repro.workloads.providers import load_fixture
+from repro.workloads.scenarios import SCENARIO_KINDS, ScenarioSpec, build_scenario_trace
+from repro.workloads.topology_gen import generate_ixp
+from repro.workloads.update_gen import generate_update_trace, validate_trace
+
+
+@pytest.mark.parametrize("seed", [0, 7, 23])
+@pytest.mark.parametrize("withdrawal_probability", [0.0, 0.15, 1.0])
+def test_generated_traces_validate(seed, withdrawal_probability):
+    ixp = generate_ixp(8, 48, seed=seed)
+    trace = generate_update_trace(
+        ixp,
+        bursts=50,
+        seed=seed + 1,
+        withdrawal_probability=withdrawal_probability,
+    )
+    validate_trace(ixp, trace.updates)
+
+
+@pytest.mark.parametrize("seed", [1, 9])
+def test_flap_heavy_large_bursts_validate(seed):
+    ixp = generate_ixp(12, 80, seed=seed)
+    trace = generate_update_trace(
+        ixp,
+        bursts=40,
+        seed=seed,
+        active_fraction=1.0,
+        burst_small_fraction=0.2,
+        burst_tail_max=60,
+        withdrawal_probability=0.8,
+    )
+    validate_trace(ixp, trace.updates)
+
+
+@pytest.mark.parametrize("down_members", [1, 2])
+def test_partially_down_exchange_validates(down_members):
+    """Sessions down at trace start never produce ghost withdrawals."""
+    ixp = generate_ixp(8, 48, seed=5)
+    victims = sorted(
+        ixp.announced, key=lambda n: -len(ixp.announced[n])
+    )[:down_members]
+    down = ixp._replace(
+        updates=[u for u in ixp.updates if u.peer not in victims]
+    )
+    trace = generate_update_trace(
+        down, bursts=60, seed=2, active_fraction=1.0, withdrawal_probability=1.0
+    )
+    validate_trace(down, trace.updates)
+
+
+@pytest.mark.parametrize("kind", SCENARIO_KINDS)
+@pytest.mark.parametrize("seed", [0, 11])
+def test_scenario_traces_validate_on_fixture(kind, seed):
+    ixp = load_fixture("ixp_small").build()
+    trace = build_scenario_trace(ixp, ScenarioSpec("p", kind, seed=seed))
+    assert trace.updates
+    validate_trace(ixp, trace.updates)
+
+
+@pytest.mark.parametrize("kind", SCENARIO_KINDS)
+def test_scenario_traces_validate_on_synthetic(kind):
+    ixp = generate_ixp(10, 60, seed=3)
+    trace = build_scenario_trace(ixp, ScenarioSpec("p", kind, seed=4))
+    validate_trace(ixp, trace.updates)

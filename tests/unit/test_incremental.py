@@ -7,7 +7,7 @@ from repro.core.incremental import FASTPATH_BASE_PRIORITY
 from repro.netutils.ip import IPv4Prefix
 from repro.policy import Packet
 
-from tests.conftest import P1, P3, P5
+from tests.conftest import P1, P2, P3, P4, P5
 
 
 def tagged_packet(controller, sender_port, dst_prefix, dstip, **headers):
@@ -167,3 +167,79 @@ class TestFastPath:
         # HTTP diverts to B (still feasible via B) and B's inbound TE sends
         # srcip 200.x (128/1) to port B2.
         assert len(out) == 1 and out[0][0] == "B2"
+
+
+class TestStaleDeliveryPruning:
+    """The multi-table VMAC table must not strand delivery rules.
+
+    The merged table-1 segment carries one delivery rule per (class,
+    announcing participant), keyed by feasibility at compile time.  A
+    withdrawal handled by the fast path must prune entries whose
+    participant no longer advertises any prefix of the class — the
+    invariant checker flags them, and a router receiving such a frame
+    would discard it.
+    """
+
+    def _controller(self, vmac_mode="fec", dataplane_mode="multitable"):
+        from repro.core.config import SDXConfig
+        from repro.core.controller import SDXController
+        from tests.conftest import (
+            install_figure1_policies,
+            load_figure1_routes,
+            make_figure1_config,
+        )
+
+        controller = SDXController(
+            make_figure1_config(),
+            sdx=SDXConfig(vmac_mode=vmac_mode, dataplane_mode=dataplane_mode),
+        )
+        load_figure1_routes(controller)
+        install_figure1_policies(controller)
+        return controller
+
+    def _delivery_rules(self, controller, prefix, participant):
+        ports = {
+            port.port_id
+            for port in controller.config.participant(participant).ports
+        }
+        group = next(
+            g
+            for g in controller.last_compilation.fec_table.affected_groups
+            if IPv4Prefix(prefix) in g.prefixes
+        )
+        return [
+            rule
+            for rule in controller.switch.table
+            if rule.table > 0
+            and rule.goto is None
+            and rule.match.constraints.get("dstmac") == group.vnh.hardware
+            and any(a.output_port in ports for a in rule.actions)
+        ]
+
+    def test_withdrawal_prunes_stale_delivery_rule(self):
+        from repro.verify.invariants import check_bgp_consistency
+
+        controller = self._controller()
+        # p3 is multihomed (B best, C backup): both delivery rules exist.
+        assert self._delivery_rules(controller, P3, "B")
+        assert self._delivery_rules(controller, P3, "C")
+        controller.routing.withdraw("B", P3)
+        # B's entry is gone, C's (still advertising) survives.
+        assert not self._delivery_rules(controller, P3, "B")
+        assert self._delivery_rules(controller, P3, "C")
+        assert check_bgp_consistency(controller) == []
+
+    @pytest.mark.parametrize("vmac_mode", ["fec", "superset"])
+    def test_mass_withdrawal_keeps_bgp_consistency(self, vmac_mode):
+        from repro.verify.invariants import check_bgp_consistency
+
+        controller = self._controller(vmac_mode=vmac_mode)
+        for prefix in (P1, P2, P3, P4):
+            controller.routing.withdraw("B", prefix)
+            assert check_bgp_consistency(controller) == [], (vmac_mode, prefix)
+
+    def test_single_table_layout_is_untouched(self):
+        controller = self._controller(dataplane_mode="single")
+        table_before = controller.switch.table.content_hash()
+        assert controller.fast_path.prune_stale_delivery([IPv4Prefix(P3)]) == 0
+        assert controller.switch.table.content_hash() == table_before

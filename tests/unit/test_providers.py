@@ -1,0 +1,219 @@
+"""Unit tests for data-driven topology providers and fixture ingestion."""
+
+import pytest
+
+from repro.bgp.route_server import RouteServer
+from repro.workloads.providers import (
+    ASRelationshipProvider,
+    GMLProvider,
+    MemberRecord,
+    SyntheticProvider,
+    _parse_asrel,
+    _parse_members,
+    available_fixtures,
+    fixture_path,
+    load_fixture,
+)
+from repro.workloads.serialization import dumps_topology
+from repro.workloads.topology_gen import ASCategory, generate_ixp
+
+
+# -- parsers ------------------------------------------------------------------
+
+
+class TestMembersParser:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "census.members"
+        path.write_text(text)
+        return str(path)
+
+    def test_parses_rows_and_skips_comments(self, tmp_path):
+        path = self._write(tmp_path, "# header\n\n100|40|2\n200|7|1\n")
+        assert _parse_members(path) == [
+            MemberRecord(100, 40, 2),
+            MemberRecord(200, 7, 1),
+        ]
+
+    def test_duplicate_asn_rejected(self, tmp_path):
+        path = self._write(tmp_path, "100|40|2\n100|7|1\n")
+        with pytest.raises(ValueError, match="duplicate ASN"):
+            _parse_members(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = self._write(tmp_path, "100|40\n")
+        with pytest.raises(ValueError, match="expected"):
+            _parse_members(path)
+
+    def test_port_range_enforced(self, tmp_path):
+        path = self._write(tmp_path, "100|40|9\n")
+        with pytest.raises(ValueError, match="invalid census row"):
+            _parse_members(path)
+
+    def test_empty_census_rejected(self, tmp_path):
+        path = self._write(tmp_path, "# nothing\n")
+        with pytest.raises(ValueError, match="empty"):
+            _parse_members(path)
+
+
+class TestASRelParser:
+    def test_parses_serial1_rows(self, tmp_path):
+        path = tmp_path / "rel.asrel"
+        path.write_text("# comment\n1|2|-1\n2|3|0\n")
+        assert _parse_asrel(str(path)) == [(1, 2, -1), (2, 3, 0)]
+
+    def test_rejects_unknown_relationship(self, tmp_path):
+        path = tmp_path / "rel.asrel"
+        path.write_text("1|2|5\n")
+        with pytest.raises(ValueError, match="relationship"):
+            _parse_asrel(str(path))
+
+
+class TestGMLErrors:
+    def test_node_without_asn_rejected(self, tmp_path):
+        path = tmp_path / "bad.gml"
+        path.write_text('graph [ node [ id 0 label "X" prefixes 3 ] ]')
+        with pytest.raises(ValueError, match="needs 'asn'"):
+            GMLProvider(str(path))
+
+    def test_unknown_edge_rel_rejected(self, tmp_path):
+        path = tmp_path / "bad.gml"
+        path.write_text(
+            "graph [ node [ id 0 asn 1 prefixes 1 ] "
+            "node [ id 1 asn 2 prefixes 1 ] "
+            'edge [ source 0 target 1 rel "sibling" ] ]'
+        )
+        with pytest.raises(ValueError, match="unknown edge rel"):
+            GMLProvider(str(path))
+
+    def test_empty_graph_rejected(self, tmp_path):
+        path = tmp_path / "bad.gml"
+        path.write_text("graph [ directed 0 ]")
+        with pytest.raises(ValueError, match="no nodes"):
+            GMLProvider(str(path))
+
+
+# -- provider protocol --------------------------------------------------------
+
+
+class TestSyntheticProvider:
+    def test_matches_direct_generator_output(self):
+        provider = SyntheticProvider(8, 40, seed=3)
+        direct = generate_ixp(8, 40, seed=3)
+        assert dumps_topology(provider.build()) == dumps_topology(direct)
+
+    def test_knobs_pass_through(self):
+        provider = SyntheticProvider(6, 30, seed=1, multi_port_fraction=1.0)
+        ixp = provider.build()
+        assert all(
+            len(ixp.config.participant(name).ports) == 2
+            for name in ixp.participant_names
+        )
+
+
+class TestFixtureRegistry:
+    def test_both_fixtures_listed(self):
+        names = available_fixtures()
+        assert "amsix2014" in names
+        assert "ixp_small" in names
+
+    def test_unknown_fixture_raises(self):
+        with pytest.raises(FileNotFoundError, match="available"):
+            load_fixture("atlantis")
+        with pytest.raises(FileNotFoundError):
+            fixture_path("atlantis.gml")
+
+
+# -- the small GML fixture ----------------------------------------------------
+
+
+class TestIxpSmall:
+    @pytest.fixture(scope="class")
+    def ixp(self):
+        return load_fixture("ixp_small").build()
+
+    def test_shape(self, ixp):
+        assert len(ixp.config) == 24
+        assert sum(len(v) for v in ixp.announced.values()) == 433
+
+    def test_categories_derive_from_edges(self, ixp):
+        # The three transits are exactly the nodes with p2c edges.
+        transits = {n for n, c in ixp.categories.items() if c == ASCategory.TRANSIT}
+        assert transits == {"AS64601", "AS64602", "AS64603"}
+        # Stubs split into content (heavy quartile) and eyeball.
+        assert ASCategory.CONTENT in ixp.categories.values()
+        assert ASCategory.EYEBALL in ixp.categories.values()
+
+    def test_peering_matrix_is_symmetric(self, ixp):
+        assert ixp.peering is not None
+        for name, peers in ixp.peering.items():
+            for peer in peers:
+                assert name in ixp.peering[peer]
+            assert name not in peers
+
+    def test_multihoming_from_relationships(self, ixp):
+        # Every member provider of an AS re-announces its prefixes with
+        # the provider ASN prepended — alternates for deflection policies.
+        sets = ixp.announcement_sets()
+        backup_carriers = {
+            name
+            for name, prefixes in sets.items()
+            if prefixes - set(ixp.announced[name])
+        }
+        assert backup_carriers  # the fixture has p2c edges between members
+        assert backup_carriers <= {
+            n for n, c in ixp.categories.items() if c == ASCategory.TRANSIT
+        }
+        for update in ixp.updates:
+            for announcement in update.announced:
+                path = announcement.attributes.as_path.asns
+                first = ixp.config.participant(update.peer).asn
+                assert path[0] == first
+
+    def test_loads_into_route_server(self, ixp):
+        server = RouteServer()
+        for name in ixp.participant_names:
+            server.add_peer(name)
+        assert server.load(ixp.updates) == len(ixp.updates)
+        carried = {
+            name: server.prefixes_from(name) for name in ixp.participant_names
+        }
+        assert carried == {
+            name: frozenset(prefixes)
+            for name, prefixes in ixp.announcement_sets().items()
+        }
+
+    def test_build_is_deterministic(self):
+        provider = load_fixture("ixp_small")
+        assert dumps_topology(provider.build()) == dumps_topology(provider.build())
+
+
+# -- the large CAIDA-style fixture --------------------------------------------
+
+
+class TestAmsix2014:
+    @pytest.fixture(scope="class")
+    def provider(self):
+        return load_fixture("amsix2014")
+
+    @pytest.fixture(scope="class")
+    def ixp(self, provider):
+        return provider.build()
+
+    def test_is_asrel_provider(self, provider):
+        assert isinstance(provider, ASRelationshipProvider)
+
+    def test_acceptance_scale(self, ixp):
+        assert len(ixp.config) >= 100
+        assert sum(len(v) for v in ixp.announced.values()) >= 100_000
+
+    def test_skew_comes_from_fixture_not_knobs(self, provider):
+        # Table 1: the top ~1% of members announce more than half of the
+        # prefixes, the bottom 90% almost none.  These numbers are read
+        # straight out of the census file.
+        skew = provider.skew()
+        assert skew["top_1pct_share"] > 0.5
+        assert skew["bottom_90pct_share"] < 0.05
+
+    def test_ports_come_from_census(self, ixp):
+        assert len(ixp.config.participant("AS2914").ports) == 4
+        assert len(ixp.config.participant("AS1299").ports) == 4

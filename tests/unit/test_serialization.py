@@ -88,3 +88,119 @@ class TestValidation:
     def test_wrong_version_rejected(self):
         with pytest.raises(ValueError):
             loads_updates('{"format": "repro-sdx-updates", "version": 99, "updates": []}')
+
+
+# -- topology / trace / scenario documents -----------------------------------
+
+
+from repro.workloads.providers import load_fixture
+from repro.workloads.scenarios import ScenarioSpec, build_scenario_trace, replay
+from repro.workloads.serialization import (
+    dump_topology,
+    dump_trace,
+    dumps_scenario,
+    dumps_topology,
+    dumps_trace,
+    load_topology,
+    load_trace,
+    loads_scenario,
+    loads_topology,
+    loads_trace,
+)
+
+
+class TestTopologyDocuments:
+    def test_round_trip_preserves_everything(self):
+        ixp = generate_ixp(8, 40, seed=6)
+        restored = loads_topology(dumps_topology(ixp))
+        assert restored.categories == ixp.categories
+        assert restored.announced == ixp.announced
+        assert list(restored.announced) == list(ixp.announced)  # order
+        assert restored.seed == ixp.seed
+        assert restored.peering == ixp.peering
+        assert len(restored.updates) == len(ixp.updates)
+        assert restored.config.participant_names() == ixp.config.participant_names()
+        for name in ixp.participant_names:
+            assert (
+                restored.config.participant(name).ports
+                == ixp.config.participant(name).ports
+            )
+
+    def test_provider_topology_round_trips(self):
+        ixp = load_fixture("ixp_small").build()
+        restored = loads_topology(dumps_topology(ixp))
+        assert dumps_topology(restored) == dumps_topology(ixp)
+        assert restored.peering == ixp.peering
+        assert restored.config.name == "ixp_small"
+
+    def test_file_round_trip(self, tmp_path):
+        ixp = generate_ixp(5, 25, seed=2)
+        path = str(tmp_path / "topology.json")
+        dump_topology(ixp, path)
+        assert dumps_topology(load_topology(path)) == dumps_topology(ixp)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-sdx-topology"):
+            loads_topology(dumps_updates(sample_updates()))
+
+
+class TestTraceDocuments:
+    def test_round_trip_with_ground_truth(self):
+        ixp = generate_ixp(6, 30, seed=1)
+        trace = generate_update_trace(ixp, bursts=25, seed=4)
+        restored = loads_trace(dumps_trace(trace))
+        assert restored.active_prefixes == trace.active_prefixes
+        assert restored.burst_count == trace.burst_count
+        assert restored.duration == trace.duration
+        assert dumps_trace(restored) == dumps_trace(trace)
+
+    def test_file_round_trip(self, tmp_path):
+        ixp = generate_ixp(6, 30, seed=1)
+        trace = generate_update_trace(ixp, bursts=10, seed=4)
+        path = str(tmp_path / "trace.json")
+        dump_trace(trace, path)
+        assert dumps_trace(load_trace(path)) == dumps_trace(trace)
+
+    def test_wrong_format_rejected(self):
+        ixp = generate_ixp(4, 12, seed=1)
+        with pytest.raises(ValueError, match="not a repro-sdx-trace"):
+            loads_trace(dumps_topology(ixp))
+
+
+class TestScenarioDocuments:
+    def test_round_trip(self):
+        ixp = load_fixture("ixp_small").build()
+        spec = ScenarioSpec(
+            "episode-1", "stuck-routes", seed=5, params={"leak_count": 12}
+        )
+        trace = build_scenario_trace(ixp, spec)
+        restored_spec, restored_trace = loads_scenario(dumps_scenario(spec, trace))
+        assert restored_spec == spec
+        assert dumps_trace(restored_trace) == dumps_trace(trace)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-sdx-scenario"):
+            loads_scenario(dumps_updates(sample_updates()))
+
+
+class TestReplayEquivalence:
+    def test_reloaded_documents_replay_to_identical_fabric(self):
+        """topology + trace → JSON → reload → replay: same fabric bytes."""
+        from repro.core.controller import SDXController
+
+        ixp = load_fixture("ixp_small").build()
+        spec = ScenarioSpec("episode-2", "correlated-withdrawal", seed=6)
+        trace = build_scenario_trace(ixp, spec)
+        reloaded_ixp = loads_topology(dumps_topology(ixp))
+        reloaded_trace = loads_trace(dumps_trace(trace))
+
+        def fabric_hash(topology, updates):
+            controller = SDXController(topology.config)
+            controller.route_server.load(topology.updates)
+            controller.compile()
+            replay(controller, updates, verify_every=0, recompile_every=4)
+            return controller.switch.table.content_hash()
+
+        assert fabric_hash(ixp, trace.updates) == fabric_hash(
+            reloaded_ixp, reloaded_trace.updates
+        )

@@ -1,0 +1,230 @@
+"""Regression tests pinning the workload-generator correctness fixes.
+
+Each test here fails on the pre-fix generators:
+
+* ``_port_specs`` silently wrapped its MAC encoding at participant
+  index 0xFFFF and its IP encoding past ~2^20 host slots, and emitted
+  ``.0``/``.255`` final octets;
+* ``generate_update_trace`` could withdraw a prefix whose peer never
+  announced it (a *ghost withdrawal* — silently absorbed by the route
+  server's RFC 7606 treat-as-withdraw path, so nothing downstream
+  noticed).
+"""
+
+import pytest
+
+from repro.ixp.topology import IXPConfig
+from repro.workloads.topology_gen import (
+    PEERING_LAN_CAPACITY,
+    PORTS_PER_PARTICIPANT,
+    generate_ixp,
+    peering_lan_ports,
+)
+from repro.workloads.update_gen import (
+    TraceValidationError,
+    generate_update_trace,
+    validate_trace,
+)
+
+
+class TestPortSpecCollisions:
+    def test_20k_participants_at_4_ports_no_collisions(self):
+        """20k participants × 4 ports: distinct IPs/MACs, clean octets.
+
+        The pre-fix encoding emits ``172.x.y.255`` at slot 254 (index
+        63, port 3) and ``172.x.y.0`` one slot later.
+        """
+        addresses = set()
+        macs = set()
+        for index in range(20_000):
+            for _, address, hardware in peering_lan_ports(index, 4):
+                last_octet = int(address.rsplit(".", 1)[1])
+                assert 1 <= last_octet <= 254, address
+                addresses.add(address)
+                macs.add(hardware)
+        assert len(addresses) == 80_000
+        assert len(macs) == 80_000
+
+    def test_mac_does_not_wrap_at_16bit_index(self):
+        """Pre-fix MACs encoded ``index & 0xFFFF``: 70000 aliased 4464."""
+        high = peering_lan_ports(70_000, 1)[0][2]
+        low = peering_lan_ports(70_000 - 0x10000, 1)[0][2]
+        assert high != low
+
+    def test_ip_exhaustion_raises_instead_of_wrapping(self):
+        """Pre-fix, index 262144 silently re-issued 172.0.0.1."""
+        first = peering_lan_ports(0, 1)[0][1]
+        try:
+            wrapped = peering_lan_ports(262_144, 1)[0][1]
+        except ValueError:
+            return  # refusing to allocate is the correct behaviour
+        assert wrapped != first
+
+    def test_capacity_boundary(self):
+        last_ok = PEERING_LAN_CAPACITY // PORTS_PER_PARTICIPANT - 1
+        peering_lan_ports(last_ok, PORTS_PER_PARTICIPANT)
+        with pytest.raises(ValueError, match="exhausted"):
+            peering_lan_ports(last_ok + 1, PORTS_PER_PARTICIPANT)
+
+    def test_port_count_bounded(self):
+        with pytest.raises(ValueError, match="at most"):
+            peering_lan_ports(0, PORTS_PER_PARTICIPANT + 1)
+
+
+class TestIXPConfigCollisionChecks:
+    """The O(total ports) uniqueness sets keep the original errors."""
+
+    def _config_with_one(self):
+        config = IXPConfig()
+        config.add_participant(
+            "A", asn=65001, ports=[("A1", "172.0.0.1", "08:00:27:00:00:01")]
+        )
+        return config
+
+    def test_duplicate_port_id_rejected(self):
+        config = self._config_with_one()
+        with pytest.raises(ValueError, match="port id 'A1' already in use"):
+            config.add_participant(
+                "B", asn=65002, ports=[("A1", "172.0.0.2", "08:00:27:00:00:02")]
+            )
+
+    def test_duplicate_address_rejected(self):
+        config = self._config_with_one()
+        with pytest.raises(ValueError, match="address 172.0.0.1 already in use"):
+            config.add_participant(
+                "B", asn=65002, ports=[("B1", "172.0.0.1", "08:00:27:00:00:02")]
+            )
+
+    def test_duplicate_mac_rejected(self):
+        config = self._config_with_one()
+        with pytest.raises(ValueError, match="MAC 08:00:27:00:00:01 already in use"):
+            config.add_participant(
+                "B", asn=65002, ports=[("B1", "172.0.0.2", "08:00:27:00:00:01")]
+            )
+
+    def test_rejected_participant_leaves_no_residue(self):
+        config = self._config_with_one()
+        with pytest.raises(ValueError):
+            config.add_participant(
+                "B",
+                asn=65002,
+                ports=[
+                    ("B1", "172.0.0.2", "08:00:27:00:00:02"),
+                    ("A1", "172.0.0.3", "08:00:27:00:00:03"),
+                ],
+            )
+        # B's first (valid) port must not have been registered.
+        config.add_participant(
+            "C", asn=65003, ports=[("B1", "172.0.0.2", "08:00:27:00:00:02")]
+        )
+
+
+class TestGhostWithdrawals:
+    def _down_session_ixp(self):
+        """An exchange where one member's session is down at trace start.
+
+        Its prefixes are in ``announced`` (intended ownership) but its
+        announcements never reached the route server (``updates``).
+        """
+        ixp = generate_ixp(6, 36, seed=1)
+        victim = max(ixp.announced, key=lambda n: len(ixp.announced[n]))
+        return (
+            ixp._replace(updates=[u for u in ixp.updates if u.peer != victim]),
+            victim,
+        )
+
+    def test_no_withdrawal_for_never_announced_prefix(self):
+        """Pre-fix: withdrawal_probability=1.0 ghost-withdrew the down
+        member's prefixes on first touch."""
+        ixp, victim = self._down_session_ixp()
+        trace = generate_update_trace(
+            ixp, bursts=60, seed=3, active_fraction=1.0, withdrawal_probability=1.0
+        )
+        live = set()
+        for update in ixp.updates:
+            for announcement in update.announced:
+                live.add((update.peer, announcement.prefix))
+        for update in trace.updates:
+            for withdrawal in update.withdrawn:
+                assert (update.peer, withdrawal.prefix) in live, (
+                    f"ghost withdrawal of {withdrawal.prefix} from "
+                    f"{update.peer} (session down at start)"
+                )
+            for announcement in update.announced:
+                live.add((update.peer, announcement.prefix))
+            for withdrawal in update.withdrawn:
+                live.discard((update.peer, withdrawal.prefix))
+
+    def test_down_prefix_is_brought_up_before_it_churns(self):
+        ixp, victim = self._down_session_ixp()
+        trace = generate_update_trace(
+            ixp, bursts=60, seed=3, active_fraction=1.0, withdrawal_probability=1.0
+        )
+        victim_events = [u for u in trace.updates if u.peer == victim]
+        assert victim_events, "the down member's prefixes are still active"
+        assert victim_events[0].announced and not victim_events[0].withdrawn
+
+    def test_validator_accepts_the_fixed_trace(self):
+        ixp, _ = self._down_session_ixp()
+        trace = generate_update_trace(
+            ixp, bursts=60, seed=3, active_fraction=1.0, withdrawal_probability=1.0
+        )
+        validate_trace(ixp, trace.updates)
+
+
+class TestTraceValidator:
+    def test_detects_ghost_withdrawal(self):
+        from repro.bgp.messages import BGPUpdate, Withdrawal
+
+        ixp = generate_ixp(4, 12, seed=2)
+        ghost = BGPUpdate(
+            ixp.participant_names[0],
+            withdrawn=[Withdrawal("203.0.113.0/24")],
+            time=1.0,
+        )
+        with pytest.raises(TraceValidationError, match="ghost withdrawal"):
+            validate_trace(ixp, [ghost])
+
+    def test_detects_same_burst_self_supersede(self):
+        from repro.bgp.attributes import RouteAttributes
+        from repro.bgp.messages import Announcement, BGPUpdate
+
+        ixp = generate_ixp(4, 12, seed=2)
+        name = ixp.participant_names[0]
+        prefix = ixp.announced[name][0]
+        spec = ixp.config.participant(name)
+        announcement = Announcement(
+            prefix,
+            RouteAttributes(as_path=[spec.asn], next_hop=spec.ports[0].address),
+        )
+        doubled = [
+            BGPUpdate(name, announced=[announcement], time=1.0),
+            BGPUpdate(name, announced=[announcement], time=1.2),
+        ]
+        with pytest.raises(TraceValidationError, match="self-superseding"):
+            validate_trace(ixp, doubled)
+        # The same pair separated by a burst gap is fine.
+        spaced = [
+            BGPUpdate(name, announced=[announcement], time=1.0),
+            BGPUpdate(name, announced=[announcement], time=5.0),
+        ]
+        validate_trace(ixp, spaced)
+
+    def test_detects_time_regression(self):
+        from repro.bgp.attributes import RouteAttributes
+        from repro.bgp.messages import Announcement, BGPUpdate
+
+        ixp = generate_ixp(4, 12, seed=2)
+        name = ixp.participant_names[0]
+        prefix = ixp.announced[name][0]
+        spec = ixp.config.participant(name)
+        announcement = Announcement(
+            prefix,
+            RouteAttributes(as_path=[spec.asn], next_hop=spec.ports[0].address),
+        )
+        backwards = [
+            BGPUpdate(name, announced=[announcement], time=2.0),
+            BGPUpdate(name, announced=[announcement], time=1.0),
+        ]
+        with pytest.raises(TraceValidationError, match="time-ordered"):
+            validate_trace(ixp, backwards)
